@@ -1,0 +1,37 @@
+//! Figure 10's timing experiment as a Criterion benchmark: kernel sweeps
+//! under GROUPPAD and GROUPPAD+L2MAXPAD layouts.
+//!
+//! ```text
+//! cargo bench -p mlc-bench --bench group_reuse
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_cache_sim::HierarchyConfig;
+use mlc_experiments::versions::{build_versions, OptLevel};
+use mlc_kernels::{kernel_by_name, Workspace};
+
+fn bench_group_reuse(c: &mut Criterion) {
+    let h = HierarchyConfig::ultrasparc_i();
+    let mut g = c.benchmark_group("fig10_group_reuse");
+    g.sample_size(10);
+    for name in ["expl512", "shal512", "tomcatv"] {
+        let k = kernel_by_name(name).unwrap();
+        let v = build_versions(&k.model(), &h, OptLevel::GroupReuse);
+        g.throughput(Throughput::Elements(k.flops()));
+        for (label, program, layout) in [
+            ("orig", &v.orig_program, &v.orig_layout),
+            ("grouppad", &v.l1.program, &v.l1.layout),
+            ("grouppad_l2maxpad", &v.l1l2.program, &v.l1l2.layout),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, name), &(), |b, _| {
+                let mut ws = Workspace::new(program, layout);
+                k.init(&mut ws);
+                b.iter(|| k.sweep(&mut ws));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_reuse);
+criterion_main!(benches);

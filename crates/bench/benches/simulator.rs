@@ -1,0 +1,75 @@
+//! Cache-simulator throughput: how many accesses per second the substrate
+//! sustains (the figure sweeps push billions of accesses through it).
+//!
+//! ```text
+//! cargo bench -p mlc-bench --bench simulator
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_cache_sim::trace::{Access, AccessSink};
+use mlc_cache_sim::{Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy};
+use mlc_kernels::kernel_by_name;
+#[allow(unused_imports)]
+use mlc_kernels::Kernel;
+use mlc_model::trace_gen::CompiledNest;
+use mlc_model::DataLayout;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let n = 1_000_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    // Sequential walk through a direct-mapped cache.
+    g.bench_function("direct_mapped_seq", |b| {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+        b.iter(|| {
+            for i in 0..n {
+                cache.access(i * 8);
+            }
+        });
+    });
+
+    // 4-way LRU.
+    g.bench_function("four_way_seq", |b| {
+        let mut cache = Cache::new(CacheConfig::new(16 * 1024, 32, 4, ReplacementPolicy::Lru));
+        b.iter(|| {
+            for i in 0..n {
+                cache.access(i * 8);
+            }
+        });
+    });
+
+    // Full two-level hierarchy fed by the trace generator (the experiment
+    // hot path): one EXPL sweep.
+    for name in ["expl512", "jacobi512"] {
+        let k = kernel_by_name(name).unwrap();
+        let p = k.model();
+        let layout = DataLayout::contiguous(&p.arrays);
+        let refs: u64 = p.const_references().unwrap();
+        let compiled: Vec<CompiledNest> =
+            p.nests.iter().map(|nst| CompiledNest::new(&p, nst, &layout)).collect();
+        g.throughput(Throughput::Elements(refs));
+        g.bench_with_input(BenchmarkId::new("trace_to_hierarchy", name), &(), |b, _| {
+            let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+            b.iter(|| {
+                for cn in &compiled {
+                    cn.run(&mut hier);
+                }
+            });
+        });
+    }
+
+    // Raw hierarchy access with a fixed stride (no generation cost).
+    g.bench_function("hierarchy_strided", |b| {
+        let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        b.iter(|| {
+            for i in 0..n {
+                hier.access(Access::read((i * 40) & 0xFF_FFFF));
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 13 as a Criterion benchmark: tiled matmul per tile policy.
+//!
+//! ```text
+//! cargo bench -p mlc-bench --bench tiling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::tiling::{select_tile, TilePolicy};
+use mlc_kernels::matmul::{matmul_tiled, matmul_untiled, Matmul};
+use mlc_kernels::{Kernel, Workspace};
+
+fn bench_tiling(c: &mut Criterion) {
+    let h = HierarchyConfig::ultrasparc_i();
+    let mut g = c.benchmark_group("fig13_matmul");
+    g.sample_size(10);
+    for n in [160usize, 288] {
+        let m = Matmul::new(n);
+        let p = m.base_model();
+        g.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+
+        g.bench_with_input(BenchmarkId::new("orig", n), &n, |b, &n| {
+            let mut ws = Workspace::contiguous(&p);
+            m.init(&mut ws);
+            let (a, bb, cc) = (ws.mat(0), ws.mat(1), ws.mat(2));
+            b.iter(|| matmul_untiled(ws.data_mut(), a, bb, cc, n));
+        });
+        for policy in TilePolicy::all() {
+            let t = select_tile(policy, n as u64, n as u64, &h, 8);
+            g.bench_with_input(
+                BenchmarkId::new(policy.label(), n),
+                &n,
+                |b, &n| {
+                    let mut ws = Workspace::contiguous(&p);
+                    m.init(&mut ws);
+                    let (a, bb, cc) = (ws.mat(0), ws.mat(1), ws.mat(2));
+                    b.iter(|| {
+                        matmul_tiled(
+                            ws.data_mut(),
+                            a,
+                            bb,
+                            cc,
+                            n,
+                            t.height as usize,
+                            t.width as usize,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tiling);
+criterion_main!(benches);

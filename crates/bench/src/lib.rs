@@ -1,0 +1,2 @@
+//! Criterion benchmark crate — see `benches/` for the benchmark targets
+//! mirroring the paper's timing experiments.

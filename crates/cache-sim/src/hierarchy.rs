@@ -1,0 +1,258 @@
+//! A multi-level cache hierarchy.
+//!
+//! An access probes L1; on a miss the line is allocated at L1 and the access
+//! propagates to L2, and so on until a level hits (or memory is reached).
+//! Each level only sees the accesses that missed every level above it, which
+//! is exactly the model behind the paper's simulations and the normalization
+//! in [`crate::stats`].
+
+use crate::cache::{Cache, Probe};
+use crate::config::HierarchyConfig;
+use crate::stats::{LevelStats, MissRateReport};
+use crate::trace::{Access, AccessSink};
+
+/// A stack of cache levels driven as one unit.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    levels: Vec<Cache>,
+    /// Next-line hardware prefetch: on a miss at a level, the following
+    /// line is quietly installed there too (sequential tagged prefetch, the
+    /// simplest form of the hardware prefetching Section 2.2 alludes to).
+    next_line_prefetch: bool,
+    prefetch_fills: u64,
+}
+
+impl Hierarchy {
+    /// Build a cold hierarchy from a configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        let levels = config.levels.iter().map(|&c| Cache::new(c)).collect();
+        Self { config, levels, next_line_prefetch: false, prefetch_fills: 0 }
+    }
+
+    /// Build with next-line prefetching enabled at every level.
+    pub fn with_next_line_prefetch(config: HierarchyConfig) -> Self {
+        let mut h = Self::new(config);
+        h.next_line_prefetch = true;
+        h
+    }
+
+    /// Lines installed by the prefetcher (across all levels).
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Per-level statistics snapshot, L1 first.
+    pub fn stats(&self) -> Vec<LevelStats> {
+        self.levels.iter().map(|c| LevelStats::new(c.accesses(), c.misses())).collect()
+    }
+
+    /// Full report with the paper's normalization.
+    pub fn report(&self) -> MissRateReport {
+        MissRateReport::from_levels(self.stats())
+    }
+
+    /// Invalidate all levels (cold caches) without touching counters.
+    pub fn flush(&mut self) {
+        for l in &mut self.levels {
+            l.flush();
+        }
+    }
+
+    /// Zero all counters without touching contents. Experiments use this to
+    /// exclude warm-up iterations, mirroring the paper's steady-state rates.
+    pub fn reset_stats(&mut self) {
+        for l in &mut self.levels {
+            l.reset_stats();
+        }
+    }
+
+    /// Access an address, returning the deepest level that *missed*
+    /// (0-based), or `None` on an L1 hit. `Some(depth()-1)` therefore means
+    /// the access went to memory.
+    #[inline]
+    pub fn access_addr(&mut self, addr: u64) -> Option<usize> {
+        self.access_addr_kind(addr, false)
+    }
+
+    /// [`Hierarchy::access_addr`] with a load/store distinction: stores mark
+    /// lines dirty at every level they allocate in, for per-level write-back
+    /// counting.
+    #[inline]
+    pub fn access_addr_kind(&mut self, addr: u64, write: bool) -> Option<usize> {
+        let mut deepest_miss = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            match level.access_kind(addr, write) {
+                Probe::Hit => break,
+                Probe::Miss => deepest_miss = Some(i),
+            }
+        }
+        if self.next_line_prefetch {
+            if let Some(deepest) = deepest_miss {
+                for i in 0..=deepest {
+                    let line = self.levels[i].config().line as u64;
+                    if self.levels[i].prefetch_fill(addr + line) {
+                        self.prefetch_fills += 1;
+                    }
+                }
+            }
+        }
+        deepest_miss
+    }
+
+    /// Per-level write-back counts (dirty evictions), L1 first.
+    /// Observational: the write-back traffic is not re-injected as accesses.
+    pub fn writebacks(&self) -> Vec<u64> {
+        self.levels.iter().map(|c| c.writebacks()).collect()
+    }
+}
+
+impl AccessSink for Hierarchy {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.access_addr_kind(access.addr, access.kind == crate::trace::AccessKind::Write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig};
+
+    fn tiny() -> Hierarchy {
+        // L1: 128 B / 32 B lines (4 lines); L2: 512 B / 64 B lines (8 lines).
+        Hierarchy::new(HierarchyConfig::new(
+            vec![CacheConfig::direct_mapped(128, 32), CacheConfig::direct_mapped(512, 64)],
+            vec![1.0, 10.0],
+        ))
+    }
+
+    #[test]
+    fn l1_hit_never_reaches_l2() {
+        let mut h = tiny();
+        assert_eq!(h.access_addr(0), Some(1)); // cold: misses both
+        assert_eq!(h.access_addr(0), None); // L1 hit
+        let s = h.stats();
+        assert_eq!(s[0].accesses(), 2);
+        assert_eq!(s[1].accesses(), 1); // only the first access reached L2
+    }
+
+    #[test]
+    fn l1_conflict_can_hit_l2() {
+        let mut h = tiny();
+        // 0 and 128 conflict in L1 (same L1 location) but land on different
+        // L2 lines (line addrs 0 and 2 of 8).
+        h.access_addr(0);
+        h.access_addr(128);
+        assert_eq!(h.access_addr(0), Some(0)); // misses L1, hits L2
+        let s = h.stats();
+        assert_eq!(s[0].misses(), 3);
+        assert_eq!(s[1].misses(), 2);
+    }
+
+    #[test]
+    fn report_normalizes_to_l1_accesses() {
+        let mut h = tiny();
+        for _ in 0..5 {
+            h.access_addr(0);
+            h.access_addr(128);
+        }
+        let r = h.report();
+        assert_eq!(r.total_references, 10);
+        // After the two cold misses every access ping-pongs in L1 but hits L2.
+        assert_eq!(r.levels[0].misses(), 10);
+        assert_eq!(r.levels[1].misses(), 2);
+        assert!((r.miss_rate(0) - 1.0).abs() < 1e-12);
+        assert!((r.miss_rate(1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_access_is_deepest_level() {
+        let mut h = tiny();
+        assert_eq!(h.access_addr(4096), Some(1));
+    }
+
+    #[test]
+    fn flush_and_reset_are_independent() {
+        let mut h = tiny();
+        h.access_addr(0);
+        h.flush();
+        assert_eq!(h.access_addr(0), Some(1)); // cold again
+        h.reset_stats();
+        assert_eq!(h.stats()[0].accesses(), 0);
+        assert_eq!(h.access_addr(0), None); // contents survived reset_stats
+    }
+
+    #[test]
+    fn sink_impl_matches_direct_calls() {
+        let mut a = tiny();
+        let mut b = tiny();
+        for addr in [0u64, 128, 0, 64, 192, 0] {
+            a.access_addr(addr);
+            b.access(Access::read(addr));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn next_line_prefetch_halves_streaming_misses() {
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let n = 1u64 << 18;
+        let mut plain = Hierarchy::new(cfg.clone());
+        let mut pf = Hierarchy::with_next_line_prefetch(cfg);
+        for i in 0..n {
+            plain.access(Access::read(i * 8));
+            pf.access(Access::read(i * 8));
+        }
+        let (mp, mf) = (plain.stats()[0].misses(), pf.stats()[0].misses());
+        assert!(mf * 2 <= mp + 8, "prefetch should halve streaming misses: {mp} -> {mf}");
+        assert!(pf.prefetch_fills() > 0);
+    }
+
+    #[test]
+    fn prefetch_does_not_help_ping_pong() {
+        // Conflict misses alternate between two far-apart lines; the next
+        // line is never the one needed, so prefetching cannot fix what
+        // padding fixes.
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let mut pf = Hierarchy::with_next_line_prefetch(cfg);
+        for _ in 0..1000 {
+            pf.access(Access::read(0));
+            pf.access(Access::read(16 * 1024));
+        }
+        let r = pf.report();
+        assert!(r.miss_rate(0) > 0.99, "{}", r.miss_rate(0));
+    }
+
+    #[test]
+    fn writebacks_surface_per_level() {
+        let mut h = tiny();
+        h.access_addr_kind(0, true);
+        h.access_addr_kind(128, false); // evicts dirty line 0 from L1
+        let wb = h.writebacks();
+        assert_eq!(wb[0], 1);
+        assert_eq!(wb[1], 0);
+    }
+
+    #[test]
+    fn ultrasparc_sequential_walk() {
+        let mut h = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        let n = 1u64 << 20; // 1 MiB walk, byte accesses
+        for addr in 0..n {
+            h.access(Access::read(addr));
+        }
+        let s = h.stats();
+        assert_eq!(s[0].misses(), (n / 32) as u64);
+        assert_eq!(s[1].misses(), (n / 64) as u64);
+    }
+}

@@ -1,0 +1,81 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The paper assumes direct-mapped caches throughout (replacement is then
+//! trivial), but the associativity ablation experiments need real policies.
+//! Policies operate on the recency order a [`crate::cache::Cache`] maintains
+//! per set, so they are stateless apart from the RNG used by `Random`.
+
+/// Which line of a set to evict on a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way. The common choice and the one all
+    /// experiments use; the stack property of LRU underpins one of the
+    /// property tests (a larger fully-associative LRU cache never misses
+    /// more often than a smaller one).
+    Lru,
+    /// Evict the way that was filled earliest, ignoring hits.
+    Fifo,
+    /// Evict a pseudo-random way (xorshift over a per-cache seed).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// Pick the victim index among `ways` occupied ways.
+    ///
+    /// For `Lru` and `Fifo` the cache maintains its per-set order so the
+    /// victim is always the last slot; `Random` draws from the provided
+    /// xorshift state.
+    #[inline]
+    pub(crate) fn victim(&self, ways: usize, rng_state: &mut u64) -> usize {
+        match self {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => ways - 1,
+            ReplacementPolicy::Random => {
+                // xorshift64*: good enough for victim selection, no deps.
+                let mut x = *rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *rng_state = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % ways as u64) as usize
+            }
+        }
+    }
+
+    /// Whether a hit promotes the line to most-recently-used position.
+    /// True for LRU; FIFO and Random leave the order untouched on hits.
+    #[inline]
+    pub(crate) fn promote_on_hit(&self) -> bool {
+        matches!(self, ReplacementPolicy::Lru)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_and_fifo_evict_tail() {
+        let mut s = 1u64;
+        assert_eq!(ReplacementPolicy::Lru.victim(4, &mut s), 3);
+        assert_eq!(ReplacementPolicy::Fifo.victim(8, &mut s), 7);
+    }
+
+    #[test]
+    fn random_victim_in_range_and_varies() {
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            let v = ReplacementPolicy::Random.victim(4, &mut s);
+            assert!(v < 4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all ways should eventually be chosen");
+    }
+
+    #[test]
+    fn only_lru_promotes() {
+        assert!(ReplacementPolicy::Lru.promote_on_hit());
+        assert!(!ReplacementPolicy::Fifo.promote_on_hit());
+        assert!(!ReplacementPolicy::Random.promote_on_hit());
+    }
+}

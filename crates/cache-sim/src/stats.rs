@@ -1,0 +1,147 @@
+//! Per-level statistics and the paper's miss-rate normalization.
+//!
+//! Section 6.1: "Miss rates for both the L1 and L2 cache are reported as the
+//! number of cache misses for that level, relative to the total number of
+//! memory references (i.e., L2 misses are normalized to L1 misses)." So an
+//! L2 miss rate of 3% means 3% of *all processor references* missed in L2,
+//! not 3% of the accesses that reached L2.
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    accesses: u64,
+    misses: u64,
+}
+
+impl LevelStats {
+    pub(crate) fn new(accesses: u64, misses: u64) -> Self {
+        Self { accesses, misses }
+    }
+
+    /// Accesses that reached this level.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Misses at this level.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Local miss ratio: misses over the accesses that reached this level.
+    pub fn local_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A full report over a hierarchy, able to produce the paper's normalized
+/// per-level miss rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRateReport {
+    /// Per-level counters, L1 first.
+    pub levels: Vec<LevelStats>,
+    /// Total processor references (equals `levels[0].accesses()` unless the
+    /// caller overrode it, which the fusion experiment does: Section 6.4
+    /// normalizes the fused version's misses by the *original* version's
+    /// reference count to account for fusion removing references).
+    pub total_references: u64,
+}
+
+impl MissRateReport {
+    /// Build a report from per-level counters using L1 accesses as the
+    /// reference count.
+    pub fn from_levels(levels: Vec<LevelStats>) -> Self {
+        let total = levels.first().map(|l| l.accesses()).unwrap_or(0);
+        Self { levels, total_references: total }
+    }
+
+    /// Override the normalization denominator (see Section 6.4).
+    pub fn normalized_to(mut self, total_references: u64) -> Self {
+        self.total_references = total_references;
+        self
+    }
+
+    /// The paper's miss rate for `level` (0-based): misses at that level
+    /// divided by total processor references, as a fraction in [0, 1].
+    pub fn miss_rate(&self, level: usize) -> f64 {
+        if self.total_references == 0 {
+            return 0.0;
+        }
+        self.levels[level].misses() as f64 / self.total_references as f64
+    }
+
+    /// Miss rate as a percentage, matching the paper's figures.
+    pub fn miss_rate_pct(&self, level: usize) -> f64 {
+        100.0 * self.miss_rate(level)
+    }
+
+    /// Estimated memory-stall cycles under the given per-level miss
+    /// penalties (same order as levels). This is the quantity the paper's
+    /// profitability heuristics weigh: "comparing the sum of reuse at each
+    /// cache level, scaled by the cost of cache misses at that level."
+    pub fn weighted_cost(&self, miss_penalty: &[f64]) -> f64 {
+        assert_eq!(miss_penalty.len(), self.levels.len());
+        self.levels
+            .iter()
+            .zip(miss_penalty)
+            .map(|(l, &p)| l.misses() as f64 * p)
+            .sum()
+    }
+
+    /// Number of levels in the report.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MissRateReport {
+        // 1000 refs; 100 L1 misses; of those, 20 also miss L2.
+        MissRateReport::from_levels(vec![LevelStats::new(1000, 100), LevelStats::new(100, 20)])
+    }
+
+    #[test]
+    fn normalization_uses_l1_accesses() {
+        let r = sample();
+        assert_eq!(r.total_references, 1000);
+        assert!((r.miss_rate(0) - 0.10).abs() < 1e-12);
+        // L2 misses normalized to *total* references, not L2 accesses.
+        assert!((r.miss_rate(1) - 0.02).abs() < 1e-12);
+        assert!((r.miss_rate_pct(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_ratio_differs_from_normalized() {
+        let r = sample();
+        assert!((r.levels[1].local_miss_ratio() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn override_denominator_for_fusion_accounting() {
+        let r = sample().normalized_to(2000);
+        assert!((r.miss_rate(0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cost_scales_by_penalty() {
+        let r = sample();
+        // 100 L1 misses * 6 + 20 L2 misses * 50 = 1600.
+        assert!((r.weighted_cost(&[6.0, 50.0]) - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = MissRateReport::from_levels(vec![]);
+        assert_eq!(r.total_references, 0);
+        assert_eq!(r.depth(), 0);
+    }
+}

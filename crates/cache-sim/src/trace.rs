@@ -1,0 +1,172 @@
+//! Access traces and sinks.
+//!
+//! The program model (`mlc-model`) walks iteration spaces and emits one
+//! [`Access`] per array reference; anything implementing [`AccessSink`] can
+//! consume the stream — most importantly [`crate::Hierarchy`], but also the
+//! counting/recording/tee sinks used in tests and experiments.
+
+/// Load or store. The simulator counts them identically (fetch-on-miss,
+/// allocate-on-write) but sinks may care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+}
+
+/// One memory reference: a byte address plus kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read of `addr`.
+    #[inline]
+    pub fn read(addr: u64) -> Self {
+        Self { addr, kind: AccessKind::Read }
+    }
+
+    /// A write of `addr`.
+    #[inline]
+    pub fn write(addr: u64) -> Self {
+        Self { addr, kind: AccessKind::Write }
+    }
+}
+
+/// Consumer of an access stream.
+pub trait AccessSink {
+    /// Consume one access.
+    fn access(&mut self, access: Access);
+
+    /// Consume a batch; override if a sink can do better than a loop.
+    fn access_all(&mut self, accesses: &[Access]) {
+        for &a in accesses {
+            self.access(a);
+        }
+    }
+}
+
+/// Counts accesses (and reads/writes) without storing them.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    /// Total accesses seen.
+    pub total: u64,
+    /// Read accesses seen.
+    pub reads: u64,
+    /// Write accesses seen.
+    pub writes: u64,
+}
+
+impl AccessSink for CountingSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.total += 1;
+        match access.kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+}
+
+/// Records every access; for tests and small traces only.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingSink {
+    /// Recorded accesses, in order.
+    pub accesses: Vec<Access>,
+}
+
+impl AccessSink for RecordingSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+}
+
+/// Fans one stream out to two sinks (e.g. a hierarchy plus a counter).
+pub struct TeeSink<'a, A: AccessSink, B: AccessSink> {
+    /// First.
+    pub first: &'a mut A,
+    /// Second.
+    pub second: &'a mut B,
+}
+
+impl<'a, A: AccessSink, B: AccessSink> TeeSink<'a, A, B> {
+    /// Construct the kernel at the given problem size.
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: AccessSink, B: AccessSink> AccessSink for TeeSink<'_, A, B> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.first.access(access);
+        self.second.access(access);
+    }
+}
+
+/// A sink that drops everything; useful to measure trace-generation cost.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AccessSink for NullSink {
+    #[inline]
+    fn access(&mut self, _access: Access) {}
+}
+
+impl<S: AccessSink + ?Sized> AccessSink for &mut S {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (**self).access(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_splits_kinds() {
+        let mut c = CountingSink::default();
+        c.access(Access::read(0));
+        c.access(Access::write(8));
+        c.access(Access::read(16));
+        assert_eq!(c.total, 3);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+    }
+
+    #[test]
+    fn recording_sink_preserves_order() {
+        let mut r = RecordingSink::default();
+        r.access_all(&[Access::read(1), Access::write(2)]);
+        assert_eq!(r.accesses, vec![Access::read(1), Access::write(2)]);
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut a = CountingSink::default();
+        let mut b = RecordingSink::default();
+        {
+            let mut t = TeeSink::new(&mut a, &mut b);
+            t.access(Access::read(42));
+        }
+        assert_eq!(a.total, 1);
+        assert_eq!(b.accesses.len(), 1);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn feed(sink: &mut impl AccessSink) {
+            sink.access(Access::read(0));
+        }
+        let mut c = CountingSink::default();
+        feed(&mut &mut c);
+        assert_eq!(c.total, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Severe ("ping-pong") conflict-miss detection.
+//!
+//! Section 3: "if A and B are separated by a multiple of the cache size in a
+//! direct-mapped cache, references A(j,i) and B(j,i) will map to the same
+//! cache line in the first loop nest, eliminating reuse. In this case severe
+//! or ping-pong conflict misses result, since misses can occur on every
+//! iteration."
+//!
+//! Two references conflict *severely* when (a) they belong to different
+//! variables, (b) they move in lockstep — equal subscript coefficient
+//! matrices, so their cache-location distance is constant over all
+//! iterations ("these relative positions do not change over loop
+//! iterations"), and (c) that constant circular distance on the cache is
+//! less than one cache line, so they keep evicting each other's line.
+//! References that drift relative to each other collide only transiently;
+//! those are ordinary (non-severe) conflicts that padding cannot eliminate.
+
+use mlc_cache_sim::CacheConfig;
+use mlc_model::diagram::{reference_addresses, reference_locations};
+use mlc_model::{DataLayout, Program};
+
+/// A severe conflict between two body references of one nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SevereConflict {
+    /// Nest index within the program.
+    pub nest: usize,
+    /// Body indices of the conflicting pair (`a < b`).
+    pub a: usize,
+    /// Second body index of the pair.
+    pub b: usize,
+    /// Circular distance of their cache locations, in bytes (< line size).
+    pub distance: u64,
+}
+
+/// Circular distance between two cache locations on a cache of `size` bytes.
+#[inline]
+pub fn circular_distance(x: u64, y: u64, size: u64) -> u64 {
+    let d = x.abs_diff(y) % size;
+    d.min(size - d)
+}
+
+/// Severe conflicts in one nest under a layout, against one cache
+/// configuration (pass [`mlc_cache_sim::HierarchyConfig::multilvl_pad_config`]
+/// for the MULTILVLPAD virtual cache).
+pub fn severe_conflicts_in_nest(
+    program: &Program,
+    nest_idx: usize,
+    layout: &DataLayout,
+    cache: CacheConfig,
+) -> Vec<SevereConflict> {
+    let nest = &program.nests[nest_idx];
+    let locs = reference_locations(program, nest, layout, cache);
+    let addrs = reference_addresses(program, nest, layout);
+    let vars = nest.loop_vars();
+    let mut out = Vec::new();
+    for i in 0..nest.body.len() {
+        for j in i + 1..nest.body.len() {
+            let (ri, rj) = (&nest.body[i], &nest.body[j]);
+            if ri.array == rj.array {
+                continue; // same variable: intra-variable padding's job
+            }
+            if ri.coeff_matrix(&vars) != rj.coeff_matrix(&vars) {
+                continue; // not lockstep: transient collision only
+            }
+            if addrs[i].abs_diff(addrs[j]) < cache.line as u64 {
+                continue; // same memory line: sharing, not ping-ponging
+            }
+            let d = circular_distance(locs[i], locs[j], cache.size as u64);
+            if d < cache.line as u64 {
+                out.push(SevereConflict { nest: nest_idx, a: i, b: j, distance: d });
+            }
+        }
+    }
+    out
+}
+
+/// Severe conflicts across the whole program.
+pub fn severe_conflicts(program: &Program, layout: &DataLayout, cache: CacheConfig) -> Vec<SevereConflict> {
+    (0..program.nests.len())
+        .flat_map(|k| severe_conflicts_in_nest(program, k, layout, cache))
+        .collect()
+}
+
+/// Severe *self*-conflicts: lockstep references to the **same** variable
+/// mapping within one line of each other (but at different memory
+/// addresses). These are what intra-variable padding removes — e.g. columns
+/// of an array whose leading dimension is a multiple of the cache size.
+pub fn severe_self_conflicts(
+    program: &Program,
+    layout: &DataLayout,
+    cache: CacheConfig,
+) -> Vec<SevereConflict> {
+    let mut out = Vec::new();
+    for (nest_idx, nest) in program.nests.iter().enumerate() {
+        let locs = reference_locations(program, nest, layout, cache);
+        let addrs = reference_addresses(program, nest, layout);
+        let vars = nest.loop_vars();
+        for i in 0..nest.body.len() {
+            for j in i + 1..nest.body.len() {
+                let (ri, rj) = (&nest.body[i], &nest.body[j]);
+                if ri.array != rj.array
+                    || ri.coeff_matrix(&vars) != rj.coeff_matrix(&vars)
+                    || ri.constant_vector() == rj.constant_vector()
+                {
+                    continue;
+                }
+                if addrs[i].abs_diff(addrs[j]) < cache.line as u64 {
+                    continue; // stencil neighbours share the line: reuse
+                }
+                let d = circular_distance(locs[i], locs[j], cache.size as u64);
+                if d < cache.line as u64 {
+                    out.push(SevereConflict { nest: nest_idx, a: i, b: j, distance: d });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_cache_sim::CacheConfig;
+    use mlc_model::program::figure2_example;
+    use mlc_model::prelude::*;
+
+    fn l1() -> CacheConfig {
+        CacheConfig::direct_mapped(16 * 1024, 32)
+    }
+
+    #[test]
+    fn contiguous_figure2_conflicts_everywhere() {
+        // N=512: arrays are multiples of the cache size; every cross-array
+        // lockstep pair coincides.
+        let p = figure2_example(512);
+        let l = DataLayout::contiguous(&p.arrays);
+        let c = severe_conflicts(&p, &l, l1());
+        // Nest 1: pairs (A,B), (A,C), (B,C) at offsets 0 and +1 column:
+        // A(i,j)-B(i,j), A(i,j)-C(i,j), B(i,j)-C(i,j), and same for the j+1
+        // refs: 6 pairs. Nest 2: B(i,j)-C(i,j): 1 pair.
+        assert_eq!(c.len(), 7);
+        assert!(c.iter().all(|x| x.distance == 0));
+    }
+
+    #[test]
+    fn circular_distance_wraps() {
+        assert_eq!(circular_distance(10, 30, 1024), 20);
+        assert_eq!(circular_distance(1020, 4, 1024), 8);
+        assert_eq!(circular_distance(0, 512, 1024), 512);
+    }
+
+    #[test]
+    fn one_line_of_padding_clears_pairs() {
+        let p = figure2_example(512);
+        // Pad B by one line and C by two: lockstep pairs now 32/64 B apart.
+        let l = DataLayout::with_pads(&p.arrays, &[0, 32, 32]);
+        assert!(severe_conflicts(&p, &l, l1()).is_empty());
+    }
+
+    #[test]
+    fn sub_line_distance_still_conflicts() {
+        let p = figure2_example(512);
+        let l = DataLayout::with_pads(&p.arrays, &[0, 8, 0]);
+        let c = severe_conflicts(&p, &l, l1());
+        assert!(!c.is_empty());
+        assert!(c.iter().any(|x| x.distance == 8));
+    }
+
+    #[test]
+    fn non_lockstep_refs_not_severe() {
+        // A(i,j) vs B(j,i): different coefficient matrices — they drift.
+        let mut p = Program::new("drift");
+        let a = p.add_array(ArrayDecl::f64("A", vec![64, 64]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![64, 64]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 63), Loop::counted("i", 0, 63)],
+            vec![
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ArrayRef::read(b, vec![AffineExpr::var("j"), AffineExpr::var("i")]),
+            ],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        // Bases coincide mod tiny caches, but the pair is not lockstep.
+        assert!(severe_conflicts(&p, &l, CacheConfig::direct_mapped(1024, 32)).is_empty());
+    }
+
+    #[test]
+    fn self_conflicts_detected_for_cache_multiple_columns() {
+        // Column size = cache size: A(i,j) and A(i,j+1) coincide.
+        let n = 2048; // 2048 * 8 B = 16 KiB column
+        let mut p = Program::new("selfc");
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, 8]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 6), Loop::counted("i", 0, n as i64 - 1)],
+            vec![
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var_plus("j", 1)]),
+            ],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        assert_eq!(severe_self_conflicts(&p, &l, l1()).len(), 1);
+        // Cross-variable detector must NOT flag same-array pairs.
+        assert!(severe_conflicts(&p, &l, l1()).is_empty());
+        // Intra-pad by 4 elements clears it.
+        let q = p.with_dim_pad(a, 0, 4);
+        let l2 = DataLayout::contiguous(&q.arrays);
+        assert!(severe_self_conflicts(&q, &l2, l1()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_refs_are_not_self_conflicts() {
+        let mut p = Program::new("dup");
+        let a = p.add_array(ArrayDecl::f64("A", vec![64]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, 63)],
+            vec![
+                ArrayRef::read(a, vec![AffineExpr::var("i")]),
+                ArrayRef::read(a, vec![AffineExpr::var("i")]),
+            ],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        assert!(severe_self_conflicts(&p, &l, l1()).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Miss-cost model.
+//!
+//! The paper's profitability decisions (fusion, tiling) compare "estimated
+//! cache misses at each cache level, scaled by their costs" (Sections 4-5).
+//! [`MissCosts`] carries the per-level penalties and provides the weighted
+//! sums those heuristics use.
+
+use mlc_cache_sim::HierarchyConfig;
+
+/// Per-level miss penalties in cycles: `penalty[0]` is the cost of an L1
+/// miss that hits L2, `penalty[1]` the *additional* cost of also missing L2,
+/// and so on. A reference that misses all `k` levels costs the sum of the
+/// first `k` penalties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissCosts {
+    penalties: Vec<f64>,
+}
+
+impl MissCosts {
+    /// Build from explicit per-level penalties.
+    pub fn new(penalties: Vec<f64>) -> Self {
+        assert!(!penalties.is_empty(), "at least one level");
+        assert!(penalties.iter().all(|&p| p >= 0.0), "penalties must be non-negative");
+        Self { penalties }
+    }
+
+    /// Take the penalties from a hierarchy configuration.
+    pub fn from_hierarchy(h: &HierarchyConfig) -> Self {
+        Self::new(h.miss_penalty.clone())
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.penalties.len()
+    }
+
+    /// Cost of a reference that misses the first `levels_missed` levels
+    /// (0 = hit in L1 = free in this model).
+    pub fn cost_of_missing(&self, levels_missed: usize) -> f64 {
+        assert!(levels_missed <= self.penalties.len());
+        self.penalties[..levels_missed].iter().sum()
+    }
+
+    /// Cost of a reference satisfied from the given level: 0 = L1 (free),
+    /// 1 = L2 (missed L1), ..., `depth()` = memory (missed everything).
+    pub fn cost_of_hitting(&self, level: usize) -> f64 {
+        self.cost_of_missing(level)
+    }
+
+    /// The weighted cost of a miss profile: `misses[l]` misses at level `l`.
+    /// This is the objective the fusion heuristic minimizes.
+    pub fn weigh(&self, misses: &[f64]) -> f64 {
+        assert_eq!(misses.len(), self.penalties.len());
+        misses.iter().zip(&self.penalties).map(|(m, p)| m * p).sum()
+    }
+
+    /// Penalty of level `l`.
+    pub fn penalty(&self, l: usize) -> f64 {
+        self.penalties[l]
+    }
+}
+
+impl Default for MissCosts {
+    /// The UltraSparc-like default used throughout the experiments.
+    fn default() -> Self {
+        Self::from_hierarchy(&HierarchyConfig::ultrasparc_i())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_miss_cost() {
+        let c = MissCosts::new(vec![6.0, 50.0]);
+        assert_eq!(c.cost_of_missing(0), 0.0);
+        assert_eq!(c.cost_of_missing(1), 6.0);
+        assert_eq!(c.cost_of_missing(2), 56.0);
+        assert_eq!(c.cost_of_hitting(1), 6.0); // satisfied from L2
+    }
+
+    #[test]
+    fn weigh_matches_dot_product() {
+        let c = MissCosts::new(vec![6.0, 50.0]);
+        assert_eq!(c.weigh(&[10.0, 2.0]), 160.0);
+    }
+
+    #[test]
+    fn default_is_ultrasparc() {
+        let c = MissCosts::default();
+        assert_eq!(c.depth(), 2);
+        assert!(c.penalty(1) > c.penalty(0), "L2 misses cost much more than L1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_penalty() {
+        MissCosts::new(vec![-1.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! `GROUPPAD`: padding to preserve group reuse on the L1 cache.
+//!
+//! Section 3.2.1: "GROUPPAD obtains such a layout by considering for each
+//! variable a limited number of positions relative to other variables. The
+//! number of references successfully exploiting group reuse at the L1 cache
+//! is counted for each position. GROUPPAD then selects the position
+//! maximizing this value." It simultaneously avoids severe conflict misses
+//! (it "inserts larger pads than PAD to obtain a layout both preserving
+//! group reuse on the L1 cache and avoiding severe conflict misses").
+//!
+//! Implementation: incremental placement in declaration order. For each
+//! variable all cache positions at line granularity are scored by the
+//! lexicographic objective *(fewest severe conflicts, most references
+//! exploiting group reuse among placed variables, smallest pad)*.
+
+use crate::group::ProgramSkeleton;
+use crate::pad::PadResult;
+use mlc_cache_sim::CacheConfig;
+use mlc_model::{DataLayout, Program};
+
+/// Run GROUPPAD against one cache (the L1 cache in the paper).
+pub fn group_pad(program: &Program, cache: CacheConfig) -> PadResult {
+    group_pad_quantized(program, cache, cache.line as u64, &[])
+}
+
+/// GROUPPAD with a pad quantum: candidate pads are multiples of `quantum`
+/// covering one full cache span. `base_pads` (if non-empty) is added before
+/// the search pads — this is the entry point the recursive multi-level
+/// variant uses, where the quantum at level ℓ is the cache size of level
+/// ℓ−1 so deeper levels cannot disturb the layout already fixed for the
+/// levels above (Section 3.2.2).
+pub fn group_pad_quantized(
+    program: &Program,
+    cache: CacheConfig,
+    quantum: u64,
+    base_pads: &[u64],
+) -> PadResult {
+    assert!(quantum > 0 && (cache.size as u64).is_multiple_of(quantum), "quantum must divide the cache size");
+    let n = program.arrays.len();
+    let base = if base_pads.is_empty() { vec![0u64; n] } else { base_pads.to_vec() };
+    assert_eq!(base.len(), n);
+    let mut pads = base.clone();
+    let mut tried = 0u64;
+    let candidates = cache.size as u64 / quantum;
+    let skel = ProgramSkeleton::new(program);
+    let sizes: Vec<u64> = program.arrays.iter().map(|a| a.size_bytes() as u64).collect();
+    // bases(pads): cumulative layout arithmetic without allocating a layout.
+    let compute_bases = |pads: &[u64], out: &mut Vec<u64>| {
+        out.clear();
+        let mut cursor = 0u64;
+        for (sz, &p) in sizes.iter().zip(pads) {
+            cursor += p;
+            out.push(cursor);
+            cursor += sz;
+        }
+    };
+    let mut bases = Vec::with_capacity(n);
+
+    // One variable's best position given a fixed set of visible arrays.
+    let place = |pads: &mut Vec<u64>,
+                     k: usize,
+                     visible: &[bool],
+                     tried: &mut u64,
+                     bases: &mut Vec<u64>| {
+        let mut best: Option<(usize, i64, u64)> = None;
+        let mut best_pad = pads[k];
+        for c in 0..candidates {
+            let candidate = base[k] + c * quantum;
+            pads[k] = candidate;
+            compute_bases(pads, bases);
+            *tried += 1;
+            let conflicts = skel.severe(bases, cache, Some(visible));
+            let exploited = skel.exploited(bases, cache, Some(visible)) as i64;
+            let score = (conflicts, -exploited, candidate);
+            if best.is_none_or(|b| score < b) {
+                best = Some(score);
+                best_pad = candidate;
+            }
+        }
+        pads[k] = best_pad;
+    };
+
+    // Initial greedy placement in declaration order.
+    let mut visible = vec![false; n];
+    for k in 0..n {
+        visible[k] = true;
+        place(&mut pads, k, &visible, &mut tried, &mut bases);
+    }
+    // Refinement sweeps: re-place each variable with all others fixed
+    // (coordinate ascent over the full objective). The first greedy pass is
+    // myopic when the cache barely holds two columns; a couple of sweeps
+    // recovers the layouts the paper's diagrams show.
+    for _ in 0..2 {
+        let before = pads.clone();
+        for k in 0..n {
+            place(&mut pads, k, &visible, &mut tried, &mut bases);
+        }
+        if pads == before {
+            break;
+        }
+    }
+    PadResult { layout: DataLayout::with_pads(&program.arrays, &pads), pads, positions_tried: tried }
+}
+
+/// Recursive multi-level GROUPPAD (Section 3.2.2): "GROUPPAD ... begins
+/// targeting the L1 cache as already described, and then in later phases
+/// recursively applies GROUPPAD to exploit group reuse for lower levels of
+/// cache, using pads which are multiples of the previous cache size to
+/// preserve group reuse at higher levels of cache."
+///
+/// Phase ℓ searches pad increments that are multiples of level ℓ−1's cache
+/// size, so every already-fixed level's layout (base addresses modulo its
+/// cache size) is untouched. Works for any hierarchy depth.
+pub fn group_pad_multi(program: &Program, hierarchy: &mlc_cache_sim::HierarchyConfig) -> PadResult {
+    let mut result = group_pad(program, hierarchy.l1());
+    let mut tried = result.positions_tried;
+    for level in 1..hierarchy.depth() {
+        let quantum = hierarchy.levels[level - 1].size as u64;
+        let r = group_pad_quantized(program, hierarchy.levels[level], quantum, &result.pads);
+        tried += r.positions_tried;
+        result = r;
+    }
+    result.positions_tried = tried;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::severe_conflicts;
+    use crate::group::{account, exploited_count, RefClass};
+    use mlc_cache_sim::CacheConfig;
+    use mlc_model::program::figure2_example;
+    use mlc_model::transform::fuse_in_program;
+
+    /// Diagram-scale configuration: 1 KiB cache, 480-byte columns.
+    fn small_l1() -> CacheConfig {
+        CacheConfig::direct_mapped(1024, 32)
+    }
+
+    #[test]
+    fn grouppad_beats_pad_on_group_reuse() {
+        // Realistic ratio: 16 KiB cache, N=450 doubles -> 3600 B columns
+        // (~4.5 columns of cache): room to preserve all five arcs.
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let p = figure2_example(450);
+        let g = group_pad(&p, l1);
+        let plain = crate::pad::pad(&p, l1);
+        let g_count = exploited_count(&p, &g.layout, l1, &[]);
+        let p_count = exploited_count(&p, &plain.layout, l1, &[]);
+        assert!(
+            g_count >= p_count,
+            "GROUPPAD ({g_count}) should exploit at least as much group reuse as PAD ({p_count})"
+        );
+        assert_eq!(g_count, 5, "all five arcs should be preserved at this ratio");
+    }
+
+    #[test]
+    fn grouppad_preserves_b_arcs_at_tight_ratio() {
+        // The Figure 4 situation: cache ~2.1 columns (N=60 doubles on a
+        // 1 KiB cache). Not everything fits; GROUPPAD salvages what it can.
+        let p = figure2_example(60);
+        let g = group_pad(&p, small_l1());
+        let count = exploited_count(&p, &g.layout, small_l1(), &[]);
+        assert!(count >= 2, "got {count}");
+    }
+
+    #[test]
+    fn grouppad_avoids_severe_conflicts_when_possible() {
+        let p = figure2_example(64); // 512-byte columns on the 1 KiB cache
+        let g = group_pad(&p, small_l1());
+        assert!(severe_conflicts(&p, &g.layout, small_l1()).is_empty());
+    }
+
+    #[test]
+    fn grouppad_on_the_real_l1() {
+        // N=512 on the 16 KiB UltraSparc L1: columns are 4 KiB; the cache
+        // holds 4 columns, so not all of nest 1's three arcs (one column
+        // each, plus slack) can be preserved, but B's can.
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let p = figure2_example(512);
+        let g = group_pad(&p, l1);
+        assert!(severe_conflicts(&p, &g.layout, l1).is_empty());
+        let acc = account(&p, &g.layout, l1, None);
+        assert!(acc.l1_refs >= 3, "got {:?}", acc);
+    }
+
+    #[test]
+    fn fused_program_loses_l1_group_reuse() {
+        // The Section 4 tradeoff, with GROUPPAD searching for real: the
+        // fused nest needs over four columns of cache ("a L1 cache size over
+        // four times the column size would be required to exploit all group
+        // reuse"), so at exactly four columns (N=512 on 16 KiB) fewer
+        // references exploit group reuse after fusion.
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let p = figure2_example(512);
+        let fused = fuse_in_program(&p, 0).unwrap();
+        let before = group_pad(&p, l1);
+        let after = group_pad(&fused, l1);
+        let n_before = exploited_count(&p, &before.layout, l1, &[]);
+        let n_after = exploited_count(&fused, &after.layout, l1, &[]);
+        assert!(
+            n_after < n_before,
+            "fusion should lose L1 group reuse here: {n_after} !< {n_before}"
+        );
+    }
+
+    #[test]
+    fn quantized_pads_respect_quantum() {
+        let p = figure2_example(60);
+        let r = group_pad_quantized(&p, CacheConfig::direct_mapped(8192, 64), 1024, &[]);
+        for &pad in &r.pads {
+            assert_eq!(pad % 1024, 0);
+        }
+    }
+
+    #[test]
+    fn base_pads_are_preserved_mod_quantum() {
+        let p = figure2_example(60);
+        let l1 = small_l1();
+        let first = group_pad(&p, l1);
+        // Second phase: search L2 positions in S1 steps on top of the L1 pads.
+        let l2 = CacheConfig::direct_mapped(8192, 64);
+        let second = group_pad_quantized(&p, l2, l1.size as u64, &first.pads);
+        for (a, b) in first.pads.iter().zip(&second.pads) {
+            assert_eq!(a % l1.size as u64, b % l1.size as u64, "L1 residue must be preserved");
+            assert!(b >= a);
+        }
+        // L1 exploitation unchanged by the second phase.
+        assert_eq!(
+            exploited_count(&p, &first.layout, l1, &[]),
+            exploited_count(&p, &second.layout, l1, &[])
+        );
+    }
+
+    #[test]
+    fn recursive_multilevel_grouppad_preserves_upper_levels() {
+        use mlc_cache_sim::HierarchyConfig;
+        let h = HierarchyConfig::alpha_21164_like(); // three levels
+        let p = figure2_example(300);
+        let single = group_pad(&p, h.l1());
+        let multi = group_pad_multi(&p, &h);
+        // Every level-ℓ phase uses multiples of level ℓ−1's size, so the L1
+        // residues of the final layout match the pure-L1 run.
+        let s1 = h.l1().size as u64;
+        for (a, b) in single.layout.bases.iter().zip(&multi.layout.bases) {
+            assert_eq!(a % s1, b % s1);
+        }
+        assert_eq!(
+            exploited_count(&p, &single.layout, h.l1(), &[]),
+            exploited_count(&p, &multi.layout, h.l1(), &[])
+        );
+        // And the deeper levels get at least as much exploited reuse as the
+        // L1-only layout leaves them by accident.
+        for level in 1..h.depth() {
+            let c = h.levels[level];
+            assert!(
+                exploited_count(&p, &multi.layout, c, &[])
+                    >= exploited_count(&p, &single.layout, c, &[]),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_recursive_matches_quantized_composition() {
+        use mlc_cache_sim::HierarchyConfig;
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(60);
+        let multi = group_pad_multi(&p, &h);
+        let manual = {
+            let g = group_pad(&p, h.l1());
+            group_pad_quantized(&p, h.levels[1], h.l1().size as u64, &g.pads)
+        };
+        assert_eq!(multi.pads, manual.pads);
+    }
+
+    #[test]
+    fn accounting_classes_follow_grouppad() {
+        let p = figure2_example(60);
+        let g = group_pad(&p, small_l1());
+        let acc = account(&p, &g.layout, small_l1(), None);
+        // Every class is one of the single-level ones.
+        for c in acc.per_nest.iter().flatten() {
+            assert_ne!(*c, RefClass::L2);
+        }
+        assert_eq!(acc.l1_refs + acc.memory_refs + acc.register_refs, 10);
+    }
+}

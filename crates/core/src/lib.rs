@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # mlc-core — locality optimizations for multi-level caches
+//!
+//! The primary contribution of Rivera & Tseng (SC '99), implemented over the
+//! `mlc-model` program IR and validated against the `mlc-cache-sim`
+//! simulator:
+//!
+//! * [`conflict`] — detection of *severe* ("ping-pong") conflict misses:
+//!   lockstep references from different variables within one cache line of
+//!   each other (Section 3).
+//! * [`pad`] — the `PAD` algorithm (base-address nudging until severe
+//!   conflicts disappear) and its multi-level generalizations
+//!   `MULTILVLPAD` (pad against the virtual cache `(S1, Lmax)`) and the
+//!   per-level variant it is proven equivalent to (Section 3.1.2).
+//! * [`group`] — group-temporal-reuse accounting: the arc test of the
+//!   paper's layout diagrams, and the per-reference classification
+//!   (register / L1 / L2 / memory) behind the fusion cost model (Section 4).
+//! * [`group_pad`] — `GROUPPAD`: position search maximizing the number of
+//!   references exploiting group reuse on the L1 cache (Section 3.2.1).
+//! * [`maxpad`] — `MAXPAD` and `L2MAXPAD`: maximal separation of variables
+//!   on the L2 cache using pads that are multiples of `S1`, preserving the
+//!   L1 layout (Section 3.2.2), plus the recursive multi-level `GROUPPAD`.
+//! * [`intra_pad`] — intra-variable (column) padding for self-conflicting
+//!   arrays (applied to ADI and ERLE in Section 6.1).
+//! * [`fusion`] — the loop-fusion profitability model: count L2 and memory
+//!   references before and after fusion, weigh by per-level miss costs,
+//!   fuse when the weighted sum improves (Section 4).
+//! * [`tiling`] — tile-size selection for multi-level caches: the `euc`
+//!   Euclidean-remainder algorithm for conflict-free tile dimensions, the
+//!   L1/2×L1/4×L1/L2 capacity policies of Figure 13, and the §5 cost model.
+//! * [`pipeline`] — an end-to-end optimizer chaining intra-padding, fusion,
+//!   `GROUPPAD` and `L2MAXPAD`, with a human-readable [`report`].
+
+pub mod conflict;
+pub mod cost;
+pub mod estimate;
+pub mod fusion;
+pub mod group;
+pub mod group_pad;
+pub mod intra_pad;
+pub mod maxpad;
+pub mod order;
+pub mod pad;
+pub mod pipeline;
+pub mod report;
+pub mod tiling;
+
+pub use conflict::severe_conflicts;
+pub use cost::MissCosts;
+pub use estimate::{estimate_misses, estimated_cost, MissEstimate};
+pub use fusion::{fusion_profit, FusionDecision};
+pub use group::{classify_nest, RefClass};
+pub use group_pad::group_pad;
+pub use maxpad::{l2_max_pad, max_pad};
+pub use order::{loop_costs, permute_for_locality};
+pub use pad::{multilvl_pad, pad, PadResult};
+pub use pipeline::{optimize, OptimizeOptions, OptimizeTarget};
+pub use tiling::{select_tile, TilePolicy, TileSelection};

@@ -1,0 +1,160 @@
+//! `MAXPAD` and `L2MAXPAD`: maximal separation of variables on a cache.
+//!
+//! Section 3.2.2: "If array column sizes are a small fraction of the L2
+//! cache size, merely spacing variables as far apart as possible on the L2
+//! cache can preserve all group reuse at this cache level. [...] To
+//! preserve the L1 cache layout computed by GROUPPAD while separating
+//! variables in this manner, we also round pads to the nearest S1 multiple
+//! after determining the approximate position for a variable on the L2
+//! cache. [...] We call this method L2MAXPAD since it extends our MAXPAD
+//! algorithm."
+//!
+//! `MAXPAD` itself (ICS '98) spreads `V` variables at `S/V` intervals on a
+//! single cache; `L2MAXPAD` does the same on L2 but quantizes every extra
+//! pad to a multiple of `S1`, so base addresses are unchanged mod `S1` and
+//! the L1 layout (hence L1 behaviour) is exactly preserved.
+
+use crate::pad::PadResult;
+use mlc_cache_sim::CacheConfig;
+use mlc_model::{DataLayout, Program};
+
+/// Spread the program's variables as far apart as possible on `cache`:
+/// variable `k` is placed so its base address lands near `k·S/V` (mod `S`),
+/// with pads quantized to `quantum` bytes (use the line size for a plain
+/// single-level MAXPAD).
+pub fn max_pad_quantized(program: &Program, cache: CacheConfig, quantum: u64, base_pads: &[u64]) -> PadResult {
+    assert!(quantum > 0 && (cache.size as u64).is_multiple_of(quantum), "quantum must divide cache size");
+    let n = program.arrays.len();
+    let base = if base_pads.is_empty() { vec![0u64; n] } else { base_pads.to_vec() };
+    assert_eq!(base.len(), n);
+    let s = cache.size as u64;
+    let spacing = s / n as u64;
+    let mut pads = base.clone();
+    let mut tried = 0u64;
+    for k in 0..n {
+        let layout = DataLayout::with_pads(&program.arrays, &pads);
+        let current = layout.bases[k] % s;
+        let target = (k as u64 * spacing) % s;
+        // Extra pad moving this variable from `current` to ~`target`,
+        // rounded *up* to the quantum (rounding to nearest may round to a
+        // negative pad, which layout construction cannot express).
+        let delta = (target + s - current) % s;
+        let mut extra = delta.div_ceil(quantum) * quantum;
+        if extra >= s {
+            extra = 0; // rounding wrapped a full span: already in place
+        }
+        pads[k] += extra;
+        tried += 1;
+    }
+    PadResult { layout: DataLayout::with_pads(&program.arrays, &pads), pads, positions_tried: tried }
+}
+
+/// Single-level MAXPAD: spread variables on `cache` at line granularity.
+pub fn max_pad(program: &Program, cache: CacheConfig) -> PadResult {
+    max_pad_quantized(program, cache, cache.line as u64, &[])
+}
+
+/// `L2MAXPAD`: starting from a GROUPPAD layout for `l1` (its pads in
+/// `grouppad_pads`), spread variables on `l2` using extra pads that are
+/// multiples of `S1`. The returned layout preserves every base address mod
+/// `S1` — verified by a debug assertion — so L1 behaviour is untouched
+/// while "all group reuse is exploited on the much larger L2 cache".
+pub fn l2_max_pad(
+    program: &Program,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    grouppad_pads: &[u64],
+) -> PadResult {
+    assert!(l2.size >= l1.size && l2.size.is_multiple_of(l1.size), "L2 must be a multiple of L1");
+    let result = max_pad_quantized(program, l2, l1.size as u64, grouppad_pads);
+    debug_assert!({
+        let before = DataLayout::with_pads(&program.arrays, grouppad_pads);
+        before
+            .bases
+            .iter()
+            .zip(&result.layout.bases)
+            .all(|(a, b)| a % l1.size as u64 == b % l1.size as u64)
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{account, exploited_count};
+    use crate::group_pad::group_pad;
+    use mlc_cache_sim::CacheConfig;
+    use mlc_model::program::figure2_example;
+
+    fn l1() -> CacheConfig {
+        CacheConfig::direct_mapped(1024, 32)
+    }
+
+    fn l2() -> CacheConfig {
+        CacheConfig::direct_mapped(8 * 1024, 64)
+    }
+
+    #[test]
+    fn maxpad_spreads_bases_evenly() {
+        let p = figure2_example(60);
+        let r = max_pad(&p, l2());
+        let s = l2().size as u64;
+        let locs: Vec<u64> = r.layout.bases.iter().map(|b| b % s).collect();
+        // Targets are 0, S/3, 2S/3 rounded up to a line.
+        for (k, &loc) in locs.iter().enumerate() {
+            let target = k as u64 * s / 3;
+            let dist = (loc + s - target) % s;
+            assert!(dist < 64, "variable {k} at {loc}, target {target}");
+        }
+    }
+
+    #[test]
+    fn l2maxpad_preserves_l1_layout_exactly() {
+        let p = figure2_example(60);
+        let g = group_pad(&p, l1());
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        for (a, b) in g.layout.bases.iter().zip(&m.layout.bases) {
+            assert_eq!(a % 1024, b % 1024);
+        }
+        assert_eq!(
+            exploited_count(&p, &g.layout, l1(), &[]),
+            exploited_count(&p, &m.layout, l1(), &[])
+        );
+    }
+
+    #[test]
+    fn l2maxpad_exploits_remaining_reuse_on_l2() {
+        // Figure 5: after L2MAXPAD "all group reuse is exploited on this
+        // cache" — whatever misses group reuse on the tight L1 is preserved
+        // on L2. The five leaders (three in nest 1, B(i,j+1) and the
+        // singleton C(i,j) in nest 2) still go to memory.
+        let p = figure2_example(60);
+        let g = group_pad(&p, l1());
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        let acc = account(&p, &m.layout, l1(), Some(l2()));
+        assert_eq!(acc.memory_refs, 5, "only the five leaders go to memory: {acc:?}");
+        assert_eq!(acc.l1_refs + acc.l2_refs, 5);
+        assert!(acc.l2_refs > 0, "L2 must catch reuse the small L1 dropped: {acc:?}");
+    }
+
+    #[test]
+    fn l2maxpad_pads_are_s1_multiples_beyond_grouppad() {
+        let p = figure2_example(60);
+        let g = group_pad(&p, l1());
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        for (gp, mp) in g.pads.iter().zip(&m.pads) {
+            assert!(mp >= gp);
+            assert_eq!((mp - gp) % 1024, 0, "extra pad must be a multiple of S1");
+        }
+    }
+
+    #[test]
+    fn maxpad_padding_overhead_is_bounded_by_cache_spans() {
+        let p = figure2_example(60);
+        let r = max_pad(&p, l2());
+        // Each variable gets less than one full L2 span of padding.
+        for &pad in &r.pads {
+            assert!(pad < l2().size as u64);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Tile-size selection for multi-level caches (Section 5, Figure 13).
+//!
+//! "Effectively utilizing the cache also requires avoiding
+//! self-interference conflict misses within each tile using techniques such
+//! as tile size selection, intra-variable padding, and copying." We use the
+//! `euc` algorithm of Rivera & Tseng (CC '99): the Euclidean remainder
+//! sequence of the cache size and the (padded) column size yields candidate
+//! tile heights whose columns provably land at distinct cache offsets; each
+//! candidate is verified against the exact cache mapping and widened to the
+//! capacity target.
+//!
+//! Multi-level reasoning (Section 5): "from modular arithmetic we can show
+//! tiles with no L1 self-interference conflict misses will also have no L2
+//! conflicts. Tiling for the L1 cache thus maximizes L1 reuse and also
+//! captures L2 reuse." The capacity policies of Figure 13 (L1, 2×L1, 4×L1,
+//! L2-sized tiles) are provided, plus the miss-cost model used to choose
+//! among them.
+
+use crate::cost::MissCosts;
+use mlc_cache_sim::{CacheConfig, HierarchyConfig};
+
+/// Which capacity the tile targets — the four versions of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TilePolicy {
+    /// Tiles sized to the L1 cache (the paper's recommendation).
+    L1,
+    /// Tiles twice the L1 capacity.
+    L1x2,
+    /// Tiles four times the L1 capacity.
+    L1x4,
+    /// Tiles sized to the L2 cache.
+    L2,
+}
+
+impl TilePolicy {
+    /// Target capacity in bytes for a given hierarchy.
+    pub fn target_bytes(self, h: &HierarchyConfig) -> usize {
+        match self {
+            TilePolicy::L1 => h.levels[0].size,
+            TilePolicy::L1x2 => 2 * h.levels[0].size,
+            TilePolicy::L1x4 => 4 * h.levels[0].size,
+            TilePolicy::L2 => h.levels[1].size,
+        }
+    }
+
+    /// The cache whose self-interference the tile must avoid: L1 tiles must
+    /// be conflict-free on L1 (and are then free on L2 by the modular
+    /// lemma); larger tiles cannot fit L1, so they are kept conflict-free
+    /// on L2.
+    pub fn interference_cache(self, h: &HierarchyConfig) -> CacheConfig {
+        match self {
+            TilePolicy::L1 => h.levels[0],
+            _ => h.levels[1],
+        }
+    }
+
+    /// All four policies.
+    pub fn all() -> [TilePolicy; 4] {
+        [TilePolicy::L1, TilePolicy::L1x2, TilePolicy::L1x4, TilePolicy::L2]
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TilePolicy::L1 => "L1",
+            TilePolicy::L1x2 => "2xL1",
+            TilePolicy::L1x4 => "4xL1",
+            TilePolicy::L2 => "L2",
+        }
+    }
+}
+
+/// A selected tile: `height` rows by `width` columns (the H×W tile of
+/// array A in the paper's Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSelection {
+    /// Tile height (rows of the I loop).
+    pub height: u64,
+    /// Tile width (columns of the K loop).
+    pub width: u64,
+    /// The capacity policy that produced this tile.
+    pub policy: TilePolicy,
+}
+
+impl TileSelection {
+    /// Tile footprint in elements.
+    pub fn elems(&self) -> u64 {
+        self.height * self.width
+    }
+}
+
+/// The Euclidean remainder sequence of (cache size, column size), both in
+/// elements: `r0 = cache`, `r1 = col mod cache`, `r(i+1) = r(i-1) mod r(i)`.
+/// Every remainder is a tile height whose columns start at distinct cache
+/// offsets — the `euc` candidates.
+pub fn euclid_sequence(cache_elems: u64, col_elems: u64) -> Vec<u64> {
+    let mut seq = Vec::new();
+    let mut a = cache_elems;
+    let mut b = col_elems % cache_elems;
+    if b == 0 {
+        // Columns coincide on the cache: only single-column tiles are safe
+        // without intra-padding.
+        return vec![cache_elems.min(col_elems)];
+    }
+    while b > 0 {
+        seq.push(b);
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    seq
+}
+
+/// Exact self-interference check: does an `h`×`w` tile of a column-major
+/// array with `col_elems` allocated rows map two different memory lines to
+/// the same cache line of `cache`? (Direct-mapped check — for k-way caches
+/// the direct-mapped test is the paper's conservative stand-in.)
+pub fn tile_self_interferes(col_elems: u64, h: u64, w: u64, cache: CacheConfig, elem_size: u64) -> bool {
+    let line = cache.line as u64;
+    let slots = (cache.size / cache.line) as u64;
+    // slot -> memory line (+1), 0 = empty.
+    let mut owner = vec![0u64; slots as usize];
+    for c in 0..w {
+        let col_base = c * col_elems * elem_size;
+        let first_line = col_base / line;
+        let last_line = (col_base + h * elem_size - 1) / line;
+        for ml in first_line..=last_line {
+            let slot = (ml % slots) as usize;
+            if owner[slot] != 0 && owner[slot] != ml + 1 {
+                return true;
+            }
+            owner[slot] = ml + 1;
+        }
+    }
+    false
+}
+
+/// Largest `w <= max_w` such that an `h`×`w` tile has no self-interference.
+/// Interference is monotone in `w` (adding a column only adds constraints),
+/// so binary search applies.
+fn max_conflict_free_width(col_elems: u64, h: u64, max_w: u64, cache: CacheConfig, elem: u64) -> u64 {
+    if max_w == 0 || tile_self_interferes(col_elems, h, 1, cache, elem) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1u64, max_w);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if tile_self_interferes(col_elems, h, mid, cache, elem) {
+            hi = mid - 1;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// The per-element miss fraction of the non-tiled arrays in tiled matmul:
+/// Section 5's "a number of cache misses proportional to 1/(2H) + 1/(2W)".
+pub fn tile_miss_fraction(h: u64, w: u64) -> f64 {
+    0.5 / h as f64 + 0.5 / w as f64
+}
+
+/// Select a tile for an `n`×`n` double matmul (allocated leading dimension
+/// `col_elems >= n`) under the given policy.
+///
+/// Candidates are the `euc` heights (clamped to `n`); each is widened to the
+/// largest conflict-free width within the capacity target; the candidate
+/// minimizing the §5 miss fraction wins.
+pub fn select_tile(
+    policy: TilePolicy,
+    n: u64,
+    col_elems: u64,
+    hierarchy: &HierarchyConfig,
+    elem_size: u64,
+) -> TileSelection {
+    let target_elems = (policy.target_bytes(hierarchy) as u64 / elem_size).max(1);
+    let cache = policy.interference_cache(hierarchy);
+    let cache_elems = cache.size as u64 / elem_size;
+
+    let mut heights = euclid_sequence(cache_elems, col_elems);
+    heights.push(n.min(cache_elems)); // whole column, when it fits
+    // Power-of-two heights round out the euc candidates (eucPad considers
+    // padded columns too; with the pad fixed, these are the usual fallbacks).
+    heights.extend([16u64, 32, 64, 128, 256].iter().copied().filter(|&h| h <= n));
+    let mut best: Option<(f64, TileSelection)> = None;
+    for h in heights {
+        let h = h.min(n);
+        if h == 0 {
+            continue;
+        }
+        let cap_w = (target_elems / h).max(1).min(n);
+        let w = max_conflict_free_width(col_elems, h, cap_w, cache, elem_size);
+        if w == 0 {
+            continue;
+        }
+        let score = tile_miss_fraction(h, w);
+        let cand = TileSelection { height: h, width: w, policy };
+        if best.as_ref().is_none_or(|(s, b)| {
+            score < *s || (score == *s && cand.elems() > b.elems())
+        }) {
+            best = Some((score, cand));
+        }
+    }
+    best.map(|(_, t)| t).unwrap_or(TileSelection { height: 1, width: 1, policy })
+}
+
+/// A tile selection together with the intra-variable (column) padding that
+/// enables it — the output of the full `eucPad` algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddedTileSelection {
+    /// Extra elements appended to each column (leading-dimension pad).
+    pub pad_elems: u64,
+    /// The tile chosen for the padded column size.
+    pub tile: TileSelection,
+}
+
+/// The full `eucPad` algorithm (Rivera & Tseng CC '99): jointly choose a
+/// small leading-dimension pad and a tile shape. Plain `euc` is at the
+/// mercy of the column size's remainder sequence — a pathological column
+/// (e.g. an exact cache divisor) admits only skinny tiles; padding the
+/// column by a few elements can unlock near-square tiles. Tries pads
+/// `0..=max_pad` and keeps the pad/tile pair with the lowest §5 miss
+/// fraction (ties: smaller pad).
+pub fn euc_pad_select(
+    policy: TilePolicy,
+    n: u64,
+    hierarchy: &HierarchyConfig,
+    elem_size: u64,
+    max_pad: u64,
+) -> PaddedTileSelection {
+    let mut best: Option<(f64, PaddedTileSelection)> = None;
+    for pad in 0..=max_pad {
+        let tile = select_tile(policy, n, n + pad, hierarchy, elem_size);
+        let score = tile_miss_fraction(tile.height, tile.width);
+        let cand = PaddedTileSelection { pad_elems: pad, tile };
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, cand));
+        }
+    }
+    best.expect("pad 0 always yields a candidate").1
+}
+
+/// Section 5's analytic miss model for tiled `n`×`n` matmul, per level:
+/// the tiled array A is loaded once per sweep if the tile fits the level
+/// (else once per tile pass, i.e. `n / w` times); arrays B and C pay the
+/// `1/(2H) + 1/(2W)` fraction at levels the tile overflows, line-granular
+/// misses otherwise.
+pub fn matmul_miss_model(
+    n: u64,
+    tile: TileSelection,
+    hierarchy: &HierarchyConfig,
+) -> Vec<f64> {
+    let elem = 8u64;
+    hierarchy
+        .levels
+        .iter()
+        .map(|lvl| {
+            let line_elems = (lvl.line as u64 / elem).max(1) as f64;
+            let tile_bytes = tile.elems() * elem;
+            let data_bytes = 3 * n * n * elem;
+            if data_bytes <= lvl.size as u64 {
+                // Everything fits this level: compulsory misses only.
+                return (3 * n * n) as f64 / line_elems;
+            }
+            let a_misses = if tile_bytes <= lvl.size as u64 {
+                // A's tile stays resident: each element fetched once per
+                // sweep ("data for array A is brought into cache just once").
+                (n * n) as f64 / line_elems
+            } else {
+                // Tile overflows this level: "selecting a tile larger than
+                // the cache will cause A to overflow, requiring it be read
+                // in N times" — A's temporal reuse across J iterations is
+                // gone, leaving only spatial reuse within lines.
+                (n * n * n) as f64 / line_elems
+            };
+            let bc_misses = (n * n * n) as f64 * tile_miss_fraction(tile.height, tile.width) / line_elems;
+            a_misses + bc_misses
+        })
+        .collect()
+}
+
+/// Choose the best policy for a given problem size by comparing the §5
+/// model "scaled by the cost of cache misses at that level".
+pub fn choose_policy(n: u64, col_elems: u64, hierarchy: &HierarchyConfig, costs: &MissCosts) -> TilePolicy {
+    let mut best = (f64::INFINITY, TilePolicy::L1);
+    for policy in TilePolicy::all() {
+        let tile = select_tile(policy, n, col_elems, hierarchy, 8);
+        let misses = matmul_miss_model(n, tile, hierarchy);
+        let cost = costs.weigh(&misses);
+        if cost < best.0 {
+            best = (cost, policy);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ultra() -> HierarchyConfig {
+        HierarchyConfig::ultrasparc_i()
+    }
+
+    #[test]
+    fn euclid_sequence_is_remainders() {
+        // cache 2048 elems, column 300: 300, 2048 mod 300 = 248, 300 mod
+        // 248 = 52, 248 mod 52 = 40, 52 mod 40 = 12, 40 mod 12 = 4, 12 mod 4 = 0.
+        assert_eq!(euclid_sequence(2048, 300), vec![300, 248, 52, 40, 12, 4]);
+    }
+
+    #[test]
+    fn euclid_degenerate_when_column_divides() {
+        assert_eq!(euclid_sequence(2048, 2048), vec![2048]);
+        assert_eq!(euclid_sequence(2048, 4096), vec![2048]);
+    }
+
+    #[test]
+    fn interference_detection_basics() {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        // Column of 2048 doubles = exactly the cache: two columns collide.
+        assert!(tile_self_interferes(2048, 8, 2, l1, 8));
+        assert!(!tile_self_interferes(2048, 8, 1, l1, 8));
+        // Column of 300 doubles: small tiles are fine.
+        assert!(!tile_self_interferes(300, 32, 8, l1, 8));
+    }
+
+    #[test]
+    fn interference_monotone_in_width_and_height() {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let col = 300u64;
+        for h in [8u64, 32, 64] {
+            let mut prev = false;
+            for w in 1..=40u64 {
+                let now = tile_self_interferes(col, h, w, l1, 8);
+                assert!(!prev || now, "interference vanished as width grew (h={h}, w={w})");
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn l1_clean_tiles_are_l2_clean() {
+        // The paper's modular-arithmetic claim (Section 5), checked on a
+        // spread of columns and tile shapes.
+        let h = ultra();
+        let (l1, l2) = (h.levels[0], h.levels[1]);
+        for col in [250u64, 300, 365, 400, 512, 1000, 2047] {
+            for height in euclid_sequence(l1.size as u64 / 8, col) {
+                let height = height.min(col);
+                for w in [1u64, 2, 4, 8] {
+                    if !tile_self_interferes(col, height, w, l1, 8) {
+                        assert!(
+                            !tile_self_interferes(col, height, w, l2, 8),
+                            "L1-clean tile {height}x{w} (col {col}) interferes on L2"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selected_tiles_fit_and_are_clean() {
+        let h = ultra();
+        for n in [100u64, 175, 256, 301, 400] {
+            for policy in TilePolicy::all() {
+                let t = select_tile(policy, n, n, &h, 8);
+                assert!(t.height >= 1 && t.width >= 1);
+                assert!(t.height <= n && t.width <= n);
+                assert!(
+                    t.elems() * 8 <= policy.target_bytes(&h) as u64,
+                    "{policy:?} tile {t:?} exceeds target for n={n}"
+                );
+                let cache = policy.interference_cache(&h);
+                assert!(!tile_self_interferes(n, t.height, t.width, cache, 8));
+            }
+        }
+    }
+
+    #[test]
+    fn l2_tiles_are_bigger_than_l1_tiles() {
+        let h = ultra();
+        let n = 400;
+        let t1 = select_tile(TilePolicy::L1, n, n, &h, 8);
+        let t2 = select_tile(TilePolicy::L2, n, n, &h, 8);
+        assert!(t2.elems() > t1.elems(), "L2 {t2:?} vs L1 {t1:?}");
+    }
+
+    #[test]
+    fn miss_model_prefers_l1_tiles_with_expensive_l1_misses() {
+        // Figure 13's conclusion: "tiling for the L1 cache is likely to be
+        // more profitable unless the cost of L2 misses is much greater than
+        // for L1 misses."
+        let h = ultra();
+        let costs = MissCosts::from_hierarchy(&h);
+        let p = choose_policy(400, 400, &h, &costs);
+        assert_eq!(p, TilePolicy::L1);
+        // With L2 misses vastly more expensive, bigger tiles can win.
+        let skewed = MissCosts::new(vec![0.01, 10_000.0]);
+        let p2 = choose_policy(400, 400, &h, &skewed);
+        assert_ne!(p2, TilePolicy::L1, "extreme L2 cost should shift the choice");
+    }
+
+    #[test]
+    fn quadrupling_tile_halves_bc_misses() {
+        // "quadrupling the size of a tile only reduces misses by 50%
+        // (to 1/(2H) + 1/(2W))".
+        let f1 = tile_miss_fraction(32, 32);
+        let f4 = tile_miss_fraction(64, 64);
+        assert!((f4 / f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euc_pad_unlocks_better_tiles_for_pathological_columns() {
+        // Column of exactly 2048 doubles = the whole 16 KiB L1: without
+        // padding only single-column tiles avoid self-interference; a few
+        // elements of pad unlock two-dimensional tiles.
+        let h = ultra();
+        let n = 2048u64;
+        let unpadded = select_tile(TilePolicy::L1, n, n, &h, 8);
+        assert_eq!(unpadded.width, 1, "exact-divisor columns force w=1: {unpadded:?}");
+        let padded = euc_pad_select(TilePolicy::L1, n, &h, 8, 8);
+        assert!(padded.pad_elems > 0);
+        assert!(
+            tile_miss_fraction(padded.tile.height, padded.tile.width)
+                < tile_miss_fraction(unpadded.height, unpadded.width),
+            "{padded:?} should beat {unpadded:?}"
+        );
+        assert!(!tile_self_interferes(
+            n + padded.pad_elems,
+            padded.tile.height,
+            padded.tile.width,
+            h.levels[0],
+            8
+        ));
+    }
+
+    #[test]
+    fn euc_pad_keeps_zero_pad_when_column_is_friendly() {
+        let h = ultra();
+        let r = euc_pad_select(TilePolicy::L1, 300, &h, 8, 8);
+        // 300 already has a rich remainder sequence; padding gains little,
+        // and ties must prefer the smaller pad.
+        let base = select_tile(TilePolicy::L1, 300, 300, &h, 8);
+        if tile_miss_fraction(r.tile.height, r.tile.width)
+            == tile_miss_fraction(base.height, base.width)
+        {
+            assert_eq!(r.pad_elems, 0);
+        }
+    }
+
+    #[test]
+    fn miss_model_shapes() {
+        let h = ultra();
+        let t_l1 = select_tile(TilePolicy::L1, 400, 400, &h, 8);
+        let t_l2 = select_tile(TilePolicy::L2, 400, 400, &h, 8);
+        let m_l1 = matmul_miss_model(400, t_l1, &h);
+        let m_l2 = matmul_miss_model(400, t_l2, &h);
+        // L2-sized tiles have fewer L2 misses but far more L1 misses.
+        assert!(m_l2[1] < m_l1[1]);
+        assert!(m_l2[0] > m_l1[0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the optimization algorithms: the paper's modular-
+//! arithmetic lemmas and the invariants each padding pass promises.
+
+use mlc_cache_sim::{CacheConfig, HierarchyConfig};
+use mlc_core::conflict::severe_conflicts;
+use mlc_core::group::exploited_count;
+use mlc_core::group_pad::group_pad;
+use mlc_core::maxpad::l2_max_pad;
+use mlc_core::pad::{multilvl_pad, pad, pad_all_levels};
+use mlc_core::tiling::{euclid_sequence, select_tile, tile_self_interferes, TilePolicy};
+use mlc_model::prelude::*;
+use mlc_model::AffineExpr as E;
+use proptest::prelude::*;
+
+/// A random multi-array streaming program prone to conflicts: every array
+/// the same size (often a cache multiple), lockstep stencil references.
+fn conflict_program() -> impl Strategy<Value = Program> {
+    (
+        2usize..=5,                      // number of arrays
+        prop::sample::select(vec![256usize, 300, 512, 1000, 1024, 2048]), // column elems
+        2usize..=4,                      // columns per array
+        prop::collection::vec((0usize..5, -1i64..=1), 2..8),
+    )
+        .prop_map(|(n_arrays, col, ncols, refs)| {
+            let mut p = Program::new("conflicts");
+            for a in 0..n_arrays {
+                p.add_array(ArrayDecl::f64(format!("V{a}"), vec![col, ncols]));
+            }
+            let body: Vec<ArrayRef> = refs
+                .iter()
+                .map(|&(a, dj)| {
+                    ArrayRef::read(a % n_arrays, vec![E::var("i"), E::var_plus("j", dj)])
+                })
+                .collect();
+            p.add_nest(LoopNest::new(
+                "sweep",
+                vec![
+                    Loop::counted("j", 1, ncols as i64 - 2),
+                    Loop::counted("i", 0, col as i64 - 1),
+                ],
+                body,
+            ));
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PAD's contract: no severe conflicts remain on its target cache.
+    #[test]
+    fn pad_always_clears_its_cache(p in conflict_program()) {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let r = pad(&p, l1);
+        prop_assert!(severe_conflicts(&p, &r.layout, l1).is_empty());
+    }
+
+    /// MULTILVLPAD's contract (the Section 3.1.2 lemma): padding against
+    /// the virtual (S1, Lmax) cache clears every level.
+    #[test]
+    fn multilvl_pad_clears_every_level(p in conflict_program()) {
+        let h = HierarchyConfig::ultrasparc_i();
+        let r = multilvl_pad(&p, &h);
+        for &c in &h.levels {
+            prop_assert!(severe_conflicts(&p, &r.layout, c).is_empty(), "level {c:?}");
+        }
+        // And it agrees with the explicit all-levels formulation.
+        let e = pad_all_levels(&p, &h);
+        for &c in &h.levels {
+            prop_assert!(severe_conflicts(&p, &e.layout, c).is_empty());
+        }
+    }
+
+    /// The raw modular lemma: if two addresses are >= Lmax apart on the S1
+    /// circle, they are >= Lmax apart on every k*S1 circle.
+    #[test]
+    fn virtual_cache_spacing_lemma(a in 0u64..(1u64 << 30), b in 0u64..(1u64 << 30), k in 1u64..64) {
+        let s1 = 16 * 1024u64;
+        let lmax = 64u64;
+        let circ = |x: u64, y: u64, s: u64| { let d = (x % s).abs_diff(y % s); d.min(s - d) };
+        prop_assume!(circ(a, b, s1) >= lmax);
+        prop_assert!(circ(a, b, k * s1) >= lmax);
+    }
+
+    /// GROUPPAD never does worse than PAD on its own objective, and never
+    /// introduces severe conflicts when PAD found a conflict-free layout.
+    #[test]
+    fn grouppad_dominates_pad_objective(p in conflict_program()) {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let g = group_pad(&p, l1);
+        let plain = pad(&p, l1);
+        let ge = exploited_count(&p, &g.layout, l1, &[]);
+        let pe = exploited_count(&p, &plain.layout, l1, &[]);
+        prop_assert!(ge >= pe, "GROUPPAD {ge} < PAD {pe}");
+        prop_assert!(
+            severe_conflicts(&p, &g.layout, l1).is_empty(),
+            "GROUPPAD left severe conflicts where PAD found none"
+        );
+    }
+
+    /// L2MAXPAD's contract: pads grow by S1 multiples only, so every base
+    /// address keeps its L1 residue and L1 group reuse is untouched.
+    #[test]
+    fn l2maxpad_preserves_l1_residues(p in conflict_program()) {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
+        let g = group_pad(&p, l1);
+        let m = l2_max_pad(&p, l1, l2, &g.pads);
+        for (a, b) in g.layout.bases.iter().zip(&m.layout.bases) {
+            prop_assert_eq!(a % (16 * 1024), b % (16 * 1024));
+        }
+        prop_assert_eq!(
+            exploited_count(&p, &g.layout, l1, &[]),
+            exploited_count(&p, &m.layout, l1, &[])
+        );
+    }
+
+    /// The euclid sequence really is the remainder sequence: every entry
+    /// divides into the recurrence, entries strictly decrease, and the last
+    /// nonzero entry is gcd-related.
+    #[test]
+    fn euclid_sequence_decreases(cache in 64u64..8192, col in 1u64..8192) {
+        let seq = euclid_sequence(cache, col);
+        prop_assert!(!seq.is_empty());
+        for w in seq.windows(2) {
+            prop_assert!(w[0] > w[1], "sequence must strictly decrease: {seq:?}");
+        }
+        if col % cache != 0 {
+            let g = gcd(cache, col % cache);
+            prop_assert_eq!(*seq.last().unwrap() % g, 0);
+        }
+    }
+
+    /// The paper's Section 5 lemma: tiles with no L1 self-interference have
+    /// no L2 self-interference (L2 size a multiple of L1, line >=).
+    #[test]
+    fn l1_clean_tiles_are_l2_clean(col in 32u64..4096, h in 1u64..256, w in 1u64..16) {
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
+        prop_assume!(h <= col);
+        if !tile_self_interferes(col, h, w, l1, 8) {
+            prop_assert!(!tile_self_interferes(col, h, w, l2, 8));
+        }
+    }
+
+    /// select_tile always returns a verified conflict-free tile within the
+    /// capacity budget.
+    #[test]
+    fn selected_tiles_valid(n in 32u64..512) {
+        let h = HierarchyConfig::ultrasparc_i();
+        for policy in TilePolicy::all() {
+            let t = select_tile(policy, n, n, &h, 8);
+            prop_assert!(t.height >= 1 && t.width >= 1);
+            prop_assert!(t.height <= n && t.width <= n);
+            prop_assert!(t.elems() * 8 <= policy.target_bytes(&h) as u64);
+            prop_assert!(!tile_self_interferes(n, t.height, t.width, policy.interference_cache(&h), 8));
+        }
+    }
+
+    /// Padding never makes the simulated L1 miss count worse on conflict
+    /// programs (the optimizer's whole point, checked against the real
+    /// simulator rather than the analytical model).
+    #[test]
+    fn pad_never_hurts_simulated_l1(p in conflict_program()) {
+        let h = HierarchyConfig::ultrasparc_i();
+        let before = mlc_model::trace_gen::simulate(&p, &DataLayout::contiguous(&p.arrays), &h);
+        let r = pad(&p, h.l1());
+        let after = mlc_model::trace_gen::simulate(&p, &r.layout, &h);
+        prop_assert!(
+            after.levels[0].misses() <= before.levels[0].misses(),
+            "PAD increased L1 misses: {} -> {}",
+            before.levels[0].misses(),
+            after.levels[0].misses()
+        );
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 10: miss rates and execution-time improvements for GROUPPAD, with
+//! and without L2MAXPAD.
+//!
+//! Five programs "with numerous opportunities for improving group reuse":
+//! EXPL512, JACOBI512, SHAL512, SWIM, TOMCATV. "L1 Opt" = GROUPPAD alone;
+//! "L1&L2 Opt" = GROUPPAD + L2MAXPAD.
+//!
+//! ```text
+//! cargo run --release -p mlc-experiments --bin fig10 [--csv] [--no-timing]
+//! ```
+
+use mlc_cache_sim::HierarchyConfig;
+use mlc_experiments::sim::{default_threads, par_map, simulate_versions};
+use mlc_experiments::table::pct;
+use mlc_experiments::timing::{improvement_pct, time_kernel};
+use mlc_experiments::versions::{build_versions, OptLevel};
+use mlc_experiments::Table;
+
+const PROGRAMS: [&str; 5] = ["expl512", "jacobi512", "shal512", "swim", "tomcatv"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let no_timing = args.iter().any(|a| a == "--no-timing");
+    let h = HierarchyConfig::ultrasparc_i();
+
+    eprintln!("fig10: GROUPPAD / L2MAXPAD over {} programs ...", PROGRAMS.len());
+    let results = par_map(PROGRAMS.to_vec(), default_threads(), |name| {
+        let k = mlc_kernels::kernel_by_name(name).unwrap();
+        let v = build_versions(&k.model(), &h, OptLevel::GroupReuse);
+        let r = simulate_versions(&v, &h);
+        (v, r)
+    });
+
+    let mut t = Table::new(&[
+        "program",
+        "L1 Orig",
+        "L1 L1Opt",
+        "L1 L1&L2",
+        "L2 Orig",
+        "L2 L1Opt",
+        "L2 L1&L2",
+    ]);
+    for (name, (_, r)) in PROGRAMS.iter().zip(&results) {
+        t.row(vec![
+            name.to_string(),
+            pct(r.orig.miss_rate(0)),
+            pct(r.l1.miss_rate(0)),
+            pct(r.l1l2.miss_rate(0)),
+            pct(r.orig.miss_rate(1)),
+            pct(r.l1.miss_rate(1)),
+            pct(r.l1l2.miss_rate(1)),
+        ]);
+    }
+    println!("Figure 10 (top): simulated miss rates, GROUPPAD vs GROUPPAD+L2MAXPAD\n");
+    println!("{}", if csv { t.to_csv() } else { t.render() });
+
+    if no_timing {
+        return;
+    }
+    eprintln!("fig10: timing ...");
+    let mut tt = Table::new(&["program", "Orig (s)", "L1Opt impr", "L1&L2 impr"]);
+    for (name, (v, _)) in PROGRAMS.iter().zip(&results) {
+        let k = mlc_kernels::kernel_by_name(name).unwrap();
+        let sweeps = (50_000_000 / k.flops().max(1)).clamp(1, 50) as usize;
+        let t_orig = time_kernel(k.as_ref(), &v.orig_layout, sweeps, 3);
+        let t_l1 = time_kernel(k.as_ref(), &v.l1.layout, sweeps, 3);
+        let t_l1l2 = time_kernel(k.as_ref(), &v.l1l2.layout, sweeps, 3);
+        tt.row(vec![
+            name.to_string(),
+            format!("{t_orig:.4}"),
+            format!("{:.1}%", improvement_pct(t_orig, t_l1)),
+            format!("{:.1}%", improvement_pct(t_orig, t_l1l2)),
+        ]);
+    }
+    println!("Figure 10 (bottom): host execution-time improvement over Orig");
+    println!("(paper: small changes either way; L2 optimizations have little timing impact)\n");
+    println!("{}", if csv { tt.to_csv() } else { tt.render() });
+}

@@ -1,0 +1,143 @@
+//! Figure 13: performance (MFLOPS) for tiled matrix multiplication over
+//! varying problem sizes.
+//!
+//! Five versions of `C += A*B` are timed for N from 100 to 400: the
+//! original J-K-I loop nest, and Figure 8's tiled nest with tile sizes
+//! targeting the L1 cache, 2x L1, 4x L1, and the L2 cache (tile dimensions
+//! chosen by the euc algorithm to avoid self-interference).
+//!
+//! ```text
+//! cargo run --release -p mlc-experiments --bin fig13 [--step K] [--csv] [--quick]
+//! ```
+
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::tiling::{select_tile, TilePolicy};
+use mlc_experiments::sim::{default_threads, par_map};
+use mlc_experiments::table::pct;
+use mlc_experiments::timing::mflops;
+use mlc_experiments::Table;
+use mlc_kernels::matmul::{matmul_tiled, matmul_tiled_copy, matmul_untiled, Matmul};
+use mlc_kernels::Kernel as _;
+use mlc_kernels::Workspace;
+use mlc_model::trace_gen::simulate;
+use mlc_model::DataLayout;
+use std::time::Instant;
+
+/// Which matmul variant to time.
+enum Variant {
+    Untiled,
+    Tiled(usize, usize),
+    /// Tiled with the A tile copied to a contiguous buffer (§5's "copying
+    /// tiles to contiguous buffers").
+    Copied(usize, usize),
+}
+
+fn time_version(n: usize, variant: &Variant, reps: usize) -> f64 {
+    let m = Matmul::new(n);
+    let p = m.base_model();
+    let mut ws = Workspace::contiguous(&p);
+    m.init(&mut ws);
+    let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+    let mut buf = Vec::new();
+    let mut run = |ws: &mut Workspace| match *variant {
+        Variant::Untiled => matmul_untiled(ws.data_mut(), a, b, c, n),
+        Variant::Tiled(h, w) => matmul_tiled(ws.data_mut(), a, b, c, n, h, w),
+        Variant::Copied(h, w) => matmul_tiled_copy(ws.data_mut(), a, b, c, n, h, w, &mut buf),
+    };
+    run(&mut ws); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run(&mut ws);
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(ws.data()[c.at(n / 2, n / 2)]);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let quick = args.iter().any(|a| a == "--quick");
+    let step: usize = args
+        .iter()
+        .position(|a| a == "--step")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18);
+    let h = HierarchyConfig::ultrasparc_i();
+    let sizes: Vec<usize> = (100..=400).step_by(step).collect();
+    let reps = if quick { 1 } else { 3 };
+
+    println!("Figure 13: matmul MFLOPS over matrix size (host CPU)\n");
+    let mut t = Table::new(&["N", "Orig", "L1", "2xL1", "4xL1", "L2", "L1copy", "L1 tile", "L2 tile"]);
+    for &n in &sizes {
+        eprintln!("fig13: N = {n} ...");
+        let flops = 2 * (n as u64).pow(3);
+        let f = |secs: f64| format!("{:.0}", mflops(flops, 1, secs));
+        let t_orig = time_version(n, &Variant::Untiled, reps);
+        let mut cells = vec![n.to_string(), f(t_orig)];
+        let mut tiles = Vec::new();
+        for policy in TilePolicy::all() {
+            let tile = select_tile(policy, n as u64, n as u64, &h, 8);
+            let secs =
+                time_version(n, &Variant::Tiled(tile.height as usize, tile.width as usize), reps);
+            cells.push(f(secs));
+            tiles.push(tile);
+        }
+        // Copied square tile at L1 capacity: sqrt(S1/8) per side — legal
+        // regardless of self-interference because the copy removes it.
+        let side = ((h.levels[0].size / 8) as f64).sqrt() as usize;
+        let t_copy = time_version(n, &Variant::Copied(side.min(n), side.min(n)), reps);
+        cells.push(f(t_copy));
+        cells.push(format!("{}x{}", tiles[0].height, tiles[0].width));
+        cells.push(format!("{}x{}", tiles[3].height, tiles[3].width));
+        t.row(cells);
+    }
+    println!("{}", if csv { t.to_csv() } else { t.render() });
+    println!("(Host timing caveat: on a modern out-of-order CPU with megabytes of 8-way");
+    println!(" cache these matrices mostly fit, so tiling's timing effect is muted — the");
+    println!(" paper's own conclusion, amplified. The simulated table below shows the");
+    println!(" UltraSparc-scale behaviour the paper's Figure 13 reflects.)\n");
+
+    // Companion: trace-driven miss rates of the same five versions on the
+    // paper's simulated hierarchy — host-independent shape check.
+    let sim_sizes: Vec<usize> =
+        if quick { vec![128, 288] } else { vec![96, 160, 224, 288, 352] };
+    eprintln!("fig13: simulating tiled versions at {sim_sizes:?} ...");
+    let mut jobs: Vec<(usize, Option<TilePolicy>)> = Vec::new();
+    for &n in &sim_sizes {
+        jobs.push((n, None));
+        for p in TilePolicy::all() {
+            jobs.push((n, Some(p)));
+        }
+    }
+    let h2 = h.clone();
+    let results = par_map(jobs.clone(), default_threads(), |&(n, policy)| {
+        let m = Matmul::new(n);
+        let model = match policy {
+            None => m.base_model(),
+            Some(p) => {
+                let t = select_tile(p, n as u64, n as u64, &h2, 8);
+                m.tiled_model(t.height, t.width)
+            }
+        };
+        let layout = DataLayout::contiguous(&model.arrays);
+        simulate(&model, &layout, &h2)
+    });
+    let mut ts = Table::new(&["N", "version", "L1 miss", "L2 miss"]);
+    for ((n, policy), r) in jobs.iter().zip(&results) {
+        let label = policy.map(|p| p.label()).unwrap_or("Orig");
+        ts.row(vec![
+            n.to_string(),
+            label.to_string(),
+            pct(r.miss_rate(0)),
+            pct(r.miss_rate(1)),
+        ]);
+    }
+    println!("Figure 13 (companion): simulated UltraSparc miss rates per version\n");
+    println!("{}", if csv { ts.to_csv() } else { ts.render() });
+    println!("(paper's mechanism: L1-sized tiles minimize L1 misses AND capture most L2");
+    println!(" reuse; L2-sized tiles cut L2 misses further but lose nearly all L1 reuse;");
+    println!(" the weighted cost favours L1 tiles unless L2 misses are far pricier.)");
+}

@@ -1,0 +1,190 @@
+//! `mlc` — command-line driver for the multi-level-locality toolkit.
+//!
+//! ```text
+//! mlc list                                   # registered programs
+//! mlc simulate <program> [options]           # miss rates under a layout
+//! mlc optimize <program> [options]           # run the padding pipeline
+//! mlc diagram  <program> [--nest K]          # paper-style layout diagram
+//! mlc time     <program> [--sweeps N]        # wall-clock a kernel
+//!
+//! options:
+//!   --opt none|pad|multilvl|group|group+l2   # layout (default: none)
+//!   --assoc K                                # k-way caches (default: 1)
+//!   --l1 BYTES --l2 BYTES                    # cache sizes (default 16K/512K)
+//! ```
+//!
+//! Run via `cargo run --release -p mlc-experiments --bin mlc -- <args>`.
+
+use mlc_cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
+use mlc_core::pipeline::{optimize, OptimizeOptions};
+use mlc_experiments::sim::simulate_one;
+use mlc_experiments::timing::time_kernel;
+use mlc_kernels::{all_kernels, kernel_by_name, Kernel};
+use mlc_model::diagram::render_nest;
+use mlc_model::DataLayout;
+
+struct Args {
+    cmd: String,
+    program: Option<String>,
+    opt: String,
+    assoc: usize,
+    l1: usize,
+    l2: usize,
+    nest: usize,
+    sweeps: usize,
+}
+
+fn parse() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut a = Args {
+        cmd: argv.first().cloned().unwrap_or_else(|| "help".into()),
+        program: argv.get(1).filter(|s| !s.starts_with("--")).cloned(),
+        opt: "none".into(),
+        assoc: 1,
+        l1: 16 * 1024,
+        l2: 512 * 1024,
+        nest: 0,
+        sweeps: 3,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        let flag = &argv[i];
+        let mut take = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--opt" => a.opt = take("--opt")?,
+            "--assoc" => a.assoc = take("--assoc")?.parse().map_err(|e| format!("--assoc: {e}"))?,
+            "--l1" => a.l1 = take("--l1")?.parse().map_err(|e| format!("--l1: {e}"))?,
+            "--l2" => a.l2 = take("--l2")?.parse().map_err(|e| format!("--l2: {e}"))?,
+            "--nest" => a.nest = take("--nest")?.parse().map_err(|e| format!("--nest: {e}"))?,
+            "--sweeps" => a.sweeps = take("--sweeps")?.parse().map_err(|e| format!("--sweeps: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(a)
+}
+
+fn hierarchy(a: &Args) -> HierarchyConfig {
+    HierarchyConfig::new(
+        vec![
+            CacheConfig::new(a.l1, 32, a.assoc, ReplacementPolicy::Lru),
+            CacheConfig::new(a.l2, 64, a.assoc, ReplacementPolicy::Lru),
+        ],
+        vec![6.0, 50.0],
+    )
+}
+
+fn options(opt: &str) -> Option<Option<OptimizeOptions>> {
+    // None = unknown; Some(None) = "none" (no optimization).
+    match opt {
+        "none" => Some(None),
+        "pad" => Some(Some(OptimizeOptions::l1_pad())),
+        "multilvl" => Some(Some(OptimizeOptions::multilvl())),
+        "group" => Some(Some(OptimizeOptions::l1_group())),
+        "group+l2" => Some(Some(OptimizeOptions::multilvl_group())),
+        _ => None,
+    }
+}
+
+fn load(name: &Option<String>) -> Result<Box<dyn Kernel>, String> {
+    let name = name.as_deref().ok_or("missing program name")?;
+    kernel_by_name(name).ok_or_else(|| format!("unknown program '{name}' (try `mlc list`)"))
+}
+
+fn run() -> Result<(), String> {
+    let a = parse()?;
+    match a.cmd.as_str() {
+        "list" => {
+            println!("{:<10} {:<38} {:>7} {:>6}", "name", "description", "arrays", "nests");
+            for k in all_kernels() {
+                let m = k.model();
+                println!(
+                    "{:<10} {:<38} {:>7} {:>6}",
+                    k.name(),
+                    k.description(),
+                    m.arrays.len(),
+                    m.nests.len()
+                );
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let k = load(&a.program)?;
+            let h = hierarchy(&a);
+            let p = k.model();
+            let (program, layout, label) = match options(&a.opt).ok_or("bad --opt")? {
+                None => (p.clone(), DataLayout::contiguous(&p.arrays), "contiguous".to_string()),
+                Some(opts) => {
+                    let o = optimize(&p, &h, &opts);
+                    (o.program, o.layout, a.opt.clone())
+                }
+            };
+            let r = simulate_one(&program, &layout, &h);
+            // A second pass for the write-back counters (simulate_one hides
+            // its hierarchy).
+            let mut hier = mlc_cache_sim::Hierarchy::new(h.clone());
+            mlc_model::trace_gen::generate(&program, &layout, &mut hier);
+            hier.reset_stats();
+            mlc_model::trace_gen::generate(&program, &layout, &mut hier);
+            let wb = hier.writebacks();
+            println!("{} under {label} layout ({}-way, L1 {}B, L2 {}B):", k.name(), a.assoc, a.l1, a.l2);
+            println!("  references: {}", r.total_references);
+            println!("  L1 miss rate: {:.2}%   write-backs: {}", r.miss_rate_pct(0), wb[0]);
+            println!("  L2 miss rate: {:.2}%   write-backs: {}", r.miss_rate_pct(1), wb[1]);
+            Ok(())
+        }
+        "optimize" => {
+            let k = load(&a.program)?;
+            let h = hierarchy(&a);
+            let opts = options(&a.opt)
+                .ok_or("bad --opt")?
+                .unwrap_or_else(OptimizeOptions::multilvl_group);
+            let o = optimize(&k.model(), &h, &opts);
+            println!("{}", o.report);
+            println!("bases (bytes): {:?}", o.layout.bases);
+            Ok(())
+        }
+        "diagram" => {
+            let k = load(&a.program)?;
+            let p = k.model();
+            if a.nest >= p.nests.len() {
+                return Err(format!("{} has {} nests", k.name(), p.nests.len()));
+            }
+            let layout = DataLayout::contiguous(&p.arrays);
+            let cache = CacheConfig::new(a.l1, 32, 1, ReplacementPolicy::Lru);
+            println!("{}", render_nest(&p, &p.nests[a.nest], &layout, cache, 72));
+            Ok(())
+        }
+        "show" => {
+            let k = load(&a.program)?;
+            println!("{}", mlc_model::pretty::render_program(&k.model()));
+            Ok(())
+        }
+        "time" => {
+            let k = load(&a.program)?;
+            let p = k.model();
+            let layout = DataLayout::contiguous(&p.arrays);
+            let secs = time_kernel(k.as_ref(), &layout, a.sweeps, 3);
+            let mflops = k.flops() as f64 * a.sweeps as f64 / secs / 1e6;
+            println!("{}: {} sweeps in {:.4}s ({:.0} MFLOPS)", k.name(), a.sweeps, secs, mflops);
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("mlc — multi-level-locality driver");
+            println!("commands: list | simulate | optimize | diagram | show | time");
+            println!("see the module docs (or README.md) for options");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `mlc help`)")),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("mlc: {e}");
+        std::process::exit(1);
+    }
+}

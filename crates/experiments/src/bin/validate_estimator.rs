@@ -1,0 +1,66 @@
+//! Validate the analytic miss estimator against the trace-driven simulator
+//! across the full Table-1 suite — quantifying the paper's closing claim of
+//! Section 6.4: "the compiler can predict relative cache miss rates fairly
+//! accurately by analyzing group reuse."
+//!
+//! For every program we compare estimated vs simulated miss rates under the
+//! GROUPPAD+L2MAXPAD layout, and check that the estimator ranks the
+//! (original, padded) pair the same way the simulator does.
+//!
+//! ```text
+//! cargo run --release -p mlc-experiments --bin validate_estimator
+//! ```
+
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::estimate::estimate_misses;
+use mlc_experiments::sim::{default_threads, par_map, simulate_one};
+use mlc_experiments::versions::{build_versions, OptLevel};
+use mlc_experiments::Table;
+use mlc_kernels::all_kernels;
+
+fn main() {
+    let h = HierarchyConfig::ultrasparc_i();
+    let names: Vec<String> = all_kernels().iter().map(|k| k.name()).collect();
+    eprintln!("validating estimator on {} programs ...", names.len());
+
+    let rows = par_map(names, default_threads(), |name| {
+        let k = mlc_kernels::kernel_by_name(name).unwrap();
+        let v = build_versions(&k.model(), &h, OptLevel::GroupReuse);
+        // Padded version: estimate vs simulate.
+        let sim_opt = simulate_one(&v.l1l2.program, &v.l1l2.layout, &h);
+        let est_opt = estimate_misses(&v.l1l2.program, &v.l1l2.layout, &h);
+        // Original version, for the ranking check.
+        let sim_orig = simulate_one(&v.orig_program, &v.orig_layout, &h);
+        let est_orig = estimate_misses(&v.orig_program, &v.orig_layout, &h);
+        (name.clone(), sim_opt, est_opt, sim_orig, est_orig)
+    });
+
+    let mut t = Table::new(&["program", "sim L1", "est L1", "sim L2", "est L2", "rank ok"]);
+    let mut rank_ok = 0usize;
+    let mut abs_err_l1 = Vec::new();
+    for (name, sim_opt, est_opt, sim_orig, est_orig) in &rows {
+        // Ranking: if the simulator says padding helped (by > 2pp), the
+        // estimator must agree on the direction.
+        let sim_gain = sim_orig.miss_rate(0) - sim_opt.miss_rate(0);
+        let est_gain = est_orig.miss_rate(0) - est_opt.miss_rate(0);
+        let ok = sim_gain.abs() <= 0.02 || sim_gain.signum() == est_gain.signum();
+        rank_ok += ok as usize;
+        abs_err_l1.push((sim_opt.miss_rate(0) - est_opt.miss_rate(0)).abs());
+        t.row(vec![
+            name.clone(),
+            format!("{:.1}%", 100.0 * sim_opt.miss_rate(0)),
+            format!("{:.1}%", 100.0 * est_opt.miss_rate(0)),
+            format!("{:.1}%", 100.0 * sim_opt.miss_rate(1)),
+            format!("{:.1}%", 100.0 * est_opt.miss_rate(1)),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("Analytic estimator vs trace-driven simulator (GROUPPAD+L2MAXPAD layouts)\n");
+    println!("{}", t.render());
+    let mean_err = abs_err_l1.iter().sum::<f64>() / abs_err_l1.len() as f64;
+    println!("programs where estimator ranks orig-vs-padded like the simulator: {rank_ok}/{}", rows.len());
+    println!("mean |simulated - estimated| L1 miss rate: {:.1}pp", 100.0 * mean_err);
+    println!("\n(The estimator ignores transient conflicts, inter-nest reuse and gather");
+    println!(" locality, so absolute gaps are expected for irregular/triangular codes;");
+    println!(" the paper's claim is about *relative* prediction, i.e. the ranking column.)");
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # mlc-experiments — the paper's evaluation, regenerated
+//!
+//! One binary per table/figure of Section 6 (run with `--release`):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — test programs |
+//! | `diagrams` | Figures 3–5, 7 — cache layout diagrams |
+//! | `fig09` | Figure 9 — PAD vs MULTILVLPAD miss rates + timings |
+//! | `fig10` | Figure 10 — GROUPPAD ± L2MAXPAD miss rates + timings |
+//! | `fig11` | Figure 11 — miss rates over problem sizes (EXPL, SHAL) |
+//! | `fig12` | Figure 12 — fusion deltas over problem sizes (EXPL) |
+//! | `fig13` | Figure 13 — tiled matmul MFLOPS over matrix sizes |
+//! | `fusion_example` | Section 4's worked accounting |
+//! | `ablation_assoc` | k-way associativity ablation |
+//! | `ablation_l3` | three-level (Alpha 21164-like) hierarchy ablation |
+//! | `ablation_line` | line-size sensitivity ablation |
+//!
+//! This library holds the shared harness: program versions (Orig / L1 Opt /
+//! L1&L2 Opt), simulation drivers, wall-clock timing, size sweeps and table
+//! rendering.
+
+pub mod sim;
+pub mod table;
+pub mod timing;
+pub mod versions;
+
+pub use sim::{simulate_versions, SimResult};
+pub use table::Table;
+pub use timing::{mflops, time_kernel};
+pub use versions::{build_versions, OptLevel, Versions};

@@ -1,0 +1,108 @@
+//! Simulation drivers for the figure binaries.
+
+use crate::versions::Versions;
+use mlc_cache_sim::stats::MissRateReport;
+use mlc_cache_sim::HierarchyConfig;
+use mlc_model::trace_gen::simulate_steady;
+use mlc_model::{DataLayout, Program};
+
+/// Miss rates of the three versions of one program.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Orig.
+    pub orig: MissRateReport,
+    /// L1.
+    pub l1: MissRateReport,
+    /// L1l2.
+    pub l1l2: MissRateReport,
+}
+
+/// Default steady-state protocol: one warm-up sweep, one measured sweep —
+/// the iterative kernels' behaviour after their first time step.
+pub const WARMUP: usize = 1;
+/// TIMED.
+pub const TIMED: usize = 1;
+
+/// Simulate one program+layout with the standard protocol.
+pub fn simulate_one(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> MissRateReport {
+    simulate_steady(program, layout, h, WARMUP, TIMED)
+}
+
+/// Simulate all three versions.
+pub fn simulate_versions(v: &Versions, h: &HierarchyConfig) -> SimResult {
+    SimResult {
+        orig: simulate_one(&v.orig_program, &v.orig_layout, h),
+        l1: simulate_one(&v.l1.program, &v.l1.layout, h),
+        l1l2: simulate_one(&v.l1l2.program, &v.l1l2.layout, h),
+    }
+}
+
+/// Run `f` over `items` on up to `threads` OS threads, preserving order.
+/// (The sweep figures simulate hundreds of problem sizes; `rayon` is not in
+/// the allowed dependency set, so this is a tiny scoped-thread work-stealer.)
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = items.len();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let items_ref = &items;
+    let f_ref = &f;
+    let threads = threads.clamp(1, n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|m| m.into_inner().unwrap().unwrap()).collect()
+}
+
+/// Number of worker threads to use for sweeps.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::versions::{build_versions, OptLevel};
+    use mlc_model::program::figure2_example;
+
+    #[test]
+    fn versions_improve_miss_rates_for_pathological_sizes() {
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(512);
+        let v = build_versions(&p, &h, OptLevel::Conflict);
+        let r = simulate_versions(&v, &h);
+        assert!(r.l1.miss_rate(0) < r.orig.miss_rate(0));
+        assert!(r.l1.miss_rate(1) < r.orig.miss_rate(1));
+        assert!(r.l1l2.miss_rate(0) <= r.l1.miss_rate(0) + 1e-3);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys = par_map(xs.clone(), 7, |&x| x * x);
+        assert_eq!(ys, xs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_thread_and_empty() {
+        let ys = par_map(Vec::<u64>::new(), 4, |&x| x);
+        assert!(ys.is_empty());
+        let ys = par_map(vec![5u64], 16, |&x| x + 1);
+        assert_eq!(ys, vec![6]);
+    }
+}

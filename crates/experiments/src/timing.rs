@@ -1,0 +1,76 @@
+//! Wall-clock timing of the runnable kernels.
+//!
+//! The paper times each version on an UltraSparc I; we time the same
+//! computation on the host. Protocol: build the workspace under the
+//! version's layout, init, one warm-up sweep, then the median of `reps`
+//! timed runs of `sweeps` sweeps each. `std::hint::black_box` keeps the
+//! optimizer from eliding the work.
+
+use mlc_kernels::{Kernel, Workspace};
+use mlc_model::DataLayout;
+use std::time::Instant;
+
+/// Median wall-clock seconds for `sweeps` sweeps of `kernel` under `layout`.
+pub fn time_kernel(kernel: &dyn Kernel, layout: &DataLayout, sweeps: usize, reps: usize) -> f64 {
+    let program = kernel.model();
+    let mut ws = Workspace::new(&program, layout);
+    kernel.init(&mut ws);
+    kernel.sweep(&mut ws); // warm-up (page faults, cache fill)
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..sweeps {
+                kernel.sweep(&mut ws);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(kernel.checksum(&ws));
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// MFLOPS given flops per sweep and measured seconds for `sweeps` sweeps.
+pub fn mflops(flops_per_sweep: u64, sweeps: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    (flops_per_sweep as f64 * sweeps as f64) / seconds / 1e6
+}
+
+/// Percentage improvement of `opt` seconds over `orig` seconds (positive =
+/// faster), the quantity the paper's improvement bars plot.
+pub fn improvement_pct(orig: f64, opt: f64) -> f64 {
+    100.0 * (orig - opt) / orig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_kernels::jacobi::Jacobi;
+
+    #[test]
+    fn timing_is_positive_and_scales() {
+        let k = Jacobi::new(64);
+        let p = k.model();
+        let l = DataLayout::contiguous(&p.arrays);
+        let t1 = time_kernel(&k, &l, 1, 3);
+        let t4 = time_kernel(&k, &l, 4, 3);
+        assert!(t1 > 0.0);
+        assert!(t4 > t1, "4 sweeps ({t4}) should take longer than 1 ({t1})");
+    }
+
+    #[test]
+    fn mflops_math() {
+        assert!((mflops(2_000_000, 1, 1.0) - 2.0).abs() < 1e-12);
+        assert!((mflops(1_000_000, 10, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!(improvement_pct(2.0, 1.0) > 0.0);
+        assert!(improvement_pct(1.0, 2.0) < 0.0);
+        assert_eq!(improvement_pct(1.0, 1.0), 0.0);
+    }
+}

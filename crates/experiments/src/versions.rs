@@ -1,0 +1,89 @@
+//! Program versions: Orig / "L1 Opt" / "L1&L2 Opt".
+//!
+//! Section 6 measures three versions of each program. The SUIF pre-passes
+//! (variable promotion + intra-variable padding for the self-conflicting
+//! programs) apply to *all* versions; the versions differ only in the
+//! inter-variable padding pass:
+//!
+//! * conflict experiments (Figure 9): `PAD` vs `MULTILVLPAD`;
+//! * group-reuse experiments (Figures 10–12): `GROUPPAD` vs
+//!   `GROUPPAD + L2MAXPAD`.
+
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::pipeline::{optimize, OptimizeOptions, Optimized, OptimizeTarget};
+use mlc_core::MissCosts;
+use mlc_model::{DataLayout, Program};
+
+/// Which figure family the versions serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// PAD / MULTILVLPAD (avoid severe conflicts; Figure 9).
+    Conflict,
+    /// GROUPPAD / GROUPPAD+L2MAXPAD (preserve group reuse; Figures 10-12).
+    GroupReuse,
+}
+
+/// The three measured versions of one program.
+#[derive(Debug, Clone)]
+pub struct Versions {
+    /// Intra-padded program with the contiguous (unpadded) inter-variable
+    /// layout — the paper's "Orig".
+    pub orig_program: Program,
+    /// Orig layout.
+    pub orig_layout: DataLayout,
+    /// "L1 Opt": padding targeting the L1 cache only.
+    pub l1: Optimized,
+    /// "L1&L2 Opt": padding targeting both cache levels.
+    pub l1l2: Optimized,
+}
+
+/// Build all three versions of a program for a hierarchy.
+pub fn build_versions(program: &Program, hierarchy: &HierarchyConfig, level: OptLevel) -> Versions {
+    let costs = MissCosts::from_hierarchy(hierarchy);
+    let base = |target| OptimizeOptions {
+        target,
+        preserve_group_reuse: level == OptLevel::GroupReuse,
+        enable_fusion: false,
+        enable_intra_pad: true,
+        enable_permutation: false,
+        costs: costs.clone(),
+    };
+    let l1 = optimize(program, hierarchy, &base(OptimizeTarget::L1Only));
+    let l1l2 = optimize(program, hierarchy, &base(OptimizeTarget::MultiLevel));
+    // Orig shares the intra-padded program (the pre-pass applies everywhere)
+    // but keeps the contiguous inter-variable layout.
+    let orig_program = l1.program.clone();
+    let orig_layout = DataLayout::contiguous(&orig_program.arrays);
+    Versions { orig_program, orig_layout, l1, l1l2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_core::conflict::severe_conflicts;
+    use mlc_model::program::figure2_example;
+
+    #[test]
+    fn conflict_versions_behave() {
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(512);
+        let v = build_versions(&p, &h, OptLevel::Conflict);
+        // Orig: severe conflicts present; L1 Opt: none on L1; L1&L2: none anywhere.
+        assert!(!severe_conflicts(&v.orig_program, &v.orig_layout, h.l1()).is_empty());
+        assert!(severe_conflicts(&v.l1.program, &v.l1.layout, h.l1()).is_empty());
+        for &c in &h.levels {
+            assert!(severe_conflicts(&v.l1l2.program, &v.l1l2.layout, c).is_empty());
+        }
+    }
+
+    #[test]
+    fn group_versions_share_l1_layout_mod_s1() {
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(450);
+        let v = build_versions(&p, &h, OptLevel::GroupReuse);
+        let s1 = h.l1().size as u64;
+        for (a, b) in v.l1.layout.bases.iter().zip(&v.l1l2.layout.bases) {
+            assert_eq!(a % s1, b % s1, "L2MAXPAD must preserve the L1 layout");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! ADI — alternating-direction implicit integration fragment (Livermore 8).
+//!
+//! Three 3-D arrays swept with first-order recurrences along each
+//! direction. The geometry (32×64×32 doubles) makes each k-plane exactly
+//! 16 KiB, so the `U(i,j,k)` / `U(i,j,k-1)` pair severely self-conflicts on
+//! the UltraSparc L1 — this is why Section 6.1 applies intra-variable
+//! padding to ADI32 before the inter-variable passes.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+/// ADI fragment on an `n`×`2n`×`n` grid (default n=32: 16 KiB planes).
+#[derive(Debug, Clone, Copy)]
+pub struct Adi {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Adi {
+    /// Construct the kernel at the given problem size.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        Self { n }
+    }
+
+    fn dims(&self) -> (usize, usize, usize) {
+        (self.n, 2 * self.n, self.n)
+    }
+}
+
+impl Kernel for Adi {
+    fn name(&self) -> String {
+        format!("adi{}", self.n)
+    }
+
+    fn description(&self) -> &'static str {
+        "2D ADI Integration Fragment (Liv8)"
+    }
+
+    fn source_lines(&self) -> usize {
+        63
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Kernels
+    }
+
+    fn model(&self) -> Program {
+        let (n1, n2, n3) = self.dims();
+        let mut p = Program::new(self.name());
+        let u = p.add_array(ArrayDecl::f64("U", vec![n1, n2, n3]));
+        let v = p.add_array(ArrayDecl::f64("V", vec![n1, n2, n3]));
+        let w = p.add_array(ArrayDecl::f64("W", vec![n1, n2, n3]));
+        let ijk = |di: i64, dj: i64, dk: i64| {
+            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+        };
+        // k-sweep: recurrence across planes (the self-conflicting one).
+        p.add_nest(LoopNest::new(
+            "k_sweep",
+            vec![
+                Loop::counted("k", 1, n3 as i64 - 1),
+                Loop::counted("j", 0, n2 as i64 - 1),
+                Loop::counted("i", 0, n1 as i64 - 1),
+            ],
+            vec![
+                ArrayRef::read(u, ijk(0, 0, -1)),
+                ArrayRef::read(v, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::write(u, ijk(0, 0, 0)),
+                ArrayRef::read(w, ijk(0, 0, -1)),
+                ArrayRef::read(w, ijk(0, 0, 0)),
+                ArrayRef::write(w, ijk(0, 0, 0)),
+            ],
+        ));
+        // j-sweep.
+        p.add_nest(LoopNest::new(
+            "j_sweep",
+            vec![
+                Loop::counted("k", 0, n3 as i64 - 1),
+                Loop::counted("j", 1, n2 as i64 - 1),
+                Loop::counted("i", 0, n1 as i64 - 1),
+            ],
+            vec![
+                ArrayRef::read(u, ijk(0, -1, 0)),
+                ArrayRef::read(v, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::write(u, ijk(0, 0, 0)),
+            ],
+        ));
+        // i-sweep.
+        p.add_nest(LoopNest::new(
+            "i_sweep",
+            vec![
+                Loop::counted("k", 0, n3 as i64 - 1),
+                Loop::counted("j", 0, n2 as i64 - 1),
+                Loop::counted("i", 1, n1 as i64 - 1),
+            ],
+            vec![
+                ArrayRef::read(u, ijk(-1, 0, 0)),
+                ArrayRef::read(v, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::write(u, ijk(0, 0, 0)),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        let (n1, n2, n3) = self.dims();
+        let pts = (n1 * n2 * n3) as u64;
+        // ~4 flops in the k-sweep (two recurrences), 2 each in j/i sweeps.
+        8 * pts
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        for id in 0..3 {
+            ws.fill3(id, |i, j, k| {
+                0.5 + 0.1 * (((i + 3 * j + 7 * k + id) % 13) as f64) / 13.0
+            });
+        }
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (n1, n2, n3) = self.dims();
+        let (u, v, w) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let d = ws.data_mut();
+        for k in 1..n3 {
+            for j in 0..n2 {
+                for i in 0..n1 {
+                    let f = ld(d, v.at3(i, j, k));
+                    let un = ld(d, u.at3(i, j, k)) - f * ld(d, u.at3(i, j, k - 1));
+                    st(d, u.at3(i, j, k), un);
+                    let wn = ld(d, w.at3(i, j, k)) - f * ld(d, w.at3(i, j, k - 1));
+                    st(d, w.at3(i, j, k), wn);
+                }
+            }
+        }
+        for k in 0..n3 {
+            for j in 1..n2 {
+                for i in 0..n1 {
+                    let f = ld(d, v.at3(i, j, k));
+                    let un = ld(d, u.at3(i, j, k)) - f * ld(d, u.at3(i, j - 1, k));
+                    st(d, u.at3(i, j, k), un);
+                }
+            }
+        }
+        for k in 0..n3 {
+            for j in 0..n2 {
+                for i in 1..n1 {
+                    let f = ld(d, v.at3(i, j, k));
+                    let un = ld(d, u.at3(i, j, k)) - f * ld(d, u.at3(i - 1, j, k));
+                    st(d, u.at3(i, j, k), un);
+                }
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum3(0) + ws.sum3(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+    use mlc_core::conflict::severe_self_conflicts;
+    use mlc_core::intra_pad::intra_pad;
+    use mlc_cache_sim::CacheConfig;
+
+    #[test]
+    fn adi32_planes_are_one_l1_span() {
+        let k = Adi::new(32);
+        let p = k.model();
+        // Plane stride: 32 * 64 * 8 bytes = 16 KiB = the L1 cache.
+        assert_eq!(p.arrays[0].strides()[2] * 8, 16 * 1024);
+    }
+
+    #[test]
+    fn self_conflicts_exist_and_intra_pad_fixes_them() {
+        let k = Adi::new(32);
+        let p = k.model();
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let layout = DataLayout::contiguous(&p.arrays);
+        assert!(!severe_self_conflicts(&p, &layout, l1).is_empty());
+        let fixed = intra_pad(&p, l1);
+        let layout2 = DataLayout::contiguous(&fixed.program.arrays);
+        assert!(severe_self_conflicts(&fixed.program, &layout2, l1).is_empty());
+    }
+
+    #[test]
+    fn sweep_deterministic_and_finite() {
+        let k = Adi::new(8);
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        for _ in 0..3 {
+            k.sweep(&mut ws);
+        }
+        assert!(k.checksum(&ws).is_finite());
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        let k = Adi::new(8);
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[96, 0, 160]);
+        assert!(layouts_agree(&k, &a, &b, 2));
+    }
+
+    #[test]
+    fn intra_padded_kernel_still_correct() {
+        let k = Adi::new(8);
+        let p = k.model();
+        let mut padded = p.clone();
+        padded.arrays[0].set_dim_pad(0, 4);
+        let mut wa = Workspace::contiguous(&p);
+        let mut wb = Workspace::contiguous(&padded);
+        k.init(&mut wa);
+        k.init(&mut wb);
+        k.sweep(&mut wa);
+        k.sweep(&mut wb);
+        assert!((k.checksum(&wa) - k.checksum(&wb)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! DOT — vector dot product (Livermore loop 3).
+//!
+//! Two long vectors streamed in lockstep: the minimal program exhibiting
+//! severe cross-variable conflicts when the vectors are a cache-size
+//! multiple apart. The paper's footnote about DOT is reproduced by the
+//! fig09 experiment: padding by 64 bytes (MULTILVLPAD's `Lmax`) instead of
+//! 32 affects how many outstanding misses the memory system can overlap.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+/// Dot product of two `n`-element vectors (`Q` holds the scalar result).
+#[derive(Debug, Clone, Copy)]
+pub struct Dot {
+    /// Problem size.
+    pub n: usize,
+    /// Figure label ("dot512" uses 512 KiB vectors, n = 65536).
+    pub label_kb: usize,
+}
+
+impl Dot {
+    /// `Dot` with vectors of `kb` KiB each (the paper's dot256 / dot512).
+    pub fn kb(kb: usize) -> Self {
+        Self { n: kb * 1024 / 8, label_kb: kb }
+    }
+}
+
+impl Kernel for Dot {
+    fn name(&self) -> String {
+        format!("dot{}", self.label_kb)
+    }
+
+    fn description(&self) -> &'static str {
+        "Vector Dot Product (Liv3)"
+    }
+
+    fn source_lines(&self) -> usize {
+        32
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Kernels
+    }
+
+    fn model(&self) -> Program {
+        let mut p = Program::new(self.name());
+        let x = p.add_array(ArrayDecl::f64("X", vec![self.n]));
+        let y = p.add_array(ArrayDecl::f64("Y", vec![self.n]));
+        let _q = p.add_array(ArrayDecl::f64("Q", vec![8])); // result slot (one line)
+        p.add_nest(LoopNest::new(
+            "dot",
+            vec![Loop::counted("i", 0, self.n as i64 - 1)],
+            vec![
+                ArrayRef::read(x, vec![E::var("i")]),
+                ArrayRef::read(y, vec![E::var("i")]),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        2 * self.n as u64
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill1(0, |i| 1.0 + (i % 7) as f64 * 0.125);
+        ws.fill1(1, |i| 2.0 - (i % 5) as f64 * 0.25);
+        ws.fill1(2, |_| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (x, y, q) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let n = self.n;
+        let d = ws.data_mut();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ld(d, x.at1(i)) * ld(d, y.at1(i));
+        }
+        st(d, q.at1(0), acc);
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.data()[ws.mat(2).at1(0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+
+    #[test]
+    fn computes_the_dot_product() {
+        let k = Dot { n: 100, label_kb: 0 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        ws.fill1(0, |_| 2.0);
+        ws.fill1(1, |_| 3.0);
+        k.sweep(&mut ws);
+        assert_eq!(k.checksum(&ws), 600.0);
+    }
+
+    #[test]
+    fn dot512_vectors_are_cache_size_multiples() {
+        // 512 KiB vectors: multiples of both the 16 KiB L1 and 512 KiB L2 —
+        // the pathological layout the padding experiments need.
+        let k = Dot::kb(512);
+        assert_eq!(k.n * 8 % (16 * 1024), 0);
+        assert_eq!(k.n * 8 % (512 * 1024), 0);
+        assert_eq!(k.name(), "dot512");
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        let k = Dot { n: 256, label_kb: 2 };
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[0, 64, 32]);
+        assert!(layouts_agree(&k, &a, &b, 1));
+    }
+}

@@ -1,0 +1,205 @@
+//! ERLE — 3-D tridiagonal solver (Erlebacher's derivative code).
+//!
+//! Tridiagonal solves along the third dimension of 64³ double arrays:
+//! forward elimination then back substitution. Each k-plane is
+//! 64·64·8 = 32 KiB — an exact multiple of the 16 KiB L1 — so the
+//! plane-to-plane recurrence references self-conflict severely, the second
+//! program Section 6.1 applies intra-variable padding to.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+/// ERLE on an `n`³ grid (n = 64 in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct Erle {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Erle {
+    /// Construct the kernel at the given problem size.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3);
+        Self { n }
+    }
+}
+
+impl Kernel for Erle {
+    fn name(&self) -> String {
+        format!("erle{}", self.n)
+    }
+
+    fn description(&self) -> &'static str {
+        "3D Tridiagonal Solver"
+    }
+
+    fn source_lines(&self) -> usize {
+        612
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Kernels
+    }
+
+    fn model(&self) -> Program {
+        let n = self.n as i64;
+        let mut p = Program::new(self.name());
+        let f = p.add_array(ArrayDecl::f64("F", vec![self.n, self.n, self.n]));
+        let d = p.add_array(ArrayDecl::f64("D", vec![self.n, self.n, self.n]));
+        let x = p.add_array(ArrayDecl::f64("X", vec![self.n, self.n, self.n]));
+        let ijk = |di: i64, dj: i64, dk: i64| {
+            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+        };
+        // RHS from central differences of F along k.
+        p.add_nest(LoopNest::new(
+            "rhs",
+            vec![
+                Loop::counted("k", 1, n - 2),
+                Loop::counted("j", 0, n - 1),
+                Loop::counted("i", 0, n - 1),
+            ],
+            vec![
+                ArrayRef::read(f, ijk(0, 0, 1)),
+                ArrayRef::read(f, ijk(0, 0, -1)),
+                ArrayRef::write(x, ijk(0, 0, 0)),
+            ],
+        ));
+        // Forward elimination along k (plane recurrence).
+        p.add_nest(LoopNest::new(
+            "forward",
+            vec![
+                Loop::counted("k", 1, n - 1),
+                Loop::counted("j", 0, n - 1),
+                Loop::counted("i", 0, n - 1),
+            ],
+            vec![
+                ArrayRef::read(d, ijk(0, 0, 0)),
+                ArrayRef::read(x, ijk(0, 0, -1)),
+                ArrayRef::read(x, ijk(0, 0, 0)),
+                ArrayRef::write(x, ijk(0, 0, 0)),
+            ],
+        ));
+        // Back substitution along k (reversed plane recurrence).
+        let mut back_k = Loop::counted("k", 0, n - 2);
+        back_k.step = -1;
+        p.add_nest(LoopNest::new(
+            "backward",
+            vec![
+                back_k,
+                Loop::counted("j", 0, n - 1),
+                Loop::counted("i", 0, n - 1),
+            ],
+            vec![
+                ArrayRef::read(d, ijk(0, 0, 0)),
+                ArrayRef::read(x, ijk(0, 0, 1)),
+                ArrayRef::read(x, ijk(0, 0, 0)),
+                ArrayRef::write(x, ijk(0, 0, 0)),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        let pts = (self.n as u64).pow(3);
+        // 2 (rhs) + 2 (forward) + 2 (backward) per point.
+        6 * pts
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        let n = self.n as f64;
+        ws.fill3(0, |i, j, k| ((i as f64 / n) * 2.0).sin() + (j as f64 / n) + 0.1 * k as f64 / n);
+        // D holds precomputed stable elimination multipliers in (0, 0.5).
+        ws.fill3(1, |i, j, k| 0.2 + 0.1 * (((i + j + k) % 3) as f64) / 3.0);
+        ws.fill3(2, |_, _, _| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let (f, dd, x) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let d = ws.data_mut();
+        for k in 1..n - 1 {
+            for j in 0..n {
+                for i in 0..n {
+                    st(
+                        d,
+                        x.at3(i, j, k),
+                        0.5 * (ld(d, f.at3(i, j, k + 1)) - ld(d, f.at3(i, j, k - 1))),
+                    );
+                }
+            }
+        }
+        for k in 1..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let v = ld(d, x.at3(i, j, k))
+                        - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k - 1));
+                    st(d, x.at3(i, j, k), v);
+                }
+            }
+        }
+        for k in (0..n - 1).rev() {
+            for j in 0..n {
+                for i in 0..n {
+                    let v = ld(d, x.at3(i, j, k))
+                        - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k + 1));
+                    st(d, x.at3(i, j, k), v);
+                }
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum3(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+    use mlc_cache_sim::CacheConfig;
+    use mlc_core::conflict::severe_self_conflicts;
+
+    #[test]
+    fn erle64_planes_are_two_l1_spans() {
+        let k = Erle::new(64);
+        let p = k.model();
+        assert_eq!(p.arrays[0].strides()[2] * 8, 32 * 1024);
+        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+        let layout = DataLayout::contiguous(&p.arrays);
+        assert!(!severe_self_conflicts(&p, &layout, l1).is_empty());
+    }
+
+    #[test]
+    fn backward_nest_has_negative_step() {
+        let k = Erle::new(8);
+        let p = k.model();
+        assert_eq!(p.nests[2].loops[0].step, -1);
+        // It still covers (n-1) * n * n iterations.
+        assert_eq!(p.nests[2].const_iterations(), Some(7 * 8 * 8));
+    }
+
+    #[test]
+    fn solver_is_deterministic_and_finite() {
+        let k = Erle::new(8);
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        k.sweep(&mut ws);
+        let c = k.checksum(&ws);
+        assert!(c.is_finite());
+        assert_ne!(c, 0.0);
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        let k = Erle::new(8);
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[0, 32 * 1024, 64]);
+        assert!(layouts_agree(&k, &a, &b, 2));
+    }
+}

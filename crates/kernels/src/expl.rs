@@ -1,0 +1,280 @@
+//! EXPL — 2-D explicit hydrodynamics (Livermore loop 18).
+//!
+//! The paper's workhorse: `expl512` appears in every padding figure, the
+//! problem-size sweep (Figure 11) and the fusion study (Figure 12). The
+//! code is the classic Livermore kernel 18 fragment: nine N×N arrays
+//! (`ZA ZB ZM ZP ZQ ZR ZU ZV ZZ`), three loop nests per time step, and
+//! plenty of group reuse across the `k` (column) direction — columns `k-1`,
+//! `k`, `k+1` of several arrays are live at once.
+//!
+//! Fortran indexing `Z*(j,k)` maps to our column-major model with `j` the
+//! unit-stride subscript; all loops run over the interior `1..=n-2`
+//! (0-based) so the ±1 stencils stay in bounds.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+/// The EXPL kernel at a given interior size `n` (arrays are `n`×`n`).
+#[derive(Debug, Clone, Copy)]
+pub struct Expl {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Expl {
+    /// Construct the kernel at the given problem size.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "EXPL needs at least a 4x4 grid");
+        Self { n }
+    }
+
+    fn names() -> [&'static str; 9] {
+        ["ZA", "ZB", "ZM", "ZP", "ZQ", "ZR", "ZU", "ZV", "ZZ"]
+    }
+}
+
+const S: f64 = 0.0041;
+const T: f64 = 0.0037;
+
+impl Kernel for Expl {
+    fn name(&self) -> String {
+        format!("expl{}", self.n)
+    }
+
+    fn description(&self) -> &'static str {
+        "2D Explicit Hydrodynamics (Liv18)"
+    }
+
+    fn source_lines(&self) -> usize {
+        59
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Kernels
+    }
+
+    fn model(&self) -> Program {
+        let n = self.n;
+        let mut p = Program::new(self.name());
+        let ids: Vec<ArrayId> = Self::names()
+            .iter()
+            .map(|nm| p.add_array(ArrayDecl::f64(*nm, vec![n, n])))
+            .collect();
+        let [za, zb, zm, zp, zq, zr, zu, zv, zz] =
+            [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8]];
+        let jk = |dj: i64, dk: i64| vec![E::var_plus("j", dj), E::var_plus("k", dk)];
+        let loops = || vec![Loop::counted("k", 1, n as i64 - 2), Loop::counted("j", 1, n as i64 - 2)];
+
+        // Loop 75: ZA, ZB from ZP, ZQ, ZR, ZM.
+        p.add_nest(LoopNest::new(
+            "calc_ab",
+            loops(),
+            vec![
+                ArrayRef::read(zp, jk(-1, 1)),
+                ArrayRef::read(zq, jk(-1, 1)),
+                ArrayRef::read(zp, jk(-1, 0)),
+                ArrayRef::read(zq, jk(-1, 0)),
+                ArrayRef::read(zr, jk(0, 0)),
+                ArrayRef::read(zr, jk(-1, 0)),
+                ArrayRef::read(zm, jk(-1, 0)),
+                ArrayRef::read(zm, jk(-1, 1)),
+                ArrayRef::write(za, jk(0, 0)),
+                ArrayRef::read(zp, jk(0, 0)),
+                ArrayRef::read(zq, jk(0, 0)),
+                ArrayRef::read(zr, jk(0, -1)),
+                ArrayRef::read(zm, jk(0, 0)),
+                ArrayRef::write(zb, jk(0, 0)),
+            ],
+        ));
+        // Loop 76: ZU += f(ZA, ZB, ZZ); ZV += f(ZA, ZB, ZR).
+        p.add_nest(LoopNest::new(
+            "calc_uv",
+            loops(),
+            vec![
+                ArrayRef::read(zu, jk(0, 0)),
+                ArrayRef::read(za, jk(0, 0)),
+                ArrayRef::read(zz, jk(0, 0)),
+                ArrayRef::read(zz, jk(1, 0)),
+                ArrayRef::read(za, jk(-1, 0)),
+                ArrayRef::read(zz, jk(-1, 0)),
+                ArrayRef::read(zb, jk(0, 0)),
+                ArrayRef::read(zz, jk(0, -1)),
+                ArrayRef::read(zb, jk(0, 1)),
+                ArrayRef::read(zz, jk(0, 1)),
+                ArrayRef::write(zu, jk(0, 0)),
+                ArrayRef::read(zv, jk(0, 0)),
+                ArrayRef::read(zr, jk(0, 0)),
+                ArrayRef::read(zr, jk(1, 0)),
+                ArrayRef::read(zr, jk(-1, 0)),
+                ArrayRef::read(zr, jk(0, -1)),
+                ArrayRef::read(zr, jk(0, 1)),
+                ArrayRef::write(zv, jk(0, 0)),
+            ],
+        ));
+        // Loop 77: ZR += T*ZU; ZZ += T*ZV.
+        p.add_nest(LoopNest::new(
+            "update_rz",
+            loops(),
+            vec![
+                ArrayRef::read(zu, jk(0, 0)),
+                ArrayRef::read(zr, jk(0, 0)),
+                ArrayRef::write(zr, jk(0, 0)),
+                ArrayRef::read(zv, jk(0, 0)),
+                ArrayRef::read(zz, jk(0, 0)),
+                ArrayRef::write(zz, jk(0, 0)),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        // ~14 flops in calc_ab, ~26 in calc_uv, 4 in update_rz per point.
+        44 * (self.n as u64 - 2) * (self.n as u64 - 2)
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        for id in 0..9 {
+            // Smooth, deterministic fields; ZM strictly positive (divisor).
+            ws.fill2(id, |i, j| {
+                let x = i as f64 * 0.01 + j as f64 * 0.007 + id as f64 * 0.1;
+                1.0 + 0.5 * (x.sin() * 0.5 + 0.5)
+            });
+        }
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let (za, zb, zm, zp, zq, zr, zu, zv, zz) = (
+            ws.mat(0),
+            ws.mat(1),
+            ws.mat(2),
+            ws.mat(3),
+            ws.mat(4),
+            ws.mat(5),
+            ws.mat(6),
+            ws.mat(7),
+            ws.mat(8),
+        );
+        let d = ws.data_mut();
+        // Loop 75.
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                let a = (ld(d, zp.at(j - 1, k + 1)) + ld(d, zq.at(j - 1, k + 1))
+                    - ld(d, zp.at(j - 1, k))
+                    - ld(d, zq.at(j - 1, k)))
+                    * (ld(d, zr.at(j, k)) + ld(d, zr.at(j - 1, k)))
+                    / (ld(d, zm.at(j - 1, k)) + ld(d, zm.at(j - 1, k + 1)));
+                st(d, za.at(j, k), a);
+                let b = (ld(d, zp.at(j - 1, k)) + ld(d, zq.at(j - 1, k))
+                    - ld(d, zp.at(j, k))
+                    - ld(d, zq.at(j, k)))
+                    * (ld(d, zr.at(j, k)) + ld(d, zr.at(j, k - 1)))
+                    / (ld(d, zm.at(j, k)) + ld(d, zm.at(j - 1, k)));
+                st(d, zb.at(j, k), b);
+            }
+        }
+        // Loop 76.
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                let u = ld(d, zu.at(j, k))
+                    + S * (ld(d, za.at(j, k)) * (ld(d, zz.at(j, k)) - ld(d, zz.at(j + 1, k)))
+                        - ld(d, za.at(j - 1, k)) * (ld(d, zz.at(j, k)) - ld(d, zz.at(j - 1, k)))
+                        - ld(d, zb.at(j, k)) * (ld(d, zz.at(j, k)) - ld(d, zz.at(j, k - 1)))
+                        + ld(d, zb.at(j, k + 1)) * (ld(d, zz.at(j, k)) - ld(d, zz.at(j, k + 1))));
+                st(d, zu.at(j, k), u);
+                let v = ld(d, zv.at(j, k))
+                    + S * (ld(d, za.at(j, k)) * (ld(d, zr.at(j, k)) - ld(d, zr.at(j + 1, k)))
+                        - ld(d, za.at(j - 1, k)) * (ld(d, zr.at(j, k)) - ld(d, zr.at(j - 1, k)))
+                        - ld(d, zb.at(j, k)) * (ld(d, zr.at(j, k)) - ld(d, zr.at(j, k - 1)))
+                        + ld(d, zb.at(j, k + 1)) * (ld(d, zr.at(j, k)) - ld(d, zr.at(j, k + 1))));
+                st(d, zv.at(j, k), v);
+            }
+        }
+        // Loop 77.
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                let r = ld(d, zr.at(j, k)) + T * ld(d, zu.at(j, k));
+                st(d, zr.at(j, k), r);
+                let z = ld(d, zz.at(j, k)) + T * ld(d, zv.at(j, k));
+                st(d, zz.at(j, k), z);
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum2(5) + ws.sum2(8) + ws.sum2(6) + ws.sum2(7) // ZR + ZZ + ZU + ZV
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+    use mlc_cache_sim::trace::CountingSink;
+    use mlc_model::trace_gen;
+
+    #[test]
+    fn model_validates_and_counts() {
+        let k = Expl::new(64);
+        let p = k.model();
+        p.validate().unwrap();
+        assert_eq!(p.arrays.len(), 9);
+        assert_eq!(p.nests.len(), 3);
+        // Reference count: (n-2)^2 * (14 + 18 + 6).
+        let expect = 62u64 * 62 * 38;
+        assert_eq!(p.const_references(), Some(expect));
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut c = CountingSink::default();
+        assert_eq!(trace_gen::generate(&p, &l, &mut c), expect);
+    }
+
+    #[test]
+    fn sweep_changes_state_deterministically() {
+        let k = Expl::new(32);
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        let before = k.checksum(&ws);
+        k.sweep(&mut ws);
+        let after = k.checksum(&ws);
+        assert!(after.is_finite());
+        assert_ne!(before, after);
+        // Determinism.
+        let mut ws2 = Workspace::contiguous(&p);
+        k.init(&mut ws2);
+        k.sweep(&mut ws2);
+        assert_eq!(after, k.checksum(&ws2));
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        let k = Expl::new(32);
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[64, 128, 0, 32, 1024, 64, 0, 32, 96]);
+        assert!(layouts_agree(&k, &a, &b, 3));
+    }
+
+    #[test]
+    fn group_reuse_exists_across_k_columns() {
+        // ZB(j,k) and ZB(j,k+1) in calc_uv form a uniformly generated pair.
+        let k = Expl::new(64);
+        let p = k.model();
+        let groups = mlc_model::reuse::uniformly_generated_sets(&p.nests[1], &p.arrays);
+        let zb_group = groups.iter().find(|g| g.array == 1).unwrap();
+        assert_eq!(zb_group.members.len(), 2);
+        assert_eq!(
+            zb_group.members[1].offset_elems - zb_group.members[0].offset_elems,
+            64
+        );
+    }
+
+    #[test]
+    fn flops_match_interior() {
+        let k = Expl::new(512);
+        assert_eq!(k.flops(), 44 * 510 * 510);
+    }
+}

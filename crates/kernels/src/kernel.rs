@@ -1,0 +1,81 @@
+//! The kernel abstraction tying models to runnable code.
+
+use crate::workspace::Workspace;
+use mlc_model::Program;
+
+/// Which Table-1 group a program belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The eight scientific kernels.
+    Kernels,
+    /// NAS benchmarks (proxies).
+    Nas,
+    /// SPEC95 floating-point benchmarks (SWIM/TOMCATV full, rest proxies).
+    Spec95,
+}
+
+impl Suite {
+    /// Table-1 section heading.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Kernels => "KERNELS",
+            Suite::Nas => "NAS BENCHMARKS",
+            Suite::Spec95 => "SPEC95 BENCHMARKS",
+        }
+    }
+}
+
+/// A benchmark program: an analyzable loop-nest model plus a runnable
+/// numeric sweep over a layout-controlled workspace.
+pub trait Kernel {
+    /// Program name as the paper's figures label it (e.g. `expl512`).
+    fn name(&self) -> String;
+
+    /// Table-1 description.
+    fn description(&self) -> &'static str;
+
+    /// Table-1 source line count of the original Fortran program.
+    fn source_lines(&self) -> usize;
+
+    /// Which suite it belongs to.
+    fn suite(&self) -> Suite;
+
+    /// The loop-nest model of one sweep / time step — what the padding
+    /// algorithms analyze and the cache simulator runs.
+    fn model(&self) -> Program;
+
+    /// Floating-point operations per sweep (for MFLOPS reporting).
+    fn flops(&self) -> u64;
+
+    /// Initialize the workspace's arrays with the kernel's data.
+    fn init(&self, ws: &mut Workspace);
+
+    /// Execute one sweep / time step against the workspace.
+    fn sweep(&self, ws: &mut Workspace);
+
+    /// A deterministic checksum of the result state, used to verify that
+    /// padded and unpadded layouts compute identical answers.
+    fn checksum(&self, ws: &Workspace) -> f64;
+}
+
+/// Shared verification helper: run `sweeps` sweeps under two layouts and
+/// compare checksums. Padding must never change results.
+pub fn layouts_agree(
+    kernel: &dyn Kernel,
+    a: &mlc_model::DataLayout,
+    b: &mlc_model::DataLayout,
+    sweeps: usize,
+) -> bool {
+    let program = kernel.model();
+    let mut wa = Workspace::new(&program, a);
+    let mut wb = Workspace::new(&program, b);
+    kernel.init(&mut wa);
+    kernel.init(&mut wb);
+    for _ in 0..sweeps {
+        kernel.sweep(&mut wa);
+        kernel.sweep(&mut wb);
+    }
+    let (ca, cb) = (kernel.checksum(&wa), kernel.checksum(&wb));
+    let tol = 1e-9 * ca.abs().max(cb.abs()).max(1.0);
+    (ca - cb).abs() <= tol
+}

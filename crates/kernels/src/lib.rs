@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # mlc-kernels — the paper's benchmark programs, runnable
+//!
+//! Table 1 of the paper lists the programs its experiments use: eight
+//! scientific kernels, eight NAS benchmarks and eight SPEC95 floating-point
+//! codes. This crate provides each of them in two coupled forms:
+//!
+//! 1. a **loop-nest model** ([`Kernel::model`]) — the `mlc-model` program
+//!    the padding/fusion/tiling algorithms analyze and the cache simulator
+//!    executes (one representative time step / sweep);
+//! 2. a **runnable numeric implementation** ([`Kernel::sweep`]) over a
+//!    [`workspace::Workspace`] whose array placement is controlled by a
+//!    [`mlc_model::DataLayout`] — so the padding decisions change the real
+//!    addresses the timing experiments touch, exactly as the SUIF passes
+//!    changed the Fortran programs' layouts.
+//!
+//! The kernels (ADI, DOT, ERLE, EXPL/Livermore-18, IRR, JACOBI, LINPACKD,
+//! SHAL) plus SPEC's SWIM and TOMCATV are implemented essentially in full;
+//! the remaining NAS and SPEC codes are *proxies* reproducing the dominant
+//! array-access structure of each original (see DESIGN.md §4 for the
+//! substitution argument). Tiled matrix multiplication (the paper's
+//! Figure 8) lives in [`matmul`].
+
+pub mod adi;
+pub mod dot;
+pub mod erle;
+pub mod expl;
+pub mod irr;
+pub mod jacobi;
+pub mod kernel;
+pub mod linpackd;
+pub mod matmul;
+pub mod nas;
+pub mod registry;
+pub mod shal;
+pub mod spec;
+pub mod timeskew;
+pub mod tomcatv;
+pub mod workspace;
+
+pub use kernel::{Kernel, Suite};
+pub use registry::{all_kernels, kernel_by_name};
+pub use workspace::{ld, st, Mat, Workspace};

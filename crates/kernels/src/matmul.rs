@@ -1,0 +1,347 @@
+//! Matrix multiplication — untiled and tiled (the paper's Figure 8).
+//!
+//! ```text
+//! do KK=1,N,W            // W = tile width
+//!   do II=1,N,H          // H = tile height
+//!     do J=1,N
+//!       do K=KK,min(KK+W-1,N)
+//!         do I=II,min(II+H-1,N)
+//!           C(I,J) = C(I,J) + A(I,K)*B(K,J)
+//! ```
+//!
+//! Reference `A(I,K)` sees an H×W tile per `J` iteration; Figure 13 times
+//! this code with L1-, 2×L1-, 4×L1- and L2-sized tiles chosen by
+//! `mlc_core::tiling::select_tile`.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Mat, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+use mlc_model::transform::tile;
+
+/// Square matmul `C += A*B` of size `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct Matmul {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Matmul {
+    /// Construct the kernel at the given problem size.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Self { n }
+    }
+
+    /// The untiled J-K-I loop-nest model.
+    pub fn base_model(&self) -> Program {
+        let n = self.n;
+        let mut p = Program::new(format!("matmul{n}"));
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
+        let c = p.add_array(ArrayDecl::f64("C", vec![n, n]));
+        let nn = n as i64 - 1;
+        p.add_nest(LoopNest::new(
+            "mm",
+            vec![
+                Loop::counted("J", 0, nn),
+                Loop::counted("K", 0, nn),
+                Loop::counted("I", 0, nn),
+            ],
+            vec![
+                ArrayRef::read(a, vec![E::var("I"), E::var("K")]),
+                ArrayRef::read(b, vec![E::var("K"), E::var("J")]),
+                ArrayRef::read(c, vec![E::var("I"), E::var("J")]),
+                ArrayRef::write(c, vec![E::var("I"), E::var("J")]),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    /// The Figure-8 tiled model: tiles of height `h` (over I) and width `w`
+    /// (over K).
+    pub fn tiled_model(&self, h: u64, w: u64) -> Program {
+        let mut p = self.base_model();
+        // Levels in the J-K-I nest: K = 1, I = 2. Spec order (K first) puts
+        // KK outermost then II, matching the paper's listing.
+        p.nests[0] = tile(&p.nests[0], &[(1, w), (2, h)]).expect("tiling matmul is always legal");
+        p
+    }
+}
+
+/// The numeric tiled matmul matching the Figure-8 loop structure exactly.
+pub fn matmul_tiled(d: &mut [f64], a: Mat, b: Mat, c: Mat, n: usize, h: usize, w: usize) {
+    let mut kk = 0;
+    while kk < n {
+        let kend = (kk + w).min(n);
+        let mut ii = 0;
+        while ii < n {
+            let iend = (ii + h).min(n);
+            for j in 0..n {
+                for k in kk..kend {
+                    let bkj = ld(d, b.at(k, j));
+                    for i in ii..iend {
+                        let v = ld(d, c.at(i, j)) + ld(d, a.at(i, k)) * bkj;
+                        st(d, c.at(i, j), v);
+                    }
+                }
+            }
+            ii = iend;
+        }
+        kk = kend;
+    }
+}
+
+/// Tiled matmul with the A tile **copied to a contiguous buffer** — the
+/// alternative to tile-size selection that Section 5 lists ("avoiding
+/// self-interference conflict misses within each tile using techniques such
+/// as tile size selection, intra-variable padding, and copying tiles to
+/// contiguous buffers"). Copying makes any tile shape self-interference-
+/// free at the cost of the copy traffic, so capacity-sized square tiles
+/// become usable even when `euc` would reject them.
+///
+/// `buf` is the reusable tile buffer; it is resized to `h*w` as needed.
+#[allow(clippy::too_many_arguments)] // the Fortran-style flat-argument convention of the other variants
+pub fn matmul_tiled_copy(
+    d: &mut [f64],
+    a: Mat,
+    b: Mat,
+    c: Mat,
+    n: usize,
+    h: usize,
+    w: usize,
+    buf: &mut Vec<f64>,
+) {
+    buf.resize(h * w, 0.0);
+    let mut kk = 0;
+    while kk < n {
+        let kend = (kk + w).min(n);
+        let mut ii = 0;
+        while ii < n {
+            let iend = (ii + h).min(n);
+            let th = iend - ii;
+            // Copy the A tile, column-major with leading dimension th.
+            for k in kk..kend {
+                for i in ii..iend {
+                    buf[(i - ii) + (k - kk) * th] = ld(d, a.at(i, k));
+                }
+            }
+            for j in 0..n {
+                for k in kk..kend {
+                    let bkj = ld(d, b.at(k, j));
+                    let col = (k - kk) * th;
+                    for i in ii..iend {
+                        let v = ld(d, c.at(i, j)) + buf[col + (i - ii)] * bkj;
+                        st(d, c.at(i, j), v);
+                    }
+                }
+            }
+            ii = iend;
+        }
+        kk = kend;
+    }
+}
+
+/// Plain (untiled) J-K-I matmul.
+pub fn matmul_untiled(d: &mut [f64], a: Mat, b: Mat, c: Mat, n: usize) {
+    for j in 0..n {
+        for k in 0..n {
+            let bkj = ld(d, b.at(k, j));
+            for i in 0..n {
+                let v = ld(d, c.at(i, j)) + ld(d, a.at(i, k)) * bkj;
+                st(d, c.at(i, j), v);
+            }
+        }
+    }
+}
+
+impl Kernel for Matmul {
+    fn name(&self) -> String {
+        format!("matmul{}", self.n)
+    }
+
+    fn description(&self) -> &'static str {
+        "Dense Matrix Multiplication"
+    }
+
+    fn source_lines(&self) -> usize {
+        20
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Kernels
+    }
+
+    fn model(&self) -> Program {
+        self.base_model()
+    }
+
+    fn flops(&self) -> u64 {
+        2 * (self.n as u64).pow(3)
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill2(0, |i, j| ((i * 7 + j * 3) % 16) as f64 * 0.0625);
+        ws.fill2(1, |i, j| ((i * 5 + j * 11) % 16) as f64 * 0.0625 - 0.5);
+        ws.fill2(2, |_, _| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        matmul_untiled(ws.data_mut(), a, b, c, self.n);
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum2(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(n: usize, av: &dyn Fn(usize, usize) -> f64, bv: &dyn Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut c = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += av(i, k) * bv(k, j);
+                }
+                c[i + j * n] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tiled_equals_untiled_equals_naive() {
+        let n = 23;
+        let m = Matmul::new(n);
+        let p = m.base_model();
+        let av = |i: usize, k: usize| (i + 2 * k) as f64 * 0.125;
+        let bv = |k: usize, j: usize| (3 * k) as f64 - j as f64;
+        let reference = naive(n, &av, &bv);
+
+        for (h, w) in [(n, n), (4, 4), (5, 7), (1, 1), (23, 3)] {
+            let mut ws = Workspace::contiguous(&p);
+            ws.fill2(0, av);
+            ws.fill2(1, bv);
+            let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+            matmul_tiled(ws.data_mut(), a, b, c, n, h, w);
+            for j in 0..n {
+                for i in 0..n {
+                    let got = ws.data()[c.at(i, j)];
+                    assert!(
+                        (got - reference[i + j * n]).abs() < 1e-9,
+                        "tile {h}x{w}, C({i},{j}) = {got} != {}",
+                        reference[i + j * n]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_tiled_matches_naive() {
+        let n = 19;
+        let av = |i: usize, k: usize| ((i * 3 + k) % 7) as f64 - 3.0;
+        let bv = |k: usize, j: usize| ((k + 2 * j) % 5) as f64 * 0.5;
+        let reference = naive(n, &av, &bv);
+        let m = Matmul::new(n);
+        let p = m.base_model();
+        let mut buf = Vec::new();
+        for (h, w) in [(4usize, 6usize), (19, 19), (1, 19), (7, 3)] {
+            let mut ws = Workspace::contiguous(&p);
+            ws.fill2(0, av);
+            ws.fill2(1, bv);
+            let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+            matmul_tiled_copy(ws.data_mut(), a, b, c, n, h, w, &mut buf);
+            for j in 0..n {
+                for i in 0..n {
+                    assert!(
+                        (ws.data()[c.at(i, j)] - reference[i + j * n]).abs() < 1e-9,
+                        "copy tile {h}x{w} wrong at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_buffer_is_reused_across_calls() {
+        let n = 8;
+        let m = Matmul::new(n);
+        let p = m.base_model();
+        let mut ws = Workspace::contiguous(&p);
+        m.init(&mut ws);
+        let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let mut buf = Vec::new();
+        matmul_tiled_copy(ws.data_mut(), a, b, c, n, 4, 4, &mut buf);
+        let cap = buf.capacity();
+        matmul_tiled_copy(ws.data_mut(), a, b, c, n, 4, 4, &mut buf);
+        assert_eq!(buf.capacity(), cap, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn tiled_model_matches_figure8_order() {
+        let m = Matmul::new(12);
+        let p = m.tiled_model(3, 4);
+        let vars = p.nests[0].loop_vars();
+        assert_eq!(vars, vec!["KK", "II", "J", "K", "I"]);
+    }
+
+    #[test]
+    fn tiled_model_access_count_matches_untiled() {
+        let m = Matmul::new(10);
+        let base = m.base_model();
+        let tiled = m.tiled_model(3, 4);
+        assert_eq!(base.const_references(), Some(4 * 1000));
+        // Tiled bounds are min-bounds: count by generation.
+        let l = DataLayout::contiguous(&tiled.arrays);
+        let mut c = mlc_cache_sim::trace::CountingSink::default();
+        mlc_model::trace_gen::generate(&tiled, &l, &mut c);
+        assert_eq!(c.total, 4000);
+    }
+
+    #[test]
+    fn padded_layout_gives_same_product() {
+        let n = 16;
+        let m = Matmul::new(n);
+        let p = m.base_model();
+        let l = DataLayout::with_pads(&p.arrays, &[64, 128, 192]);
+        let mut ws = Workspace::new(&p, &l);
+        m.init(&mut ws);
+        m.sweep(&mut ws);
+        let padded = m.checksum(&ws);
+        let mut ws2 = Workspace::contiguous(&p);
+        m.init(&mut ws2);
+        m.sweep(&mut ws2);
+        assert_eq!(padded, m.checksum(&ws2));
+    }
+
+    #[test]
+    fn intra_padded_ld_works_in_tiled_code() {
+        // eucPad-style column padding must flow through Mat::ld.
+        let n = 12;
+        let m = Matmul::new(n);
+        let mut p = m.base_model();
+        for id in 0..3 {
+            p.arrays[id].set_dim_pad(0, 4);
+        }
+        let mut ws = Workspace::contiguous(&p);
+        m.init(&mut ws);
+        let (a, b, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        assert_eq!(a.ld, 16);
+        matmul_tiled(ws.data_mut(), a, b, c, n, 5, 6);
+        let unpadded = {
+            let p2 = m.base_model();
+            let mut w2 = Workspace::contiguous(&p2);
+            m.init(&mut w2);
+            m.sweep(&mut w2);
+            m.checksum(&w2)
+        };
+        assert!((ws.sum2(2) - unpadded).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1146 @@
+//! NAS benchmark proxies.
+//!
+//! From-scratch Rust kernels reproducing the *dominant array-access
+//! structure* of the eight NAS codes in Table 1 at reduced scale — the
+//! quantity the paper's padding experiments depend on (see DESIGN.md §4).
+//! Each proxy is a real computation (sorts sort, CG iterates, FFTs
+//! transform) with a loop-nest model of its main sweeps.
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+// ---------------------------------------------------------------------------
+// BUK — integer bucket sort.
+// ---------------------------------------------------------------------------
+
+/// Bucket sort of `n` keys into `buckets` buckets (NAS IS).
+#[derive(Debug, Clone, Copy)]
+pub struct Buk {
+    /// Problem size.
+    pub n: usize,
+    /// Buckets.
+    pub buckets: usize,
+}
+
+impl Buk {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper() -> Self {
+        Self { n: 1 << 16, buckets: 1 << 10 }
+    }
+}
+
+impl Kernel for Buk {
+    fn name(&self) -> String {
+        "buk".into()
+    }
+
+    fn description(&self) -> &'static str {
+        "Integer Bucket Sort"
+    }
+
+    fn source_lines(&self) -> usize {
+        305
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        let mut p = Program::new("buk");
+        let key = p.add_array(ArrayDecl::f64("KEY", vec![self.n]));
+        let cnt = p.add_array(ArrayDecl::f64("COUNT", vec![self.buckets]));
+        let rank = p.add_array(ArrayDecl::f64("RANK", vec![self.n]));
+        p.add_nest(LoopNest::new(
+            "count",
+            vec![Loop::counted("i", 0, self.n as i64 - 1)],
+            vec![ArrayRef::read(key, vec![E::var("i")])],
+        ));
+        p.add_nest(LoopNest::new(
+            "prefix",
+            vec![Loop::counted("b", 1, self.buckets as i64 - 1)],
+            vec![
+                ArrayRef::read(cnt, vec![E::var_plus("b", -1)]),
+                ArrayRef::read(cnt, vec![E::var("b")]),
+                ArrayRef::write(cnt, vec![E::var("b")]),
+            ],
+        ));
+        p.add_nest(LoopNest::new(
+            "rank",
+            vec![Loop::counted("i", 0, self.n as i64 - 1)],
+            vec![
+                ArrayRef::read(key, vec![E::var("i")]),
+                ArrayRef::write(rank, vec![E::var("i")]),
+            ],
+        ));
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        (2 * self.n + self.buckets) as u64
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        let b = self.buckets as u64;
+        ws.fill1(0, |i| {
+            // Deterministic scrambled keys in [0, buckets).
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            (h % b) as f64
+        });
+        ws.fill1(1, |_| 0.0);
+        ws.fill1(2, |_| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (key, cnt, rank) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let (n, buckets) = (self.n, self.buckets);
+        let d = ws.data_mut();
+        for b in 0..buckets {
+            st(d, cnt.at1(b), 0.0);
+        }
+        for i in 0..n {
+            let k = ld(d, key.at1(i)) as usize;
+            let c = ld(d, cnt.at1(k)) + 1.0;
+            st(d, cnt.at1(k), c);
+        }
+        for b in 1..buckets {
+            let c = ld(d, cnt.at1(b)) + ld(d, cnt.at1(b - 1));
+            st(d, cnt.at1(b), c);
+        }
+        for i in (0..n).rev() {
+            let k = ld(d, key.at1(i)) as usize;
+            let c = ld(d, cnt.at1(k)) - 1.0;
+            st(d, cnt.at1(k), c);
+            st(d, rank.at1(i), c);
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        // Σ i * rank(i) is order-sensitive: catches wrong permutations.
+        let rank = ws.mat(2);
+        (0..self.n).map(|i| i as f64 * ws.data()[rank.at1(i)]).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CGM — conjugate-gradient iteration on a 2-D Laplacian.
+// ---------------------------------------------------------------------------
+
+/// One CG iteration on an `m`×`m` grid (NAS CG's sparse structure realized
+/// as the pentadiagonal 2-D Laplacian, keeping every reference affine).
+#[derive(Debug, Clone, Copy)]
+pub struct Cgm {
+    /// M.
+    pub m: usize,
+}
+
+impl Cgm {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper() -> Self {
+        Self { m: 256 }
+    }
+
+    fn nv(&self) -> usize {
+        self.m * self.m
+    }
+}
+
+impl Kernel for Cgm {
+    fn name(&self) -> String {
+        "cgm".into()
+    }
+
+    fn description(&self) -> &'static str {
+        "Sparse Conjugate Gradient"
+    }
+
+    fn source_lines(&self) -> usize {
+        855
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        let nv = self.nv() as i64;
+        let m = self.m as i64;
+        let mut prog = Program::new("cgm");
+        let p = prog.add_array(ArrayDecl::f64("P", vec![self.nv()]));
+        let q = prog.add_array(ArrayDecl::f64("Q", vec![self.nv()]));
+        let r = prog.add_array(ArrayDecl::f64("R", vec![self.nv()]));
+        let x = prog.add_array(ArrayDecl::f64("X", vec![self.nv()]));
+        prog.add_nest(LoopNest::new(
+            "spmv",
+            vec![Loop::counted("i", m, nv - m - 1)],
+            vec![
+                ArrayRef::read(p, vec![E::var("i")]),
+                ArrayRef::read(p, vec![E::var_plus("i", -1)]),
+                ArrayRef::read(p, vec![E::var_plus("i", 1)]),
+                ArrayRef::read(p, vec![E::var_plus("i", -m)]),
+                ArrayRef::read(p, vec![E::var_plus("i", m)]),
+                ArrayRef::write(q, vec![E::var("i")]),
+            ],
+        ));
+        prog.add_nest(LoopNest::new(
+            "dots",
+            vec![Loop::counted("i", 0, nv - 1)],
+            vec![
+                ArrayRef::read(r, vec![E::var("i")]),
+                ArrayRef::read(p, vec![E::var("i")]),
+                ArrayRef::read(q, vec![E::var("i")]),
+            ],
+        ));
+        prog.add_nest(LoopNest::new(
+            "axpys",
+            vec![Loop::counted("i", 0, nv - 1)],
+            vec![
+                ArrayRef::read(p, vec![E::var("i")]),
+                ArrayRef::read(x, vec![E::var("i")]),
+                ArrayRef::write(x, vec![E::var("i")]),
+                ArrayRef::read(q, vec![E::var("i")]),
+                ArrayRef::read(r, vec![E::var("i")]),
+                ArrayRef::write(r, vec![E::var("i")]),
+                ArrayRef::write(p, vec![E::var("i")]),
+            ],
+        ));
+        prog
+    }
+
+    fn flops(&self) -> u64 {
+        (9 + 6 + 6) * self.nv() as u64
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        // p = r = b initially (x = 0). The SpMV truncates to the interior
+        // rows, so the boundary band of the right-hand side must be zero for
+        // the iteration to be a consistent CG on the interior operator.
+        let (m, nv) = (self.m, self.nv());
+        let interior = move |i: usize| i >= m && i < nv - m;
+        ws.fill1(0, |i| if interior(i) { ((i % 17) as f64 - 8.0) / 17.0 } else { 0.0 });
+        ws.fill1(1, |_| 0.0);
+        ws.fill1(2, |i| if interior(i) { ((i % 17) as f64 - 8.0) / 17.0 } else { 0.0 });
+        ws.fill1(3, |_| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (p, q, r, x) = (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3));
+        let (nv, m) = (self.nv(), self.m);
+        let d = ws.data_mut();
+        // q = A p (5-point Laplacian).
+        for i in m..nv - m {
+            let v = 4.0 * ld(d, p.at1(i))
+                - ld(d, p.at1(i - 1))
+                - ld(d, p.at1(i + 1))
+                - ld(d, p.at1(i - m))
+                - ld(d, p.at1(i + m));
+            st(d, q.at1(i), v);
+        }
+        // alpha = (r.r)/(p.q).
+        let mut rr = 0.0;
+        let mut pq = 0.0;
+        for i in 0..nv {
+            rr += ld(d, r.at1(i)) * ld(d, r.at1(i));
+            pq += ld(d, p.at1(i)) * ld(d, q.at1(i));
+        }
+        let alpha = if pq.abs() > 1e-300 { rr / pq } else { 0.0 };
+        // x += alpha p; r -= alpha q; beta; p = r + beta p.
+        let mut rr_new = 0.0;
+        for i in 0..nv {
+            let xv = ld(d, x.at1(i)) + alpha * ld(d, p.at1(i));
+            st(d, x.at1(i), xv);
+            let rv = ld(d, r.at1(i)) - alpha * ld(d, q.at1(i));
+            st(d, r.at1(i), rv);
+            rr_new += rv * rv;
+        }
+        let beta = if rr.abs() > 1e-300 { rr_new / rr } else { 0.0 };
+        for i in 0..nv {
+            let pv = ld(d, r.at1(i)) + beta * ld(d, p.at1(i));
+            st(d, p.at1(i), pv);
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum1(3) + ws.sum1(2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EMBAR — embarrassingly parallel Monte Carlo.
+// ---------------------------------------------------------------------------
+
+/// Marsaglia-polar Gaussian-pair counting (NAS EP).
+#[derive(Debug, Clone, Copy)]
+pub struct Embar {
+    /// Pairs.
+    pub pairs: usize,
+}
+
+impl Embar {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper() -> Self {
+        Self { pairs: 1 << 16 }
+    }
+}
+
+impl Kernel for Embar {
+    fn name(&self) -> String {
+        "embar".into()
+    }
+
+    fn description(&self) -> &'static str {
+        "Monte Carlo"
+    }
+
+    fn source_lines(&self) -> usize {
+        265
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        let n = self.pairs as i64;
+        let mut p = Program::new("embar");
+        let xs = p.add_array(ArrayDecl::f64("XS", vec![2 * self.pairs]));
+        let qq = p.add_array(ArrayDecl::f64("QQ", vec![16]));
+        p.add_nest(LoopNest::new(
+            "generate",
+            vec![Loop::counted("i", 0, 2 * n - 1)],
+            vec![ArrayRef::write(xs, vec![E::var("i")])],
+        ));
+        p.add_nest(LoopNest::new(
+            "accumulate",
+            vec![Loop::counted("i", 0, n - 1)],
+            vec![
+                ArrayRef::read(xs, vec![E::scaled("i", 2)]),
+                ArrayRef::read(xs, vec![E::scaled("i", 2).plus(1)]),
+                ArrayRef::read(qq, vec![E::constant(0)]),
+                ArrayRef::write(qq, vec![E::constant(0)]),
+            ],
+        ));
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        12 * self.pairs as u64
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill1(0, |_| 0.0);
+        ws.fill1(1, |_| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let (xs, qq) = (ws.mat(0), ws.mat(1));
+        let pairs = self.pairs;
+        let d = ws.data_mut();
+        // NAS EP's linear congruential generator (reduced modulus).
+        let mut seed: u64 = 271_828_183;
+        for i in 0..2 * pairs {
+            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            st(d, xs.at1(i), (seed >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        for i in 0..pairs {
+            let x = 2.0 * ld(d, xs.at1(2 * i)) - 1.0;
+            let y = 2.0 * ld(d, xs.at1(2 * i + 1)) - 1.0;
+            let t = x * x + y * y;
+            if t <= 1.0 && t > 0.0 {
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let gx = (x * f).abs();
+                let gy = (y * f).abs();
+                let bin = (gx.max(gy) as usize).min(15);
+                let c = ld(d, qq.at1(bin)) + 1.0;
+                st(d, qq.at1(bin), c);
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum1(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FFTPDE — 3-D fast Fourier transform.
+// ---------------------------------------------------------------------------
+
+/// Radix-2 complex FFT applied along each dimension of an n³ grid (NAS FT's
+/// transform step; the PDE evolution multiply is folded into init/checksum).
+#[derive(Debug, Clone, Copy)]
+pub struct Fftpde {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Fftpde {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper() -> Self {
+        Self { n: 64 }
+    }
+}
+
+/// In-place radix-2 DIT FFT over `len` complex points at stride `stride`,
+/// starting at `base`, re/im split across two buffers at identical offsets.
+fn fft_strided(d: &mut [f64], re0: usize, im0: usize, base: usize, len: usize, stride: usize) {
+    debug_assert!(len.is_power_of_two());
+    // Bit reversal.
+    let mut j = 0usize;
+    for i in 0..len {
+        if i < j {
+            let (ai, aj) = (base + i * stride, base + j * stride);
+            d.swap(re0 + ai, re0 + aj);
+            d.swap(im0 + ai, im0 + aj);
+        }
+        let mut m = len >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Butterflies.
+    let mut half = 1usize;
+    while half < len {
+        let theta = -std::f64::consts::PI / half as f64;
+        let (wr0, wi0) = (theta.cos(), theta.sin());
+        let mut k = 0;
+        while k < len {
+            let (mut wr, mut wi) = (1.0f64, 0.0f64);
+            for t in 0..half {
+                let a = base + (k + t) * stride;
+                let b = base + (k + t + half) * stride;
+                let (br, bi) = (ld(d, re0 + b), ld(d, im0 + b));
+                let (tr, ti) = (wr * br - wi * bi, wr * bi + wi * br);
+                let (ar, ai) = (ld(d, re0 + a), ld(d, im0 + a));
+                st(d, re0 + b, ar - tr);
+                st(d, im0 + b, ai - ti);
+                st(d, re0 + a, ar + tr);
+                st(d, im0 + a, ai + ti);
+                let nwr = wr * wr0 - wi * wi0;
+                wi = wr * wi0 + wi * wr0;
+                wr = nwr;
+            }
+            k += 2 * half;
+        }
+        half <<= 1;
+    }
+}
+
+impl Kernel for Fftpde {
+    fn name(&self) -> String {
+        "fftpde".into()
+    }
+
+    fn description(&self) -> &'static str {
+        "3D Fast Fourier Transform"
+    }
+
+    fn source_lines(&self) -> usize {
+        773
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        // The padding-relevant structure: RE and IM are equal-sized grids
+        // swept in lockstep once per dimension — a textbook severe-conflict
+        // pair when their bases coincide on the cache.
+        let n = self.n as i64;
+        let mut p = Program::new("fftpde");
+        let re = p.add_array(ArrayDecl::f64("RE", vec![self.n, self.n, self.n]));
+        let im = p.add_array(ArrayDecl::f64("IM", vec![self.n, self.n, self.n]));
+        for (nest, (vars, half_dim)) in
+            [(["k", "j", "i"], 0usize), (["k", "i", "j"], 1), (["j", "i", "k"], 2)]
+                .into_iter()
+                .enumerate()
+        {
+            let mut subs_lo = vec![E::var("i"), E::var("j"), E::var("k")];
+            let mut subs_hi = subs_lo.clone();
+            subs_hi[half_dim] = E::var_plus(["i", "j", "k"][half_dim], n / 2);
+            // The transformed dimension's loop covers only its lower half;
+            // butterflies touch x and x + n/2.
+            let loops: Vec<Loop> = vars
+                .iter()
+                .map(|v| {
+                    let upper = if *v == ["i", "j", "k"][half_dim] { n / 2 - 1 } else { n - 1 };
+                    Loop::counted(*v, 0, upper)
+                })
+                .collect();
+            subs_lo.rotate_left(0);
+            p.add_nest(LoopNest::new(
+                format!("fft_dim{nest}"),
+                loops,
+                vec![
+                    ArrayRef::read(re, subs_lo.clone()),
+                    ArrayRef::read(im, subs_lo.clone()),
+                    ArrayRef::read(re, subs_hi.clone()),
+                    ArrayRef::read(im, subs_hi.clone()),
+                    ArrayRef::write(re, subs_lo.clone()),
+                    ArrayRef::write(im, subs_lo.clone()),
+                    ArrayRef::write(re, subs_hi.clone()),
+                    ArrayRef::write(im, subs_hi),
+                ],
+            ));
+        }
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        // 3 dims * n^2 FFTs * 5 n log2 n flops.
+        let n = self.n as u64;
+        3 * n * n * 5 * n * (n.trailing_zeros() as u64)
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill3(0, |i, j, k| (((i * 7 + j * 3 + k) % 32) as f64) / 32.0 - 0.5);
+        ws.fill3(1, |_, _, _| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let (re, im) = (ws.mat(0), ws.mat(1));
+        let d = ws.data_mut();
+        // Along dim 0 (unit stride).
+        for k in 0..n {
+            for j in 0..n {
+                fft_strided(d, re.off, im.off, j * re.ld + k * re.ld2, n, 1);
+            }
+        }
+        // Along dim 1.
+        for k in 0..n {
+            for i in 0..n {
+                fft_strided(d, re.off, im.off, i + k * re.ld2, n, re.ld);
+            }
+        }
+        // Along dim 2.
+        for j in 0..n {
+            for i in 0..n {
+                fft_strided(d, re.off, im.off, i + j * re.ld, n, re.ld2);
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum3(0).abs() + ws.sum3(1).abs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MGRID — multigrid V-cycle.
+// ---------------------------------------------------------------------------
+
+/// One smoothed two-grid cycle of a 7-point Poisson multigrid (NAS MG).
+#[derive(Debug, Clone, Copy)]
+pub struct Mgrid {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Mgrid {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper() -> Self {
+        Self { n: 64 }
+    }
+}
+
+impl Kernel for Mgrid {
+    fn name(&self) -> String {
+        "mgrid".into()
+    }
+
+    fn description(&self) -> &'static str {
+        "Multigrid Solver"
+    }
+
+    fn source_lines(&self) -> usize {
+        680
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        let n = self.n as i64;
+        let h = self.n / 2;
+        let mut p = Program::new("mgrid");
+        let u = p.add_array(ArrayDecl::f64("U", vec![self.n, self.n, self.n]));
+        let v = p.add_array(ArrayDecl::f64("V", vec![self.n, self.n, self.n]));
+        let r = p.add_array(ArrayDecl::f64("R", vec![self.n, self.n, self.n]));
+        let r2 = p.add_array(ArrayDecl::f64("R2", vec![h, h, h]));
+        let u2 = p.add_array(ArrayDecl::f64("U2", vec![h, h, h]));
+        let ijk = |di: i64, dj: i64, dk: i64| {
+            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+        };
+        let interior = |hi: i64| {
+            vec![
+                Loop::counted("k", 1, hi - 2),
+                Loop::counted("j", 1, hi - 2),
+                Loop::counted("i", 1, hi - 2),
+            ]
+        };
+        // Residual: R = V - A U (7-point).
+        p.add_nest(LoopNest::new(
+            "residual",
+            interior(n),
+            vec![
+                ArrayRef::read(v, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(-1, 0, 0)),
+                ArrayRef::read(u, ijk(1, 0, 0)),
+                ArrayRef::read(u, ijk(0, -1, 0)),
+                ArrayRef::read(u, ijk(0, 1, 0)),
+                ArrayRef::read(u, ijk(0, 0, -1)),
+                ArrayRef::read(u, ijk(0, 0, 1)),
+                ArrayRef::write(r, ijk(0, 0, 0)),
+            ],
+        ));
+        // Restriction: R2(i,j,k) = R(2i,2j,2k) (+ neighbor average).
+        let two = |v: &str| E::scaled(v, 2);
+        p.add_nest(LoopNest::new(
+            "restrict",
+            interior(h as i64),
+            vec![
+                ArrayRef::read(r, vec![two("i"), two("j"), two("k")]),
+                ArrayRef::read(r, vec![two("i").plus(1), two("j"), two("k")]),
+                ArrayRef::read(r, vec![two("i"), two("j").plus(1), two("k")]),
+                ArrayRef::read(r, vec![two("i"), two("j"), two("k").plus(1)]),
+                ArrayRef::write(r2, ijk(0, 0, 0)),
+            ],
+        ));
+        // Coarse smoothing.
+        p.add_nest(LoopNest::new(
+            "smooth_coarse",
+            interior(h as i64),
+            vec![
+                ArrayRef::read(r2, ijk(0, 0, 0)),
+                ArrayRef::read(u2, ijk(-1, 0, 0)),
+                ArrayRef::read(u2, ijk(1, 0, 0)),
+                ArrayRef::read(u2, ijk(0, -1, 0)),
+                ArrayRef::read(u2, ijk(0, 1, 0)),
+                ArrayRef::read(u2, ijk(0, 0, -1)),
+                ArrayRef::read(u2, ijk(0, 0, 1)),
+                ArrayRef::write(u2, ijk(0, 0, 0)),
+            ],
+        ));
+        // Prolongation + fine smoothing: U(2i,2j,2k) += U2(i,j,k) etc.
+        p.add_nest(LoopNest::new(
+            "prolongate",
+            interior(h as i64),
+            vec![
+                ArrayRef::read(u2, ijk(0, 0, 0)),
+                ArrayRef::read(u, vec![two("i"), two("j"), two("k")]),
+                ArrayRef::write(u, vec![two("i"), two("j"), two("k")]),
+            ],
+        ));
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        let n = self.n as u64;
+        10 * n * n * n
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill3(0, |_, _, _| 0.0);
+        ws.fill3(1, |i, j, k| if (i, j, k) == (self.n / 3, self.n / 2, self.n / 4) { 1.0 } else { 0.0 });
+        ws.fill3(2, |_, _, _| 0.0);
+        ws.fill3(3, |_, _, _| 0.0);
+        ws.fill3(4, |_, _, _| 0.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let h = n / 2;
+        let (u, v, r, r2, u2) = (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3), ws.mat(4));
+        let d = ws.data_mut();
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let lap = 6.0 * ld(d, u.at3(i, j, k))
+                        - ld(d, u.at3(i - 1, j, k))
+                        - ld(d, u.at3(i + 1, j, k))
+                        - ld(d, u.at3(i, j - 1, k))
+                        - ld(d, u.at3(i, j + 1, k))
+                        - ld(d, u.at3(i, j, k - 1))
+                        - ld(d, u.at3(i, j, k + 1));
+                    st(d, r.at3(i, j, k), ld(d, v.at3(i, j, k)) - lap);
+                }
+            }
+        }
+        for k in 1..h - 1 {
+            for j in 1..h - 1 {
+                for i in 1..h - 1 {
+                    let s = 0.25
+                        * (ld(d, r.at3(2 * i, 2 * j, 2 * k))
+                            + ld(d, r.at3(2 * i + 1, 2 * j, 2 * k))
+                            + ld(d, r.at3(2 * i, 2 * j + 1, 2 * k))
+                            + ld(d, r.at3(2 * i, 2 * j, 2 * k + 1)));
+                    st(d, r2.at3(i, j, k), s);
+                }
+            }
+        }
+        for k in 1..h - 1 {
+            for j in 1..h - 1 {
+                for i in 1..h - 1 {
+                    let s = (ld(d, r2.at3(i, j, k))
+                        + ld(d, u2.at3(i - 1, j, k))
+                        + ld(d, u2.at3(i + 1, j, k))
+                        + ld(d, u2.at3(i, j - 1, k))
+                        + ld(d, u2.at3(i, j + 1, k))
+                        + ld(d, u2.at3(i, j, k - 1))
+                        + ld(d, u2.at3(i, j, k + 1)))
+                        / 6.0;
+                    st(d, u2.at3(i, j, k), s);
+                }
+            }
+        }
+        for k in 1..h - 1 {
+            for j in 1..h - 1 {
+                for i in 1..h - 1 {
+                    let val = ld(d, u.at3(2 * i, 2 * j, 2 * k)) + ld(d, u2.at3(i, j, k));
+                    st(d, u.at3(2 * i, 2 * j, 2 * k), val);
+                }
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum3(0) * 1e6 + ws.sum3(2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// APPBT / APPLU / APPSP — PDE solver proxies.
+// ---------------------------------------------------------------------------
+
+/// Which NAS pseudo-application flavour a [`Pde3d`] instance is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdeFlavor {
+    /// Block-tridiagonal: line tridiagonal solves along every dimension.
+    Appbt,
+    /// SSOR: lower then upper wavefront-style sweeps.
+    Applu,
+    /// Scalar pentadiagonal: 5-point line recurrences along each dimension.
+    Appsp,
+}
+
+/// A 3-D PDE-solver proxy: RHS stencil + flavour-specific implicit sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Pde3d {
+    /// Problem size.
+    pub n: usize,
+    /// Flavor.
+    pub flavor: PdeFlavor,
+}
+
+impl Pde3d {
+    /// The paper-scale configuration of this proxy.
+    pub fn paper(flavor: PdeFlavor) -> Self {
+        Self { n: 32, flavor }
+    }
+}
+
+impl Kernel for Pde3d {
+    fn name(&self) -> String {
+        match self.flavor {
+            PdeFlavor::Appbt => "appbt".into(),
+            PdeFlavor::Applu => "applu".into(),
+            PdeFlavor::Appsp => "appsp".into(),
+        }
+    }
+
+    fn description(&self) -> &'static str {
+        match self.flavor {
+            PdeFlavor::Appbt => "Block-Tridiagonal PDE Solver",
+            PdeFlavor::Applu => "Parabolic/Elliptic PDE Solver",
+            PdeFlavor::Appsp => "Scalar-Pentadiagonal PDE Solver",
+        }
+    }
+
+    fn source_lines(&self) -> usize {
+        match self.flavor {
+            PdeFlavor::Appbt => 4441,
+            PdeFlavor::Applu => 3417,
+            PdeFlavor::Appsp => 3991,
+        }
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Nas
+    }
+
+    fn model(&self) -> Program {
+        let n = self.n as i64;
+        let mut p = Program::new(self.name());
+        let u = p.add_array(ArrayDecl::f64("U", vec![self.n, self.n, self.n]));
+        let rhs = p.add_array(ArrayDecl::f64("RHS", vec![self.n, self.n, self.n]));
+        let c = p.add_array(ArrayDecl::f64("C", vec![self.n, self.n, self.n]));
+        let ijk = |di: i64, dj: i64, dk: i64| {
+            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+        };
+        let interior = || {
+            vec![
+                Loop::counted("k", 1, n - 2),
+                Loop::counted("j", 1, n - 2),
+                Loop::counted("i", 1, n - 2),
+            ]
+        };
+        p.add_nest(LoopNest::new(
+            "rhs",
+            interior(),
+            vec![
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(-1, 0, 0)),
+                ArrayRef::read(u, ijk(1, 0, 0)),
+                ArrayRef::read(u, ijk(0, -1, 0)),
+                ArrayRef::read(u, ijk(0, 1, 0)),
+                ArrayRef::read(u, ijk(0, 0, -1)),
+                ArrayRef::read(u, ijk(0, 0, 1)),
+                ArrayRef::write(rhs, ijk(0, 0, 0)),
+            ],
+        ));
+        match self.flavor {
+            PdeFlavor::Appbt => {
+                // Line solves along each dimension.
+                for (name, (di, dj, dk)) in
+                    [("xsolve", (-1, 0, 0)), ("ysolve", (0, -1, 0)), ("zsolve", (0, 0, -1))]
+                {
+                    p.add_nest(LoopNest::new(
+                        name,
+                        interior(),
+                        vec![
+                            ArrayRef::read(c, ijk(0, 0, 0)),
+                            ArrayRef::read(rhs, ijk(di, dj, dk)),
+                            ArrayRef::read(rhs, ijk(0, 0, 0)),
+                            ArrayRef::write(rhs, ijk(0, 0, 0)),
+                        ],
+                    ));
+                }
+            }
+            PdeFlavor::Applu => {
+                // Lower sweep (forward) and upper sweep (backward).
+                p.add_nest(LoopNest::new(
+                    "lower",
+                    interior(),
+                    vec![
+                        ArrayRef::read(c, ijk(0, 0, 0)),
+                        ArrayRef::read(rhs, ijk(-1, 0, 0)),
+                        ArrayRef::read(rhs, ijk(0, -1, 0)),
+                        ArrayRef::read(rhs, ijk(0, 0, -1)),
+                        ArrayRef::read(rhs, ijk(0, 0, 0)),
+                        ArrayRef::write(rhs, ijk(0, 0, 0)),
+                    ],
+                ));
+                let mut rev = interior();
+                for l in &mut rev {
+                    l.step = -1;
+                }
+                p.add_nest(LoopNest::new(
+                    "upper",
+                    rev,
+                    vec![
+                        ArrayRef::read(c, ijk(0, 0, 0)),
+                        ArrayRef::read(rhs, ijk(1, 0, 0)),
+                        ArrayRef::read(rhs, ijk(0, 1, 0)),
+                        ArrayRef::read(rhs, ijk(0, 0, 1)),
+                        ArrayRef::read(rhs, ijk(0, 0, 0)),
+                        ArrayRef::write(rhs, ijk(0, 0, 0)),
+                    ],
+                ));
+            }
+            PdeFlavor::Appsp => {
+                // Pentadiagonal recurrence along k (two-back terms).
+                p.add_nest(LoopNest::new(
+                    "penta_z",
+                    vec![
+                        Loop::counted("k", 2, n - 3),
+                        Loop::counted("j", 1, n - 2),
+                        Loop::counted("i", 1, n - 2),
+                    ],
+                    vec![
+                        ArrayRef::read(c, ijk(0, 0, 0)),
+                        ArrayRef::read(rhs, ijk(0, 0, -1)),
+                        ArrayRef::read(rhs, ijk(0, 0, -2)),
+                        ArrayRef::read(rhs, ijk(0, 0, 0)),
+                        ArrayRef::write(rhs, ijk(0, 0, 0)),
+                    ],
+                ));
+            }
+        }
+        // Update U from RHS.
+        p.add_nest(LoopNest::new(
+            "update",
+            interior(),
+            vec![
+                ArrayRef::read(rhs, ijk(0, 0, 0)),
+                ArrayRef::read(u, ijk(0, 0, 0)),
+                ArrayRef::write(u, ijk(0, 0, 0)),
+            ],
+        ));
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        let pts = (self.n as u64 - 2).pow(3);
+        match self.flavor {
+            PdeFlavor::Appbt => (8 + 3 * 3 + 2) * pts,
+            PdeFlavor::Applu => (8 + 2 * 4 + 2) * pts,
+            PdeFlavor::Appsp => (8 + 5 + 2) * pts,
+        }
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        ws.fill3(0, |i, j, k| 1.0 + (((i + j + k) % 7) as f64) * 0.01);
+        ws.fill3(1, |_, _, _| 0.0);
+        ws.fill3(2, |i, j, k| 0.1 + 0.05 * (((i * j + k) % 5) as f64) / 5.0);
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let (u, rhs, c) = (ws.mat(0), ws.mat(1), ws.mat(2));
+        let d = ws.data_mut();
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let lap = 6.0 * ld(d, u.at3(i, j, k))
+                        - ld(d, u.at3(i - 1, j, k))
+                        - ld(d, u.at3(i + 1, j, k))
+                        - ld(d, u.at3(i, j - 1, k))
+                        - ld(d, u.at3(i, j + 1, k))
+                        - ld(d, u.at3(i, j, k - 1))
+                        - ld(d, u.at3(i, j, k + 1));
+                    st(d, rhs.at3(i, j, k), -0.1 * lap);
+                }
+            }
+        }
+        match self.flavor {
+            PdeFlavor::Appbt => {
+                for axis in 0..3 {
+                    for k in 1..n - 1 {
+                        for j in 1..n - 1 {
+                            for i in 1..n - 1 {
+                                let prev = match axis {
+                                    0 => rhs.at3(i - 1, j, k),
+                                    1 => rhs.at3(i, j - 1, k),
+                                    _ => rhs.at3(i, j, k - 1),
+                                };
+                                let v = ld(d, rhs.at3(i, j, k))
+                                    - ld(d, c.at3(i, j, k)) * ld(d, prev);
+                                st(d, rhs.at3(i, j, k), v);
+                            }
+                        }
+                    }
+                }
+            }
+            PdeFlavor::Applu => {
+                for k in 1..n - 1 {
+                    for j in 1..n - 1 {
+                        for i in 1..n - 1 {
+                            let v = ld(d, rhs.at3(i, j, k))
+                                - ld(d, c.at3(i, j, k))
+                                    * (ld(d, rhs.at3(i - 1, j, k))
+                                        + ld(d, rhs.at3(i, j - 1, k))
+                                        + ld(d, rhs.at3(i, j, k - 1)));
+                            st(d, rhs.at3(i, j, k), v);
+                        }
+                    }
+                }
+                for k in (1..n - 1).rev() {
+                    for j in (1..n - 1).rev() {
+                        for i in (1..n - 1).rev() {
+                            let v = ld(d, rhs.at3(i, j, k))
+                                - ld(d, c.at3(i, j, k))
+                                    * (ld(d, rhs.at3(i + 1, j, k))
+                                        + ld(d, rhs.at3(i, j + 1, k))
+                                        + ld(d, rhs.at3(i, j, k + 1)));
+                            st(d, rhs.at3(i, j, k), v);
+                        }
+                    }
+                }
+            }
+            PdeFlavor::Appsp => {
+                for k in 2..n - 2 {
+                    for j in 1..n - 1 {
+                        for i in 1..n - 1 {
+                            let v = ld(d, rhs.at3(i, j, k))
+                                - ld(d, c.at3(i, j, k))
+                                    * (ld(d, rhs.at3(i, j, k - 1)) + 0.5 * ld(d, rhs.at3(i, j, k - 2)));
+                            st(d, rhs.at3(i, j, k), v);
+                        }
+                    }
+                }
+            }
+        }
+        for k in 1..n - 1 {
+            for j in 1..n - 1 {
+                for i in 1..n - 1 {
+                    let v = ld(d, u.at3(i, j, k)) + ld(d, rhs.at3(i, j, k));
+                    st(d, u.at3(i, j, k), v);
+                }
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum3(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+    use mlc_model::DataLayout;
+
+    #[test]
+    fn buk_sorts() {
+        let k = Buk { n: 256, buckets: 16 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        k.sweep(&mut ws);
+        // Verify rank is a permutation consistent with key order.
+        let (key, rank) = (ws.mat(0), ws.mat(2));
+        let mut seen = vec![false; k.n];
+        let mut sorted = vec![0.0; k.n];
+        for i in 0..k.n {
+            let r = ws.data()[rank.at1(i)] as usize;
+            assert!(!seen[r], "rank collision at {r}");
+            seen[r] = true;
+            sorted[r] = ws.data()[key.at1(i)];
+        }
+        for w in sorted.windows(2) {
+            assert!(w[0] <= w[1], "not sorted: {} > {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn cgm_reduces_residual() {
+        let k = Cgm { m: 16 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        let r0: f64 = (0..k.nv()).map(|i| ws.data()[ws.mat(2).at1(i)].powi(2)).sum();
+        for _ in 0..10 {
+            k.sweep(&mut ws);
+        }
+        let r1: f64 = (0..k.nv()).map(|i| ws.data()[ws.mat(2).at1(i)].powi(2)).sum();
+        assert!(r1 < r0, "CG must reduce the residual: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn embar_counts_pairs() {
+        let k = Embar { pairs: 4096 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        k.sweep(&mut ws);
+        let total = k.checksum(&ws);
+        // ~ pi/4 of pairs accepted.
+        let frac = total / k.pairs as f64;
+        assert!((frac - std::f64::consts::FRAC_PI_4).abs() < 0.05, "acceptance {frac}");
+    }
+
+    #[test]
+    fn fft_parseval_energy_scales_by_n_per_dim() {
+        let k = Fftpde { n: 8 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        let energy_in: f64 = {
+            let re = ws.mat(0);
+            let mut s = 0.0;
+            for kk in 0..8 {
+                for j in 0..8 {
+                    for i in 0..8 {
+                        s += ws.data()[re.at3(i, j, kk)].powi(2);
+                    }
+                }
+            }
+            s
+        };
+        k.sweep(&mut ws);
+        let energy_out: f64 = {
+            let (re, im) = (ws.mat(0), ws.mat(1));
+            let mut s = 0.0;
+            for kk in 0..8 {
+                for j in 0..8 {
+                    for i in 0..8 {
+                        s += ws.data()[re.at3(i, j, kk)].powi(2)
+                            + ws.data()[im.at3(i, j, kk)].powi(2);
+                    }
+                }
+            }
+            s
+        };
+        // Parseval over 3 unnormalized transforms: factor n^3 = 512.
+        let ratio = energy_out / energy_in;
+        assert!((ratio - 512.0).abs() / 512.0 < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mgrid_moves_toward_solution() {
+        let k = Mgrid { n: 16 };
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        k.sweep(&mut ws);
+        // The point source must have propagated into U via the coarse grid.
+        assert_ne!(ws.sum3(0), 0.0);
+    }
+
+    #[test]
+    fn pde_proxies_run_and_differ() {
+        let mut sums = Vec::new();
+        for flavor in [PdeFlavor::Appbt, PdeFlavor::Applu, PdeFlavor::Appsp] {
+            let k = Pde3d { n: 12, flavor };
+            let p = k.model();
+            p.validate().unwrap();
+            let mut ws = Workspace::contiguous(&p);
+            k.init(&mut ws);
+            k.sweep(&mut ws);
+            let c = k.checksum(&ws);
+            assert!(c.is_finite());
+            sums.push(c);
+        }
+        assert_ne!(sums[0], sums[1]);
+        assert_ne!(sums[1], sums[2]);
+    }
+
+    #[test]
+    fn all_nas_models_validate() {
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(Buk { n: 128, buckets: 16 }),
+            Box::new(Cgm { m: 8 }),
+            Box::new(Embar { pairs: 64 }),
+            Box::new(Fftpde { n: 8 }),
+            Box::new(Mgrid { n: 8 }),
+            Box::new(Pde3d { n: 8, flavor: PdeFlavor::Appbt }),
+        ];
+        for k in kernels {
+            k.model().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn padding_safe_for_proxies() {
+        let k = Cgm { m: 8 };
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[32, 64, 0, 128]);
+        assert!(layouts_agree(&k, &a, &b, 3));
+
+        let k = Fftpde { n: 8 };
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[64, 192]);
+        assert!(layouts_agree(&k, &a, &b, 1));
+    }
+}

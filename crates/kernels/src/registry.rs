@@ -1,0 +1,100 @@
+//! Kernel registry: name → kernel, in Table-1 order.
+
+use crate::adi::Adi;
+use crate::dot::Dot;
+use crate::erle::Erle;
+use crate::expl::Expl;
+use crate::irr::Irr;
+use crate::jacobi::Jacobi;
+use crate::kernel::Kernel;
+use crate::linpackd::Linpackd;
+use crate::nas::{Buk, Cgm, Embar, Fftpde, Mgrid, Pde3d, PdeFlavor};
+use crate::shal::Shallow;
+use crate::spec::{Apsi, Fpppp, Hydro2d, Su2cor, Turb3d, Wave5};
+use crate::tomcatv::Tomcatv;
+
+/// Every Table-1 program at its paper-scale configuration, in table order
+/// (kernels, then NAS, then SPEC95).
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        // KERNELS
+        Box::new(Adi::new(32)),
+        Box::new(Dot::kb(512)),
+        Box::new(Erle::new(64)),
+        Box::new(Expl::new(512)),
+        Box::new(Irr::paper()),
+        Box::new(Jacobi::new(512)),
+        Box::new(Linpackd::new(256)),
+        Box::new(Shallow::shal(512)),
+        // NAS
+        Box::new(Pde3d::paper(PdeFlavor::Appbt)),
+        Box::new(Pde3d::paper(PdeFlavor::Applu)),
+        Box::new(Pde3d::paper(PdeFlavor::Appsp)),
+        Box::new(Buk::paper()),
+        Box::new(Cgm::paper()),
+        Box::new(Embar::paper()),
+        Box::new(Fftpde::paper()),
+        Box::new(Mgrid::paper()),
+        // SPEC95
+        Box::new(Apsi::paper()),
+        Box::new(Fpppp::paper()),
+        Box::new(Hydro2d::paper()),
+        Box::new(Su2cor::paper()),
+        Box::new(Shallow::swim(512)),
+        Box::new(Tomcatv::new(512)),
+        Box::new(Turb3d::paper()),
+        Box::new(Wave5::paper()),
+    ]
+}
+
+/// Find a kernel by its figure label (e.g. `"expl512"`, `"swim"`).
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    all_kernels().into_iter().find(|k| k.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Suite;
+
+    #[test]
+    fn registry_covers_table_1() {
+        let ks = all_kernels();
+        assert_eq!(ks.len(), 24);
+        let kernels = ks.iter().filter(|k| k.suite() == Suite::Kernels).count();
+        let nas = ks.iter().filter(|k| k.suite() == Suite::Nas).count();
+        let spec = ks.iter().filter(|k| k.suite() == Suite::Spec95).count();
+        assert_eq!((kernels, nas, spec), (8, 8, 8));
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let ks = all_kernels();
+        let mut names: Vec<String> = ks.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+        assert!(kernel_by_name("expl512").is_some());
+        assert!(kernel_by_name("tomcatv").is_some());
+        assert!(kernel_by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_model_validates() {
+        for k in all_kernels() {
+            k.model().validate().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+        }
+    }
+
+    #[test]
+    fn paper_figure_names_present() {
+        // Names as they appear on the Figure 9 axes.
+        for name in [
+            "adi32", "dot512", "erle64", "expl512", "irr500K", "jacobi512", "linpackd",
+            "shal512", "appbt", "applu", "appsp", "buk", "cgm", "embar", "fftpde", "mgrid",
+            "apsi", "fpppp", "hydro2d", "su2cor", "swim", "tomcatv", "turb3d", "wave5",
+        ] {
+            assert!(kernel_by_name(name).is_some(), "missing kernel {name}");
+        }
+    }
+}

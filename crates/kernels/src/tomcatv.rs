@@ -1,0 +1,274 @@
+//! TOMCATV — vectorized mesh generation (SPEC95).
+//!
+//! The classic thermal mesh-generation benchmark: seven N×N arrays
+//! (coordinates `X Y`, residuals `RX RY`, tridiagonal workspace `AA DD D`).
+//! One iteration computes residuals from 9-point stencils of the
+//! coordinates, forward-eliminates a line tridiagonal system along `j`,
+//! back-substitutes, and adds the correction to the coordinates — four
+//! loop nests with column-direction group reuse, which is why the paper
+//! uses it in the GROUPPAD experiments (Figure 10).
+
+use crate::kernel::{Kernel, Suite};
+use crate::workspace::{ld, st, Workspace};
+use mlc_model::expr::AffineExpr as E;
+use mlc_model::prelude::*;
+
+/// TOMCATV on an `n`×`n` mesh (513 in SPEC; 512 here by default).
+#[derive(Debug, Clone, Copy)]
+pub struct Tomcatv {
+    /// Problem size.
+    pub n: usize,
+}
+
+impl Tomcatv {
+    /// Construct the kernel at the given problem size.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4);
+        Self { n }
+    }
+}
+
+const REL: f64 = 0.98;
+
+impl Kernel for Tomcatv {
+    fn name(&self) -> String {
+        "tomcatv".to_string()
+    }
+
+    fn description(&self) -> &'static str {
+        "Mesh Generation"
+    }
+
+    fn source_lines(&self) -> usize {
+        190
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec95
+    }
+
+    fn model(&self) -> Program {
+        let n = self.n as i64;
+        let mut p = Program::new(self.name());
+        let x = p.add_array(ArrayDecl::f64("X", vec![self.n, self.n]));
+        let y = p.add_array(ArrayDecl::f64("Y", vec![self.n, self.n]));
+        let rx = p.add_array(ArrayDecl::f64("RX", vec![self.n, self.n]));
+        let ry = p.add_array(ArrayDecl::f64("RY", vec![self.n, self.n]));
+        let aa = p.add_array(ArrayDecl::f64("AA", vec![self.n, self.n]));
+        let dd = p.add_array(ArrayDecl::f64("DD", vec![self.n, self.n]));
+        let ij = |di: i64, dj: i64| vec![E::var_plus("i", di), E::var_plus("j", dj)];
+        let interior = || vec![Loop::counted("j", 1, n - 2), Loop::counted("i", 1, n - 2)];
+
+        // Residuals from 9-point stencils of X and Y.
+        p.add_nest(LoopNest::new(
+            "residual",
+            interior(),
+            vec![
+                ArrayRef::read(x, ij(-1, 0)),
+                ArrayRef::read(x, ij(1, 0)),
+                ArrayRef::read(x, ij(0, -1)),
+                ArrayRef::read(x, ij(0, 1)),
+                ArrayRef::read(x, ij(-1, -1)),
+                ArrayRef::read(x, ij(1, 1)),
+                ArrayRef::read(x, ij(0, 0)),
+                ArrayRef::write(rx, ij(0, 0)),
+                ArrayRef::read(y, ij(-1, 0)),
+                ArrayRef::read(y, ij(1, 0)),
+                ArrayRef::read(y, ij(0, -1)),
+                ArrayRef::read(y, ij(0, 1)),
+                ArrayRef::read(y, ij(-1, 1)),
+                ArrayRef::read(y, ij(1, -1)),
+                ArrayRef::read(y, ij(0, 0)),
+                ArrayRef::write(ry, ij(0, 0)),
+                ArrayRef::write(aa, ij(0, 0)),
+                ArrayRef::write(dd, ij(0, 0)),
+            ],
+        ));
+        // Forward elimination of the line tridiagonal systems along j.
+        p.add_nest(LoopNest::new(
+            "forward",
+            vec![Loop::counted("j", 2, n - 2), Loop::counted("i", 1, n - 2)],
+            vec![
+                ArrayRef::read(aa, ij(0, 0)),
+                ArrayRef::read(dd, ij(0, -1)),
+                ArrayRef::read(dd, ij(0, 0)),
+                ArrayRef::write(dd, ij(0, 0)),
+                ArrayRef::read(rx, ij(0, -1)),
+                ArrayRef::read(rx, ij(0, 0)),
+                ArrayRef::write(rx, ij(0, 0)),
+                ArrayRef::read(ry, ij(0, -1)),
+                ArrayRef::read(ry, ij(0, 0)),
+                ArrayRef::write(ry, ij(0, 0)),
+            ],
+        ));
+        // Back substitution along j (reversed).
+        let mut back_j = Loop::counted("j", 1, n - 3);
+        back_j.step = -1;
+        p.add_nest(LoopNest::new(
+            "backward",
+            vec![back_j, Loop::counted("i", 1, n - 2)],
+            vec![
+                ArrayRef::read(dd, ij(0, 0)),
+                ArrayRef::read(rx, ij(0, 1)),
+                ArrayRef::read(rx, ij(0, 0)),
+                ArrayRef::write(rx, ij(0, 0)),
+                ArrayRef::read(ry, ij(0, 1)),
+                ArrayRef::read(ry, ij(0, 0)),
+                ArrayRef::write(ry, ij(0, 0)),
+            ],
+        ));
+        // Add corrections.
+        p.add_nest(LoopNest::new(
+            "update",
+            interior(),
+            vec![
+                ArrayRef::read(rx, ij(0, 0)),
+                ArrayRef::read(x, ij(0, 0)),
+                ArrayRef::write(x, ij(0, 0)),
+                ArrayRef::read(ry, ij(0, 0)),
+                ArrayRef::read(y, ij(0, 0)),
+                ArrayRef::write(y, ij(0, 0)),
+            ],
+        ));
+        debug_assert!(p.validate().is_ok());
+        p
+    }
+
+    fn flops(&self) -> u64 {
+        // ~20 (residual) + 12 (forward) + 6 (backward) + 4 (update).
+        42 * (self.n as u64 - 2) * (self.n as u64 - 2)
+    }
+
+    fn init(&self, ws: &mut Workspace) {
+        let n = self.n as f64;
+        // A gently skewed mesh.
+        ws.fill2(0, |i, j| i as f64 + 0.1 * (j as f64 / n).sin());
+        ws.fill2(1, |i, j| j as f64 + 0.1 * (i as f64 / n).cos());
+        for id in 2..6 {
+            ws.fill2(id, |_, _| 0.0);
+        }
+    }
+
+    fn sweep(&self, ws: &mut Workspace) {
+        let n = self.n;
+        let (x, y, rx, ry, aa, dd) =
+            (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3), ws.mat(4), ws.mat(5));
+        let d = ws.data_mut();
+        // Residuals.
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let xxi = 0.5 * (ld(d, x.at(i + 1, j)) - ld(d, x.at(i - 1, j)));
+                let xeta = 0.5 * (ld(d, x.at(i, j + 1)) - ld(d, x.at(i, j - 1)));
+                let yxi = 0.5 * (ld(d, y.at(i + 1, j)) - ld(d, y.at(i - 1, j)));
+                let yeta = 0.5 * (ld(d, y.at(i, j + 1)) - ld(d, y.at(i, j - 1)));
+                let a = xeta * xeta + yeta * yeta;
+                let b = xxi * xxi + yxi * yxi;
+                let pxx = ld(d, x.at(i + 1, j)) - 2.0 * ld(d, x.at(i, j)) + ld(d, x.at(i - 1, j));
+                let qxx = ld(d, x.at(i, j + 1)) - 2.0 * ld(d, x.at(i, j)) + ld(d, x.at(i, j - 1));
+                let pyy = ld(d, y.at(i + 1, j)) - 2.0 * ld(d, y.at(i, j)) + ld(d, y.at(i - 1, j));
+                let qyy = ld(d, y.at(i, j + 1)) - 2.0 * ld(d, y.at(i, j)) + ld(d, y.at(i, j - 1));
+                let cross_x = 0.25
+                    * (ld(d, x.at(i + 1, j + 1)) - ld(d, x.at(i - 1, j - 1))
+                        - ld(d, x.at(i + 1, j - 1))
+                        + ld(d, x.at(i - 1, j + 1)));
+                let cross_y = 0.25
+                    * (ld(d, y.at(i + 1, j + 1)) - ld(d, y.at(i - 1, j - 1))
+                        - ld(d, y.at(i + 1, j - 1))
+                        + ld(d, y.at(i - 1, j + 1)));
+                st(d, rx.at(i, j), a * pxx + b * qxx - 0.5 * cross_x);
+                st(d, ry.at(i, j), a * pyy + b * qyy - 0.5 * cross_y);
+                st(d, aa.at(i, j), -b);
+                st(d, dd.at(i, j), b + b + a * REL);
+            }
+        }
+        // Forward elimination along j.
+        for j in 2..n - 1 {
+            for i in 1..n - 1 {
+                let r = ld(d, aa.at(i, j)) / ld(d, dd.at(i, j - 1));
+                let nd = ld(d, dd.at(i, j)) - r * ld(d, aa.at(i, j));
+                st(d, dd.at(i, j), nd);
+                let nrx = ld(d, rx.at(i, j)) - r * ld(d, rx.at(i, j - 1));
+                st(d, rx.at(i, j), nrx);
+                let nry = ld(d, ry.at(i, j)) - r * ld(d, ry.at(i, j - 1));
+                st(d, ry.at(i, j), nry);
+            }
+        }
+        // Back substitution.
+        for j in (1..n - 2).rev() {
+            for i in 1..n - 1 {
+                let f = ld(d, aa.at(i, j + 1)) / ld(d, dd.at(i, j));
+                let nrx = (ld(d, rx.at(i, j)) - f * ld(d, rx.at(i, j + 1))) / ld(d, dd.at(i, j));
+                st(d, rx.at(i, j), nrx);
+                let nry = (ld(d, ry.at(i, j)) - f * ld(d, ry.at(i, j + 1))) / ld(d, dd.at(i, j));
+                st(d, ry.at(i, j), nry);
+            }
+        }
+        // Add corrections.
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let nx = ld(d, x.at(i, j)) + REL * 1e-3 * ld(d, rx.at(i, j));
+                st(d, x.at(i, j), nx);
+                let ny = ld(d, y.at(i, j)) + REL * 1e-3 * ld(d, ry.at(i, j));
+                st(d, y.at(i, j), ny);
+            }
+        }
+    }
+
+    fn checksum(&self, ws: &Workspace) -> f64 {
+        ws.sum2(0) + ws.sum2(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::layouts_agree;
+
+    #[test]
+    fn model_has_four_nests_and_validates() {
+        let k = Tomcatv::new(64);
+        let p = k.model();
+        p.validate().unwrap();
+        assert_eq!(p.nests.len(), 4);
+        assert_eq!(p.arrays.len(), 6);
+        assert_eq!(p.nests[2].loops[0].step, -1);
+    }
+
+    #[test]
+    fn sweep_finite_and_deterministic() {
+        let k = Tomcatv::new(20);
+        let p = k.model();
+        let mut ws = Workspace::contiguous(&p);
+        k.init(&mut ws);
+        for _ in 0..3 {
+            k.sweep(&mut ws);
+        }
+        let c = k.checksum(&ws);
+        assert!(c.is_finite());
+        let mut ws2 = Workspace::contiguous(&p);
+        k.init(&mut ws2);
+        for _ in 0..3 {
+            k.sweep(&mut ws2);
+        }
+        assert_eq!(c, k.checksum(&ws2));
+    }
+
+    #[test]
+    fn padding_does_not_change_results() {
+        let k = Tomcatv::new(16);
+        let p = k.model();
+        let a = DataLayout::contiguous(&p.arrays);
+        let b = DataLayout::with_pads(&p.arrays, &[0, 64, 128, 64, 0, 256]);
+        assert!(layouts_agree(&k, &a, &b, 2));
+    }
+
+    #[test]
+    fn forward_nest_has_j_column_reuse() {
+        let k = Tomcatv::new(64);
+        let p = k.model();
+        let groups = mlc_model::reuse::uniformly_generated_sets(&p.nests[1], &p.arrays);
+        // DD(i,j-1)/DD(i,j), RX pair, RY pair: three multi-member groups.
+        let multi = groups.iter().filter(|g| g.members.len() >= 2).count();
+        assert!(multi >= 3);
+    }
+}

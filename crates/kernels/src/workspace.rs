@@ -1,0 +1,312 @@
+//! Layout-backed numeric workspaces.
+//!
+//! All of a kernel's arrays live in **one** `Vec<f64>` at the byte offsets a
+//! [`DataLayout`] assigns — the runnable twin of the paper's "single global
+//! variable containing all of the variables to be optimized" (Section 6.1).
+//! Changing the layout (PAD, GROUPPAD, …) therefore changes the actual
+//! addresses the kernels touch, which is what makes the timing experiments
+//! meaningful.
+//!
+//! Indexing goes through [`Mat`], a tiny copyable descriptor (offset +
+//! strides). Hot loops use the [`ld`]/[`st`] accessors: bounds-checked in
+//! debug builds, unchecked in release — the usual HPC-Rust compromise so
+//! that bounds checks do not distort the measurements the paper's timing
+//! comparisons rely on.
+
+use mlc_model::{ArrayId, DataLayout, Program};
+
+/// Copyable array descriptor: element offset plus column-major strides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mat {
+    /// Offset of element (0,0,..) in the workspace, in elements.
+    pub off: usize,
+    /// Stride between consecutive columns (allocated leading dimension).
+    pub ld: usize,
+    /// Stride between consecutive planes (3-D arrays; `0` otherwise).
+    pub ld2: usize,
+    /// Logical extents (up to 3 dims; unused dims are 1).
+    pub dims: [usize; 3],
+}
+
+impl Mat {
+    /// Linear index of a 1-D element.
+    #[inline(always)]
+    pub fn at1(&self, i: usize) -> usize {
+        self.off + i
+    }
+
+    /// Linear index of a 2-D element (column-major: `i` is unit stride).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> usize {
+        self.off + i + j * self.ld
+    }
+
+    /// Linear index of a 3-D element.
+    #[inline(always)]
+    pub fn at3(&self, i: usize, j: usize, k: usize) -> usize {
+        self.off + i + j * self.ld + k * self.ld2
+    }
+
+    /// Logical rows (first dimension).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Logical columns (second dimension).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.dims[1]
+    }
+}
+
+/// Load element `i`, unchecked in release builds.
+#[inline(always)]
+pub fn ld(d: &[f64], i: usize) -> f64 {
+    debug_assert!(i < d.len(), "load out of bounds: {i} >= {}", d.len());
+    unsafe { *d.get_unchecked(i) }
+}
+
+/// Store element `i`, unchecked in release builds.
+#[inline(always)]
+pub fn st(d: &mut [f64], i: usize, v: f64) {
+    debug_assert!(i < d.len(), "store out of bounds: {i} >= {}", d.len());
+    unsafe {
+        *d.get_unchecked_mut(i) = v;
+    }
+}
+
+/// One flat buffer holding every array of a program at layout-chosen
+/// offsets.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    data: Vec<f64>,
+    mats: Vec<Mat>,
+}
+
+impl Workspace {
+    /// Allocate a zeroed workspace for `program` under `layout`.
+    ///
+    /// # Panics
+    /// Panics if any array is not 8-byte (`f64`) typed or its base address
+    /// is not 8-byte aligned (every padding algorithm in `mlc-core` pads in
+    /// cache-line multiples, so this holds by construction).
+    pub fn new(program: &Program, layout: &DataLayout) -> Self {
+        assert_eq!(layout.bases.len(), program.arrays.len());
+        let mats = program
+            .arrays
+            .iter()
+            .zip(&layout.bases)
+            .map(|(a, &base)| {
+                assert_eq!(a.elem_size, 8, "workspace arrays must be f64 ({})", a.name);
+                assert_eq!(base % 8, 0, "unaligned base for {}", a.name);
+                let strides = a.strides();
+                let mut dims = [1usize; 3];
+                for (d, &x) in a.dims.iter().take(3).enumerate() {
+                    dims[d] = x;
+                }
+                assert!(a.rank() <= 3, "workspace supports up to 3-D arrays ({})", a.name);
+                Mat {
+                    off: (base / 8) as usize,
+                    ld: strides.get(1).copied().unwrap_or(0) as usize,
+                    ld2: strides.get(2).copied().unwrap_or(0) as usize,
+                    dims,
+                }
+            })
+            .collect();
+        let elems = (layout.total_size as usize).div_ceil(8);
+        Self { data: vec![0.0; elems], mats }
+    }
+
+    /// Workspace under the contiguous (unpadded) layout.
+    pub fn contiguous(program: &Program) -> Self {
+        Self::new(program, &DataLayout::contiguous(&program.arrays))
+    }
+
+    /// Descriptor for an array.
+    #[inline]
+    pub fn mat(&self, id: ArrayId) -> Mat {
+        self.mats[id]
+    }
+
+    /// The backing buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing buffer, mutably.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Total elements allocated (including padding).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff no elements are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Fill a 2-D array: `f(i, j)` per logical element (padding untouched).
+    pub fn fill2(&mut self, id: ArrayId, f: impl Fn(usize, usize) -> f64) {
+        let m = self.mats[id];
+        for j in 0..m.dims[1] {
+            for i in 0..m.dims[0] {
+                let idx = m.at(i, j);
+                self.data[idx] = f(i, j);
+            }
+        }
+    }
+
+    /// Fill a 1-D array.
+    pub fn fill1(&mut self, id: ArrayId, f: impl Fn(usize) -> f64) {
+        let m = self.mats[id];
+        for i in 0..m.dims[0] {
+            let idx = m.at1(i);
+            self.data[idx] = f(i);
+        }
+    }
+
+    /// Fill a 3-D array.
+    pub fn fill3(&mut self, id: ArrayId, f: impl Fn(usize, usize, usize) -> f64) {
+        let m = self.mats[id];
+        for k in 0..m.dims[2] {
+            for j in 0..m.dims[1] {
+                for i in 0..m.dims[0] {
+                    let idx = m.at3(i, j, k);
+                    self.data[idx] = f(i, j, k);
+                }
+            }
+        }
+    }
+
+    /// Sum of a 2-D array's logical elements (checksum helper).
+    pub fn sum2(&self, id: ArrayId) -> f64 {
+        let m = self.mats[id];
+        let mut s = 0.0;
+        for j in 0..m.dims[1] {
+            for i in 0..m.dims[0] {
+                s += self.data[m.at(i, j)];
+            }
+        }
+        s
+    }
+
+    /// Sum of a 1-D array's logical elements.
+    pub fn sum1(&self, id: ArrayId) -> f64 {
+        let m = self.mats[id];
+        (0..m.dims[0]).map(|i| self.data[m.at1(i)]).sum()
+    }
+
+    /// Sum of a 3-D array's logical elements.
+    pub fn sum3(&self, id: ArrayId) -> f64 {
+        let m = self.mats[id];
+        let mut s = 0.0;
+        for k in 0..m.dims[2] {
+            for j in 0..m.dims[1] {
+                for i in 0..m.dims[0] {
+                    s += self.data[m.at3(i, j, k)];
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_model::prelude::*;
+
+    fn two_array_program() -> Program {
+        let mut p = Program::new("t");
+        p.add_array(ArrayDecl::f64("A", vec![4, 3]));
+        p.add_array(ArrayDecl::f64("B", vec![5]));
+        p
+    }
+
+    #[test]
+    fn contiguous_offsets() {
+        let p = two_array_program();
+        let ws = Workspace::contiguous(&p);
+        assert_eq!(ws.mat(0).off, 0);
+        assert_eq!(ws.mat(0).ld, 4);
+        assert_eq!(ws.mat(1).off, 12);
+        assert_eq!(ws.len(), 17);
+    }
+
+    #[test]
+    fn padded_layout_moves_offsets() {
+        let p = two_array_program();
+        let l = DataLayout::with_pads(&p.arrays, &[32, 64]); // bytes
+        let ws = Workspace::new(&p, &l);
+        assert_eq!(ws.mat(0).off, 4);
+        assert_eq!(ws.mat(1).off, 4 + 12 + 8);
+        assert_eq!(ws.len(), 4 + 12 + 8 + 5);
+    }
+
+    #[test]
+    fn intra_pad_changes_ld() {
+        let mut p = two_array_program();
+        p.arrays[0].set_dim_pad(0, 2);
+        let ws = Workspace::contiguous(&p);
+        assert_eq!(ws.mat(0).ld, 6);
+        assert_eq!(ws.mat(0).dims, [4, 3, 1]);
+    }
+
+    #[test]
+    fn fill_and_sum_roundtrip() {
+        let p = two_array_program();
+        let mut ws = Workspace::contiguous(&p);
+        ws.fill2(0, |i, j| (i + 10 * j) as f64);
+        ws.fill1(1, |i| i as f64);
+        assert_eq!(ws.sum1(1), 10.0);
+        // Σ (i + 10j) over 4x3 = Σi * 3 + 10 Σj * 4 = 6*3 + 10*3*4 = 138.
+        assert_eq!(ws.sum2(0), 138.0);
+        let m = ws.mat(0);
+        assert_eq!(ws.data()[m.at(2, 1)], 12.0);
+    }
+
+    #[test]
+    fn fill_skips_padding() {
+        let mut p = two_array_program();
+        p.arrays[0].set_dim_pad(0, 2);
+        let mut ws = Workspace::contiguous(&p);
+        ws.fill2(0, |_, _| 1.0);
+        // 12 logical elements set; the 2-element pads after each column stay 0.
+        assert_eq!(ws.sum2(0), 12.0);
+        assert_eq!(ws.data().iter().filter(|&&x| x != 0.0).count(), 12);
+    }
+
+    #[test]
+    fn three_d_mats() {
+        let mut p = Program::new("t3");
+        p.add_array(ArrayDecl::f64("V", vec![2, 3, 4]));
+        let mut ws = Workspace::contiguous(&p);
+        ws.fill3(0, |i, j, k| (i + 2 * j + 6 * k) as f64);
+        let m = ws.mat(0);
+        assert_eq!(m.ld, 2);
+        assert_eq!(m.ld2, 6);
+        assert_eq!(ws.data()[m.at3(1, 2, 3)], (1 + 4 + 18) as f64);
+        assert_eq!(ws.sum3(0), (0..24).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn ld_st_roundtrip() {
+        let mut d = vec![0.0; 8];
+        st(&mut d, 3, 7.5);
+        assert_eq!(ld(&d, 3), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned base")]
+    fn rejects_unaligned_layout() {
+        let p = two_array_program();
+        let l = DataLayout::with_pads(&p.arrays, &[4, 0]);
+        Workspace::new(&p, &l);
+    }
+}

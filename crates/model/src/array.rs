@@ -1,0 +1,172 @@
+//! Array variable declarations.
+//!
+//! Arrays are column-major ("arrays are column-major in Fortran", Section 2),
+//! so the *first* subscript is the unit-stride dimension. Intra-variable
+//! padding (used by ADI and ERLE in Section 6.1, and by the eucPad tiling
+//! algorithm) pads the leading dimension: elements stay where the subscripts
+//! say, but columns get farther apart.
+
+/// Index of an array within its [`crate::program::Program`].
+pub type ArrayId = usize;
+
+/// A declared array variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name (used in diagrams and reports).
+    pub name: String,
+    /// Element size in bytes (8 for the double-precision data of the
+    /// experiments; the paper's capacity arithmetic — "3 to 8 columns" of an
+    /// N=250..520 array in a 16 KB L1 — matches 8-byte elements).
+    pub elem_size: usize,
+    /// Extent of each dimension, leading (unit-stride) dimension first.
+    pub dims: Vec<usize>,
+    /// Extra elements of padding appended to each dimension's extent when
+    /// computing strides (intra-variable padding). `pad[d]` widens the
+    /// allocated extent of dimension `d` without changing the logical size.
+    pub dim_pad: Vec<usize>,
+}
+
+impl ArrayDecl {
+    /// Declare an unpadded array.
+    pub fn new(name: impl Into<String>, elem_size: usize, dims: Vec<usize>) -> Self {
+        assert!(elem_size > 0, "element size must be positive");
+        assert!(!dims.is_empty(), "arrays need at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        let rank = dims.len();
+        Self { name: name.into(), elem_size, dims, dim_pad: vec![0; rank] }
+    }
+
+    /// Double-precision (8-byte) array — the experiments' default.
+    pub fn f64(name: impl Into<String>, dims: Vec<usize>) -> Self {
+        Self::new(name, 8, dims)
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Allocated extent of dimension `d` (logical extent plus intra-pad).
+    #[inline]
+    pub fn alloc_dim(&self, d: usize) -> usize {
+        self.dims[d] + self.dim_pad[d]
+    }
+
+    /// Set intra-variable padding on dimension `d` (replacing any previous
+    /// pad on that dimension).
+    pub fn set_dim_pad(&mut self, d: usize, pad: usize) {
+        self.dim_pad[d] = pad;
+    }
+
+    /// Column-major element strides, in elements. `strides()[0] == 1`.
+    pub fn strides(&self) -> Vec<i64> {
+        let mut s = Vec::with_capacity(self.rank());
+        let mut acc = 1i64;
+        for d in 0..self.rank() {
+            s.push(acc);
+            acc *= self.alloc_dim(d) as i64;
+        }
+        s
+    }
+
+    /// Total allocated elements (including intra-pad).
+    pub fn alloc_elems(&self) -> usize {
+        (0..self.rank()).map(|d| self.alloc_dim(d)).product()
+    }
+
+    /// Total allocated size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.alloc_elems() * self.elem_size
+    }
+
+    /// Linear element offset of a (0-based) multi-index. Indices may sit in
+    /// the intra-pad region of a dimension (models sometimes walk the halo),
+    /// but must be non-negative and within the allocated extent.
+    ///
+    /// # Panics
+    /// Panics in debug builds on rank mismatch or out-of-allocation indices.
+    #[inline]
+    pub fn linear_index(&self, idx: &[i64]) -> i64 {
+        debug_assert_eq!(idx.len(), self.rank(), "rank mismatch for {}", self.name);
+        let mut acc = 0i64;
+        let mut stride = 1i64;
+        #[allow(clippy::needless_range_loop)] // `d` indexes idx and the allocated extents together
+        for d in 0..self.rank() {
+            debug_assert!(
+                idx[d] >= 0 && (idx[d] as usize) < self.alloc_dim(d),
+                "index {} out of bounds for dim {} of {} (alloc extent {})",
+                idx[d],
+                d,
+                self.name,
+                self.alloc_dim(d)
+            );
+            acc += idx[d] * stride;
+            stride *= self.alloc_dim(d) as i64;
+        }
+        acc
+    }
+
+    /// The byte distance between consecutive columns (stride of dimension 1),
+    /// or the full array for 1-D arrays. This is the arc length ("distance
+    /// of N, the column size") in the paper's layout diagrams.
+    pub fn column_bytes(&self) -> usize {
+        if self.rank() >= 2 {
+            self.alloc_dim(0) * self.elem_size
+        } else {
+            self.size_bytes()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_strides() {
+        let a = ArrayDecl::f64("A", vec![100, 50]);
+        assert_eq!(a.strides(), vec![1, 100]);
+        assert_eq!(a.alloc_elems(), 5000);
+        assert_eq!(a.size_bytes(), 40_000);
+    }
+
+    #[test]
+    fn linear_index_matches_fortran_order() {
+        let a = ArrayDecl::f64("A", vec![10, 4]);
+        assert_eq!(a.linear_index(&[0, 0]), 0);
+        assert_eq!(a.linear_index(&[1, 0]), 1); // unit stride on dim 0
+        assert_eq!(a.linear_index(&[0, 1]), 10); // one column over
+        assert_eq!(a.linear_index(&[3, 2]), 23);
+    }
+
+    #[test]
+    fn intra_pad_widens_columns() {
+        let mut a = ArrayDecl::f64("A", vec![100, 50]);
+        a.set_dim_pad(0, 4);
+        assert_eq!(a.strides(), vec![1, 104]);
+        assert_eq!(a.column_bytes(), 104 * 8);
+        assert_eq!(a.alloc_elems(), 104 * 50);
+        // Logical extents unchanged.
+        assert_eq!(a.dims, vec![100, 50]);
+    }
+
+    #[test]
+    fn one_dim_column_is_whole_array() {
+        let b = ArrayDecl::f64("B", vec![256]);
+        assert_eq!(b.column_bytes(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dim() {
+        ArrayDecl::f64("A", vec![0]);
+    }
+
+    #[test]
+    fn three_d_strides() {
+        let a = ArrayDecl::f64("A", vec![8, 4, 2]);
+        assert_eq!(a.strides(), vec![1, 8, 32]);
+        assert_eq!(a.linear_index(&[1, 2, 1]), 1 + 16 + 32);
+    }
+}

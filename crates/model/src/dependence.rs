@@ -1,0 +1,271 @@
+//! Dependence analysis for transformation legality.
+//!
+//! The paper's kernels are regular stencil codes whose references are
+//! uniformly generated, so a distance-vector test over uniformly generated
+//! pairs is exact for them; anything the test cannot model is treated
+//! conservatively (unknown dependence ⇒ transformation refused when a write
+//! is involved).
+
+use crate::nest::LoopNest;
+use crate::reference::ArrayRef;
+
+/// Distance vector between two uniformly generated references, expressed
+/// per loop of `vars` (outermost first): iteration `J` of the second
+/// reference touches the element the first touched at iteration `I`, with
+/// `J - I = distance`. `None` when the pair is not uniformly generated, a
+/// subscript mixes loop variables, or the offsets are not reachable
+/// (non-integral distance ⇒ no dependence, returned as `Some(None)` inner).
+///
+/// Returns:
+/// * `Err(())` — cannot analyze (not uniformly generated / non-simple
+///   subscripts); caller must be conservative.
+/// * `Ok(None)` — provably no dependence (offsets unreachable).
+/// * `Ok(Some(d))` — dependence with distance vector `d` over `vars`.
+#[allow(clippy::result_unit_err)] // Err carries no information by design: "cannot analyze" has exactly one cause (non-UGS pair)
+pub fn ugs_distance(r1: &ArrayRef, r2: &ArrayRef, vars: &[&str]) -> Result<Option<Vec<i64>>, ()> {
+    if r1.array != r2.array {
+        return Ok(None);
+    }
+    if r1.coeff_matrix(vars) != r2.coeff_matrix(vars) {
+        return Err(());
+    }
+    let mut dist = vec![0i64; vars.len()];
+    let mut pinned = vec![false; vars.len()];
+    for (d, (s1, s2)) in r1.subscripts.iter().zip(&r2.subscripts).enumerate() {
+        // Which loop vars appear in this dimension?
+        let movers: Vec<usize> = vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| s1.coeff(v) != 0)
+            .map(|(k, _)| k)
+            .collect();
+        let c1 = s1.constant_term();
+        let c2 = s2.constant_term();
+        match movers.len() {
+            0 => {
+                if c1 != c2 {
+                    return Ok(None); // disjoint fixed planes: no dependence
+                }
+            }
+            1 => {
+                let k = movers[0];
+                let a = s1.coeff(vars[k]);
+                let delta = c1 - c2;
+                if delta % a != 0 {
+                    return Ok(None);
+                }
+                let d_k = delta / a;
+                if pinned[k] && dist[k] != d_k {
+                    return Ok(None); // inconsistent requirements: no solution
+                }
+                dist[k] = d_k;
+                pinned[k] = true;
+                let _ = d; // dimension index unused beyond diagnostics
+            }
+            _ => return Err(()), // coupled subscript: out of scope
+        }
+    }
+    Ok(Some(dist))
+}
+
+/// Sign of a vector in lexicographic order: -1, 0, or 1.
+pub fn lex_sign(v: &[i64]) -> i32 {
+    for &x in v {
+        if x > 0 {
+            return 1;
+        }
+        if x < 0 {
+            return -1;
+        }
+    }
+    0
+}
+
+/// Check that fusing `second` into `first` (same loop headers, `first`'s
+/// body then `second`'s per iteration) preserves every cross-nest
+/// dependence.
+///
+/// Originally *all* of `first` executes before `second`, so for any pair
+/// `(s1 ∈ first, s2 ∈ second)` touching the same location at iterations
+/// `I`/`J`, `s1@I` precedes `s2@J`. After fusion `s1@I` precedes `s2@J` iff
+/// `I ≤ J` lexicographically (at equal iterations `first`'s body runs
+/// first). Fusion is illegal iff some dependent pair (at least one write)
+/// has `J - I` lexicographically negative.
+pub fn fusion_legal(first: &LoopNest, second: &LoopNest) -> Result<(), String> {
+    if first.loops.len() != second.loops.len() {
+        return Err("fusion requires equal nest depth".into());
+    }
+    for (a, b) in first.loops.iter().zip(&second.loops) {
+        if a != b {
+            return Err(format!("loop headers differ: {} vs {}", a.var, b.var));
+        }
+    }
+    let vars = first.loop_vars();
+    for (i, s1) in first.body.iter().enumerate() {
+        for (j, s2) in second.body.iter().enumerate() {
+            if s1.array != s2.array || (!s1.is_write() && !s2.is_write()) {
+                continue;
+            }
+            match ugs_distance(s1, s2, &vars) {
+                Err(()) => {
+                    return Err(format!(
+                        "cannot analyze dependence between ref {i} of {} and ref {j} of {}",
+                        first.name, second.name
+                    ))
+                }
+                Ok(None) => {}
+                Ok(Some(d)) => {
+                    if lex_sign(&d) < 0 {
+                        return Err(format!(
+                            "fusion reverses dependence between ref {i} of {} and ref {j} of {} (distance {d:?})",
+                            first.name, second.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All loop-carried dependence distance vectors within a nest, over
+/// uniformly generated pairs involving at least one write. `Err` when some
+/// pair cannot be analyzed.
+pub fn carried_distances(nest: &LoopNest) -> Result<Vec<Vec<i64>>, String> {
+    let vars = nest.loop_vars();
+    let mut out = Vec::new();
+    for (i, s1) in nest.body.iter().enumerate() {
+        for (j, s2) in nest.body.iter().enumerate() {
+            if i == j || s1.array != s2.array || (!s1.is_write() && !s2.is_write()) {
+                continue;
+            }
+            match ugs_distance(s1, s2, &vars) {
+                Err(()) => return Err(format!("cannot analyze refs {i},{j} of {}", nest.name)),
+                Ok(None) => {}
+                Ok(Some(d)) => {
+                    // Only lexicographically positive vectors are true
+                    // carried dependences (s1 at I, s2 at J = I + d, J > I).
+                    if lex_sign(&d) > 0 {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Check that permuting a nest's loops by `perm` (new position k holds old
+/// loop `perm[k]`) preserves all carried dependences: every distance vector
+/// must stay lexicographically positive after reordering its components.
+pub fn permutation_legal(nest: &LoopNest, perm: &[usize]) -> Result<(), String> {
+    let dists = carried_distances(nest)?;
+    for d in &dists {
+        let permuted: Vec<i64> = perm.iter().map(|&k| d[k]).collect();
+        if lex_sign(&permuted) < 0 {
+            return Err(format!("permutation {perm:?} reverses dependence {d:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr as E;
+    use crate::nest::Loop;
+    use crate::program::figure2_example;
+    use crate::reference::ArrayRef;
+
+    #[test]
+    fn figure2_fusion_is_legal() {
+        // All references in Figure 2 are reads: no dependences at all.
+        let p = figure2_example(64);
+        fusion_legal(&p.nests[0], &p.nests[1]).unwrap();
+    }
+
+    #[test]
+    fn forward_flow_dep_allows_fusion() {
+        // nest1: A(i) = ...; nest2: ... = A(i-1): read of an element written
+        // one iteration earlier. After fusion the write still precedes the
+        // read (distance +1).
+        let l = vec![Loop::counted("i", 1, 30)];
+        let n1 = LoopNest::new("w", l.clone(), vec![ArrayRef::write(0, vec![E::var("i")])]);
+        let n2 = LoopNest::new("r", l, vec![ArrayRef::read(0, vec![E::var_plus("i", -1)])]);
+        fusion_legal(&n1, &n2).unwrap();
+    }
+
+    #[test]
+    fn backward_dep_blocks_fusion() {
+        // nest1: A(i) = ...; nest2: ... = A(i+1). Originally the read sees
+        // the new value of A(i+1); after fusion iteration i reads A(i+1)
+        // before iteration i+1 writes it.
+        let l = vec![Loop::counted("i", 1, 30)];
+        let n1 = LoopNest::new("w", l.clone(), vec![ArrayRef::write(0, vec![E::var("i")])]);
+        let n2 = LoopNest::new("r", l, vec![ArrayRef::read(0, vec![E::var_plus("i", 1)])]);
+        let err = fusion_legal(&n1, &n2).unwrap_err();
+        assert!(err.contains("reverses"), "{err}");
+    }
+
+    #[test]
+    fn read_read_pairs_never_block() {
+        let l = vec![Loop::counted("i", 1, 30)];
+        let n1 = LoopNest::new("a", l.clone(), vec![ArrayRef::read(0, vec![E::var_plus("i", 5)])]);
+        let n2 = LoopNest::new("b", l, vec![ArrayRef::read(0, vec![E::var("i")])]);
+        fusion_legal(&n1, &n2).unwrap();
+    }
+
+    #[test]
+    fn mismatched_headers_rejected() {
+        let n1 = LoopNest::new("a", vec![Loop::counted("i", 0, 9)], vec![]);
+        let n2 = LoopNest::new("b", vec![Loop::counted("i", 0, 8)], vec![]);
+        assert!(fusion_legal(&n1, &n2).is_err());
+    }
+
+    #[test]
+    fn distance_vector_of_stencil_pair() {
+        let w = ArrayRef::write(0, vec![E::var("i"), E::var("j")]);
+        let r = ArrayRef::read(0, vec![E::var_plus("i", -1), E::var_plus("j", -2)]);
+        // w at (i,j); r at (i',j') touches (i'-1, j'-2) = (i, j) when
+        // i' = i+1, j' = j+2: distance (1, 2) in (i, j) order.
+        let d = ugs_distance(&w, &r, &["i", "j"]).unwrap().unwrap();
+        assert_eq!(d, vec![1, 2]);
+        assert_eq!(lex_sign(&d), 1);
+    }
+
+    #[test]
+    fn unreachable_offsets_mean_no_dependence() {
+        let w = ArrayRef::write(0, vec![E::scaled("i", 2)]);
+        let r = ArrayRef::read(0, vec![E::scaled("i", 2).plus(1)]); // odd vs even
+        assert_eq!(ugs_distance(&w, &r, &["i"]).unwrap(), None);
+    }
+
+    #[test]
+    fn non_ugs_pair_is_unanalyzable() {
+        let w = ArrayRef::write(0, vec![E::var("i"), E::var("j")]);
+        let r = ArrayRef::read(0, vec![E::var("j"), E::var("i")]);
+        assert!(ugs_distance(&w, &r, &["i", "j"]).is_err());
+    }
+
+    #[test]
+    fn permutation_legality_for_skewed_dep() {
+        // A(i,j) = A(i-1, j+1): distance (1, -1). Legal as (i,j); swapping
+        // to (j,i) gives (-1, 1): lexicographically negative ⇒ illegal.
+        let nest = LoopNest::new(
+            "t",
+            vec![Loop::counted("i", 1, 30), Loop::counted("j", 1, 30)],
+            vec![
+                ArrayRef::write(0, vec![E::var("i"), E::var("j")]),
+                ArrayRef::read(0, vec![E::var_plus("i", -1), E::var_plus("j", 1)]),
+            ],
+        );
+        permutation_legal(&nest, &[0, 1]).unwrap();
+        assert!(permutation_legal(&nest, &[1, 0]).is_err());
+    }
+
+    #[test]
+    fn fully_parallel_nest_permutes_freely() {
+        let p = figure2_example(64);
+        permutation_legal(&p.nests[0], &[1, 0]).unwrap();
+    }
+}

@@ -1,0 +1,227 @@
+//! ASCII cache-layout diagrams (the paper's Figures 3–5 and 7).
+//!
+//! "Each box corresponds to the L1 cache during a given loop nest, with the
+//! width representing the cache size. Each dot represents a variable
+//! reference; its position in a box indicates its cache location inside the
+//! loop nest. [...] Arcs connect references to the same variable."
+//! (Section 3.1.1.)
+//!
+//! A reference's *cache location* is the address it generates at the nest's
+//! first iteration, modulo the cache size; because all references in these
+//! programs move in unit stride together, relative positions are invariant
+//! over iterations, so one snapshot characterizes the whole nest.
+
+use crate::layout::DataLayout;
+use crate::nest::LoopNest;
+use crate::program::Program;
+use crate::reuse::uniformly_generated_sets;
+use mlc_cache_sim::CacheConfig;
+
+/// Absolute byte address of every body reference at the nest's first
+/// iteration. For lockstep (uniformly generated) references the pairwise
+/// differences of these addresses are invariant over the whole nest.
+pub fn reference_addresses(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Vec<u64> {
+    // Evaluate loop lower bounds outer-to-inner to get the first iteration.
+    let mut env: Vec<(String, i64)> = Vec::with_capacity(nest.depth());
+    for l in &nest.loops {
+        let lookup = |v: &str| env.iter().find(|(n, _)| n == v).map(|&(_, x)| x);
+        let (lo, hi) = l.bounds(lookup).expect("validated nest");
+        let first = if l.step > 0 { lo } else { hi };
+        env.push((l.var.clone(), first));
+    }
+    let lookup = |v: &str| env.iter().find(|(n, _)| n == v).map(|&(_, x)| x);
+    nest.body
+        .iter()
+        .map(|r| {
+            layout.address_expr(&program.arrays, r).eval(lookup).expect("validated nest") as u64
+        })
+        .collect()
+}
+
+/// Cache location (bytes into the cache) of every body reference at the
+/// nest's first iteration.
+pub fn reference_locations(
+    program: &Program,
+    nest: &LoopNest,
+    layout: &DataLayout,
+    cache: CacheConfig,
+) -> Vec<u64> {
+    reference_addresses(program, nest, layout)
+        .into_iter()
+        .map(|a| cache.location(a))
+        .collect()
+}
+
+/// Render one nest's layout diagram as ASCII art.
+///
+/// The box is `width` characters wide and represents the full cache; each
+/// reference is drawn as the first letter of its array's name; arcs between
+/// uniformly generated neighbors are drawn as bracketed spans above the box.
+/// References that collide on the same character cell are stacked onto
+/// extra rows (superimposed dots = severe conflict).
+pub fn render_nest(
+    program: &Program,
+    nest: &LoopNest,
+    layout: &DataLayout,
+    cache: CacheConfig,
+    width: usize,
+) -> String {
+    assert!(width >= 8, "diagram width too small");
+    let locs = reference_locations(program, nest, layout, cache);
+    let col = |loc: u64| ((loc as u128 * width as u128) / cache.size as u128) as usize;
+
+    // Dot rows: place letters, stacking collisions.
+    let mut rows: Vec<Vec<char>> = vec![vec![' '; width]];
+    let mut placed: Vec<(usize, usize)> = Vec::with_capacity(locs.len()); // (row, col) per ref
+    for (i, &loc) in locs.iter().enumerate() {
+        let c = col(loc).min(width - 1);
+        let letter = program.arrays[nest.body[i].array].name.chars().next().unwrap_or('?');
+        let mut row = 0;
+        loop {
+            if rows.len() == row {
+                rows.push(vec![' '; width]);
+            }
+            if rows[row][c] == ' ' {
+                rows[row][c] = letter;
+                placed.push((row, c));
+                break;
+            }
+            row += 1;
+        }
+    }
+
+    // Arc rows: one row per arc layer; an arc spans [col(from), col(to)] on
+    // the cache circle. Wrapping arcs are drawn as two half-spans.
+    let groups = uniformly_generated_sets(nest, &program.arrays);
+    let mut arc_rows: Vec<Vec<char>> = Vec::new();
+    let draw_span = |a: usize, b: usize, arc_rows: &mut Vec<Vec<char>>| {
+        let (a, b) = (a.min(b), a.max(b));
+        let mut r = 0;
+        loop {
+            if arc_rows.len() == r {
+                arc_rows.push(vec![' '; width]);
+            }
+            if arc_rows[r][a..=b].iter().all(|&ch| ch == ' ') {
+                arc_rows[r][a] = '(';
+                arc_rows[r][b] = ')';
+                for ch in &mut arc_rows[r][a + 1..b] {
+                    *ch = '-';
+                }
+                break;
+            }
+            r += 1;
+        }
+    };
+    for g in &groups {
+        for (from, to) in g.arcs() {
+            let ca = col(locs[from.body_index]).min(width - 1);
+            let cb = col(locs[to.body_index]).min(width - 1);
+            if ca == cb {
+                continue; // zero-length (register reuse) or sub-cell arc
+            }
+            draw_span(ca, cb, &mut arc_rows);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "nest {} on {} KB cache ({} B lines)\n",
+        nest.name,
+        cache.size / 1024,
+        cache.line
+    ));
+    for r in arc_rows.iter().rev() {
+        out.push(' ');
+        out.push_str(&r.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    for r in &rows {
+        out.push('|');
+        out.push_str(&r.iter().collect::<String>());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push_str("+\n");
+    // Legend: per-reference cache locations.
+    for (i, r) in nest.body.iter().enumerate() {
+        let subs: Vec<String> = r.subscripts.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!(
+            "  {}({})  loc={}\n",
+            program.arrays[r.array].name,
+            subs.join(", "),
+            locs[i]
+        ));
+    }
+    out
+}
+
+/// Render every nest of a program.
+pub fn render_program(program: &Program, layout: &DataLayout, cache: CacheConfig, width: usize) -> String {
+    program
+        .nests
+        .iter()
+        .map(|n| render_nest(program, n, layout, cache, width))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::figure2_example;
+    use mlc_cache_sim::CacheConfig;
+
+    #[test]
+    fn locations_reflect_bases_mod_cache() {
+        // N=512 doubles: column = 4 KiB, array = 2 MiB (multiple of 16 KiB):
+        // with no padding, A, B, C coincide on the cache.
+        let p = figure2_example(512);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cache = CacheConfig::direct_mapped(16 * 1024, 32);
+        let locs = reference_locations(&p, &p.nests[0], &l, cache);
+        // A(i,j) at first iteration (j=1, i=0): one column in = 4096.
+        assert_eq!(locs[0], 4096);
+        assert_eq!(locs[1], 8192); // A(i,j+1)
+        assert_eq!(locs[2], 4096); // B(i,j) collides with A(i,j)
+        assert_eq!(locs[4], 4096); // C(i,j) too
+    }
+
+    #[test]
+    fn render_contains_letters_and_box() {
+        let p = figure2_example(512);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cache = CacheConfig::direct_mapped(16 * 1024, 32);
+        let s = render_nest(&p, &p.nests[0], &l, cache, 64);
+        assert!(s.contains('A') && s.contains('B') && s.contains('C'));
+        assert!(s.contains("+----"));
+        assert!(s.contains("loc="));
+        // Colliding refs stack: more than one dot row.
+        let dot_rows = s.lines().filter(|l| l.starts_with('|')).count();
+        assert!(dot_rows >= 2, "expected stacked rows for conflicts:\n{s}");
+    }
+
+    #[test]
+    fn padded_layout_separates_dots() {
+        let p = figure2_example(512);
+        // Pad B and C by 64 and 128 bytes: no more superimposed dots.
+        let l = DataLayout::with_pads(&p.arrays, &[0, 64, 128]);
+        let cache = CacheConfig::direct_mapped(16 * 1024, 32);
+        let locs = reference_locations(&p, &p.nests[0], &l, cache);
+        assert_eq!(locs[2], 4096 + 64);
+        assert_eq!(locs[4], 4096 + 64 + 128);
+    }
+
+    #[test]
+    fn render_program_covers_all_nests() {
+        let p = figure2_example(512);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cache = CacheConfig::direct_mapped(16 * 1024, 32);
+        let s = render_program(&p, &l, cache, 64);
+        assert!(s.contains("nest nest1"));
+        assert!(s.contains("nest nest2"));
+    }
+}

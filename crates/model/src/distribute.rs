@@ -1,0 +1,380 @@
+//! Loop distribution (fission) and array contraction.
+//!
+//! The paper's related work (Section 7) notes that "loop fission
+//! (distribution) and loop fusion have also been found to be helpful"
+//! [McKinley, Carr & Tseng], and Section 4 cites array contraction [Gao et
+//! al.] as an optimization fusion enables. Distribution is fusion's inverse
+//! — splitting one nest into several — and contraction shrinks a fused
+//! temporary array to a scalar.
+//!
+//! Legality of distribution follows the classical recipe: statements in a
+//! dependence cycle must stay in one nest; acyclic components may be split
+//! and are emitted in topological order of the dependence graph.
+
+use crate::dependence::{lex_sign, ugs_distance};
+use crate::nest::LoopNest;
+use crate::program::Program;
+
+/// Dependence graph edge test: does statement `i` have to execute (some
+/// instance) before statement `j`? Conservative: unanalyzable pairs depend
+/// both ways (forcing them into one component).
+fn depends(nest: &LoopNest, vars: &[&str], i: usize, j: usize) -> (bool, bool) {
+    let (s1, s2) = (&nest.body[i], &nest.body[j]);
+    if s1.array != s2.array || (!s1.is_write() && !s2.is_write()) {
+        return (false, false);
+    }
+    match ugs_distance(s1, s2, vars) {
+        Err(()) => (true, true),
+        Ok(None) => (false, false),
+        Ok(Some(d)) => match lex_sign(&d) {
+            // s2@J touches what s1@I did with J = I + d.
+            1 => (true, false),  // s1 first: dep i -> j
+            -1 => (false, true), // s2's instance precedes: dep j -> i
+            _ => {
+                // Loop-independent: body order decides.
+                if i < j {
+                    (true, false)
+                } else {
+                    (false, true)
+                }
+            }
+        },
+    }
+}
+
+/// Split a nest into the maximal number of nests allowed by its
+/// dependences: strongly connected components of the statement dependence
+/// graph, in topological order. A nest with no cross-statement dependences
+/// distributes into one nest per statement; a recurrence stays whole.
+pub fn distribute(nest: &LoopNest) -> Vec<LoopNest> {
+    let n = nest.body.len();
+    if n == 0 {
+        return vec![nest.clone()];
+    }
+    let vars = nest.loop_vars();
+    let mut adj = vec![vec![]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let (ij, ji) = depends(nest, &vars, i, j);
+            if ij {
+                adj[i].push(j);
+            }
+            if ji {
+                adj[j].push(i);
+            }
+        }
+    }
+    let comps = tarjan_scc(&adj);
+    // Tarjan emits SCCs in reverse topological order; reverse and sort each
+    // component's statements by body order.
+    comps
+        .into_iter()
+        .rev()
+        .enumerate()
+        .map(|(k, mut comp)| {
+            comp.sort_unstable();
+            LoopNest {
+                name: format!("{}#{k}", nest.name),
+                loops: nest.loops.clone(),
+                body: comp.iter().map(|&s| nest.body[s].clone()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Distribute nest `at` of a program in place.
+pub fn distribute_in_program(program: &Program, at: usize) -> Program {
+    let parts = distribute(&program.nests[at]);
+    let mut p = program.clone();
+    p.nests.splice(at..=at, parts);
+    p
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative-enough for
+/// the tiny statement graphs of loop bodies). Returns components in reverse
+/// topological order.
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State, v: usize) {
+        s.index[v] = Some(s.next);
+        s.low[v] = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        let adj = s.adj; // shared slice, independent of the mutable state
+        for &w in &adj[v] {
+            if s.index[w].is_none() {
+                strongconnect(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w].unwrap());
+            }
+        }
+        if s.low[v] == s.index[v].unwrap() {
+            let mut comp = Vec::new();
+            loop {
+                let w = s.stack.pop().unwrap();
+                s.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            s.out.push(comp);
+        }
+    }
+    let n = adj.len();
+    let mut s = State {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if s.index[v].is_none() {
+            strongconnect(&mut s, v);
+        }
+    }
+    s.out
+}
+
+/// Contract a temporary array to a scalar (Section 4's "array
+/// contraction", enabled by fusion): legal when every reference to the
+/// array lives in **one** nest, all references use **identical**
+/// subscripts (each iteration touches exactly one element, dead afterward),
+/// and the first reference in body order is the write that defines it.
+///
+/// The array's declaration shrinks to a single element and all its
+/// subscripts become constant zero — the model-level image of replacing the
+/// temporary with a register.
+pub fn contract_array(program: &Program, array: usize) -> Result<Program, String> {
+    let name = &program.arrays[array].name;
+    let mut home: Option<usize> = None;
+    for (k, nest) in program.nests.iter().enumerate() {
+        if nest.body.iter().any(|r| r.array == array) {
+            if home.replace(k).is_some() {
+                return Err(format!("{name} is referenced in more than one nest"));
+            }
+        }
+    }
+    let Some(home) = home else {
+        return Err(format!("{name} is never referenced"));
+    };
+    let nest = &program.nests[home];
+    let refs: Vec<usize> = (0..nest.body.len()).filter(|&i| nest.body[i].array == array).collect();
+    let first = &nest.body[refs[0]];
+    if !first.is_write() {
+        return Err(format!("{name} is read before it is written"));
+    }
+    for &i in &refs[1..] {
+        if nest.body[i].subscripts != first.subscripts {
+            return Err(format!("{name} is used at more than one offset per iteration"));
+        }
+    }
+    let mut p = program.clone();
+    let rank = p.arrays[array].rank();
+    p.arrays[array].dims = vec![1; rank];
+    p.arrays[array].dim_pad = vec![0; rank];
+    for r in &mut p.nests[home].body {
+        if r.array == array {
+            for s in &mut r.subscripts {
+                *s = crate::expr::AffineExpr::constant(0);
+            }
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr as E;
+    use crate::layout::DataLayout;
+    use crate::nest::Loop;
+    use crate::prelude::*;
+    use crate::program::figure2_example;
+    use crate::transform::fuse_in_program;
+    use mlc_cache_sim::trace::RecordingSink;
+
+    fn multiset(p: &Program) -> Vec<u64> {
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        crate::trace_gen::generate(p, &l, &mut rec);
+        let mut v: Vec<u64> = rec.accesses.iter().map(|a| a.addr).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn read_only_nest_fully_distributes() {
+        // Figure 2's first nest: six reads, no dependences: six nests.
+        let p = figure2_example(32);
+        let parts = distribute(&p.nests[0]);
+        assert_eq!(parts.len(), 6);
+        let mut q = Program::new("dist");
+        q.arrays = p.arrays.clone();
+        q.nests = parts;
+        let mut only_first = p.clone();
+        only_first.nests.truncate(1);
+        assert_eq!(multiset(&only_first), multiset(&q));
+    }
+
+    #[test]
+    fn anti_and_flow_dependences_order_the_parts() {
+        // Per iteration: W = write A(i), Ra = read A(i-1) (flow: after W),
+        // Rb = read A(i+1) (anti: must read the OLD value, so its nest must
+        // run before W's). Distribution may split all three, but only in
+        // the order Rb, W, Ra.
+        let nest = LoopNest::new(
+            "ordered",
+            vec![Loop::counted("i", 1, 30)],
+            vec![
+                ArrayRef::write(0, vec![E::var("i")]),
+                ArrayRef::read(0, vec![E::var_plus("i", -1)]),
+                ArrayRef::read(0, vec![E::var_plus("i", 1)]),
+            ],
+        );
+        let parts = distribute(&nest);
+        let pos = |pred: &dyn Fn(&ArrayRef) -> bool| {
+            parts.iter().position(|n| n.body.iter().any(|r| pred(r))).unwrap()
+        };
+        let p_w = pos(&|r| r.is_write());
+        let p_flow = pos(&|r| !r.is_write() && r.subscripts[0].constant_term() == -1);
+        let p_anti = pos(&|r| !r.is_write() && r.subscripts[0].constant_term() == 1);
+        assert!(p_anti <= p_w && p_w <= p_flow, "{parts:?}");
+    }
+
+    #[test]
+    fn unanalyzable_pairs_stay_in_one_nest() {
+        // Coupled (transposed) subscripts defeat the distance test, so the
+        // conservative both-way edges keep the pair together.
+        let nest = LoopNest::new(
+            "opaque",
+            vec![Loop::counted("i", 0, 7), Loop::counted("j", 0, 7)],
+            vec![
+                ArrayRef::write(0, vec![E::var("i"), E::var("j")]),
+                ArrayRef::read(0, vec![E::var("j"), E::var("i")]),
+                ArrayRef::read(1, vec![E::var("i"), E::var("j")]),
+            ],
+        );
+        let parts = distribute(&nest);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        let together = parts.iter().find(|n| n.body.len() == 2).unwrap();
+        assert!(together.body.iter().all(|r| r.array == 0));
+    }
+
+    #[test]
+    fn distribution_respects_topological_order() {
+        // T(i) = X(i); Y(i) = T(i): flow dep forces T's writer before its
+        // reader, in that order, but they may be in separate nests.
+        let nest = LoopNest::new(
+            "seq",
+            vec![Loop::counted("i", 0, 15)],
+            vec![
+                ArrayRef::read(0, vec![E::var("i")]),
+                ArrayRef::write(1, vec![E::var("i")]),
+                ArrayRef::read(1, vec![E::var("i")]),
+                ArrayRef::write(2, vec![E::var("i")]),
+            ],
+        );
+        let parts = distribute(&nest);
+        // The writer of array 1 must come no later than its reader.
+        let pos_write = parts
+            .iter()
+            .position(|n| n.body.iter().any(|r| r.array == 1 && r.is_write()))
+            .unwrap();
+        let pos_read = parts
+            .iter()
+            .position(|n| n.body.iter().any(|r| r.array == 1 && !r.is_write()))
+            .unwrap();
+        assert!(pos_write <= pos_read, "{parts:?}");
+    }
+
+    #[test]
+    fn distribute_then_fuse_roundtrips_addresses() {
+        let p = figure2_example(24);
+        let q = distribute_in_program(&p, 0);
+        assert!(q.nests.len() > p.nests.len());
+        assert_eq!(multiset(&p), multiset(&q));
+        // Re-fusing adjacent read-only nests is legal and converges back.
+        let mut r = q.clone();
+        while r.nests.len() > 1 {
+            match fuse_in_program(&r, 0) {
+                Ok(next) => r = next,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(multiset(&p), multiset(&r));
+    }
+
+    #[test]
+    fn contraction_shrinks_a_fused_temporary() {
+        // nest1: T(i) = A(i); nest2: B(i) = T(i). Fused, T is written and
+        // read at the same iteration: contractible.
+        let mut p = Program::new("ct");
+        let a = p.add_array(ArrayDecl::f64("A", vec![64]));
+        let t = p.add_array(ArrayDecl::f64("T", vec![64]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![64]));
+        let l = || vec![Loop::counted("i", 0, 63)];
+        p.add_nest(LoopNest::new(
+            "w",
+            l(),
+            vec![ArrayRef::read(a, vec![E::var("i")]), ArrayRef::write(t, vec![E::var("i")])],
+        ));
+        p.add_nest(LoopNest::new(
+            "r",
+            l(),
+            vec![ArrayRef::read(t, vec![E::var("i")]), ArrayRef::write(b, vec![E::var("i")])],
+        ));
+        // Before fusion, contraction must refuse (two nests use T).
+        assert!(contract_array(&p, t).is_err());
+        let fused = fuse_in_program(&p, 0).unwrap();
+        let contracted = contract_array(&fused, t).unwrap();
+        assert_eq!(contracted.arrays[t].dims, vec![1]);
+        // The temporary's footprint dropped from 512 bytes to 8.
+        assert_eq!(contracted.arrays[t].size_bytes(), 8);
+        contracted.validate().unwrap();
+    }
+
+    #[test]
+    fn contraction_refuses_stencil_temporaries() {
+        // T is read at offset -1: a real array, not contractible.
+        let mut p = Program::new("ct2");
+        let t = p.add_array(ArrayDecl::f64("T", vec![64]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 1, 62)],
+            vec![
+                ArrayRef::write(t, vec![E::var("i")]),
+                ArrayRef::read(t, vec![E::var_plus("i", -1)]),
+            ],
+        ));
+        assert!(contract_array(&p, t).is_err());
+    }
+
+    #[test]
+    fn contraction_refuses_read_before_write() {
+        let mut p = Program::new("ct3");
+        let t = p.add_array(ArrayDecl::f64("T", vec![64]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, 63)],
+            vec![
+                ArrayRef::read(t, vec![E::var("i")]),
+                ArrayRef::write(t, vec![E::var("i")]),
+            ],
+        ));
+        assert!(contract_array(&p, t).is_err());
+    }
+}

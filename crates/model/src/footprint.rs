@@ -1,0 +1,212 @@
+//! Footprint (working-set) estimation.
+//!
+//! Interval arithmetic over loop bounds gives the byte range each reference
+//! sweeps in a nest; per-array unions give the data footprint the capacity
+//! arguments in the paper rest on ("the L1 cache lacks the capacity to
+//! preserve all group reuse in the first loop — this would require a cache
+//! size three times the column size", Section 3.2.1).
+
+use crate::layout::DataLayout;
+use crate::nest::LoopNest;
+use crate::program::Program;
+
+/// An inclusive byte-address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrRange {
+    /// Lowest byte address (inclusive).
+    pub min: i64,
+    /// Highest byte address (inclusive).
+    pub max: i64,
+}
+
+impl AddrRange {
+    /// Bytes spanned (inclusive).
+    pub fn span(&self) -> u64 {
+        (self.max - self.min) as u64 + 1
+    }
+
+    /// Smallest range covering both.
+    pub fn merge(self, other: Self) -> Self {
+        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Number of distinct cache lines the span can touch.
+    pub fn lines(&self, line: usize) -> u64 {
+        let first = self.min.div_euclid(line as i64);
+        let last = self.max.div_euclid(line as i64);
+        (last - first) as u64 + 1
+    }
+}
+
+/// Interval environment for the nest's loop variables: `(lo, hi)` per loop,
+/// computed outer-to-inner with interval propagation through affine bounds.
+///
+/// Returns `None` for a loop whose range is empty (footprint is then empty).
+fn loop_intervals(nest: &LoopNest) -> Option<Vec<(i64, i64)>> {
+    let mut iv: Vec<(i64, i64)> = Vec::with_capacity(nest.depth());
+    let vars = nest.loop_vars();
+    for l in &nest.loops {
+        let eval_interval = |e: &crate::expr::AffineExpr| -> (i64, i64) {
+            let mut lo = e.constant_term();
+            let mut hi = e.constant_term();
+            for (v, c) in e.terms() {
+                let k = vars.iter().position(|&x| x == v).expect("validated nest");
+                let (vlo, vhi) = iv[k];
+                if c >= 0 {
+                    lo += c * vlo;
+                    hi += c * vhi;
+                } else {
+                    lo += c * vhi;
+                    hi += c * vlo;
+                }
+            }
+            (lo, hi)
+        };
+        // lower = max(lowers): interval max; upper = min(uppers).
+        let lo = l.lowers.iter().map(&eval_interval).map(|(a, _)| a).max().unwrap();
+        let hi = l.uppers.iter().map(&eval_interval).map(|(_, b)| b).min().unwrap();
+        if hi < lo {
+            return None;
+        }
+        iv.push((lo, hi));
+    }
+    Some(iv)
+}
+
+/// The byte range each body reference sweeps over the whole nest.
+pub fn reference_ranges(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Vec<AddrRange> {
+    let Some(iv) = loop_intervals(nest) else {
+        return vec![AddrRange { min: 0, max: -1 }; nest.body.len()];
+    };
+    let vars = nest.loop_vars();
+    nest.body
+        .iter()
+        .map(|r| {
+            let addr = layout.address_expr(&program.arrays, r);
+            let mut lo = addr.constant_term();
+            let mut hi = addr.constant_term();
+            for (v, c) in addr.terms() {
+                let k = vars.iter().position(|&x| x == v).expect("validated nest");
+                let (vlo, vhi) = iv[k];
+                if c >= 0 {
+                    lo += c * vlo;
+                    hi += c * vhi;
+                } else {
+                    lo += c * vhi;
+                    hi += c * vlo;
+                }
+            }
+            // The range covers the whole element, not just its first byte.
+            AddrRange { min: lo, max: hi + program.arrays[r.array].elem_size as i64 - 1 }
+        })
+        .collect()
+}
+
+/// Per-array merged footprint of a nest: `(array id, range)` for every array
+/// the nest touches.
+pub fn nest_footprint(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Vec<(usize, AddrRange)> {
+    let ranges = reference_ranges(program, nest, layout);
+    let mut out: Vec<(usize, AddrRange)> = Vec::new();
+    for (r, range) in nest.body.iter().zip(ranges) {
+        if range.max < range.min {
+            continue;
+        }
+        if let Some((_, acc)) = out.iter_mut().find(|(a, _)| *a == r.array) {
+            *acc = acc.merge(range);
+        } else {
+            out.push((r.array, range));
+        }
+    }
+    out
+}
+
+/// Total bytes a nest touches (sum of per-array spans; arrays assumed
+/// disjoint, which holds for any [`DataLayout`]).
+pub fn footprint_bytes(program: &Program, nest: &LoopNest, layout: &DataLayout) -> u64 {
+    nest_footprint(program, nest, layout).iter().map(|(_, r)| r.span()).sum()
+}
+
+/// Whether a nest's data fits in a cache of `size` bytes (by span).
+pub fn fits_in_cache(program: &Program, nest: &LoopNest, layout: &DataLayout, size: usize) -> bool {
+    footprint_bytes(program, nest, layout) <= size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayDecl;
+    use crate::expr::AffineExpr as E;
+    use crate::nest::Loop;
+    use crate::program::figure2_example;
+    use crate::reference::ArrayRef;
+
+    #[test]
+    fn figure2_nest1_footprint() {
+        let n = 64;
+        let p = figure2_example(n);
+        let l = DataLayout::contiguous(&p.arrays);
+        let fp = nest_footprint(&p, &p.nests[0], &l);
+        assert_eq!(fp.len(), 3);
+        // Each array: columns 1..=n-1 touched (j in 1..=n-2, j+1 up to n-1),
+        // elements i in 0..=n-1: from (0,1) to (n-1,n-1).
+        let a = fp[0].1;
+        assert_eq!(a.min, (n as i64) * 8); // A(0,1)
+        assert_eq!(a.max, (n as i64 * n as i64 - 1) * 8 + 7); // A(n-1,n-1) end
+    }
+
+    #[test]
+    fn footprint_respects_layout_bases() {
+        let p = figure2_example(16);
+        let l = DataLayout::with_pads(&p.arrays, &[0, 100, 0]);
+        let fp = nest_footprint(&p, &p.nests[0], &l);
+        let b = fp.iter().find(|(a, _)| *a == 1).unwrap().1;
+        assert_eq!(b.min, 16 * 16 * 8 + 100 + 16 * 8);
+    }
+
+    #[test]
+    fn triangular_nest_interval() {
+        let mut p = crate::program::Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![16]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![
+                Loop::counted("j", 0, 9),
+                Loop::new("i", E::constant(0), E::var("j")),
+            ],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let fp = nest_footprint(&p, &p.nests[0], &l);
+        // i ranges over [0, 9] in the interval abstraction.
+        assert_eq!(fp[0].1, AddrRange { min: 0, max: 9 * 8 + 7 });
+    }
+
+    #[test]
+    fn lines_counts_straddling() {
+        let r = AddrRange { min: 30, max: 70 };
+        assert_eq!(r.lines(32), 3); // lines 0, 1, 2
+        let r2 = AddrRange { min: 32, max: 63 };
+        assert_eq!(r2.lines(32), 1);
+    }
+
+    #[test]
+    fn fits_in_cache_capacity_check() {
+        let p = figure2_example(16); // 3 arrays * 2 KiB = 6 KiB
+        let l = DataLayout::contiguous(&p.arrays);
+        assert!(fits_in_cache(&p, &p.nests[0], &l, 16 * 1024));
+        assert!(!fits_in_cache(&p, &p.nests[0], &l, 4 * 1024));
+    }
+
+    #[test]
+    fn empty_nest_has_empty_footprint() {
+        let mut p = crate::program::Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![16]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 5, 2)],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        assert_eq!(footprint_bytes(&p, &p.nests[0], &l), 0);
+    }
+}

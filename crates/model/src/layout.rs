@@ -1,0 +1,161 @@
+//! Data layouts: base addresses for every array in one address space.
+//!
+//! The SUIF pre-passes in Section 6.1 collect all optimizable variables into
+//! one global structure so that "optimizing passes may now modify the base
+//! addresses of variables by reordering fields in the structure and
+//! inserting pad variables". A [`DataLayout`] is that structure: array `k`
+//! starts at byte `bases[k]`, and inter-variable padding inserts bytes
+//! before an array, shifting it (and everything after it) upward.
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::expr::AffineExpr;
+use crate::reference::ArrayRef;
+
+/// Byte base addresses for a program's arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Base byte address of each array (parallel to the program's arrays).
+    pub bases: Vec<u64>,
+    /// One byte past the end of the last array.
+    pub total_size: u64,
+}
+
+impl DataLayout {
+    /// Lay arrays out back-to-back in declaration order starting at 0 — the
+    /// original, unpadded layout. With power-of-two-ish array sizes this is
+    /// the layout where "all base addresses in the original sample program
+    /// coincide on the cache" (Section 3.1.1).
+    pub fn contiguous(arrays: &[ArrayDecl]) -> Self {
+        Self::with_pads(arrays, &vec![0; arrays.len()])
+    }
+
+    /// Lay arrays out in declaration order with `pads[k]` bytes of padding
+    /// inserted *before* array `k`.
+    pub fn with_pads(arrays: &[ArrayDecl], pads: &[u64]) -> Self {
+        assert_eq!(arrays.len(), pads.len(), "one pad per array");
+        let mut bases = Vec::with_capacity(arrays.len());
+        let mut cursor = 0u64;
+        for (a, &p) in arrays.iter().zip(pads) {
+            cursor += p;
+            bases.push(cursor);
+            cursor += a.size_bytes() as u64;
+        }
+        Self { bases, total_size: cursor }
+    }
+
+    /// The pads this layout implies, given the declarations it was built for
+    /// (inverse of [`DataLayout::with_pads`]).
+    pub fn pads(&self, arrays: &[ArrayDecl]) -> Vec<u64> {
+        let mut pads = Vec::with_capacity(arrays.len());
+        let mut cursor = 0u64;
+        for (a, &b) in arrays.iter().zip(&self.bases) {
+            pads.push(b - cursor);
+            cursor = b + a.size_bytes() as u64;
+        }
+        pads
+    }
+
+    /// Base address of array `id`.
+    #[inline]
+    pub fn base(&self, id: ArrayId) -> u64 {
+        self.bases[id]
+    }
+
+    /// Byte address of element `idx` (0-based multi-index) of array `id`.
+    pub fn addr(&self, arrays: &[ArrayDecl], id: ArrayId, idx: &[i64]) -> u64 {
+        let a = &arrays[id];
+        self.bases[id] + (a.linear_index(idx) as u64) * a.elem_size as u64
+    }
+
+    /// Total padding bytes added relative to the contiguous layout — the
+    /// space overhead the padding experiments report.
+    pub fn padding_overhead(&self, arrays: &[ArrayDecl]) -> u64 {
+        let data: u64 = arrays.iter().map(|a| a.size_bytes() as u64).sum();
+        self.total_size - data
+    }
+
+    /// Resolve a reference to the affine byte-address function it denotes
+    /// under this layout: `addr(env) = c0 + Σ c_v · v`, returned as an
+    /// [`AffineExpr`] in the loop variables (coefficients in **bytes**).
+    ///
+    /// This is the compile step behind both trace generation and every
+    /// conflict/reuse analysis: once subscripts are folded through the
+    /// column-major strides and the base address, all cache questions are
+    /// questions about one affine function per reference.
+    pub fn address_expr(&self, arrays: &[ArrayDecl], r: &ArrayRef) -> AffineExpr {
+        let a = &arrays[r.array];
+        let strides = a.strides();
+        let elem = a.elem_size as i64;
+        let mut e = AffineExpr::constant(self.bases[r.array] as i64);
+        for (d, s) in r.subscripts.iter().enumerate() {
+            e = e.add(&s.scale(strides[d] * elem));
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayDecl;
+    use crate::expr::AffineExpr as E;
+
+    fn two_arrays() -> Vec<ArrayDecl> {
+        vec![ArrayDecl::f64("A", vec![10, 10]), ArrayDecl::f64("B", vec![10])]
+    }
+
+    #[test]
+    fn contiguous_layout_packs_in_order() {
+        let arrays = two_arrays();
+        let l = DataLayout::contiguous(&arrays);
+        assert_eq!(l.bases, vec![0, 800]);
+        assert_eq!(l.total_size, 880);
+        assert_eq!(l.padding_overhead(&arrays), 0);
+    }
+
+    #[test]
+    fn pads_shift_subsequent_arrays() {
+        let arrays = two_arrays();
+        let l = DataLayout::with_pads(&arrays, &[32, 64]);
+        assert_eq!(l.bases, vec![32, 32 + 800 + 64]);
+        assert_eq!(l.padding_overhead(&arrays), 96);
+        assert_eq!(l.pads(&arrays), vec![32, 64]);
+    }
+
+    #[test]
+    fn element_addressing_is_column_major() {
+        let arrays = two_arrays();
+        let l = DataLayout::contiguous(&arrays);
+        assert_eq!(l.addr(&arrays, 0, &[0, 0]), 0);
+        assert_eq!(l.addr(&arrays, 0, &[1, 0]), 8);
+        assert_eq!(l.addr(&arrays, 0, &[0, 1]), 80);
+        assert_eq!(l.addr(&arrays, 1, &[3]), 800 + 24);
+    }
+
+    #[test]
+    fn address_expr_matches_pointwise_eval() {
+        let arrays = two_arrays();
+        let l = DataLayout::with_pads(&arrays, &[16, 8]);
+        let r = ArrayRef::read(0, vec![E::var("i"), E::var_plus("j", 1)]);
+        let e = l.address_expr(&arrays, &r);
+        for (i, j) in [(0i64, 0i64), (3, 2), (9, 8)] {
+            let env = |v: &str| match v {
+                "i" => Some(i),
+                "j" => Some(j),
+                _ => None,
+            };
+            assert_eq!(e.eval(env).unwrap() as u64, l.addr(&arrays, 0, &[i, j + 1]));
+        }
+    }
+
+    #[test]
+    fn address_expr_respects_intra_pad() {
+        let mut arrays = two_arrays();
+        arrays[0].set_dim_pad(0, 2); // columns now 12 elements apart
+        let l = DataLayout::contiguous(&arrays);
+        let r = ArrayRef::read(0, vec![E::var("i"), E::var("j")]);
+        let e = l.address_expr(&arrays, &r);
+        assert_eq!(e.coeff("i"), 8);
+        assert_eq!(e.coeff("j"), 12 * 8);
+    }
+}

@@ -1,0 +1,241 @@
+//! Loops and loop nests.
+//!
+//! A [`LoopNest`] is a *perfect* nest: loops wrap a single body of array
+//! references. Bounds are affine in outer loop variables; upper bounds are
+//! a `min` over expressions and lower bounds a `max`, which is exactly what
+//! strip-mining introduces (`min(KK+W-1, N)` in the paper's Figure 8).
+
+use crate::expr::AffineExpr;
+use crate::reference::ArrayRef;
+
+/// One loop: `for var in max(lowers)..=min(uppers) step step`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Induction variable name; must be unique within the nest.
+    pub var: String,
+    /// Lower bound: the maximum of these expressions (at least one).
+    pub lowers: Vec<AffineExpr>,
+    /// Upper bound (inclusive): the minimum of these expressions (at least one).
+    pub uppers: Vec<AffineExpr>,
+    /// Step; nonzero. Negative steps iterate downward from the upper bound
+    /// (loop reversal flips the sign).
+    pub step: i64,
+}
+
+impl Loop {
+    /// `for var in lo..=hi` with unit step and constant bounds.
+    pub fn counted(var: impl Into<String>, lo: i64, hi: i64) -> Self {
+        Self::new(var, AffineExpr::constant(lo), AffineExpr::constant(hi))
+    }
+
+    /// `for var in lo..=hi` with unit step and affine bounds.
+    pub fn new(var: impl Into<String>, lo: AffineExpr, hi: AffineExpr) -> Self {
+        Self { var: var.into(), lowers: vec![lo], uppers: vec![hi], step: 1 }
+    }
+
+    /// Evaluate the effective (lower, upper) bounds in an environment binding
+    /// all outer variables. Returns `Err(var)` on an unbound variable.
+    pub fn bounds(&self, lookup: impl Fn(&str) -> Option<i64> + Copy) -> Result<(i64, i64), String> {
+        let mut lo = i64::MIN;
+        for e in &self.lowers {
+            lo = lo.max(e.eval(lookup)?);
+        }
+        let mut hi = i64::MAX;
+        for e in &self.uppers {
+            hi = hi.min(e.eval(lookup)?);
+        }
+        Ok((lo, hi))
+    }
+
+    /// Trip count in an environment (0 if empty).
+    pub fn trip_count(&self, lookup: impl Fn(&str) -> Option<i64> + Copy) -> Result<u64, String> {
+        let (lo, hi) = self.bounds(lookup)?;
+        if hi < lo {
+            return Ok(0);
+        }
+        let span = (hi - lo) as u64 + 1;
+        let step = self.step.unsigned_abs();
+        Ok(span.div_ceil(step))
+    }
+
+    /// Rename the induction variable, updating the bounds expressions that
+    /// mention it (none should, but stays safe) — callers must rename uses
+    /// in inner loops and the body separately.
+    pub fn renamed(&self, to: &str) -> Self {
+        Self {
+            var: to.to_string(),
+            lowers: self.lowers.iter().map(|e| e.rename(&self.var, to)).collect(),
+            uppers: self.uppers.iter().map(|e| e.rename(&self.var, to)).collect(),
+            step: self.step,
+        }
+    }
+}
+
+/// A perfect loop nest with a straight-line body of array references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Label used in reports and diagrams ("loop nest 1" in Figure 2).
+    pub name: String,
+    /// Loops, outermost first.
+    pub loops: Vec<Loop>,
+    /// Body references in program order, executed once per innermost
+    /// iteration.
+    pub body: Vec<ArrayRef>,
+}
+
+impl LoopNest {
+    /// Build a nest. Loops are outermost-first.
+    pub fn new(name: impl Into<String>, loops: Vec<Loop>, body: Vec<ArrayRef>) -> Self {
+        Self { name: name.into(), loops, body }
+    }
+
+    /// Nest depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The innermost loop.
+    pub fn innermost(&self) -> &Loop {
+        self.loops.last().expect("nest has no loops")
+    }
+
+    /// Loop variable names, outermost first.
+    pub fn loop_vars(&self) -> Vec<&str> {
+        self.loops.iter().map(|l| l.var.as_str()).collect()
+    }
+
+    /// Index of the loop with variable `v`.
+    pub fn loop_index(&self, v: &str) -> Option<usize> {
+        self.loops.iter().position(|l| l.var == v)
+    }
+
+    /// Total iterations of the body for constant-bounds nests; `None` when
+    /// bounds depend on outer variables (e.g. triangular or tiled nests),
+    /// where the trace generator must count instead.
+    pub fn const_iterations(&self) -> Option<u64> {
+        let mut total = 1u64;
+        for l in &self.loops {
+            let t = l.trip_count(|_| None).ok()?;
+            total = total.checked_mul(t)?;
+        }
+        Some(total)
+    }
+
+    /// Structural sanity check: unique loop vars, nonzero steps, subscripts
+    /// mentioning only in-scope variables. `arrays` gives per-array ranks.
+    pub fn validate(&self, ranks: &[usize]) -> Result<(), String> {
+        let mut seen: Vec<&str> = Vec::new();
+        for l in &self.loops {
+            if l.step == 0 {
+                return Err(format!("loop {} has zero step", l.var));
+            }
+            if seen.contains(&l.var.as_str()) {
+                return Err(format!("duplicate loop variable {}", l.var));
+            }
+            for e in l.lowers.iter().chain(&l.uppers) {
+                for v in e.vars() {
+                    if !seen.contains(&v) {
+                        return Err(format!("bound of loop {} uses unbound variable {v}", l.var));
+                    }
+                }
+            }
+            seen.push(&l.var);
+        }
+        for (i, r) in self.body.iter().enumerate() {
+            if r.array >= ranks.len() {
+                return Err(format!("reference {i} names undeclared array {}", r.array));
+            }
+            if r.subscripts.len() != ranks[r.array] {
+                return Err(format!(
+                    "reference {i} has {} subscripts but array {} has rank {}",
+                    r.subscripts.len(),
+                    r.array,
+                    ranks[r.array]
+                ));
+            }
+            for s in &r.subscripts {
+                for v in s.vars() {
+                    if !seen.contains(&v) {
+                        return Err(format!("reference {i} uses unbound variable {v}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+
+    #[test]
+    fn counted_loop_bounds_and_trips() {
+        let l = Loop::counted("i", 2, 10);
+        assert_eq!(l.bounds(|_| None).unwrap(), (2, 10));
+        assert_eq!(l.trip_count(|_| None).unwrap(), 9);
+    }
+
+    #[test]
+    fn min_upper_bound_strip_mine_shape() {
+        // for k in kk ..= min(kk + 31, n-1)
+        let mut l = Loop::new("k", AffineExpr::var("kk"), AffineExpr::var_plus("kk", 31));
+        l.uppers.push(AffineExpr::constant(99)); // n-1 with n = 100
+        let env = |v: &str| (v == "kk").then_some(96);
+        assert_eq!(l.bounds(env).unwrap(), (96, 99));
+        assert_eq!(l.trip_count(env).unwrap(), 4);
+        let env0 = |v: &str| (v == "kk").then_some(0);
+        assert_eq!(l.bounds(env0).unwrap(), (0, 31));
+    }
+
+    #[test]
+    fn empty_loop_has_zero_trips() {
+        let l = Loop::counted("i", 5, 4);
+        assert_eq!(l.trip_count(|_| None).unwrap(), 0);
+    }
+
+    #[test]
+    fn non_unit_step_trip_count_rounds_up() {
+        let mut l = Loop::counted("i", 0, 9);
+        l.step = 4;
+        assert_eq!(l.trip_count(|_| None).unwrap(), 3); // 0, 4, 8
+    }
+
+    #[test]
+    fn nest_validation_catches_errors() {
+        let body = vec![ArrayRef::read(0, vec![AffineExpr::var("i")])];
+        let good = LoopNest::new("n", vec![Loop::counted("i", 0, 9)], body.clone());
+        assert!(good.validate(&[1]).is_ok());
+
+        let bad_var = LoopNest::new("n", vec![Loop::counted("j", 0, 9)], body.clone());
+        assert!(bad_var.validate(&[1]).unwrap_err().contains("unbound"));
+
+        let bad_rank = LoopNest::new("n", vec![Loop::counted("i", 0, 9)], body);
+        assert!(bad_rank.validate(&[2]).unwrap_err().contains("rank"));
+    }
+
+    #[test]
+    fn const_iterations_multiplies_trips() {
+        let n = LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 9), Loop::counted("i", 0, 4)],
+            vec![],
+        );
+        assert_eq!(n.const_iterations(), Some(50));
+    }
+
+    #[test]
+    fn const_iterations_none_for_dependent_bounds() {
+        let n = LoopNest::new(
+            "n",
+            vec![
+                Loop::counted("j", 0, 9),
+                Loop::new("i", AffineExpr::constant(0), AffineExpr::var("j")),
+            ],
+            vec![],
+        );
+        assert_eq!(n.const_iterations(), None);
+    }
+}

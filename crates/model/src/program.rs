@@ -1,0 +1,186 @@
+//! Whole programs: a shared set of arrays plus a sequence of loop nests.
+//!
+//! This mirrors the paper's experimental setup after the SUIF pre-passes
+//! promote every optimizable variable into "a single global variable
+//! containing all of the variables to be optimized" (Section 6.1): the
+//! program owns the declarations, a [`crate::layout::DataLayout`] assigns
+//! them base addresses, and nests execute in order.
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::nest::LoopNest;
+
+/// A program: arrays + nests, executed nest 0 first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name for reports.
+    pub name: String,
+    /// Declared arrays (the optimizable variables).
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop nests in execution order.
+    pub nests: Vec<LoopNest>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), arrays: Vec::new(), nests: Vec::new() }
+    }
+
+    /// Declare an array, returning its id.
+    pub fn add_array(&mut self, decl: ArrayDecl) -> ArrayId {
+        assert!(
+            self.arrays.iter().all(|a| a.name != decl.name),
+            "duplicate array name {}",
+            decl.name
+        );
+        self.arrays.push(decl);
+        self.arrays.len() - 1
+    }
+
+    /// Append a nest.
+    pub fn add_nest(&mut self, nest: LoopNest) -> usize {
+        self.nests.push(nest);
+        self.nests.len() - 1
+    }
+
+    /// Find an array by name.
+    pub fn array_id(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name)
+    }
+
+    /// The declaration of an array.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id]
+    }
+
+    /// Per-array ranks (for nest validation).
+    pub fn ranks(&self) -> Vec<usize> {
+        self.arrays.iter().map(|a| a.rank()).collect()
+    }
+
+    /// Validate every nest against the declarations.
+    pub fn validate(&self) -> Result<(), String> {
+        let ranks = self.ranks();
+        for nest in &self.nests {
+            nest.validate(&ranks).map_err(|e| format!("nest {}: {e}", nest.name))?;
+        }
+        Ok(())
+    }
+
+    /// Total references executed, when all nests have constant bounds.
+    pub fn const_references(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for n in &self.nests {
+            total = total.checked_add(n.const_iterations()? * n.body.len() as u64)?;
+        }
+        Some(total)
+    }
+
+    /// Apply intra-variable padding to an array's leading dimension,
+    /// returning a modified copy of the program (Section 6.1 applies this
+    /// to ADI32 and ERLE64 before the inter-variable passes).
+    pub fn with_dim_pad(&self, id: ArrayId, dim: usize, pad: usize) -> Self {
+        let mut p = self.clone();
+        p.arrays[id].set_dim_pad(dim, pad);
+        p
+    }
+}
+
+/// Build the paper's Figure 2 example program:
+///
+/// ```fortran
+/// real A(N,N), B(N,N), C(N,N)
+/// do j = 2,N-1            ! loop nest 1
+///   do i = 1,N
+///     .. = A(i,j) + A(i,j+1)
+///     .. = B(i,j) + B(i,j+1)
+///     .. = C(i,j) + C(i,j+1)
+/// do j = 2,N-1            ! loop nest 2
+///   do i = 1,N
+///     .. = B(i,j-1) + B(i,j) + B(i,j+1)
+///     .. = C(i,j)
+/// ```
+///
+/// Indices are shifted to 0-based: `j = 1..=n-2`, `i = 0..=n-1`.
+/// This program is the running example for PAD (Figure 3), GROUPPAD
+/// (Figure 4), L2MAXPAD (Figure 5), and the fusion accounting (Figures 6-7).
+pub fn figure2_example(n: usize) -> Program {
+    use crate::expr::AffineExpr as E;
+    use crate::nest::Loop;
+    use crate::reference::ArrayRef;
+
+    let mut p = Program::new("figure2");
+    let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+    let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
+    let c = p.add_array(ArrayDecl::f64("C", vec![n, n]));
+
+    let loops = || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 0, n as i64 - 1)];
+    let ij = |x: i64| vec![E::var("i"), E::var_plus("j", x)];
+
+    p.add_nest(LoopNest::new(
+        "nest1",
+        loops(),
+        vec![
+            ArrayRef::read(a, ij(0)),
+            ArrayRef::read(a, ij(1)),
+            ArrayRef::read(b, ij(0)),
+            ArrayRef::read(b, ij(1)),
+            ArrayRef::read(c, ij(0)),
+            ArrayRef::read(c, ij(1)),
+        ],
+    ));
+    p.add_nest(LoopNest::new(
+        "nest2",
+        loops(),
+        vec![
+            ArrayRef::read(b, ij(-1)),
+            ArrayRef::read(b, ij(0)),
+            ArrayRef::read(b, ij(1)),
+            ArrayRef::read(c, ij(0)),
+        ],
+    ));
+    debug_assert!(p.validate().is_ok());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let p = figure2_example(512);
+        assert_eq!(p.arrays.len(), 3);
+        assert_eq!(p.nests.len(), 2);
+        assert_eq!(p.nests[0].body.len(), 6);
+        assert_eq!(p.nests[1].body.len(), 4);
+        p.validate().unwrap();
+        // (N-2)*N iterations per nest; 6 + 4 refs.
+        let iters = (512 - 2) * 512u64;
+        assert_eq!(p.const_references(), Some(iters * 10));
+    }
+
+    #[test]
+    fn array_lookup_by_name() {
+        let p = figure2_example(16);
+        assert_eq!(p.array_id("B"), Some(1));
+        assert_eq!(p.array_id("Z"), None);
+        assert_eq!(p.array(2).name, "C");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate array name")]
+    fn duplicate_names_rejected() {
+        let mut p = Program::new("t");
+        p.add_array(ArrayDecl::f64("A", vec![4]));
+        p.add_array(ArrayDecl::f64("A", vec![4]));
+    }
+
+    #[test]
+    fn with_dim_pad_leaves_original_untouched() {
+        let p = figure2_example(16);
+        let q = p.with_dim_pad(0, 0, 3);
+        assert_eq!(p.arrays[0].dim_pad[0], 0);
+        assert_eq!(q.arrays[0].dim_pad[0], 3);
+    }
+}

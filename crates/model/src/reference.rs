@@ -1,0 +1,104 @@
+//! Array references — the statements of the model.
+//!
+//! The paper's analyses only care about which memory locations a loop body
+//! touches and in what order, so a "statement" here is just a read or write
+//! of an affine-subscripted array element. Body order is program order:
+//! reference 0 executes first in each iteration.
+
+use crate::array::ArrayId;
+use crate::expr::AffineExpr;
+use mlc_cache_sim::trace::AccessKind;
+
+/// One subscripted array reference, e.g. `A(i, j+1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Which array (index into the program's declarations).
+    pub array: ArrayId,
+    /// One affine subscript per dimension, leading dimension first.
+    pub subscripts: Vec<AffineExpr>,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// A read reference.
+    pub fn read(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        Self { array, subscripts, kind: AccessKind::Read }
+    }
+
+    /// A write reference.
+    pub fn write(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
+        Self { array, subscripts, kind: AccessKind::Write }
+    }
+
+    /// True iff this is a store.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+
+    /// The coefficient of loop variable `v` in subscript dimension `d`.
+    pub fn coeff(&self, d: usize, v: &str) -> i64 {
+        self.subscripts[d].coeff(v)
+    }
+
+    /// True iff no subscript mentions `v` — the reference is invariant in
+    /// that loop, i.e. it carries *self-temporal* reuse on `v` (Section 2).
+    pub fn invariant_in(&self, v: &str) -> bool {
+        self.subscripts.iter().all(|s| s.coeff(v) == 0)
+    }
+
+    /// The per-dimension coefficient rows for a set of loop variables, used
+    /// as the uniformly-generated-set key: two references are uniformly
+    /// generated iff these matrices are equal (they then differ only in
+    /// constant terms).
+    pub fn coeff_matrix(&self, vars: &[&str]) -> Vec<Vec<i64>> {
+        self.subscripts
+            .iter()
+            .map(|s| vars.iter().map(|v| s.coeff(v)).collect())
+            .collect()
+    }
+
+    /// The constant-term vector of the subscripts.
+    pub fn constant_vector(&self) -> Vec<i64> {
+        self.subscripts.iter().map(|s| s.constant_term()).collect()
+    }
+
+    /// Apply `f` to every subscript, producing a transformed reference.
+    pub fn map_subscripts(&self, f: impl Fn(&AffineExpr) -> AffineExpr) -> Self {
+        Self { array: self.array, subscripts: self.subscripts.iter().map(f).collect(), kind: self.kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_ij_plus1() -> ArrayRef {
+        ArrayRef::read(0, vec![AffineExpr::var("i"), AffineExpr::var_plus("j", 1)])
+    }
+
+    #[test]
+    fn invariance_detects_temporal_reuse() {
+        // B(j) is invariant in i: temporal reuse on the i loop (Figure 1).
+        let b_j = ArrayRef::write(1, vec![AffineExpr::var("j")]);
+        assert!(b_j.invariant_in("i"));
+        assert!(!b_j.invariant_in("j"));
+    }
+
+    #[test]
+    fn coeff_matrix_is_ugs_key() {
+        let r1 = a_ij_plus1();
+        let r2 = ArrayRef::read(0, vec![AffineExpr::var("i"), AffineExpr::var("j")]);
+        let vars = ["i", "j"];
+        assert_eq!(r1.coeff_matrix(&vars), r2.coeff_matrix(&vars));
+        assert_ne!(r1.constant_vector(), r2.constant_vector());
+    }
+
+    #[test]
+    fn map_subscripts_preserves_kind() {
+        let r = a_ij_plus1().map_subscripts(|s| s.clone().plus(5));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.subscripts[1].constant_term(), 6);
+    }
+}

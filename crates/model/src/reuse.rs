@@ -1,0 +1,262 @@
+//! Reuse analysis: the Wolf–Lam vocabulary of Section 2.
+//!
+//! * **Self-temporal** reuse of a reference on a loop: the reference is
+//!   invariant in that loop (`B(j)` on the `i` loop of Figure 1).
+//! * **Self-spatial** reuse: consecutive iterations of the loop move the
+//!   reference by less than a cache line (`A(j,i)`/`B(j)` on the `j` loop).
+//! * **Group** reuse: reuse between *different* references to the same
+//!   variable. The paper's padding and fusion analyses work on *uniformly
+//!   generated sets* — references to one array whose subscripts have
+//!   identical loop coefficients and differ only in constant terms, like
+//!   `B(i,j-1)`, `B(i,j)`, `B(i,j+1)`. Members are a constant memory
+//!   distance apart forever ("these relative positions do not change over
+//!   loop iterations"), which is what makes the layout diagrams and the arc
+//!   accounting well-defined.
+
+use crate::array::{ArrayDecl, ArrayId};
+use crate::nest::LoopNest;
+
+/// Self-reuse of one reference with respect to one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfReuse {
+    /// Invariant in the loop: every iteration touches the same element.
+    pub temporal: bool,
+    /// Moves by less than a cache line per iteration (and is not invariant).
+    pub spatial: bool,
+}
+
+/// Classify the self-reuse of `nest.body[r]` on loop `level`, for a cache
+/// with `line`-byte lines.
+pub fn self_reuse(nest: &LoopNest, arrays: &[ArrayDecl], r: usize, level: usize, line: usize) -> SelfReuse {
+    let rf = &nest.body[r];
+    let a = &arrays[rf.array];
+    let v = &nest.loops[level].var;
+    let strides = a.strides();
+    // Byte movement of the reference per unit step of the loop variable.
+    let mut delta = 0i64;
+    for (d, s) in rf.subscripts.iter().enumerate() {
+        delta += s.coeff(v) * strides[d] * a.elem_size as i64;
+    }
+    delta *= nest.loops[level].step;
+    if delta == 0 {
+        return SelfReuse { temporal: true, spatial: false };
+    }
+    SelfReuse { temporal: false, spatial: delta.unsigned_abs() < line as u64 }
+}
+
+/// A member of a uniformly generated set: which body reference, and its
+/// linearized element offset (the constant part of its address function, in
+/// elements, with the shared base removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UgsMember {
+    /// Index into the nest body.
+    pub body_index: usize,
+    /// Linearized constant offset in elements. Members of a group are
+    /// sorted ascending by this; the *last* member is the "leading"
+    /// reference that first touches new data as the carrying loop advances
+    /// upward.
+    pub offset_elems: i64,
+}
+
+/// A uniformly generated set within one nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UgsGroup {
+    /// The shared array.
+    pub array: ArrayId,
+    /// Members sorted ascending by `offset_elems` (ties keep body order —
+    /// duplicate references arise after fusion, Figure 7).
+    pub members: Vec<UgsMember>,
+}
+
+impl UgsGroup {
+    /// Arcs between memory-adjacent members, as (trailing, leading) pairs of
+    /// body indices — the arcs of the paper's layout diagrams. Duplicate
+    /// offsets produce a zero-length arc, which the group-reuse accounting
+    /// treats as register/L1 reuse ("only the first may cause a cache
+    /// fault").
+    pub fn arcs(&self) -> Vec<(UgsMember, UgsMember)> {
+        self.members.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// The leading member (largest offset).
+    pub fn leader(&self) -> UgsMember {
+        *self.members.last().expect("group has at least one member")
+    }
+}
+
+/// Partition a nest's body into uniformly generated sets.
+///
+/// Two references are grouped iff they name the same array and have equal
+/// coefficient matrices over the nest's loop variables. Singleton groups are
+/// included (they simply have no arcs).
+pub fn uniformly_generated_sets(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<UgsGroup> {
+    let vars = nest.loop_vars();
+    // Key: (array, coefficient matrix).
+    let mut groups: Vec<(ArrayId, Vec<Vec<i64>>, Vec<UgsMember>)> = Vec::new();
+    for (i, r) in nest.body.iter().enumerate() {
+        let key = r.coeff_matrix(&vars);
+        let strides = arrays[r.array].strides();
+        let offset: i64 = r
+            .subscripts
+            .iter()
+            .enumerate()
+            .map(|(d, s)| s.constant_term() * strides[d])
+            .sum();
+        let member = UgsMember { body_index: i, offset_elems: offset };
+        if let Some(g) = groups.iter_mut().find(|(a, k, _)| *a == r.array && *k == key) {
+            g.2.push(member);
+        } else {
+            groups.push((r.array, key, vec![member]));
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(array, _, mut members)| {
+            members.sort_by_key(|m| (m.offset_elems, m.body_index));
+            UgsGroup { array, members }
+        })
+        .collect()
+}
+
+/// The iteration distance at which group reuse between two members is
+/// realized, if a single loop of the nest carries it: find the loop whose
+/// per-iteration element movement evenly divides the offset difference and
+/// is the only mover. Returns `(loop level, iterations)` for simple
+/// stencil-style groups (the common case in the paper), else `None`.
+pub fn carrying_loop(
+    nest: &LoopNest,
+    arrays: &[ArrayDecl],
+    g: &UgsGroup,
+    from: UgsMember,
+    to: UgsMember,
+) -> Option<(usize, i64)> {
+    let delta = to.offset_elems - from.offset_elems;
+    if delta == 0 {
+        return Some((nest.depth() - 1, 0));
+    }
+    let a = &arrays[g.array];
+    let strides = a.strides();
+    let rf = &nest.body[from.body_index];
+    for (level, l) in nest.loops.iter().enumerate() {
+        let mut move_per_iter = 0i64;
+        for (d, s) in rf.subscripts.iter().enumerate() {
+            move_per_iter += s.coeff(&l.var) * strides[d];
+        }
+        move_per_iter *= l.step;
+        if move_per_iter != 0 && delta % move_per_iter == 0 {
+            let iters = delta / move_per_iter;
+            if iters > 0 {
+                return Some((level, iters));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr as E;
+    use crate::nest::Loop;
+    use crate::program::figure2_example;
+    use crate::reference::ArrayRef;
+
+    #[test]
+    fn figure1_self_reuse() {
+        // do j { do i { B(j) = A(j,i) } }  (original order, 0-based)
+        let arrays = vec![
+            crate::array::ArrayDecl::f64("A", vec![64, 16]),
+            crate::array::ArrayDecl::f64("B", vec![64]),
+        ];
+        let nest = LoopNest::new(
+            "fig1",
+            vec![Loop::counted("j", 0, 63), Loop::counted("i", 0, 15)],
+            vec![
+                ArrayRef::read(0, vec![E::var("j"), E::var("i")]),
+                ArrayRef::write(1, vec![E::var("j")]),
+            ],
+        );
+        // B(j) has temporal reuse on i, spatial on j.
+        let b_on_i = self_reuse(&nest, &arrays, 1, 1, 32);
+        assert!(b_on_i.temporal);
+        let b_on_j = self_reuse(&nest, &arrays, 1, 0, 32);
+        assert!(b_on_j.spatial && !b_on_j.temporal);
+        // A(j,i) has spatial reuse on j (unit stride), none on i (column jump).
+        let a_on_j = self_reuse(&nest, &arrays, 0, 0, 32);
+        assert!(a_on_j.spatial);
+        let a_on_i = self_reuse(&nest, &arrays, 0, 1, 32);
+        assert!(!a_on_i.spatial && !a_on_i.temporal);
+    }
+
+    #[test]
+    fn figure2_ugs_groups() {
+        let p = figure2_example(512);
+        let groups = uniformly_generated_sets(&p.nests[0], &p.arrays);
+        // Nest 1: {A(i,j), A(i,j+1)}, {B...}, {C...}.
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.members.len(), 2);
+            let arc = g.arcs();
+            assert_eq!(arc.len(), 1);
+            // Distance of one column = 512 elements.
+            assert_eq!(arc[0].1.offset_elems - arc[0].0.offset_elems, 512);
+        }
+        // Nest 2: B group of 3, C group of 1.
+        let groups2 = uniformly_generated_sets(&p.nests[1], &p.arrays);
+        assert_eq!(groups2.len(), 2);
+        assert_eq!(groups2[0].members.len(), 3);
+        assert_eq!(groups2[0].leader().offset_elems, 512);
+        assert_eq!(groups2[1].members.len(), 1);
+        assert!(groups2[1].arcs().is_empty());
+    }
+
+    #[test]
+    fn different_coefficients_split_groups() {
+        let arrays = vec![crate::array::ArrayDecl::f64("A", vec![8, 8])];
+        let nest = LoopNest::new(
+            "t",
+            vec![Loop::counted("j", 0, 7), Loop::counted("i", 0, 7)],
+            vec![
+                ArrayRef::read(0, vec![E::var("i"), E::var("j")]),
+                ArrayRef::read(0, vec![E::var("j"), E::var("i")]), // transposed access
+            ],
+        );
+        let groups = uniformly_generated_sets(&nest, &arrays);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn carrying_loop_for_column_stencil() {
+        let p = figure2_example(512);
+        let groups = uniformly_generated_sets(&p.nests[1], &p.arrays);
+        let b = &groups[0];
+        let arcs = b.arcs();
+        // B(i,j-1) <- B(i,j): carried by the j loop (level 0), 1 iteration.
+        let (level, iters) = carrying_loop(&p.nests[1], &p.arrays, b, arcs[0].0, arcs[0].1).unwrap();
+        assert_eq!(level, 0);
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn duplicate_refs_share_offset() {
+        // The fused Figure 6 body reads B(i,j+1) twice.
+        let arrays = vec![crate::array::ArrayDecl::f64("B", vec![16, 16])];
+        let nest = LoopNest::new(
+            "t",
+            vec![Loop::counted("j", 1, 14), Loop::counted("i", 0, 15)],
+            vec![
+                ArrayRef::read(0, vec![E::var("i"), E::var_plus("j", 1)]),
+                ArrayRef::read(0, vec![E::var("i"), E::var_plus("j", 1)]),
+            ],
+        );
+        let groups = uniformly_generated_sets(&nest, &arrays);
+        assert_eq!(groups.len(), 1);
+        let arc = groups[0].arcs();
+        assert_eq!(arc.len(), 1);
+        assert_eq!(arc[0].0.offset_elems, arc[0].1.offset_elems);
+        // Zero-length arc: register-level reuse.
+        let (_, iters) =
+            carrying_loop(&nest, &arrays, &groups[0], arc[0].0, arc[0].1).unwrap();
+        assert_eq!(iters, 0);
+    }
+}

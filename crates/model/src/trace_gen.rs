@@ -1,0 +1,401 @@
+//! Exact address-trace generation.
+//!
+//! Walks a program's iteration spaces in execution order and emits one
+//! [`Access`] per array reference into any [`AccessSink`] — usually a
+//! [`mlc_cache_sim::Hierarchy`]. This reproduces the paper's trace-driven
+//! cache simulations.
+//!
+//! Nests are compiled first: every reference's byte address is affine in the
+//! loop variables (see [`crate::layout::DataLayout::address_expr`]), so the
+//! walker keeps per-reference partial sums per loop level and the innermost
+//! loop advances each reference by a constant stride. The figure-11 sweep
+//! pushes several billion accesses through this path, so it allocates
+//! nothing per iteration.
+
+use crate::layout::DataLayout;
+use crate::nest::LoopNest;
+use crate::program::Program;
+use mlc_cache_sim::stats::MissRateReport;
+use mlc_cache_sim::trace::{Access, AccessKind, AccessSink};
+use mlc_cache_sim::{Hierarchy, HierarchyConfig};
+
+/// A bound expression resolved to loop-level indices.
+#[derive(Debug, Clone)]
+struct CompiledExpr {
+    constant: i64,
+    /// (outer-loop index, coefficient) pairs.
+    terms: Vec<(usize, i64)>,
+}
+
+impl CompiledExpr {
+    #[inline]
+    fn eval(&self, vals: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for &(l, c) in &self.terms {
+            acc += c * vals[l];
+        }
+        acc
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CompiledLoop {
+    lowers: Vec<CompiledExpr>,
+    uppers: Vec<CompiledExpr>,
+    step: i64,
+}
+
+impl CompiledLoop {
+    #[inline]
+    fn bounds(&self, vals: &[i64]) -> (i64, i64) {
+        let lo = self.lowers.iter().map(|e| e.eval(vals)).max().unwrap();
+        let hi = self.uppers.iter().map(|e| e.eval(vals)).min().unwrap();
+        (lo, hi)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CompiledRef {
+    /// Base byte address (constant part of the affine address function).
+    base: i64,
+    /// Byte stride per loop level, outermost first.
+    strides: Vec<i64>,
+    kind: AccessKind,
+}
+
+/// A nest compiled against a layout, ready to stream.
+#[derive(Debug, Clone)]
+pub struct CompiledNest {
+    loops: Vec<CompiledLoop>,
+    refs: Vec<CompiledRef>,
+}
+
+impl CompiledNest {
+    /// Compile `nest` over `program`'s arrays under `layout`.
+    ///
+    /// # Panics
+    /// Panics if a bound or subscript mentions a variable that is not an
+    /// enclosing loop of the nest (run [`Program::validate`] first).
+    pub fn new(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Self {
+        let var_index = |v: &str| -> usize {
+            nest.loop_index(v)
+                .unwrap_or_else(|| panic!("variable {v} not bound by nest {}", nest.name))
+        };
+        let compile_expr = |e: &crate::expr::AffineExpr| CompiledExpr {
+            constant: e.constant_term(),
+            terms: e.terms().map(|(v, c)| (var_index(v), c)).collect(),
+        };
+        let loops = nest
+            .loops
+            .iter()
+            .map(|l| {
+                assert!(l.step != 0, "zero step in {}", nest.name);
+                CompiledLoop {
+                    lowers: l.lowers.iter().map(compile_expr).collect(),
+                    uppers: l.uppers.iter().map(compile_expr).collect(),
+                    step: l.step,
+                }
+            })
+            .collect();
+        let refs = nest
+            .body
+            .iter()
+            .map(|r| {
+                let addr = layout.address_expr(&program.arrays, r);
+                CompiledRef {
+                    base: addr.constant_term(),
+                    strides: nest.loops.iter().map(|l| addr.coeff(&l.var)).collect(),
+                    kind: r.kind,
+                }
+            })
+            .collect();
+        Self { loops, refs }
+    }
+
+    /// Stream the nest's accesses into `sink`; returns the number emitted.
+    pub fn run(&self, sink: &mut impl AccessSink) -> u64 {
+        if self.loops.is_empty() {
+            for r in &self.refs {
+                sink.access(Access { addr: r.base as u64, kind: r.kind });
+            }
+            return self.refs.len() as u64;
+        }
+        let depth = self.loops.len();
+        let nrefs = self.refs.len();
+        // partials[l * nrefs + r] = base + Σ_{k<l} stride_k * v_k for ref r.
+        let mut partials = vec![0i64; depth * nrefs];
+        for (r, cr) in self.refs.iter().enumerate() {
+            partials[r] = cr.base;
+        }
+        let mut vals = vec![0i64; depth];
+        let mut count = 0u64;
+        self.walk(0, &mut vals, &mut partials, sink, &mut count);
+        count
+    }
+
+    fn walk(
+        &self,
+        level: usize,
+        vals: &mut [i64],
+        partials: &mut [i64],
+        sink: &mut impl AccessSink,
+        count: &mut u64,
+    ) {
+        let nrefs = self.refs.len();
+        let depth = self.loops.len();
+        let lp = &self.loops[level];
+        let (lo, hi) = lp.bounds(&vals[..level]);
+        if hi < lo {
+            return;
+        }
+        let (start, step) = if lp.step > 0 { (lo, lp.step) } else { (hi, lp.step) };
+        let trips = ((hi - lo) / step.abs() + 1) as u64;
+
+        if level == depth - 1 {
+            // Innermost loop: advance each reference by its stride.
+            if nrefs == 0 {
+                *count += 0;
+                return;
+            }
+            let base = &partials[(depth - 1) * nrefs..depth * nrefs];
+            let mut cur: Vec<i64> = self
+                .refs
+                .iter()
+                .enumerate()
+                .map(|(r, cr)| base[r] + cr.strides[level] * start)
+                .collect();
+            let deltas: Vec<i64> = self.refs.iter().map(|cr| cr.strides[level] * step).collect();
+            for _ in 0..trips {
+                for (r, cr) in self.refs.iter().enumerate() {
+                    debug_assert!(cur[r] >= 0, "negative address generated");
+                    sink.access(Access { addr: cur[r] as u64, kind: cr.kind });
+                    cur[r] += deltas[r];
+                }
+            }
+            *count += trips * nrefs as u64;
+            return;
+        }
+
+        let mut v = start;
+        for _ in 0..trips {
+            vals[level] = v;
+            for r in 0..nrefs {
+                partials[(level + 1) * nrefs + r] =
+                    partials[level * nrefs + r] + self.refs[r].strides[level] * v;
+            }
+            self.walk(level + 1, vals, partials, sink, count);
+            v += step;
+        }
+    }
+}
+
+/// Stream one nest's trace.
+pub fn generate_nest(
+    program: &Program,
+    nest: &LoopNest,
+    layout: &DataLayout,
+    sink: &mut impl AccessSink,
+) -> u64 {
+    CompiledNest::new(program, nest, layout).run(sink)
+}
+
+/// Stream the whole program's trace in execution order; returns the number
+/// of references emitted.
+pub fn generate(program: &Program, layout: &DataLayout, sink: &mut impl AccessSink) -> u64 {
+    program.nests.iter().map(|n| generate_nest(program, n, layout, sink)).sum()
+}
+
+/// Convenience: simulate a program on a cold hierarchy and return the
+/// paper-style miss-rate report.
+pub fn simulate(program: &Program, layout: &DataLayout, config: &HierarchyConfig) -> MissRateReport {
+    let mut hier = Hierarchy::new(config.clone());
+    generate(program, layout, &mut hier);
+    hier.report()
+}
+
+/// Simulate with `warmup` full program sweeps before counting, then `timed`
+/// counted sweeps — the outer "time-step" loop of the iterative kernels.
+pub fn simulate_steady(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    warmup: usize,
+    timed: usize,
+) -> MissRateReport {
+    let mut hier = Hierarchy::new(config.clone());
+    for _ in 0..warmup {
+        generate(program, layout, &mut hier);
+    }
+    hier.reset_stats();
+    for _ in 0..timed {
+        generate(program, layout, &mut hier);
+    }
+    hier.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayDecl;
+    use crate::expr::AffineExpr as E;
+    use crate::nest::Loop;
+    use crate::program::figure2_example;
+    use crate::reference::ArrayRef;
+    use mlc_cache_sim::trace::{CountingSink, RecordingSink};
+
+    fn simple_program(n: usize) -> Program {
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![n]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, n as i64 - 1)],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
+        p
+    }
+
+    #[test]
+    fn sequential_walk_addresses() {
+        let p = simple_program(4);
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        let n = generate(&p, &l, &mut rec);
+        assert_eq!(n, 4);
+        let addrs: Vec<u64> = rec.accesses.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn body_order_is_program_order() {
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![8]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![8]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, 1)],
+            vec![
+                ArrayRef::read(a, vec![E::var("i")]),
+                ArrayRef::write(b, vec![E::var("i")]),
+            ],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        generate(&p, &l, &mut rec);
+        let addrs: Vec<u64> = rec.accesses.iter().map(|x| x.addr).collect();
+        assert_eq!(addrs, vec![0, 64, 8, 72]);
+        assert_eq!(rec.accesses[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn reference_count_matches_const_estimate() {
+        let p = figure2_example(64);
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut c = CountingSink::default();
+        let n = generate(&p, &l, &mut c);
+        assert_eq!(n, p.const_references().unwrap());
+        assert_eq!(c.total, n);
+    }
+
+    #[test]
+    fn two_level_nest_column_major_order() {
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![2, 2]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 1), Loop::counted("i", 0, 1)],
+            vec![ArrayRef::read(a, vec![E::var("i"), E::var("j")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        generate(&p, &l, &mut rec);
+        let addrs: Vec<u64> = rec.accesses.iter().map(|x| x.addr).collect();
+        // j outer, i inner, column-major: 0, 8, 16, 24 — perfectly sequential.
+        assert_eq!(addrs, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn reversed_loop_walks_backward() {
+        let mut p = simple_program(4);
+        p.nests[0].loops[0].step = -1;
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        generate(&p, &l, &mut rec);
+        let addrs: Vec<u64> = rec.accesses.iter().map(|x| x.addr).collect();
+        assert_eq!(addrs, vec![24, 16, 8, 0]);
+    }
+
+    #[test]
+    fn triangular_bounds() {
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![4, 4]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![
+                Loop::counted("j", 0, 3),
+                Loop::new("i", E::constant(0), E::var("j")),
+            ],
+            vec![ArrayRef::read(a, vec![E::var("i"), E::var("j")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut c = CountingSink::default();
+        let n = generate(&p, &l, &mut c);
+        assert_eq!(n, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn strip_mined_bounds_with_min() {
+        // for ii in (0..10 step 4) { for i in ii..=min(ii+3, 9) }
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![10]));
+        let mut outer = Loop::counted("ii", 0, 9);
+        outer.step = 4;
+        let mut inner = Loop::new("i", E::var("ii"), E::var_plus("ii", 3));
+        inner.uppers.push(E::constant(9));
+        p.add_nest(LoopNest::new("n", vec![outer, inner], vec![ArrayRef::read(a, vec![E::var("i")])]));
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut rec = RecordingSink::default();
+        let n = generate(&p, &l, &mut rec);
+        assert_eq!(n, 10); // 4 + 4 + 2
+        let addrs: Vec<u64> = rec.accesses.iter().map(|x| x.addr).collect();
+        assert_eq!(addrs, (0..10).map(|i| i * 8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_emits_nothing() {
+        let mut p = simple_program(4);
+        p.nests[0].loops[0] = Loop::counted("i", 3, 2);
+        let l = DataLayout::contiguous(&p.arrays);
+        let mut c = CountingSink::default();
+        assert_eq!(generate(&p, &l, &mut c), 0);
+    }
+
+    #[test]
+    fn simulate_figure2_contiguous_has_severe_conflicts() {
+        // With N a multiple of the cache column capacity, the contiguous
+        // layout makes all three arrays coincide on the cache: L1 miss rate
+        // should be near 100% (every access conflicts).
+        let n = 512; // 512*512*8 = 2 MiB arrays; bases 0, 2 MiB, 4 MiB
+        let p = figure2_example(n);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let r = simulate(&p, &l, &cfg);
+        // Nest 1: all six refs ping-pong (rate ~1); nest 2 only B(i,j)/C(i,j)
+        // conflict, so the blended rate sits near (6·1 + 2·1 + 2·¼)/10.
+        assert!(
+            r.miss_rate(0) > 0.8,
+            "expected severe conflicts, got L1 rate {}",
+            r.miss_rate(0)
+        );
+    }
+
+    #[test]
+    fn steady_state_resets_warmup_counts() {
+        let p = simple_program(64);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let r = simulate_steady(&p, &l, &cfg, 1, 1);
+        // Array is 512 bytes: fits L1; second sweep all hits.
+        assert_eq!(r.levels[0].misses(), 0);
+        assert_eq!(r.total_references, 64);
+    }
+}

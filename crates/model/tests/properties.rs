@@ -1,0 +1,175 @@
+//! Property tests for the program model: transformations preserve the
+//! access multiset, layouts are consistent, and the affine machinery is
+//! closed under the operations the optimizer performs.
+
+use mlc_cache_sim::trace::RecordingSink;
+use mlc_model::prelude::*;
+use mlc_model::transform::{fuse_in_program, permute, reverse, strip_mine, tile};
+use mlc_model::{trace_gen, AffineExpr as E};
+use proptest::prelude::*;
+
+/// A random 2-D stencil program: one or two nests over up to three arrays,
+/// with small constant-offset subscripts (always in bounds).
+fn stencil_program() -> impl Strategy<Value = Program> {
+    (
+        4usize..24,                                     // n
+        1usize..=3,                                     // arrays
+        prop::collection::vec((0usize..3, -1i64..=1, -1i64..=1, prop::bool::ANY), 1..6),
+        prop::collection::vec((0usize..3, -1i64..=1, -1i64..=1, prop::bool::ANY), 0..5),
+    )
+        .prop_map(|(n, n_arrays, body1, body2)| {
+            let mut p = Program::new("prop");
+            for a in 0..n_arrays {
+                p.add_array(ArrayDecl::f64(format!("A{a}"), vec![n, n]));
+            }
+            let mk_body = |spec: &[(usize, i64, i64, bool)]| {
+                spec.iter()
+                    .map(|&(a, di, dj, w)| {
+                        let subs = vec![E::var_plus("i", di), E::var_plus("j", dj)];
+                        let a = a % n_arrays;
+                        if w {
+                            ArrayRef::write(a, subs)
+                        } else {
+                            ArrayRef::read(a, subs)
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let loops =
+                || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 1, n as i64 - 2)];
+            p.add_nest(LoopNest::new("n1", loops(), mk_body(&body1)));
+            if !body2.is_empty() {
+                p.add_nest(LoopNest::new("n2", loops(), mk_body(&body2)));
+            }
+            p
+        })
+}
+
+fn address_multiset(p: &Program, layout: &DataLayout) -> Vec<u64> {
+    let mut rec = RecordingSink::default();
+    trace_gen::generate(p, layout, &mut rec);
+    let mut v: Vec<u64> = rec.accesses.iter().map(|a| a.addr).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Legal permutation never changes which addresses are touched.
+    #[test]
+    fn permutation_preserves_multiset(p in stencil_program()) {
+        let layout = DataLayout::contiguous(&p.arrays);
+        let before = address_multiset(&p, &layout);
+        if let Ok(permuted) = permute(&p.nests[0], &[1, 0]) {
+            let mut q = p.clone();
+            q.nests[0] = permuted;
+            prop_assert_eq!(before, address_multiset(&q, &layout));
+        }
+    }
+
+    /// Legal fusion never changes which addresses are touched.
+    #[test]
+    fn fusion_preserves_multiset(p in stencil_program()) {
+        if p.nests.len() < 2 {
+            return Ok(());
+        }
+        let layout = DataLayout::contiguous(&p.arrays);
+        let before = address_multiset(&p, &layout);
+        if let Ok(fused) = fuse_in_program(&p, 0) {
+            prop_assert_eq!(before, address_multiset(&fused, &layout));
+        }
+    }
+
+    /// Strip-mining (any tile size) never changes the trace at all — not
+    /// just the multiset: iteration order is preserved.
+    #[test]
+    fn strip_mine_preserves_exact_trace(p in stencil_program(), t in 1u64..9, level in 0usize..2) {
+        let layout = DataLayout::contiguous(&p.arrays);
+        let mut before = RecordingSink::default();
+        trace_gen::generate_nest(&p, &p.nests[0], &layout, &mut before);
+        let sm = strip_mine(&p.nests[0], level, t, "TT").unwrap();
+        let mut after = RecordingSink::default();
+        trace_gen::generate_nest(&p, &sm, &layout, &mut after);
+        prop_assert_eq!(before.accesses, after.accesses);
+    }
+
+    /// Tiling preserves the access multiset.
+    #[test]
+    fn tiling_preserves_multiset(p in stencil_program(), th in 1u64..7, tw in 1u64..7) {
+        let layout = DataLayout::contiguous(&p.arrays);
+        let before = address_multiset(&p, &layout);
+        if let Ok(tiled) = tile(&p.nests[0], &[(0, tw), (1, th)]) {
+            let mut q = p.clone();
+            q.nests[0] = tiled;
+            prop_assert_eq!(before, address_multiset(&q, &layout));
+        }
+    }
+
+    /// Reversal preserves the multiset whenever it is legal.
+    #[test]
+    fn reversal_preserves_multiset(p in stencil_program(), level in 0usize..2) {
+        let layout = DataLayout::contiguous(&p.arrays);
+        let before = address_multiset(&p, &layout);
+        if let Ok(rev) = reverse(&p.nests[0], level) {
+            let mut q = p.clone();
+            q.nests[0] = rev;
+            prop_assert_eq!(before, address_multiset(&q, &layout));
+        }
+    }
+
+    /// Padding shifts addresses but never changes the per-array access
+    /// pattern: subtracting each array's base yields identical multisets.
+    #[test]
+    fn padding_shifts_but_preserves_pattern(
+        p in stencil_program(),
+        pads in prop::collection::vec(0u64..64, 3),
+    ) {
+        let pads: Vec<u64> = p.arrays.iter().enumerate().map(|(i, _)| pads[i % pads.len()] * 8).collect();
+        let contiguous = DataLayout::contiguous(&p.arrays);
+        let padded = DataLayout::with_pads(&p.arrays, &pads);
+        // Trace both and normalize each access by its array's base. Since
+        // arrays are disjoint, the owning array is recoverable by range.
+        let norm = |layout: &DataLayout| {
+            let mut rec = RecordingSink::default();
+            trace_gen::generate(&p, layout, &mut rec);
+            let mut v: Vec<(usize, u64)> = rec
+                .accesses
+                .iter()
+                .map(|a| {
+                    let owner = (0..p.arrays.len())
+                        .rev()
+                        .find(|&k| a.addr >= layout.bases[k])
+                        .unwrap();
+                    (owner, a.addr - layout.bases[owner])
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(norm(&contiguous), norm(&padded));
+    }
+
+    /// The trace generator and the constant-iteration formula agree.
+    #[test]
+    fn trace_length_matches_const_count(p in stencil_program()) {
+        let layout = DataLayout::contiguous(&p.arrays);
+        let mut c = mlc_cache_sim::trace::CountingSink::default();
+        let n = trace_gen::generate(&p, &layout, &mut c);
+        prop_assert_eq!(n, c.total);
+        if let Some(expect) = p.const_references() {
+            prop_assert_eq!(n, expect);
+        }
+    }
+
+    /// Affine expression algebra: substitution respects evaluation.
+    #[test]
+    fn substitution_respects_eval(a in -5i64..5, b in -5i64..5, c in -5i64..5, x in -10i64..10, y in -10i64..10) {
+        // e = a*i + c, substitute i -> b*j + 1, evaluate at j = y.
+        let e = E::scaled("i", a).plus(c);
+        let sub = E::scaled("j", b).plus(1);
+        let e2 = e.substitute("i", &sub);
+        let env = |v: &str| match v { "j" => Some(y), "i" => Some(x), _ => None };
+        prop_assert_eq!(e2.eval(env).unwrap(), a * (b * y + 1) + c);
+    }
+}

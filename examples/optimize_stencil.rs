@@ -1,0 +1,56 @@
+//! Optimize a real stencil kernel end to end — model, pad, simulate, *and*
+//! run the numeric code under both layouts to confirm identical results and
+//! compare wall-clock time.
+//!
+//! ```text
+//! cargo run --release --example optimize_stencil
+//! ```
+
+use multi_level_locality::prelude::*;
+use std::time::Instant;
+
+fn time_sweeps(kernel: &dyn Kernel, layout: &DataLayout, sweeps: usize) -> (f64, f64) {
+    let program = kernel.model();
+    let mut ws = Workspace::new(&program, layout);
+    kernel.init(&mut ws);
+    kernel.sweep(&mut ws); // warm up
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        kernel.sweep(&mut ws);
+    }
+    (t0.elapsed().as_secs_f64(), kernel.checksum(&ws))
+}
+
+fn main() {
+    // SPEC95's swim — the shallow-water model with 13 arrays of 512x512
+    // doubles, all of which collide on the cache under the default layout.
+    let kernel = kernel_by_name("swim").expect("registered kernel");
+    let program = kernel.model();
+    let hierarchy = HierarchyConfig::ultrasparc_i();
+    println!("kernel: {} ({} arrays, {} nests)", kernel.name(), program.arrays.len(), program.nests.len());
+
+    let orig = DataLayout::contiguous(&program.arrays);
+    let r0 = simulate_steady(&program, &orig, &hierarchy, 1, 1);
+
+    let opt = optimize(&program, &hierarchy, &OptimizeOptions::multilvl_group());
+    let r1 = simulate_steady(&opt.program, &opt.layout, &hierarchy, 1, 1);
+
+    println!("\nsimulated UltraSparc miss rates (steady state):");
+    println!("  original : L1 {:5.1}%   L2 {:5.1}%", r0.miss_rate_pct(0), r0.miss_rate_pct(1));
+    println!("  optimized: L1 {:5.1}%   L2 {:5.1}%", r1.miss_rate_pct(0), r1.miss_rate_pct(1));
+
+    // Now run the actual numbers through both layouts.
+    let sweeps = 5;
+    let (t_orig, sum_orig) = time_sweeps(kernel.as_ref(), &orig, sweeps);
+    let (t_opt, sum_opt) = time_sweeps(kernel.as_ref(), &opt.layout, sweeps);
+    println!("\nhost wall-clock for {sweeps} sweeps:");
+    println!("  original : {t_orig:.4}s");
+    println!("  optimized: {t_opt:.4}s  ({:+.1}%)", 100.0 * (t_orig - t_opt) / t_orig);
+
+    // Padding must never change the computation.
+    let tol = 1e-9 * sum_orig.abs().max(1.0);
+    assert!((sum_orig - sum_opt).abs() < tol, "{sum_orig} vs {sum_opt}");
+    println!("\nchecksums agree: {sum_orig:.6e}");
+    println!("\n(The paper's conclusion in one example: the simulated miss rates improve");
+    println!(" a lot, the modern host's wall clock barely moves.)");
+}

@@ -1,0 +1,93 @@
+//! A tour of every transformation in the toolkit on one small program:
+//! permutation (with the memory-order cost model), reversal, skewing,
+//! transpose, fusion, strip-mining, tiling — each verified to preserve the
+//! computation's access multiset, with its cache effect measured.
+//!
+//! ```text
+//! cargo run --release --example transforms_tour
+//! ```
+
+use multi_level_locality::core::order::permute_for_locality;
+use multi_level_locality::model::transform::{
+    fuse_in_program, reverse, skew, strip_mine, tile, transpose_array,
+};
+use multi_level_locality::prelude::*;
+
+fn rate(p: &Program, h: &HierarchyConfig) -> (f64, f64) {
+    let r = simulate(p, &DataLayout::contiguous(&p.arrays), h);
+    (r.miss_rate_pct(0), r.miss_rate_pct(1))
+}
+
+fn main() {
+    let h = HierarchyConfig::ultrasparc_i();
+    let n = 700usize;
+
+    // A Figure-1-style program with the bad loop order.
+    let mut p = Program::new("tour");
+    let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+    let b = p.add_array(ArrayDecl::f64("B", vec![n]));
+    p.add_nest(LoopNest::new(
+        "main",
+        vec![
+            Loop::counted("j", 0, n as i64 - 1),
+            Loop::counted("i", 0, n as i64 - 1),
+        ],
+        vec![
+            ArrayRef::read(a, vec![AffineExpr::var("j"), AffineExpr::var("i")]),
+            ArrayRef::write(b, vec![AffineExpr::var("j")]),
+        ],
+    ));
+
+    let (l1, l2) = rate(&p, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "original (j outer, i inner)");
+
+    // 1. Loop permutation by the memory-order cost model.
+    let (permuted, perm) = permute_for_locality(&p, &p.nests[0], 32).unwrap();
+    let mut q = p.clone();
+    q.nests[0] = permuted;
+    let (l1, l2) = rate(&q, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", format!("permuted {perm:?}"));
+
+    // 2. Array transpose achieves the same effect by moving data instead.
+    let t = transpose_array(&p, a, &[1, 0]).unwrap();
+    let (l1, l2) = rate(&t, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "transposed A instead");
+
+    // 3. Reversal: direction does not matter for locality.
+    let mut r = q.clone();
+    r.nests[0] = reverse(&r.nests[0], 1).unwrap();
+    let (l1, l2) = rate(&r, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "inner loop reversed");
+
+    // 4. Strip-mining alone changes nothing (same order).
+    let mut s = q.clone();
+    s.nests[0] = strip_mine(&s.nests[0], 1, 64, "jj").unwrap();
+    let (l1, l2) = rate(&s, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "strip-mined (no reorder)");
+
+    // 5. Tiling the permuted nest (i by 64): harmless here, essential for
+    //    matmul-shaped reuse (see the tiled_matmul example).
+    let mut ti = q.clone();
+    ti.nests[0] = tile(&ti.nests[0], &[(0, 64)]).unwrap();
+    let (l1, l2) = rate(&ti, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "tiled i by 64");
+
+    // 6. Skewing renumbers without reordering: identical behaviour.
+    let mut sk = q.clone();
+    sk.nests[0] = skew(&sk.nests[0], 0, 1, 1).unwrap();
+    let (l1, l2) = rate(&sk, &h);
+    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "skewed (j' = j + i)");
+
+    // 7. Fusion needs two nests: split B's update out, then fuse it back.
+    let mut two = q.clone();
+    let body = two.nests[0].body.split_off(1);
+    let loops = two.nests[0].loops.clone();
+    two.nests.push(LoopNest::new("second", loops, body));
+    let fused = fuse_in_program(&two, 0).unwrap();
+    let (l1a, _) = rate(&two, &h);
+    let (l1b, _) = rate(&fused, &h);
+    println!("{:<28} L1 {l1a:5.1}% -> {l1b:5.1}%", "fission then fusion");
+
+    println!("\nEvery variant computes on the same addresses (property-tested in");
+    println!("mlc-model); only the order — and therefore the miss rates — changes.");
+}

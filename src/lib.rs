@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # multi-level-locality
+//!
+//! A from-scratch Rust reproduction of Rivera & Tseng, *Locality
+//! Optimizations for Multi-Level Caches* (SC '99): compiler data-locality
+//! optimizations — inter-variable padding (`PAD`, `MULTILVLPAD`,
+//! `GROUPPAD`, `L2MAXPAD`), loop fusion with a multi-level miss-cost model,
+//! and tile-size selection — analyzed over an affine loop-nest IR and
+//! validated with a trace-driven multi-level cache simulator and real
+//! numeric kernels.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`cache_sim`] — the multi-level cache simulator substrate.
+//! * [`model`] — arrays, affine loop nests, layouts, trace generation,
+//!   reuse analysis, dependences, loop transformations.
+//! * [`core`] — the paper's optimizations: conflict detection, the padding
+//!   family, fusion profitability, tiling, and the end-to-end pipeline.
+//! * [`kernels`] — the paper's Table-1 benchmark programs, runnable.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multi_level_locality::prelude::*;
+//!
+//! // The paper's Figure 2 program at a pathological size (columns are
+//! // cache-size multiples: every array coincides on the cache).
+//! let program = figure2_example(512);
+//! let hierarchy = HierarchyConfig::ultrasparc_i();
+//!
+//! // Simulate the unoptimized layout, then let the optimizer pad it.
+//! let before = simulate(&program, &DataLayout::contiguous(&program.arrays), &hierarchy);
+//! let optimized = optimize(&program, &hierarchy, &OptimizeOptions::multilvl_group());
+//! let after = simulate(&optimized.program, &optimized.layout, &hierarchy);
+//!
+//! assert!(after.miss_rate(0) < before.miss_rate(0) / 3.0);
+//! assert!(after.miss_rate(1) < before.miss_rate(1));
+//! ```
+
+pub use mlc_cache_sim as cache_sim;
+pub use mlc_core as core;
+pub use mlc_kernels as kernels;
+pub use mlc_model as model;
+
+/// The most common imports for working with the library.
+pub mod prelude {
+    pub use mlc_cache_sim::trace::{Access, AccessKind, AccessSink};
+    pub use mlc_cache_sim::{CacheConfig, Hierarchy, HierarchyConfig};
+    pub use mlc_core::pipeline::{optimize, OptimizeOptions, OptimizeTarget};
+    pub use mlc_core::{group_pad, l2_max_pad, max_pad, multilvl_pad, pad, MissCosts};
+    pub use mlc_kernels::{all_kernels, kernel_by_name, Kernel, Workspace};
+    pub use mlc_model::prelude::*;
+    pub use mlc_model::program::figure2_example;
+    pub use mlc_model::trace_gen::{generate, simulate, simulate_steady};
+}
