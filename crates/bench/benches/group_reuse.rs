@@ -1,11 +1,11 @@
-//! Figure 10's timing experiment as a Criterion benchmark: kernel sweeps
+//! Figure 10's timing experiment as a timed benchmark: kernel sweeps
 //! under GROUPPAD and GROUPPAD+L2MAXPAD layouts.
 //!
 //! ```text
 //! cargo bench -p mlc-bench --bench group_reuse
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlc_cache_sim::HierarchyConfig;
 use mlc_experiments::versions::{build_versions, OptLevel};
 use mlc_kernels::{kernel_by_name, Workspace};

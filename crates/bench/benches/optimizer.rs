@@ -5,7 +5,7 @@
 //! cargo bench -p mlc-bench --bench optimizer
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::fusion::fusion_profit;
 use mlc_core::group_pad::group_pad;

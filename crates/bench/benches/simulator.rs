@@ -5,7 +5,7 @@
 //! cargo bench -p mlc-bench --bench simulator
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlc_cache_sim::trace::{Access, AccessSink};
 use mlc_cache_sim::{Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy};
 use mlc_kernels::kernel_by_name;
@@ -46,8 +46,11 @@ fn bench_simulator(c: &mut Criterion) {
         let p = k.model();
         let layout = DataLayout::contiguous(&p.arrays);
         let refs: u64 = p.const_references().unwrap();
-        let compiled: Vec<CompiledNest> =
-            p.nests.iter().map(|nst| CompiledNest::new(&p, nst, &layout)).collect();
+        let compiled: Vec<CompiledNest> = p
+            .nests
+            .iter()
+            .map(|nst| CompiledNest::new(&p, nst, &layout))
+            .collect();
         g.throughput(Throughput::Elements(refs));
         g.bench_with_input(BenchmarkId::new("trace_to_hierarchy", name), &(), |b, _| {
             let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());

@@ -1,10 +1,10 @@
-//! Figure 13 as a Criterion benchmark: tiled matmul per tile policy.
+//! Figure 13 as a timed benchmark: tiled matmul per tile policy.
 //!
 //! ```text
 //! cargo bench -p mlc-bench --bench tiling
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::tiling::{select_tile, TilePolicy};
 use mlc_kernels::matmul::{matmul_tiled, matmul_untiled, Matmul};
@@ -27,26 +27,22 @@ fn bench_tiling(c: &mut Criterion) {
         });
         for policy in TilePolicy::all() {
             let t = select_tile(policy, n as u64, n as u64, &h, 8);
-            g.bench_with_input(
-                BenchmarkId::new(policy.label(), n),
-                &n,
-                |b, &n| {
-                    let mut ws = Workspace::contiguous(&p);
-                    m.init(&mut ws);
-                    let (a, bb, cc) = (ws.mat(0), ws.mat(1), ws.mat(2));
-                    b.iter(|| {
-                        matmul_tiled(
-                            ws.data_mut(),
-                            a,
-                            bb,
-                            cc,
-                            n,
-                            t.height as usize,
-                            t.width as usize,
-                        )
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(policy.label(), n), &n, |b, &n| {
+                let mut ws = Workspace::contiguous(&p);
+                m.init(&mut ws);
+                let (a, bb, cc) = (ws.mat(0), ws.mat(1), ws.mat(2));
+                b.iter(|| {
+                    matmul_tiled(
+                        ws.data_mut(),
+                        a,
+                        bb,
+                        cc,
+                        n,
+                        t.height as usize,
+                        t.width as usize,
+                    )
+                });
+            });
         }
     }
     g.finish();

@@ -1,2 +1,265 @@
-//! Criterion benchmark crate — see `benches/` for the benchmark targets
-//! mirroring the paper's timing experiments.
+//! A tiny self-contained benchmark harness.
+//!
+//! The bench targets in `benches/` mirror the paper's timing experiments
+//! (Figures 9, 10 and 13 plus optimizer/simulator throughput). They were
+//! written against Criterion's API; this module provides the small subset
+//! they use — `Criterion`, `BenchmarkGroup`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!`/
+//! `criterion_main!` macros — with no external dependencies, keeping the
+//! workspace buildable offline. Timings are wall-clock per-iteration
+//! means over a handful of samples; good enough to compare layouts, not a
+//! statistics suite.
+//!
+//! ```text
+//! cargo bench -p mlc-bench --bench simulator
+//! ```
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-sample floor: iterate each sample at least this long.
+const SAMPLE_BUDGET_NS: u128 = 10_000_000; // 10 ms
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (array references, flops, …) processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark id, rendered `label/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function label and a parameter value.
+    pub fn new(label: impl Display, param: impl Display) -> Self {
+        Self {
+            name: format!("{label}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Runs the measurement loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_wanted: usize,
+    /// Mean ns/iter of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples_wanted: usize) -> Self {
+        Self {
+            samples_wanted,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `f`, recording per-iteration wall time. Calibrates the
+    /// iteration count so each sample runs ≥ 10 ms, then takes the
+    /// configured number of samples.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f()); // warm caches and lazily-initialized state
+        let start = Instant::now();
+        black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1);
+        let iters = (SAMPLE_BUDGET_NS / once_ns).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples_wanted {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            self.samples.push(elapsed as f64 / iters as f64);
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn min_ns(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn report(full_name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.samples.is_empty() {
+        println!("{full_name}: no samples");
+        return;
+    }
+    let mean = b.mean_ns();
+    let mut line = format!(
+        "{full_name}: {}/iter (min {})",
+        human_time(mean),
+        human_time(b.min_ns())
+    );
+    if let Some(Throughput::Elements(n)) = throughput {
+        let eps = n as f64 / (mean / 1e9);
+        line.push_str(&format!(", {:.1} Melem/s", eps / 1e6));
+    }
+    println!("{line}");
+}
+
+/// Top-level harness state; one per process.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, 10, None, f);
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run one benchmark with an input value (mirrors Criterion's API; the
+    /// input is passed straight through).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    full_name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    report(full_name, &b, throughput);
+}
+
+/// Collect benchmark functions into a runner, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point invoking each `criterion_group!` runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(3);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.mean_ns() > 0.0);
+        assert!(b.min_ns() <= b.mean_ns());
+    }
+
+    #[test]
+    fn ids_render_label_slash_param() {
+        let id = BenchmarkId::new("pad", "expl512");
+        assert_eq!(id.name, "pad/expl512");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.name, "plain");
+    }
+
+    #[test]
+    fn human_time_picks_units() {
+        assert_eq!(human_time(500.0), "500 ns");
+        assert_eq!(human_time(1500.0), "1.500 µs");
+        assert_eq!(human_time(2.5e6), "2.500 ms");
+        assert_eq!(human_time(3.0e9), "3.000 s");
+    }
+}

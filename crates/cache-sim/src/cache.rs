@@ -13,6 +13,55 @@ use crate::replacement::ReplacementPolicy;
 /// realistic address space.
 const INVALID: u64 = u64::MAX;
 
+/// Internal observer of one cache level's outcomes. The hot path is
+/// generic over this; the no-op impl monomorphizes to exactly the
+/// unobserved code, so attaching nothing costs nothing.
+pub(crate) trait CacheObserver {
+    fn on_access(&mut self, line_addr: u64, set: usize, write: bool, hit: bool);
+    fn on_eviction(&mut self, line_addr: u64, set: usize, dirty: bool);
+}
+
+/// The always-attached observer for plain accesses.
+pub(crate) struct NoObserver;
+
+impl CacheObserver for NoObserver {
+    #[inline(always)]
+    fn on_access(&mut self, _line_addr: u64, _set: usize, _write: bool, _hit: bool) {}
+    #[inline(always)]
+    fn on_eviction(&mut self, _line_addr: u64, _set: usize, _dirty: bool) {}
+}
+
+/// Adapter attaching a [`mlc_telemetry::CacheProbe`] at a fixed level.
+#[cfg(feature = "telemetry")]
+pub(crate) struct ProbeObserver<'a> {
+    pub(crate) probe: &'a mut dyn mlc_telemetry::CacheProbe,
+    pub(crate) level: usize,
+}
+
+#[cfg(feature = "telemetry")]
+impl CacheObserver for ProbeObserver<'_> {
+    #[inline]
+    fn on_access(&mut self, line_addr: u64, set: usize, write: bool, hit: bool) {
+        self.probe.on_access(mlc_telemetry::AccessEvent {
+            level: self.level,
+            line_addr,
+            set,
+            write,
+            hit,
+        });
+    }
+
+    #[inline]
+    fn on_eviction(&mut self, line_addr: u64, set: usize, dirty: bool) {
+        self.probe.on_eviction(mlc_telemetry::EvictionEvent {
+            level: self.level,
+            line_addr,
+            set,
+            dirty,
+        });
+    }
+}
+
 /// One level of cache: a tag store with a replacement policy.
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -87,35 +136,78 @@ impl Cache {
     /// policy). Hit/miss accounting is identical to [`Cache::access`].
     #[inline]
     pub fn access_kind(&mut self, addr: u64, write: bool) -> Probe {
+        self.access_kind_obs(addr, write, &mut NoObserver)
+    }
+
+    /// [`Cache::access_kind`] with a telemetry probe attached, reporting the
+    /// outcome (and any eviction) as events at the given `level`. Identical
+    /// state transitions and accounting to the unprobed path.
+    #[cfg(feature = "telemetry")]
+    pub fn access_kind_probed(
+        &mut self,
+        addr: u64,
+        write: bool,
+        level: usize,
+        probe: &mut dyn mlc_telemetry::CacheProbe,
+    ) -> Probe {
+        self.access_kind_obs(addr, write, &mut ProbeObserver { probe, level })
+    }
+
+    /// Reconstruct the byte address of a line from its stored tag and set.
+    #[inline(always)]
+    fn line_addr_of(&self, tag: u64, set: usize) -> u64 {
+        ((tag << self.set_shift) | set as u64) << self.line_shift
+    }
+
+    #[inline(always)]
+    pub(crate) fn access_kind_obs<O: CacheObserver>(
+        &mut self,
+        addr: u64,
+        write: bool,
+        obs: &mut O,
+    ) -> Probe {
         self.accesses += 1;
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.set_shift;
+        let line_addr = line << self.line_shift;
         let base = set * self.assoc;
-        let ways = &mut self.tags[base..base + self.assoc];
 
         // Direct-mapped fast path: one compare, one store.
         if self.assoc == 1 {
-            if ways[0] == tag {
+            if self.tags[base] == tag {
                 self.dirty[base] |= write;
+                obs.on_access(line_addr, set, write, true);
                 return Probe::Hit;
             }
-            if ways[0] != INVALID && self.dirty[base] {
-                self.writebacks += 1;
+            let old_tag = self.tags[base];
+            if old_tag != INVALID {
+                let dirty = self.dirty[base];
+                if dirty {
+                    self.writebacks += 1;
+                }
+                obs.on_eviction(self.line_addr_of(old_tag, set), set, dirty);
             }
-            ways[0] = tag;
+            self.tags[base] = tag;
             self.dirty[base] = write;
             self.misses += 1;
+            obs.on_access(line_addr, set, write, false);
             return Probe::Miss;
         }
 
+        let ways = &mut self.tags[base..base + self.assoc];
         if let Some(pos) = ways.iter().position(|&t| t == tag) {
             if self.config.replacement.promote_on_hit() && pos != 0 {
                 ways[..=pos].rotate_right(1);
                 self.dirty[base..=base + pos].rotate_right(1);
             }
-            let at = if self.config.replacement.promote_on_hit() { base } else { base + pos };
+            let at = if self.config.replacement.promote_on_hit() {
+                base
+            } else {
+                base + pos
+            };
             self.dirty[at] |= write;
+            obs.on_access(line_addr, set, write, true);
             return Probe::Hit;
         }
 
@@ -125,21 +217,30 @@ impl Cache {
                 // Prefer an invalid way before evicting a random valid one.
                 match ways.iter().position(|&t| t == INVALID) {
                     Some(i) => i,
-                    None => self.config.replacement.victim(self.assoc, &mut self.rng_state),
+                    None => self
+                        .config
+                        .replacement
+                        .victim(self.assoc, &mut self.rng_state),
                 }
             }
             _ => self.assoc - 1, // recency order ⇒ tail is LRU / oldest
         };
-        if ways[victim] != INVALID && self.dirty[base + victim] {
-            self.writebacks += 1;
+        let old_tag = ways[victim];
+        if old_tag != INVALID {
+            let dirty = self.dirty[base + victim];
+            if dirty {
+                self.writebacks += 1;
+            }
+            obs.on_eviction(self.line_addr_of(old_tag, set), set, dirty);
         }
-        ways[victim] = tag;
+        self.tags[base + victim] = tag;
         self.dirty[base + victim] = write;
         // Newly-filled line becomes most recent (for LRU and FIFO alike:
         // FIFO order is fill order, which this maintains because hits do not
         // promote).
-        ways[..=victim].rotate_right(1);
+        self.tags[base..=base + victim].rotate_right(1);
         self.dirty[base..=base + victim].rotate_right(1);
+        obs.on_access(line_addr, set, write, false);
         Probe::Miss
     }
 
@@ -393,7 +494,7 @@ mod tests {
         c.access_kind(160, false); // evicts 64 (clean)
         c.access_kind(192, false); // evicts 96 (clean)
         c.access_kind(224, false); // evicts 128? order: evicts LRU...
-        // Keep evicting until A's line goes; exactly one writeback total.
+                                   // Keep evicting until A's line goes; exactly one writeback total.
         for a in [256u64, 288, 320, 352] {
             c.access_kind(a, false);
         }

@@ -36,9 +36,20 @@ impl CacheConfig {
     /// # Panics
     /// Panics on non-power-of-two geometry, `line > size`, or an
     /// associativity that does not divide the number of lines.
-    pub fn new(size: usize, line: usize, associativity: usize, replacement: ReplacementPolicy) -> Self {
-        assert!(size.is_power_of_two(), "cache size {size} must be a power of two");
-        assert!(line.is_power_of_two(), "line size {line} must be a power of two");
+    pub fn new(
+        size: usize,
+        line: usize,
+        associativity: usize,
+        replacement: ReplacementPolicy,
+    ) -> Self {
+        assert!(
+            size.is_power_of_two(),
+            "cache size {size} must be a power of two"
+        );
+        assert!(
+            line.is_power_of_two(),
+            "line size {line} must be a power of two"
+        );
         assert!(line <= size, "line size {line} exceeds cache size {size}");
         assert!(associativity >= 1, "associativity must be at least 1");
         let lines = size / line;
@@ -46,7 +57,12 @@ impl CacheConfig {
             associativity <= lines && lines.is_multiple_of(associativity),
             "associativity {associativity} must divide line count {lines}"
         );
-        Self { size, line, associativity, replacement }
+        Self {
+            size,
+            line,
+            associativity,
+            replacement,
+        }
     }
 
     /// Number of lines in the cache.
@@ -111,7 +127,11 @@ impl HierarchyConfig {
     /// Panics if any invariant is violated or `levels` is empty.
     pub fn new(levels: Vec<CacheConfig>, miss_penalty: Vec<f64>) -> Self {
         assert!(!levels.is_empty(), "hierarchy needs at least one level");
-        assert_eq!(levels.len(), miss_penalty.len(), "one miss penalty per level");
+        assert_eq!(
+            levels.len(),
+            miss_penalty.len(),
+            "one miss penalty per level"
+        );
         for w in levels.windows(2) {
             let (inner, outer) = (w[0], w[1]);
             assert!(
@@ -127,7 +147,10 @@ impl HierarchyConfig {
                 inner.line
             );
         }
-        Self { levels, miss_penalty }
+        Self {
+            levels,
+            miss_penalty,
+        }
     }
 
     /// The paper's simulated machine and timing platform: Sun UltraSparc I.
@@ -192,6 +215,26 @@ impl HierarchyConfig {
     /// MULTILVLPAD construction (Section 3.1.2).
     pub fn max_line(&self) -> usize {
         self.levels.iter().map(|l| l.line).max().unwrap()
+    }
+
+    /// A [`mlc_telemetry::MissClassifier`] shaped for this hierarchy: one
+    /// fully-associative LRU shadow cache per level, sized to the level's
+    /// line count, so each real miss can be split into
+    /// compulsory/capacity/conflict (the 3C model). Attach it as a probe via
+    /// [`crate::Hierarchy::access_addr_kind_probed`] or
+    /// [`crate::Hierarchy::probed`].
+    #[cfg(feature = "telemetry")]
+    pub fn miss_classifier(&self) -> mlc_telemetry::MissClassifier {
+        let geometry: Vec<mlc_telemetry::ShadowGeometry> = self
+            .levels
+            .iter()
+            .map(|c| mlc_telemetry::ShadowGeometry {
+                lines: c.num_lines(),
+                line: c.line,
+                sets: c.num_sets(),
+            })
+            .collect();
+        mlc_telemetry::MissClassifier::new(&geometry)
     }
 
     /// The virtual cache MULTILVLPAD pads against: size `S1` (the smallest
@@ -282,7 +325,10 @@ mod tests {
     #[should_panic(expected = "multiple of inner size")]
     fn rejects_non_nesting_sizes() {
         HierarchyConfig::new(
-            vec![CacheConfig::direct_mapped(16 * 1024, 32), CacheConfig::direct_mapped(8 * 1024, 64)],
+            vec![
+                CacheConfig::direct_mapped(16 * 1024, 32),
+                CacheConfig::direct_mapped(8 * 1024, 64),
+            ],
             vec![1.0, 2.0],
         );
     }

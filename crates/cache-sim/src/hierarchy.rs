@@ -27,7 +27,12 @@ impl Hierarchy {
     /// Build a cold hierarchy from a configuration.
     pub fn new(config: HierarchyConfig) -> Self {
         let levels = config.levels.iter().map(|&c| Cache::new(c)).collect();
-        Self { config, levels, next_line_prefetch: false, prefetch_fills: 0 }
+        Self {
+            config,
+            levels,
+            next_line_prefetch: false,
+            prefetch_fills: 0,
+        }
     }
 
     /// Build with next-line prefetching enabled at every level.
@@ -54,7 +59,10 @@ impl Hierarchy {
 
     /// Per-level statistics snapshot, L1 first.
     pub fn stats(&self) -> Vec<LevelStats> {
-        self.levels.iter().map(|c| LevelStats::new(c.accesses(), c.misses())).collect()
+        self.levels
+            .iter()
+            .map(|c| LevelStats::new(c.accesses(), c.misses()))
+            .collect()
     }
 
     /// Full report with the paper's normalization.
@@ -115,6 +123,71 @@ impl Hierarchy {
     pub fn writebacks(&self) -> Vec<u64> {
         self.levels.iter().map(|c| c.writebacks()).collect()
     }
+
+    /// [`Hierarchy::access_addr_kind`] with a telemetry probe attached: one
+    /// [`mlc_telemetry::AccessEvent`] per level probed (L1 outward, stopping
+    /// at the first hit) and one [`mlc_telemetry::EvictionEvent`] per line
+    /// replaced. State transitions and all counters are identical to the
+    /// unprobed path; prefetch fills are quiet installs and emit no events.
+    #[cfg(feature = "telemetry")]
+    pub fn access_addr_kind_probed(
+        &mut self,
+        addr: u64,
+        write: bool,
+        probe: &mut dyn mlc_telemetry::CacheProbe,
+    ) -> Option<usize> {
+        let mut deepest_miss = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            match level.access_kind_probed(addr, write, i, probe) {
+                Probe::Hit => break,
+                Probe::Miss => deepest_miss = Some(i),
+            }
+        }
+        if self.next_line_prefetch {
+            if let Some(deepest) = deepest_miss {
+                for i in 0..=deepest {
+                    let line = self.levels[i].config().line as u64;
+                    if self.levels[i].prefetch_fill(addr + line) {
+                        self.prefetch_fills += 1;
+                    }
+                }
+            }
+        }
+        deepest_miss
+    }
+
+    /// View this hierarchy as an [`AccessSink`] that reports every access
+    /// to `probe`. Drives the same state as the plain sink impl.
+    #[cfg(feature = "telemetry")]
+    pub fn probed<'a>(
+        &'a mut self,
+        probe: &'a mut dyn mlc_telemetry::CacheProbe,
+    ) -> ProbedHierarchy<'a> {
+        ProbedHierarchy {
+            hierarchy: self,
+            probe,
+        }
+    }
+}
+
+/// An [`AccessSink`] wrapper pairing a [`Hierarchy`] with a
+/// [`mlc_telemetry::CacheProbe`]; see [`Hierarchy::probed`].
+#[cfg(feature = "telemetry")]
+pub struct ProbedHierarchy<'a> {
+    hierarchy: &'a mut Hierarchy,
+    probe: &'a mut dyn mlc_telemetry::CacheProbe,
+}
+
+#[cfg(feature = "telemetry")]
+impl AccessSink for ProbedHierarchy<'_> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.hierarchy.access_addr_kind_probed(
+            access.addr,
+            access.kind == crate::trace::AccessKind::Write,
+            self.probe,
+        );
+    }
 }
 
 impl AccessSink for Hierarchy {
@@ -132,7 +205,10 @@ mod tests {
     fn tiny() -> Hierarchy {
         // L1: 128 B / 32 B lines (4 lines); L2: 512 B / 64 B lines (8 lines).
         Hierarchy::new(HierarchyConfig::new(
-            vec![CacheConfig::direct_mapped(128, 32), CacheConfig::direct_mapped(512, 64)],
+            vec![
+                CacheConfig::direct_mapped(128, 32),
+                CacheConfig::direct_mapped(512, 64),
+            ],
             vec![1.0, 10.0],
         ))
     }
@@ -215,7 +291,10 @@ mod tests {
             pf.access(Access::read(i * 8));
         }
         let (mp, mf) = (plain.stats()[0].misses(), pf.stats()[0].misses());
-        assert!(mf * 2 <= mp + 8, "prefetch should halve streaming misses: {mp} -> {mf}");
+        assert!(
+            mf * 2 <= mp + 8,
+            "prefetch should halve streaming misses: {mp} -> {mf}"
+        );
         assert!(pf.prefetch_fills() > 0);
     }
 
@@ -252,7 +331,7 @@ mod tests {
             h.access(Access::read(addr));
         }
         let s = h.stats();
-        assert_eq!(s[0].misses(), (n / 32) as u64);
-        assert_eq!(s[1].misses(), (n / 64) as u64);
+        assert_eq!(s[0].misses(), n / 32);
+        assert_eq!(s[1].misses(), n / 64);
     }
 }

@@ -51,6 +51,7 @@ pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod replacement;
+pub mod rng;
 pub mod stats;
 pub mod tlb;
 pub mod trace;
@@ -58,5 +59,7 @@ pub mod trace;
 pub use cache::Cache;
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::Hierarchy;
+#[cfg(feature = "telemetry")]
+pub use hierarchy::ProbedHierarchy;
 pub use replacement::ReplacementPolicy;
 pub use stats::{LevelStats, MissRateReport};

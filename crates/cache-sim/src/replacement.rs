@@ -69,7 +69,10 @@ mod tests {
             assert!(v < 4);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&b| b), "all ways should eventually be chosen");
+        assert!(
+            seen.iter().all(|&b| b),
+            "all ways should eventually be chosen"
+        );
     }
 
     #[test]

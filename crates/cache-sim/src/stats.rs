@@ -58,7 +58,10 @@ impl MissRateReport {
     /// reference count.
     pub fn from_levels(levels: Vec<LevelStats>) -> Self {
         let total = levels.first().map(|l| l.accesses()).unwrap_or(0);
-        Self { levels, total_references: total }
+        Self {
+            levels,
+            total_references: total,
+        }
     }
 
     /// Override the normalization denominator (see Section 6.4).

@@ -25,7 +25,10 @@ impl Tlb {
     /// # Panics
     /// Panics if `page_size` is not a power of two or `entries == 0`.
     pub fn new(entries: usize, page_size: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(entries > 0, "TLB needs at least one entry");
         Self {
             page_shift: page_size.trailing_zeros(),

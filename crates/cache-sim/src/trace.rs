@@ -28,13 +28,19 @@ impl Access {
     /// A read of `addr`.
     #[inline]
     pub fn read(addr: u64) -> Self {
-        Self { addr, kind: AccessKind::Read }
+        Self {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write of `addr`.
     #[inline]
     pub fn write(addr: u64) -> Self {
-        Self { addr, kind: AccessKind::Write }
+        Self {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 }
 

@@ -1,42 +1,60 @@
-//! Property tests for the cache simulator substrate.
+//! Randomized property tests for the cache simulator substrate, driven by
+//! the in-tree deterministic PRNG (seeds are printed in every assertion so
+//! failures reproduce exactly).
 //!
 //! These pin down the structural facts the paper's algorithms lean on:
-//! modular nesting of cache levels, direct-mapped/1-way equivalence, and the
-//! LRU stack property.
+//! modular nesting of cache levels, direct-mapped/1-way equivalence, and
+//! the LRU stack property.
 
 use mlc_cache_sim::cache::Probe;
+use mlc_cache_sim::rng::DetRng;
 use mlc_cache_sim::{Cache, CacheConfig, ReplacementPolicy};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// A small random trace of byte addresses within a few cache spans.
-fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..(1 << 16), 1..400)
+fn random_trace(rng: &mut DetRng, max_addr: u64) -> Vec<u64> {
+    let len = rng.range_usize(1, 400);
+    rng.vec_u64(len, 0, max_addr)
 }
 
-proptest! {
-    /// Direct-mapped is exactly 1-way set-associative under any policy.
-    #[test]
-    fn direct_mapped_equals_one_way(trace in trace_strategy()) {
-        let mut dm = Cache::new(CacheConfig::direct_mapped(4096, 64));
-        for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random] {
+/// Direct-mapped is exactly 1-way set-associative under any policy.
+#[test]
+fn direct_mapped_equals_one_way() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let trace = random_trace(&mut rng, 1 << 16);
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut dm = Cache::new(CacheConfig::direct_mapped(4096, 64));
             let mut one_way = Cache::new(CacheConfig::new(4096, 64, 1, policy));
             for &a in &trace {
-                prop_assert_eq!(one_way.access(a), dm.peek(a).is_miss().then_some(Probe::Miss).unwrap_or(Probe::Hit));
+                let expect = if dm.peek(a).is_miss() {
+                    Probe::Miss
+                } else {
+                    Probe::Hit
+                };
+                assert_eq!(one_way.access(a), expect, "seed {seed} policy {policy:?}");
                 dm.access(a);
             }
-            dm = Cache::new(CacheConfig::direct_mapped(4096, 64));
         }
     }
+}
 
-    /// The modular-arithmetic lemma behind MULTILVLPAD (Section 3.1.2): if
-    /// two addresses are at least `d` apart on a direct-mapped cache of size
-    /// S (circular distance of `addr mod S`), they are at least `min(d, ...)`
-    /// apart on a cache of size k*S. Concretely we check: circular distance
-    /// on the larger cache is >= circular distance on the smaller one, for
-    /// any pair whose small-cache distance is <= S/2 (distances cap at S/2
-    /// on a circle of circumference S).
-    #[test]
-    fn distances_grow_with_cache_size(a in 0u64..(1<<24), b in 0u64..(1<<24), k in 1u32..6) {
+/// The modular-arithmetic lemma behind MULTILVLPAD (Section 3.1.2): if two
+/// addresses are at least `d` apart on a direct-mapped cache of size S
+/// (circular distance of `addr mod S`), they are at least as far apart on a
+/// cache of size k*S.
+#[test]
+fn distances_grow_with_cache_size() {
+    let mut rng = DetRng::new(0xD157);
+    for case in 0..1000 {
+        let a = rng.range_u64(0, 1 << 24);
+        let b = rng.range_u64(0, 1 << 24);
+        let k = rng.range_u64(1, 6) as u32;
         let s1 = 16 * 1024u64;
         let s2 = s1 << k;
         let circ = |x: u64, y: u64, s: u64| {
@@ -45,76 +63,110 @@ proptest! {
         };
         let d1 = circ(a, b, s1);
         let d2 = circ(a, b, s2);
-        prop_assert!(d2 >= d1, "d1={d1} d2={d2}");
+        assert!(d2 >= d1, "case {case}: a={a} b={b} k={k} d1={d1} d2={d2}");
     }
+}
 
-    /// LRU inclusion (stack) property: a fully-associative LRU cache of
-    /// capacity C+k hits whenever a capacity-C one does.
-    #[test]
-    fn lru_stack_property(trace in trace_strategy(), extra in 1usize..3) {
+/// LRU inclusion (stack) property: a fully-associative LRU cache of
+/// capacity C+k hits whenever a capacity-C one does.
+#[test]
+fn lru_stack_property() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let trace = random_trace(&mut rng, 1 << 16);
+        let extra = rng.range_usize(1, 3);
         let line = 64usize;
         let small_lines = 4usize;
         let big_lines = small_lines << extra;
-        let mut small = Cache::new(CacheConfig::new(small_lines * line, line, small_lines, ReplacementPolicy::Lru));
-        let mut big = Cache::new(CacheConfig::new(big_lines * line, line, big_lines, ReplacementPolicy::Lru));
+        let mut small = Cache::new(CacheConfig::new(
+            small_lines * line,
+            line,
+            small_lines,
+            ReplacementPolicy::Lru,
+        ));
+        let mut big = Cache::new(CacheConfig::new(
+            big_lines * line,
+            line,
+            big_lines,
+            ReplacementPolicy::Lru,
+        ));
         for &a in &trace {
             let sh = small.access(a);
             let bh = big.access(a);
             if sh == Probe::Hit {
-                prop_assert_eq!(bh, Probe::Hit, "big LRU cache missed where small hit");
+                assert_eq!(
+                    bh,
+                    Probe::Hit,
+                    "seed {seed}: big LRU cache missed where small hit"
+                );
             }
         }
-        prop_assert!(big.misses() <= small.misses());
+        assert!(big.misses() <= small.misses(), "seed {seed}");
     }
+}
 
-    /// Replaying a trace twice through a cache large enough to hold its
-    /// footprint yields no misses on the second pass.
-    #[test]
-    fn second_pass_hits_when_footprint_fits(trace in prop::collection::vec(0u64..4096, 1..200)) {
+/// Replaying a trace twice through a cache large enough to hold its
+/// footprint yields no misses on the second pass.
+#[test]
+fn second_pass_hits_when_footprint_fits() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let len = rng.range_usize(1, 200);
+        let trace = rng.vec_u64(len, 0, 4096);
         let mut c = Cache::new(CacheConfig::new(8192, 64, 128, ReplacementPolicy::Lru));
         for &a in &trace {
             c.access(a);
         }
         let first_pass_misses = c.misses();
         for &a in &trace {
-            prop_assert_eq!(c.access(a), Probe::Hit);
+            assert_eq!(c.access(a), Probe::Hit, "seed {seed}");
         }
-        prop_assert_eq!(c.misses(), first_pass_misses);
+        assert_eq!(c.misses(), first_pass_misses, "seed {seed}");
     }
+}
 
-    /// Write-backs never exceed misses (every write-back rides an eviction,
-    /// and every eviction rides a miss when prefetching is off), and a
-    /// read-only trace produces none.
-    #[test]
-    fn writebacks_bounded_by_misses(
-        trace in prop::collection::vec((0u64..(1 << 14), prop::bool::ANY), 1..400),
-        assoc_log in 0u32..3,
-    ) {
-        let mut c = Cache::new(CacheConfig::new(2048, 64, 1 << assoc_log, ReplacementPolicy::Lru));
+/// Write-backs never exceed misses (every write-back rides an eviction, and
+/// every eviction rides a miss when prefetching is off), and a read-only
+/// trace produces none. Load/store distinction never changes hit/miss
+/// outcomes.
+#[test]
+fn writebacks_bounded_by_misses() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let len = rng.range_usize(1, 400);
+        let trace: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.range_u64(0, 1 << 14), rng.bool()))
+            .collect();
+        let assoc = 1usize << rng.range_u64(0, 3);
+        let mut c = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
         for &(a, w) in &trace {
             c.access_kind(a, w);
         }
-        prop_assert!(c.writebacks() <= c.misses());
-        let mut ro = Cache::new(CacheConfig::new(2048, 64, 1 << assoc_log, ReplacementPolicy::Lru));
+        assert!(c.writebacks() <= c.misses(), "seed {seed}");
+        let mut ro = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
         for &(a, _) in &trace {
             ro.access_kind(a, false);
         }
-        prop_assert_eq!(ro.writebacks(), 0);
-        // Load/store distinction never changes hit/miss outcomes.
-        prop_assert_eq!(ro.misses(), c.misses());
-        prop_assert_eq!(ro.accesses(), c.accesses());
+        assert_eq!(ro.writebacks(), 0, "seed {seed}");
+        assert_eq!(ro.misses(), c.misses(), "seed {seed}");
+        assert_eq!(ro.accesses(), c.accesses(), "seed {seed}");
     }
+}
 
-    /// Misses never exceed accesses, and peek never changes outcomes.
-    #[test]
-    fn counters_consistent(trace in trace_strategy(), assoc_log in 0u32..4) {
-        let mut c = Cache::new(CacheConfig::new(4096, 64, 1 << assoc_log, ReplacementPolicy::Lru));
+/// Misses never exceed accesses, and peek never changes outcomes.
+#[test]
+fn counters_consistent() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let trace = random_trace(&mut rng, 1 << 16);
+        let assoc = 1usize << rng.range_u64(0, 4);
+        let mut c = Cache::new(CacheConfig::new(4096, 64, assoc, ReplacementPolicy::Lru));
         for &a in &trace {
             let before = c.peek(a);
             let got = c.access(a);
-            prop_assert_eq!(before, got);
+            assert_eq!(before, got, "seed {seed}");
         }
-        prop_assert!(c.misses() <= c.accesses());
-        prop_assert_eq!(c.accesses(), trace.len() as u64);
+        assert!(c.misses() <= c.accesses(), "seed {seed}");
+        assert_eq!(c.accesses(), trace.len() as u64, "seed {seed}");
     }
 }

@@ -67,7 +67,12 @@ pub fn severe_conflicts_in_nest(
             }
             let d = circular_distance(locs[i], locs[j], cache.size as u64);
             if d < cache.line as u64 {
-                out.push(SevereConflict { nest: nest_idx, a: i, b: j, distance: d });
+                out.push(SevereConflict {
+                    nest: nest_idx,
+                    a: i,
+                    b: j,
+                    distance: d,
+                });
             }
         }
     }
@@ -75,7 +80,11 @@ pub fn severe_conflicts_in_nest(
 }
 
 /// Severe conflicts across the whole program.
-pub fn severe_conflicts(program: &Program, layout: &DataLayout, cache: CacheConfig) -> Vec<SevereConflict> {
+pub fn severe_conflicts(
+    program: &Program,
+    layout: &DataLayout,
+    cache: CacheConfig,
+) -> Vec<SevereConflict> {
     (0..program.nests.len())
         .flat_map(|k| severe_conflicts_in_nest(program, k, layout, cache))
         .collect()
@@ -109,7 +118,12 @@ pub fn severe_self_conflicts(
                 }
                 let d = circular_distance(locs[i], locs[j], cache.size as u64);
                 if d < cache.line as u64 {
-                    out.push(SevereConflict { nest: nest_idx, a: i, b: j, distance: d });
+                    out.push(SevereConflict {
+                        nest: nest_idx,
+                        a: i,
+                        b: j,
+                        distance: d,
+                    });
                 }
             }
         }
@@ -121,8 +135,8 @@ pub fn severe_self_conflicts(
 mod tests {
     use super::*;
     use mlc_cache_sim::CacheConfig;
-    use mlc_model::program::figure2_example;
     use mlc_model::prelude::*;
+    use mlc_model::program::figure2_example;
 
     fn l1() -> CacheConfig {
         CacheConfig::direct_mapped(16 * 1024, 32)
@@ -193,7 +207,10 @@ mod tests {
         let a = p.add_array(ArrayDecl::f64("A", vec![n, 8]));
         p.add_nest(LoopNest::new(
             "n",
-            vec![Loop::counted("j", 0, 6), Loop::counted("i", 0, n as i64 - 1)],
+            vec![
+                Loop::counted("j", 0, 6),
+                Loop::counted("i", 0, n as i64 - 1),
+            ],
             vec![
                 ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
                 ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var_plus("j", 1)]),

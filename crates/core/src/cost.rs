@@ -20,7 +20,10 @@ impl MissCosts {
     /// Build from explicit per-level penalties.
     pub fn new(penalties: Vec<f64>) -> Self {
         assert!(!penalties.is_empty(), "at least one level");
-        assert!(penalties.iter().all(|&p| p >= 0.0), "penalties must be non-negative");
+        assert!(
+            penalties.iter().all(|&p| p >= 0.0),
+            "penalties must be non-negative"
+        );
         Self { penalties }
     }
 
@@ -90,7 +93,10 @@ mod tests {
     fn default_is_ultrasparc() {
         let c = MissCosts::default();
         assert_eq!(c.depth(), 2);
-        assert!(c.penalty(1) > c.penalty(0), "L2 misses cost much more than L1");
+        assert!(
+            c.penalty(1) > c.penalty(0),
+            "L2 misses cost much more than L1"
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ fn line_fraction(stride: i64, line: usize, inner_trip: f64) -> f64 {
 }
 
 /// Estimate per-level misses analytically (no simulation).
-pub fn estimate_misses(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> MissEstimate {
+pub fn estimate_misses(
+    program: &Program,
+    layout: &DataLayout,
+    h: &HierarchyConfig,
+) -> MissEstimate {
     let skel = ProgramSkeleton::new(program);
     let l1 = h.l1();
     let l2 = h.levels.get(1).copied();
@@ -117,8 +121,11 @@ pub fn estimate_misses(program: &Program, layout: &DataLayout, h: &HierarchyConf
                     misses[0] += per_ref;
                     // L2 misses at L2-line granularity.
                     if h.depth() > 1 {
-                        let frac2 =
-                            line_fraction(inner_stride(program, nest, r), h.levels[1].line, inner_trip);
+                        let frac2 = line_fraction(
+                            inner_stride(program, nest, r),
+                            h.levels[1].line,
+                            inner_trip,
+                        );
                         misses[1] += (iterations as f64 * frac2).min(cap(1));
                     }
                 }
@@ -142,7 +149,11 @@ fn estimate_iterations(nest: &LoopNest) -> u64 {
 /// the quantity the fusion/tiling heuristics compare.
 pub fn estimated_cost(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> f64 {
     let e = estimate_misses(program, layout, h);
-    e.misses.iter().zip(&h.miss_penalty).map(|(m, p)| m * p).sum()
+    e.misses
+        .iter()
+        .zip(&h.miss_penalty)
+        .map(|(m, p)| m * p)
+        .sum()
 }
 
 #[cfg(test)]
@@ -245,7 +256,11 @@ mod tests {
         let e = estimate_misses(&p, &layout, &h);
         // 5 memory refs + 2 L2 refs at 1/4-line granularity out of 10 refs.
         let per_iter_l1 = (5.0 + 2.0) / 10.0 / 4.0;
-        assert!((e.miss_rate(0) - per_iter_l1).abs() < 0.01, "{}", e.miss_rate(0));
+        assert!(
+            (e.miss_rate(0) - per_iter_l1).abs() < 0.01,
+            "{}",
+            e.miss_rate(0)
+        );
     }
 
     #[test]

@@ -49,7 +49,8 @@ impl FusionDecision {
 /// Weighted static cost of a program accounting: each L2 reference pays the
 /// L1-miss penalty, each memory reference pays the full stack.
 pub fn accounting_cost(acc: &ProgramAccounting, costs: &MissCosts) -> f64 {
-    acc.l2_refs as f64 * costs.cost_of_hitting(1) + acc.memory_refs as f64 * costs.cost_of_hitting(2)
+    acc.l2_refs as f64 * costs.cost_of_hitting(1)
+        + acc.memory_refs as f64 * costs.cost_of_hitting(2)
 }
 
 /// Compute the GROUPPAD + L2MAXPAD layout the accounting assumes.
@@ -133,8 +134,16 @@ mod tests {
         // L2 hits 6, fusion is profitable.
         let p = figure2_example(60);
         let d = fusion_profit(&p, 0, l1(), l2(), &costs()).unwrap();
-        assert!(d.delta_memory_refs <= -2, "memory refs should drop: {:?}", d.delta_memory_refs);
-        assert!(d.delta_l2_refs >= 0, "L1 group reuse is lost: {:?}", d.delta_l2_refs);
+        assert!(
+            d.delta_memory_refs <= -2,
+            "memory refs should drop: {:?}",
+            d.delta_memory_refs
+        );
+        assert!(
+            d.delta_l2_refs >= 0,
+            "L1 group reuse is lost: {:?}",
+            d.delta_l2_refs
+        );
         assert!(d.profitable(), "delta cost {}", d.delta_cost);
     }
 

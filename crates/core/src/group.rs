@@ -125,10 +125,19 @@ impl NestSkeleton {
             .into_iter()
             .map(|g| SkelGroup {
                 elem: program.arrays[g.array].elem_size as u64,
-                members: g.members.iter().map(|m| (m.body_index, m.offset_elems)).collect(),
+                members: g
+                    .members
+                    .iter()
+                    .map(|m| (m.body_index, m.offset_elems))
+                    .collect(),
             })
             .collect();
-        Self { array, offset, data_id, groups }
+        Self {
+            array,
+            offset,
+            data_id,
+            groups,
+        }
     }
 
     /// Number of body references.
@@ -184,7 +193,8 @@ impl NestSkeleton {
                 }
             }
             // Identical references (same data) never flush the shared line.
-            if self.data_id[r] == self.data_id[leading] || self.data_id[r] == self.data_id[trailing] {
+            if self.data_id[r] == self.data_id[leading] || self.data_id[r] == self.data_id[trailing]
+            {
                 continue;
             }
             // Same-tag accesses refresh rather than evict, but only
@@ -263,7 +273,6 @@ impl NestSkeleton {
             .filter(|&&c| c == RefClass::L1)
             .count()
     }
-
 }
 
 /// A whole program, precompiled.
@@ -279,8 +288,11 @@ pub struct ProgramSkeleton {
 impl ProgramSkeleton {
     /// Precompile a program.
     pub fn new(program: &Program) -> Self {
-        let nests: Vec<NestSkeleton> =
-            program.nests.iter().map(|n| NestSkeleton::new(program, n)).collect();
+        let nests: Vec<NestSkeleton> = program
+            .nests
+            .iter()
+            .map(|n| NestSkeleton::new(program, n))
+            .collect();
         let lockstep = program
             .nests
             .iter()
@@ -298,7 +310,11 @@ impl ProgramSkeleton {
                 pairs
             })
             .collect();
-        Self { nests, lockstep, n_arrays: program.arrays.len() }
+        Self {
+            nests,
+            lockstep,
+            n_arrays: program.arrays.len(),
+        }
     }
 
     /// Number of arrays in the underlying program.
@@ -318,14 +334,20 @@ impl ProgramSkeleton {
         l1: CacheConfig,
         l2: Option<CacheConfig>,
     ) -> Vec<Vec<RefClass>> {
-        self.nests.iter().map(|n| n.classify(bases, l1, l2, None)).collect()
+        self.nests
+            .iter()
+            .map(|n| n.classify(bases, l1, l2, None))
+            .collect()
     }
 
     /// Total references exploiting group reuse on `cache`, optionally
     /// restricted to the `visible` arrays (hidden arrays neither count nor
     /// interfere) — GROUPPAD's objective.
     pub fn exploited(&self, bases: &[u64], cache: CacheConfig, visible: Option<&[bool]>) -> usize {
-        self.nests.iter().map(|n| n.exploited(bases, cache, visible)).sum()
+        self.nests
+            .iter()
+            .map(|n| n.exploited(bases, cache, visible))
+            .sum()
     }
 
     /// Severe cross-variable conflicts among visible arrays under `bases`.
@@ -374,7 +396,12 @@ pub fn nest_arcs(
             let span = (l.offset_elems - t.offset_elems) as u64 * elem;
             let exploited =
                 skel.arc_exploited(&layout.bases, cache, t.body_index, l.body_index, span, None);
-            arcs.push(ArcInfo { trailing: t.body_index, leading: l.body_index, span_bytes: span, exploited });
+            arcs.push(ArcInfo {
+                trailing: t.body_index,
+                leading: l.body_index,
+                span_bytes: span,
+                exploited,
+            });
         }
     }
     arcs
@@ -612,9 +639,9 @@ mod tests {
         let only_b = exploited_count(&p, &layout, l1(), &[1]);
         assert_eq!(all, 3);
         assert_eq!(only_b, 3); // every exploited ref is a B ref here
-        // Restricted to A alone, the other arrays' dots vanish, so A's own
-        // arc is exploited in isolation (this is what incremental placement
-        // sees before B and C are placed).
+                               // Restricted to A alone, the other arrays' dots vanish, so A's own
+                               // arc is exploited in isolation (this is what incremental placement
+                               // sees before B and C are placed).
         assert_eq!(exploited_count(&p, &layout, l1(), &[0]), 1);
     }
 
@@ -624,14 +651,24 @@ mod tests {
         // a batch of layouts.
         let p = figure2_example(N);
         let skel = ProgramSkeleton::new(&p);
-        for pads in [[0u64, 0, 0], [32, 6528, 6528], [64, 128, 4096], [2080, 5984, 6048]] {
+        for pads in [
+            [0u64, 0, 0],
+            [32, 6528, 6528],
+            [64, 128, 4096],
+            [2080, 5984, 6048],
+        ] {
             let layout = DataLayout::with_pads(&p.arrays, &pads);
             let direct = account(&p, &layout, l1(), Some(l2()));
-            let fast = ProgramAccounting::from_classes(skel.classify(&layout.bases, l1(), Some(l2())));
+            let fast =
+                ProgramAccounting::from_classes(skel.classify(&layout.bases, l1(), Some(l2())));
             assert_eq!(direct, fast, "pads {pads:?}");
             // Severe counting agrees with the conflict module.
             let slow = crate::conflict::severe_conflicts(&p, &layout, l1()).len();
-            assert_eq!(skel.severe(&layout.bases, l1(), None), slow, "pads {pads:?}");
+            assert_eq!(
+                skel.severe(&layout.bases, l1(), None),
+                slow,
+                "pads {pads:?}"
+            );
         }
     }
 

@@ -35,15 +35,26 @@ pub fn group_pad_quantized(
     quantum: u64,
     base_pads: &[u64],
 ) -> PadResult {
-    assert!(quantum > 0 && (cache.size as u64).is_multiple_of(quantum), "quantum must divide the cache size");
+    assert!(
+        quantum > 0 && (cache.size as u64).is_multiple_of(quantum),
+        "quantum must divide the cache size"
+    );
     let n = program.arrays.len();
-    let base = if base_pads.is_empty() { vec![0u64; n] } else { base_pads.to_vec() };
+    let base = if base_pads.is_empty() {
+        vec![0u64; n]
+    } else {
+        base_pads.to_vec()
+    };
     assert_eq!(base.len(), n);
     let mut pads = base.clone();
     let mut tried = 0u64;
     let candidates = cache.size as u64 / quantum;
     let skel = ProgramSkeleton::new(program);
-    let sizes: Vec<u64> = program.arrays.iter().map(|a| a.size_bytes() as u64).collect();
+    let sizes: Vec<u64> = program
+        .arrays
+        .iter()
+        .map(|a| a.size_bytes() as u64)
+        .collect();
     // bases(pads): cumulative layout arithmetic without allocating a layout.
     let compute_bases = |pads: &[u64], out: &mut Vec<u64>| {
         out.clear();
@@ -57,28 +68,25 @@ pub fn group_pad_quantized(
     let mut bases = Vec::with_capacity(n);
 
     // One variable's best position given a fixed set of visible arrays.
-    let place = |pads: &mut Vec<u64>,
-                     k: usize,
-                     visible: &[bool],
-                     tried: &mut u64,
-                     bases: &mut Vec<u64>| {
-        let mut best: Option<(usize, i64, u64)> = None;
-        let mut best_pad = pads[k];
-        for c in 0..candidates {
-            let candidate = base[k] + c * quantum;
-            pads[k] = candidate;
-            compute_bases(pads, bases);
-            *tried += 1;
-            let conflicts = skel.severe(bases, cache, Some(visible));
-            let exploited = skel.exploited(bases, cache, Some(visible)) as i64;
-            let score = (conflicts, -exploited, candidate);
-            if best.is_none_or(|b| score < b) {
-                best = Some(score);
-                best_pad = candidate;
+    let place =
+        |pads: &mut Vec<u64>, k: usize, visible: &[bool], tried: &mut u64, bases: &mut Vec<u64>| {
+            let mut best: Option<(usize, i64, u64)> = None;
+            let mut best_pad = pads[k];
+            for c in 0..candidates {
+                let candidate = base[k] + c * quantum;
+                pads[k] = candidate;
+                compute_bases(pads, bases);
+                *tried += 1;
+                let conflicts = skel.severe(bases, cache, Some(visible));
+                let exploited = skel.exploited(bases, cache, Some(visible)) as i64;
+                let score = (conflicts, -exploited, candidate);
+                if best.is_none_or(|b| score < b) {
+                    best = Some(score);
+                    best_pad = candidate;
+                }
             }
-        }
-        pads[k] = best_pad;
-    };
+            pads[k] = best_pad;
+        };
 
     // Initial greedy placement in declaration order.
     let mut visible = vec![false; n];
@@ -99,7 +107,11 @@ pub fn group_pad_quantized(
             break;
         }
     }
-    PadResult { layout: DataLayout::with_pads(&program.arrays, &pads), pads, positions_tried: tried }
+    PadResult {
+        layout: DataLayout::with_pads(&program.arrays, &pads),
+        pads,
+        positions_tried: tried,
+    }
 }
 
 /// Recursive multi-level GROUPPAD (Section 3.2.2): "GROUPPAD ... begins
@@ -152,7 +164,10 @@ mod tests {
             g_count >= p_count,
             "GROUPPAD ({g_count}) should exploit at least as much group reuse as PAD ({p_count})"
         );
-        assert_eq!(g_count, 5, "all five arcs should be preserved at this ratio");
+        assert_eq!(
+            g_count, 5,
+            "all five arcs should be preserved at this ratio"
+        );
     }
 
     #[test]
@@ -223,7 +238,11 @@ mod tests {
         let l2 = CacheConfig::direct_mapped(8192, 64);
         let second = group_pad_quantized(&p, l2, l1.size as u64, &first.pads);
         for (a, b) in first.pads.iter().zip(&second.pads) {
-            assert_eq!(a % l1.size as u64, b % l1.size as u64, "L1 residue must be preserved");
+            assert_eq!(
+                a % l1.size as u64,
+                b % l1.size as u64,
+                "L1 residue must be preserved"
+            );
             assert!(b >= a);
         }
         // L1 exploitation unchanged by the second phase.

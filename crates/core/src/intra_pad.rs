@@ -42,7 +42,8 @@ pub fn intra_pad(program: &Program, cache: CacheConfig) -> IntraPadResult {
     let n = p.arrays.len();
     let mut pads = vec![0usize; n];
     let mut unresolved = Vec::new();
-    #[allow(clippy::needless_range_loop)] // `a` indexes the program, pads and the conflict filter together
+    #[allow(clippy::needless_range_loop)]
+    // `a` indexes the program, pads and the conflict filter together
     for a in 0..n {
         if p.arrays[a].rank() < 2 {
             continue; // 1-D arrays have no columns to pad apart
@@ -69,7 +70,11 @@ pub fn intra_pad(program: &Program, cache: CacheConfig) -> IntraPadResult {
             p.arrays[a].set_dim_pad(0, pads[a]);
         }
     }
-    IntraPadResult { program: p, pads, unresolved }
+    IntraPadResult {
+        program: p,
+        pads,
+        unresolved,
+    }
 }
 
 #[cfg(test)]
@@ -89,7 +94,10 @@ mod tests {
         let a = p.add_array(ArrayDecl::f64("A", vec![n, 8]));
         p.add_nest(LoopNest::new(
             "n",
-            vec![Loop::counted("j", 0, 6), Loop::counted("i", 0, n as i64 - 1)],
+            vec![
+                Loop::counted("j", 0, 6),
+                Loop::counted("i", 0, n as i64 - 1),
+            ],
             vec![
                 ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
                 ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var_plus("j", 1)]),

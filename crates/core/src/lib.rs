@@ -55,5 +55,5 @@ pub use group_pad::group_pad;
 pub use maxpad::{l2_max_pad, max_pad};
 pub use order::{loop_costs, permute_for_locality};
 pub use pad::{multilvl_pad, pad, PadResult};
-pub use pipeline::{optimize, OptimizeOptions, OptimizeTarget};
+pub use pipeline::{optimize, optimize_traced, OptimizeOptions, OptimizeTarget};
 pub use tiling::{select_tile, TilePolicy, TileSelection};

@@ -22,10 +22,22 @@ use mlc_model::{DataLayout, Program};
 /// variable `k` is placed so its base address lands near `k·S/V` (mod `S`),
 /// with pads quantized to `quantum` bytes (use the line size for a plain
 /// single-level MAXPAD).
-pub fn max_pad_quantized(program: &Program, cache: CacheConfig, quantum: u64, base_pads: &[u64]) -> PadResult {
-    assert!(quantum > 0 && (cache.size as u64).is_multiple_of(quantum), "quantum must divide cache size");
+pub fn max_pad_quantized(
+    program: &Program,
+    cache: CacheConfig,
+    quantum: u64,
+    base_pads: &[u64],
+) -> PadResult {
+    assert!(
+        quantum > 0 && (cache.size as u64).is_multiple_of(quantum),
+        "quantum must divide cache size"
+    );
     let n = program.arrays.len();
-    let base = if base_pads.is_empty() { vec![0u64; n] } else { base_pads.to_vec() };
+    let base = if base_pads.is_empty() {
+        vec![0u64; n]
+    } else {
+        base_pads.to_vec()
+    };
     assert_eq!(base.len(), n);
     let s = cache.size as u64;
     let spacing = s / n as u64;
@@ -46,7 +58,11 @@ pub fn max_pad_quantized(program: &Program, cache: CacheConfig, quantum: u64, ba
         pads[k] += extra;
         tried += 1;
     }
-    PadResult { layout: DataLayout::with_pads(&program.arrays, &pads), pads, positions_tried: tried }
+    PadResult {
+        layout: DataLayout::with_pads(&program.arrays, &pads),
+        pads,
+        positions_tried: tried,
+    }
 }
 
 /// Single-level MAXPAD: spread variables on `cache` at line granularity.
@@ -65,7 +81,10 @@ pub fn l2_max_pad(
     l2: CacheConfig,
     grouppad_pads: &[u64],
 ) -> PadResult {
-    assert!(l2.size >= l1.size && l2.size.is_multiple_of(l1.size), "L2 must be a multiple of L1");
+    assert!(
+        l2.size >= l1.size && l2.size.is_multiple_of(l1.size),
+        "L2 must be a multiple of L1"
+    );
     let result = max_pad_quantized(program, l2, l1.size as u64, grouppad_pads);
     debug_assert!({
         let before = DataLayout::with_pads(&program.arrays, grouppad_pads);
@@ -132,9 +151,15 @@ mod tests {
         let g = group_pad(&p, l1());
         let m = l2_max_pad(&p, l1(), l2(), &g.pads);
         let acc = account(&p, &m.layout, l1(), Some(l2()));
-        assert_eq!(acc.memory_refs, 5, "only the five leaders go to memory: {acc:?}");
+        assert_eq!(
+            acc.memory_refs, 5,
+            "only the five leaders go to memory: {acc:?}"
+        );
         assert_eq!(acc.l1_refs + acc.l2_refs, 5);
-        assert!(acc.l2_refs > 0, "L2 must catch reuse the small L1 dropped: {acc:?}");
+        assert!(
+            acc.l2_refs > 0,
+            "L2 must catch reuse the small L1 dropped: {acc:?}"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub fn loop_costs(program: &Program, nest: &LoopNest, line: usize) -> Vec<f64> {
     let trips: Vec<f64> = nest
         .loops
         .iter()
-        .map(|l| l.trip_count(|_| Some(0)).map(|t| t.max(1) as f64).unwrap_or(1.0))
+        .map(|l| {
+            l.trip_count(|_| Some(0))
+                .map(|t| t.max(1) as f64)
+                .unwrap_or(1.0)
+        })
         .collect();
     let groups = mlc_model::reuse::uniformly_generated_sets(nest, arrays);
     let mut costs = vec![0.0f64; nest.depth()];
@@ -155,7 +159,10 @@ mod tests {
         let b = p.add_array(ArrayDecl::f64("B", vec![n]));
         p.add_nest(LoopNest::new(
             "orig",
-            vec![Loop::counted("j", 0, n as i64 - 1), Loop::counted("i", 0, m as i64 - 1)],
+            vec![
+                Loop::counted("j", 0, n as i64 - 1),
+                Loop::counted("i", 0, m as i64 - 1),
+            ],
             vec![
                 ArrayRef::read(a, vec![E::var("j"), E::var("i")]),
                 ArrayRef::write(b, vec![E::var("j")]),
@@ -182,9 +189,9 @@ mod tests {
         let mut q = p.clone();
         q.nests[0] = permuted;
         let h = HierarchyConfig::alpha_21164_like(); // three levels
-        // One line of padding between A and B removes the cross-variable
-        // conflict confound (A's column stride is a multiple of every cache
-        // size here), isolating the permutation effect the claim is about.
+                                                     // One line of padding between A and B removes the cross-variable
+                                                     // conflict confound (A's column stride is a multiple of every cache
+                                                     // size here), isolating the permutation effect the claim is about.
         let layout = DataLayout::with_pads(&p.arrays, &[0, 64]);
         let before = simulate(&p, &layout, &h);
         let after = simulate(&q, &layout, &h);
@@ -252,7 +259,11 @@ mod tests {
         let nn = n as i64 - 1;
         p.add_nest(LoopNest::new(
             "ijk",
-            vec![Loop::counted("I", 0, nn), Loop::counted("J", 0, nn), Loop::counted("K", 0, nn)],
+            vec![
+                Loop::counted("I", 0, nn),
+                Loop::counted("J", 0, nn),
+                Loop::counted("K", 0, nn),
+            ],
             vec![
                 ArrayRef::read(a, vec![E::var("I"), E::var("K")]),
                 ArrayRef::read(b, vec![E::var("K"), E::var("J")]),

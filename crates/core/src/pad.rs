@@ -65,25 +65,35 @@ fn place_incrementally(
             );
         }
     }
-    PadResult { layout: DataLayout::with_pads(&program.arrays, &pads), pads, positions_tried: tried }
+    PadResult {
+        layout: DataLayout::with_pads(&program.arrays, &pads),
+        pads,
+        positions_tried: tried,
+    }
 }
 
 /// Does `layout` put any severe conflict on `cache` among references whose
 /// arrays are both in `0..=placed`?
-fn conflict_among_placed(program: &Program, layout: &DataLayout, cache: CacheConfig, placed: usize) -> bool {
-    severe_conflicts(program, layout, cache)
-        .iter()
-        .any(|c| {
-            let nest = &program.nests[c.nest];
-            nest.body[c.a].array <= placed && nest.body[c.b].array <= placed
-        })
+fn conflict_among_placed(
+    program: &Program,
+    layout: &DataLayout,
+    cache: CacheConfig,
+    placed: usize,
+) -> bool {
+    severe_conflicts(program, layout, cache).iter().any(|c| {
+        let nest = &program.nests[c.nest];
+        nest.body[c.a].array <= placed && nest.body[c.b].array <= placed
+    })
 }
 
 /// The `PAD` algorithm against a single cache level.
 pub fn pad(program: &Program, cache: CacheConfig) -> PadResult {
-    place_incrementally(program, cache.line as u64, 4 * cache.size as u64, |layout, k| {
-        !conflict_among_placed(program, layout, cache, k)
-    })
+    place_incrementally(
+        program,
+        cache.line as u64,
+        4 * cache.size as u64,
+        |layout, k| !conflict_among_placed(program, layout, cache, k),
+    )
 }
 
 /// `MULTILVLPAD`: `PAD` against the virtual cache of size `S1` with line

@@ -21,6 +21,7 @@ use crate::report::{OptimizeReport, PassSummary};
 use crate::MissCosts;
 use mlc_cache_sim::HierarchyConfig;
 use mlc_model::{DataLayout, Program};
+use mlc_telemetry::Telemetry;
 
 /// Which cache levels the padding passes target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,17 +67,26 @@ impl OptimizeOptions {
 
     /// The paper's "L1&L2 Opt" padding configuration (MULTILVLPAD).
     pub fn multilvl() -> Self {
-        Self { target: OptimizeTarget::MultiLevel, ..Self::l1_pad() }
+        Self {
+            target: OptimizeTarget::MultiLevel,
+            ..Self::l1_pad()
+        }
     }
 
     /// GROUPPAD alone ("L1 Opt" of Section 6.3).
     pub fn l1_group() -> Self {
-        Self { preserve_group_reuse: true, ..Self::l1_pad() }
+        Self {
+            preserve_group_reuse: true,
+            ..Self::l1_pad()
+        }
     }
 
     /// GROUPPAD + L2MAXPAD ("L1&L2 Opt" of Section 6.3).
     pub fn multilvl_group() -> Self {
-        Self { target: OptimizeTarget::MultiLevel, ..Self::l1_group() }
+        Self {
+            target: OptimizeTarget::MultiLevel,
+            ..Self::l1_group()
+        }
     }
 }
 
@@ -92,24 +102,56 @@ pub struct Optimized {
 }
 
 /// Run the pipeline on a program for a hierarchy.
-pub fn optimize(program: &Program, hierarchy: &HierarchyConfig, options: &OptimizeOptions) -> Optimized {
+pub fn optimize(
+    program: &Program,
+    hierarchy: &HierarchyConfig,
+    options: &OptimizeOptions,
+) -> Optimized {
+    optimize_traced(program, hierarchy, options, &mut Telemetry::disabled())
+}
+
+/// [`optimize`] with telemetry attached: each pass runs inside a span
+/// recording wall time, positions tried and pads chosen, and per-pass
+/// counters land in `tel.metrics` under `optimizer.*`. `optimize` is this
+/// with a disabled bundle.
+pub fn optimize_traced(
+    program: &Program,
+    hierarchy: &HierarchyConfig,
+    options: &OptimizeOptions,
+    tel: &mut Telemetry,
+) -> Optimized {
     let l1 = hierarchy.l1();
     let l2 = hierarchy.levels.get(1).copied();
     let mut passes = Vec::new();
 
+    let root = tel.tracer.begin("optimize");
+    tel.tracer.attr(root, "program", program.name.as_str());
+    tel.tracer.attr(root, "arrays", program.arrays.len());
+    tel.tracer.attr(root, "nests", program.nests.len());
+
     // 1. Intra-variable padding (Section 6.1 pre-pass).
     let mut current = if options.enable_intra_pad {
+        let span = tel.tracer.begin("pass.intra_pad");
         let r = intra_pad(program, l1);
-        passes.push(PassSummary::IntraPad {
-            padded: r
-                .program
-                .arrays
-                .iter()
-                .zip(&r.pads)
-                .filter(|(_, &p)| p > 0)
-                .map(|(a, &p)| (a.name.clone(), p))
-                .collect(),
-        });
+        let padded: Vec<(String, usize)> = r
+            .program
+            .arrays
+            .iter()
+            .zip(&r.pads)
+            .filter(|(_, &p)| p > 0)
+            .map(|(a, &p)| (a.name.clone(), p))
+            .collect();
+        tel.tracer.attr(span, "arrays_padded", padded.len());
+        tel.tracer.attr(
+            span,
+            "pad_bytes",
+            padded.iter().map(|(_, p)| *p as u64).sum::<u64>(),
+        );
+        tel.tracer.end(span);
+        tel.metrics.count("optimizer.intra_pad.runs", 1);
+        tel.metrics
+            .count("optimizer.intra_pad.arrays_padded", padded.len() as u64);
+        passes.push(PassSummary::IntraPad { padded });
         r.program
     } else {
         program.clone()
@@ -118,22 +160,41 @@ pub fn optimize(program: &Program, hierarchy: &HierarchyConfig, options: &Optimi
     // 2. Loop permutation into memory order (Section 2.1): pick the legal
     //    order the loop-cost model likes best, per nest.
     if options.enable_permutation {
+        let span = tel.tracer.begin("pass.permutation");
         let mut permuted = Vec::new();
         for k in 0..current.nests.len() {
-            if let Ok((nest, perm)) = crate::order::permute_for_locality(&current, &current.nests[k], l1.line) {
+            if let Ok((nest, perm)) =
+                crate::order::permute_for_locality(&current, &current.nests[k], l1.line)
+            {
                 if perm.windows(2).any(|w| w[0] > w[1]) {
                     permuted.push((k, perm));
                     current.nests[k] = nest;
                 }
             }
         }
+        tel.tracer.attr(span, "nests_permuted", permuted.len());
+        tel.tracer.end(span);
+        tel.metrics.count("optimizer.permutation.runs", 1);
+        tel.metrics.count(
+            "optimizer.permutation.nests_permuted",
+            permuted.len() as u64,
+        );
         passes.push(PassSummary::Permutation { permuted });
     }
 
     // 3. Fusion (needs both cache levels for its accounting).
     if options.enable_fusion {
         if let Some(l2c) = l2 {
+            let span = tel.tracer.begin("pass.fusion");
             let (fused, taken) = fuse_greedy(&current, l1, l2c, &options.costs);
+            tel.tracer.attr(span, "fusions_taken", taken.len());
+            if let Some(total) = taken.iter().map(|d| d.delta_cost).reduce(|a, b| a + b) {
+                tel.tracer.attr(span, "delta_cost", total);
+            }
+            tel.tracer.end(span);
+            tel.metrics.count("optimizer.fusion.runs", 1);
+            tel.metrics
+                .count("optimizer.fusion.taken", taken.len() as u64);
             passes.push(PassSummary::Fusion {
                 taken: taken
                     .iter()
@@ -145,6 +206,7 @@ pub fn optimize(program: &Program, hierarchy: &HierarchyConfig, options: &Optimi
     }
 
     // 4. Inter-variable padding.
+    let span = tel.tracer.begin("pass.pad");
     let (layout, algo, pads, tried) = match (options.preserve_group_reuse, options.target) {
         (false, OptimizeTarget::L1Only) => {
             let r = pad(&current, l1);
@@ -162,19 +224,50 @@ pub fn optimize(program: &Program, hierarchy: &HierarchyConfig, options: &Optimi
             let g = group_pad(&current, l1);
             let l2c = l2.expect("MultiLevel group padding needs an L2 cache");
             let m = l2_max_pad(&current, l1, l2c, &g.pads);
-            (m.layout, "GROUPPAD+L2MAXPAD", m.pads, g.positions_tried + m.positions_tried)
+            (
+                m.layout,
+                "GROUPPAD+L2MAXPAD",
+                m.pads,
+                g.positions_tried + m.positions_tried,
+            )
         }
     };
+    let total_pad: u64 = pads.iter().sum();
+    tel.tracer.attr(span, "algorithm", algo);
+    tel.tracer.attr(span, "positions_tried", tried);
+    tel.tracer.attr(span, "pad_bytes", total_pad);
+    tel.tracer.end(span);
+    tel.metrics.count("optimizer.pad.runs", 1);
+    tel.metrics.count("optimizer.pad.positions_tried", tried);
+    tel.metrics.count("optimizer.pad.bytes", total_pad);
     passes.push(PassSummary::Pad {
         algorithm: algo,
-        pads: current.arrays.iter().zip(&pads).map(|(a, &p)| (a.name.clone(), p)).collect(),
+        pads: current
+            .arrays
+            .iter()
+            .zip(&pads)
+            .map(|(a, &p)| (a.name.clone(), p))
+            .collect(),
         positions_tried: tried,
     });
 
     let accounting = account(&current, &layout, l1, l2);
     let padding_bytes = layout.padding_overhead(&current.arrays);
-    let report = OptimizeReport { program: current.name.clone(), passes, accounting, padding_bytes };
-    Optimized { program: current, layout, report }
+    tel.tracer.attr(root, "padding_bytes", padding_bytes);
+    tel.tracer.end(root);
+    tel.metrics
+        .set_value("optimizer.padding_bytes", padding_bytes as f64);
+    let report = OptimizeReport {
+        program: current.name.clone(),
+        passes,
+        accounting,
+        padding_bytes,
+    };
+    Optimized {
+        program: current,
+        layout,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +366,65 @@ mod tests {
         let before = simulate(&p, &DataLayout::contiguous(&p.arrays), &h);
         let after = simulate(&o.program, &o.layout, &h);
         assert!(after.miss_rate(0) < before.miss_rate(0));
+    }
+
+    #[test]
+    fn traced_pipeline_records_pass_spans_and_matches_untraced() {
+        let p = figure2_example(512);
+        let mut opts = OptimizeOptions::multilvl_group();
+        opts.enable_fusion = true;
+        opts.enable_permutation = true;
+        let plain = optimize(&p, &ultra(), &opts);
+        let mut tel = Telemetry::enabled();
+        let traced = optimize_traced(&p, &ultra(), &opts, &mut tel);
+        // Tracing must not perturb the optimization in any way.
+        assert_eq!(plain.layout.bases, traced.layout.bases);
+        assert_eq!(plain.program.nests.len(), traced.program.nests.len());
+        // One span per enabled pass plus the root.
+        for name in [
+            "optimize",
+            "pass.intra_pad",
+            "pass.permutation",
+            "pass.fusion",
+            "pass.pad",
+        ] {
+            assert!(tel.tracer.span_named(name).is_some(), "missing span {name}");
+        }
+        let pad_span = tel.tracer.span_named("pass.pad").unwrap();
+        assert!(
+            pad_span.attrs.iter().any(|(k, v)| k == "positions_tried"
+                && matches!(v, mlc_telemetry::AttrValue::UInt(n) if *n > 0)),
+            "pad span must record positions tried: {pad_span:?}"
+        );
+        let root = tel.tracer.span_named("optimize").unwrap();
+        let pass_time: u64 = tel
+            .tracer
+            .spans()
+            .iter()
+            .filter(|s| s.parent == Some(root.id))
+            .map(|s| s.dur_us)
+            .sum();
+        assert!(
+            root.dur_us >= pass_time,
+            "pass spans nest inside the root span"
+        );
+        // Metrics mirror the report.
+        assert!(tel.metrics.counter("optimizer.pad.positions_tried") > 0);
+        assert_eq!(tel.metrics.counter("optimizer.pad.runs"), 1);
+        assert_eq!(
+            tel.metrics.value("optimizer.padding_bytes"),
+            Some(traced.report.padding_bytes as f64)
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_and_matches() {
+        let p = figure2_example(300);
+        let mut tel = Telemetry::disabled();
+        let a = optimize_traced(&p, &ultra(), &OptimizeOptions::l1_pad(), &mut tel);
+        let b = optimize(&p, &ultra(), &OptimizeOptions::l1_pad());
+        assert_eq!(a.layout.bases, b.layout.bases);
+        assert!(tel.tracer.spans().is_empty());
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl fmt::Display for PassSummary {
                 } else {
                     write!(f, "fusion:")?;
                     for (at, dl2, dmem, dc) in taken {
-                        write!(f, " nest{at} (ΔL2refs {dl2:+}, Δmem {dmem:+}, Δcost {dc:+.1})")?;
+                        write!(
+                            f,
+                            " nest{at} (ΔL2refs {dl2:+}, Δmem {dmem:+}, Δcost {dc:+.1})"
+                        )?;
                     }
                     Ok(())
                 }
@@ -71,7 +74,11 @@ impl fmt::Display for PassSummary {
                     Ok(())
                 }
             }
-            PassSummary::Pad { algorithm, pads, positions_tried } => {
+            PassSummary::Pad {
+                algorithm,
+                pads,
+                positions_tried,
+            } => {
                 write!(f, "{algorithm}:")?;
                 for (n, p) in pads {
                     write!(f, " {n}+{p}B")?;
@@ -119,7 +126,9 @@ mod tests {
 
     #[test]
     fn pass_summaries_render() {
-        let s = PassSummary::IntraPad { padded: vec![("A".into(), 4)] };
+        let s = PassSummary::IntraPad {
+            padded: vec![("A".into(), 4)],
+        };
         assert_eq!(s.to_string(), "intra-pad: A+4el");
         let s = PassSummary::Fusion { taken: vec![] };
         assert!(s.to_string().contains("no profitable"));

@@ -56,7 +56,12 @@ impl TilePolicy {
 
     /// All four policies.
     pub fn all() -> [TilePolicy; 4] {
-        [TilePolicy::L1, TilePolicy::L1x2, TilePolicy::L1x4, TilePolicy::L2]
+        [
+            TilePolicy::L1,
+            TilePolicy::L1x2,
+            TilePolicy::L1x4,
+            TilePolicy::L2,
+        ]
     }
 
     /// Short label for tables.
@@ -115,7 +120,13 @@ pub fn euclid_sequence(cache_elems: u64, col_elems: u64) -> Vec<u64> {
 /// array with `col_elems` allocated rows map two different memory lines to
 /// the same cache line of `cache`? (Direct-mapped check — for k-way caches
 /// the direct-mapped test is the paper's conservative stand-in.)
-pub fn tile_self_interferes(col_elems: u64, h: u64, w: u64, cache: CacheConfig, elem_size: u64) -> bool {
+pub fn tile_self_interferes(
+    col_elems: u64,
+    h: u64,
+    w: u64,
+    cache: CacheConfig,
+    elem_size: u64,
+) -> bool {
     let line = cache.line as u64;
     let slots = (cache.size / cache.line) as u64;
     // slot -> memory line (+1), 0 = empty.
@@ -138,7 +149,13 @@ pub fn tile_self_interferes(col_elems: u64, h: u64, w: u64, cache: CacheConfig, 
 /// Largest `w <= max_w` such that an `h`×`w` tile has no self-interference.
 /// Interference is monotone in `w` (adding a column only adds constraints),
 /// so binary search applies.
-fn max_conflict_free_width(col_elems: u64, h: u64, max_w: u64, cache: CacheConfig, elem: u64) -> u64 {
+fn max_conflict_free_width(
+    col_elems: u64,
+    h: u64,
+    max_w: u64,
+    cache: CacheConfig,
+    elem: u64,
+) -> u64 {
     if max_w == 0 || tile_self_interferes(col_elems, h, 1, cache, elem) {
         return 0;
     }
@@ -179,9 +196,14 @@ pub fn select_tile(
 
     let mut heights = euclid_sequence(cache_elems, col_elems);
     heights.push(n.min(cache_elems)); // whole column, when it fits
-    // Power-of-two heights round out the euc candidates (eucPad considers
-    // padded columns too; with the pad fixed, these are the usual fallbacks).
-    heights.extend([16u64, 32, 64, 128, 256].iter().copied().filter(|&h| h <= n));
+                                      // Power-of-two heights round out the euc candidates (eucPad considers
+                                      // padded columns too; with the pad fixed, these are the usual fallbacks).
+    heights.extend(
+        [16u64, 32, 64, 128, 256]
+            .iter()
+            .copied()
+            .filter(|&h| h <= n),
+    );
     let mut best: Option<(f64, TileSelection)> = None;
     for h in heights {
         let h = h.min(n);
@@ -194,14 +216,23 @@ pub fn select_tile(
             continue;
         }
         let score = tile_miss_fraction(h, w);
-        let cand = TileSelection { height: h, width: w, policy };
-        if best.as_ref().is_none_or(|(s, b)| {
-            score < *s || (score == *s && cand.elems() > b.elems())
-        }) {
+        let cand = TileSelection {
+            height: h,
+            width: w,
+            policy,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(s, b)| score < *s || (score == *s && cand.elems() > b.elems()))
+        {
             best = Some((score, cand));
         }
     }
-    best.map(|(_, t)| t).unwrap_or(TileSelection { height: 1, width: 1, policy })
+    best.map(|(_, t)| t).unwrap_or(TileSelection {
+        height: 1,
+        width: 1,
+        policy,
+    })
 }
 
 /// A tile selection together with the intra-variable (column) padding that
@@ -232,7 +263,10 @@ pub fn euc_pad_select(
     for pad in 0..=max_pad {
         let tile = select_tile(policy, n, n + pad, hierarchy, elem_size);
         let score = tile_miss_fraction(tile.height, tile.width);
-        let cand = PaddedTileSelection { pad_elems: pad, tile };
+        let cand = PaddedTileSelection {
+            pad_elems: pad,
+            tile,
+        };
         if best.as_ref().is_none_or(|(s, _)| score < *s) {
             best = Some((score, cand));
         }
@@ -245,11 +279,7 @@ pub fn euc_pad_select(
 /// (else once per tile pass, i.e. `n / w` times); arrays B and C pay the
 /// `1/(2H) + 1/(2W)` fraction at levels the tile overflows, line-granular
 /// misses otherwise.
-pub fn matmul_miss_model(
-    n: u64,
-    tile: TileSelection,
-    hierarchy: &HierarchyConfig,
-) -> Vec<f64> {
+pub fn matmul_miss_model(n: u64, tile: TileSelection, hierarchy: &HierarchyConfig) -> Vec<f64> {
     let elem = 8u64;
     hierarchy
         .levels
@@ -273,7 +303,8 @@ pub fn matmul_miss_model(
                 // gone, leaving only spatial reuse within lines.
                 (n * n * n) as f64 / line_elems
             };
-            let bc_misses = (n * n * n) as f64 * tile_miss_fraction(tile.height, tile.width) / line_elems;
+            let bc_misses =
+                (n * n * n) as f64 * tile_miss_fraction(tile.height, tile.width) / line_elems;
             a_misses + bc_misses
         })
         .collect()
@@ -281,7 +312,12 @@ pub fn matmul_miss_model(
 
 /// Choose the best policy for a given problem size by comparing the §5
 /// model "scaled by the cost of cache misses at that level".
-pub fn choose_policy(n: u64, col_elems: u64, hierarchy: &HierarchyConfig, costs: &MissCosts) -> TilePolicy {
+pub fn choose_policy(
+    n: u64,
+    col_elems: u64,
+    hierarchy: &HierarchyConfig,
+    costs: &MissCosts,
+) -> TilePolicy {
     let mut best = (f64::INFINITY, TilePolicy::L1);
     for policy in TilePolicy::all() {
         let tile = select_tile(policy, n, col_elems, hierarchy, 8);
@@ -333,7 +369,10 @@ mod tests {
             let mut prev = false;
             for w in 1..=40u64 {
                 let now = tile_self_interferes(col, h, w, l1, 8);
-                assert!(!prev || now, "interference vanished as width grew (h={h}, w={w})");
+                assert!(
+                    !prev || now,
+                    "interference vanished as width grew (h={h}, w={w})"
+                );
                 prev = now;
             }
         }
@@ -399,7 +438,11 @@ mod tests {
         // With L2 misses vastly more expensive, bigger tiles can win.
         let skewed = MissCosts::new(vec![0.01, 10_000.0]);
         let p2 = choose_policy(400, 400, &h, &skewed);
-        assert_ne!(p2, TilePolicy::L1, "extreme L2 cost should shift the choice");
+        assert_ne!(
+            p2,
+            TilePolicy::L1,
+            "extreme L2 cost should shift the choice"
+        );
     }
 
     #[test]
@@ -419,7 +462,10 @@ mod tests {
         let h = ultra();
         let n = 2048u64;
         let unpadded = select_tile(TilePolicy::L1, n, n, &h, 8);
-        assert_eq!(unpadded.width, 1, "exact-divisor columns force w=1: {unpadded:?}");
+        assert_eq!(
+            unpadded.width, 1,
+            "exact-divisor columns force w=1: {unpadded:?}"
+        );
         let padded = euc_pad_select(TilePolicy::L1, n, &h, 8, 8);
         assert!(padded.pad_elems > 0);
         assert!(

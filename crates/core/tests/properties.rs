@@ -1,6 +1,9 @@
-//! Property tests for the optimization algorithms: the paper's modular-
+//! Randomized tests for the optimization algorithms: the paper's modular-
 //! arithmetic lemmas and the invariants each padding pass promises.
+//! Driven by the in-tree deterministic PRNG; seeds appear in assertion
+//! messages so failures reproduce exactly.
 
+use mlc_cache_sim::rng::DetRng;
 use mlc_cache_sim::{CacheConfig, HierarchyConfig};
 use mlc_core::conflict::severe_conflicts;
 use mlc_core::group::exploited_count;
@@ -10,165 +13,220 @@ use mlc_core::pad::{multilvl_pad, pad, pad_all_levels};
 use mlc_core::tiling::{euclid_sequence, select_tile, tile_self_interferes, TilePolicy};
 use mlc_model::prelude::*;
 use mlc_model::AffineExpr as E;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// A random multi-array streaming program prone to conflicts: every array
 /// the same size (often a cache multiple), lockstep stencil references.
-fn conflict_program() -> impl Strategy<Value = Program> {
-    (
-        2usize..=5,                      // number of arrays
-        prop::sample::select(vec![256usize, 300, 512, 1000, 1024, 2048]), // column elems
-        2usize..=4,                      // columns per array
-        prop::collection::vec((0usize..5, -1i64..=1), 2..8),
-    )
-        .prop_map(|(n_arrays, col, ncols, refs)| {
-            let mut p = Program::new("conflicts");
-            for a in 0..n_arrays {
-                p.add_array(ArrayDecl::f64(format!("V{a}"), vec![col, ncols]));
-            }
-            let body: Vec<ArrayRef> = refs
-                .iter()
-                .map(|&(a, dj)| {
-                    ArrayRef::read(a % n_arrays, vec![E::var("i"), E::var_plus("j", dj)])
-                })
-                .collect();
-            p.add_nest(LoopNest::new(
-                "sweep",
-                vec![
-                    Loop::counted("j", 1, ncols as i64 - 2),
-                    Loop::counted("i", 0, col as i64 - 1),
-                ],
-                body,
-            ));
-            p
+fn conflict_program(rng: &mut DetRng) -> Program {
+    let n_arrays = rng.range_usize(2, 6);
+    let col = *rng.pick(&[256usize, 300, 512, 1000, 1024, 2048]);
+    let ncols = rng.range_usize(2, 5);
+    let n_refs = rng.range_usize(2, 8);
+    let mut p = Program::new("conflicts");
+    for a in 0..n_arrays {
+        p.add_array(ArrayDecl::f64(format!("V{a}"), vec![col, ncols]));
+    }
+    let body: Vec<ArrayRef> = (0..n_refs)
+        .map(|_| {
+            let a = rng.range_usize(0, 5) % n_arrays;
+            let dj = rng.range_i64(-1, 2);
+            ArrayRef::read(a, vec![E::var("i"), E::var_plus("j", dj)])
         })
+        .collect();
+    p.add_nest(LoopNest::new(
+        "sweep",
+        vec![
+            Loop::counted("j", 1, ncols as i64 - 2),
+            Loop::counted("i", 0, col as i64 - 1),
+        ],
+        body,
+    ));
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// PAD's contract: no severe conflicts remain on its target cache.
-    #[test]
-    fn pad_always_clears_its_cache(p in conflict_program()) {
+/// PAD's contract: no severe conflicts remain on its target cache.
+#[test]
+fn pad_always_clears_its_cache() {
+    for seed in 0..CASES {
+        let p = conflict_program(&mut DetRng::new(seed));
         let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
         let r = pad(&p, l1);
-        prop_assert!(severe_conflicts(&p, &r.layout, l1).is_empty());
+        assert!(
+            severe_conflicts(&p, &r.layout, l1).is_empty(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// MULTILVLPAD's contract (the Section 3.1.2 lemma): padding against
-    /// the virtual (S1, Lmax) cache clears every level.
-    #[test]
-    fn multilvl_pad_clears_every_level(p in conflict_program()) {
+/// MULTILVLPAD's contract (the Section 3.1.2 lemma): padding against the
+/// virtual (S1, Lmax) cache clears every level.
+#[test]
+fn multilvl_pad_clears_every_level() {
+    for seed in 0..CASES {
+        let p = conflict_program(&mut DetRng::new(seed));
         let h = HierarchyConfig::ultrasparc_i();
         let r = multilvl_pad(&p, &h);
         for &c in &h.levels {
-            prop_assert!(severe_conflicts(&p, &r.layout, c).is_empty(), "level {c:?}");
+            assert!(
+                severe_conflicts(&p, &r.layout, c).is_empty(),
+                "seed {seed} level {c:?}"
+            );
         }
         // And it agrees with the explicit all-levels formulation.
         let e = pad_all_levels(&p, &h);
         for &c in &h.levels {
-            prop_assert!(severe_conflicts(&p, &e.layout, c).is_empty());
+            assert!(severe_conflicts(&p, &e.layout, c).is_empty(), "seed {seed}");
         }
     }
+}
 
-    /// The raw modular lemma: if two addresses are >= Lmax apart on the S1
-    /// circle, they are >= Lmax apart on every k*S1 circle.
-    #[test]
-    fn virtual_cache_spacing_lemma(a in 0u64..(1u64 << 30), b in 0u64..(1u64 << 30), k in 1u64..64) {
-        let s1 = 16 * 1024u64;
-        let lmax = 64u64;
-        let circ = |x: u64, y: u64, s: u64| { let d = (x % s).abs_diff(y % s); d.min(s - d) };
-        prop_assume!(circ(a, b, s1) >= lmax);
-        prop_assert!(circ(a, b, k * s1) >= lmax);
+/// The raw modular lemma: if two addresses are >= Lmax apart on the S1
+/// circle, they are >= Lmax apart on every k*S1 circle.
+#[test]
+fn virtual_cache_spacing_lemma() {
+    let mut rng = DetRng::new(0x5EED);
+    let s1 = 16 * 1024u64;
+    let lmax = 64u64;
+    let circ = |x: u64, y: u64, s: u64| {
+        let d = (x % s).abs_diff(y % s);
+        d.min(s - d)
+    };
+    let mut checked = 0u32;
+    while checked < 500 {
+        let a = rng.range_u64(0, 1 << 30);
+        let b = rng.range_u64(0, 1 << 30);
+        let k = rng.range_u64(1, 64);
+        if circ(a, b, s1) < lmax {
+            continue; // precondition not met; draw again
+        }
+        assert!(circ(a, b, k * s1) >= lmax, "a={a} b={b} k={k}");
+        checked += 1;
     }
+}
 
-    /// GROUPPAD never does worse than PAD on its own objective, and never
-    /// introduces severe conflicts when PAD found a conflict-free layout.
-    #[test]
-    fn grouppad_dominates_pad_objective(p in conflict_program()) {
+/// GROUPPAD never does worse than PAD on its own objective, and never
+/// introduces severe conflicts when PAD found a conflict-free layout.
+#[test]
+fn grouppad_dominates_pad_objective() {
+    for seed in 0..CASES {
+        let p = conflict_program(&mut DetRng::new(seed));
         let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
         let g = group_pad(&p, l1);
         let plain = pad(&p, l1);
         let ge = exploited_count(&p, &g.layout, l1, &[]);
         let pe = exploited_count(&p, &plain.layout, l1, &[]);
-        prop_assert!(ge >= pe, "GROUPPAD {ge} < PAD {pe}");
-        prop_assert!(
+        assert!(ge >= pe, "seed {seed}: GROUPPAD {ge} < PAD {pe}");
+        assert!(
             severe_conflicts(&p, &g.layout, l1).is_empty(),
-            "GROUPPAD left severe conflicts where PAD found none"
+            "seed {seed}: GROUPPAD left severe conflicts where PAD found none"
         );
     }
+}
 
-    /// L2MAXPAD's contract: pads grow by S1 multiples only, so every base
-    /// address keeps its L1 residue and L1 group reuse is untouched.
-    #[test]
-    fn l2maxpad_preserves_l1_residues(p in conflict_program()) {
+/// L2MAXPAD's contract: pads grow by S1 multiples only, so every base
+/// address keeps its L1 residue and L1 group reuse is untouched.
+#[test]
+fn l2maxpad_preserves_l1_residues() {
+    for seed in 0..CASES {
+        let p = conflict_program(&mut DetRng::new(seed));
         let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
         let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
         let g = group_pad(&p, l1);
         let m = l2_max_pad(&p, l1, l2, &g.pads);
         for (a, b) in g.layout.bases.iter().zip(&m.layout.bases) {
-            prop_assert_eq!(a % (16 * 1024), b % (16 * 1024));
+            assert_eq!(a % (16 * 1024), b % (16 * 1024), "seed {seed}");
         }
-        prop_assert_eq!(
+        assert_eq!(
             exploited_count(&p, &g.layout, l1, &[]),
-            exploited_count(&p, &m.layout, l1, &[])
+            exploited_count(&p, &m.layout, l1, &[]),
+            "seed {seed}"
         );
     }
+}
 
-    /// The euclid sequence really is the remainder sequence: every entry
-    /// divides into the recurrence, entries strictly decrease, and the last
-    /// nonzero entry is gcd-related.
-    #[test]
-    fn euclid_sequence_decreases(cache in 64u64..8192, col in 1u64..8192) {
+/// The euclid sequence really is the remainder sequence: entries strictly
+/// decrease, and the last nonzero entry is gcd-related.
+#[test]
+fn euclid_sequence_decreases() {
+    let mut rng = DetRng::new(0xEC1D);
+    for case in 0..500 {
+        let cache = rng.range_u64(64, 8192);
+        let col = rng.range_u64(1, 8192);
         let seq = euclid_sequence(cache, col);
-        prop_assert!(!seq.is_empty());
+        assert!(!seq.is_empty(), "case {case}");
         for w in seq.windows(2) {
-            prop_assert!(w[0] > w[1], "sequence must strictly decrease: {seq:?}");
+            assert!(
+                w[0] > w[1],
+                "case {case}: sequence must strictly decrease: {seq:?}"
+            );
         }
-        if col % cache != 0 {
+        if !col.is_multiple_of(cache) {
             let g = gcd(cache, col % cache);
-            prop_assert_eq!(*seq.last().unwrap() % g, 0);
+            assert_eq!(*seq.last().unwrap() % g, 0, "case {case}");
         }
     }
+}
 
-    /// The paper's Section 5 lemma: tiles with no L1 self-interference have
-    /// no L2 self-interference (L2 size a multiple of L1, line >=).
-    #[test]
-    fn l1_clean_tiles_are_l2_clean(col in 32u64..4096, h in 1u64..256, w in 1u64..16) {
-        let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
-        let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
-        prop_assume!(h <= col);
+/// The paper's Section 5 lemma: tiles with no L1 self-interference have no
+/// L2 self-interference (L2 size a multiple of L1, line >=).
+#[test]
+fn l1_clean_tiles_are_l2_clean() {
+    let mut rng = DetRng::new(0x711E);
+    let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
+    let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
+    for case in 0..500 {
+        let col = rng.range_u64(32, 4096);
+        let h = rng.range_u64(1, 256).min(col);
+        let w = rng.range_u64(1, 16);
         if !tile_self_interferes(col, h, w, l1, 8) {
-            prop_assert!(!tile_self_interferes(col, h, w, l2, 8));
+            assert!(
+                !tile_self_interferes(col, h, w, l2, 8),
+                "case {case}: col={col} h={h} w={w}"
+            );
         }
     }
+}
 
-    /// select_tile always returns a verified conflict-free tile within the
-    /// capacity budget.
-    #[test]
-    fn selected_tiles_valid(n in 32u64..512) {
-        let h = HierarchyConfig::ultrasparc_i();
+/// select_tile always returns a verified conflict-free tile within the
+/// capacity budget.
+#[test]
+fn selected_tiles_valid() {
+    let mut rng = DetRng::new(0x7155);
+    let h = HierarchyConfig::ultrasparc_i();
+    for case in 0..64 {
+        let n = rng.range_u64(32, 512);
         for policy in TilePolicy::all() {
             let t = select_tile(policy, n, n, &h, 8);
-            prop_assert!(t.height >= 1 && t.width >= 1);
-            prop_assert!(t.height <= n && t.width <= n);
-            prop_assert!(t.elems() * 8 <= policy.target_bytes(&h) as u64);
-            prop_assert!(!tile_self_interferes(n, t.height, t.width, policy.interference_cache(&h), 8));
+            assert!(t.height >= 1 && t.width >= 1, "case {case}");
+            assert!(t.height <= n && t.width <= n, "case {case}");
+            assert!(
+                t.elems() * 8 <= policy.target_bytes(&h) as u64,
+                "case {case}"
+            );
+            assert!(
+                !tile_self_interferes(n, t.height, t.width, policy.interference_cache(&h), 8),
+                "case {case} policy {policy:?}"
+            );
         }
     }
+}
 
-    /// Padding never makes the simulated L1 miss count worse on conflict
-    /// programs (the optimizer's whole point, checked against the real
-    /// simulator rather than the analytical model).
-    #[test]
-    fn pad_never_hurts_simulated_l1(p in conflict_program()) {
+/// Padding never makes the simulated L1 miss count worse on conflict
+/// programs (the optimizer's whole point, checked against the real
+/// simulator rather than the analytical model).
+#[test]
+fn pad_never_hurts_simulated_l1() {
+    // Fewer cases: each runs a full trace-driven simulation.
+    for seed in 0..12 {
+        let p = conflict_program(&mut DetRng::new(seed));
         let h = HierarchyConfig::ultrasparc_i();
         let before = mlc_model::trace_gen::simulate(&p, &DataLayout::contiguous(&p.arrays), &h);
         let r = pad(&p, h.l1());
         let after = mlc_model::trace_gen::simulate(&p, &r.layout, &h);
-        prop_assert!(
+        assert!(
             after.levels[0].misses() <= before.levels[0].misses(),
-            "PAD increased L1 misses: {} -> {}",
+            "seed {seed}: PAD increased L1 misses: {} -> {}",
             before.levels[0].misses(),
             after.levels[0].misses()
         );

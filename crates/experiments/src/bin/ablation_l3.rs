@@ -12,11 +12,13 @@ use mlc_cache_sim::HierarchyConfig;
 use mlc_experiments::sim::simulate_one;
 use mlc_experiments::table::pct;
 use mlc_experiments::versions::{build_versions, OptLevel};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 
 const PROGRAMS: [&str; 3] = ["expl512", "jacobi512", "shal512"];
 
 fn main() {
+    let (mut tcli, _args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let h = HierarchyConfig::alpha_21164_like();
     println!(
         "Three-level hierarchy ablation (Alpha 21164-like: {}K/{}K/{}M, lines {:?})\n",
@@ -27,10 +29,21 @@ fn main() {
     );
     for name in PROGRAMS {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
+        let span = tel.tracer.begin("ablation_l3.program");
+        tel.tracer.attr(span, "name", name);
         let v = build_versions(&k.model(), &h, OptLevel::Conflict);
         let orig = simulate_one(&v.orig_program, &v.orig_layout, &h);
         let l1 = simulate_one(&v.l1.program, &v.l1.layout, &h);
         let multi = simulate_one(&v.l1l2.program, &v.l1l2.layout, &h);
+        tel.tracer.end(span);
+        for lvl in 0..3 {
+            let key = format!("ablation_l3.{name}.l{}", lvl + 1);
+            tel.metrics
+                .set_value(&format!("{key}.orig"), orig.miss_rate(lvl));
+            tel.metrics
+                .set_value(&format!("{key}.multi"), multi.miss_rate(lvl));
+        }
+        tel.metrics.count("ablation_l3.programs", 1);
         let mut t = Table::new(&["version", "L1", "L2", "L3", "padding"]);
         for (label, r, pad) in [
             ("Orig", &orig, 0),

@@ -16,14 +16,25 @@ use mlc_cache_sim::{CacheConfig, HierarchyConfig};
 use mlc_experiments::sim::simulate_one;
 use mlc_experiments::table::pct;
 use mlc_experiments::versions::{build_versions, OptLevel};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 
 fn main() {
+    let (mut tcli, _args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     println!("L2 line-size ablation on dot512 (the kernel the paper's footnote singles");
     println!("out for line-size effects) and expl512\n");
     for name in ["dot512", "expl512"] {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
-        let mut t = Table::new(&["L2 line", "L2 Orig", "L2 w/PAD", "L2 w/MULTILVL", "pad PAD", "pad MULTI"]);
+        let span = tel.tracer.begin("ablation_line.program");
+        tel.tracer.attr(span, "name", name);
+        let mut t = Table::new(&[
+            "L2 line",
+            "L2 Orig",
+            "L2 w/PAD",
+            "L2 w/MULTILVL",
+            "pad PAD",
+            "pad MULTI",
+        ]);
         for l2_line in [32usize, 64, 128, 256] {
             let h = HierarchyConfig::new(
                 vec![
@@ -36,6 +47,14 @@ fn main() {
             let orig = simulate_one(&v.orig_program, &v.orig_layout, &h);
             let l1 = simulate_one(&v.l1.program, &v.l1.layout, &h);
             let multi = simulate_one(&v.l1l2.program, &v.l1l2.layout, &h);
+            let key = format!("ablation_line.{name}.line{l2_line}");
+            tel.metrics
+                .set_value(&format!("{key}.l2.orig"), orig.miss_rate(1));
+            tel.metrics
+                .set_value(&format!("{key}.l2.pad"), l1.miss_rate(1));
+            tel.metrics
+                .set_value(&format!("{key}.l2.multi"), multi.miss_rate(1));
+            tel.metrics.count("ablation_line.simulations", 3);
             t.row(vec![
                 format!("{l2_line}B"),
                 pct(orig.miss_rate(1)),
@@ -45,6 +64,7 @@ fn main() {
                 format!("{}B", v.l1l2.report.padding_bytes),
             ]);
         }
+        tel.tracer.end(span);
         println!("{name}:\n{}", t.render());
     }
     println!("(expected shape: PAD's one-L1-line spacing leaves references sharing the");

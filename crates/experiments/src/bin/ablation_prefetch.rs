@@ -18,16 +18,20 @@
 use mlc_cache_sim::{Hierarchy, HierarchyConfig};
 use mlc_experiments::table::pct;
 use mlc_experiments::versions::{build_versions, OptLevel};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_model::trace_gen::generate;
 
 const PROGRAMS: [&str; 4] = ["dot512", "expl512", "jacobi512", "shal512"];
 
 fn main() {
+    let (mut tcli, _args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let cfg = HierarchyConfig::ultrasparc_i();
     println!("Next-line prefetch ablation (prefetcher at both levels)\n");
     for name in PROGRAMS {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
+        let span = tel.tracer.begin("ablation_prefetch.program");
+        tel.tracer.attr(span, "name", name);
         let v = build_versions(&k.model(), &cfg, OptLevel::Conflict);
         let mut t = Table::new(&["version", "L1 no-pf", "L1 pf", "L2 no-pf", "L2 pf"]);
         for (label, program, layout) in [
@@ -47,6 +51,12 @@ fn main() {
             };
             let plain = run(false);
             let pf = run(true);
+            let key = format!("ablation_prefetch.{name}.{}", label.to_lowercase());
+            tel.metrics
+                .set_value(&format!("{key}.l1.plain"), plain.miss_rate(0));
+            tel.metrics
+                .set_value(&format!("{key}.l1.prefetch"), pf.miss_rate(0));
+            tel.metrics.count("ablation_prefetch.simulations", 2);
             t.row(vec![
                 label.to_string(),
                 pct(plain.miss_rate(0)),
@@ -55,6 +65,7 @@ fn main() {
                 pct(pf.miss_rate(1)),
             ]);
         }
+        tel.tracer.end(span);
         println!("{name}:\n{}", t.render());
     }
     println!("(expected shape: prefetching roughly halves the *padded* versions' rates");

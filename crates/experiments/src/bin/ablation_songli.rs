@@ -21,26 +21,36 @@ use mlc_cache_sim::HierarchyConfig;
 use mlc_core::MissCosts;
 use mlc_experiments::sim::{default_threads, par_map};
 use mlc_experiments::table::pct;
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::timeskew::{tile_footprint_bytes, time_stepped_jacobi2d, time_tiled_jacobi2d};
 use mlc_model::trace_gen::simulate;
 use mlc_model::DataLayout;
 
 fn main() {
+    let (mut tcli, _args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let (n, t_steps) = (512usize, 8usize);
     let h = HierarchyConfig::ultrasparc_i();
     let costs = MissCosts::from_hierarchy(&h);
 
     println!("Time-step tiling (Song-Li) on {n}x{n} Gauss-Seidel, T = {t_steps} steps");
-    println!("(tile footprint = (w + T + 1) columns of {} KB; L1 holds {} columns, L2 {})\n",
+    println!(
+        "(tile footprint = (w + T + 1) columns of {} KB; L1 holds {} columns, L2 {})\n",
         n * 8 / 1024,
         h.levels[0].size / (n * 8),
-        h.levels[1].size / (n * 8));
+        h.levels[1].size / (n * 8)
+    );
 
     let widths: Vec<Option<usize>> = std::iter::once(None)
-        .chain([1usize, 2, 4, 8, 16, 32, 64, 96, 118, 160, 256].into_iter().map(Some))
+        .chain(
+            [1usize, 2, 4, 8, 16, 32, 64, 96, 118, 160, 256]
+                .into_iter()
+                .map(Some),
+        )
         .collect();
     eprintln!("simulating {} versions ...", widths.len());
+    let span = tel.tracer.begin("ablation_songli.sweep");
+    tel.tracer.attr(span, "versions", widths.len() as u64);
     let results = par_map(widths.clone(), default_threads(), |&w| {
         let p = match w {
             None => time_stepped_jacobi2d(n, t_steps),
@@ -48,6 +58,9 @@ fn main() {
         };
         simulate(&p, &DataLayout::contiguous(&p.arrays), &h)
     });
+    tel.tracer.end(span);
+    tel.metrics
+        .count("ablation_songli.simulations", widths.len() as u64);
 
     let mut t = Table::new(&["version", "footprint", "L1 miss", "L2 miss", "cost/ref"]);
     let mut best: Option<(f64, String)> = None;
@@ -59,8 +72,7 @@ fn main() {
                 format!("{}K", tile_footprint_bytes(n, t_steps, *w) / 1024),
             ),
         };
-        let cost = (r.miss_rate(0) * costs.penalty(0) + r.miss_rate(1) * costs.penalty(1))
-            / 1.0;
+        let cost = (r.miss_rate(0) * costs.penalty(0) + r.miss_rate(1) * costs.penalty(1)) / 1.0;
         if w.is_some() && best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, label.clone()));
         }

@@ -29,7 +29,10 @@ fn main() {
     let width = 72;
 
     println!("== Original (contiguous) layout on the L1 cache ==");
-    println!("{}", render_program(&p, &DataLayout::contiguous(&p.arrays), l1, width));
+    println!(
+        "{}",
+        render_program(&p, &DataLayout::contiguous(&p.arrays), l1, width)
+    );
 
     println!("== Figure 3: PAD layout on the L1 cache ==");
     let r = pad(&p, l1);

@@ -16,16 +16,21 @@ use mlc_experiments::sim::{default_threads, par_map, simulate_versions};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::{improvement_pct, time_kernel};
 use mlc_experiments::versions::{build_versions, OptLevel};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::all_kernels;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (mut tcli, args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let csv = args.iter().any(|a| a == "--csv");
     let no_timing = args.iter().any(|a| a == "--no-timing");
     let h = HierarchyConfig::ultrasparc_i();
 
-    eprintln!("fig09: simulating 3 versions x {} programs ...", all_kernels().len());
+    eprintln!(
+        "fig09: simulating 3 versions x {} programs ...",
+        all_kernels().len()
+    );
+    let sim_span = tel.tracer.begin("fig09.simulate");
     let names: Vec<String> = all_kernels().iter().map(|k| k.name()).collect();
     let results = par_map(names.clone(), default_threads(), |name| {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
@@ -33,6 +38,21 @@ fn main() {
         let r = simulate_versions(&v, &h);
         (v, r)
     });
+    tel.tracer.attr(sim_span, "programs", names.len() as u64);
+    tel.tracer.end(sim_span);
+    for (name, (v, r)) in names.iter().zip(&results) {
+        tel.metrics
+            .set_value(&format!("fig09.{name}.l1.orig"), r.orig.miss_rate(0));
+        tel.metrics
+            .set_value(&format!("fig09.{name}.l1.l1l2"), r.l1l2.miss_rate(0));
+        tel.metrics
+            .set_value(&format!("fig09.{name}.l2.orig"), r.orig.miss_rate(1));
+        tel.metrics
+            .set_value(&format!("fig09.{name}.l2.l1l2"), r.l1l2.miss_rate(1));
+        tel.metrics
+            .count("fig09.padding_bytes", v.l1l2.report.padding_bytes);
+        tel.metrics.count("fig09.programs", 1);
+    }
 
     let mut t = Table::new(&[
         "program",
@@ -77,7 +97,13 @@ fn main() {
                 || r.orig.miss_rate(1) - r.l1l2.miss_rate(1) > 0.01
         })
         .collect();
-    eprintln!("fig09: timing {} programs with large miss-rate changes ...", interesting.len());
+    eprintln!(
+        "fig09: timing {} programs with large miss-rate changes ...",
+        interesting.len()
+    );
+    let time_span = tel.tracer.begin("fig09.time");
+    tel.tracer
+        .attr(time_span, "programs", interesting.len() as u64);
 
     let mut tt = Table::new(&["program", "Orig (s)", "L1Opt impr", "L1&L2 impr"]);
     for (i, name) in interesting {
@@ -95,6 +121,7 @@ fn main() {
             format!("{:.1}%", improvement_pct(t_orig, t_l1l2)),
         ]);
     }
+    tel.tracer.end(time_span);
     println!("Figure 9 (bottom): host execution-time improvement over Orig");
     println!("(paper: improvements mostly from L1 padding; multi-level padding adds little)\n");
     println!("{}", if csv { tt.to_csv() } else { tt.render() });

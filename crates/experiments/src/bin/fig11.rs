@@ -12,14 +12,24 @@
 use mlc_cache_sim::HierarchyConfig;
 use mlc_experiments::sim::{default_threads, par_map, simulate_one};
 use mlc_experiments::versions::{build_versions, OptLevel};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::expl::Expl;
 use mlc_kernels::shal::Shallow;
 use mlc_kernels::Kernel;
+use mlc_telemetry::Telemetry;
 
-fn sweep(name: &str, model_of: impl Fn(usize) -> mlc_model::Program + Sync, sizes: &[usize], csv: bool) {
+fn sweep(
+    name: &str,
+    model_of: impl Fn(usize) -> mlc_model::Program + Sync,
+    sizes: &[usize],
+    csv: bool,
+    tel: &mut Telemetry,
+) {
     let h = HierarchyConfig::ultrasparc_i();
     eprintln!("fig11: sweeping {name} over {} sizes ...", sizes.len());
+    let span = tel.tracer.begin("fig11.sweep");
+    tel.tracer.attr(span, "program", name);
+    tel.tracer.attr(span, "sizes", sizes.len() as u64);
     let rows = par_map(sizes.to_vec(), default_threads(), |&n| {
         let p = model_of(n);
         let v = build_versions(&p, &h, OptLevel::GroupReuse);
@@ -42,6 +52,12 @@ fn sweep(name: &str, model_of: impl Fn(usize) -> mlc_model::Program + Sync, size
             format!("{:.2}", 100.0 * r2.miss_rate(1)),
         ]);
     }
+    tel.tracer.attr(span, "max_l2_gap_at", max_l2_gap.0 as u64);
+    tel.tracer.end(span);
+    tel.metrics
+        .count(&format!("fig11.{name}.sizes"), sizes.len() as u64);
+    tel.metrics
+        .set_value(&format!("fig11.{name}.max_l2_gap"), max_l2_gap.1);
     println!("Figure 11 — {name}: miss rates (%) over problem size");
     println!("{}", if csv { t.to_csv() } else { t.render() });
     println!(
@@ -52,7 +68,8 @@ fn sweep(name: &str, model_of: impl Fn(usize) -> mlc_model::Program + Sync, size
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (mut tcli, args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let csv = args.iter().any(|a| a == "--csv");
     let step: usize = args
         .iter()
@@ -62,8 +79,8 @@ fn main() {
         .unwrap_or(1);
     let sizes: Vec<usize> = (250..=520).step_by(step).collect();
 
-    sweep("EXPL", |n| Expl::new(n).model(), &sizes, csv);
-    sweep("SHAL", |n| Shallow::shal(n).model(), &sizes, csv);
+    sweep("EXPL", |n| Expl::new(n).model(), &sizes, csv, tel);
+    sweep("SHAL", |n| Shallow::shal(n).model(), &sizes, csv, tel);
 
     println!("(paper: both versions share L1 rates; GROUPPAD-alone shows clusters of");
     println!(" sizes with up to ~5% higher L2 rates; L2MAXPAD's L2 curve stays flat.)");

@@ -21,16 +21,17 @@
 //! ```
 
 use mlc_cache_sim::HierarchyConfig;
-use mlc_core::group::account;
 use mlc_core::fusion::reuse_layout;
+use mlc_core::group::account;
 use mlc_experiments::sim::{default_threads, par_map, simulate_one};
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::expl::Expl;
 use mlc_kernels::Kernel;
 use mlc_model::transform::fuse_unchecked_in_program;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (mut tcli, args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let csv = args.iter().any(|a| a == "--csv");
     let step: usize = args
         .iter()
@@ -51,7 +52,14 @@ fn main() {
     let h = HierarchyConfig::ultrasparc_i();
     let (l1, l2) = (h.levels[0], h.levels[1]);
 
-    eprintln!("fig12: fusion deltas for EXPL (nests {at},{}) over {} sizes ...", at + 1, sizes.len());
+    eprintln!(
+        "fig12: fusion deltas for EXPL (nests {at},{}) over {} sizes ...",
+        at + 1,
+        sizes.len()
+    );
+    let span = tel.tracer.begin("fig12.sweep");
+    tel.tracer.attr(span, "sizes", sizes.len() as u64);
+    tel.tracer.attr(span, "fuse_at", at as u64);
     let rows = par_map(sizes, default_threads(), |&n| {
         let p = Expl::new(n).model();
         let fused = fuse_unchecked_in_program(&p, at).expect("headers match");
@@ -72,6 +80,8 @@ fn main() {
         let d_l2_rate = r_after.miss_rate(1) - r_before.miss_rate(1);
         (n, d_l2, d_mem, d_l1_rate, d_l2_rate)
     });
+    tel.tracer.end(span);
+    tel.metrics.count("fig12.sizes", rows.len() as u64);
 
     let mut t = Table::new(&["N", "dL2refs", "dMemRefs", "dL1 rate", "dL2 rate"]);
     for &(n, d_l2, d_mem, d1, d2) in &rows {
@@ -106,6 +116,7 @@ fn main() {
     let xs: Vec<f64> = rows.iter().map(|r| r.1 as f64).collect();
     let ys: Vec<f64> = rows.iter().map(|r| r.3).collect();
     let corr = correlation(&xs, &ys);
+    tel.metrics.set_value("fig12.corr_dl2refs_dl1rate", corr);
     println!("corr(dL2refs, dL1 miss rate) = {corr:.3} (paper: strongly positive)");
 }
 

@@ -15,7 +15,7 @@ use mlc_core::tiling::{select_tile, TilePolicy};
 use mlc_experiments::sim::{default_threads, par_map};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::mflops;
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::matmul::{matmul_tiled, matmul_tiled_copy, matmul_untiled, Matmul};
 use mlc_kernels::Kernel as _;
 use mlc_kernels::Workspace;
@@ -56,7 +56,8 @@ fn time_version(n: usize, variant: &Variant, reps: usize) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let (mut tcli, args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     let csv = args.iter().any(|a| a == "--csv");
     let quick = args.iter().any(|a| a == "--quick");
     let step: usize = args
@@ -70,7 +71,11 @@ fn main() {
     let reps = if quick { 1 } else { 3 };
 
     println!("Figure 13: matmul MFLOPS over matrix size (host CPU)\n");
-    let mut t = Table::new(&["N", "Orig", "L1", "2xL1", "4xL1", "L2", "L1copy", "L1 tile", "L2 tile"]);
+    let time_span = tel.tracer.begin("fig13.time");
+    tel.tracer.attr(time_span, "sizes", sizes.len() as u64);
+    let mut t = Table::new(&[
+        "N", "Orig", "L1", "2xL1", "4xL1", "L2", "L1copy", "L1 tile", "L2 tile",
+    ]);
     for &n in &sizes {
         eprintln!("fig13: N = {n} ...");
         let flops = 2 * (n as u64).pow(3);
@@ -80,8 +85,11 @@ fn main() {
         let mut tiles = Vec::new();
         for policy in TilePolicy::all() {
             let tile = select_tile(policy, n as u64, n as u64, &h, 8);
-            let secs =
-                time_version(n, &Variant::Tiled(tile.height as usize, tile.width as usize), reps);
+            let secs = time_version(
+                n,
+                &Variant::Tiled(tile.height as usize, tile.width as usize),
+                reps,
+            );
             cells.push(f(secs));
             tiles.push(tile);
         }
@@ -93,7 +101,9 @@ fn main() {
         cells.push(format!("{}x{}", tiles[0].height, tiles[0].width));
         cells.push(format!("{}x{}", tiles[3].height, tiles[3].width));
         t.row(cells);
+        tel.metrics.count("fig13.timed_sizes", 1);
     }
+    tel.tracer.end(time_span);
     println!("{}", if csv { t.to_csv() } else { t.render() });
     println!("(Host timing caveat: on a modern out-of-order CPU with megabytes of 8-way");
     println!(" cache these matrices mostly fit, so tiling's timing effect is muted — the");
@@ -102,9 +112,13 @@ fn main() {
 
     // Companion: trace-driven miss rates of the same five versions on the
     // paper's simulated hierarchy — host-independent shape check.
-    let sim_sizes: Vec<usize> =
-        if quick { vec![128, 288] } else { vec![96, 160, 224, 288, 352] };
+    let sim_sizes: Vec<usize> = if quick {
+        vec![128, 288]
+    } else {
+        vec![96, 160, 224, 288, 352]
+    };
     eprintln!("fig13: simulating tiled versions at {sim_sizes:?} ...");
+    let sim_span = tel.tracer.begin("fig13.simulate");
     let mut jobs: Vec<(usize, Option<TilePolicy>)> = Vec::new();
     for &n in &sim_sizes {
         jobs.push((n, None));
@@ -125,6 +139,9 @@ fn main() {
         let layout = DataLayout::contiguous(&model.arrays);
         simulate(&model, &layout, &h2)
     });
+    tel.tracer.attr(sim_span, "jobs", jobs.len() as u64);
+    tel.tracer.end(sim_span);
+    tel.metrics.count("fig13.simulated_jobs", jobs.len() as u64);
     let mut ts = Table::new(&["N", "version", "L1 miss", "L2 miss"]);
     for ((n, policy), r) in jobs.iter().zip(&results) {
         let label = policy.map(|p| p.label()).unwrap_or("Orig");

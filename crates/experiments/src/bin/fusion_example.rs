@@ -18,10 +18,14 @@ fn main() {
 
     let d = fusion_profit(&p, 0, l1, l2, &costs).expect("figure 2 fuses legally");
     println!("Section 4 worked example (Figure 2 -> Figure 6), diagram-scale caches\n");
-    println!("before fusion: {} L2 refs, {} memory refs, {} L1-group refs",
-        d.before.l2_refs, d.before.memory_refs, d.before.l1_refs);
-    println!("after fusion:  {} L2 refs, {} memory refs, {} L1-group refs, {} register refs",
-        d.after.l2_refs, d.after.memory_refs, d.after.l1_refs, d.after.register_refs);
+    println!(
+        "before fusion: {} L2 refs, {} memory refs, {} L1-group refs",
+        d.before.l2_refs, d.before.memory_refs, d.before.l1_refs
+    );
+    println!(
+        "after fusion:  {} L2 refs, {} memory refs, {} L1-group refs, {} register refs",
+        d.after.l2_refs, d.after.memory_refs, d.after.l1_refs, d.after.register_refs
+    );
     println!("\nchange in L2 references:     {:+}", d.delta_l2_refs);
     println!("change in memory references: {:+}", d.delta_memory_refs);
     println!(

@@ -6,19 +6,23 @@
 //! mlc optimize <program> [options]           # run the padding pipeline
 //! mlc diagram  <program> [--nest K]          # paper-style layout diagram
 //! mlc time     <program> [--sweeps N]        # wall-clock a kernel
+//! mlc <program>                              # shorthand: full pipeline + simulate
 //!
 //! options:
 //!   --opt none|pad|multilvl|group|group+l2   # layout (default: none)
 //!   --assoc K                                # k-way caches (default: 1)
 //!   --l1 BYTES --l2 BYTES                    # cache sizes (default 16K/512K)
+//!   --trace-out PATH                         # write a JSONL span/event trace
+//!   --metrics-out PATH                       # write metrics JSON (.csv: CSV)
 //! ```
 //!
 //! Run via `cargo run --release -p mlc-experiments --bin mlc -- <args>`.
 
 use mlc_cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
-use mlc_core::pipeline::{optimize, OptimizeOptions};
-use mlc_experiments::sim::simulate_one;
+use mlc_core::pipeline::{optimize_traced, OptimizeOptions};
+use mlc_experiments::sim::{simulate_one, simulate_one_classified};
 use mlc_experiments::timing::time_kernel;
+use mlc_experiments::TelemetryCli;
 use mlc_kernels::{all_kernels, kernel_by_name, Kernel};
 use mlc_model::diagram::render_nest;
 use mlc_model::DataLayout;
@@ -34,8 +38,8 @@ struct Args {
     sweeps: usize,
 }
 
-fn parse() -> Result<Args, String> {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let argv = &argv[1.min(argv.len())..]; // drop the program path
     let mut a = Args {
         cmd: argv.first().cloned().unwrap_or_else(|| "help".into()),
         program: argv.get(1).filter(|s| !s.starts_with("--")).cloned(),
@@ -51,15 +55,29 @@ fn parse() -> Result<Args, String> {
         let flag = &argv[i];
         let mut take = |name: &str| -> Result<String, String> {
             i += 1;
-            argv.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
             "--opt" => a.opt = take("--opt")?,
-            "--assoc" => a.assoc = take("--assoc")?.parse().map_err(|e| format!("--assoc: {e}"))?,
+            "--assoc" => {
+                a.assoc = take("--assoc")?
+                    .parse()
+                    .map_err(|e| format!("--assoc: {e}"))?
+            }
             "--l1" => a.l1 = take("--l1")?.parse().map_err(|e| format!("--l1: {e}"))?,
             "--l2" => a.l2 = take("--l2")?.parse().map_err(|e| format!("--l2: {e}"))?,
-            "--nest" => a.nest = take("--nest")?.parse().map_err(|e| format!("--nest: {e}"))?,
-            "--sweeps" => a.sweeps = take("--sweeps")?.parse().map_err(|e| format!("--sweeps: {e}"))?,
+            "--nest" => {
+                a.nest = take("--nest")?
+                    .parse()
+                    .map_err(|e| format!("--nest: {e}"))?
+            }
+            "--sweeps" => {
+                a.sweeps = take("--sweeps")?
+                    .parse()
+                    .map_err(|e| format!("--sweeps: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -94,11 +112,22 @@ fn load(name: &Option<String>) -> Result<Box<dyn Kernel>, String> {
     kernel_by_name(name).ok_or_else(|| format!("unknown program '{name}' (try `mlc list`)"))
 }
 
-fn run() -> Result<(), String> {
-    let a = parse()?;
+fn run(tcli: &mut TelemetryCli, argv: &[String]) -> Result<(), String> {
+    let mut a = parse(argv)?;
+    // `mlc <program>` shorthand: run the full pipeline and simulate it.
+    if a.program.is_none() && kernel_by_name(&a.cmd).is_some() {
+        a.program = Some(std::mem::replace(&mut a.cmd, "simulate".into()));
+        if a.opt == "none" {
+            a.opt = "group+l2".into();
+        }
+    }
+    let tel = &mut tcli.telemetry;
     match a.cmd.as_str() {
         "list" => {
-            println!("{:<10} {:<38} {:>7} {:>6}", "name", "description", "arrays", "nests");
+            println!(
+                "{:<10} {:<38} {:>7} {:>6}",
+                "name", "description", "arrays", "nests"
+            );
             for k in all_kernels() {
                 let m = k.model();
                 println!(
@@ -115,14 +144,23 @@ fn run() -> Result<(), String> {
             let k = load(&a.program)?;
             let h = hierarchy(&a);
             let p = k.model();
+            let root = tel.tracer.begin("simulate");
+            tel.tracer.attr(root, "program", k.name());
+            tel.tracer.attr(root, "opt", a.opt.as_str());
             let (program, layout, label) = match options(&a.opt).ok_or("bad --opt")? {
-                None => (p.clone(), DataLayout::contiguous(&p.arrays), "contiguous".to_string()),
+                None => (
+                    p.clone(),
+                    DataLayout::contiguous(&p.arrays),
+                    "contiguous".to_string(),
+                ),
                 Some(opts) => {
-                    let o = optimize(&p, &h, &opts);
+                    let o = optimize_traced(&p, &h, &opts, tel);
                     (o.program, o.layout, a.opt.clone())
                 }
             };
+            let steady = tel.tracer.begin("sim.steady");
             let r = simulate_one(&program, &layout, &h);
+            tel.tracer.end(steady);
             // A second pass for the write-back counters (simulate_one hides
             // its hierarchy).
             let mut hier = mlc_cache_sim::Hierarchy::new(h.clone());
@@ -130,10 +168,44 @@ fn run() -> Result<(), String> {
             hier.reset_stats();
             mlc_model::trace_gen::generate(&program, &layout, &mut hier);
             let wb = hier.writebacks();
-            println!("{} under {label} layout ({}-way, L1 {}B, L2 {}B):", k.name(), a.assoc, a.l1, a.l2);
+            println!(
+                "{} under {label} layout ({}-way, L1 {}B, L2 {}B):",
+                k.name(),
+                a.assoc,
+                a.l1,
+                a.l2
+            );
             println!("  references: {}", r.total_references);
-            println!("  L1 miss rate: {:.2}%   write-backs: {}", r.miss_rate_pct(0), wb[0]);
-            println!("  L2 miss rate: {:.2}%   write-backs: {}", r.miss_rate_pct(1), wb[1]);
+            println!(
+                "  L1 miss rate: {:.2}%   write-backs: {}",
+                r.miss_rate_pct(0),
+                wb[0]
+            );
+            println!(
+                "  L2 miss rate: {:.2}%   write-backs: {}",
+                r.miss_rate_pct(1),
+                wb[1]
+            );
+            if tel.is_enabled() {
+                // One classified cold sweep for the 3C breakdown metrics.
+                let span = tel.tracer.begin("sim.classified");
+                let (_, cls) =
+                    simulate_one_classified(&program, &layout, &h, &mut tel.metrics, "sim");
+                tel.tracer.end(span);
+                for (i, b) in cls.breakdowns().iter().enumerate() {
+                    println!(
+                        "  L{} cold-sweep misses: {} compulsory / {} capacity / {} conflict",
+                        i + 1,
+                        b.compulsory,
+                        b.capacity,
+                        b.conflict
+                    );
+                }
+                tel.metrics.set_value("sim.l1.miss_rate", r.miss_rate(0));
+                tel.metrics.set_value("sim.l2.miss_rate", r.miss_rate(1));
+                tel.metrics.count("sim.references", r.total_references);
+            }
+            tel.tracer.end(root);
             Ok(())
         }
         "optimize" => {
@@ -142,9 +214,12 @@ fn run() -> Result<(), String> {
             let opts = options(&a.opt)
                 .ok_or("bad --opt")?
                 .unwrap_or_else(OptimizeOptions::multilvl_group);
-            let o = optimize(&k.model(), &h, &opts);
+            let o = optimize_traced(&k.model(), &h, &opts, tel);
             println!("{}", o.report);
             println!("bases (bytes): {:?}", o.layout.bases);
+            if tel.is_enabled() {
+                eprintln!("\n{}", tel.tracer.render_text());
+            }
             Ok(())
         }
         "diagram" => {
@@ -169,12 +244,20 @@ fn run() -> Result<(), String> {
             let layout = DataLayout::contiguous(&p.arrays);
             let secs = time_kernel(k.as_ref(), &layout, a.sweeps, 3);
             let mflops = k.flops() as f64 * a.sweeps as f64 / secs / 1e6;
-            println!("{}: {} sweeps in {:.4}s ({:.0} MFLOPS)", k.name(), a.sweeps, secs, mflops);
+            println!(
+                "{}: {} sweeps in {:.4}s ({:.0} MFLOPS)",
+                k.name(),
+                a.sweeps,
+                secs,
+                mflops
+            );
             Ok(())
         }
         "help" | "--help" | "-h" => {
             println!("mlc — multi-level-locality driver");
             println!("commands: list | simulate | optimize | diagram | show | time");
+            println!("`mlc <program>` = optimize with the full pipeline + simulate");
+            println!("all commands accept --trace-out PATH and --metrics-out PATH");
             println!("see the module docs (or README.md) for options");
             Ok(())
         }
@@ -183,7 +266,13 @@ fn run() -> Result<(), String> {
 }
 
 fn main() {
-    if let Err(e) = run() {
+    let (mut tcli, argv) = TelemetryCli::from_env();
+    let result = run(&mut tcli, &argv);
+    if let Err(e) = tcli.finish() {
+        eprintln!("mlc: telemetry output failed: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = result {
         eprintln!("mlc: {e}");
         std::process::exit(1);
     }

@@ -4,14 +4,25 @@
 //! cargo run --release -p mlc-experiments --bin table1
 //! ```
 
-use mlc_experiments::Table;
+use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::{all_kernels, Suite};
 
 fn main() {
+    let (mut tcli, _args) = TelemetryCli::from_env();
+    let tel = &mut tcli.telemetry;
     println!("Table 1: Test programs for experiments\n");
     for suite in [Suite::Kernels, Suite::Nas, Suite::Spec95] {
         println!("{}", suite.label());
-        let mut t = Table::new(&["Program", "Description", "Lines", "Arrays", "Nests", "Refs/sweep"]);
+        let span = tel.tracer.begin("table1.suite");
+        tel.tracer.attr(span, "suite", suite.label());
+        let mut t = Table::new(&[
+            "Program",
+            "Description",
+            "Lines",
+            "Arrays",
+            "Nests",
+            "Refs/sweep",
+        ]);
         for k in all_kernels().into_iter().filter(|k| k.suite() == suite) {
             let model = k.model();
             let refs = model
@@ -26,7 +37,9 @@ fn main() {
                 model.nests.len().to_string(),
                 refs,
             ]);
+            tel.metrics.count("table1.programs", 1);
         }
+        tel.tracer.end(span);
         println!("{}", t.render());
     }
     println!("Lines = source lines of the original Fortran program (per the paper's Table 1).");

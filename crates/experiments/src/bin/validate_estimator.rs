@@ -58,8 +58,14 @@ fn main() {
     println!("Analytic estimator vs trace-driven simulator (GROUPPAD+L2MAXPAD layouts)\n");
     println!("{}", t.render());
     let mean_err = abs_err_l1.iter().sum::<f64>() / abs_err_l1.len() as f64;
-    println!("programs where estimator ranks orig-vs-padded like the simulator: {rank_ok}/{}", rows.len());
-    println!("mean |simulated - estimated| L1 miss rate: {:.1}pp", 100.0 * mean_err);
+    println!(
+        "programs where estimator ranks orig-vs-padded like the simulator: {rank_ok}/{}",
+        rows.len()
+    );
+    println!(
+        "mean |simulated - estimated| L1 miss rate: {:.1}pp",
+        100.0 * mean_err
+    );
     println!("\n(The estimator ignores transient conflicts, inter-nest reuse and gather");
     println!(" locality, so absolute gaps are expected for irregular/triangular codes;");
     println!(" the paper's claim is about *relative* prediction, i.e. the ranking column.)");

@@ -21,13 +21,19 @@
 //! This library holds the shared harness: program versions (Orig / L1 Opt /
 //! L1&L2 Opt), simulation drivers, wall-clock timing, size sweeps and table
 //! rendering.
+//!
+//! Every binary additionally accepts `--trace-out PATH` (JSONL span/event
+//! trace) and `--metrics-out PATH` (JSON, or CSV if the path ends in
+//! `.csv`) — see [`telemetry_cli`] and `docs/OBSERVABILITY.md`.
 
 pub mod sim;
 pub mod table;
+pub mod telemetry_cli;
 pub mod timing;
 pub mod versions;
 
 pub use sim::{simulate_versions, SimResult};
 pub use table::Table;
+pub use telemetry_cli::TelemetryCli;
 pub use timing::{mflops, time_kernel};
 pub use versions::{build_versions, OptLevel, Versions};

@@ -3,8 +3,9 @@
 use crate::versions::Versions;
 use mlc_cache_sim::stats::MissRateReport;
 use mlc_cache_sim::HierarchyConfig;
-use mlc_model::trace_gen::simulate_steady;
+use mlc_model::trace_gen::{simulate_classified, simulate_steady};
 use mlc_model::{DataLayout, Program};
+use mlc_telemetry::{MetricsRegistry, MissClassifier};
 
 /// Miss rates of the three versions of one program.
 #[derive(Debug, Clone)]
@@ -26,6 +27,25 @@ pub const TIMED: usize = 1;
 /// Simulate one program+layout with the standard protocol.
 pub fn simulate_one(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> MissRateReport {
     simulate_steady(program, layout, h, WARMUP, TIMED)
+}
+
+/// Simulate one program+layout with the shadow-cache miss classifier
+/// attached, and install the per-level compulsory/capacity/conflict counts
+/// into `metrics` under `prefix` (e.g. `sim.l1.miss.conflict`).
+///
+/// Unlike [`simulate_one`] this is a single cold sweep — the 3C taxonomy
+/// needs the compulsory misses that the steady-state protocol deliberately
+/// warms away.
+pub fn simulate_one_classified(
+    program: &Program,
+    layout: &DataLayout,
+    h: &HierarchyConfig,
+    metrics: &mut MetricsRegistry,
+    prefix: &str,
+) -> (MissRateReport, MissClassifier) {
+    let (report, classifier) = simulate_classified(program, layout, h);
+    classifier.install_metrics(metrics, prefix);
+    (report, classifier)
 }
 
 /// Simulate all three versions.
@@ -66,12 +86,17 @@ where
             });
         }
     });
-    results.into_iter().map(|m| m.into_inner().unwrap().unwrap()).collect()
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().unwrap())
+        .collect()
 }
 
 /// Number of worker threads to use for sweeps.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Create a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row (must match the header width).
@@ -91,7 +94,10 @@ mod tests {
         assert!(lines[0].starts_with("name"));
         assert!(lines[1].chars().all(|c| c == '-'));
         // Right alignment: the % signs line up.
-        assert_eq!(lines[2].find("12.3%").map(|i| i + 5), lines[3].find("1.0%").map(|i| i + 4));
+        assert_eq!(
+            lines[2].find("12.3%").map(|i| i + 5),
+            lines[3].find("1.0%").map(|i| i + 4)
+        );
     }
 
     #[test]

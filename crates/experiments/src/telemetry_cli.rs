@@ -1,0 +1,175 @@
+//! Shared `--trace-out` / `--metrics-out` plumbing for the experiment
+//! binaries.
+//!
+//! Every binary accepts two extra flags on top of its own options:
+//!
+//! ```text
+//! --trace-out PATH      # span/event trace as JSONL
+//! --metrics-out PATH    # metrics registry as JSON (or CSV if PATH ends in .csv)
+//! ```
+//!
+//! [`TelemetryCli::from_env`] strips the flags from `std::env::args()` before
+//! the binary's own parser sees them and hands back a [`Telemetry`] bundle
+//! that is enabled iff at least one output was requested. The files are
+//! written by [`TelemetryCli::finish`]; as a safety net `Drop` also writes
+//! them, so binaries with early-return paths still produce their outputs.
+
+use mlc_telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+
+/// Parsed telemetry output options plus the live [`Telemetry`] bundle.
+#[derive(Debug, Default)]
+pub struct TelemetryCli {
+    /// The bundle to thread through instrumented code. Enabled iff the user
+    /// asked for at least one output file.
+    pub telemetry: Telemetry,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    finished: bool,
+}
+
+impl TelemetryCli {
+    /// Split `argv` into telemetry flags (consumed here) and everything else
+    /// (returned for the binary's own parser). Accepts both `--flag PATH`
+    /// and `--flag=PATH` spellings.
+    pub fn extract(argv: Vec<String>) -> (Self, Vec<String>) {
+        let mut rest = Vec::with_capacity(argv.len());
+        let mut trace_out: Option<PathBuf> = None;
+        let mut metrics_out: Option<PathBuf> = None;
+        let mut it = argv.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--trace-out" {
+                trace_out = it.next().map(PathBuf::from);
+            } else if arg == "--metrics-out" {
+                metrics_out = it.next().map(PathBuf::from);
+            } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+                trace_out = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
+                metrics_out = Some(PathBuf::from(v));
+            } else {
+                rest.push(arg);
+            }
+        }
+        let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        (
+            Self {
+                telemetry,
+                trace_out,
+                metrics_out,
+                finished: false,
+            },
+            rest,
+        )
+    }
+
+    /// [`TelemetryCli::extract`] applied to the process arguments. The
+    /// returned vector still includes `argv[0]` (the program path).
+    pub fn from_env() -> (Self, Vec<String>) {
+        Self::extract(std::env::args().collect())
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn is_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Write the requested output files. Idempotent: the `Drop` fallback
+    /// does nothing after an explicit call.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        self.finished = true;
+        if let Some(path) = &self.trace_out {
+            self.telemetry.write_trace_jsonl(path)?;
+            eprintln!("trace written to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_out {
+            if is_csv(path) {
+                self.telemetry.write_metrics_csv(path)?;
+            } else {
+                self.telemetry.write_metrics_json(path)?;
+            }
+            eprintln!("metrics written to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TelemetryCli {
+    fn drop(&mut self) {
+        if !self.finished {
+            if let Err(e) = self.finish() {
+                eprintln!("telemetry: failed to write output: {e}");
+            }
+        }
+    }
+}
+
+fn is_csv(path: &Path) -> bool {
+    path.extension()
+        .map(|e| e.eq_ignore_ascii_case("csv"))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn extract_strips_flags_and_enables() {
+        let (t, rest) = TelemetryCli::extract(sv(&[
+            "mlc",
+            "simulate",
+            "--trace-out",
+            "t.jsonl",
+            "jacobi",
+            "--metrics-out=m.json",
+            "--opt",
+            "pad",
+        ]));
+        assert!(t.is_enabled());
+        assert_eq!(t.trace_out.as_deref(), Some(Path::new("t.jsonl")));
+        assert_eq!(t.metrics_out.as_deref(), Some(Path::new("m.json")));
+        assert_eq!(rest, sv(&["mlc", "simulate", "jacobi", "--opt", "pad"]));
+    }
+
+    #[test]
+    fn no_flags_means_disabled_and_untouched_args() {
+        let (mut t, rest) = TelemetryCli::extract(sv(&["mlc", "list"]));
+        assert!(!t.is_enabled());
+        assert_eq!(rest, sv(&["mlc", "list"]));
+        t.finish().unwrap(); // no paths: writes nothing, errors nothing
+    }
+
+    #[test]
+    fn drop_writes_requested_files() {
+        let dir = std::env::temp_dir().join("mlc-telemetry-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("drop.jsonl");
+        let metrics = dir.join("drop.csv");
+        {
+            let (mut t, _) = TelemetryCli::extract(sv(&[
+                "x",
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]));
+            let s = t.telemetry.tracer.begin("work");
+            t.telemetry.tracer.end(s);
+            t.telemetry.metrics.count("rows", 3);
+            // no explicit finish: Drop writes both files
+        }
+        assert!(std::fs::read_to_string(&trace)
+            .unwrap()
+            .contains("\"work\""));
+        assert!(std::fs::read_to_string(&metrics).unwrap().contains("rows"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -10,7 +10,7 @@
 //!   `GROUPPAD + L2MAXPAD`.
 
 use mlc_cache_sim::HierarchyConfig;
-use mlc_core::pipeline::{optimize, OptimizeOptions, Optimized, OptimizeTarget};
+use mlc_core::pipeline::{optimize, OptimizeOptions, OptimizeTarget, Optimized};
 use mlc_core::MissCosts;
 use mlc_model::{DataLayout, Program};
 
@@ -54,7 +54,12 @@ pub fn build_versions(program: &Program, hierarchy: &HierarchyConfig, level: Opt
     // but keeps the contiguous inter-variable layout.
     let orig_program = l1.program.clone();
     let orig_layout = DataLayout::contiguous(&orig_program.arrays);
-    Versions { orig_program, orig_layout, l1, l1l2 }
+    Versions {
+        orig_program,
+        orig_layout,
+        l1,
+        l1l2,
+    }
 }
 
 #[cfg(test)]

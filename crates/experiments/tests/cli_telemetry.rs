@@ -1,0 +1,130 @@
+//! End-to-end check of the `--trace-out` / `--metrics-out` plumbing: run
+//! the real `mlc` binary, then parse its outputs with the telemetry crate's
+//! own JSON tooling and validate the metrics file against
+//! `results/metrics_schema.json`.
+
+use mlc_telemetry::json::JsonValue;
+use mlc_telemetry::schema::validate;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn schema() -> JsonValue {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/metrics_schema.json");
+    let text = std::fs::read_to_string(&path).expect("read results/metrics_schema.json");
+    JsonValue::parse(&text).expect("schema file is valid JSON")
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlc-cli-telemetry-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_mlc(args: &[&str]) {
+    let status = Command::new(env!("CARGO_BIN_EXE_mlc"))
+        .args(args)
+        .status()
+        .expect("spawn mlc");
+    assert!(status.success(), "mlc {args:?} failed");
+}
+
+/// `mlc --metrics-out m.json --trace-out t.jsonl <kernel>` — the acceptance
+/// command — writes a schema-valid metrics file and a JSONL trace holding
+/// per-pass spans (with wall time and positions tried) plus the per-level
+/// 3C miss counts.
+#[test]
+fn acceptance_command_produces_valid_outputs() {
+    let dir = out_dir("accept");
+    let m = dir.join("m.json");
+    let t = dir.join("t.jsonl");
+    run_mlc(&[
+        "--metrics-out",
+        m.to_str().unwrap(),
+        "--trace-out",
+        t.to_str().unwrap(),
+        "dot512",
+    ]);
+
+    // Metrics: parse, validate against the schema, and check contents.
+    let metrics = JsonValue::parse(&std::fs::read_to_string(&m).unwrap()).unwrap();
+    let errors = validate(&schema(), &metrics);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+    let counters = metrics.get("counters").expect("counters object");
+    for key in [
+        "sim.l1.miss.compulsory",
+        "sim.l1.miss.capacity",
+        "sim.l1.miss.conflict",
+        "sim.l2.miss.compulsory",
+        "sim.l2.miss.capacity",
+        "sim.l2.miss.conflict",
+        "optimizer.pad.positions_tried",
+    ] {
+        assert!(
+            counters.get(key).and_then(JsonValue::as_u64).is_some(),
+            "missing counter {key}"
+        );
+    }
+    // The classifier's per-level counts are mutually consistent.
+    let c = |k: &str| counters.get(k).and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(
+        c("sim.l1.misses"),
+        c("sim.l1.miss.compulsory") + c("sim.l1.miss.capacity") + c("sim.l1.miss.conflict")
+    );
+
+    // Trace: every line is JSON; pass spans carry wall time and attrs.
+    let trace = std::fs::read_to_string(&t).unwrap();
+    let lines: Vec<JsonValue> = trace
+        .lines()
+        .map(|l| JsonValue::parse(l).expect("JSONL line parses"))
+        .collect();
+    assert!(!lines.is_empty(), "trace is empty");
+    let span_named = |name: &str| {
+        lines.iter().find(|v| {
+            v.get("type").and_then(JsonValue::as_str) == Some("span")
+                && v.get("name").and_then(JsonValue::as_str) == Some(name)
+        })
+    };
+    for name in ["simulate", "optimize", "pass.pad", "sim.classified"] {
+        let span = span_named(name).unwrap_or_else(|| panic!("no span named {name}"));
+        assert!(
+            span.get("dur_us").and_then(JsonValue::as_u64).is_some(),
+            "{name} has no dur_us"
+        );
+    }
+    let pad = span_named("pass.pad").unwrap();
+    let tried = pad
+        .get("attrs")
+        .and_then(|a| a.get("positions_tried"))
+        .and_then(JsonValue::as_u64)
+        .expect("pass.pad records positions_tried");
+    assert!(tried > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A `.csv` metrics path selects the CSV exporter.
+#[test]
+fn csv_metrics_extension_is_respected() {
+    let dir = out_dir("csv");
+    let m = dir.join("m.csv");
+    run_mlc(&["simulate", "dot512", "--metrics-out", m.to_str().unwrap()]);
+    let csv = std::fs::read_to_string(&m).unwrap();
+    assert!(
+        csv.lines().next().unwrap().contains("kind"),
+        "missing CSV header: {csv}"
+    );
+    assert!(csv.contains("sim.l1.accesses"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without telemetry flags the binary writes nothing and prints the same
+/// simulate summary (stdout equality between a plain run and a run whose
+/// flags were merely absent is what users rely on for scripting).
+#[test]
+fn no_flags_writes_no_files() {
+    let dir = out_dir("none");
+    let before: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    run_mlc(&["simulate", "dot512"]);
+    let after: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(before.len(), after.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

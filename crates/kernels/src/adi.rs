@@ -54,7 +54,11 @@ impl Kernel for Adi {
         let v = p.add_array(ArrayDecl::f64("V", vec![n1, n2, n3]));
         let w = p.add_array(ArrayDecl::f64("W", vec![n1, n2, n3]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         // k-sweep: recurrence across planes (the self-conflicting one).
         p.add_nest(LoopNest::new(
@@ -167,9 +171,9 @@ impl Kernel for Adi {
 mod tests {
     use super::*;
     use crate::kernel::layouts_agree;
+    use mlc_cache_sim::CacheConfig;
     use mlc_core::conflict::severe_self_conflicts;
     use mlc_core::intra_pad::intra_pad;
-    use mlc_cache_sim::CacheConfig;
 
     #[test]
     fn adi32_planes_are_one_l1_span() {

@@ -23,7 +23,10 @@ pub struct Dot {
 impl Dot {
     /// `Dot` with vectors of `kb` KiB each (the paper's dot256 / dot512).
     pub fn kb(kb: usize) -> Self {
-        Self { n: kb * 1024 / 8, label_kb: kb }
+        Self {
+            n: kb * 1024 / 8,
+            label_kb: kb,
+        }
     }
 }
 
@@ -94,7 +97,10 @@ mod tests {
 
     #[test]
     fn computes_the_dot_product() {
-        let k = Dot { n: 100, label_kb: 0 };
+        let k = Dot {
+            n: 100,
+            label_kb: 0,
+        };
         let p = k.model();
         let mut ws = Workspace::contiguous(&p);
         ws.fill1(0, |_| 2.0);
@@ -115,7 +121,10 @@ mod tests {
 
     #[test]
     fn padding_does_not_change_results() {
-        let k = Dot { n: 256, label_kb: 2 };
+        let k = Dot {
+            n: 256,
+            label_kb: 2,
+        };
         let p = k.model();
         let a = DataLayout::contiguous(&p.arrays);
         let b = DataLayout::with_pads(&p.arrays, &[0, 64, 32]);

@@ -50,7 +50,11 @@ impl Kernel for Erle {
         let d = p.add_array(ArrayDecl::f64("D", vec![self.n, self.n, self.n]));
         let x = p.add_array(ArrayDecl::f64("X", vec![self.n, self.n, self.n]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         // RHS from central differences of F along k.
         p.add_nest(LoopNest::new(
@@ -110,7 +114,9 @@ impl Kernel for Erle {
 
     fn init(&self, ws: &mut Workspace) {
         let n = self.n as f64;
-        ws.fill3(0, |i, j, k| ((i as f64 / n) * 2.0).sin() + (j as f64 / n) + 0.1 * k as f64 / n);
+        ws.fill3(0, |i, j, k| {
+            ((i as f64 / n) * 2.0).sin() + (j as f64 / n) + 0.1 * k as f64 / n
+        });
         // D holds precomputed stable elimination multipliers in (0, 0.5).
         ws.fill3(1, |i, j, k| 0.2 + 0.1 * (((i + j + k) % 3) as f64) / 3.0);
         ws.fill3(2, |_, _, _| 0.0);
@@ -134,8 +140,8 @@ impl Kernel for Erle {
         for k in 1..n {
             for j in 0..n {
                 for i in 0..n {
-                    let v = ld(d, x.at3(i, j, k))
-                        - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k - 1));
+                    let v =
+                        ld(d, x.at3(i, j, k)) - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k - 1));
                     st(d, x.at3(i, j, k), v);
                 }
             }
@@ -143,8 +149,8 @@ impl Kernel for Erle {
         for k in (0..n - 1).rev() {
             for j in 0..n {
                 for i in 0..n {
-                    let v = ld(d, x.at3(i, j, k))
-                        - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k + 1));
+                    let v =
+                        ld(d, x.at3(i, j, k)) - ld(d, dd.at3(i, j, k)) * ld(d, x.at3(i, j, k + 1));
                     st(d, x.at3(i, j, k), v);
                 }
             }

@@ -62,10 +62,16 @@ impl Kernel for Expl {
             .iter()
             .map(|nm| p.add_array(ArrayDecl::f64(*nm, vec![n, n])))
             .collect();
-        let [za, zb, zm, zp, zq, zr, zu, zv, zz] =
-            [ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8]];
+        let [za, zb, zm, zp, zq, zr, zu, zv, zz] = [
+            ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8],
+        ];
         let jk = |dj: i64, dk: i64| vec![E::var_plus("j", dj), E::var_plus("k", dk)];
-        let loops = || vec![Loop::counted("k", 1, n as i64 - 2), Loop::counted("j", 1, n as i64 - 2)];
+        let loops = || {
+            vec![
+                Loop::counted("k", 1, n as i64 - 2),
+                Loop::counted("j", 1, n as i64 - 2),
+            ]
+        };
 
         // Loop 75: ZA, ZB from ZP, ZQ, ZR, ZM.
         p.add_nest(LoopNest::new(

@@ -28,7 +28,10 @@ pub struct Irr {
 impl Irr {
     /// The paper's IRR500K: 500 K edges over 100 K nodes.
     pub fn paper() -> Self {
-        Self { nodes: 100_000, edges: 500_000 }
+        Self {
+            nodes: 100_000,
+            edges: 500_000,
+        }
     }
 
     /// A small instance for tests.
@@ -109,10 +112,14 @@ impl Kernel for Irr {
         ws.fill1(1, |i| ((i * 17) % 89) as f64 / 89.0);
         ws.fill1(2, |e| 0.01 + ((e * 13) % 7) as f64 * 0.001);
         let mut s1 = 0x1234_5678_dead_beefu64;
-        let ends1: Vec<f64> = (0..self.edges).map(|_| (xorshift(&mut s1) % nodes) as f64).collect();
+        let ends1: Vec<f64> = (0..self.edges)
+            .map(|_| (xorshift(&mut s1) % nodes) as f64)
+            .collect();
         ws.fill1(3, |e| ends1[e]);
         let mut s2 = 0x0fed_cba9_8765_4321u64;
-        let ends2: Vec<f64> = (0..self.edges).map(|_| (xorshift(&mut s2) % nodes) as f64).collect();
+        let ends2: Vec<f64> = (0..self.edges)
+            .map(|_| (xorshift(&mut s2) % nodes) as f64)
+            .collect();
         ws.fill1(4, |e| ends2[e]);
     }
 

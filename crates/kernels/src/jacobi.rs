@@ -47,7 +47,12 @@ impl Kernel for Jacobi {
         let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
         let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
         let ij = |di: i64, dj: i64| vec![E::var_plus("i", di), E::var_plus("j", dj)];
-        let loops = || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 1, n as i64 - 2)];
+        let loops = || {
+            vec![
+                Loop::counted("j", 1, n as i64 - 2),
+                Loop::counted("i", 1, n as i64 - 2),
+            ]
+        };
         p.add_nest(LoopNest::new(
             "relax",
             loops(),
@@ -145,7 +150,10 @@ mod tests {
         for _ in 0..50 {
             k.sweep(&mut ws);
             let norm = ws.data()[ws.mat(1).at(0, 0)];
-            assert!(norm <= last + 1e-9, "residual must not grow: {norm} > {last}");
+            assert!(
+                norm <= last + 1e-9,
+                "residual must not grow: {norm} > {last}"
+            );
             last = norm;
         }
         // Interior heads toward 100.

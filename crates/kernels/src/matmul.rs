@@ -201,7 +201,11 @@ impl Kernel for Matmul {
 mod tests {
     use super::*;
 
-    fn naive(n: usize, av: &dyn Fn(usize, usize) -> f64, bv: &dyn Fn(usize, usize) -> f64) -> Vec<f64> {
+    fn naive(
+        n: usize,
+        av: &dyn Fn(usize, usize) -> f64,
+        bv: &dyn Fn(usize, usize) -> f64,
+    ) -> Vec<f64> {
         let mut c = vec![0.0; n * n];
         for j in 0..n {
             for i in 0..n {

@@ -27,7 +27,10 @@ pub struct Buk {
 impl Buk {
     /// The paper-scale configuration of this proxy.
     pub fn paper() -> Self {
-        Self { n: 1 << 16, buckets: 1 << 10 }
+        Self {
+            n: 1 << 16,
+            buckets: 1 << 10,
+        }
     }
 }
 
@@ -219,9 +222,21 @@ impl Kernel for Cgm {
         // the iteration to be a consistent CG on the interior operator.
         let (m, nv) = (self.m, self.nv());
         let interior = move |i: usize| i >= m && i < nv - m;
-        ws.fill1(0, |i| if interior(i) { ((i % 17) as f64 - 8.0) / 17.0 } else { 0.0 });
+        ws.fill1(0, |i| {
+            if interior(i) {
+                ((i % 17) as f64 - 8.0) / 17.0
+            } else {
+                0.0
+            }
+        });
         ws.fill1(1, |_| 0.0);
-        ws.fill1(2, |i| if interior(i) { ((i % 17) as f64 - 8.0) / 17.0 } else { 0.0 });
+        ws.fill1(2, |i| {
+            if interior(i) {
+                ((i % 17) as f64 - 8.0) / 17.0
+            } else {
+                0.0
+            }
+        });
         ws.fill1(3, |_| 0.0);
     }
 
@@ -341,7 +356,9 @@ impl Kernel for Embar {
         // NAS EP's linear congruential generator (reduced modulus).
         let mut seed: u64 = 271_828_183;
         for i in 0..2 * pairs {
-            seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
             st(d, xs.at1(i), (seed >> 11) as f64 / (1u64 << 53) as f64);
         }
         for i in 0..pairs {
@@ -455,10 +472,13 @@ impl Kernel for Fftpde {
         let mut p = Program::new("fftpde");
         let re = p.add_array(ArrayDecl::f64("RE", vec![self.n, self.n, self.n]));
         let im = p.add_array(ArrayDecl::f64("IM", vec![self.n, self.n, self.n]));
-        for (nest, (vars, half_dim)) in
-            [(["k", "j", "i"], 0usize), (["k", "i", "j"], 1), (["j", "i", "k"], 2)]
-                .into_iter()
-                .enumerate()
+        for (nest, (vars, half_dim)) in [
+            (["k", "j", "i"], 0usize),
+            (["k", "i", "j"], 1),
+            (["j", "i", "k"], 2),
+        ]
+        .into_iter()
+        .enumerate()
         {
             let mut subs_lo = vec![E::var("i"), E::var("j"), E::var("k")];
             let mut subs_hi = subs_lo.clone();
@@ -468,7 +488,11 @@ impl Kernel for Fftpde {
             let loops: Vec<Loop> = vars
                 .iter()
                 .map(|v| {
-                    let upper = if *v == ["i", "j", "k"][half_dim] { n / 2 - 1 } else { n - 1 };
+                    let upper = if *v == ["i", "j", "k"][half_dim] {
+                        n / 2 - 1
+                    } else {
+                        n - 1
+                    };
                     Loop::counted(*v, 0, upper)
                 })
                 .collect();
@@ -498,7 +522,9 @@ impl Kernel for Fftpde {
     }
 
     fn init(&self, ws: &mut Workspace) {
-        ws.fill3(0, |i, j, k| (((i * 7 + j * 3 + k) % 32) as f64) / 32.0 - 0.5);
+        ws.fill3(0, |i, j, k| {
+            (((i * 7 + j * 3 + k) % 32) as f64) / 32.0 - 0.5
+        });
         ws.fill3(1, |_, _, _| 0.0);
     }
 
@@ -576,7 +602,11 @@ impl Kernel for Mgrid {
         let r2 = p.add_array(ArrayDecl::f64("R2", vec![h, h, h]));
         let u2 = p.add_array(ArrayDecl::f64("U2", vec![h, h, h]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         let interior = |hi: i64| {
             vec![
@@ -649,7 +679,13 @@ impl Kernel for Mgrid {
 
     fn init(&self, ws: &mut Workspace) {
         ws.fill3(0, |_, _, _| 0.0);
-        ws.fill3(1, |i, j, k| if (i, j, k) == (self.n / 3, self.n / 2, self.n / 4) { 1.0 } else { 0.0 });
+        ws.fill3(1, |i, j, k| {
+            if (i, j, k) == (self.n / 3, self.n / 2, self.n / 4) {
+                1.0
+            } else {
+                0.0
+            }
+        });
         ws.fill3(2, |_, _, _| 0.0);
         ws.fill3(3, |_, _, _| 0.0);
         ws.fill3(4, |_, _, _| 0.0);
@@ -783,7 +819,11 @@ impl Kernel for Pde3d {
         let rhs = p.add_array(ArrayDecl::f64("RHS", vec![self.n, self.n, self.n]));
         let c = p.add_array(ArrayDecl::f64("C", vec![self.n, self.n, self.n]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         let interior = || {
             vec![
@@ -809,9 +849,11 @@ impl Kernel for Pde3d {
         match self.flavor {
             PdeFlavor::Appbt => {
                 // Line solves along each dimension.
-                for (name, (di, dj, dk)) in
-                    [("xsolve", (-1, 0, 0)), ("ysolve", (0, -1, 0)), ("zsolve", (0, 0, -1))]
-                {
+                for (name, (di, dj, dk)) in [
+                    ("xsolve", (-1, 0, 0)),
+                    ("ysolve", (0, -1, 0)),
+                    ("zsolve", (0, 0, -1)),
+                ] {
                     p.add_nest(LoopNest::new(
                         name,
                         interior(),
@@ -931,8 +973,8 @@ impl Kernel for Pde3d {
                                     1 => rhs.at3(i, j - 1, k),
                                     _ => rhs.at3(i, j, k - 1),
                                 };
-                                let v = ld(d, rhs.at3(i, j, k))
-                                    - ld(d, c.at3(i, j, k)) * ld(d, prev);
+                                let v =
+                                    ld(d, rhs.at3(i, j, k)) - ld(d, c.at3(i, j, k)) * ld(d, prev);
                                 st(d, rhs.at3(i, j, k), v);
                             }
                         }
@@ -971,7 +1013,8 @@ impl Kernel for Pde3d {
                         for i in 1..n - 1 {
                             let v = ld(d, rhs.at3(i, j, k))
                                 - ld(d, c.at3(i, j, k))
-                                    * (ld(d, rhs.at3(i, j, k - 1)) + 0.5 * ld(d, rhs.at3(i, j, k - 2)));
+                                    * (ld(d, rhs.at3(i, j, k - 1))
+                                        + 0.5 * ld(d, rhs.at3(i, j, k - 2)));
                             st(d, rhs.at3(i, j, k), v);
                         }
                     }
@@ -1001,7 +1044,10 @@ mod tests {
 
     #[test]
     fn buk_sorts() {
-        let k = Buk { n: 256, buckets: 16 };
+        let k = Buk {
+            n: 256,
+            buckets: 16,
+        };
         let p = k.model();
         let mut ws = Workspace::contiguous(&p);
         k.init(&mut ws);
@@ -1027,11 +1073,15 @@ mod tests {
         let p = k.model();
         let mut ws = Workspace::contiguous(&p);
         k.init(&mut ws);
-        let r0: f64 = (0..k.nv()).map(|i| ws.data()[ws.mat(2).at1(i)].powi(2)).sum();
+        let r0: f64 = (0..k.nv())
+            .map(|i| ws.data()[ws.mat(2).at1(i)].powi(2))
+            .sum();
         for _ in 0..10 {
             k.sweep(&mut ws);
         }
-        let r1: f64 = (0..k.nv()).map(|i| ws.data()[ws.mat(2).at1(i)].powi(2)).sum();
+        let r1: f64 = (0..k.nv())
+            .map(|i| ws.data()[ws.mat(2).at1(i)].powi(2))
+            .sum();
         assert!(r1 < r0, "CG must reduce the residual: {r0} -> {r1}");
     }
 
@@ -1045,7 +1095,10 @@ mod tests {
         let total = k.checksum(&ws);
         // ~ pi/4 of pairs accepted.
         let frac = total / k.pairs as f64;
-        assert!((frac - std::f64::consts::FRAC_PI_4).abs() < 0.05, "acceptance {frac}");
+        assert!(
+            (frac - std::f64::consts::FRAC_PI_4).abs() < 0.05,
+            "acceptance {frac}"
+        );
     }
 
     #[test]
@@ -1117,12 +1170,18 @@ mod tests {
     #[test]
     fn all_nas_models_validate() {
         let kernels: Vec<Box<dyn Kernel>> = vec![
-            Box::new(Buk { n: 128, buckets: 16 }),
+            Box::new(Buk {
+                n: 128,
+                buckets: 16,
+            }),
             Box::new(Cgm { m: 8 }),
             Box::new(Embar { pairs: 64 }),
             Box::new(Fftpde { n: 8 }),
             Box::new(Mgrid { n: 8 }),
-            Box::new(Pde3d { n: 8, flavor: PdeFlavor::Appbt }),
+            Box::new(Pde3d {
+                n: 8,
+                flavor: PdeFlavor::Appbt,
+            }),
         ];
         for k in kernels {
             k.model().validate().unwrap();

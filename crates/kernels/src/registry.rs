@@ -82,7 +82,9 @@ mod tests {
     #[test]
     fn every_model_validates() {
         for k in all_kernels() {
-            k.model().validate().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            k.model()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
         }
     }
 
@@ -90,9 +92,30 @@ mod tests {
     fn paper_figure_names_present() {
         // Names as they appear on the Figure 9 axes.
         for name in [
-            "adi32", "dot512", "erle64", "expl512", "irr500K", "jacobi512", "linpackd",
-            "shal512", "appbt", "applu", "appsp", "buk", "cgm", "embar", "fftpde", "mgrid",
-            "apsi", "fpppp", "hydro2d", "su2cor", "swim", "tomcatv", "turb3d", "wave5",
+            "adi32",
+            "dot512",
+            "erle64",
+            "expl512",
+            "irr500K",
+            "jacobi512",
+            "linpackd",
+            "shal512",
+            "appbt",
+            "applu",
+            "appsp",
+            "buk",
+            "cgm",
+            "embar",
+            "fftpde",
+            "mgrid",
+            "apsi",
+            "fpppp",
+            "hydro2d",
+            "su2cor",
+            "swim",
+            "tomcatv",
+            "turb3d",
+            "wave5",
         ] {
             assert!(kernel_by_name(name).is_some(), "missing kernel {name}");
         }

@@ -15,8 +15,9 @@ use mlc_model::expr::AffineExpr as E;
 use mlc_model::prelude::*;
 
 /// Array order (model ids follow this order).
-const NAMES: [&str; 13] =
-    ["U", "V", "P", "UNEW", "VNEW", "PNEW", "UOLD", "VOLD", "POLD", "CU", "CV", "Z", "H"];
+const NAMES: [&str; 13] = [
+    "U", "V", "P", "UNEW", "VNEW", "PNEW", "UOLD", "VOLD", "POLD", "CU", "CV", "Z", "H",
+];
 
 // Nondimensionalized coefficients: the original SWIM constants with its
 // physical grid spacing produce fields of order 1e5 whose repeated products
@@ -41,13 +42,19 @@ impl Shallow {
     /// Table-1 kernel `shalN`.
     pub fn shal(n: usize) -> Self {
         assert!(n >= 4);
-        Self { n, spec_flavor: false }
+        Self {
+            n,
+            spec_flavor: false,
+        }
     }
 
     /// SPEC95 `swim` (513×513 in the original; any n here).
     pub fn swim(n: usize) -> Self {
         assert!(n >= 4);
-        Self { n, spec_flavor: true }
+        Self {
+            n,
+            spec_flavor: true,
+        }
     }
 }
 
@@ -87,14 +94,21 @@ impl Kernel for Shallow {
     fn model(&self) -> Program {
         let n = self.n;
         let mut p = Program::new(self.name());
-        let ids: Vec<ArrayId> =
-            NAMES.iter().map(|nm| p.add_array(ArrayDecl::f64(*nm, vec![n, n]))).collect();
+        let ids: Vec<ArrayId> = NAMES
+            .iter()
+            .map(|nm| p.add_array(ArrayDecl::f64(*nm, vec![n, n])))
+            .collect();
         let [u, v, pp, unew, vnew, pnew, uold, vold, pold, cu, cv, z, h] = [
             ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7], ids[8], ids[9],
             ids[10], ids[11], ids[12],
         ];
         let ij = |di: i64, dj: i64| vec![E::var_plus("i", di), E::var_plus("j", dj)];
-        let loops = || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 1, n as i64 - 2)];
+        let loops = || {
+            vec![
+                Loop::counted("j", 1, n as i64 - 2),
+                Loop::counted("i", 1, n as i64 - 2),
+            ]
+        };
 
         p.add_nest(LoopNest::new(
             "calc1",
@@ -199,8 +213,16 @@ impl Kernel for Shallow {
         // CALC1.
         for j in 1..n - 1 {
             for i in 1..n - 1 {
-                st(d, cu.at(i, j), 0.5 * (ld(d, pp.at(i, j)) + ld(d, pp.at(i - 1, j))) * ld(d, u.at(i, j)));
-                st(d, cv.at(i, j), 0.5 * (ld(d, pp.at(i, j)) + ld(d, pp.at(i, j - 1))) * ld(d, v.at(i, j)));
+                st(
+                    d,
+                    cu.at(i, j),
+                    0.5 * (ld(d, pp.at(i, j)) + ld(d, pp.at(i - 1, j))) * ld(d, u.at(i, j)),
+                );
+                st(
+                    d,
+                    cv.at(i, j),
+                    0.5 * (ld(d, pp.at(i, j)) + ld(d, pp.at(i, j - 1))) * ld(d, v.at(i, j)),
+                );
                 let denom = ld(d, pp.at(i - 1, j - 1))
                     + ld(d, pp.at(i, j - 1))
                     + ld(d, pp.at(i, j))

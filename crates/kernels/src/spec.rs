@@ -103,7 +103,9 @@ impl Kernel for Hydro2d {
 
     fn init(&self, ws: &mut Workspace) {
         let n = self.n as f64;
-        ws.fill2(0, |i, j| 1.0 + 0.1 * ((i as f64 / n * 6.0).sin() * (j as f64 / n * 4.0).cos()));
+        ws.fill2(0, |i, j| {
+            1.0 + 0.1 * ((i as f64 / n * 6.0).sin() * (j as f64 / n * 4.0).cos())
+        });
         ws.fill2(1, |i, _| 0.01 * (i as f64 / n - 0.5));
         ws.fill2(2, |_, j| 0.01 * (0.5 - j as f64 / n));
         ws.fill2(3, |_, _| 2.5);
@@ -113,18 +115,26 @@ impl Kernel for Hydro2d {
 
     fn sweep(&self, ws: &mut Workspace) {
         let n = self.n;
-        let (ro, mu, mv, en, fx, fy) =
-            (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3), ws.mat(4), ws.mat(5));
+        let (ro, mu, mv, en, fx, fy) = (
+            ws.mat(0),
+            ws.mat(1),
+            ws.mat(2),
+            ws.mat(3),
+            ws.mat(4),
+            ws.mat(5),
+        );
         let d = ws.data_mut();
         for j in 1..n - 1 {
             for i in 1..n - 1 {
-                let f = 0.5 * (ld(d, ro.at(i + 1, j)) - ld(d, ro.at(i - 1, j))) * ld(d, mu.at(i, j));
+                let f =
+                    0.5 * (ld(d, ro.at(i + 1, j)) - ld(d, ro.at(i - 1, j))) * ld(d, mu.at(i, j));
                 st(d, fx.at(i, j), f);
             }
         }
         for j in 1..n - 1 {
             for i in 1..n - 1 {
-                let f = 0.5 * (ld(d, ro.at(i, j + 1)) - ld(d, ro.at(i, j - 1))) * ld(d, mv.at(i, j));
+                let f =
+                    0.5 * (ld(d, ro.at(i, j + 1)) - ld(d, ro.at(i, j - 1))) * ld(d, mv.at(i, j));
                 st(d, fy.at(i, j), f);
             }
         }
@@ -240,8 +250,14 @@ impl Kernel for Su2cor {
 
     fn sweep(&self, ws: &mut Workspace) {
         let n = self.n;
-        let (pr, pi, ur, ui, qr, qi) =
-            (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3), ws.mat(4), ws.mat(5));
+        let (pr, pi, ur, ui, qr, qi) = (
+            ws.mat(0),
+            ws.mat(1),
+            ws.mat(2),
+            ws.mat(3),
+            ws.mat(4),
+            ws.mat(5),
+        );
         let d = ws.data_mut();
         for j in 1..n - 1 {
             for i in 1..n - 1 {
@@ -316,7 +332,11 @@ impl Kernel for Turb3d {
         let w = p.add_array(ArrayDecl::f64("W", vec![self.n, self.n, self.n]));
         let t = p.add_array(ArrayDecl::f64("T", vec![self.n, self.n, self.n]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         let interior = || {
             vec![
@@ -561,7 +581,11 @@ impl Kernel for Apsi {
         let cn = p.add_array(ArrayDecl::f64("CN", vec![self.nx, self.nx, self.nz]));
         let wind = p.add_array(ArrayDecl::f64("WIND", vec![self.nx, self.nx, self.nz]));
         let ijk = |di: i64, dj: i64, dk: i64| {
-            vec![E::var_plus("i", di), E::var_plus("j", dj), E::var_plus("k", dk)]
+            vec![
+                E::var_plus("i", di),
+                E::var_plus("j", dj),
+                E::var_plus("k", dk),
+            ]
         };
         p.add_nest(LoopNest::new(
             "advect_diffuse",
@@ -630,7 +654,11 @@ impl Kernel for Apsi {
                         + ld(d, c.at3(i, j, k + 1))
                         + ld(d, c.at3(i, j, k - 1))
                         - 6.0 * ld(d, c.at3(i, j, k));
-                    st(d, cn.at3(i, j, k), ld(d, c.at3(i, j, k)) - 0.2 * adv + 0.05 * diff);
+                    st(
+                        d,
+                        cn.at3(i, j, k),
+                        ld(d, c.at3(i, j, k)) - 0.2 * adv + 0.05 * diff,
+                    );
                 }
             }
         }
@@ -794,7 +822,11 @@ mod tests {
             let a = DataLayout::contiguous(&p.arrays);
             let pads: Vec<u64> = (0..p.arrays.len() as u64).map(|i| (i % 4) * 64).collect();
             let b = DataLayout::with_pads(&p.arrays, &pads);
-            assert!(layouts_agree(k.as_ref(), &a, &b, 2), "{} diverged under padding", k.name());
+            assert!(
+                layouts_agree(k.as_ref(), &a, &b, 2),
+                "{} diverged under padding",
+                k.name()
+            );
         }
     }
 

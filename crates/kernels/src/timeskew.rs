@@ -41,7 +41,10 @@ pub fn time_stepped_jacobi2d(n: usize, t_steps: usize) -> Program {
     for t in 0..t_steps {
         p.add_nest(LoopNest::new(
             format!("step{t}"),
-            vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 1, n as i64 - 2)],
+            vec![
+                Loop::counted("j", 1, n as i64 - 2),
+                Loop::counted("i", 1, n as i64 - 2),
+            ],
             gs_body(a, &E::var("j")),
         ));
     }
@@ -74,7 +77,10 @@ pub fn time_tiled_jacobi2d(n: usize, t_steps: usize, w: usize) -> Program {
     let jp = Loop {
         var: "jp".into(),
         lowers: vec![E::var("jj"), E::var_plus("t", 1)],
-        uppers: vec![E::var_plus("jj", w as i64 - 1), E::var_plus("t", n as i64 - 2)],
+        uppers: vec![
+            E::var_plus("jj", w as i64 - 1),
+            E::var_plus("t", n as i64 - 2),
+        ],
         step: 1,
     };
     let i = Loop::counted("i", 1, n as i64 - 2);

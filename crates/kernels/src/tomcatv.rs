@@ -151,8 +151,14 @@ impl Kernel for Tomcatv {
 
     fn sweep(&self, ws: &mut Workspace) {
         let n = self.n;
-        let (x, y, rx, ry, aa, dd) =
-            (ws.mat(0), ws.mat(1), ws.mat(2), ws.mat(3), ws.mat(4), ws.mat(5));
+        let (x, y, rx, ry, aa, dd) = (
+            ws.mat(0),
+            ws.mat(1),
+            ws.mat(2),
+            ws.mat(3),
+            ws.mat(4),
+            ws.mat(5),
+        );
         let d = ws.data_mut();
         // Residuals.
         for j in 1..n - 1 {
@@ -168,11 +174,13 @@ impl Kernel for Tomcatv {
                 let pyy = ld(d, y.at(i + 1, j)) - 2.0 * ld(d, y.at(i, j)) + ld(d, y.at(i - 1, j));
                 let qyy = ld(d, y.at(i, j + 1)) - 2.0 * ld(d, y.at(i, j)) + ld(d, y.at(i, j - 1));
                 let cross_x = 0.25
-                    * (ld(d, x.at(i + 1, j + 1)) - ld(d, x.at(i - 1, j - 1))
+                    * (ld(d, x.at(i + 1, j + 1))
+                        - ld(d, x.at(i - 1, j - 1))
                         - ld(d, x.at(i + 1, j - 1))
                         + ld(d, x.at(i - 1, j + 1)));
                 let cross_y = 0.25
-                    * (ld(d, y.at(i + 1, j + 1)) - ld(d, y.at(i - 1, j - 1))
+                    * (ld(d, y.at(i + 1, j + 1))
+                        - ld(d, y.at(i - 1, j - 1))
                         - ld(d, y.at(i + 1, j - 1))
                         + ld(d, y.at(i - 1, j + 1)));
                 st(d, rx.at(i, j), a * pxx + b * qxx - 0.5 * cross_x);

@@ -105,7 +105,11 @@ impl Workspace {
                 for (d, &x) in a.dims.iter().take(3).enumerate() {
                     dims[d] = x;
                 }
-                assert!(a.rank() <= 3, "workspace supports up to 3-D arrays ({})", a.name);
+                assert!(
+                    a.rank() <= 3,
+                    "workspace supports up to 3-D arrays ({})",
+                    a.name
+                );
                 Mat {
                     off: (base / 8) as usize,
                     ld: strides.get(1).copied().unwrap_or(0) as usize,
@@ -115,7 +119,10 @@ impl Workspace {
             })
             .collect();
         let elems = (layout.total_size as usize).div_ceil(8);
-        Self { data: vec![0.0; elems], mats }
+        Self {
+            data: vec![0.0; elems],
+            mats,
+        }
     }
 
     /// Workspace under the contiguous (unpadded) layout.

@@ -33,7 +33,12 @@ impl ArrayDecl {
         assert!(!dims.is_empty(), "arrays need at least one dimension");
         assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
         let rank = dims.len();
-        Self { name: name.into(), elem_size, dims, dim_pad: vec![0; rank] }
+        Self {
+            name: name.into(),
+            elem_size,
+            dims,
+            dim_pad: vec![0; rank],
+        }
     }
 
     /// Double-precision (8-byte) array — the experiments' default.

@@ -210,7 +210,11 @@ mod tests {
     #[test]
     fn read_read_pairs_never_block() {
         let l = vec![Loop::counted("i", 1, 30)];
-        let n1 = LoopNest::new("a", l.clone(), vec![ArrayRef::read(0, vec![E::var_plus("i", 5)])]);
+        let n1 = LoopNest::new(
+            "a",
+            l.clone(),
+            vec![ArrayRef::read(0, vec![E::var_plus("i", 5)])],
+        );
         let n2 = LoopNest::new("b", l, vec![ArrayRef::read(0, vec![E::var("i")])]);
         fusion_legal(&n1, &n2).unwrap();
     }

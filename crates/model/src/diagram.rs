@@ -33,7 +33,10 @@ pub fn reference_addresses(program: &Program, nest: &LoopNest, layout: &DataLayo
     nest.body
         .iter()
         .map(|r| {
-            layout.address_expr(&program.arrays, r).eval(lookup).expect("validated nest") as u64
+            layout
+                .address_expr(&program.arrays, r)
+                .eval(lookup)
+                .expect("validated nest") as u64
         })
         .collect()
 }
@@ -75,7 +78,11 @@ pub fn render_nest(
     let mut placed: Vec<(usize, usize)> = Vec::with_capacity(locs.len()); // (row, col) per ref
     for (i, &loc) in locs.iter().enumerate() {
         let c = col(loc).min(width - 1);
-        let letter = program.arrays[nest.body[i].array].name.chars().next().unwrap_or('?');
+        let letter = program.arrays[nest.body[i].array]
+            .name
+            .chars()
+            .next()
+            .unwrap_or('?');
         let mut row = 0;
         loop {
             if rows.len() == row {
@@ -160,7 +167,12 @@ pub fn render_nest(
 }
 
 /// Render every nest of a program.
-pub fn render_program(program: &Program, layout: &DataLayout, cache: CacheConfig, width: usize) -> String {
+pub fn render_program(
+    program: &Program,
+    layout: &DataLayout,
+    cache: CacheConfig,
+    width: usize,
+) -> String {
     program
         .nests
         .iter()

@@ -162,24 +162,26 @@ pub fn contract_array(program: &Program, array: usize) -> Result<Program, String
     let name = &program.arrays[array].name;
     let mut home: Option<usize> = None;
     for (k, nest) in program.nests.iter().enumerate() {
-        if nest.body.iter().any(|r| r.array == array) {
-            if home.replace(k).is_some() {
-                return Err(format!("{name} is referenced in more than one nest"));
-            }
+        if nest.body.iter().any(|r| r.array == array) && home.replace(k).is_some() {
+            return Err(format!("{name} is referenced in more than one nest"));
         }
     }
     let Some(home) = home else {
         return Err(format!("{name} is never referenced"));
     };
     let nest = &program.nests[home];
-    let refs: Vec<usize> = (0..nest.body.len()).filter(|&i| nest.body[i].array == array).collect();
+    let refs: Vec<usize> = (0..nest.body.len())
+        .filter(|&i| nest.body[i].array == array)
+        .collect();
     let first = &nest.body[refs[0]];
     if !first.is_write() {
         return Err(format!("{name} is read before it is written"));
     }
     for &i in &refs[1..] {
         if nest.body[i].subscripts != first.subscripts {
-            return Err(format!("{name} is used at more than one offset per iteration"));
+            return Err(format!(
+                "{name} is used at more than one offset per iteration"
+            ));
         }
     }
     let mut p = program.clone();
@@ -247,7 +249,7 @@ mod tests {
         );
         let parts = distribute(&nest);
         let pos = |pred: &dyn Fn(&ArrayRef) -> bool| {
-            parts.iter().position(|n| n.body.iter().any(|r| pred(r))).unwrap()
+            parts.iter().position(|n| n.body.iter().any(pred)).unwrap()
         };
         let p_w = pos(&|r| r.is_write());
         let p_flow = pos(&|r| !r.is_write() && r.subscripts[0].constant_term() == -1);
@@ -330,12 +332,18 @@ mod tests {
         p.add_nest(LoopNest::new(
             "w",
             l(),
-            vec![ArrayRef::read(a, vec![E::var("i")]), ArrayRef::write(t, vec![E::var("i")])],
+            vec![
+                ArrayRef::read(a, vec![E::var("i")]),
+                ArrayRef::write(t, vec![E::var("i")]),
+            ],
         ));
         p.add_nest(LoopNest::new(
             "r",
             l(),
-            vec![ArrayRef::read(t, vec![E::var("i")]), ArrayRef::write(b, vec![E::var("i")])],
+            vec![
+                ArrayRef::read(t, vec![E::var("i")]),
+                ArrayRef::write(b, vec![E::var("i")]),
+            ],
         ));
         // Before fusion, contraction must refuse (two nests use T).
         assert!(contract_array(&p, t).is_err());

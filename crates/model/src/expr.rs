@@ -22,12 +22,18 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Self {
-        Self { terms: Vec::new(), constant: c }
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The expression `v` (a bare loop variable).
     pub fn var(v: impl Into<String>) -> Self {
-        Self { terms: vec![(v.into(), 1)], constant: 0 }
+        Self {
+            terms: vec![(v.into(), 1)],
+            constant: 0,
+        }
     }
 
     /// The expression `coeff * v`.
@@ -35,13 +41,19 @@ impl AffineExpr {
         if coeff == 0 {
             return Self::constant(0);
         }
-        Self { terms: vec![(v.into(), coeff)], constant: 0 }
+        Self {
+            terms: vec![(v.into(), coeff)],
+            constant: 0,
+        }
     }
 
     /// The expression `v + c` — the workhorse for stencil subscripts like
     /// `A(i, j+1)`.
     pub fn var_plus(v: impl Into<String>, c: i64) -> Self {
-        Self { terms: vec![(v.into(), 1)], constant: c }
+        Self {
+            terms: vec![(v.into(), 1)],
+            constant: c,
+        }
     }
 
     /// This expression plus a constant.
@@ -57,7 +69,11 @@ impl AffineExpr {
             *map.entry(v.as_str()).or_insert(0) += c;
         }
         Self {
-            terms: map.into_iter().filter(|&(_, c)| c != 0).map(|(v, c)| (v.to_string(), c)).collect(),
+            terms: map
+                .into_iter()
+                .filter(|&(_, c)| c != 0)
+                .map(|(v, c)| (v.to_string(), c))
+                .collect(),
             constant: self.constant + other.constant,
         }
     }
@@ -176,7 +192,9 @@ mod tests {
 
     #[test]
     fn construction_and_eval() {
-        let e = AffineExpr::var("i").add(&AffineExpr::scaled("j", 3)).plus(-2);
+        let e = AffineExpr::var("i")
+            .add(&AffineExpr::scaled("j", 3))
+            .plus(-2);
         let env = |v: &str| match v {
             "i" => Some(5),
             "j" => Some(2),
@@ -221,7 +239,9 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = AffineExpr::var("i").add(&AffineExpr::scaled("j", -2)).plus(3);
+        let e = AffineExpr::var("i")
+            .add(&AffineExpr::scaled("j", -2))
+            .plus(3);
         assert_eq!(e.to_string(), "i - 2*j + 3");
         assert_eq!(AffineExpr::constant(-4).to_string(), "-4");
         assert_eq!(AffineExpr::var("k").to_string(), "k");

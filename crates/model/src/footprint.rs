@@ -27,7 +27,10 @@ impl AddrRange {
 
     /// Smallest range covering both.
     pub fn merge(self, other: Self) -> Self {
-        Self { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Self {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Number of distinct cache lines the span can touch.
@@ -63,8 +66,20 @@ fn loop_intervals(nest: &LoopNest) -> Option<Vec<(i64, i64)>> {
             (lo, hi)
         };
         // lower = max(lowers): interval max; upper = min(uppers).
-        let lo = l.lowers.iter().map(&eval_interval).map(|(a, _)| a).max().unwrap();
-        let hi = l.uppers.iter().map(&eval_interval).map(|(_, b)| b).min().unwrap();
+        let lo = l
+            .lowers
+            .iter()
+            .map(&eval_interval)
+            .map(|(a, _)| a)
+            .max()
+            .unwrap();
+        let hi = l
+            .uppers
+            .iter()
+            .map(&eval_interval)
+            .map(|(_, b)| b)
+            .min()
+            .unwrap();
         if hi < lo {
             return None;
         }
@@ -97,14 +112,21 @@ pub fn reference_ranges(program: &Program, nest: &LoopNest, layout: &DataLayout)
                 }
             }
             // The range covers the whole element, not just its first byte.
-            AddrRange { min: lo, max: hi + program.arrays[r.array].elem_size as i64 - 1 }
+            AddrRange {
+                min: lo,
+                max: hi + program.arrays[r.array].elem_size as i64 - 1,
+            }
         })
         .collect()
 }
 
 /// Per-array merged footprint of a nest: `(array id, range)` for every array
 /// the nest touches.
-pub fn nest_footprint(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Vec<(usize, AddrRange)> {
+pub fn nest_footprint(
+    program: &Program,
+    nest: &LoopNest,
+    layout: &DataLayout,
+) -> Vec<(usize, AddrRange)> {
     let ranges = reference_ranges(program, nest, layout);
     let mut out: Vec<(usize, AddrRange)> = Vec::new();
     for (r, range) in nest.body.iter().zip(ranges) {
@@ -123,7 +145,10 @@ pub fn nest_footprint(program: &Program, nest: &LoopNest, layout: &DataLayout) -
 /// Total bytes a nest touches (sum of per-array spans; arrays assumed
 /// disjoint, which holds for any [`DataLayout`]).
 pub fn footprint_bytes(program: &Program, nest: &LoopNest, layout: &DataLayout) -> u64 {
-    nest_footprint(program, nest, layout).iter().map(|(_, r)| r.span()).sum()
+    nest_footprint(program, nest, layout)
+        .iter()
+        .map(|(_, r)| r.span())
+        .sum()
 }
 
 /// Whether a nest's data fits in a cache of `size` bytes (by span).
@@ -178,7 +203,13 @@ mod tests {
         let l = DataLayout::contiguous(&p.arrays);
         let fp = nest_footprint(&p, &p.nests[0], &l);
         // i ranges over [0, 9] in the interval abstraction.
-        assert_eq!(fp[0].1, AddrRange { min: 0, max: 9 * 8 + 7 });
+        assert_eq!(
+            fp[0].1,
+            AddrRange {
+                min: 0,
+                max: 9 * 8 + 7
+            }
+        );
     }
 
     #[test]

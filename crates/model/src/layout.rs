@@ -40,7 +40,10 @@ impl DataLayout {
             bases.push(cursor);
             cursor += a.size_bytes() as u64;
         }
-        Self { bases, total_size: cursor }
+        Self {
+            bases,
+            total_size: cursor,
+        }
     }
 
     /// The pads this layout implies, given the declarations it was built for
@@ -101,7 +104,10 @@ mod tests {
     use crate::expr::AffineExpr as E;
 
     fn two_arrays() -> Vec<ArrayDecl> {
-        vec![ArrayDecl::f64("A", vec![10, 10]), ArrayDecl::f64("B", vec![10])]
+        vec![
+            ArrayDecl::f64("A", vec![10, 10]),
+            ArrayDecl::f64("B", vec![10]),
+        ]
     }
 
     #[test]

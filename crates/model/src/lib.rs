@@ -57,8 +57,8 @@
 
 pub mod array;
 pub mod dependence;
-pub mod distribute;
 pub mod diagram;
+pub mod distribute;
 pub mod expr;
 pub mod footprint;
 pub mod layout;

@@ -30,12 +30,20 @@ impl Loop {
 
     /// `for var in lo..=hi` with unit step and affine bounds.
     pub fn new(var: impl Into<String>, lo: AffineExpr, hi: AffineExpr) -> Self {
-        Self { var: var.into(), lowers: vec![lo], uppers: vec![hi], step: 1 }
+        Self {
+            var: var.into(),
+            lowers: vec![lo],
+            uppers: vec![hi],
+            step: 1,
+        }
     }
 
     /// Evaluate the effective (lower, upper) bounds in an environment binding
     /// all outer variables. Returns `Err(var)` on an unbound variable.
-    pub fn bounds(&self, lookup: impl Fn(&str) -> Option<i64> + Copy) -> Result<(i64, i64), String> {
+    pub fn bounds(
+        &self,
+        lookup: impl Fn(&str) -> Option<i64> + Copy,
+    ) -> Result<(i64, i64), String> {
         let mut lo = i64::MIN;
         for e in &self.lowers {
             lo = lo.max(e.eval(lookup)?);
@@ -64,8 +72,16 @@ impl Loop {
     pub fn renamed(&self, to: &str) -> Self {
         Self {
             var: to.to_string(),
-            lowers: self.lowers.iter().map(|e| e.rename(&self.var, to)).collect(),
-            uppers: self.uppers.iter().map(|e| e.rename(&self.var, to)).collect(),
+            lowers: self
+                .lowers
+                .iter()
+                .map(|e| e.rename(&self.var, to))
+                .collect(),
+            uppers: self
+                .uppers
+                .iter()
+                .map(|e| e.rename(&self.var, to))
+                .collect(),
             step: self.step,
         }
     }
@@ -86,7 +102,11 @@ pub struct LoopNest {
 impl LoopNest {
     /// Build a nest. Loops are outermost-first.
     pub fn new(name: impl Into<String>, loops: Vec<Loop>, body: Vec<ArrayRef>) -> Self {
-        Self { name: name.into(), loops, body }
+        Self {
+            name: name.into(),
+            loops,
+            body,
+        }
     }
 
     /// Nest depth.

@@ -23,7 +23,11 @@ pub struct Program {
 impl Program {
     /// An empty program.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), arrays: Vec::new(), nests: Vec::new() }
+        Self {
+            name: name.into(),
+            arrays: Vec::new(),
+            nests: Vec::new(),
+        }
     }
 
     /// Declare an array, returning its id.
@@ -62,7 +66,8 @@ impl Program {
     pub fn validate(&self) -> Result<(), String> {
         let ranks = self.ranks();
         for nest in &self.nests {
-            nest.validate(&ranks).map_err(|e| format!("nest {}: {e}", nest.name))?;
+            nest.validate(&ranks)
+                .map_err(|e| format!("nest {}: {e}", nest.name))?;
         }
         Ok(())
     }
@@ -114,7 +119,12 @@ pub fn figure2_example(n: usize) -> Program {
     let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
     let c = p.add_array(ArrayDecl::f64("C", vec![n, n]));
 
-    let loops = || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 0, n as i64 - 1)];
+    let loops = || {
+        vec![
+            Loop::counted("j", 1, n as i64 - 2),
+            Loop::counted("i", 0, n as i64 - 1),
+        ]
+    };
     let ij = |x: i64| vec![E::var("i"), E::var_plus("j", x)];
 
     p.add_nest(LoopNest::new(

@@ -23,12 +23,20 @@ pub struct ArrayRef {
 impl ArrayRef {
     /// A read reference.
     pub fn read(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
-        Self { array, subscripts, kind: AccessKind::Read }
+        Self {
+            array,
+            subscripts,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write reference.
     pub fn write(array: ArrayId, subscripts: Vec<AffineExpr>) -> Self {
-        Self { array, subscripts, kind: AccessKind::Write }
+        Self {
+            array,
+            subscripts,
+            kind: AccessKind::Write,
+        }
     }
 
     /// True iff this is a store.
@@ -66,7 +74,11 @@ impl ArrayRef {
 
     /// Apply `f` to every subscript, producing a transformed reference.
     pub fn map_subscripts(&self, f: impl Fn(&AffineExpr) -> AffineExpr) -> Self {
-        Self { array: self.array, subscripts: self.subscripts.iter().map(f).collect(), kind: self.kind }
+        Self {
+            array: self.array,
+            subscripts: self.subscripts.iter().map(f).collect(),
+            kind: self.kind,
+        }
     }
 }
 

@@ -27,7 +27,13 @@ pub struct SelfReuse {
 
 /// Classify the self-reuse of `nest.body[r]` on loop `level`, for a cache
 /// with `line`-byte lines.
-pub fn self_reuse(nest: &LoopNest, arrays: &[ArrayDecl], r: usize, level: usize, line: usize) -> SelfReuse {
+pub fn self_reuse(
+    nest: &LoopNest,
+    arrays: &[ArrayDecl],
+    r: usize,
+    level: usize,
+    line: usize,
+) -> SelfReuse {
     let rf = &nest.body[r];
     let a = &arrays[rf.array];
     let v = &nest.loops[level].var;
@@ -39,9 +45,15 @@ pub fn self_reuse(nest: &LoopNest, arrays: &[ArrayDecl], r: usize, level: usize,
     }
     delta *= nest.loops[level].step;
     if delta == 0 {
-        return SelfReuse { temporal: true, spatial: false };
+        return SelfReuse {
+            temporal: true,
+            spatial: false,
+        };
     }
-    SelfReuse { temporal: false, spatial: delta.unsigned_abs() < line as u64 }
+    SelfReuse {
+        temporal: false,
+        spatial: delta.unsigned_abs() < line as u64,
+    }
 }
 
 /// A member of a uniformly generated set: which body reference, and its
@@ -102,8 +114,14 @@ pub fn uniformly_generated_sets(nest: &LoopNest, arrays: &[ArrayDecl]) -> Vec<Ug
             .enumerate()
             .map(|(d, s)| s.constant_term() * strides[d])
             .sum();
-        let member = UgsMember { body_index: i, offset_elems: offset };
-        if let Some(g) = groups.iter_mut().find(|(a, k, _)| *a == r.array && *k == key) {
+        let member = UgsMember {
+            body_index: i,
+            offset_elems: offset,
+        };
+        if let Some(g) = groups
+            .iter_mut()
+            .find(|(a, k, _)| *a == r.array && *k == key)
+        {
             g.2.push(member);
         } else {
             groups.push((r.array, key, vec![member]));
@@ -232,7 +250,8 @@ mod tests {
         let b = &groups[0];
         let arcs = b.arcs();
         // B(i,j-1) <- B(i,j): carried by the j loop (level 0), 1 iteration.
-        let (level, iters) = carrying_loop(&p.nests[1], &p.arrays, b, arcs[0].0, arcs[0].1).unwrap();
+        let (level, iters) =
+            carrying_loop(&p.nests[1], &p.arrays, b, arcs[0].0, arcs[0].1).unwrap();
         assert_eq!(level, 0);
         assert_eq!(iters, 1);
     }
@@ -255,8 +274,7 @@ mod tests {
         assert_eq!(arc.len(), 1);
         assert_eq!(arc[0].0.offset_elems, arc[0].1.offset_elems);
         // Zero-length arc: register-level reuse.
-        let (_, iters) =
-            carrying_loop(&nest, &arrays, &groups[0], arc[0].0, arc[0].1).unwrap();
+        let (_, iters) = carrying_loop(&nest, &arrays, &groups[0], arc[0].0, arc[0].1).unwrap();
         assert_eq!(iters, 0);
     }
 }

@@ -116,7 +116,10 @@ impl CompiledNest {
     pub fn run(&self, sink: &mut impl AccessSink) -> u64 {
         if self.loops.is_empty() {
             for r in &self.refs {
-                sink.access(Access { addr: r.base as u64, kind: r.kind });
+                sink.access(Access {
+                    addr: r.base as u64,
+                    kind: r.kind,
+                });
             }
             return self.refs.len() as u64;
         }
@@ -148,7 +151,11 @@ impl CompiledNest {
         if hi < lo {
             return;
         }
-        let (start, step) = if lp.step > 0 { (lo, lp.step) } else { (hi, lp.step) };
+        let (start, step) = if lp.step > 0 {
+            (lo, lp.step)
+        } else {
+            (hi, lp.step)
+        };
         let trips = ((hi - lo) / step.abs() + 1) as u64;
 
         if level == depth - 1 {
@@ -164,11 +171,18 @@ impl CompiledNest {
                 .enumerate()
                 .map(|(r, cr)| base[r] + cr.strides[level] * start)
                 .collect();
-            let deltas: Vec<i64> = self.refs.iter().map(|cr| cr.strides[level] * step).collect();
+            let deltas: Vec<i64> = self
+                .refs
+                .iter()
+                .map(|cr| cr.strides[level] * step)
+                .collect();
             for _ in 0..trips {
                 for (r, cr) in self.refs.iter().enumerate() {
                     debug_assert!(cur[r] >= 0, "negative address generated");
-                    sink.access(Access { addr: cur[r] as u64, kind: cr.kind });
+                    sink.access(Access {
+                        addr: cur[r] as u64,
+                        kind: cr.kind,
+                    });
                     cur[r] += deltas[r];
                 }
             }
@@ -202,15 +216,39 @@ pub fn generate_nest(
 /// Stream the whole program's trace in execution order; returns the number
 /// of references emitted.
 pub fn generate(program: &Program, layout: &DataLayout, sink: &mut impl AccessSink) -> u64 {
-    program.nests.iter().map(|n| generate_nest(program, n, layout, sink)).sum()
+    program
+        .nests
+        .iter()
+        .map(|n| generate_nest(program, n, layout, sink))
+        .sum()
 }
 
 /// Convenience: simulate a program on a cold hierarchy and return the
 /// paper-style miss-rate report.
-pub fn simulate(program: &Program, layout: &DataLayout, config: &HierarchyConfig) -> MissRateReport {
+pub fn simulate(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+) -> MissRateReport {
     let mut hier = Hierarchy::new(config.clone());
     generate(program, layout, &mut hier);
     hier.report()
+}
+
+/// [`simulate`] with a 3C miss classification attached: every access also
+/// drives one fully-associative LRU shadow cache per level, splitting each
+/// real miss into compulsory/capacity/conflict. Returns the report plus the
+/// loaded classifier (use
+/// [`mlc_telemetry::MissClassifier::install_metrics`] to export it).
+pub fn simulate_classified(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+) -> (MissRateReport, mlc_telemetry::MissClassifier) {
+    let mut hier = Hierarchy::new(config.clone());
+    let mut classifier = config.miss_classifier();
+    generate(program, layout, &mut hier.probed(&mut classifier));
+    (hier.report(), classifier)
 }
 
 /// Simulate with `warmup` full program sweeps before counting, then `timed`
@@ -351,7 +389,11 @@ mod tests {
         outer.step = 4;
         let mut inner = Loop::new("i", E::var("ii"), E::var_plus("ii", 3));
         inner.uppers.push(E::constant(9));
-        p.add_nest(LoopNest::new("n", vec![outer, inner], vec![ArrayRef::read(a, vec![E::var("i")])]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![outer, inner],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
         let l = DataLayout::contiguous(&p.arrays);
         let mut rec = RecordingSink::default();
         let n = generate(&p, &l, &mut rec);

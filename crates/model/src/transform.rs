@@ -19,7 +19,10 @@ use crate::program::Program;
 pub fn permute(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, String> {
     let depth = nest.depth();
     if perm.len() != depth {
-        return Err(format!("permutation length {} != depth {depth}", perm.len()));
+        return Err(format!(
+            "permutation length {} != depth {depth}",
+            perm.len()
+        ));
     }
     let mut seen = vec![false; depth];
     for &k in perm {
@@ -30,7 +33,10 @@ pub fn permute(nest: &LoopNest, perm: &[usize]) -> Result<LoopNest, String> {
     }
     // Bounds may only reference variables of loops outer to them post-permute.
     for (new_pos, &old) in perm.iter().enumerate() {
-        let outer_vars: Vec<&str> = perm[..new_pos].iter().map(|&o| nest.loops[o].var.as_str()).collect();
+        let outer_vars: Vec<&str> = perm[..new_pos]
+            .iter()
+            .map(|&o| nest.loops[o].var.as_str())
+            .collect();
         for e in nest.loops[old].lowers.iter().chain(&nest.loops[old].uppers) {
             for v in e.vars() {
                 if !outer_vars.contains(&v) {
@@ -134,7 +140,9 @@ pub fn fuse_in_program(program: &Program, at: usize) -> Result<Program, String> 
 /// order), and it makes wavefront permutations/tilings legal afterwards.
 pub fn skew(nest: &LoopNest, outer: usize, inner: usize, factor: i64) -> Result<LoopNest, String> {
     if outer >= inner || inner >= nest.depth() {
-        return Err(format!("skew needs outer < inner < depth, got {outer}, {inner}"));
+        return Err(format!(
+            "skew needs outer < inner < depth, got {outer}, {inner}"
+        ));
     }
     if factor == 0 {
         return Ok(nest.clone());
@@ -215,13 +223,21 @@ pub fn transpose_array(program: &Program, array: usize, perm: &[usize]) -> Resul
 ///
 /// exactly the shape of the paper's Figure 8. The controlling loop takes
 /// the name `outer_var`. Requires a unit-step loop; always legal.
-pub fn strip_mine(nest: &LoopNest, level: usize, tile: u64, outer_var: &str) -> Result<LoopNest, String> {
+pub fn strip_mine(
+    nest: &LoopNest,
+    level: usize,
+    tile: u64,
+    outer_var: &str,
+) -> Result<LoopNest, String> {
     if tile == 0 {
         return Err("tile size must be positive".into());
     }
     let target = &nest.loops[level];
     if target.step != 1 {
-        return Err(format!("strip-mining requires unit step, loop {} has {}", target.var, target.step));
+        return Err(format!(
+            "strip-mining requires unit step, loop {} has {}",
+            target.var, target.step
+        ));
     }
     if nest.loops.iter().any(|l| l.var == outer_var) {
         return Err(format!("variable {outer_var} already used in nest"));
@@ -252,7 +268,11 @@ pub fn strip_mine(nest: &LoopNest, level: usize, tile: u64, outer_var: &str) -> 
     let mut loops = nest.loops.clone();
     loops[level] = inner;
     loops.insert(level, controlling);
-    Ok(LoopNest { name: nest.name.clone(), loops, body: nest.body.clone() })
+    Ok(LoopNest {
+        name: nest.name.clone(),
+        loops,
+        body: nest.body.clone(),
+    })
 }
 
 /// Tile a nest: strip-mine each `(level, tile)` in `spec` and hoist all the
@@ -283,7 +303,14 @@ pub fn tile(nest: &LoopNest, spec: &[(usize, u64)]) -> Result<LoopNest, String> 
     // Build permutation: controlling loops first in spec order, then the
     // rest in current order.
     let controls_in_spec_order: Vec<String> = (0..spec.len())
-        .map(|k| control_names.iter().find(|(s, _)| *s == k).unwrap().1.clone())
+        .map(|k| {
+            control_names
+                .iter()
+                .find(|(s, _)| *s == k)
+                .unwrap()
+                .1
+                .clone()
+        })
         .collect();
     let mut perm: Vec<usize> = Vec::with_capacity(current.depth());
     for name in &controls_in_spec_order {
@@ -319,7 +346,11 @@ fn adjusted_level(orig_level: usize, spec: &[(usize, u64)], order: &[usize], at:
 /// Permutation that allows element loops to reference controller variables
 /// as long as every controller ends up outside its element loop. Dependence
 /// legality is still enforced.
-fn permute_unchecked_bounds(nest: &LoopNest, perm: &[usize], controllers: &[String]) -> Result<LoopNest, String> {
+fn permute_unchecked_bounds(
+    nest: &LoopNest,
+    perm: &[usize],
+    controllers: &[String],
+) -> Result<LoopNest, String> {
     permutation_legal(nest, perm)?;
     let out = LoopNest {
         name: nest.name.clone(),
@@ -389,7 +420,11 @@ mod tests {
         let p = figure2_example(20);
         let q = fuse_in_program(&p, 0).unwrap();
         // First nest's six refs, then the second nest's four.
-        let offsets: Vec<i64> = q.nests[0].body.iter().map(|r| r.subscripts[1].constant_term()).collect();
+        let offsets: Vec<i64> = q.nests[0]
+            .body
+            .iter()
+            .map(|r| r.subscripts[1].constant_term())
+            .collect();
         assert_eq!(offsets, vec![0, 1, 0, 1, 0, 1, -1, 0, 1, 0]);
     }
 
@@ -426,7 +461,11 @@ mod tests {
         let nn = n as i64 - 1;
         p.add_nest(LoopNest::new(
             "mm",
-            vec![Loop::counted("J", 0, nn), Loop::counted("K", 0, nn), Loop::counted("I", 0, nn)],
+            vec![
+                Loop::counted("J", 0, nn),
+                Loop::counted("K", 0, nn),
+                Loop::counted("I", 0, nn),
+            ],
             vec![
                 ArrayRef::read(a, vec![E::var("I"), E::var("K")]),
                 ArrayRef::read(b, vec![E::var("K"), E::var("J")]),
@@ -561,7 +600,10 @@ mod tests {
         let b = p.add_array(ArrayDecl::f64("B", vec![n]));
         p.add_nest(LoopNest::new(
             "orig",
-            vec![Loop::counted("j", 0, n as i64 - 1), Loop::counted("i", 0, m as i64 - 1)],
+            vec![
+                Loop::counted("j", 0, n as i64 - 1),
+                Loop::counted("i", 0, m as i64 - 1),
+            ],
             vec![
                 ArrayRef::read(a, vec![E::var("j"), E::var("i")]),
                 ArrayRef::write(b, vec![E::var("j")]),

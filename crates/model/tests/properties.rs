@@ -1,48 +1,55 @@
-//! Property tests for the program model: transformations preserve the
+//! Randomized tests for the program model: transformations preserve the
 //! access multiset, layouts are consistent, and the affine machinery is
-//! closed under the operations the optimizer performs.
+//! closed under the operations the optimizer performs. Driven by the
+//! in-tree deterministic PRNG; seeds appear in assertion messages.
 
+use mlc_cache_sim::rng::DetRng;
 use mlc_cache_sim::trace::RecordingSink;
 use mlc_model::prelude::*;
 use mlc_model::transform::{fuse_in_program, permute, reverse, strip_mine, tile};
 use mlc_model::{trace_gen, AffineExpr as E};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// A random 2-D stencil program: one or two nests over up to three arrays,
 /// with small constant-offset subscripts (always in bounds).
-fn stencil_program() -> impl Strategy<Value = Program> {
-    (
-        4usize..24,                                     // n
-        1usize..=3,                                     // arrays
-        prop::collection::vec((0usize..3, -1i64..=1, -1i64..=1, prop::bool::ANY), 1..6),
-        prop::collection::vec((0usize..3, -1i64..=1, -1i64..=1, prop::bool::ANY), 0..5),
-    )
-        .prop_map(|(n, n_arrays, body1, body2)| {
-            let mut p = Program::new("prop");
-            for a in 0..n_arrays {
-                p.add_array(ArrayDecl::f64(format!("A{a}"), vec![n, n]));
-            }
-            let mk_body = |spec: &[(usize, i64, i64, bool)]| {
-                spec.iter()
-                    .map(|&(a, di, dj, w)| {
-                        let subs = vec![E::var_plus("i", di), E::var_plus("j", dj)];
-                        let a = a % n_arrays;
-                        if w {
-                            ArrayRef::write(a, subs)
-                        } else {
-                            ArrayRef::read(a, subs)
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            };
-            let loops =
-                || vec![Loop::counted("j", 1, n as i64 - 2), Loop::counted("i", 1, n as i64 - 2)];
-            p.add_nest(LoopNest::new("n1", loops(), mk_body(&body1)));
-            if !body2.is_empty() {
-                p.add_nest(LoopNest::new("n2", loops(), mk_body(&body2)));
-            }
-            p
-        })
+fn stencil_program(rng: &mut DetRng) -> Program {
+    let n = rng.range_usize(4, 24);
+    let n_arrays = rng.range_usize(1, 4);
+    let body1_len = rng.range_usize(1, 6);
+    let body2_len = rng.range_usize(0, 5);
+    let mut p = Program::new("prop");
+    for a in 0..n_arrays {
+        p.add_array(ArrayDecl::f64(format!("A{a}"), vec![n, n]));
+    }
+    let mk_body = |rng: &mut DetRng, len: usize| {
+        (0..len)
+            .map(|_| {
+                let a = rng.range_usize(0, 3) % n_arrays;
+                let di = rng.range_i64(-1, 2);
+                let dj = rng.range_i64(-1, 2);
+                let subs = vec![E::var_plus("i", di), E::var_plus("j", dj)];
+                if rng.bool() {
+                    ArrayRef::write(a, subs)
+                } else {
+                    ArrayRef::read(a, subs)
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let loops = || {
+        vec![
+            Loop::counted("j", 1, n as i64 - 2),
+            Loop::counted("i", 1, n as i64 - 2),
+        ]
+    };
+    let body1 = mk_body(rng, body1_len);
+    p.add_nest(LoopNest::new("n1", loops(), body1));
+    if body2_len > 0 {
+        let body2 = mk_body(rng, body2_len);
+        p.add_nest(LoopNest::new("n2", loops(), body2));
+    }
+    p
 }
 
 fn address_multiset(p: &Program, layout: &DataLayout) -> Vec<u64> {
@@ -53,79 +60,102 @@ fn address_multiset(p: &Program, layout: &DataLayout) -> Vec<u64> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Legal permutation never changes which addresses are touched.
-    #[test]
-    fn permutation_preserves_multiset(p in stencil_program()) {
+/// Legal permutation never changes which addresses are touched.
+#[test]
+fn permutation_preserves_multiset() {
+    for seed in 0..CASES {
+        let p = stencil_program(&mut DetRng::new(seed));
         let layout = DataLayout::contiguous(&p.arrays);
         let before = address_multiset(&p, &layout);
         if let Ok(permuted) = permute(&p.nests[0], &[1, 0]) {
             let mut q = p.clone();
             q.nests[0] = permuted;
-            prop_assert_eq!(before, address_multiset(&q, &layout));
+            assert_eq!(before, address_multiset(&q, &layout), "seed {seed}");
         }
     }
+}
 
-    /// Legal fusion never changes which addresses are touched.
-    #[test]
-    fn fusion_preserves_multiset(p in stencil_program()) {
+/// Legal fusion never changes which addresses are touched.
+#[test]
+fn fusion_preserves_multiset() {
+    for seed in 0..CASES {
+        let p = stencil_program(&mut DetRng::new(seed));
         if p.nests.len() < 2 {
-            return Ok(());
+            continue;
         }
         let layout = DataLayout::contiguous(&p.arrays);
         let before = address_multiset(&p, &layout);
         if let Ok(fused) = fuse_in_program(&p, 0) {
-            prop_assert_eq!(before, address_multiset(&fused, &layout));
+            assert_eq!(before, address_multiset(&fused, &layout), "seed {seed}");
         }
     }
+}
 
-    /// Strip-mining (any tile size) never changes the trace at all — not
-    /// just the multiset: iteration order is preserved.
-    #[test]
-    fn strip_mine_preserves_exact_trace(p in stencil_program(), t in 1u64..9, level in 0usize..2) {
+/// Strip-mining (any tile size) never changes the trace at all — not just
+/// the multiset: iteration order is preserved.
+#[test]
+fn strip_mine_preserves_exact_trace() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let p = stencil_program(&mut rng);
+        let t = rng.range_u64(1, 9);
+        let level = rng.range_usize(0, 2);
         let layout = DataLayout::contiguous(&p.arrays);
         let mut before = RecordingSink::default();
         trace_gen::generate_nest(&p, &p.nests[0], &layout, &mut before);
         let sm = strip_mine(&p.nests[0], level, t, "TT").unwrap();
         let mut after = RecordingSink::default();
         trace_gen::generate_nest(&p, &sm, &layout, &mut after);
-        prop_assert_eq!(before.accesses, after.accesses);
+        assert_eq!(
+            before.accesses, after.accesses,
+            "seed {seed} t={t} level={level}"
+        );
     }
+}
 
-    /// Tiling preserves the access multiset.
-    #[test]
-    fn tiling_preserves_multiset(p in stencil_program(), th in 1u64..7, tw in 1u64..7) {
+/// Tiling preserves the access multiset.
+#[test]
+fn tiling_preserves_multiset() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let p = stencil_program(&mut rng);
+        let th = rng.range_u64(1, 7);
+        let tw = rng.range_u64(1, 7);
         let layout = DataLayout::contiguous(&p.arrays);
         let before = address_multiset(&p, &layout);
         if let Ok(tiled) = tile(&p.nests[0], &[(0, tw), (1, th)]) {
             let mut q = p.clone();
             q.nests[0] = tiled;
-            prop_assert_eq!(before, address_multiset(&q, &layout));
+            assert_eq!(before, address_multiset(&q, &layout), "seed {seed}");
         }
     }
+}
 
-    /// Reversal preserves the multiset whenever it is legal.
-    #[test]
-    fn reversal_preserves_multiset(p in stencil_program(), level in 0usize..2) {
+/// Reversal preserves the multiset whenever it is legal.
+#[test]
+fn reversal_preserves_multiset() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let p = stencil_program(&mut rng);
+        let level = rng.range_usize(0, 2);
         let layout = DataLayout::contiguous(&p.arrays);
         let before = address_multiset(&p, &layout);
         if let Ok(rev) = reverse(&p.nests[0], level) {
             let mut q = p.clone();
             q.nests[0] = rev;
-            prop_assert_eq!(before, address_multiset(&q, &layout));
+            assert_eq!(before, address_multiset(&q, &layout), "seed {seed}");
         }
     }
+}
 
-    /// Padding shifts addresses but never changes the per-array access
-    /// pattern: subtracting each array's base yields identical multisets.
-    #[test]
-    fn padding_shifts_but_preserves_pattern(
-        p in stencil_program(),
-        pads in prop::collection::vec(0u64..64, 3),
-    ) {
-        let pads: Vec<u64> = p.arrays.iter().enumerate().map(|(i, _)| pads[i % pads.len()] * 8).collect();
+/// Padding shifts addresses but never changes the per-array access
+/// pattern: subtracting each array's base yields identical multisets.
+#[test]
+fn padding_shifts_but_preserves_pattern() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let p = stencil_program(&mut rng);
+        let pads: Vec<u64> = p.arrays.iter().map(|_| rng.range_u64(0, 64) * 8).collect();
         let contiguous = DataLayout::contiguous(&p.arrays);
         let padded = DataLayout::with_pads(&p.arrays, &pads);
         // Trace both and normalize each access by its array's base. Since
@@ -147,29 +177,44 @@ proptest! {
             v.sort_unstable();
             v
         };
-        prop_assert_eq!(norm(&contiguous), norm(&padded));
+        assert_eq!(norm(&contiguous), norm(&padded), "seed {seed}");
     }
+}
 
-    /// The trace generator and the constant-iteration formula agree.
-    #[test]
-    fn trace_length_matches_const_count(p in stencil_program()) {
+/// The trace generator and the constant-iteration formula agree.
+#[test]
+fn trace_length_matches_const_count() {
+    for seed in 0..CASES {
+        let p = stencil_program(&mut DetRng::new(seed));
         let layout = DataLayout::contiguous(&p.arrays);
         let mut c = mlc_cache_sim::trace::CountingSink::default();
         let n = trace_gen::generate(&p, &layout, &mut c);
-        prop_assert_eq!(n, c.total);
+        assert_eq!(n, c.total, "seed {seed}");
         if let Some(expect) = p.const_references() {
-            prop_assert_eq!(n, expect);
+            assert_eq!(n, expect, "seed {seed}");
         }
     }
+}
 
-    /// Affine expression algebra: substitution respects evaluation.
-    #[test]
-    fn substitution_respects_eval(a in -5i64..5, b in -5i64..5, c in -5i64..5, x in -10i64..10, y in -10i64..10) {
+/// Affine expression algebra: substitution respects evaluation.
+#[test]
+fn substitution_respects_eval() {
+    let mut rng = DetRng::new(0xA1F1);
+    for case in 0..500 {
+        let a = rng.range_i64(-5, 5);
+        let b = rng.range_i64(-5, 5);
+        let c = rng.range_i64(-5, 5);
+        let x = rng.range_i64(-10, 10);
+        let y = rng.range_i64(-10, 10);
         // e = a*i + c, substitute i -> b*j + 1, evaluate at j = y.
         let e = E::scaled("i", a).plus(c);
         let sub = E::scaled("j", b).plus(1);
         let e2 = e.substitute("i", &sub);
-        let env = |v: &str| match v { "j" => Some(y), "i" => Some(x), _ => None };
-        prop_assert_eq!(e2.eval(env).unwrap(), a * (b * y + 1) + c);
+        let env = |v: &str| match v {
+            "j" => Some(y),
+            "i" => Some(x),
+            _ => None,
+        };
+        assert_eq!(e2.eval(env).unwrap(), a * (b * y + 1) + c, "case {case}");
     }
 }

@@ -1,0 +1,429 @@
+//! Three-C miss classification via per-level shadow caches.
+//!
+//! For every cache level a [`MissClassifier`] maintains a *shadow cache*:
+//! a fully-associative LRU cache with the same capacity (in lines) as the
+//! real level, fed the same access stream. Each real-cache miss is then
+//! attributed (Hill & Smith's classic 3C model):
+//!
+//! * **compulsory** — the line was never referenced before at this level
+//!   (an infinite cache would miss too);
+//! * **capacity** — the line was seen but the fully-associative shadow
+//!   also misses: no placement policy of this capacity could have kept it;
+//! * **conflict** — the shadow *hits* where the real cache missed: the
+//!   miss is an artifact of set mapping, exactly the class the paper's
+//!   PAD/GROUPPAD transformations exist to remove.
+//!
+//! Beyond counts the classifier records two histograms per level into any
+//! [`MetricsRegistry`]: `conflict_distance` (accesses at this level since
+//! the conflicting line was last touched, log₂-bucketed) and
+//! `set_pressure` (the distribution of miss counts across sets — a flat
+//! distribution means misses are spread, a spiked one means a few sets
+//! ping-pong, the severe-conflict signature).
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::probe::{AccessEvent, CacheProbe, EvictionEvent};
+use std::collections::HashMap;
+
+/// How a miss is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First-ever reference to the line at this level.
+    Compulsory,
+    /// A fully-associative cache of the same capacity would miss too.
+    Capacity,
+    /// Only the set mapping made this miss happen.
+    Conflict,
+}
+
+impl MissClass {
+    /// Lower-case label used in metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MissClass::Compulsory => "compulsory",
+            MissClass::Capacity => "capacity",
+            MissClass::Conflict => "conflict",
+        }
+    }
+}
+
+/// Geometry the shadow for one level needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowGeometry {
+    /// Real capacity in lines (shadow associativity = this).
+    pub lines: usize,
+    /// Line size in bytes (to derive line ids from line addresses).
+    pub line: usize,
+    /// Number of sets in the real cache (sizes the set-pressure vector).
+    pub sets: usize,
+}
+
+/// Per-level classification totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissBreakdown {
+    /// Accesses that reached this level.
+    pub accesses: u64,
+    /// Hits at this level.
+    pub hits: u64,
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+    /// Valid lines evicted.
+    pub evictions: u64,
+    /// Dirty lines evicted (write-backs).
+    pub dirty_evictions: u64,
+}
+
+impl MissBreakdown {
+    /// Total misses (all three classes).
+    pub fn misses(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// The count for one class.
+    pub fn class(&self, class: MissClass) -> u64 {
+        match class {
+            MissClass::Compulsory => self.compulsory,
+            MissClass::Capacity => self.capacity,
+            MissClass::Conflict => self.conflict,
+        }
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Fully-associative LRU shadow over line ids, O(1) per access via an
+/// index-linked list.
+#[derive(Debug, Clone)]
+struct ShadowLru {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    lines: Vec<u64>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl ShadowLru {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shadow cache needs at least one line");
+        Self {
+            capacity,
+            map: HashMap::new(),
+            lines: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NONE,
+            tail: NONE,
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NONE {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NONE {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NONE;
+        self.next[slot as usize] = self.head;
+        if self.head != NONE {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Touch `line`: returns true on a shadow hit. Misses insert the line,
+    /// evicting the LRU line when full.
+    fn touch(&mut self, line: u64) -> bool {
+        if let Some(&slot) = self.map.get(&line) {
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        let slot = if self.lines.len() < self.capacity {
+            self.lines.push(line);
+            self.prev.push(NONE);
+            self.next.push(NONE);
+            (self.lines.len() - 1) as u32
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.lines[victim as usize]);
+            self.lines[victim as usize] = line;
+            victim
+        };
+        self.map.insert(line, slot);
+        self.push_front(slot);
+        false
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ShadowLevel {
+    line_shift: u32,
+    shadow: ShadowLru,
+    /// line id -> this level's access clock when last touched. Presence
+    /// doubles as the "seen before" (compulsory) test.
+    last_touch: HashMap<u64, u64>,
+    clock: u64,
+    breakdown: MissBreakdown,
+    conflict_distance: Histogram,
+    set_misses: Vec<u64>,
+}
+
+/// A [`CacheProbe`] that classifies every miss at every level.
+#[derive(Debug, Clone)]
+pub struct MissClassifier {
+    levels: Vec<ShadowLevel>,
+}
+
+impl MissClassifier {
+    /// Build a classifier for the given per-level geometry, L1 first.
+    pub fn new(geometry: &[ShadowGeometry]) -> Self {
+        let levels = geometry
+            .iter()
+            .map(|g| {
+                assert!(g.line.is_power_of_two(), "line size must be a power of two");
+                ShadowLevel {
+                    line_shift: g.line.trailing_zeros(),
+                    shadow: ShadowLru::new(g.lines),
+                    last_touch: HashMap::new(),
+                    clock: 0,
+                    breakdown: MissBreakdown::default(),
+                    conflict_distance: Histogram::new(),
+                    set_misses: vec![0; g.sets],
+                }
+            })
+            .collect();
+        Self { levels }
+    }
+
+    /// Number of levels tracked.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The classification totals for `level` (0 = L1).
+    pub fn breakdown(&self, level: usize) -> MissBreakdown {
+        self.levels[level].breakdown
+    }
+
+    /// All per-level totals, L1 first.
+    pub fn breakdowns(&self) -> Vec<MissBreakdown> {
+        self.levels.iter().map(|l| l.breakdown).collect()
+    }
+
+    /// The conflict-distance histogram for `level`.
+    pub fn conflict_distance(&self, level: usize) -> &Histogram {
+        &self.levels[level].conflict_distance
+    }
+
+    /// Fold every count and histogram into `metrics` under
+    /// `<prefix>.l<level+1>.…` names (e.g. `sim.l1.miss.conflict`).
+    pub fn install_metrics(&self, metrics: &mut MetricsRegistry, prefix: &str) {
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let b = &lvl.breakdown;
+            let name = |suffix: &str| format!("{prefix}.l{}.{suffix}", i + 1);
+            metrics.count(&name("accesses"), b.accesses);
+            metrics.count(&name("hits"), b.hits);
+            metrics.count(&name("misses"), b.misses());
+            for class in [
+                MissClass::Compulsory,
+                MissClass::Capacity,
+                MissClass::Conflict,
+            ] {
+                metrics.count(&name(&format!("miss.{}", class.label())), b.class(class));
+            }
+            metrics.count(&name("evictions"), b.evictions);
+            metrics.count(&name("writebacks"), b.dirty_evictions);
+            metrics.merge_histogram(&name("conflict_distance"), &lvl.conflict_distance);
+            let sp = name("set_pressure");
+            for &m in lvl.set_misses.iter().filter(|&&m| m > 0) {
+                metrics.record(&sp, m);
+            }
+        }
+    }
+}
+
+impl CacheProbe for MissClassifier {
+    fn on_access(&mut self, event: AccessEvent) {
+        let lvl = &mut self.levels[event.level];
+        let line = event.line_addr >> lvl.line_shift;
+        lvl.clock += 1;
+        let stamp = lvl.clock;
+        lvl.breakdown.accesses += 1;
+        let shadow_hit = lvl.shadow.touch(line);
+        let previous = lvl.last_touch.insert(line, stamp);
+        if event.hit {
+            lvl.breakdown.hits += 1;
+            return;
+        }
+        lvl.set_misses[event.set] += 1;
+        match previous {
+            None => lvl.breakdown.compulsory += 1,
+            Some(last) => {
+                if shadow_hit {
+                    lvl.breakdown.conflict += 1;
+                    lvl.conflict_distance.record(stamp - last);
+                } else {
+                    lvl.breakdown.capacity += 1;
+                }
+            }
+        }
+    }
+
+    fn on_eviction(&mut self, event: EvictionEvent) {
+        let lvl = &mut self.levels[event.level];
+        lvl.breakdown.evictions += 1;
+        if event.dirty {
+            lvl.breakdown.dirty_evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(lines: usize) -> Vec<ShadowGeometry> {
+        vec![ShadowGeometry {
+            lines,
+            line: 32,
+            sets: lines,
+        }]
+    }
+
+    fn access(c: &mut MissClassifier, addr: u64, hit: bool, sets: usize) {
+        let line_addr = addr & !31;
+        c.on_access(AccessEvent {
+            level: 0,
+            line_addr,
+            set: ((line_addr / 32) as usize) % sets,
+            write: false,
+            hit,
+        });
+    }
+
+    #[test]
+    fn cold_stream_is_all_compulsory() {
+        let mut c = MissClassifier::new(&geom(4));
+        for i in 0..8u64 {
+            access(&mut c, i * 32, false, 4);
+        }
+        let b = c.breakdown(0);
+        assert_eq!(b.compulsory, 8);
+        assert_eq!(b.capacity, 0);
+        assert_eq!(b.conflict, 0);
+    }
+
+    #[test]
+    fn ping_pong_is_conflict_after_cold_start() {
+        // Two lines that fit a 4-line shadow with ease but (per the caller)
+        // miss every time in the real direct-mapped cache.
+        let mut c = MissClassifier::new(&geom(4));
+        access(&mut c, 0, false, 4);
+        access(&mut c, 128, false, 4);
+        for _ in 0..10 {
+            access(&mut c, 0, false, 4);
+            access(&mut c, 128, false, 4);
+        }
+        let b = c.breakdown(0);
+        assert_eq!(b.compulsory, 2);
+        assert_eq!(b.conflict, 20);
+        assert_eq!(b.capacity, 0);
+        assert!(c.conflict_distance(0).count() == 20);
+        // Each conflicting line was last touched 2 accesses ago.
+        assert_eq!(c.conflict_distance(0).max(), Some(2));
+    }
+
+    #[test]
+    fn capacity_when_shadow_misses_too() {
+        // Cycle 8 lines through a 4-line shadow: after cold start, every
+        // miss is beyond the shadow's reach.
+        let mut c = MissClassifier::new(&geom(4));
+        for round in 0..3 {
+            for i in 0..8u64 {
+                access(&mut c, i * 32, false, 4);
+                let _ = round;
+            }
+        }
+        let b = c.breakdown(0);
+        assert_eq!(b.compulsory, 8);
+        assert_eq!(b.capacity, 16);
+        assert_eq!(b.conflict, 0);
+    }
+
+    #[test]
+    fn hits_only_update_recency() {
+        let mut c = MissClassifier::new(&geom(2));
+        access(&mut c, 0, false, 2); // compulsory
+        access(&mut c, 0, true, 2); // hit
+        access(&mut c, 0, true, 2); // hit
+        let b = c.breakdown(0);
+        assert_eq!(b.accesses, 3);
+        assert_eq!(b.hits, 2);
+        assert_eq!(b.misses(), 1);
+    }
+
+    #[test]
+    fn evictions_counted_per_dirtiness() {
+        let mut c = MissClassifier::new(&geom(2));
+        c.on_eviction(EvictionEvent {
+            level: 0,
+            line_addr: 0,
+            set: 0,
+            dirty: false,
+        });
+        c.on_eviction(EvictionEvent {
+            level: 0,
+            line_addr: 32,
+            set: 1,
+            dirty: true,
+        });
+        let b = c.breakdown(0);
+        assert_eq!(b.evictions, 2);
+        assert_eq!(b.dirty_evictions, 1);
+    }
+
+    #[test]
+    fn shadow_lru_evicts_least_recent() {
+        let mut s = ShadowLru::new(2);
+        assert!(!s.touch(1));
+        assert!(!s.touch(2));
+        assert!(s.touch(1)); // 1 now MRU
+        assert!(!s.touch(3)); // evicts 2
+        assert!(s.touch(1));
+        assert!(s.touch(3));
+        assert!(!s.touch(2));
+    }
+
+    #[test]
+    fn metrics_installation_names_levels_from_one() {
+        let mut c = MissClassifier::new(&geom(4));
+        access(&mut c, 0, false, 4);
+        access(&mut c, 0, true, 4);
+        let mut m = MetricsRegistry::new();
+        c.install_metrics(&mut m, "sim");
+        assert_eq!(m.counter("sim.l1.accesses"), 2);
+        assert_eq!(m.counter("sim.l1.miss.compulsory"), 1);
+        assert_eq!(m.counter("sim.l1.hits"), 1);
+        assert!(m.histogram("sim.l1.set_pressure").is_some());
+    }
+}

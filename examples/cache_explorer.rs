@@ -9,7 +9,10 @@ use multi_level_locality::model::diagram::render_nest;
 use multi_level_locality::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let program = figure2_example(n);
     let layout = DataLayout::contiguous(&program.arrays);
 
@@ -19,10 +22,7 @@ fn main() {
     println!("{:>10} {:>10} {:>10}", "cache", "L1 miss", "refs");
     for log2 in 10..=20 {
         let size = 1usize << log2;
-        let h = HierarchyConfig::new(
-            vec![CacheConfig::direct_mapped(size, 32)],
-            vec![10.0],
-        );
+        let h = HierarchyConfig::new(vec![CacheConfig::direct_mapped(size, 32)], vec![10.0]);
         let r = simulate(&program, &layout, &h);
         println!(
             "{:>9}K {:>9.1}% {:>10}",
@@ -34,10 +34,13 @@ fn main() {
 
     // Layout diagram on a cache sized like the paper's figures (just over
     // two columns).
-    let diagram_cache = CacheConfig::direct_mapped(
-        (2 * n * 8 + 1024).next_power_of_two(),
-        32,
+    let diagram_cache = CacheConfig::direct_mapped((2 * n * 8 + 1024).next_power_of_two(), 32);
+    println!(
+        "\nlayout diagram of nest 1 on a {} B cache:\n",
+        diagram_cache.size
     );
-    println!("\nlayout diagram of nest 1 on a {} B cache:\n", diagram_cache.size);
-    println!("{}", render_nest(&program, &program.nests[0], &layout, diagram_cache, 72));
+    println!(
+        "{}",
+        render_nest(&program, &program.nests[0], &layout, diagram_cache, 72)
+    );
 }

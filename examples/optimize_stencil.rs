@@ -27,7 +27,12 @@ fn main() {
     let kernel = kernel_by_name("swim").expect("registered kernel");
     let program = kernel.model();
     let hierarchy = HierarchyConfig::ultrasparc_i();
-    println!("kernel: {} ({} arrays, {} nests)", kernel.name(), program.arrays.len(), program.nests.len());
+    println!(
+        "kernel: {} ({} arrays, {} nests)",
+        kernel.name(),
+        program.arrays.len(),
+        program.nests.len()
+    );
 
     let orig = DataLayout::contiguous(&program.arrays);
     let r0 = simulate_steady(&program, &orig, &hierarchy, 1, 1);
@@ -36,8 +41,16 @@ fn main() {
     let r1 = simulate_steady(&opt.program, &opt.layout, &hierarchy, 1, 1);
 
     println!("\nsimulated UltraSparc miss rates (steady state):");
-    println!("  original : L1 {:5.1}%   L2 {:5.1}%", r0.miss_rate_pct(0), r0.miss_rate_pct(1));
-    println!("  optimized: L1 {:5.1}%   L2 {:5.1}%", r1.miss_rate_pct(0), r1.miss_rate_pct(1));
+    println!(
+        "  original : L1 {:5.1}%   L2 {:5.1}%",
+        r0.miss_rate_pct(0),
+        r0.miss_rate_pct(1)
+    );
+    println!(
+        "  optimized: L1 {:5.1}%   L2 {:5.1}%",
+        r1.miss_rate_pct(0),
+        r1.miss_rate_pct(1)
+    );
 
     // Now run the actual numbers through both layouts.
     let sweeps = 5;
@@ -45,7 +58,10 @@ fn main() {
     let (t_opt, sum_opt) = time_sweeps(kernel.as_ref(), &opt.layout, sweeps);
     println!("\nhost wall-clock for {sweeps} sweeps:");
     println!("  original : {t_orig:.4}s");
-    println!("  optimized: {t_opt:.4}s  ({:+.1}%)", 100.0 * (t_orig - t_opt) / t_orig);
+    println!(
+        "  optimized: {t_opt:.4}s  ({:+.1}%)",
+        100.0 * (t_orig - t_opt) / t_orig
+    );
 
     // Padding must never change the computation.
     let tol = 1e-9 * sum_orig.abs().max(1.0);

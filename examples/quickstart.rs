@@ -20,7 +20,10 @@ fn main() {
     let before = simulate(&program, &contiguous, &hierarchy);
     println!("original layout:");
     println!("  L1 miss rate: {:5.1}%", before.miss_rate_pct(0));
-    println!("  L2 miss rate: {:5.1}%  (normalized to total references)", before.miss_rate_pct(1));
+    println!(
+        "  L2 miss rate: {:5.1}%  (normalized to total references)",
+        before.miss_rate_pct(1)
+    );
 
     // The paper's strongest configuration: preserve group reuse on L1, then
     // separate variables on L2 with S1-multiple pads.
@@ -33,6 +36,9 @@ fn main() {
     println!("  L2 miss rate: {:5.1}%", after.miss_rate_pct(1));
 
     let overhead = optimized.layout.padding_overhead(&optimized.program.arrays);
-    println!("\npadding cost: {overhead} bytes over {} bytes of data", 3 * 512 * 512 * 8);
+    println!(
+        "\npadding cost: {overhead} bytes over {} bytes of data",
+        3 * 512 * 512 * 8
+    );
     assert!(after.miss_rate(0) < before.miss_rate(0));
 }

@@ -20,7 +20,10 @@ fn main() {
     let costs = MissCosts::from_hierarchy(&hierarchy);
 
     println!("tile selection for {n}x{n} double matmul (UltraSparc hierarchy):\n");
-    println!("{:>6} {:>10} {:>12} {:>14} {:>14}", "policy", "tile", "elems", "est L1 misses", "est L2 misses");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>14}",
+        "policy", "tile", "elems", "est L1 misses", "est L2 misses"
+    );
     for policy in TilePolicy::all() {
         let t = select_tile(policy, n, n, &hierarchy, 8);
         let m = matmul_miss_model(n, t, &hierarchy);
@@ -34,8 +37,20 @@ fn main() {
         );
         // The paper's modular-arithmetic lemma: L1-clean tiles are L2-clean.
         if policy == TilePolicy::L1 {
-            assert!(!tile_self_interferes(n, t.height, t.width, hierarchy.levels[0], 8));
-            assert!(!tile_self_interferes(n, t.height, t.width, hierarchy.levels[1], 8));
+            assert!(!tile_self_interferes(
+                n,
+                t.height,
+                t.width,
+                hierarchy.levels[0],
+                8
+            ));
+            assert!(!tile_self_interferes(
+                n,
+                t.height,
+                t.width,
+                hierarchy.levels[1],
+                8
+            ));
         }
     }
 
@@ -53,7 +68,15 @@ fn main() {
     let (a, b, c) = (wa.mat(0), wa.mat(1), wa.mat(2));
     matmul_untiled(wa.data_mut(), a, b, c, n as usize);
     let (a2, b2, c2) = (wb.mat(0), wb.mat(1), wb.mat(2));
-    matmul_tiled(wb.data_mut(), a2, b2, c2, n as usize, t.height as usize, t.width as usize);
+    matmul_tiled(
+        wb.data_mut(),
+        a2,
+        b2,
+        c2,
+        n as usize,
+        t.height as usize,
+        t.width as usize,
+    );
     let (sa, sb) = (wa.sum2(2), wb.sum2(2));
     assert!((sa - sb).abs() < 1e-6 * sa.abs().max(1.0));
     println!("tiled and untiled products agree (checksum {sa:.6e})");

@@ -39,14 +39,20 @@ fn main() {
     ));
 
     let (l1, l2) = rate(&p, &h);
-    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "original (j outer, i inner)");
+    println!(
+        "{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%",
+        "original (j outer, i inner)"
+    );
 
     // 1. Loop permutation by the memory-order cost model.
     let (permuted, perm) = permute_for_locality(&p, &p.nests[0], 32).unwrap();
     let mut q = p.clone();
     q.nests[0] = permuted;
     let (l1, l2) = rate(&q, &h);
-    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", format!("permuted {perm:?}"));
+    println!(
+        "{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%",
+        format!("permuted {perm:?}")
+    );
 
     // 2. Array transpose achieves the same effect by moving data instead.
     let t = transpose_array(&p, a, &[1, 0]).unwrap();
@@ -63,7 +69,10 @@ fn main() {
     let mut s = q.clone();
     s.nests[0] = strip_mine(&s.nests[0], 1, 64, "jj").unwrap();
     let (l1, l2) = rate(&s, &h);
-    println!("{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%", "strip-mined (no reorder)");
+    println!(
+        "{:<28} L1 {l1:5.1}%  L2 {l2:5.1}%",
+        "strip-mined (no reorder)"
+    );
 
     // 5. Tiling the permuted nest (i by 64): harmless here, essential for
     //    matmul-shaped reuse (see the tiled_matmul example).

@@ -4,7 +4,9 @@
 use multi_level_locality::core::conflict::severe_conflicts;
 use multi_level_locality::core::fusion::fusion_profit;
 use multi_level_locality::core::group::{account, RefClass};
-use multi_level_locality::core::tiling::{choose_policy, select_tile, tile_self_interferes, TilePolicy};
+use multi_level_locality::core::tiling::{
+    choose_policy, select_tile, tile_self_interferes, TilePolicy,
+};
 use multi_level_locality::prelude::*;
 
 fn ultra() -> HierarchyConfig {
@@ -141,7 +143,13 @@ fn tiling_claims_hold_under_simulation() {
             None => m.base_model(),
             Some(pol) => {
                 let t = select_tile(pol, n, n, &h, 8);
-                assert!(!tile_self_interferes(n, t.height, t.width, pol.interference_cache(&h), 8));
+                assert!(!tile_self_interferes(
+                    n,
+                    t.height,
+                    t.width,
+                    pol.interference_cache(&h),
+                    8
+                ));
                 m.tiled_model(t.height, t.width)
             }
         };
@@ -154,13 +162,25 @@ fn tiling_claims_hold_under_simulation() {
     let (l1_t2, l2_t2) = rate(Some(TilePolicy::L2));
 
     // L1 tiles improve both levels over untiled.
-    assert!(l1_t1 < l1_orig, "L1 tile should cut L1 misses: {l1_t1} !< {l1_orig}");
-    assert!(l2_t1 < l2_orig, "L1 tile should also capture L2 reuse: {l2_t1} !< {l2_orig}");
+    assert!(
+        l1_t1 < l1_orig,
+        "L1 tile should cut L1 misses: {l1_t1} !< {l1_orig}"
+    );
+    assert!(
+        l2_t1 < l2_orig,
+        "L1 tile should also capture L2 reuse: {l2_t1} !< {l2_orig}"
+    );
     // L2 tiles lose most of the L1 win but match or beat on L2.
-    assert!(l1_t2 > l1_t1, "L2 tiles should lose L1 reuse: {l1_t2} !> {l1_t1}");
+    assert!(
+        l1_t2 > l1_t1,
+        "L2 tiles should lose L1 reuse: {l1_t2} !> {l1_t1}"
+    );
     assert!(l2_t2 <= l2_orig);
     // The cost model picks L1 under realistic penalties.
-    assert_eq!(choose_policy(n, n, &h, &MissCosts::from_hierarchy(&h)), TilePolicy::L1);
+    assert_eq!(
+        choose_policy(n, n, &h, &MissCosts::from_hierarchy(&h)),
+        TilePolicy::L1
+    );
 }
 
 #[test]
