@@ -6,7 +6,7 @@
 //! ```
 
 use mlc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mlc_cache_sim::trace::{Access, AccessSink};
+use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, Run};
 use mlc_cache_sim::{Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy};
 use mlc_kernels::kernel_by_name;
 #[allow(unused_imports)]
@@ -40,7 +40,10 @@ fn bench_simulator(c: &mut Criterion) {
     });
 
     // Full two-level hierarchy fed by the trace generator (the experiment
-    // hot path): one EXPL sweep.
+    // hot path), through both the run-length fast path and the per-access
+    // scalar path. The contiguous layouts here are conflict-ridden, so
+    // "fast" mostly measures the bail-out; see the trace_throughput binary
+    // for the padded sweep where batching engages.
     for name in ["expl512", "jacobi512"] {
         let k = kernel_by_name(name).unwrap();
         let p = k.model();
@@ -60,8 +63,21 @@ fn bench_simulator(c: &mut Criterion) {
                 }
             });
         });
+        g.bench_with_input(
+            BenchmarkId::new("trace_to_hierarchy_scalar", name),
+            &(),
+            |b, _| {
+                let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+                b.iter(|| {
+                    for cn in &compiled {
+                        cn.run_scalar(&mut hier);
+                    }
+                });
+            },
+        );
     }
 
+    g.throughput(Throughput::Elements(n));
     // Raw hierarchy access with a fixed stride (no generation cost).
     g.bench_function("hierarchy_strided", |b| {
         let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());
@@ -70,6 +86,32 @@ fn bench_simulator(c: &mut Criterion) {
                 hier.access(Access::read((i * 40) & 0xFF_FFFF));
             }
         });
+    });
+
+    // Run-length consumption: a single unit-stride run against the
+    // equivalent per-access loop, on one cache (no hierarchy walk).
+    g.bench_function("cache_run_unit_stride", |b| {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+        let run = Run {
+            start: 0,
+            stride: 8,
+            count: n,
+            kind: AccessKind::Read,
+        };
+        b.iter(|| cache.run(run));
+    });
+
+    // The same unit-stride stream through a full hierarchy via the run
+    // sink, measuring the guaranteed-hit batching end to end.
+    g.bench_function("hierarchy_run_unit_stride", |b| {
+        let mut hier = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        let run = Run {
+            start: 0,
+            stride: 8,
+            count: n,
+            kind: AccessKind::Read,
+        };
+        b.iter(|| hier.run(run));
     });
     g.finish();
 }

@@ -6,10 +6,10 @@
 //! is exactly the model behind the paper's simulations and the normalization
 //! in [`crate::stats`].
 
-use crate::cache::{Cache, Probe};
+use crate::cache::{trips_on_line, Cache, Probe};
 use crate::config::HierarchyConfig;
 use crate::stats::{LevelStats, MissRateReport};
-use crate::trace::{Access, AccessSink};
+use crate::trace::{Access, AccessSink, Run};
 
 /// A stack of cache levels driven as one unit.
 #[derive(Debug, Clone)]
@@ -156,6 +156,354 @@ impl Hierarchy {
         deepest_miss
     }
 
+    /// Try to consume a [`Run`] through the line-boundary fast path: one
+    /// real probe per line segment, the rest bulk-counted as guaranteed L1
+    /// hits via [`Cache::note_hits`]. After the first access of a segment
+    /// the line is resident at L1 and nothing else touches its set before
+    /// the segment ends, so every remaining trip is a hit that cannot
+    /// change cache state beyond counters and the dirty bit — identical to
+    /// the scalar loop for every associativity and replacement policy.
+    ///
+    /// Returns `false` (caller must run the scalar loop) when the
+    /// preconditions fail: next-line prefetching is enabled (a prefetch
+    /// fill may evict the active line in degenerate geometries, and the
+    /// paper's prefetch ablation should not silently change paths), or the
+    /// stride covers more than half a line (too few accesses per line for
+    /// batching to pay).
+    fn try_run_fast(&mut self, run: Run) -> bool {
+        if self.next_line_prefetch {
+            return false;
+        }
+        let line = self.levels[0].config().line as u64;
+        if run.stride.unsigned_abs() * 2 > line {
+            return false;
+        }
+        let line_shift = line.trailing_zeros();
+        let write = run.is_write();
+        let mut addr = run.start;
+        let mut left = run.count;
+        while left > 0 {
+            let k = trips_on_line(addr, run.stride, line_shift).min(left);
+            self.access_addr_kind(addr, write);
+            self.note_l1_run_hits(addr, k - 1, write);
+            addr = addr.wrapping_add((run.stride as u64).wrapping_mul(k));
+            left -= k;
+        }
+        true
+    }
+
+    /// Count `n` guaranteed L1 hits on the line at `addr`: asserted through
+    /// [`Cache::note_hits`] in debug builds, a bare counter bump in release
+    /// (the line was entered with an access of the same kind, so the dirty
+    /// bit is already correct).
+    #[inline]
+    fn note_l1_run_hits(&mut self, addr: u64, n: u64, write: bool) {
+        if cfg!(debug_assertions) {
+            self.levels[0].note_hits(addr, n, write);
+        } else {
+            self.levels[0].add_hit_accesses(n);
+        }
+    }
+
+    /// One line-entering access of a periodic run group: a real L1 probe,
+    /// then a walk of the deeper levels that short-circuits where the
+    /// group's guaranteed-hit invariant applies. `marks[l]` holds the last
+    /// line of level `l+1` this reference probed; while the group's
+    /// references are pairwise set-disjoint at that level (`skip[l].1`, with
+    /// `skip[l].0` the level's line shift), nothing can have evicted or
+    /// demoted that line since, so a repeat touch is a hit that changes only
+    /// the access counter — the dirty bit was set when the line was probed
+    /// with this same access kind, and promotion is a no-op because the line
+    /// is still the set's most recent.
+    #[inline]
+    fn access_entering(&mut self, addr: u64, write: bool, marks: &mut [u64], skip: &[(u32, bool)]) {
+        if self.levels[0].access_kind(addr, write) == Probe::Hit {
+            return;
+        }
+        for (l, &(shift, disjoint)) in skip.iter().enumerate() {
+            let line = addr >> shift;
+            if disjoint && marks[l] == line {
+                if cfg!(debug_assertions) {
+                    self.levels[l + 1].note_hits(addr, 1, write);
+                } else {
+                    self.levels[l + 1].add_hit_accesses(1);
+                }
+                return;
+            }
+            marks[l] = line;
+            if self.levels[l + 1].access_kind(addr, write) == Probe::Hit {
+                return;
+            }
+        }
+    }
+
+    /// Try to consume an interleaved run group through the fast path.
+    ///
+    /// Correctness rests on one invariant: while no two references occupy
+    /// *different* lines of the same L1 set, each reference's accesses after
+    /// its first touch of a line are guaranteed L1 hits that cannot change
+    /// cache state beyond counters and the (already-set) dirty bit — an LRU
+    /// hit re-promotes the already-most-recent line, FIFO and Random never
+    /// promote on hits, and hits propagate to no deeper level. Only the
+    /// line-entering accesses go through the real probe path, in exact trip
+    /// order, so every level's miss stream is identical to the scalar
+    /// interleave.
+    ///
+    /// When all references share one stride, each pair's line distance stays
+    /// within `{D, D+1}` for the entire run, so set collisions are decidable
+    /// up front: provably collision-free groups with a line-dividing stride
+    /// take a closed-form periodic path
+    /// ([`Hierarchy::run_group_periodic`]); everything else goes through the
+    /// windowed path ([`Hierarchy::run_group_windowed`]), which checks
+    /// collisions at line-crossing granularity and replays conflicting
+    /// windows scalar.
+    ///
+    /// Returns `false` when the group cannot take the fast path at all:
+    /// prefetching enabled, mismatched trip counts, or some stride covering
+    /// more than half an L1 line.
+    fn try_run_group_fast(&mut self, runs: &[Run]) -> bool {
+        if self.next_line_prefetch {
+            return false;
+        }
+        let count = runs[0].count;
+        if runs.iter().any(|r| r.count != count) {
+            return false;
+        }
+        let l1 = self.levels[0].config();
+        let line = l1.line as u64;
+        if runs.iter().any(|r| r.stride.unsigned_abs() * 2 > line) {
+            return false;
+        }
+        if count == 0 {
+            return true;
+        }
+        let line_shift = line.trailing_zeros();
+        let num_sets = l1.num_sets() as u64;
+        let stride = runs[0].stride;
+        let uniform = runs.iter().all(|r| r.stride == stride);
+        let never_conflict = uniform && pairwise_set_disjoint(runs, line_shift, num_sets);
+
+        if never_conflict && stride != 0 && line.is_multiple_of(stride.unsigned_abs()) {
+            self.run_group_periodic(runs, count, line_shift);
+        } else {
+            self.run_group_windowed(runs, count, line_shift, num_sets - 1, never_conflict);
+        }
+        true
+    }
+
+    /// Collision-free group with one common line-dividing stride: every
+    /// reference crosses lines with the same period `line/|stride|` trips,
+    /// so its line-entering trips form an arithmetic sequence known up
+    /// front. The entering accesses are emitted in exact trip order (one
+    /// stable sort); every other access is a guaranteed L1 hit, flushed as
+    /// one counter bump.
+    fn run_group_periodic(&mut self, runs: &[Run], count: u64, line_shift: u32) {
+        let n = runs.len();
+        let period = (1u64 << line_shift) / runs[0].stride.unsigned_abs();
+        let mut hits = 0u64;
+        // Trip 0: every reference's first access, in body order; each then
+        // hits until its first line crossing.
+        let mut first_cross = Vec::with_capacity(n);
+        for r in runs {
+            self.access_addr_kind(r.start, r.is_write());
+            let tol = trips_on_line(r.start, r.stride, line_shift).min(count);
+            if cfg!(debug_assertions) {
+                self.levels[0].note_hits(r.start, tol - 1, r.is_write());
+            } else {
+                hits += tol - 1;
+            }
+            first_cross.push(tol);
+        }
+        // Rounds of crossings: in round k, reference i enters a new line at
+        // trip first_cross[i] + k·period, at an address exactly one line
+        // past its previous entry. Within a round, ascending trip with ties
+        // in body order — exactly the scalar emission order, since
+        // consecutive rounds cover disjoint ascending trip ranges.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| first_cross[i]);
+        let line = 1u64 << line_shift;
+        let line_delta = if runs[0].stride > 0 {
+            line
+        } else {
+            line.wrapping_neg()
+        };
+        // Per scheduled reference: next entering address, first-cross trip,
+        // write flag.
+        let mut ents: Vec<(u64, u64, bool)> = order
+            .iter()
+            .map(|&i| {
+                (
+                    runs[i].addr(first_cross[i]),
+                    first_cross[i],
+                    runs[i].is_write(),
+                )
+            })
+            .collect();
+        // The guaranteed-hit argument applies at *every* level whose sets
+        // the group's references provably never contend for: once a
+        // reference has probed a line of such a level, later touches within
+        // this group find it resident and still most-recent. Track the last
+        // probed line per (reference, deeper level) so entering accesses can
+        // stop their miss walk with a counter bump instead of a probe.
+        let skip: Vec<(u32, bool)> = self
+            .levels
+            .iter()
+            .skip(1)
+            .map(|c| {
+                let cfg = c.config();
+                let shift = (cfg.line as u64).trailing_zeros();
+                (
+                    shift,
+                    pairwise_set_disjoint(runs, shift, cfg.num_sets() as u64),
+                )
+            })
+            .collect();
+        let depth = skip.len();
+        let mut marks = vec![u64::MAX; n * depth];
+        // Rounds where every reference enters with a full-period segment
+        // need no per-entry bounds checks and contribute a closed-form hit
+        // count; only the ragged tail rounds are scheduled individually.
+        let full = ents
+            .iter()
+            .map(|&(_, fc, _)| (count - fc) / period)
+            .min()
+            .unwrap_or(0);
+        for _ in 0..full {
+            for (i, e) in ents.iter_mut().enumerate() {
+                self.access_entering(e.0, e.2, &mut marks[i * depth..(i + 1) * depth], &skip);
+                if cfg!(debug_assertions) {
+                    self.levels[0].note_hits(e.0, period - 1, e.2);
+                }
+                e.0 = e.0.wrapping_add(line_delta);
+            }
+        }
+        if !cfg!(debug_assertions) {
+            hits += full * n as u64 * (period - 1);
+        }
+        let mut round = full;
+        loop {
+            let mut any = false;
+            for e in ents.iter_mut() {
+                let enter = e.1 + round * period;
+                if enter >= count {
+                    continue;
+                }
+                any = true;
+                self.access_addr_kind(e.0, e.2);
+                let seg = period.min(count - enter);
+                if cfg!(debug_assertions) {
+                    self.levels[0].note_hits(e.0, seg - 1, e.2);
+                } else {
+                    hits += seg - 1;
+                }
+                e.0 = e.0.wrapping_add(line_delta);
+            }
+            if !any {
+                break;
+            }
+            round += 1;
+        }
+        self.levels[0].add_hit_accesses(hits);
+    }
+
+    /// General windowed path: advance to the next line-crossing boundary of
+    /// any reference; windows where two references occupy different lines of
+    /// one L1 set (the paper's severe/ping-pong conflicts) are replayed
+    /// through the exact scalar interleave, and every reference re-probes in
+    /// the following window since a conflicting neighbor may have evicted
+    /// its line. Groups stuck in conflict bail to a pure scalar loop, so
+    /// pathological layouts cost scalar plus a bounded prefix.
+    fn run_group_windowed(
+        &mut self,
+        runs: &[Run],
+        count: u64,
+        line_shift: u32,
+        set_mask: u64,
+        never_conflict: bool,
+    ) {
+        /// Consecutive conflict windows before giving up on batching.
+        const CONFLICT_BAIL: u32 = 16;
+        let n = runs.len();
+        let mut cur: Vec<u64> = runs.iter().map(|r| r.start).collect();
+        // Trips left on each reference's current line (0 ⇒ recompute), its
+        // current line number, and whether its next access is the first on
+        // a new line (initially true; true for everyone after a conflict
+        // window, whose eviction order is not tracked).
+        let mut tol = vec![0u64; n];
+        let mut line_of = vec![0u64; n];
+        let mut entering = vec![true; n];
+        let mut hits = 0u64;
+        let mut conflict_streak = 0u32;
+        let mut t = 0u64;
+        while t < count {
+            let mut w = count - t;
+            for i in 0..n {
+                if tol[i] == 0 {
+                    tol[i] = trips_on_line(cur[i], runs[i].stride, line_shift);
+                    line_of[i] = cur[i] >> line_shift;
+                }
+                w = w.min(tol[i]);
+            }
+            let mut conflict = false;
+            if !never_conflict {
+                // Pairs of references that both kept their lines were
+                // checked when one of them last entered, so only pairs
+                // involving an entering reference need (re)checking.
+                'check: for i in 0..n {
+                    if !entering[i] {
+                        continue;
+                    }
+                    let (li, si) = (line_of[i], line_of[i] & set_mask);
+                    for (j, &lj) in line_of.iter().enumerate() {
+                        if j != i && lj != li && (lj & set_mask) == si {
+                            conflict = true;
+                            break 'check;
+                        }
+                    }
+                }
+            }
+            if conflict {
+                conflict_streak += 1;
+                if conflict_streak >= CONFLICT_BAIL {
+                    self.levels[0].add_hit_accesses(hits);
+                    for trip in t..count {
+                        for r in runs {
+                            self.access_addr_kind(r.addr(trip), r.is_write());
+                        }
+                    }
+                    return;
+                }
+                for trip in 0..w {
+                    for (i, r) in runs.iter().enumerate() {
+                        let addr = cur[i].wrapping_add((r.stride as u64).wrapping_mul(trip));
+                        self.access_addr_kind(addr, r.is_write());
+                    }
+                }
+            } else {
+                conflict_streak = 0;
+                for (i, r) in runs.iter().enumerate() {
+                    let write = r.is_write();
+                    if entering[i] {
+                        self.access_addr_kind(cur[i], write);
+                    }
+                    let h = w - entering[i] as u64;
+                    if cfg!(debug_assertions) {
+                        self.levels[0].note_hits(cur[i], h, write);
+                    } else {
+                        hits += h;
+                    }
+                }
+            }
+            for (i, r) in runs.iter().enumerate() {
+                tol[i] -= w;
+                entering[i] = conflict || tol[i] == 0;
+                cur[i] = cur[i].wrapping_add((r.stride as u64).wrapping_mul(w));
+            }
+            t += w;
+        }
+        self.levels[0].add_hit_accesses(hits);
+    }
+
     /// View this hierarchy as an [`AccessSink`] that reports every access
     /// to `probe`. Drives the same state as the plain sink impl.
     #[cfg(feature = "telemetry")]
@@ -170,6 +518,32 @@ impl Hierarchy {
     }
 }
 
+/// Whether a group of equal-stride runs provably never puts two references
+/// on different lines of one cache set, for the level with the given line
+/// shift and (power-of-two) set count.
+///
+/// Both marching at one rate, a pair's line distance is confined to
+/// `{⌊d/line⌋, ⌊d/line⌋+1}` for every trip; a set collision needs that
+/// distance to be a nonzero multiple of the set count. Addresses are
+/// validated non-negative `i64`s, so the difference fits an `i64`, and line
+/// and set counts are powers of two, so flooring division and divisibility
+/// reduce to shift and mask.
+fn pairwise_set_disjoint(runs: &[Run], line_shift: u32, num_sets: u64) -> bool {
+    let smask = num_sets as i64 - 1;
+    for (i, a) in runs.iter().enumerate() {
+        for b in &runs[i + 1..] {
+            let d = b.start.wrapping_sub(a.start) as i64;
+            let d1 = d >> line_shift;
+            for diff in [d1, d1 + 1] {
+                if diff != 0 && (diff & smask) == 0 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// An [`AccessSink`] wrapper pairing a [`Hierarchy`] with a
 /// [`mlc_telemetry::CacheProbe`]; see [`Hierarchy::probed`].
 #[cfg(feature = "telemetry")]
@@ -178,6 +552,11 @@ pub struct ProbedHierarchy<'a> {
     probe: &'a mut dyn mlc_telemetry::CacheProbe,
 }
 
+// ProbedHierarchy deliberately does NOT override `run`/`run_group`: the
+// whole point of attaching a probe is to observe every individual access,
+// so the trait defaults expand runs into the per-access scalar path and the
+// probe sees the exact same event stream with or without run-length
+// encoding upstream.
 #[cfg(feature = "telemetry")]
 impl AccessSink for ProbedHierarchy<'_> {
     #[inline]
@@ -194,6 +573,35 @@ impl AccessSink for Hierarchy {
     #[inline]
     fn access(&mut self, access: Access) {
         self.access_addr_kind(access.addr, access.kind == crate::trace::AccessKind::Write);
+    }
+
+    fn run(&mut self, run: Run) {
+        if !self.try_run_fast(run) {
+            let mut addr = run.start;
+            let write = run.is_write();
+            for _ in 0..run.count {
+                self.access_addr_kind(addr, write);
+                addr = addr.wrapping_add(run.stride as u64);
+            }
+        }
+    }
+
+    fn run_group(&mut self, runs: &[Run]) {
+        match runs {
+            [] => {}
+            [run] => self.run(*run),
+            _ => {
+                if !self.try_run_group_fast(runs) {
+                    // Exact interleaved scalar fallback, mirroring the
+                    // trait's default implementation.
+                    for t in 0..runs[0].count {
+                        for r in runs {
+                            self.access_addr_kind(r.addr(t), r.is_write());
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -333,5 +741,251 @@ mod tests {
         let s = h.stats();
         assert_eq!(s[0].misses(), n / 32);
         assert_eq!(s[1].misses(), n / 64);
+    }
+
+    use crate::replacement::ReplacementPolicy;
+    use crate::trace::{AccessKind, Run};
+
+    /// Feed `runs` through the fast path on one hierarchy and through the
+    /// exact scalar interleave on a clone, then demand identical per-level
+    /// accesses, misses, and writebacks.
+    fn assert_group_parity(cfg: HierarchyConfig, prefetch: bool, runs: &[Run]) {
+        let (mut fast, mut slow) = if prefetch {
+            (
+                Hierarchy::with_next_line_prefetch(cfg.clone()),
+                Hierarchy::with_next_line_prefetch(cfg),
+            )
+        } else {
+            (Hierarchy::new(cfg.clone()), Hierarchy::new(cfg))
+        };
+        fast.run_group(runs);
+        if let Some(first) = runs.first() {
+            for t in 0..first.count {
+                for r in runs {
+                    slow.access_addr_kind(r.addr(t), r.is_write());
+                }
+            }
+        }
+        assert_eq!(fast.stats(), slow.stats(), "stats diverge for {runs:?}");
+        assert_eq!(
+            fast.writebacks(),
+            slow.writebacks(),
+            "writebacks diverge for {runs:?}"
+        );
+        assert_eq!(fast.prefetch_fills(), slow.prefetch_fills());
+    }
+
+    fn geometries() -> Vec<HierarchyConfig> {
+        vec![
+            HierarchyConfig::ultrasparc_i(),
+            HierarchyConfig::new(
+                vec![
+                    CacheConfig::new(1024, 32, 2, ReplacementPolicy::Lru),
+                    CacheConfig::direct_mapped(8192, 64),
+                ],
+                vec![1.0, 10.0],
+            ),
+            HierarchyConfig::new(
+                vec![CacheConfig::new(512, 32, 4, ReplacementPolicy::Fifo)],
+                vec![1.0],
+            ),
+            HierarchyConfig::new(
+                vec![CacheConfig::new(512, 32, 4, ReplacementPolicy::Random)],
+                vec![1.0],
+            ),
+        ]
+    }
+
+    #[test]
+    fn run_matches_scalar_across_geometries() {
+        for cfg in geometries() {
+            for stride in [0i64, 1, 4, 8, 16, -8] {
+                for kind in [AccessKind::Read, AccessKind::Write] {
+                    let run = Run {
+                        start: 1 << 20,
+                        stride,
+                        count: 500,
+                        kind,
+                    };
+                    let mut fast = Hierarchy::new(cfg.clone());
+                    fast.run(run);
+                    let mut slow = Hierarchy::new(cfg.clone());
+                    for t in 0..run.count {
+                        slow.access_addr_kind(run.addr(t), run.is_write());
+                    }
+                    assert_eq!(fast.stats(), slow.stats(), "{cfg:?} {run:?}");
+                    assert_eq!(fast.writebacks(), slow.writebacks());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_group_matches_scalar_disjoint_sets() {
+        // Three unit-stride streams far apart: the common fast case.
+        for cfg in geometries() {
+            let runs = [
+                Run {
+                    start: 0,
+                    stride: 8,
+                    count: 1000,
+                    kind: AccessKind::Read,
+                },
+                Run {
+                    start: 1 << 21,
+                    stride: 8,
+                    count: 1000,
+                    kind: AccessKind::Read,
+                },
+                Run {
+                    start: 1 << 22,
+                    stride: 8,
+                    count: 1000,
+                    kind: AccessKind::Write,
+                },
+            ];
+            assert_group_parity(cfg, false, &runs);
+        }
+    }
+
+    #[test]
+    fn run_group_matches_scalar_under_ping_pong_conflict() {
+        // Two streams exactly one L1 cache-size apart: every window is a
+        // severe conflict and the group must replay scalar — including the
+        // post-conflict re-probe that restores residency tracking.
+        for cfg in geometries() {
+            let l1 = cfg.levels[0].size as u64;
+            let runs = [
+                Run {
+                    start: 0,
+                    stride: 8,
+                    count: 600,
+                    kind: AccessKind::Write,
+                },
+                Run {
+                    start: l1,
+                    stride: 8,
+                    count: 600,
+                    kind: AccessKind::Read,
+                },
+            ];
+            assert_group_parity(cfg, false, &runs);
+        }
+    }
+
+    #[test]
+    fn run_group_matches_scalar_intermittent_conflict() {
+        // Strides differ, so the pair drifts in and out of set conflicts:
+        // exercises the conflict-window/fast-window transitions both ways.
+        for cfg in geometries() {
+            let l1 = cfg.levels[0].size as u64;
+            let runs = [
+                Run {
+                    start: 64,
+                    stride: 8,
+                    count: 2000,
+                    kind: AccessKind::Write,
+                },
+                Run {
+                    start: l1 - 256,
+                    stride: -8,
+                    count: 2000,
+                    kind: AccessKind::Read,
+                },
+                Run {
+                    start: 3 * l1 + 32,
+                    stride: 16,
+                    count: 2000,
+                    kind: AccessKind::Read,
+                },
+            ];
+            assert_group_parity(cfg, false, &runs);
+        }
+    }
+
+    #[test]
+    fn run_group_same_line_references_share_hits() {
+        // Two references marching over the same addresses (e.g. a[i] read
+        // and a[i] written back): same line in the same set is not a
+        // conflict.
+        let runs = [
+            Run {
+                start: 4096,
+                stride: 8,
+                count: 512,
+                kind: AccessKind::Read,
+            },
+            Run {
+                start: 4096,
+                stride: 8,
+                count: 512,
+                kind: AccessKind::Write,
+            },
+        ];
+        for cfg in geometries() {
+            assert_group_parity(cfg, false, &runs);
+        }
+    }
+
+    #[test]
+    fn prefetch_forces_scalar_but_stays_exact() {
+        let runs = [
+            Run {
+                start: 0,
+                stride: 8,
+                count: 800,
+                kind: AccessKind::Read,
+            },
+            Run {
+                start: 1 << 21,
+                stride: 8,
+                count: 800,
+                kind: AccessKind::Write,
+            },
+        ];
+        assert_group_parity(HierarchyConfig::ultrasparc_i(), true, &runs);
+        let mut h = Hierarchy::with_next_line_prefetch(HierarchyConfig::ultrasparc_i());
+        assert!(!h.try_run_fast(runs[0]));
+        assert!(!h.try_run_group_fast(&runs));
+    }
+
+    #[test]
+    fn wide_stride_falls_back_to_scalar() {
+        let run = Run {
+            start: 0,
+            stride: 64, // 2× the 32 B L1 line of ultrasparc_i
+            count: 300,
+            kind: AccessKind::Read,
+        };
+        let mut h = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        assert!(!h.try_run_fast(run));
+        let mut fast = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        fast.run(run);
+        let mut slow = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        for t in 0..run.count {
+            slow.access_addr_kind(run.addr(t), false);
+        }
+        assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn run_group_empty_and_zero_count_are_noops() {
+        let mut h = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+        h.run_group(&[]);
+        h.run_group(&[
+            Run {
+                start: 0,
+                stride: 8,
+                count: 0,
+                kind: AccessKind::Read,
+            },
+            Run {
+                start: 64,
+                stride: 8,
+                count: 0,
+                kind: AccessKind::Write,
+            },
+        ]);
+        assert_eq!(h.stats()[0].accesses(), 0);
     }
 }

@@ -72,14 +72,28 @@ impl MissRateReport {
 
     /// The paper's miss rate for `level` (0-based): misses at that level
     /// divided by total processor references, as a fraction in [0, 1].
+    ///
+    /// A level deeper than the hierarchy (e.g. asking for L3 stats on a
+    /// 2-level config, which the ablation binaries can do when sweeping
+    /// depths) reports 0.0: a level that doesn't exist misses nothing.
+    /// Use [`MissRateReport::try_miss_rate`] to distinguish "no such
+    /// level" from a genuine zero.
     pub fn miss_rate(&self, level: usize) -> f64 {
-        if self.total_references == 0 {
-            return 0.0;
-        }
-        self.levels[level].misses() as f64 / self.total_references as f64
+        self.try_miss_rate(level).unwrap_or(0.0)
     }
 
-    /// Miss rate as a percentage, matching the paper's figures.
+    /// [`MissRateReport::miss_rate`], or `None` when `level` is deeper than
+    /// the hierarchy.
+    pub fn try_miss_rate(&self, level: usize) -> Option<f64> {
+        let stats = self.levels.get(level)?;
+        if self.total_references == 0 {
+            return Some(0.0);
+        }
+        Some(stats.misses() as f64 / self.total_references as f64)
+    }
+
+    /// Miss rate as a percentage, matching the paper's figures. Out-of-range
+    /// levels report 0.0, like [`MissRateReport::miss_rate`].
     pub fn miss_rate_pct(&self, level: usize) -> f64 {
         100.0 * self.miss_rate(level)
     }
@@ -89,7 +103,13 @@ impl MissRateReport {
     /// profitability heuristics weigh: "comparing the sum of reuse at each
     /// cache level, scaled by the cost of cache misses at that level."
     pub fn weighted_cost(&self, miss_penalty: &[f64]) -> f64 {
-        assert_eq!(miss_penalty.len(), self.levels.len());
+        assert_eq!(
+            miss_penalty.len(),
+            self.levels.len(),
+            "weighted_cost needs one miss penalty per cache level: got {} penalties for {} levels",
+            miss_penalty.len(),
+            self.levels.len()
+        );
         self.levels
             .iter()
             .zip(miss_penalty)
@@ -146,5 +166,29 @@ mod tests {
         let r = MissRateReport::from_levels(vec![]);
         assert_eq!(r.total_references, 0);
         assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn out_of_range_level_reports_zero_not_panic() {
+        let r = sample();
+        assert_eq!(r.miss_rate(2), 0.0);
+        assert_eq!(r.miss_rate_pct(7), 0.0);
+        assert_eq!(r.try_miss_rate(2), None);
+        assert!((r.try_miss_rate(1).unwrap() - 0.02).abs() < 1e-12);
+        let empty = MissRateReport::from_levels(vec![]);
+        assert_eq!(empty.miss_rate(0), 0.0);
+        assert_eq!(empty.try_miss_rate(0), None);
+    }
+
+    #[test]
+    fn zero_references_with_real_level_is_zero_not_none() {
+        let r = MissRateReport::from_levels(vec![LevelStats::new(0, 0)]);
+        assert_eq!(r.try_miss_rate(0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one miss penalty per cache level")]
+    fn weighted_cost_mismatch_names_the_problem() {
+        sample().weighted_cost(&[6.0]);
     }
 }

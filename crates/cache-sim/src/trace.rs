@@ -44,6 +44,44 @@ impl Access {
     }
 }
 
+/// A run-length-encoded access sequence: `count` accesses starting at
+/// `start`, each `stride` bytes after the previous one, all of the same
+/// kind. Affine references have constant innermost strides, so the trace
+/// generator can describe an entire innermost loop as one `Run` per
+/// reference instead of emitting accesses one at a time; sinks that
+/// understand cache geometry (notably [`crate::Hierarchy`]) exploit this to
+/// batch the provably-redundant lookups between line boundaries.
+///
+/// Every address in a run must be representable: `start + t * stride` must
+/// stay within `[0, u64::MAX]` for all `t < count` (the trace generator
+/// validates this before emitting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Address of the first access.
+    pub start: u64,
+    /// Byte stride between consecutive accesses (may be zero or negative).
+    pub stride: i64,
+    /// Number of accesses.
+    pub count: u64,
+    /// Load or store (applies to every access of the run).
+    pub kind: AccessKind,
+}
+
+impl Run {
+    /// The address of the `t`-th access (0-based).
+    #[inline]
+    pub fn addr(&self, t: u64) -> u64 {
+        self.start
+            .wrapping_add((self.stride as u64).wrapping_mul(t))
+    }
+
+    /// True iff this run stores.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
 /// Consumer of an access stream.
 pub trait AccessSink {
     /// Consume one access.
@@ -53,6 +91,47 @@ pub trait AccessSink {
     fn access_all(&mut self, accesses: &[Access]) {
         for &a in accesses {
             self.access(a);
+        }
+    }
+
+    /// Consume a strided run: `run.count` accesses at `start`,
+    /// `start + stride`, ... in order. The default implementation loops over
+    /// [`AccessSink::access`], so every sink keeps exact per-access
+    /// semantics; sinks that can do better (bulk counters, line-boundary
+    /// batching) override this. Overrides must be observably identical to
+    /// the default loop.
+    fn run(&mut self, run: Run) {
+        let mut addr = run.start;
+        for _ in 0..run.count {
+            self.access(Access {
+                addr,
+                kind: run.kind,
+            });
+            addr = addr.wrapping_add(run.stride as u64);
+        }
+    }
+
+    /// Consume an interleaved group of runs sharing one trip count: for each
+    /// trip `t` in `0..count`, every run's `t`-th access is consumed in
+    /// group order. This is exactly the access order of a loop body with one
+    /// reference per run, which is why the trace generator emits one group
+    /// per innermost loop. All runs must have the same `count`.
+    ///
+    /// The default implementation performs the interleaved scalar loop;
+    /// overrides must be observably identical to it.
+    fn run_group(&mut self, runs: &[Run]) {
+        let Some(first) = runs.first() else { return };
+        debug_assert!(
+            runs.iter().all(|r| r.count == first.count),
+            "run_group requires equal counts"
+        );
+        for t in 0..first.count {
+            for r in runs {
+                self.access(Access {
+                    addr: r.addr(t),
+                    kind: r.kind,
+                });
+            }
         }
     }
 }
@@ -75,6 +154,22 @@ impl AccessSink for CountingSink {
         match access.kind {
             AccessKind::Read => self.reads += 1,
             AccessKind::Write => self.writes += 1,
+        }
+    }
+
+    #[inline]
+    fn run(&mut self, run: Run) {
+        self.total += run.count;
+        match run.kind {
+            AccessKind::Read => self.reads += run.count,
+            AccessKind::Write => self.writes += run.count,
+        }
+    }
+
+    #[inline]
+    fn run_group(&mut self, runs: &[Run]) {
+        for &r in runs {
+            self.run(r);
         }
     }
 }
@@ -114,6 +209,18 @@ impl<A: AccessSink, B: AccessSink> AccessSink for TeeSink<'_, A, B> {
         self.first.access(access);
         self.second.access(access);
     }
+
+    #[inline]
+    fn run(&mut self, run: Run) {
+        self.first.run(run);
+        self.second.run(run);
+    }
+
+    #[inline]
+    fn run_group(&mut self, runs: &[Run]) {
+        self.first.run_group(runs);
+        self.second.run_group(runs);
+    }
 }
 
 /// A sink that drops everything; useful to measure trace-generation cost.
@@ -123,12 +230,28 @@ pub struct NullSink;
 impl AccessSink for NullSink {
     #[inline]
     fn access(&mut self, _access: Access) {}
+
+    #[inline]
+    fn run(&mut self, _run: Run) {}
+
+    #[inline]
+    fn run_group(&mut self, _runs: &[Run]) {}
 }
 
 impl<S: AccessSink + ?Sized> AccessSink for &mut S {
     #[inline]
     fn access(&mut self, access: Access) {
         (**self).access(access);
+    }
+
+    #[inline]
+    fn run(&mut self, run: Run) {
+        (**self).run(run);
+    }
+
+    #[inline]
+    fn run_group(&mut self, runs: &[Run]) {
+        (**self).run_group(runs);
     }
 }
 
@@ -174,5 +297,91 @@ mod tests {
         let mut c = CountingSink::default();
         feed(&mut &mut c);
         assert_eq!(c.total, 1);
+    }
+
+    #[test]
+    fn run_default_impl_expands_to_accesses() {
+        let mut r = RecordingSink::default();
+        r.run(Run {
+            start: 100,
+            stride: -8,
+            count: 3,
+            kind: AccessKind::Write,
+        });
+        let addrs: Vec<u64> = r.accesses.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![100, 92, 84]);
+        assert!(r.accesses.iter().all(|a| a.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn run_group_default_impl_interleaves() {
+        let mut r = RecordingSink::default();
+        r.run_group(&[
+            Run {
+                start: 0,
+                stride: 8,
+                count: 2,
+                kind: AccessKind::Read,
+            },
+            Run {
+                start: 1000,
+                stride: 8,
+                count: 2,
+                kind: AccessKind::Write,
+            },
+        ]);
+        let addrs: Vec<u64> = r.accesses.iter().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 1000, 8, 1008]);
+    }
+
+    #[test]
+    fn counting_sink_run_overrides_match_default() {
+        let run = Run {
+            start: 16,
+            stride: 8,
+            count: 5,
+            kind: AccessKind::Write,
+        };
+        let mut fast = CountingSink::default();
+        fast.run(run);
+        let mut slow = CountingSink::default();
+        let mut addr = run.start;
+        for _ in 0..run.count {
+            slow.access(Access::write(addr));
+            addr += 8;
+        }
+        assert_eq!(fast.total, slow.total);
+        assert_eq!(fast.writes, slow.writes);
+        assert_eq!(fast.reads, slow.reads);
+    }
+
+    #[test]
+    fn tee_forwards_runs_to_both() {
+        let mut a = CountingSink::default();
+        let mut b = RecordingSink::default();
+        {
+            let mut t = TeeSink::new(&mut a, &mut b);
+            t.run(Run {
+                start: 0,
+                stride: 4,
+                count: 3,
+                kind: AccessKind::Read,
+            });
+        }
+        assert_eq!(a.total, 3);
+        assert_eq!(b.accesses.len(), 3);
+    }
+
+    #[test]
+    fn empty_run_and_group_emit_nothing() {
+        let mut r = RecordingSink::default();
+        r.run(Run {
+            start: 0,
+            stride: 8,
+            count: 0,
+            kind: AccessKind::Read,
+        });
+        r.run_group(&[]);
+        assert!(r.accesses.is_empty());
     }
 }

@@ -19,11 +19,10 @@
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::MissCosts;
-use mlc_experiments::sim::{default_threads, par_map};
+use mlc_experiments::sim::{default_threads, par_map, simulate_cold};
 use mlc_experiments::table::pct;
 use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::timeskew::{tile_footprint_bytes, time_stepped_jacobi2d, time_tiled_jacobi2d};
-use mlc_model::trace_gen::simulate;
 use mlc_model::DataLayout;
 
 fn main() {
@@ -56,7 +55,7 @@ fn main() {
             None => time_stepped_jacobi2d(n, t_steps),
             Some(w) => time_tiled_jacobi2d(n, t_steps, w),
         };
-        simulate(&p, &DataLayout::contiguous(&p.arrays), &h)
+        simulate_cold(&p, &DataLayout::contiguous(&p.arrays), &h)
     });
     tel.tracer.end(span);
     tel.metrics

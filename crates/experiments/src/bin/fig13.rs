@@ -12,14 +12,13 @@
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::tiling::{select_tile, TilePolicy};
-use mlc_experiments::sim::{default_threads, par_map};
+use mlc_experiments::sim::{default_threads, par_map, simulate_cold};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::mflops;
 use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::matmul::{matmul_tiled, matmul_tiled_copy, matmul_untiled, Matmul};
 use mlc_kernels::Kernel as _;
 use mlc_kernels::Workspace;
-use mlc_model::trace_gen::simulate;
 use mlc_model::DataLayout;
 use std::time::Instant;
 
@@ -137,7 +136,7 @@ fn main() {
             }
         };
         let layout = DataLayout::contiguous(&model.arrays);
-        simulate(&model, &layout, &h2)
+        simulate_cold(&model, &layout, &h2)
     });
     tel.tracer.attr(sim_span, "jobs", jobs.len() as u64);
     tel.tracer.end(sim_span);

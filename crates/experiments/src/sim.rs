@@ -3,9 +3,32 @@
 use crate::versions::Versions;
 use mlc_cache_sim::stats::MissRateReport;
 use mlc_cache_sim::HierarchyConfig;
-use mlc_model::trace_gen::{simulate_classified, simulate_steady};
+use mlc_model::trace_gen::{simulate_classified, simulate_steady_with, simulate_with};
 use mlc_model::{DataLayout, Program};
 use mlc_telemetry::{MetricsRegistry, MissClassifier};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide fast-path switch for the figure binaries: when cleared (the
+/// `--no-fast-path` flag), [`simulate_one`] and [`simulate_cold`] force the
+/// per-access scalar trace path instead of run-length batching. The two
+/// paths are differentially tested to be bitwise identical, so this exists
+/// for A/B timing and as an escape hatch, not because results differ.
+static FAST_PATH: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the run-length fast path for subsequent simulations.
+pub fn set_fast_path(enabled: bool) {
+    FAST_PATH.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the run-length fast path is currently enabled.
+pub fn fast_path_enabled() -> bool {
+    FAST_PATH.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that flip the process-wide [`FAST_PATH`] switch so they
+/// don't observe each other's state under the parallel test runner.
+#[cfg(test)]
+pub(crate) static FAST_PATH_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Miss rates of the three versions of one program.
 #[derive(Debug, Clone)]
@@ -26,7 +49,18 @@ pub const TIMED: usize = 1;
 
 /// Simulate one program+layout with the standard protocol.
 pub fn simulate_one(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> MissRateReport {
-    simulate_steady(program, layout, h, WARMUP, TIMED)
+    simulate_steady_with(program, layout, h, WARMUP, TIMED, fast_path_enabled())
+}
+
+/// Single cold sweep (no warm-up), honouring the fast-path switch. The
+/// figure binaries that study compulsory behaviour use this instead of the
+/// steady-state protocol.
+pub fn simulate_cold(
+    program: &Program,
+    layout: &DataLayout,
+    h: &HierarchyConfig,
+) -> MissRateReport {
+    simulate_with(program, layout, h, fast_path_enabled())
 }
 
 /// Simulate one program+layout with the shadow-cache miss classifier
@@ -60,36 +94,50 @@ pub fn simulate_versions(v: &Versions, h: &HierarchyConfig) -> SimResult {
 /// Run `f` over `items` on up to `threads` OS threads, preserving order.
 /// (The sweep figures simulate hundreds of problem sizes; `rayon` is not in
 /// the allowed dependency set, so this is a tiny scoped-thread work-stealer.)
+///
+/// Workers pull indices from a shared atomic counter and send `(index,
+/// result)` pairs down an mpsc channel; the caller reassembles them in order.
+/// Nothing is locked per result, so sweep workers never contend no matter
+/// how small the per-item work is.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
     let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let items_ref = &items;
     let f_ref = &f;
-    let threads = threads.clamp(1, n.max(1));
+    let threads = threads.clamp(1, n);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
     std::thread::scope(|s| {
+        let next = &next;
         for _ in 0..threads {
-            s.spawn(|| loop {
+            let tx = tx.clone();
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f_ref(&items_ref[i]);
-                *results[i].lock().unwrap() = Some(r);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
+        drop(tx); // receiver sees EOF once every worker finishes
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
     });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().unwrap())
-        .collect()
+    slots.into_iter().map(|r| r.unwrap()).collect()
 }
 
 /// Number of worker threads to use for sweeps.
@@ -129,5 +177,34 @@ mod tests {
         assert!(ys.is_empty());
         let ys = par_map(vec![5u64], 16, |&x| x + 1);
         assert_eq!(ys, vec![6]);
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_heavy_contention() {
+        // Thousands of near-zero-work items on many threads: the shape that
+        // made the old per-item mutex design contend.
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys = par_map(xs.clone(), 32, |&x| x.wrapping_mul(3));
+        assert_eq!(ys, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fast_path_toggle_does_not_change_results() {
+        let _g = FAST_PATH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(96);
+        let l = mlc_model::DataLayout::contiguous(&p.arrays);
+        set_fast_path(false);
+        let scalar_steady = simulate_one(&p, &l, &h);
+        let scalar_cold = simulate_cold(&p, &l, &h);
+        assert!(!fast_path_enabled());
+        set_fast_path(true);
+        let fast_steady = simulate_one(&p, &l, &h);
+        let fast_cold = simulate_cold(&p, &l, &h);
+        assert!(fast_path_enabled());
+        assert_eq!(scalar_steady, fast_steady);
+        assert_eq!(scalar_cold, fast_cold);
     }
 }

@@ -6,6 +6,7 @@
 //! ```text
 //! --trace-out PATH      # span/event trace as JSONL
 //! --metrics-out PATH    # metrics registry as JSON (or CSV if PATH ends in .csv)
+//! --no-fast-path        # force per-access scalar simulation (A/B timing)
 //! ```
 //!
 //! [`TelemetryCli::from_env`] strips the flags from `std::env::args()` before
@@ -13,6 +14,14 @@
 //! that is enabled iff at least one output was requested. The files are
 //! written by [`TelemetryCli::finish`]; as a safety net `Drop` also writes
 //! them, so binaries with early-return paths still produce their outputs.
+//!
+//! `--no-fast-path` clears the process-wide switch read by
+//! [`crate::sim::simulate_one`]/[`crate::sim::simulate_cold`], forcing the
+//! per-access scalar trace path instead of run-length batching. Results are
+//! identical either way (differentially tested); the flag exists for
+//! throughput A/B runs and as an escape hatch. Telemetry probing does not
+//! need it: a probed hierarchy never takes the fast path, because the probe
+//! must observe every individual access.
 
 use mlc_telemetry::Telemetry;
 use std::path::{Path, PathBuf};
@@ -46,6 +55,8 @@ impl TelemetryCli {
                 trace_out = Some(PathBuf::from(v));
             } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
                 metrics_out = Some(PathBuf::from(v));
+            } else if arg == "--no-fast-path" {
+                crate::sim::set_fast_path(false);
             } else {
                 rest.push(arg);
             }
@@ -137,6 +148,18 @@ mod tests {
         assert_eq!(t.trace_out.as_deref(), Some(Path::new("t.jsonl")));
         assert_eq!(t.metrics_out.as_deref(), Some(Path::new("m.json")));
         assert_eq!(rest, sv(&["mlc", "simulate", "jacobi", "--opt", "pad"]));
+    }
+
+    #[test]
+    fn no_fast_path_flag_is_stripped_and_disables_fast_path() {
+        let _g = crate::sim::FAST_PATH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::sim::set_fast_path(true);
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--no-fast-path", "fig11"]));
+        assert_eq!(rest, sv(&["mlc", "fig11"]));
+        assert!(!crate::sim::fast_path_enabled());
+        crate::sim::set_fast_path(true); // restore for other tests
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::layout::DataLayout;
 use crate::nest::LoopNest;
 use crate::program::Program;
 use mlc_cache_sim::stats::MissRateReport;
-use mlc_cache_sim::trace::{Access, AccessKind, AccessSink};
+use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, Run};
 use mlc_cache_sim::{Hierarchy, HierarchyConfig};
 
 /// A bound expression resolved to loop-level indices.
@@ -61,11 +61,14 @@ struct CompiledRef {
     /// Byte stride per loop level, outermost first.
     strides: Vec<i64>,
     kind: AccessKind,
+    /// Array name, for diagnostics.
+    label: String,
 }
 
 /// A nest compiled against a layout, ready to stream.
 #[derive(Debug, Clone)]
 pub struct CompiledNest {
+    name: String,
     loops: Vec<CompiledLoop>,
     refs: Vec<CompiledRef>,
 }
@@ -75,7 +78,9 @@ impl CompiledNest {
     ///
     /// # Panics
     /// Panics if a bound or subscript mentions a variable that is not an
-    /// enclosing loop of the nest (run [`Program::validate`] first).
+    /// enclosing loop of the nest (run [`Program::validate`] first), or if
+    /// the nest provably generates a negative byte address (a layout bug —
+    /// see [`CompiledNest::validate_min_addresses`]).
     pub fn new(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Self {
         let var_index = |v: &str| -> usize {
             nest.loop_index(v)
@@ -85,7 +90,7 @@ impl CompiledNest {
             constant: e.constant_term(),
             terms: e.terms().map(|(v, c)| (var_index(v), c)).collect(),
         };
-        let loops = nest
+        let loops: Vec<CompiledLoop> = nest
             .loops
             .iter()
             .map(|l| {
@@ -97,7 +102,7 @@ impl CompiledNest {
                 }
             })
             .collect();
-        let refs = nest
+        let refs: Vec<CompiledRef> = nest
             .body
             .iter()
             .map(|r| {
@@ -106,16 +111,96 @@ impl CompiledNest {
                     base: addr.constant_term(),
                     strides: nest.loops.iter().map(|l| addr.coeff(&l.var)).collect(),
                     kind: r.kind,
+                    label: program.arrays[r.array].name.clone(),
                 }
             })
             .collect();
-        Self { loops, refs }
+        let compiled = Self {
+            name: nest.name.clone(),
+            loops,
+            refs,
+        };
+        compiled.validate_min_addresses();
+        compiled
+    }
+
+    /// Static negative-address check: when every loop bound is a constant
+    /// (the rectangular nests all experiments use), the minimum byte address
+    /// each reference can generate is computable exactly from bounds ×
+    /// strides, so a layout that would emit a negative address is rejected
+    /// here — at compile time, in release builds too — instead of silently
+    /// wrapping to a huge `u64` and corrupting miss counts. Nests with
+    /// outer-variable-dependent bounds (triangular, strip-mined) are skipped
+    /// here because interval reasoning over-approximates them; they are
+    /// still covered exactly by the endpoint check in the innermost walk.
+    ///
+    /// # Panics
+    /// Panics with the nest and reference names if the provable minimum
+    /// address is negative.
+    fn validate_min_addresses(&self) {
+        let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(self.loops.len());
+        for lp in &self.loops {
+            let constant_only = lp
+                .lowers
+                .iter()
+                .chain(&lp.uppers)
+                .all(|e| e.terms.is_empty());
+            if !constant_only {
+                return;
+            }
+            let lo = lp.lowers.iter().map(|e| e.constant).max().unwrap();
+            let hi = lp.uppers.iter().map(|e| e.constant).min().unwrap();
+            if hi < lo {
+                return; // provably empty loop: the nest emits nothing
+            }
+            // The values actually visited are lo, lo+|step|, ..;
+            // the extreme reachable values are exact for constant bounds.
+            let last = lo + (hi - lo) / lp.step.abs() * lp.step.abs();
+            ranges.push((lo, last));
+        }
+        for r in &self.refs {
+            let mut min = r.base as i128;
+            for (l, &(lo, hi)) in ranges.iter().enumerate() {
+                let s = r.strides[l] as i128;
+                min += (s * lo as i128).min(s * hi as i128);
+            }
+            assert!(
+                min >= 0,
+                "nest {}: reference to array {} generates a negative byte \
+                 address (minimum {min}); check the data layout's base \
+                 offsets and subscript bounds",
+                self.name,
+                r.label,
+            );
+        }
     }
 
     /// Stream the nest's accesses into `sink`; returns the number emitted.
+    ///
+    /// The innermost loop is emitted as run-length-encoded [`Run`] groups
+    /// (one [`Run`] per reference, interleaved per trip), so sinks that
+    /// batch line-resident accesses — notably [`Hierarchy`] — skip the
+    /// per-access work. Sinks without a `run` override expand the runs
+    /// through the default per-access loop, so the observable access stream
+    /// is identical either way. Use [`CompiledNest::run_scalar`] to force
+    /// per-access emission.
     pub fn run(&self, sink: &mut impl AccessSink) -> u64 {
+        self.run_with(sink, true)
+    }
+
+    /// [`CompiledNest::run`] forced down the per-access scalar path: every
+    /// reference of every trip goes through [`AccessSink::access`]
+    /// individually. The differential-parity tests (and the experiment
+    /// binaries' `--no-fast-path` flag) compare this against the run path.
+    pub fn run_scalar(&self, sink: &mut impl AccessSink) -> u64 {
+        self.run_with(sink, false)
+    }
+
+    /// Stream the nest, choosing run-length (`fast`) or per-access emission.
+    pub fn run_with(&self, sink: &mut impl AccessSink, fast: bool) -> u64 {
         if self.loops.is_empty() {
             for r in &self.refs {
+                self.check_addr(r.base);
                 sink.access(Access {
                     addr: r.base as u64,
                     kind: r.kind,
@@ -131,17 +216,64 @@ impl CompiledNest {
             partials[r] = cr.base;
         }
         let mut vals = vec![0i64; depth];
+        let mut runs = Vec::with_capacity(nrefs);
         let mut count = 0u64;
-        self.walk(0, &mut vals, &mut partials, sink, &mut count);
+        self.walk(
+            0,
+            &mut vals,
+            &mut partials,
+            sink,
+            fast,
+            &mut runs,
+            &mut count,
+        );
         count
     }
 
+    /// Exact negative-address guard for one innermost-loop invocation.
+    ///
+    /// Each reference's address is linear in the trip index, so its minimum
+    /// over the invocation is at the first or last trip; checking those two
+    /// endpoints is exact and O(refs), cheap enough to keep in release
+    /// builds (it replaces a per-access `debug_assert!` that release builds
+    /// compiled away, letting negative addresses wrap to huge `u64`s).
+    #[inline]
+    fn check_run_addrs(&self, cur: &[i64], deltas: &[i64], trips: u64) {
+        for (r, (&first, &delta)) in cur.iter().zip(deltas).enumerate() {
+            let last = first + delta * (trips as i64 - 1);
+            if first.min(last) < 0 {
+                self.negative_addr(r, first.min(last));
+            }
+        }
+    }
+
+    #[inline]
+    fn check_addr(&self, addr: i64) {
+        if addr < 0 {
+            self.negative_addr(0, addr);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn negative_addr(&self, r: usize, addr: i64) -> ! {
+        panic!(
+            "nest {}: reference to array {} generated negative byte address \
+             {addr}; check the data layout's base offsets and subscript \
+             bounds",
+            self.name, self.refs[r].label,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         &self,
         level: usize,
         vals: &mut [i64],
         partials: &mut [i64],
         sink: &mut impl AccessSink,
+        fast: bool,
+        runs: &mut Vec<Run>,
         count: &mut u64,
     ) {
         let nrefs = self.refs.len();
@@ -161,11 +293,10 @@ impl CompiledNest {
         if level == depth - 1 {
             // Innermost loop: advance each reference by its stride.
             if nrefs == 0 {
-                *count += 0;
                 return;
             }
             let base = &partials[(depth - 1) * nrefs..depth * nrefs];
-            let mut cur: Vec<i64> = self
+            let cur: Vec<i64> = self
                 .refs
                 .iter()
                 .enumerate()
@@ -176,14 +307,30 @@ impl CompiledNest {
                 .iter()
                 .map(|cr| cr.strides[level] * step)
                 .collect();
-            for _ in 0..trips {
-                for (r, cr) in self.refs.iter().enumerate() {
-                    debug_assert!(cur[r] >= 0, "negative address generated");
-                    sink.access(Access {
-                        addr: cur[r] as u64,
-                        kind: cr.kind,
-                    });
-                    cur[r] += deltas[r];
+            self.check_run_addrs(&cur, &deltas, trips);
+            if fast {
+                runs.clear();
+                runs.extend(self.refs.iter().enumerate().map(|(r, cr)| Run {
+                    start: cur[r] as u64,
+                    stride: deltas[r],
+                    count: trips,
+                    kind: cr.kind,
+                }));
+                if let [run] = runs.as_slice() {
+                    sink.run(*run);
+                } else {
+                    sink.run_group(runs);
+                }
+            } else {
+                let mut cur = cur;
+                for _ in 0..trips {
+                    for (r, cr) in self.refs.iter().enumerate() {
+                        sink.access(Access {
+                            addr: cur[r] as u64,
+                            kind: cr.kind,
+                        });
+                        cur[r] += deltas[r];
+                    }
                 }
             }
             *count += trips * nrefs as u64;
@@ -197,7 +344,7 @@ impl CompiledNest {
                 partials[(level + 1) * nrefs + r] =
                     partials[level * nrefs + r] + self.refs[r].strides[level] * v;
             }
-            self.walk(level + 1, vals, partials, sink, count);
+            self.walk(level + 1, vals, partials, sink, fast, runs, count);
             v += step;
         }
     }
@@ -216,10 +363,21 @@ pub fn generate_nest(
 /// Stream the whole program's trace in execution order; returns the number
 /// of references emitted.
 pub fn generate(program: &Program, layout: &DataLayout, sink: &mut impl AccessSink) -> u64 {
+    generate_with(program, layout, sink, true)
+}
+
+/// [`generate`] with an explicit fast-path choice: `fast = false` forces
+/// per-access emission through [`AccessSink::access`].
+pub fn generate_with(
+    program: &Program,
+    layout: &DataLayout,
+    sink: &mut impl AccessSink,
+    fast: bool,
+) -> u64 {
     program
         .nests
         .iter()
-        .map(|n| generate_nest(program, n, layout, sink))
+        .map(|n| CompiledNest::new(program, n, layout).run_with(sink, fast))
         .sum()
 }
 
@@ -230,8 +388,18 @@ pub fn simulate(
     layout: &DataLayout,
     config: &HierarchyConfig,
 ) -> MissRateReport {
+    simulate_with(program, layout, config, true)
+}
+
+/// [`simulate`] with an explicit fast-path choice.
+pub fn simulate_with(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    fast: bool,
+) -> MissRateReport {
     let mut hier = Hierarchy::new(config.clone());
-    generate(program, layout, &mut hier);
+    generate_with(program, layout, &mut hier, fast);
     hier.report()
 }
 
@@ -260,13 +428,25 @@ pub fn simulate_steady(
     warmup: usize,
     timed: usize,
 ) -> MissRateReport {
+    simulate_steady_with(program, layout, config, warmup, timed, true)
+}
+
+/// [`simulate_steady`] with an explicit fast-path choice.
+pub fn simulate_steady_with(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    warmup: usize,
+    timed: usize,
+    fast: bool,
+) -> MissRateReport {
     let mut hier = Hierarchy::new(config.clone());
     for _ in 0..warmup {
-        generate(program, layout, &mut hier);
+        generate_with(program, layout, &mut hier, fast);
     }
     hier.reset_stats();
     for _ in 0..timed {
-        generate(program, layout, &mut hier);
+        generate_with(program, layout, &mut hier, fast);
     }
     hier.report()
 }
@@ -439,5 +619,107 @@ mod tests {
         // Array is 512 bytes: fits L1; second sweep all hits.
         assert_eq!(r.levels[0].misses(), 0);
         assert_eq!(r.total_references, 64);
+    }
+
+    #[test]
+    fn steady_with_zero_warmup_matches_cold_simulate() {
+        let p = figure2_example(64);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let cold = simulate(&p, &l, &cfg);
+        let steady = simulate_steady(&p, &l, &cfg, 0, 1);
+        assert_eq!(cold, steady);
+        let steady_scalar = simulate_steady_with(&p, &l, &cfg, 0, 1, false);
+        assert_eq!(cold, steady_scalar);
+    }
+
+    #[test]
+    fn run_and_scalar_paths_emit_identical_streams() {
+        // RecordingSink has no run override, so the run path expands through
+        // the trait default; both paths must produce the same access list.
+        for p in [figure2_example(32), simple_program(100)] {
+            let l = DataLayout::contiguous(&p.arrays);
+            let mut fast = RecordingSink::default();
+            let nf = generate_with(&p, &l, &mut fast, true);
+            let mut slow = RecordingSink::default();
+            let ns = generate_with(&p, &l, &mut slow, false);
+            assert_eq!(nf, ns);
+            assert_eq!(fast.accesses, slow.accesses);
+        }
+    }
+
+    #[test]
+    fn empty_body_emits_zero_through_both_paths() {
+        let mut p = Program::new("t");
+        p.add_array(ArrayDecl::f64("A", vec![8]));
+        p.add_nest(LoopNest::new(
+            "empty",
+            vec![Loop::counted("i", 0, 63)],
+            vec![],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        for fast in [true, false] {
+            let mut c = CountingSink::default();
+            assert_eq!(generate_with(&p, &l, &mut c, fast), 0);
+            assert_eq!(c.total, 0);
+            let mut h = Hierarchy::new(HierarchyConfig::ultrasparc_i());
+            generate_with(&p, &l, &mut h, fast);
+            assert_eq!(h.stats()[0].accesses(), 0);
+        }
+    }
+
+    fn negative_base_program() -> (Program, DataLayout) {
+        // A(i - 4) over i in 0..=7: addresses -32..=24, negative at first.
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![8]));
+        p.add_nest(LoopNest::new(
+            "neg",
+            vec![Loop::counted("i", 0, 7)],
+            vec![ArrayRef::read(a, vec![E::var_plus("i", -4)])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        (p, l)
+    }
+
+    #[test]
+    #[should_panic(expected = "negative byte address")]
+    fn negative_address_rejected_at_compile_time() {
+        let (p, l) = negative_base_program();
+        CompiledNest::new(&p, &p.nests[0], &l);
+    }
+
+    #[test]
+    #[should_panic(expected = "nest tri: reference to array A")]
+    fn negative_address_caught_at_runtime_for_triangular_bounds() {
+        // Bounds depend on an outer variable, so the static check cannot
+        // prove anything and the endpoint check in the walk must fire —
+        // in release builds too.
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![8, 8]));
+        p.add_nest(LoopNest::new(
+            "tri",
+            vec![
+                Loop::counted("j", 0, 3),
+                Loop::new("i", E::var("j"), E::constant(3)),
+            ],
+            vec![ArrayRef::read(a, vec![E::var_plus("i", -2), E::var("j")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let nest = CompiledNest::new(&p, &p.nests[0], &l); // static check passes
+        let mut c = CountingSink::default();
+        nest.run(&mut c);
+    }
+
+    #[test]
+    fn provably_empty_loop_skips_static_validation() {
+        // The nest would generate negative addresses, but its loop is
+        // provably empty so it can never emit anything: compiling and
+        // running it is fine.
+        let (mut p, _) = negative_base_program();
+        p.nests[0].loops[0] = Loop::counted("i", 3, 2);
+        let l = DataLayout::contiguous(&p.arrays);
+        let nest = CompiledNest::new(&p, &p.nests[0], &l);
+        let mut c = CountingSink::default();
+        assert_eq!(nest.run(&mut c), 0);
     }
 }

@@ -45,12 +45,14 @@ pub use mlc_model as model;
 
 /// The most common imports for working with the library.
 pub mod prelude {
-    pub use mlc_cache_sim::trace::{Access, AccessKind, AccessSink};
+    pub use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, Run};
     pub use mlc_cache_sim::{CacheConfig, Hierarchy, HierarchyConfig};
     pub use mlc_core::pipeline::{optimize, OptimizeOptions, OptimizeTarget};
     pub use mlc_core::{group_pad, l2_max_pad, max_pad, multilvl_pad, pad, MissCosts};
     pub use mlc_kernels::{all_kernels, kernel_by_name, Kernel, Workspace};
     pub use mlc_model::prelude::*;
     pub use mlc_model::program::figure2_example;
-    pub use mlc_model::trace_gen::{generate, simulate, simulate_steady};
+    pub use mlc_model::trace_gen::{
+        generate, generate_with, simulate, simulate_steady, simulate_steady_with, simulate_with,
+    };
 }
