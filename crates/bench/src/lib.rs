@@ -13,6 +13,11 @@
 //! ```text
 //! cargo bench -p mlc-bench --bench simulator
 //! ```
+//!
+//! Passing `--test` after `--` (Criterion's smoke-test convention, used by
+//! the CI bench job) switches to quick mode: every benchmark runs a single
+//! iteration for a single sample, verifying the bench bodies execute
+//! without spending bench-grade time.
 
 use std::fmt::Display;
 use std::hint::black_box;
@@ -55,22 +60,31 @@ impl From<&str> for BenchmarkId {
 #[derive(Debug)]
 pub struct Bencher {
     samples_wanted: usize,
+    quick: bool,
     /// Mean ns/iter of each sample.
     samples: Vec<f64>,
 }
 
 impl Bencher {
-    fn new(samples_wanted: usize) -> Self {
+    fn new(samples_wanted: usize, quick: bool) -> Self {
         Self {
             samples_wanted,
+            quick,
             samples: Vec::new(),
         }
     }
 
     /// Time `f`, recording per-iteration wall time. Calibrates the
     /// iteration count so each sample runs ≥ 10 ms, then takes the
-    /// configured number of samples.
+    /// configured number of samples. In quick (`--test`) mode: one
+    /// iteration, one sample.
     pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            return;
+        }
         black_box(f()); // warm caches and lazily-initialized state
         let start = Instant::now();
         black_box(f());
@@ -129,9 +143,19 @@ fn report(full_name: &str, b: &Bencher, throughput: Option<Throughput>) {
 }
 
 /// Top-level harness state; one per process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments: `--test` (Criterion's smoke-test
+    /// convention, as in `cargo bench ... -- --test`) selects quick mode.
+    fn default() -> Self {
+        Self {
+            quick: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -142,12 +166,13 @@ impl Criterion {
             name: name.to_string(),
             throughput: None,
             sample_size: 10,
+            quick: self.quick,
         }
     }
 
     /// Run one stand-alone benchmark.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
-        run_one(name, 10, None, f);
+        run_one(name, 10, self.quick, None, f);
     }
 }
 
@@ -157,6 +182,7 @@ pub struct BenchmarkGroup {
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
+    quick: bool,
 }
 
 impl BenchmarkGroup {
@@ -178,6 +204,7 @@ impl BenchmarkGroup {
         run_one(
             &format!("{}/{}", self.name, id.name),
             self.sample_size,
+            self.quick,
             self.throughput,
             f,
         );
@@ -201,10 +228,11 @@ impl BenchmarkGroup {
 fn run_one(
     full_name: &str,
     sample_size: usize,
+    quick: bool,
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
-    let mut b = Bencher::new(sample_size);
+    let mut b = Bencher::new(sample_size, quick);
     f(&mut b);
     report(full_name, &b, throughput);
 }
@@ -236,7 +264,7 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut b = Bencher::new(3);
+        let mut b = Bencher::new(3, false);
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(1);
@@ -245,6 +273,18 @@ mod tests {
         assert_eq!(b.samples.len(), 3);
         assert!(b.mean_ns() > 0.0);
         assert!(b.min_ns() <= b.mean_ns());
+    }
+
+    #[test]
+    fn quick_mode_runs_each_body_exactly_once() {
+        let mut b = Bencher::new(10, true);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 1, "--test mode must not loop the body");
+        assert_eq!(b.samples.len(), 1);
     }
 
     #[test]

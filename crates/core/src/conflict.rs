@@ -164,6 +164,56 @@ mod tests {
     }
 
     #[test]
+    fn circular_distance_half_cache_tie() {
+        // d == size/2 is the maximum: going left or right is the same
+        // distance, and nudging either way must shrink it symmetrically.
+        let s = 1024;
+        assert_eq!(circular_distance(0, s / 2, s), s / 2);
+        assert_eq!(circular_distance(s / 2, 0, s), s / 2);
+        assert_eq!(circular_distance(0, s / 2 + 1, s), s / 2 - 1);
+        assert_eq!(circular_distance(0, s / 2 - 1, s), s / 2 - 1);
+        // The tie is stable under rotation of both points.
+        for shift in [1, 31, 512, 1000] {
+            assert_eq!(circular_distance(shift, (shift + s / 2) % s, s), s / 2);
+        }
+    }
+
+    #[test]
+    fn circular_distance_zero_for_cache_multiples() {
+        // Self-alias: addresses a whole number of cache spans apart map to
+        // the same location — the paper's worst case ("separated by a
+        // multiple of the cache size ... severe or ping-pong misses").
+        let s = 1024;
+        for k in 0..4 {
+            assert_eq!(circular_distance(300, 300 + k * s, s), 0);
+        }
+        assert_eq!(circular_distance(300, 300, s), 0, "a point to itself");
+    }
+
+    #[test]
+    fn exact_cache_multiple_separation_is_severe_at_distance_zero() {
+        // Two lockstep arrays whose bases differ by exactly one cache span:
+        // every paired reference self-aliases (distance 0), the strongest
+        // severe conflict.
+        let mut p = Program::new("alias");
+        let n = 2048; // one 16 KiB cache span of f64s
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, 1]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![n, 1]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, n as i64 - 1)],
+            vec![
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::constant(0)]),
+                ArrayRef::read(b, vec![AffineExpr::var("i"), AffineExpr::constant(0)]),
+            ],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let c = severe_conflicts(&p, &l, l1());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].distance, 0);
+    }
+
+    #[test]
     fn one_line_of_padding_clears_pairs() {
         let p = figure2_example(512);
         // Pad B by one line and C by two: lockstep pairs now 32/64 B apart.

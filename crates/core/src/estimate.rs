@@ -179,7 +179,7 @@ mod tests {
         let padded = pad(&p, h.l1()).layout;
         let grouped = {
             let g = group_pad(&p, h.l1());
-            l2_max_pad(&p, h.l1(), h.levels[1], &g.pads).layout
+            l2_max_pad(&p, h.l1(), h.levels[1], &g.pads).unwrap().layout
         };
         let sim = |l: &DataLayout| simulate_steady(&p, l, &h, 1, 1);
         let est = |l: &DataLayout| estimate_misses(&p, l, &h);
@@ -210,7 +210,7 @@ mod tests {
         let h = ultra();
         let p = figure2_example(512);
         let g = group_pad(&p, h.l1());
-        let layout = l2_max_pad(&p, h.l1(), h.levels[1], &g.pads).layout;
+        let layout = l2_max_pad(&p, h.l1(), h.levels[1], &g.pads).unwrap().layout;
         let sim = simulate_steady(&p, &layout, &h, 1, 1);
         let est = estimate_misses(&p, &layout, &h);
         for level in 0..2 {

@@ -56,7 +56,9 @@ pub fn accounting_cost(acc: &ProgramAccounting, costs: &MissCosts) -> f64 {
 /// Compute the GROUPPAD + L2MAXPAD layout the accounting assumes.
 pub fn reuse_layout(program: &Program, l1: CacheConfig, l2: CacheConfig) -> DataLayout {
     let g = group_pad(program, l1);
-    l2_max_pad(program, l1, l2, &g.pads).layout
+    l2_max_pad(program, l1, l2, &g.pads)
+        .expect("fusion accounting requires a nested hierarchy")
+        .layout
 }
 
 /// Evaluate fusing nests `at` and `at+1`. Errors if fusion is illegal.

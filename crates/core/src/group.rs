@@ -72,25 +72,25 @@ pub struct ArcInfo {
 
 /// A uniformly generated set, precompiled.
 #[derive(Debug, Clone)]
-struct SkelGroup {
+pub(crate) struct SkelGroup {
     /// Element size of the array (bytes).
-    elem: u64,
+    pub(crate) elem: u64,
     /// Members sorted ascending by element offset: (body index, offset).
-    members: Vec<(usize, i64)>,
+    pub(crate) members: Vec<(usize, i64)>,
 }
 
 /// One nest, precompiled for base-address-parametric analysis.
 #[derive(Debug, Clone)]
 pub struct NestSkeleton {
     /// Per body reference: owning array.
-    array: Vec<usize>,
+    pub(crate) array: Vec<usize>,
     /// Per body reference: byte offset of its first-iteration address from
     /// the array base (layout-independent).
-    offset: Vec<u64>,
+    pub(crate) offset: Vec<u64>,
     /// Per body reference: id shared by *identical* references (same array,
     /// same coefficients, same constants).
-    data_id: Vec<usize>,
-    groups: Vec<SkelGroup>,
+    pub(crate) data_id: Vec<usize>,
+    pub(crate) groups: Vec<SkelGroup>,
 }
 
 impl NestSkeleton {
@@ -164,7 +164,7 @@ impl NestSkeleton {
     /// leading element's cache slot while reading that very memory line
     /// (e.g. a group sibling trailing a few bytes behind) refreshes the
     /// line instead of evicting it.
-    fn arc_exploited(
+    pub(crate) fn arc_exploited(
         &self,
         bases: &[u64],
         cache: CacheConfig,
@@ -267,21 +267,53 @@ impl NestSkeleton {
     }
 
     /// Number of references exploiting group reuse on one cache.
+    ///
+    /// Equivalent to counting [`RefClass::L1`] in
+    /// [`NestSkeleton::classify`] with `l2 = None`, but allocation-free —
+    /// this sits in the innermost loop of the padding search, which scores
+    /// hundreds of candidate positions per variable.
     pub fn exploited(&self, bases: &[u64], cache: CacheConfig, visible: Option<&[bool]>) -> usize {
-        self.classify(bases, cache, None, visible)
-            .iter()
-            .filter(|&&c| c == RefClass::L1)
-            .count()
+        let mut count = 0;
+        for g in &self.groups {
+            for (k, &(body, off)) in g.members.iter().enumerate() {
+                if let Some(vis) = visible {
+                    if !vis[self.array[body]] {
+                        continue;
+                    }
+                }
+                if g.members[..k].iter().any(|&(_, o)| o == off) {
+                    continue; // register-level duplicate
+                }
+                let Some(&(lead, lead_off)) = g.members[k + 1..].iter().find(|&&(_, o)| o != off)
+                else {
+                    continue; // leading reference
+                };
+                let span = (lead_off - off) as u64 * g.elem;
+                if self.arc_exploited(bases, cache, body, lead, span, visible) {
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 }
 
 /// A whole program, precompiled.
 #[derive(Debug, Clone)]
 pub struct ProgramSkeleton {
-    nests: Vec<NestSkeleton>,
+    pub(crate) nests: Vec<NestSkeleton>,
     /// Per nest: cross-array lockstep pairs (body indices) for severe-
     /// conflict counting.
-    lockstep: Vec<Vec<(usize, usize)>>,
+    pub(crate) lockstep: Vec<Vec<(usize, usize)>>,
+    /// Per nest: the (min, max) array index its body references, or `None`
+    /// for an empty body. The padding search's per-variable index: moving
+    /// variable `k` shifts the bases of arrays `k..` by one common delta, so
+    /// a nest's severe/exploited counts can only change when its references
+    /// straddle the split — `min < k <= max`. Everything else is invariant
+    /// under the move and need not be rescored.
+    spans: Vec<Option<(usize, usize)>>,
+    /// Per array: size in bytes (for cumulative base-address arithmetic).
+    sizes: Vec<u64>,
     n_arrays: usize,
 }
 
@@ -310,9 +342,24 @@ impl ProgramSkeleton {
                 pairs
             })
             .collect();
+        let spans = nests
+            .iter()
+            .map(|n| {
+                let min = n.array.iter().copied().min()?;
+                let max = n.array.iter().copied().max()?;
+                Some((min, max))
+            })
+            .collect();
+        let sizes = program
+            .arrays
+            .iter()
+            .map(|a| a.size_bytes() as u64)
+            .collect();
         Self {
             nests,
             lockstep,
+            spans,
+            sizes,
             n_arrays: program.arrays.len(),
         }
     }
@@ -322,9 +369,34 @@ impl ProgramSkeleton {
         self.n_arrays
     }
 
+    /// Per-array sizes in bytes, in declaration order.
+    pub fn array_sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
     /// Per-nest skeletons.
     pub fn nests(&self) -> &[NestSkeleton] {
         &self.nests
+    }
+
+    /// The (min, max) array ids referenced by nest `n` (`None` if its body
+    /// is empty). See the field docs: this is the index that lets the
+    /// search engine skip nests a coordinate move cannot affect.
+    pub fn nest_array_span(&self, n: usize) -> Option<(usize, usize)> {
+        self.spans[n]
+    }
+
+    /// Can moving the base addresses of arrays `k..` (all by one common
+    /// delta) change nest `n`'s severe-conflict or exploited-arc counts?
+    ///
+    /// Only if the nest references arrays on both sides of the split: a nest
+    /// whose references all move (or all stay) keeps every pairwise distance
+    /// modulo the cache size, so both counts are invariant.
+    pub fn nest_affected_by_move(&self, n: usize, k: usize) -> bool {
+        match self.spans[n] {
+            Some((min, max)) => min < k && k <= max,
+            None => false,
+        }
     }
 
     /// Classify the whole program under base addresses.
@@ -352,31 +424,54 @@ impl ProgramSkeleton {
 
     /// Severe cross-variable conflicts among visible arrays under `bases`.
     pub fn severe(&self, bases: &[u64], cache: CacheConfig, visible: Option<&[bool]>) -> usize {
+        (0..self.nests.len())
+            .map(|n| self.severe_in_nest(n, bases, cache, visible))
+            .sum()
+    }
+
+    /// Severe cross-variable conflicts of one nest under `bases`.
+    pub fn severe_in_nest(
+        &self,
+        n: usize,
+        bases: &[u64],
+        cache: CacheConfig,
+        visible: Option<&[bool]>,
+    ) -> usize {
         let line = cache.line as u64;
         let s = cache.size as u64;
+        let nest = &self.nests[n];
         let mut count = 0;
-        for (n, pairs) in self.nests.iter().zip(&self.lockstep) {
-            for &(i, j) in pairs {
-                if let Some(vis) = visible {
-                    if !vis[n.array[i]] || !vis[n.array[j]] {
-                        continue;
-                    }
+        for &(i, j) in &self.lockstep[n] {
+            if let Some(vis) = visible {
+                if !vis[nest.array[i]] || !vis[nest.array[j]] {
+                    continue;
                 }
-                let ai = bases[n.array[i]] + n.offset[i];
-                let aj = bases[n.array[j]] + n.offset[j];
-                if ai.abs_diff(aj) < line {
-                    continue; // same memory line: sharing, not ping-ponging
-                }
-                let d = {
-                    let d = (ai % s).abs_diff(aj % s);
-                    d.min(s - d)
-                };
-                if d < line {
-                    count += 1;
-                }
+            }
+            let ai = bases[nest.array[i]] + nest.offset[i];
+            let aj = bases[nest.array[j]] + nest.offset[j];
+            if ai.abs_diff(aj) < line {
+                continue; // same memory line: sharing, not ping-ponging
+            }
+            let d = {
+                let d = (ai % s).abs_diff(aj % s);
+                d.min(s - d)
+            };
+            if d < line {
+                count += 1;
             }
         }
         count
+    }
+
+    /// References of nest `n` exploiting group reuse on `cache`.
+    pub fn exploited_in_nest(
+        &self,
+        n: usize,
+        bases: &[u64],
+        cache: CacheConfig,
+        visible: Option<&[bool]>,
+    ) -> usize {
+        self.nests[n].exploited(bases, cache, visible)
     }
 }
 

@@ -12,15 +12,26 @@
 //! variable all cache positions at line granularity are scored by the
 //! lexicographic objective *(fewest severe conflicts, most references
 //! exploiting group reuse among placed variables, smallest pad)*.
+//!
+//! Two interchangeable engines run the search: the pruned incremental one
+//! in [`crate::search`] (default) and the exhaustive scalar scan kept here
+//! (selected by [`crate::search::set_fast_search`]`(false)`, the
+//! `--no-fast-search` flag on the experiment binaries). They produce
+//! bitwise-identical pads; the parity suite in `mlc-experiments` checks
+//! every kernel × hierarchy, and debug builds cross-check each placement.
 
 use crate::group::ProgramSkeleton;
-use crate::pad::PadResult;
+use crate::pad::{PadError, PadResult};
 use mlc_cache_sim::CacheConfig;
 use mlc_model::{DataLayout, Program};
 
 /// Run GROUPPAD against one cache (the L1 cache in the paper).
+///
+/// Infallible: the line-granularity quantum divides the cache size by
+/// construction of [`CacheConfig`].
 pub fn group_pad(program: &Program, cache: CacheConfig) -> PadResult {
     group_pad_quantized(program, cache, cache.line as u64, &[])
+        .expect("cache line divides cache size")
 }
 
 /// GROUPPAD with a pad quantum: candidate pads are multiples of `quantum`
@@ -29,32 +40,76 @@ pub fn group_pad(program: &Program, cache: CacheConfig) -> PadResult {
 /// variant uses, where the quantum at level ℓ is the cache size of level
 /// ℓ−1 so deeper levels cannot disturb the layout already fixed for the
 /// levels above (Section 3.2.2).
+///
+/// Errors with [`PadError::BadQuantum`] when `quantum` is zero or does not
+/// divide the cache size, and [`PadError::BaseLenMismatch`] when a
+/// non-empty `base_pads` does not cover every array.
 pub fn group_pad_quantized(
     program: &Program,
     cache: CacheConfig,
     quantum: u64,
     base_pads: &[u64],
-) -> PadResult {
-    assert!(
-        quantum > 0 && (cache.size as u64).is_multiple_of(quantum),
-        "quantum must divide the cache size"
-    );
+) -> Result<PadResult, PadError> {
+    let skel = ProgramSkeleton::new(program);
+    group_pad_quantized_with(program, &skel, cache, quantum, base_pads)
+}
+
+/// [`group_pad_quantized`] against a prebuilt [`ProgramSkeleton`] — the
+/// entry point for callers that run many searches over one program (the
+/// multi-level recursion, sweep drivers, benchmarks), hoisting skeleton
+/// construction out of the loop.
+pub fn group_pad_quantized_with(
+    program: &Program,
+    skel: &ProgramSkeleton,
+    cache: CacheConfig,
+    quantum: u64,
+    base_pads: &[u64],
+) -> Result<PadResult, PadError> {
+    if quantum == 0 || !(cache.size as u64).is_multiple_of(quantum) {
+        return Err(PadError::BadQuantum {
+            quantum,
+            cache_size: cache.size,
+        });
+    }
     let n = program.arrays.len();
+    if !base_pads.is_empty() && base_pads.len() != n {
+        return Err(PadError::BaseLenMismatch {
+            arrays: n,
+            base_pads: base_pads.len(),
+        });
+    }
     let base = if base_pads.is_empty() {
         vec![0u64; n]
     } else {
         base_pads.to_vec()
     };
-    assert_eq!(base.len(), n);
+    let (pads, tried, scored) = if crate::search::fast_search_enabled() {
+        crate::search::grouppad_search(skel, cache, quantum, base)
+    } else {
+        scalar_search(skel, cache, quantum, base)
+    };
+    Ok(PadResult {
+        layout: DataLayout::with_pads(&program.arrays, &pads),
+        pads,
+        positions_tried: tried,
+        positions_scored: scored,
+    })
+}
+
+/// The exhaustive scalar scan: every candidate position, full recompute.
+/// Kept verbatim as the `--no-fast-search` reference implementation and the
+/// baseline of the `optimizer_throughput` benchmark.
+fn scalar_search(
+    skel: &ProgramSkeleton,
+    cache: CacheConfig,
+    quantum: u64,
+    base: Vec<u64>,
+) -> (Vec<u64>, u64, u64) {
+    let n = skel.n_arrays();
     let mut pads = base.clone();
     let mut tried = 0u64;
     let candidates = cache.size as u64 / quantum;
-    let skel = ProgramSkeleton::new(program);
-    let sizes: Vec<u64> = program
-        .arrays
-        .iter()
-        .map(|a| a.size_bytes() as u64)
-        .collect();
+    let sizes = skel.array_sizes();
     // bases(pads): cumulative layout arithmetic without allocating a layout.
     let compute_bases = |pads: &[u64], out: &mut Vec<u64>| {
         out.clear();
@@ -107,11 +162,7 @@ pub fn group_pad_quantized(
             break;
         }
     }
-    PadResult {
-        layout: DataLayout::with_pads(&program.arrays, &pads),
-        pads,
-        positions_tried: tried,
-    }
+    (pads, tried, tried)
 }
 
 /// Recursive multi-level GROUPPAD (Section 3.2.2): "GROUPPAD ... begins
@@ -122,18 +173,35 @@ pub fn group_pad_quantized(
 ///
 /// Phase ℓ searches pad increments that are multiples of level ℓ−1's cache
 /// size, so every already-fixed level's layout (base addresses modulo its
-/// cache size) is untouched. Works for any hierarchy depth.
-pub fn group_pad_multi(program: &Program, hierarchy: &mlc_cache_sim::HierarchyConfig) -> PadResult {
-    let mut result = group_pad(program, hierarchy.l1());
+/// cache size) is untouched. Works for any hierarchy depth; errors with
+/// [`PadError::BadQuantum`] on a hierarchy whose sizes do not nest.
+///
+/// The program skeleton is built once and shared across all levels.
+pub fn group_pad_multi(
+    program: &Program,
+    hierarchy: &mlc_cache_sim::HierarchyConfig,
+) -> Result<PadResult, PadError> {
+    let skel = ProgramSkeleton::new(program);
+    let l1 = hierarchy.l1();
+    let mut result = group_pad_quantized_with(program, &skel, l1, l1.line as u64, &[])?;
     let mut tried = result.positions_tried;
+    let mut scored = result.positions_scored;
     for level in 1..hierarchy.depth() {
         let quantum = hierarchy.levels[level - 1].size as u64;
-        let r = group_pad_quantized(program, hierarchy.levels[level], quantum, &result.pads);
+        let r = group_pad_quantized_with(
+            program,
+            &skel,
+            hierarchy.levels[level],
+            quantum,
+            &result.pads,
+        )?;
         tried += r.positions_tried;
+        scored += r.positions_scored;
         result = r;
     }
     result.positions_tried = tried;
-    result
+    result.positions_scored = scored;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -141,6 +209,7 @@ mod tests {
     use super::*;
     use crate::conflict::severe_conflicts;
     use crate::group::{account, exploited_count, RefClass};
+    use crate::search::FAST_SEARCH_TEST_LOCK;
     use mlc_cache_sim::CacheConfig;
     use mlc_model::program::figure2_example;
     use mlc_model::transform::fuse_in_program;
@@ -223,10 +292,59 @@ mod tests {
     #[test]
     fn quantized_pads_respect_quantum() {
         let p = figure2_example(60);
-        let r = group_pad_quantized(&p, CacheConfig::direct_mapped(8192, 64), 1024, &[]);
+        let r = group_pad_quantized(&p, CacheConfig::direct_mapped(8192, 64), 1024, &[]).unwrap();
         for &pad in &r.pads {
             assert_eq!(pad % 1024, 0);
         }
+    }
+
+    #[test]
+    fn bad_quantum_is_a_named_error_not_a_panic() {
+        let p = figure2_example(60);
+        let cache = CacheConfig::direct_mapped(8192, 64);
+        assert_eq!(
+            group_pad_quantized(&p, cache, 0, &[]).unwrap_err(),
+            PadError::BadQuantum {
+                quantum: 0,
+                cache_size: 8192
+            }
+        );
+        // 3000 does not divide 8192.
+        let err = group_pad_quantized(&p, cache, 3000, &[]).unwrap_err();
+        assert!(err.to_string().contains("3000"), "{err}");
+    }
+
+    #[test]
+    fn quantum_equal_to_cache_size_has_a_single_candidate() {
+        // candidates = size/quantum = 1: the only position is the base pad
+        // itself, for both engines, with one try per place call.
+        let _g = FAST_SEARCH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let p = figure2_example(60);
+        let cache = CacheConfig::direct_mapped(1024, 32);
+        for fast in [true, false] {
+            crate::search::set_fast_search(fast);
+            let r = group_pad_quantized(&p, cache, 1024, &[32, 64, 96]).unwrap();
+            assert_eq!(r.pads, vec![32, 64, 96], "fast={fast}: pads must not move");
+            // 3 greedy places + one no-change refinement sweep of 3.
+            assert_eq!(r.positions_tried, 6, "fast={fast}");
+            assert_eq!(r.positions_scored, 6, "fast={fast}: nothing to prune");
+        }
+        crate::search::set_fast_search(true);
+    }
+
+    #[test]
+    fn base_pads_length_mismatch_is_a_named_error() {
+        let p = figure2_example(60); // three arrays
+        let err = group_pad_quantized(&p, small_l1(), 32, &[0, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            PadError::BaseLenMismatch {
+                arrays: 3,
+                base_pads: 2
+            }
+        );
     }
 
     #[test]
@@ -236,7 +354,7 @@ mod tests {
         let first = group_pad(&p, l1);
         // Second phase: search L2 positions in S1 steps on top of the L1 pads.
         let l2 = CacheConfig::direct_mapped(8192, 64);
-        let second = group_pad_quantized(&p, l2, l1.size as u64, &first.pads);
+        let second = group_pad_quantized(&p, l2, l1.size as u64, &first.pads).unwrap();
         for (a, b) in first.pads.iter().zip(&second.pads) {
             assert_eq!(
                 a % l1.size as u64,
@@ -258,7 +376,7 @@ mod tests {
         let h = HierarchyConfig::alpha_21164_like(); // three levels
         let p = figure2_example(300);
         let single = group_pad(&p, h.l1());
-        let multi = group_pad_multi(&p, &h);
+        let multi = group_pad_multi(&p, &h).unwrap();
         // Every level-ℓ phase uses multiples of level ℓ−1's size, so the L1
         // residues of the final layout match the pure-L1 run.
         let s1 = h.l1().size as u64;
@@ -286,10 +404,10 @@ mod tests {
         use mlc_cache_sim::HierarchyConfig;
         let h = HierarchyConfig::ultrasparc_i();
         let p = figure2_example(60);
-        let multi = group_pad_multi(&p, &h);
+        let multi = group_pad_multi(&p, &h).unwrap();
         let manual = {
             let g = group_pad(&p, h.l1());
-            group_pad_quantized(&p, h.levels[1], h.l1().size as u64, &g.pads)
+            group_pad_quantized(&p, h.levels[1], h.l1().size as u64, &g.pads).unwrap()
         };
         assert_eq!(multi.pads, manual.pads);
     }
@@ -304,5 +422,39 @@ mod tests {
             assert_ne!(*c, RefClass::L2);
         }
         assert_eq!(acc.l1_refs + acc.memory_refs + acc.register_refs, 10);
+    }
+
+    #[test]
+    fn fast_and_scalar_search_agree_bitwise() {
+        // The core parity property, at diagram scale and on the real L1,
+        // single- and multi-level. (The full 24-kernel matrix lives in the
+        // mlc-experiments search_parity suite.)
+        let _g = FAST_SEARCH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        use mlc_cache_sim::HierarchyConfig;
+        for n in [60usize, 64, 300, 450] {
+            let p = figure2_example(n);
+            for cache in [small_l1(), CacheConfig::direct_mapped(16 * 1024, 32)] {
+                crate::search::set_fast_search(true);
+                let fast = group_pad(&p, cache);
+                crate::search::set_fast_search(false);
+                let scalar = group_pad(&p, cache);
+                crate::search::set_fast_search(true);
+                assert_eq!(fast.pads, scalar.pads, "N={n}, cache {cache:?}");
+                assert_eq!(fast.layout.bases, scalar.layout.bases);
+                assert_eq!(fast.positions_tried, scalar.positions_tried);
+                assert!(fast.positions_scored <= fast.positions_tried);
+                assert_eq!(scalar.positions_scored, scalar.positions_tried);
+            }
+            let h = HierarchyConfig::ultrasparc_i();
+            crate::search::set_fast_search(true);
+            let fast = group_pad_multi(&p, &h).unwrap();
+            crate::search::set_fast_search(false);
+            let scalar = group_pad_multi(&p, &h).unwrap();
+            crate::search::set_fast_search(true);
+            assert_eq!(fast.pads, scalar.pads, "multi-level, N={n}");
+            assert_eq!(fast.positions_tried, scalar.positions_tried);
+        }
     }
 }

@@ -31,6 +31,12 @@
 //!   L1/2×L1/4×L1/L2 capacity policies of Figure 13, and the §5 cost model.
 //! * [`pipeline`] — an end-to-end optimizer chaining intra-padding, fusion,
 //!   `GROUPPAD` and `L2MAXPAD`, with a human-readable [`report`].
+//! * [`search`] — the pruned incremental engine behind the padding
+//!   searches: suffix-shift delta scoring plus conflict-window candidate
+//!   pruning, bitwise-identical to the exhaustive scans (differentially
+//!   tested) and an order of magnitude faster.
+//! * [`par`] — the channel-based scoped-thread `par_map` shared by the
+//!   candidate scans and the experiment sweep drivers.
 
 pub mod conflict;
 pub mod cost;
@@ -42,8 +48,10 @@ pub mod intra_pad;
 pub mod maxpad;
 pub mod order;
 pub mod pad;
+pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod search;
 pub mod tiling;
 
 pub use conflict::severe_conflicts;
@@ -54,6 +62,9 @@ pub use group::{classify_nest, RefClass};
 pub use group_pad::group_pad;
 pub use maxpad::{l2_max_pad, max_pad};
 pub use order::{loop_costs, permute_for_locality};
-pub use pad::{multilvl_pad, pad, PadResult};
-pub use pipeline::{optimize, optimize_traced, OptimizeOptions, OptimizeTarget};
+pub use pad::{multilvl_pad, pad, PadError, PadResult};
+pub use pipeline::{
+    optimize, optimize_traced, try_optimize, try_optimize_traced, OptimizeOptions, OptimizeTarget,
+};
+pub use search::{fast_search_enabled, set_fast_search, SearchStats};
 pub use tiling::{select_tile, TilePolicy, TileSelection};

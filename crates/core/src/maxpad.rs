@@ -14,7 +14,7 @@
 //! pad to a multiple of `S1`, so base addresses are unchanged mod `S1` and
 //! the L1 layout (hence L1 behaviour) is exactly preserved.
 
-use crate::pad::PadResult;
+use crate::pad::{PadError, PadResult};
 use mlc_cache_sim::CacheConfig;
 use mlc_model::{DataLayout, Program};
 
@@ -22,30 +22,52 @@ use mlc_model::{DataLayout, Program};
 /// variable `k` is placed so its base address lands near `k·S/V` (mod `S`),
 /// with pads quantized to `quantum` bytes (use the line size for a plain
 /// single-level MAXPAD).
+///
+/// Errors with [`PadError::BadQuantum`] when `quantum` is zero or does not
+/// divide the cache size, and [`PadError::BaseLenMismatch`] when a
+/// non-empty `base_pads` does not cover every array.
 pub fn max_pad_quantized(
     program: &Program,
     cache: CacheConfig,
     quantum: u64,
     base_pads: &[u64],
-) -> PadResult {
-    assert!(
-        quantum > 0 && (cache.size as u64).is_multiple_of(quantum),
-        "quantum must divide cache size"
-    );
+) -> Result<PadResult, PadError> {
+    if quantum == 0 || !(cache.size as u64).is_multiple_of(quantum) {
+        return Err(PadError::BadQuantum {
+            quantum,
+            cache_size: cache.size,
+        });
+    }
     let n = program.arrays.len();
-    let base = if base_pads.is_empty() {
+    if !base_pads.is_empty() && base_pads.len() != n {
+        return Err(PadError::BaseLenMismatch {
+            arrays: n,
+            base_pads: base_pads.len(),
+        });
+    }
+    let mut pads = if base_pads.is_empty() {
         vec![0u64; n]
     } else {
         base_pads.to_vec()
     };
-    assert_eq!(base.len(), n);
+    if n == 0 {
+        return Ok(PadResult {
+            layout: DataLayout::with_pads(&program.arrays, &pads),
+            pads,
+            positions_tried: 0,
+            positions_scored: 0,
+        });
+    }
     let s = cache.size as u64;
     let spacing = s / n as u64;
-    let mut pads = base.clone();
     let mut tried = 0u64;
-    for k in 0..n {
-        let layout = DataLayout::with_pads(&program.arrays, &pads);
-        let current = layout.bases[k] % s;
+    // Running cumulative-bases arithmetic (the same prefix `group_pad`'s
+    // search uses): `cursor` holds Σ (pads[i] + sizes[i]) over the already
+    // placed variables, so each step is O(1) instead of rebuilding a
+    // `DataLayout` per iteration.
+    let mut cursor = 0u64;
+    for (k, array) in program.arrays.iter().enumerate() {
+        let current = (cursor + pads[k]) % s;
         let target = (k as u64 * spacing) % s;
         // Extra pad moving this variable from `current` to ~`target`,
         // rounded *up* to the quantum (rounding to nearest may round to a
@@ -56,18 +78,24 @@ pub fn max_pad_quantized(
             extra = 0; // rounding wrapped a full span: already in place
         }
         pads[k] += extra;
+        cursor += pads[k] + array.size_bytes() as u64;
         tried += 1;
     }
-    PadResult {
+    Ok(PadResult {
         layout: DataLayout::with_pads(&program.arrays, &pads),
         pads,
         positions_tried: tried,
-    }
+        positions_scored: tried, // one deterministic position per variable
+    })
 }
 
 /// Single-level MAXPAD: spread variables on `cache` at line granularity.
+///
+/// Infallible: the line-granularity quantum divides the cache size by
+/// construction of [`CacheConfig`].
 pub fn max_pad(program: &Program, cache: CacheConfig) -> PadResult {
     max_pad_quantized(program, cache, cache.line as u64, &[])
+        .expect("cache line divides cache size")
 }
 
 /// `L2MAXPAD`: starting from a GROUPPAD layout for `l1` (its pads in
@@ -75,17 +103,22 @@ pub fn max_pad(program: &Program, cache: CacheConfig) -> PadResult {
 /// multiples of `S1`. The returned layout preserves every base address mod
 /// `S1` — verified by a debug assertion — so L1 behaviour is untouched
 /// while "all group reuse is exploited on the much larger L2 cache".
+///
+/// Errors with [`PadError::BadQuantum`] when `l2` is not a whole multiple
+/// of `l1` (the quantization to `S1` then cannot tile the L2 span).
 pub fn l2_max_pad(
     program: &Program,
     l1: CacheConfig,
     l2: CacheConfig,
     grouppad_pads: &[u64],
-) -> PadResult {
-    assert!(
-        l2.size >= l1.size && l2.size.is_multiple_of(l1.size),
-        "L2 must be a multiple of L1"
-    );
-    let result = max_pad_quantized(program, l2, l1.size as u64, grouppad_pads);
+) -> Result<PadResult, PadError> {
+    if l2.size < l1.size || !l2.size.is_multiple_of(l1.size) {
+        return Err(PadError::BadQuantum {
+            quantum: l1.size as u64,
+            cache_size: l2.size,
+        });
+    }
+    let result = max_pad_quantized(program, l2, l1.size as u64, grouppad_pads)?;
     debug_assert!({
         let before = DataLayout::with_pads(&program.arrays, grouppad_pads);
         before
@@ -94,7 +127,7 @@ pub fn l2_max_pad(
             .zip(&result.layout.bases)
             .all(|(a, b)| a % l1.size as u64 == b % l1.size as u64)
     });
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -131,7 +164,7 @@ mod tests {
     fn l2maxpad_preserves_l1_layout_exactly() {
         let p = figure2_example(60);
         let g = group_pad(&p, l1());
-        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads).unwrap();
         for (a, b) in g.layout.bases.iter().zip(&m.layout.bases) {
             assert_eq!(a % 1024, b % 1024);
         }
@@ -149,7 +182,7 @@ mod tests {
         // singleton C(i,j) in nest 2) still go to memory.
         let p = figure2_example(60);
         let g = group_pad(&p, l1());
-        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads).unwrap();
         let acc = account(&p, &m.layout, l1(), Some(l2()));
         assert_eq!(
             acc.memory_refs, 5,
@@ -166,11 +199,75 @@ mod tests {
     fn l2maxpad_pads_are_s1_multiples_beyond_grouppad() {
         let p = figure2_example(60);
         let g = group_pad(&p, l1());
-        let m = l2_max_pad(&p, l1(), l2(), &g.pads);
+        let m = l2_max_pad(&p, l1(), l2(), &g.pads).unwrap();
         for (gp, mp) in g.pads.iter().zip(&m.pads) {
             assert!(mp >= gp);
             assert_eq!((mp - gp) % 1024, 0, "extra pad must be a multiple of S1");
         }
+    }
+
+    #[test]
+    fn maxpad_prefix_arithmetic_matches_layout_rebuild() {
+        // The O(1) cumulative cursor must see exactly the base a freshly
+        // built DataLayout would report at every step (the old per-iteration
+        // allocation, kept as the test oracle).
+        let p = figure2_example(60);
+        let r = max_pad_quantized(&p, l2(), 1024, &[32, 64, 96]).unwrap();
+        let rebuilt = DataLayout::with_pads(&p.arrays, &r.pads);
+        assert_eq!(r.layout.bases, rebuilt.bases);
+        let s = l2().size as u64;
+        for (k, &b) in rebuilt.bases.iter().enumerate() {
+            let target = k as u64 * (s / 3) % s;
+            let dist = (b % s + s - target) % s;
+            assert!(dist < 1024, "variable {k}: {dist}");
+        }
+    }
+
+    #[test]
+    fn maxpad_bad_quantum_is_a_named_error() {
+        let p = figure2_example(60);
+        assert_eq!(
+            max_pad_quantized(&p, l2(), 0, &[]).unwrap_err(),
+            PadError::BadQuantum {
+                quantum: 0,
+                cache_size: 8192
+            }
+        );
+        assert!(max_pad_quantized(&p, l2(), 3000, &[]).is_err());
+        assert_eq!(
+            max_pad_quantized(&p, l2(), 1024, &[1, 2]).unwrap_err(),
+            PadError::BaseLenMismatch {
+                arrays: 3,
+                base_pads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn l2maxpad_rejects_non_nested_hierarchy() {
+        // Cache sizes are powers of two, so the only way S1 fails to tile
+        // S2 is the levels being swapped: an "L2" smaller than L1.
+        let p = figure2_example(60);
+        let err = l2_max_pad(&p, l2(), l1(), &[0, 0, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            PadError::BadQuantum {
+                quantum: 8192,
+                cache_size: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn maxpad_on_empty_program_is_a_noop() {
+        let p = mlc_model::Program {
+            name: "empty".into(),
+            arrays: vec![],
+            nests: vec![],
+        };
+        let r = max_pad(&p, l2());
+        assert!(r.pads.is_empty());
+        assert_eq!(r.positions_tried, 0);
     }
 
     #[test]

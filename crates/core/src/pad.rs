@@ -27,7 +27,14 @@ pub struct PadResult {
     /// Bytes of padding inserted before each array.
     pub pads: Vec<u64>,
     /// Candidate positions examined across all variables (effort metric).
+    /// Identical whether or not the pruned search runs — it counts the
+    /// positions the exhaustive scan would cover.
     pub positions_tried: u64,
+    /// Candidate positions actually *scored*. Equal to `positions_tried`
+    /// for the exhaustive scans; smaller when [`crate::search`] prunes
+    /// constant-score windows. `tried / scored` is the pruning ratio shown
+    /// in telemetry spans.
+    pub positions_scored: u64,
 }
 
 impl PadResult {
@@ -36,6 +43,49 @@ impl PadResult {
         self.pads.iter().sum()
     }
 }
+
+/// A padding pass was invoked with inconsistent parameters. The quantized
+/// searches used to `assert!` on these; named diagnostics let `pipeline`
+/// callers surface configuration mistakes instead of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PadError {
+    /// The pad quantum must be a positive divisor of the target cache size,
+    /// or candidate positions would not tile the cache exactly.
+    BadQuantum {
+        /// The offending quantum (bytes).
+        quantum: u64,
+        /// The cache size it fails to divide (bytes).
+        cache_size: usize,
+    },
+    /// `base_pads` was non-empty but its length does not match the number
+    /// of arrays in the program.
+    BaseLenMismatch {
+        /// Number of arrays in the program.
+        arrays: usize,
+        /// Length of the supplied `base_pads`.
+        base_pads: usize,
+    },
+}
+
+impl std::fmt::Display for PadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PadError::BadQuantum {
+                quantum,
+                cache_size,
+            } => write!(
+                f,
+                "pad quantum {quantum} must be positive and divide the cache size {cache_size}"
+            ),
+            PadError::BaseLenMismatch { arrays, base_pads } => write!(
+                f,
+                "base_pads has {base_pads} entries but the program declares {arrays} arrays"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PadError {}
 
 /// Generic incremental placement: place each array in declaration order,
 /// bumping its pad by `step` bytes until `ok(candidate_layout, array)` holds
@@ -69,6 +119,7 @@ fn place_incrementally(
         layout: DataLayout::with_pads(&program.arrays, &pads),
         pads,
         positions_tried: tried,
+        positions_scored: tried, // incremental placement scores what it tries
     }
 }
 

@@ -16,7 +16,7 @@ use crate::group::account;
 use crate::group_pad::group_pad;
 use crate::intra_pad::intra_pad;
 use crate::maxpad::l2_max_pad;
-use crate::pad::{multilvl_pad, pad};
+use crate::pad::{multilvl_pad, pad, PadError};
 use crate::report::{OptimizeReport, PassSummary};
 use crate::MissCosts;
 use mlc_cache_sim::HierarchyConfig;
@@ -102,6 +102,9 @@ pub struct Optimized {
 }
 
 /// Run the pipeline on a program for a hierarchy.
+///
+/// Panics only on a hierarchy whose cache sizes do not nest (L2 not a
+/// multiple of L1) — use [`try_optimize`] to handle that as a value.
 pub fn optimize(
     program: &Program,
     hierarchy: &HierarchyConfig,
@@ -111,15 +114,37 @@ pub fn optimize(
 }
 
 /// [`optimize`] with telemetry attached: each pass runs inside a span
-/// recording wall time, positions tried and pads chosen, and per-pass
-/// counters land in `tel.metrics` under `optimizer.*`. `optimize` is this
-/// with a disabled bundle.
+/// recording wall time, positions tried/scored and pads chosen, and
+/// per-pass counters land in `tel.metrics` under `optimizer.*`. `optimize`
+/// is this with a disabled bundle.
 pub fn optimize_traced(
     program: &Program,
     hierarchy: &HierarchyConfig,
     options: &OptimizeOptions,
     tel: &mut Telemetry,
 ) -> Optimized {
+    try_optimize_traced(program, hierarchy, options, tel)
+        .expect("padding cannot fail on a nested hierarchy")
+}
+
+/// Fallible [`optimize`]: surfaces padding configuration errors (a
+/// non-nested hierarchy handed to `L2MAXPAD`) instead of panicking.
+pub fn try_optimize(
+    program: &Program,
+    hierarchy: &HierarchyConfig,
+    options: &OptimizeOptions,
+) -> Result<Optimized, PadError> {
+    try_optimize_traced(program, hierarchy, options, &mut Telemetry::disabled())
+}
+
+/// Fallible [`optimize_traced`]. On `Err` the telemetry bundle may hold a
+/// partially recorded trace (spans up to the failing pass).
+pub fn try_optimize_traced(
+    program: &Program,
+    hierarchy: &HierarchyConfig,
+    options: &OptimizeOptions,
+    tel: &mut Telemetry,
+) -> Result<Optimized, PadError> {
     let l1 = hierarchy.l1();
     let l2 = hierarchy.levels.get(1).copied();
     let mut passes = Vec::new();
@@ -207,39 +232,72 @@ pub fn optimize_traced(
 
     // 4. Inter-variable padding.
     let span = tel.tracer.begin("pass.pad");
-    let (layout, algo, pads, tried) = match (options.preserve_group_reuse, options.target) {
+    crate::search::take_stats(); // attribute the pruning counters to this pass
+    let (layout, algo, pads, tried, scored) = match (options.preserve_group_reuse, options.target) {
         (false, OptimizeTarget::L1Only) => {
             let r = pad(&current, l1);
-            (r.layout, "PAD", r.pads, r.positions_tried)
+            (
+                r.layout,
+                "PAD",
+                r.pads,
+                r.positions_tried,
+                r.positions_scored,
+            )
         }
         (false, OptimizeTarget::MultiLevel) => {
             let r = multilvl_pad(&current, hierarchy);
-            (r.layout, "MULTILVLPAD", r.pads, r.positions_tried)
+            (
+                r.layout,
+                "MULTILVLPAD",
+                r.pads,
+                r.positions_tried,
+                r.positions_scored,
+            )
         }
         (true, OptimizeTarget::L1Only) => {
             let r = group_pad(&current, l1);
-            (r.layout, "GROUPPAD", r.pads, r.positions_tried)
+            (
+                r.layout,
+                "GROUPPAD",
+                r.pads,
+                r.positions_tried,
+                r.positions_scored,
+            )
         }
         (true, OptimizeTarget::MultiLevel) => {
             let g = group_pad(&current, l1);
             let l2c = l2.expect("MultiLevel group padding needs an L2 cache");
-            let m = l2_max_pad(&current, l1, l2c, &g.pads);
+            let m = l2_max_pad(&current, l1, l2c, &g.pads)?;
             (
                 m.layout,
                 "GROUPPAD+L2MAXPAD",
                 m.pads,
                 g.positions_tried + m.positions_tried,
+                g.positions_scored + m.positions_scored,
             )
         }
     };
+    let search_stats = crate::search::take_stats();
     let total_pad: u64 = pads.iter().sum();
     tel.tracer.attr(span, "algorithm", algo);
     tel.tracer.attr(span, "positions_tried", tried);
+    tel.tracer.attr(span, "positions_scored", scored);
     tel.tracer.attr(span, "pad_bytes", total_pad);
     tel.tracer.end(span);
     tel.metrics.count("optimizer.pad.runs", 1);
     tel.metrics.count("optimizer.pad.positions_tried", tried);
+    tel.metrics.count("optimizer.pad.positions_scored", scored);
     tel.metrics.count("optimizer.pad.bytes", total_pad);
+    tel.metrics.count(
+        "optimizer.search.candidates_pruned",
+        search_stats.candidates_pruned,
+    );
+    tel.metrics.count(
+        "optimizer.search.nests_rescored",
+        search_stats.nests_rescored,
+    );
+    tel.metrics
+        .count("optimizer.search.nests_skipped", search_stats.nests_skipped);
     passes.push(PassSummary::Pad {
         algorithm: algo,
         pads: current
@@ -249,6 +307,7 @@ pub fn optimize_traced(
             .map(|(a, &p)| (a.name.clone(), p))
             .collect(),
         positions_tried: tried,
+        positions_scored: scored,
     });
 
     let accounting = account(&current, &layout, l1, l2);
@@ -263,11 +322,11 @@ pub fn optimize_traced(
         accounting,
         padding_bytes,
     };
-    Optimized {
+    Ok(Optimized {
         program: current,
         layout,
         report,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -32,6 +32,9 @@ pub enum PassSummary {
         pads: Vec<(String, u64)>,
         /// Positions tried.
         positions_tried: u64,
+        /// Positions actually scored (less than tried when the pruned
+        /// search skips constant-score windows).
+        positions_scored: u64,
     },
 }
 
@@ -78,12 +81,20 @@ impl fmt::Display for PassSummary {
                 algorithm,
                 pads,
                 positions_tried,
+                positions_scored,
             } => {
                 write!(f, "{algorithm}:")?;
                 for (n, p) in pads {
                     write!(f, " {n}+{p}B")?;
                 }
-                write!(f, " ({positions_tried} positions tried)")
+                if positions_scored == positions_tried {
+                    write!(f, " ({positions_tried} positions tried)")
+                } else {
+                    write!(
+                        f,
+                        " ({positions_tried} positions tried, {positions_scored} scored)"
+                    )
+                }
             }
         }
     }
@@ -136,8 +147,17 @@ mod tests {
             algorithm: "GROUPPAD",
             pads: vec![("A".into(), 0), ("B".into(), 544)],
             positions_tried: 96,
+            positions_scored: 96,
         };
         let txt = s.to_string();
         assert!(txt.contains("GROUPPAD") && txt.contains("B+544B") && txt.contains("96"));
+        assert!(!txt.contains("scored"), "equal counts print compactly");
+        let s = PassSummary::Pad {
+            algorithm: "GROUPPAD",
+            pads: vec![("A".into(), 0)],
+            positions_tried: 1536,
+            positions_scored: 120,
+        };
+        assert!(s.to_string().contains("1536 positions tried, 120 scored"));
     }
 }

@@ -133,7 +133,7 @@ fn l2maxpad_preserves_l1_residues() {
         let l1 = CacheConfig::direct_mapped(16 * 1024, 32);
         let l2 = CacheConfig::direct_mapped(512 * 1024, 64);
         let g = group_pad(&p, l1);
-        let m = l2_max_pad(&p, l1, l2, &g.pads);
+        let m = l2_max_pad(&p, l1, l2, &g.pads).unwrap();
         for (a, b) in g.layout.bases.iter().zip(&m.layout.bases) {
             assert_eq!(a % (16 * 1024), b % (16 * 1024), "seed {seed}");
         }

@@ -53,7 +53,7 @@ fn main() {
     );
 
     println!("== Figure 5: GROUPPAD + L2MAXPAD layout on the L2 cache ==");
-    let m = l2_max_pad(&p, l1, l2, &g.pads);
+    let m = l2_max_pad(&p, l1, l2, &g.pads).expect("nested hierarchy");
     println!("pads: {:?} bytes", m.pads);
     println!("{}", render_program(&p, &m.layout, l2, width));
     let acc = account(&p, &m.layout, l1, Some(l2));

@@ -91,61 +91,11 @@ pub fn simulate_versions(v: &Versions, h: &HierarchyConfig) -> SimResult {
     }
 }
 
-/// Run `f` over `items` on up to `threads` OS threads, preserving order.
-/// (The sweep figures simulate hundreds of problem sizes; `rayon` is not in
-/// the allowed dependency set, so this is a tiny scoped-thread work-stealer.)
-///
-/// Workers pull indices from a shared atomic counter and send `(index,
-/// result)` pairs down an mpsc channel; the caller reassembles them in order.
-/// Nothing is locked per result, so sweep workers never contend no matter
-/// how small the per-item work is.
-pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    use std::sync::atomic::AtomicUsize;
-    use std::sync::mpsc;
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let items_ref = &items;
-    let f_ref = &f;
-    let threads = threads.clamp(1, n);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|s| {
-        let next = &next;
-        for _ in 0..threads {
-            let tx = tx.clone();
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f_ref(&items_ref[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx); // receiver sees EOF once every worker finishes
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-    });
-    slots.into_iter().map(|r| r.unwrap()).collect()
-}
-
-/// Number of worker threads to use for sweeps.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}
+// The channel-based parallel map the sweep binaries fan out over. The
+// implementation moved to `mlc_core::par` so the padding search's candidate
+// scans can share it (core cannot depend on this crate); re-exported here
+// to keep the historical `sim::par_map` path working.
+pub use mlc_core::par::{default_threads, par_map};
 
 #[cfg(test)]
 mod tests {
@@ -165,27 +115,11 @@ mod tests {
     }
 
     #[test]
-    fn par_map_preserves_order() {
-        let xs: Vec<u64> = (0..100).collect();
-        let ys = par_map(xs.clone(), 7, |&x| x * x);
-        assert_eq!(ys, xs.iter().map(|x| x * x).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn par_map_single_thread_and_empty() {
-        let ys = par_map(Vec::<u64>::new(), 4, |&x| x);
-        assert!(ys.is_empty());
-        let ys = par_map(vec![5u64], 16, |&x| x + 1);
-        assert_eq!(ys, vec![6]);
-    }
-
-    #[test]
-    fn par_map_preserves_order_under_heavy_contention() {
-        // Thousands of near-zero-work items on many threads: the shape that
-        // made the old per-item mutex design contend.
-        let xs: Vec<u64> = (0..10_000).collect();
-        let ys = par_map(xs.clone(), 32, |&x| x.wrapping_mul(3));
-        assert_eq!(ys, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    fn par_map_reexport_works() {
+        // The implementation (and its tests) live in mlc_core::par; this
+        // pins the compatibility re-export.
+        let ys = par_map(vec![1u64, 2, 3], 2, |&x| x * x);
+        assert_eq!(ys, vec![1, 4, 9]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! --trace-out PATH      # span/event trace as JSONL
 //! --metrics-out PATH    # metrics registry as JSON (or CSV if PATH ends in .csv)
 //! --no-fast-path        # force per-access scalar simulation (A/B timing)
+//! --no-fast-search      # force the exhaustive padding-position scan
 //! ```
 //!
 //! [`TelemetryCli::from_env`] strips the flags from `std::env::args()` before
@@ -22,6 +23,13 @@
 //! throughput A/B runs and as an escape hatch. Telemetry probing does not
 //! need it: a probed hierarchy never takes the fast path, because the probe
 //! must observe every individual access.
+//!
+//! `--no-fast-search` is the optimizer-side sibling: it clears
+//! [`mlc_core::search::set_fast_search`], making the padding passes run the
+//! exhaustive scalar position scan instead of the pruned incremental
+//! engine. Layouts are bitwise identical either way (differentially
+//! tested); the flag exists for the `optimizer_throughput` A/B benchmark
+//! and as an escape hatch.
 
 use mlc_telemetry::Telemetry;
 use std::path::{Path, PathBuf};
@@ -57,6 +65,8 @@ impl TelemetryCli {
                 metrics_out = Some(PathBuf::from(v));
             } else if arg == "--no-fast-path" {
                 crate::sim::set_fast_path(false);
+            } else if arg == "--no-fast-search" {
+                mlc_core::search::set_fast_search(false);
             } else {
                 rest.push(arg);
             }
@@ -160,6 +170,18 @@ mod tests {
         assert_eq!(rest, sv(&["mlc", "fig11"]));
         assert!(!crate::sim::fast_path_enabled());
         crate::sim::set_fast_path(true); // restore for other tests
+    }
+
+    #[test]
+    fn no_fast_search_flag_is_stripped_and_disables_fast_search() {
+        let _g = mlc_core::search::FAST_SEARCH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        mlc_core::search::set_fast_search(true);
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--no-fast-search", "fig11"]));
+        assert_eq!(rest, sv(&["mlc", "fig11"]));
+        assert!(!mlc_core::search::fast_search_enabled());
+        mlc_core::search::set_fast_search(true); // restore for other tests
     }
 
     #[test]

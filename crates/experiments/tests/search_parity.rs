@@ -1,0 +1,126 @@
+//! Differential parity: the pruned incremental padding-search engine must
+//! produce *bitwise-identical* layouts to the exhaustive scalar scan —
+//! same pads, same base addresses, same `positions_tried` — for every
+//! registered kernel, every padding algorithm, and every hierarchy
+//! geometry the experiments use.
+//!
+//! Debug builds run every kernel on the paper's UltraSparc I config and a
+//! reduced kernel set on the wider geometry matrix (the fast engine
+//! additionally cross-checks every placement against the exhaustive scan
+//! in debug, so these runs are doubly covered but slow); `--release` (the
+//! CI search-parity job) runs every kernel everywhere.
+
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::group_pad::{group_pad_multi, group_pad_quantized};
+use mlc_core::maxpad::l2_max_pad;
+use mlc_core::pad::PadResult;
+use mlc_core::search::{set_fast_search, FAST_SEARCH_TEST_LOCK};
+use mlc_core::{multilvl_pad, PadError};
+use mlc_kernels::registry::all_kernels;
+use mlc_kernels::Kernel;
+use mlc_model::Program;
+
+/// Run `algorithm` once per engine and demand identical results.
+fn assert_search_parity(
+    name: &str,
+    program: &Program,
+    algorithm: impl Fn(&Program) -> Result<PadResult, PadError>,
+) {
+    let _g = FAST_SEARCH_TEST_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    set_fast_search(true);
+    let fast = algorithm(program);
+    set_fast_search(false);
+    let scalar = algorithm(program);
+    set_fast_search(true);
+    match (fast, scalar) {
+        (Ok(fast), Ok(scalar)) => {
+            assert_eq!(fast.pads, scalar.pads, "{name}: pads diverge");
+            assert_eq!(
+                fast.layout.bases, scalar.layout.bases,
+                "{name}: base addresses diverge"
+            );
+            assert_eq!(
+                fast.positions_tried, scalar.positions_tried,
+                "{name}: positions_tried diverge"
+            );
+            assert!(
+                fast.positions_scored <= fast.positions_tried,
+                "{name}: scored {} > tried {}",
+                fast.positions_scored,
+                fast.positions_tried
+            );
+            assert_eq!(
+                scalar.positions_scored, scalar.positions_tried,
+                "{name}: the exhaustive scan scores everything it tries"
+            );
+        }
+        (fast, scalar) => {
+            assert_eq!(
+                fast.map(|r| r.pads),
+                scalar.map(|r| r.pads),
+                "{name}: engines disagree about failing"
+            );
+        }
+    }
+}
+
+/// All four padding algorithms against one hierarchy.
+fn assert_kernel_parity(kernel: &dyn Kernel, cfg: &HierarchyConfig, hname: &str) {
+    let program = kernel.model();
+    let l1 = cfg.l1();
+    let kname = kernel.name();
+    assert_search_parity(&format!("{kname}/{hname}/GROUPPAD"), &program, |p| {
+        group_pad_quantized(p, l1, l1.line as u64, &[])
+    });
+    assert_search_parity(&format!("{kname}/{hname}/GROUPPAD-multi"), &program, |p| {
+        group_pad_multi(p, cfg)
+    });
+    assert_search_parity(&format!("{kname}/{hname}/L2MAXPAD"), &program, |p| {
+        let g = group_pad_quantized(p, l1, l1.line as u64, &[])?;
+        l2_max_pad(p, l1, cfg.levels[1], &g.pads)
+    });
+    assert_search_parity(&format!("{kname}/{hname}/MULTILVLPAD"), &program, |p| {
+        Ok(multilvl_pad(p, cfg))
+    });
+}
+
+/// Kernels for the wide matrix: all of them in release; in debug only the
+/// smaller programs (in debug the fast engine re-runs the exhaustive scan
+/// as a cross-check on every placement, so each case costs at least two
+/// full scalar searches).
+fn matrix_kernels() -> Vec<Box<dyn Kernel>> {
+    let kernels = all_kernels();
+    if cfg!(debug_assertions) {
+        kernels
+            .into_iter()
+            .filter(|k| k.model().arrays.len() <= 4)
+            .collect()
+    } else {
+        kernels
+    }
+}
+
+#[test]
+fn every_kernel_matches_on_ultrasparc_i() {
+    let cfg = HierarchyConfig::ultrasparc_i();
+    for kernel in all_kernels() {
+        assert_kernel_parity(kernel.as_ref(), &cfg, "ultrasparc_i");
+    }
+}
+
+#[test]
+fn kernels_match_on_ablation_hierarchies() {
+    for (cfg, hname) in [
+        (HierarchyConfig::alpha_21164_like(), "alpha_21164_like"),
+        (
+            HierarchyConfig::ultrasparc_like_assoc(2),
+            "ultrasparc_like_assoc2",
+        ),
+    ] {
+        for kernel in matrix_kernels() {
+            assert_kernel_parity(kernel.as_ref(), &cfg, hname);
+        }
+    }
+}
