@@ -47,6 +47,7 @@
 //! assert_eq!(s[1].misses(), 1024 * 8 / 64);
 //! ```
 
+pub mod arbitrary;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;

@@ -5,6 +5,13 @@
 //! These pin down the structural facts the paper's algorithms lean on:
 //! modular nesting of cache levels, direct-mapped/1-way equivalence, and
 //! the LRU stack property.
+//!
+//! Each property is a `check_*(seed)` function; the `#[test]` wrappers
+//! sweep a fixed seed window, and [`regression_seeds_replay`] additionally
+//! replays every seed recorded in `proptest-regressions/properties.txt`
+//! (proptest's on-disk convention, hand-rolled since the workspace has no
+//! external dependencies). A failing seed from any future sweep belongs in
+//! that file, where it reruns on every `cargo test` forever.
 
 use mlc_cache_sim::cache::Probe;
 use mlc_cache_sim::rng::DetRng;
@@ -19,27 +26,24 @@ fn random_trace(rng: &mut DetRng, max_addr: u64) -> Vec<u64> {
 }
 
 /// Direct-mapped is exactly 1-way set-associative under any policy.
-#[test]
-fn direct_mapped_equals_one_way() {
-    for seed in 0..CASES {
-        let mut rng = DetRng::new(seed);
-        let trace = random_trace(&mut rng, 1 << 16);
-        for policy in [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random,
-        ] {
-            let mut dm = Cache::new(CacheConfig::direct_mapped(4096, 64));
-            let mut one_way = Cache::new(CacheConfig::new(4096, 64, 1, policy));
-            for &a in &trace {
-                let expect = if dm.peek(a).is_miss() {
-                    Probe::Miss
-                } else {
-                    Probe::Hit
-                };
-                assert_eq!(one_way.access(a), expect, "seed {seed} policy {policy:?}");
-                dm.access(a);
-            }
+fn check_direct_mapped_equals_one_way(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let trace = random_trace(&mut rng, 1 << 16);
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ] {
+        let mut dm = Cache::new(CacheConfig::direct_mapped(4096, 64));
+        let mut one_way = Cache::new(CacheConfig::new(4096, 64, 1, policy));
+        for &a in &trace {
+            let expect = if dm.peek(a).is_miss() {
+                Probe::Miss
+            } else {
+                Probe::Hit
+            };
+            assert_eq!(one_way.access(a), expect, "seed {seed} policy {policy:?}");
+            dm.access(a);
         }
     }
 }
@@ -48,10 +52,9 @@ fn direct_mapped_equals_one_way() {
 /// addresses are at least `d` apart on a direct-mapped cache of size S
 /// (circular distance of `addr mod S`), they are at least as far apart on a
 /// cache of size k*S.
-#[test]
-fn distances_grow_with_cache_size() {
-    let mut rng = DetRng::new(0xD157);
-    for case in 0..1000 {
+fn check_distances_grow_with_cache_size(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    for case in 0..100 {
         let a = rng.range_u64(0, 1 << 24);
         let b = rng.range_u64(0, 1 << 24);
         let k = rng.range_u64(1, 6) as u32;
@@ -63,110 +66,196 @@ fn distances_grow_with_cache_size() {
         };
         let d1 = circ(a, b, s1);
         let d2 = circ(a, b, s2);
-        assert!(d2 >= d1, "case {case}: a={a} b={b} k={k} d1={d1} d2={d2}");
+        assert!(
+            d2 >= d1,
+            "seed {seed} case {case}: a={a} b={b} k={k} d1={d1} d2={d2}"
+        );
     }
 }
 
 /// LRU inclusion (stack) property: a fully-associative LRU cache of
 /// capacity C+k hits whenever a capacity-C one does.
-#[test]
-fn lru_stack_property() {
-    for seed in 0..CASES {
-        let mut rng = DetRng::new(seed);
-        let trace = random_trace(&mut rng, 1 << 16);
-        let extra = rng.range_usize(1, 3);
-        let line = 64usize;
-        let small_lines = 4usize;
-        let big_lines = small_lines << extra;
-        let mut small = Cache::new(CacheConfig::new(
-            small_lines * line,
-            line,
-            small_lines,
-            ReplacementPolicy::Lru,
-        ));
-        let mut big = Cache::new(CacheConfig::new(
-            big_lines * line,
-            line,
-            big_lines,
-            ReplacementPolicy::Lru,
-        ));
-        for &a in &trace {
-            let sh = small.access(a);
-            let bh = big.access(a);
-            if sh == Probe::Hit {
-                assert_eq!(
-                    bh,
-                    Probe::Hit,
-                    "seed {seed}: big LRU cache missed where small hit"
-                );
-            }
+fn check_lru_stack_property(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let trace = random_trace(&mut rng, 1 << 16);
+    let extra = rng.range_usize(1, 3);
+    let line = 64usize;
+    let small_lines = 4usize;
+    let big_lines = small_lines << extra;
+    let mut small = Cache::new(CacheConfig::new(
+        small_lines * line,
+        line,
+        small_lines,
+        ReplacementPolicy::Lru,
+    ));
+    let mut big = Cache::new(CacheConfig::new(
+        big_lines * line,
+        line,
+        big_lines,
+        ReplacementPolicy::Lru,
+    ));
+    for &a in &trace {
+        let sh = small.access(a);
+        let bh = big.access(a);
+        if sh == Probe::Hit {
+            assert_eq!(
+                bh,
+                Probe::Hit,
+                "seed {seed}: big LRU cache missed where small hit"
+            );
         }
-        assert!(big.misses() <= small.misses(), "seed {seed}");
     }
+    assert!(big.misses() <= small.misses(), "seed {seed}");
 }
 
 /// Replaying a trace twice through a cache large enough to hold its
 /// footprint yields no misses on the second pass.
-#[test]
-fn second_pass_hits_when_footprint_fits() {
-    for seed in 0..CASES {
-        let mut rng = DetRng::new(seed);
-        let len = rng.range_usize(1, 200);
-        let trace = rng.vec_u64(len, 0, 4096);
-        let mut c = Cache::new(CacheConfig::new(8192, 64, 128, ReplacementPolicy::Lru));
-        for &a in &trace {
-            c.access(a);
-        }
-        let first_pass_misses = c.misses();
-        for &a in &trace {
-            assert_eq!(c.access(a), Probe::Hit, "seed {seed}");
-        }
-        assert_eq!(c.misses(), first_pass_misses, "seed {seed}");
+fn check_second_pass_hits_when_footprint_fits(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let len = rng.range_usize(1, 200);
+    let trace = rng.vec_u64(len, 0, 4096);
+    let mut c = Cache::new(CacheConfig::new(8192, 64, 128, ReplacementPolicy::Lru));
+    for &a in &trace {
+        c.access(a);
     }
+    let first_pass_misses = c.misses();
+    for &a in &trace {
+        assert_eq!(c.access(a), Probe::Hit, "seed {seed}");
+    }
+    assert_eq!(c.misses(), first_pass_misses, "seed {seed}");
 }
 
 /// Write-backs never exceed misses (every write-back rides an eviction, and
 /// every eviction rides a miss when prefetching is off), and a read-only
 /// trace produces none. Load/store distinction never changes hit/miss
 /// outcomes.
-#[test]
-fn writebacks_bounded_by_misses() {
-    for seed in 0..CASES {
-        let mut rng = DetRng::new(seed);
-        let len = rng.range_usize(1, 400);
-        let trace: Vec<(u64, bool)> = (0..len)
-            .map(|_| (rng.range_u64(0, 1 << 14), rng.bool()))
-            .collect();
-        let assoc = 1usize << rng.range_u64(0, 3);
-        let mut c = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
-        for &(a, w) in &trace {
-            c.access_kind(a, w);
-        }
-        assert!(c.writebacks() <= c.misses(), "seed {seed}");
-        let mut ro = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
-        for &(a, _) in &trace {
-            ro.access_kind(a, false);
-        }
-        assert_eq!(ro.writebacks(), 0, "seed {seed}");
-        assert_eq!(ro.misses(), c.misses(), "seed {seed}");
-        assert_eq!(ro.accesses(), c.accesses(), "seed {seed}");
+fn check_writebacks_bounded_by_misses(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let len = rng.range_usize(1, 400);
+    let trace: Vec<(u64, bool)> = (0..len)
+        .map(|_| (rng.range_u64(0, 1 << 14), rng.bool()))
+        .collect();
+    let assoc = 1usize << rng.range_u64(0, 3);
+    let mut c = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
+    for &(a, w) in &trace {
+        c.access_kind(a, w);
     }
+    assert!(c.writebacks() <= c.misses(), "seed {seed}");
+    let mut ro = Cache::new(CacheConfig::new(2048, 64, assoc, ReplacementPolicy::Lru));
+    for &(a, _) in &trace {
+        ro.access_kind(a, false);
+    }
+    assert_eq!(ro.writebacks(), 0, "seed {seed}");
+    assert_eq!(ro.misses(), c.misses(), "seed {seed}");
+    assert_eq!(ro.accesses(), c.accesses(), "seed {seed}");
 }
 
 /// Misses never exceed accesses, and peek never changes outcomes.
+fn check_counters_consistent(seed: u64) {
+    let mut rng = DetRng::new(seed);
+    let trace = random_trace(&mut rng, 1 << 16);
+    let assoc = 1usize << rng.range_u64(0, 4);
+    let mut c = Cache::new(CacheConfig::new(4096, 64, assoc, ReplacementPolicy::Lru));
+    for &a in &trace {
+        let before = c.peek(a);
+        let got = c.access(a);
+        assert_eq!(before, got, "seed {seed}");
+    }
+    assert!(c.misses() <= c.accesses(), "seed {seed}");
+    assert_eq!(c.accesses(), trace.len() as u64, "seed {seed}");
+}
+
+/// A named seed-parameterized property.
+type Property = (&'static str, fn(u64));
+
+/// Every property, by name — the sweep tests and the regression replay run
+/// the same list, so a seed recorded for one property reruns them all (a
+/// regression seed is cheap; missing a cross-property interaction is not).
+const PROPERTIES: &[Property] = &[
+    (
+        "direct_mapped_equals_one_way",
+        check_direct_mapped_equals_one_way,
+    ),
+    (
+        "distances_grow_with_cache_size",
+        check_distances_grow_with_cache_size,
+    ),
+    ("lru_stack_property", check_lru_stack_property),
+    (
+        "second_pass_hits_when_footprint_fits",
+        check_second_pass_hits_when_footprint_fits,
+    ),
+    (
+        "writebacks_bounded_by_misses",
+        check_writebacks_bounded_by_misses,
+    ),
+    ("counters_consistent", check_counters_consistent),
+];
+
+#[test]
+fn direct_mapped_equals_one_way() {
+    (0..CASES).for_each(check_direct_mapped_equals_one_way);
+}
+
+#[test]
+fn distances_grow_with_cache_size() {
+    // Historical fixed seed first (this test predates the seed sweep), then
+    // the common window.
+    check_distances_grow_with_cache_size(0xD157);
+    (0..CASES).for_each(check_distances_grow_with_cache_size);
+}
+
+#[test]
+fn lru_stack_property() {
+    (0..CASES).for_each(check_lru_stack_property);
+}
+
+#[test]
+fn second_pass_hits_when_footprint_fits() {
+    (0..CASES).for_each(check_second_pass_hits_when_footprint_fits);
+}
+
+#[test]
+fn writebacks_bounded_by_misses() {
+    (0..CASES).for_each(check_writebacks_bounded_by_misses);
+}
+
 #[test]
 fn counters_consistent() {
-    for seed in 0..CASES {
-        let mut rng = DetRng::new(seed);
-        let trace = random_trace(&mut rng, 1 << 16);
-        let assoc = 1usize << rng.range_u64(0, 4);
-        let mut c = Cache::new(CacheConfig::new(4096, 64, assoc, ReplacementPolicy::Lru));
-        for &a in &trace {
-            let before = c.peek(a);
-            let got = c.access(a);
-            assert_eq!(before, got, "seed {seed}");
+    (0..CASES).for_each(check_counters_consistent);
+}
+
+/// Replay every `cc <hex-seed>` line of the committed regression file
+/// through every property. The file follows proptest's on-disk format so
+/// the workflow (failure prints a seed, a human appends `cc <seed>`) is
+/// familiar, even though the harness is the in-tree PRNG.
+#[test]
+fn regression_seeds_replay() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proptest-regressions/properties.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("regression seed file exists");
+    let mut seeds = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
         }
-        assert!(c.misses() <= c.accesses(), "seed {seed}");
-        assert_eq!(c.accesses(), trace.len() as u64, "seed {seed}");
+        let seed = line
+            .strip_prefix("cc ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .unwrap_or_else(|| panic!("line {}: expected `cc <hex seed>`, got `{raw}`", ln + 1));
+        seeds.push(seed);
+    }
+    assert!(!seeds.is_empty(), "regression seed file has no seeds");
+    for seed in seeds {
+        for (name, check) in PROPERTIES {
+            let result = std::panic::catch_unwind(|| check(seed));
+            assert!(
+                result.is_ok(),
+                "regression seed {seed:#018x} fails property {name}"
+            );
+        }
     }
 }

@@ -1,0 +1,30 @@
+//! A fixed-seed fuzz smoke sweep at the experiments layer: the whole
+//! oracle battery over a window of generated cases, on every test run.
+//!
+//! The dedicated CI job and the weekly scheduled run sweep far more cases
+//! through the `fuzz` binary; this test guarantees a developer running
+//! `cargo test --workspace` gets a slice of that coverage with no extra
+//! tooling, and that the experiments crate's passes stay compatible with
+//! the generators (the kernels the experiments drive are fixed, so the
+//! fuzzer is the only randomized load this layer ever sees).
+
+use mlc_fuzz::{check_case, Case, CaseConfig};
+
+#[test]
+fn fixed_seed_sweep_has_no_violations() {
+    let cfg = CaseConfig::default();
+    let mut checked_total = 0usize;
+    for seed in 0..25 {
+        let case = Case::generate(seed, &cfg);
+        let report = check_case(&case);
+        assert!(
+            !report.failed(),
+            "seed {seed} ({}): {:?}",
+            case.size_summary(),
+            report.violations
+        );
+        checked_total += report.checked.len();
+    }
+    // The sweep must be doing real work, not skipping everything.
+    assert!(checked_total >= 25 * 4, "only {checked_total} oracle runs");
+}

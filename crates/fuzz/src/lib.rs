@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # mlc-fuzz — generative differential testing for the whole stack
+//!
+//! The repository already differentially tests its two big optimizations on
+//! a fixed kernel matrix: the run-length fast path against the per-access
+//! scalar simulation, and the pruned incremental padding search against the
+//! exhaustive scan. This crate removes the "fixed" part: it draws random —
+//! but valid-by-construction — loop-nest programs, data layouts and cache
+//! hierarchies from the generators in [`mlc_model::arbitrary`] and
+//! [`mlc_cache_sim::arbitrary`], then checks every parity-sensitive pair
+//! and every paper invariant the codebase promises:
+//!
+//! * fast-path vs scalar simulation (identical miss reports, cold and
+//!   steady-state);
+//! * generator runs vs scalar emission through an independent sink (the
+//!   TLB, which never batches);
+//! * pruned vs exhaustive padding search (bitwise-identical pads and
+//!   positions-tried accounting);
+//! * `MULTILVLPAD` / `PAD`-per-level leave no severe conflict at any level
+//!   (the Section 3.1.2 modular-arithmetic theorem);
+//! * `L2MAXPAD` preserves the L1 layout exactly (bases unchanged mod `S1`,
+//!   exploited-reuse count untouched — Section 3.2.2);
+//! * the skeleton severe-conflict counter agrees with the reference
+//!   implementation in [`mlc_core::conflict`] exactly;
+//! * the fusion cost model's deltas are internally consistent and its
+//!   L2/memory accounting is conserved (Section 4);
+//! * the analytic miss estimator ranks layouts the way the simulator does,
+//!   on the inputs that satisfy its stated assumptions (Section 6.4).
+//!
+//! A failing case is [shrunk](shrink) to a minimal reproducer and
+//! serialized in a line-oriented text format ([`corpus`]) meant to be
+//! committed under `tests/corpus/`, where the tier-1 suite replays it
+//! forever. The `fuzz` binary drives the loop:
+//!
+//! ```text
+//! cargo run --release -p mlc-fuzz -- --seed 0 --cases 500
+//! ```
+
+pub mod case;
+pub mod corpus;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{Case, CaseConfig};
+pub use oracle::{check_case, Report, Violation, ORACLES};
+pub use shrink::shrink;

@@ -1,0 +1,255 @@
+//! Random-but-valid program generation for differential testing.
+//!
+//! `mlc-fuzz` draws loop-nest programs from these generators and cross-checks
+//! the optimization passes and simulators on them. Everything produced here
+//! passes [`Program::validate`] and compiles with
+//! [`crate::trace_gen::CompiledNest::try_new`] under the contiguous layout
+//! *by construction*:
+//!
+//! * loop lower bounds are ≥ 2 and subscript offsets are within ±2, so no
+//!   reference can index below 0;
+//! * loop upper bounds stay at least 3 below every array extent, so offsets
+//!   up to +2 stay inside the allocation;
+//! * trip counts are capped per nest depth, so a generated case simulates in
+//!   milliseconds even in debug builds.
+//!
+//! The distribution is biased toward the phenomena the paper studies: most
+//! arrays share one common extent (so their column sizes collide on
+//! power-of-two caches exactly as in Figure 2), the leading subscript
+//! usually walks the innermost loop (column-major contiguity, giving the
+//! run-length fast path real work), and extents are frequently powers of
+//! two (the pathological sizes of Figure 8).
+
+use crate::array::ArrayDecl;
+use crate::expr::AffineExpr;
+use crate::layout::DataLayout;
+use crate::nest::{Loop, LoopNest};
+use crate::program::Program;
+use crate::reference::ArrayRef;
+use mlc_cache_sim::rng::DetRng;
+
+/// Bounds for [`arbitrary_program`].
+#[derive(Debug, Clone)]
+pub struct ProgramGenConfig {
+    /// Maximum number of arrays (≥ 1).
+    pub max_arrays: usize,
+    /// Maximum number of nests (≥ 1).
+    pub max_nests: usize,
+    /// Maximum nest depth (1–3).
+    pub max_depth: usize,
+    /// Maximum references per nest body (≥ 1).
+    pub max_refs_per_nest: usize,
+    /// Largest array extent per dimension (≥ 8).
+    pub max_extent: usize,
+    /// Generate write references (1-in-5 per reference).
+    pub allow_writes: bool,
+    /// Generate step-2 loops (1-in-5 per loop).
+    pub allow_nonunit_steps: bool,
+    /// Generate negative-step loops (1-in-6 per loop).
+    pub allow_reversed_loops: bool,
+    /// Generate intra-variable padding on leading dimensions (1-in-6 per
+    /// 2-D+ array).
+    pub allow_dim_pads: bool,
+    /// Let a nest reuse the previous nest's loop headers (1-in-2 per
+    /// non-first nest). Identical headers are what makes the pair a fusion
+    /// candidate, so without this the fusion cost model never gets fuzzed.
+    pub allow_shared_headers: bool,
+}
+
+impl Default for ProgramGenConfig {
+    fn default() -> Self {
+        Self {
+            max_arrays: 4,
+            max_nests: 3,
+            max_depth: 3,
+            max_refs_per_nest: 6,
+            max_extent: 40,
+            allow_writes: true,
+            allow_nonunit_steps: true,
+            allow_reversed_loops: true,
+            allow_dim_pads: true,
+            allow_shared_headers: true,
+        }
+    }
+}
+
+const VARS: [&str; 3] = ["i", "j", "k"];
+
+/// A random valid program within `cfg`'s bounds. Equal seeds give equal
+/// programs.
+pub fn arbitrary_program(rng: &mut DetRng, cfg: &ProgramGenConfig) -> Program {
+    let max_extent = cfg.max_extent.max(8);
+    // The shared domain size. Power-of-two extents half the time: those are
+    // the cache-size-divisor column lengths that make severe conflicts
+    // endemic (Figure 8's N = 256/512 pathologies, scaled down).
+    let n = if rng.bool() {
+        let mut n = 8usize;
+        while n * 2 <= max_extent && rng.bool() {
+            n *= 2;
+        }
+        n
+    } else {
+        rng.range_usize(8, max_extent + 1)
+    };
+
+    let mut p = Program::new("fuzz");
+    let n_arrays = rng.range_usize(1, cfg.max_arrays.max(1) + 1);
+    for a in 0..n_arrays {
+        let rank = *rng.pick(&[1usize, 2, 2, 2, 3]).min(&cfg.max_depth.max(1));
+        let mut dims = Vec::with_capacity(rank);
+        // Leading dimension exactly n (shared column size); outer dimensions
+        // n plus a little slack.
+        dims.push(n);
+        for _ in 1..rank {
+            dims.push(n + rng.range_usize(0, 4));
+        }
+        let elem = if rng.range_u64(0, 4) == 0 { 4 } else { 8 };
+        let name = format!("{}", (b'A' + a as u8) as char);
+        let mut decl = ArrayDecl::new(name, elem, dims);
+        if cfg.allow_dim_pads && decl.rank() >= 2 && rng.range_u64(0, 6) == 0 {
+            decl.set_dim_pad(0, rng.range_usize(1, 4));
+        }
+        p.add_array(decl);
+    }
+
+    let n_nests = rng.range_usize(1, cfg.max_nests.max(1) + 1);
+    for nest_idx in 0..n_nests {
+        // Half the time a non-first nest clones its predecessor's headers:
+        // identical headers make the pair a fusion candidate, which is the
+        // only way the fusion cost model sees random inputs.
+        let loops = if cfg.allow_shared_headers && nest_idx > 0 && rng.bool() {
+            p.nests[nest_idx - 1].loops.clone()
+        } else {
+            let depth = rng.range_usize(1, cfg.max_depth.clamp(1, 3) + 1);
+            // Keep total iterations per nest in the low thousands.
+            let trip_cap = [16i64, 12, 8][depth - 1];
+            let mut loops = Vec::with_capacity(depth);
+            for var in VARS.iter().take(depth) {
+                let lo = rng.range_i64(2, 4);
+                let max_hi = (n as i64 - 3).min(lo + trip_cap - 1);
+                let hi = rng.range_i64(lo, max_hi + 1);
+                let mut l = Loop::counted(*var, lo, hi);
+                if cfg.allow_nonunit_steps && rng.range_u64(0, 5) == 0 {
+                    l.step = 2;
+                }
+                if cfg.allow_reversed_loops && rng.range_u64(0, 6) == 0 {
+                    l.step = -l.step;
+                }
+                loops.push(l);
+            }
+            loops
+        };
+        let depth = loops.len();
+        let n_refs = rng.range_usize(1, cfg.max_refs_per_nest.max(1) + 1);
+        let mut body = Vec::with_capacity(n_refs);
+        for _ in 0..n_refs {
+            let array = rng.range_usize(0, p.arrays.len());
+            let rank = p.arrays[array].rank();
+            let mut subs = Vec::with_capacity(rank);
+            for d in 0..rank {
+                if rng.range_u64(0, 8) == 0 {
+                    // Constant subscript, safely inside the extent.
+                    subs.push(AffineExpr::constant(rng.range_i64(2, n as i64 - 2)));
+                } else {
+                    // Leading dimension usually walks the innermost loop
+                    // (column-major contiguity); others pick any loop var.
+                    let v = if d == 0 && rng.range_u64(0, 4) != 0 {
+                        VARS[depth - 1]
+                    } else {
+                        VARS[rng.range_usize(0, depth)]
+                    };
+                    subs.push(AffineExpr::var_plus(v, rng.range_i64(-2, 3)));
+                }
+            }
+            let write = cfg.allow_writes && rng.range_u64(0, 5) == 0;
+            body.push(if write {
+                ArrayRef::write(array, subs)
+            } else {
+                ArrayRef::read(array, subs)
+            });
+        }
+        p.add_nest(LoopNest::new(format!("n{nest_idx}"), loops, body));
+    }
+    debug_assert_eq!(p.validate(), Ok(()));
+    p
+}
+
+/// A random layout for `arrays`: contiguous half the time, otherwise
+/// contiguous plus 8-byte-aligned inter-variable pads of up to 256 bytes —
+/// enough to move bases across line and set boundaries without inflating
+/// footprints.
+pub fn arbitrary_layout(rng: &mut DetRng, arrays: &[ArrayDecl]) -> DataLayout {
+    if rng.bool() {
+        DataLayout::contiguous(arrays)
+    } else {
+        let pads: Vec<u64> = (0..arrays.len())
+            .map(|_| 8 * rng.range_u64(0, 33))
+            .collect();
+        DataLayout::with_pads(arrays, &pads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_gen::CompiledNest;
+    use mlc_cache_sim::trace::CountingSink;
+
+    #[test]
+    fn generated_programs_validate_and_stream() {
+        let cfg = ProgramGenConfig::default();
+        for seed in 0..300 {
+            let mut rng = DetRng::new(seed);
+            let p = arbitrary_program(&mut rng, &cfg);
+            p.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: invalid program: {e}"));
+            let l = arbitrary_layout(&mut rng, &p.arrays);
+            let mut sink = CountingSink::default();
+            for nest in &p.nests {
+                let c = CompiledNest::try_new(&p, nest, &l)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                c.try_run(&mut sink)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = ProgramGenConfig::default();
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        let pa = arbitrary_program(&mut a, &cfg);
+        let pb = arbitrary_program(&mut b, &cfg);
+        assert_eq!(pa, pb);
+        let la = arbitrary_layout(&mut a, &pa.arrays);
+        let lb = arbitrary_layout(&mut b, &pb.arrays);
+        assert_eq!(la, lb);
+        // Different seeds diverge somewhere in a short window.
+        let differs = (0..8).any(|k| {
+            let mut r = DetRng::new(100 + k);
+            arbitrary_program(&mut r, &cfg) != pa
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn feature_knobs_reach_the_output() {
+        let cfg = ProgramGenConfig::default();
+        let (mut writes, mut reversed, mut nonunit, mut padded) = (false, false, false, false);
+        let mut shared = false;
+        for seed in 0..200 {
+            let mut rng = DetRng::new(seed);
+            let p = arbitrary_program(&mut rng, &cfg);
+            writes |= p.nests.iter().any(|n| n.body.iter().any(|r| r.is_write()));
+            reversed |= p.nests.iter().any(|n| n.loops.iter().any(|l| l.step < 0));
+            nonunit |= p
+                .nests
+                .iter()
+                .any(|n| n.loops.iter().any(|l| l.step.abs() == 2));
+            padded |= p.arrays.iter().any(|a| a.dim_pad.iter().any(|&d| d > 0));
+            shared |= p.nests.windows(2).any(|w| w[0].loops == w[1].loops);
+        }
+        assert!(writes && reversed && nonunit && padded && shared);
+    }
+}

@@ -55,6 +55,7 @@
 //! assert_eq!(permuted.loops[0].var, "i");
 //! ```
 
+pub mod arbitrary;
 pub mod array;
 pub mod dependence;
 pub mod diagram;

@@ -19,8 +19,77 @@ use mlc_cache_sim::stats::MissRateReport;
 use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, Run};
 use mlc_cache_sim::{Hierarchy, HierarchyConfig};
 
+/// Why a nest could not be compiled or streamed.
+///
+/// The historical API `panic!`ed on these; the panicking entry points
+/// ([`CompiledNest::new`], [`generate`], [`simulate`], ...) still do, with
+/// the same messages, but every condition is now a typed, matchable error
+/// surfaced by the `try_*` variants. Differential-testing harnesses run
+/// *generated* (untrusted) programs through the model, and a malformed
+/// case must come back as a reportable value, not an abort — the same
+/// motivation as `mlc-core`'s `PadError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A bound or subscript mentions a variable no enclosing loop binds.
+    UnboundVariable {
+        /// Nest name.
+        nest: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// A loop has step 0 and would never terminate.
+    ZeroStep {
+        /// Nest name.
+        nest: String,
+        /// The offending loop variable.
+        var: String,
+    },
+    /// A loop has no lower or no upper bound expression.
+    EmptyBounds {
+        /// Nest name.
+        nest: String,
+        /// The offending loop variable.
+        var: String,
+    },
+    /// A reference provably generates a negative byte address (a layout
+    /// bug): detected statically for constant-bound nests, or at the first
+    /// offending innermost-loop invocation otherwise.
+    NegativeAddress {
+        /// Nest name.
+        nest: String,
+        /// Referenced array's name.
+        array: String,
+        /// The provable minimum address (negative).
+        min: i64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::UnboundVariable { nest, var } => {
+                write!(f, "variable {var} not bound by nest {nest}")
+            }
+            TraceError::ZeroStep { nest, var } => {
+                write!(f, "nest {nest}: loop {var} has zero step")
+            }
+            TraceError::EmptyBounds { nest, var } => {
+                write!(f, "nest {nest}: loop {var} has no bound expressions")
+            }
+            TraceError::NegativeAddress { nest, array, min } => write!(
+                f,
+                "nest {nest}: reference to array {array} generates a negative \
+                 byte address (minimum {min}); check the data layout's base \
+                 offsets and subscript bounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A bound expression resolved to loop-level indices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct CompiledExpr {
     constant: i64,
     /// (outer-loop index, coefficient) pairs.
@@ -38,7 +107,7 @@ impl CompiledExpr {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct CompiledLoop {
     lowers: Vec<CompiledExpr>,
     uppers: Vec<CompiledExpr>,
@@ -54,7 +123,7 @@ impl CompiledLoop {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct CompiledRef {
     /// Base byte address (constant part of the affine address function).
     base: i64,
@@ -66,7 +135,7 @@ struct CompiledRef {
 }
 
 /// A nest compiled against a layout, ready to stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledNest {
     name: String,
     loops: Vec<CompiledLoop>,
@@ -79,49 +148,87 @@ impl CompiledNest {
     /// # Panics
     /// Panics if a bound or subscript mentions a variable that is not an
     /// enclosing loop of the nest (run [`Program::validate`] first), or if
-    /// the nest provably generates a negative byte address (a layout bug —
-    /// see [`CompiledNest::validate_min_addresses`]).
+    /// the nest provably generates a negative byte address (a layout bug).
+    /// Use [`CompiledNest::try_new`] to get the condition as a value.
     pub fn new(program: &Program, nest: &LoopNest, layout: &DataLayout) -> Self {
-        let var_index = |v: &str| -> usize {
+        Self::try_new(program, nest, layout).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CompiledNest::new`]: every malformed-nest condition
+    /// comes back as a [`TraceError`].
+    pub fn try_new(
+        program: &Program,
+        nest: &LoopNest,
+        layout: &DataLayout,
+    ) -> Result<Self, TraceError> {
+        let var_index = |v: &str| -> Result<usize, TraceError> {
             nest.loop_index(v)
-                .unwrap_or_else(|| panic!("variable {v} not bound by nest {}", nest.name))
+                .ok_or_else(|| TraceError::UnboundVariable {
+                    nest: nest.name.clone(),
+                    var: v.to_string(),
+                })
         };
-        let compile_expr = |e: &crate::expr::AffineExpr| CompiledExpr {
-            constant: e.constant_term(),
-            terms: e.terms().map(|(v, c)| (var_index(v), c)).collect(),
+        let compile_expr = |e: &crate::expr::AffineExpr| -> Result<CompiledExpr, TraceError> {
+            Ok(CompiledExpr {
+                constant: e.constant_term(),
+                terms: e
+                    .terms()
+                    .map(|(v, c)| Ok((var_index(v)?, c)))
+                    .collect::<Result<_, TraceError>>()?,
+            })
         };
-        let loops: Vec<CompiledLoop> = nest
-            .loops
-            .iter()
-            .map(|l| {
-                assert!(l.step != 0, "zero step in {}", nest.name);
-                CompiledLoop {
-                    lowers: l.lowers.iter().map(compile_expr).collect(),
-                    uppers: l.uppers.iter().map(compile_expr).collect(),
-                    step: l.step,
-                }
-            })
-            .collect();
-        let refs: Vec<CompiledRef> = nest
-            .body
-            .iter()
-            .map(|r| {
-                let addr = layout.address_expr(&program.arrays, r);
-                CompiledRef {
-                    base: addr.constant_term(),
-                    strides: nest.loops.iter().map(|l| addr.coeff(&l.var)).collect(),
-                    kind: r.kind,
-                    label: program.arrays[r.array].name.clone(),
-                }
-            })
-            .collect();
+        let mut loops = Vec::with_capacity(nest.loops.len());
+        for l in &nest.loops {
+            if l.step == 0 {
+                return Err(TraceError::ZeroStep {
+                    nest: nest.name.clone(),
+                    var: l.var.clone(),
+                });
+            }
+            if l.lowers.is_empty() || l.uppers.is_empty() {
+                return Err(TraceError::EmptyBounds {
+                    nest: nest.name.clone(),
+                    var: l.var.clone(),
+                });
+            }
+            loops.push(CompiledLoop {
+                lowers: l
+                    .lowers
+                    .iter()
+                    .map(compile_expr)
+                    .collect::<Result<_, _>>()?,
+                uppers: l
+                    .uppers
+                    .iter()
+                    .map(compile_expr)
+                    .collect::<Result<_, _>>()?,
+                step: l.step,
+            });
+        }
+        let mut refs = Vec::with_capacity(nest.body.len());
+        for r in &nest.body {
+            let addr = layout.address_expr(&program.arrays, r);
+            let mut strides = Vec::with_capacity(nest.loops.len());
+            for l in &nest.loops {
+                strides.push(addr.coeff(&l.var));
+            }
+            for (v, _) in addr.terms() {
+                var_index(v)?; // subscript vars must be loop variables
+            }
+            refs.push(CompiledRef {
+                base: addr.constant_term(),
+                strides,
+                kind: r.kind,
+                label: program.arrays[r.array].name.clone(),
+            });
+        }
         let compiled = Self {
             name: nest.name.clone(),
             loops,
             refs,
         };
-        compiled.validate_min_addresses();
-        compiled
+        compiled.validate_min_addresses()?;
+        Ok(compiled)
     }
 
     /// Static negative-address check: when every loop bound is a constant
@@ -133,11 +240,7 @@ impl CompiledNest {
     /// outer-variable-dependent bounds (triangular, strip-mined) are skipped
     /// here because interval reasoning over-approximates them; they are
     /// still covered exactly by the endpoint check in the innermost walk.
-    ///
-    /// # Panics
-    /// Panics with the nest and reference names if the provable minimum
-    /// address is negative.
-    fn validate_min_addresses(&self) {
+    fn validate_min_addresses(&self) -> Result<(), TraceError> {
         let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(self.loops.len());
         for lp in &self.loops {
             let constant_only = lp
@@ -146,12 +249,12 @@ impl CompiledNest {
                 .chain(&lp.uppers)
                 .all(|e| e.terms.is_empty());
             if !constant_only {
-                return;
+                return Ok(());
             }
             let lo = lp.lowers.iter().map(|e| e.constant).max().unwrap();
             let hi = lp.uppers.iter().map(|e| e.constant).min().unwrap();
             if hi < lo {
-                return; // provably empty loop: the nest emits nothing
+                return Ok(()); // provably empty loop: the nest emits nothing
             }
             // The values actually visited are lo, lo+|step|, ..;
             // the extreme reachable values are exact for constant bounds.
@@ -164,15 +267,15 @@ impl CompiledNest {
                 let s = r.strides[l] as i128;
                 min += (s * lo as i128).min(s * hi as i128);
             }
-            assert!(
-                min >= 0,
-                "nest {}: reference to array {} generates a negative byte \
-                 address (minimum {min}); check the data layout's base \
-                 offsets and subscript bounds",
-                self.name,
-                r.label,
-            );
+            if min < 0 {
+                return Err(TraceError::NegativeAddress {
+                    nest: self.name.clone(),
+                    array: r.label.clone(),
+                    min: min as i64,
+                });
+            }
         }
+        Ok(())
     }
 
     /// Stream the nest's accesses into `sink`; returns the number emitted.
@@ -198,15 +301,32 @@ impl CompiledNest {
 
     /// Stream the nest, choosing run-length (`fast`) or per-access emission.
     pub fn run_with(&self, sink: &mut impl AccessSink, fast: bool) -> u64 {
+        self.try_run_with(sink, fast)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`CompiledNest::run`].
+    pub fn try_run(&self, sink: &mut impl AccessSink) -> Result<u64, TraceError> {
+        self.try_run_with(sink, true)
+    }
+
+    /// Non-panicking [`CompiledNest::run_with`]: a runtime negative-address
+    /// detection comes back as [`TraceError::NegativeAddress`] instead of a
+    /// panic. On error, accesses emitted before the offending innermost-loop
+    /// invocation have already reached `sink` — callers treating the sink's
+    /// state as meaningful must discard it.
+    pub fn try_run_with(&self, sink: &mut impl AccessSink, fast: bool) -> Result<u64, TraceError> {
         if self.loops.is_empty() {
             for r in &self.refs {
-                self.check_addr(r.base);
+                if r.base < 0 {
+                    return Err(self.negative_addr(r, r.base));
+                }
                 sink.access(Access {
                     addr: r.base as u64,
                     kind: r.kind,
                 });
             }
-            return self.refs.len() as u64;
+            return Ok(self.refs.len() as u64);
         }
         let depth = self.loops.len();
         let nrefs = self.refs.len();
@@ -226,8 +346,8 @@ impl CompiledNest {
             fast,
             &mut runs,
             &mut count,
-        );
-        count
+        )?;
+        Ok(count)
     }
 
     /// Exact negative-address guard for one innermost-loop invocation.
@@ -238,31 +358,24 @@ impl CompiledNest {
     /// builds (it replaces a per-access `debug_assert!` that release builds
     /// compiled away, letting negative addresses wrap to huge `u64`s).
     #[inline]
-    fn check_run_addrs(&self, cur: &[i64], deltas: &[i64], trips: u64) {
+    fn check_run_addrs(&self, cur: &[i64], deltas: &[i64], trips: u64) -> Result<(), TraceError> {
         for (r, (&first, &delta)) in cur.iter().zip(deltas).enumerate() {
             let last = first + delta * (trips as i64 - 1);
             if first.min(last) < 0 {
-                self.negative_addr(r, first.min(last));
+                return Err(self.negative_addr(&self.refs[r], first.min(last)));
             }
         }
-    }
-
-    #[inline]
-    fn check_addr(&self, addr: i64) {
-        if addr < 0 {
-            self.negative_addr(0, addr);
-        }
+        Ok(())
     }
 
     #[cold]
     #[inline(never)]
-    fn negative_addr(&self, r: usize, addr: i64) -> ! {
-        panic!(
-            "nest {}: reference to array {} generated negative byte address \
-             {addr}; check the data layout's base offsets and subscript \
-             bounds",
-            self.name, self.refs[r].label,
-        );
+    fn negative_addr(&self, r: &CompiledRef, addr: i64) -> TraceError {
+        TraceError::NegativeAddress {
+            nest: self.name.clone(),
+            array: r.label.clone(),
+            min: addr,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -275,13 +388,13 @@ impl CompiledNest {
         fast: bool,
         runs: &mut Vec<Run>,
         count: &mut u64,
-    ) {
+    ) -> Result<(), TraceError> {
         let nrefs = self.refs.len();
         let depth = self.loops.len();
         let lp = &self.loops[level];
         let (lo, hi) = lp.bounds(&vals[..level]);
         if hi < lo {
-            return;
+            return Ok(());
         }
         let (start, step) = if lp.step > 0 {
             (lo, lp.step)
@@ -293,7 +406,7 @@ impl CompiledNest {
         if level == depth - 1 {
             // Innermost loop: advance each reference by its stride.
             if nrefs == 0 {
-                return;
+                return Ok(());
             }
             let base = &partials[(depth - 1) * nrefs..depth * nrefs];
             let cur: Vec<i64> = self
@@ -307,7 +420,7 @@ impl CompiledNest {
                 .iter()
                 .map(|cr| cr.strides[level] * step)
                 .collect();
-            self.check_run_addrs(&cur, &deltas, trips);
+            self.check_run_addrs(&cur, &deltas, trips)?;
             if fast {
                 runs.clear();
                 runs.extend(self.refs.iter().enumerate().map(|(r, cr)| Run {
@@ -334,7 +447,7 @@ impl CompiledNest {
                 }
             }
             *count += trips * nrefs as u64;
-            return;
+            return Ok(());
         }
 
         let mut v = start;
@@ -344,9 +457,10 @@ impl CompiledNest {
                 partials[(level + 1) * nrefs + r] =
                     partials[level * nrefs + r] + self.refs[r].strides[level] * v;
             }
-            self.walk(level + 1, vals, partials, sink, fast, runs, count);
+            self.walk(level + 1, vals, partials, sink, fast, runs, count)?;
             v += step;
         }
+        Ok(())
     }
 }
 
@@ -374,11 +488,23 @@ pub fn generate_with(
     sink: &mut impl AccessSink,
     fast: bool,
 ) -> u64 {
-    program
-        .nests
-        .iter()
-        .map(|n| CompiledNest::new(program, n, layout).run_with(sink, fast))
-        .sum()
+    try_generate_with(program, layout, sink, fast).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`generate_with`]: compilation and streaming failures come
+/// back as [`TraceError`]s. On error, accesses from earlier nests (and the
+/// failing nest's earlier iterations) have already reached `sink`.
+pub fn try_generate_with(
+    program: &Program,
+    layout: &DataLayout,
+    sink: &mut impl AccessSink,
+    fast: bool,
+) -> Result<u64, TraceError> {
+    let mut total = 0u64;
+    for n in &program.nests {
+        total += CompiledNest::try_new(program, n, layout)?.try_run_with(sink, fast)?;
+    }
+    Ok(total)
 }
 
 /// Convenience: simulate a program on a cold hierarchy and return the
@@ -398,9 +524,20 @@ pub fn simulate_with(
     config: &HierarchyConfig,
     fast: bool,
 ) -> MissRateReport {
+    try_simulate_with(program, layout, config, fast).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_with`]: a malformed program or a layout that
+/// generates negative addresses yields a [`TraceError`] instead of a panic.
+pub fn try_simulate_with(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    fast: bool,
+) -> Result<MissRateReport, TraceError> {
     let mut hier = Hierarchy::new(config.clone());
-    generate_with(program, layout, &mut hier, fast);
-    hier.report()
+    try_generate_with(program, layout, &mut hier, fast)?;
+    Ok(hier.report())
 }
 
 /// [`simulate`] with a 3C miss classification attached: every access also
@@ -440,15 +577,28 @@ pub fn simulate_steady_with(
     timed: usize,
     fast: bool,
 ) -> MissRateReport {
+    try_simulate_steady_with(program, layout, config, warmup, timed, fast)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`simulate_steady_with`].
+pub fn try_simulate_steady_with(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    warmup: usize,
+    timed: usize,
+    fast: bool,
+) -> Result<MissRateReport, TraceError> {
     let mut hier = Hierarchy::new(config.clone());
     for _ in 0..warmup {
-        generate_with(program, layout, &mut hier, fast);
+        try_generate_with(program, layout, &mut hier, fast)?;
     }
     hier.reset_stats();
     for _ in 0..timed {
-        generate_with(program, layout, &mut hier, fast);
+        try_generate_with(program, layout, &mut hier, fast)?;
     }
-    hier.report()
+    Ok(hier.report())
 }
 
 #[cfg(test)]
@@ -708,6 +858,111 @@ mod tests {
         let nest = CompiledNest::new(&p, &p.nests[0], &l); // static check passes
         let mut c = CountingSink::default();
         nest.run(&mut c);
+    }
+
+    #[test]
+    fn try_new_reports_negative_address_as_value() {
+        let (p, l) = negative_base_program();
+        match CompiledNest::try_new(&p, &p.nests[0], &l) {
+            Err(TraceError::NegativeAddress { nest, array, min }) => {
+                assert_eq!(nest, "neg");
+                assert_eq!(array, "A");
+                assert_eq!(min, -32);
+            }
+            other => panic!("expected NegativeAddress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_new_reports_unbound_variable() {
+        let mut p = simple_program(4);
+        p.nests[0].body[0].subscripts[0] = E::var("k");
+        let l = DataLayout::contiguous(&p.arrays);
+        assert_eq!(
+            CompiledNest::try_new(&p, &p.nests[0], &l),
+            Err(TraceError::UnboundVariable {
+                nest: "n".into(),
+                var: "k".into()
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_reports_zero_step_and_empty_bounds() {
+        let mut p = simple_program(4);
+        p.nests[0].loops[0].step = 0;
+        let l = DataLayout::contiguous(&p.arrays);
+        assert_eq!(
+            CompiledNest::try_new(&p, &p.nests[0], &l),
+            Err(TraceError::ZeroStep {
+                nest: "n".into(),
+                var: "i".into()
+            })
+        );
+        p.nests[0].loops[0] = Loop::counted("i", 0, 3);
+        p.nests[0].loops[0].uppers.clear();
+        assert_eq!(
+            CompiledNest::try_new(&p, &p.nests[0], &l),
+            Err(TraceError::EmptyBounds {
+                nest: "n".into(),
+                var: "i".into()
+            })
+        );
+    }
+
+    #[test]
+    fn try_run_reports_runtime_negative_address() {
+        // Same triangular case as the should_panic test above, through the
+        // non-panicking API: the error is a value and the sink keeps the
+        // accesses emitted before detection.
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![8, 8]));
+        p.add_nest(LoopNest::new(
+            "tri",
+            vec![
+                Loop::counted("j", 0, 3),
+                Loop::new("i", E::var("j"), E::constant(3)),
+            ],
+            vec![ArrayRef::read(a, vec![E::var_plus("i", -2), E::var("j")])],
+        ));
+        let l = DataLayout::contiguous(&p.arrays);
+        let nest = CompiledNest::try_new(&p, &p.nests[0], &l).unwrap();
+        let mut c = CountingSink::default();
+        match nest.try_run(&mut c) {
+            Err(TraceError::NegativeAddress { nest, array, .. }) => {
+                assert_eq!(nest, "tri");
+                assert_eq!(array, "A");
+            }
+            other => panic!("expected NegativeAddress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_simulate_matches_panicking_simulate_on_valid_input() {
+        let p = figure2_example(64);
+        let l = DataLayout::contiguous(&p.arrays);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let ok = try_simulate_with(&p, &l, &cfg, true).unwrap();
+        assert_eq!(ok, simulate(&p, &l, &cfg));
+        let steady = try_simulate_steady_with(&p, &l, &cfg, 1, 1, true).unwrap();
+        assert_eq!(steady, simulate_steady(&p, &l, &cfg, 1, 1));
+    }
+
+    #[test]
+    fn trace_error_display_is_stable() {
+        // The panicking wrappers print these; tests elsewhere pin the
+        // substrings "negative byte address" and "not bound by nest".
+        let e = TraceError::NegativeAddress {
+            nest: "n".into(),
+            array: "A".into(),
+            min: -8,
+        };
+        assert!(e.to_string().contains("negative byte address"));
+        let e = TraceError::UnboundVariable {
+            nest: "n".into(),
+            var: "k".into(),
+        };
+        assert_eq!(e.to_string(), "variable k not bound by nest n");
     }
 
     #[test]
