@@ -53,6 +53,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod replacement;
 pub mod rng;
+pub mod stable_hash;
 pub mod stats;
 pub mod tlb;
 pub mod trace;
@@ -63,4 +64,5 @@ pub use hierarchy::Hierarchy;
 #[cfg(feature = "telemetry")]
 pub use hierarchy::ProbedHierarchy;
 pub use replacement::ReplacementPolicy;
+pub use stable_hash::{stable_hash_of, StableHash, StableHasher};
 pub use stats::{LevelStats, MissRateReport};

@@ -1,0 +1,344 @@
+//! Process-stable structural hashing for content-addressed cache keys.
+//!
+//! The result cache (`mlc_core::rescache`) names each memoized simulation
+//! by a hash of everything that determines its outcome: program IR, data
+//! layout, hierarchy geometry, replacement policy, simulation protocol and
+//! a simulator version salt. That hash must be identical across process
+//! runs, machines and rustc versions, which rules out
+//! [`std::hash::Hasher`] implementations (SipHash keys and algorithm are
+//! explicitly unspecified). [`StableHasher`] is a fixed, dependency-free
+//! FNV-1a-64 stream with a splitmix64 finalizer; its output is frozen by
+//! pinned-literal tests and may only change together with the rescache
+//! format version.
+//!
+//! Encoding rules, chosen so distinct structures produce distinct byte
+//! streams:
+//!
+//! * integers are absorbed as fixed-width little-endian bytes (no
+//!   varint ambiguity);
+//! * strings and slices are length-prefixed;
+//! * enums absorb a discriminant byte before their payload;
+//! * floats absorb their IEEE-754 bit pattern (`f64::to_bits`), so `-0.0`
+//!   and `0.0` differ and `NaN` payloads are preserved.
+//!
+//! The 64-bit width is a deliberate trade: keys render as 16 hex chars and
+//! accidental collisions reach birthday odds only around 2³² distinct
+//! entries — far beyond any sweep this repository runs. The store also
+//! echoes the key inside each entry file, so a collision can corrupt at
+//! most a lookup, never silently mix payloads of different formats.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic structural hasher (FNV-1a-64 + splitmix64 finalizer).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes (no framing — callers add their own length
+    /// prefixes; prefer the typed `write_*` methods).
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one byte.
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorb a `u32` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb an `i64` (two's-complement little-endian).
+    #[inline]
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorb a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorb an `f64` as its IEEE-754 bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorb a string, length-prefixed.
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest: the FNV state pushed through splitmix64 so that small
+    /// input differences avalanche across all output bits.
+    pub fn finish(&self) -> u64 {
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Structural hashing into a [`StableHasher`].
+///
+/// Implementations must absorb every field that can influence simulation
+/// results, framed unambiguously (see the module docs). Implemented here
+/// for the simulator's own configuration types; `mlc-model` implements it
+/// for the program IR and layouts.
+pub trait StableHash {
+    /// Absorb `self` into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+/// Hash one value with a fresh hasher (convenience for tests).
+pub fn stable_hash_of<T: StableHash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher::new();
+    value.stable_hash(&mut h);
+    h.finish()
+}
+
+impl StableHash for u8 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(*self);
+    }
+}
+
+impl StableHash for u32 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(*self);
+    }
+}
+
+impl StableHash for u64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableHash for i64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_i64(*self);
+    }
+}
+
+impl StableHash for usize {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for item in self {
+            item.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for &T {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (*self).stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+impl StableHash for crate::replacement::ReplacementPolicy {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        use crate::replacement::ReplacementPolicy::*;
+        h.write_u8(match self {
+            Lru => 0,
+            Fifo => 1,
+            Random => 2,
+        });
+    }
+}
+
+impl StableHash for crate::trace::AccessKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            crate::trace::AccessKind::Read => 0,
+            crate::trace::AccessKind::Write => 1,
+        });
+    }
+}
+
+impl StableHash for crate::config::CacheConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.size);
+        h.write_usize(self.line);
+        h.write_usize(self.associativity);
+        self.replacement.stable_hash(h);
+    }
+}
+
+impl StableHash for crate::config::HierarchyConfig {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.levels.stable_hash(h);
+        // Miss penalties feed the cost models, not the simulator, but a
+        // hierarchy is its whole configuration: two configs that differ
+        // anywhere get distinct keys.
+        self.miss_penalty.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, HierarchyConfig};
+    use crate::replacement::ReplacementPolicy;
+
+    #[test]
+    fn deterministic_within_and_across_constructions() {
+        let h = HierarchyConfig::ultrasparc_i();
+        assert_eq!(stable_hash_of(&h), stable_hash_of(&h.clone()));
+        assert_eq!(
+            stable_hash_of(&HierarchyConfig::ultrasparc_i()),
+            stable_hash_of(&HierarchyConfig::ultrasparc_i())
+        );
+    }
+
+    /// Pins the digest algorithm itself: if this literal ever changes, the
+    /// on-disk cache-key space changed and `mlc_core::rescache` must bump
+    /// its format version. (Computed once at introduction; any drift means
+    /// the hasher is no longer process-stable.)
+    #[test]
+    fn digest_is_pinned() {
+        let mut h = StableHasher::new();
+        h.write_str("mlc");
+        h.write_u64(42);
+        h.write_i64(-7);
+        h.write_f64(0.5);
+        assert_eq!(h.finish(), 0x4e45_835f_0a3e_c048);
+    }
+
+    #[test]
+    fn framing_disambiguates_string_splits() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn every_geometry_field_matters() {
+        let base = CacheConfig::new(16 * 1024, 32, 1, ReplacementPolicy::Lru);
+        let variants = [
+            CacheConfig::new(32 * 1024, 32, 1, ReplacementPolicy::Lru),
+            CacheConfig::new(16 * 1024, 64, 1, ReplacementPolicy::Lru),
+            CacheConfig::new(16 * 1024, 32, 2, ReplacementPolicy::Lru),
+            CacheConfig::new(16 * 1024, 32, 1, ReplacementPolicy::Fifo),
+            CacheConfig::new(16 * 1024, 32, 1, ReplacementPolicy::Random),
+        ];
+        for v in &variants {
+            assert_ne!(stable_hash_of(&base), stable_hash_of(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn miss_penalty_and_depth_matter() {
+        let a = HierarchyConfig::ultrasparc_i();
+        let mut b = a.clone();
+        b.miss_penalty[1] = 51.0;
+        assert_ne!(stable_hash_of(&a), stable_hash_of(&b));
+        assert_ne!(
+            stable_hash_of(&HierarchyConfig::ultrasparc_i()),
+            stable_hash_of(&HierarchyConfig::alpha_21164_like())
+        );
+    }
+
+    #[test]
+    fn option_and_slice_framing() {
+        let some: Option<u64> = Some(0);
+        let none: Option<u64> = None;
+        assert_ne!(stable_hash_of(&some), stable_hash_of(&none));
+        let nested_a: Vec<Vec<u64>> = vec![vec![1], vec![]];
+        let nested_b: Vec<Vec<u64>> = vec![vec![], vec![1]];
+        assert_ne!(stable_hash_of(&nested_a), stable_hash_of(&nested_b));
+    }
+}

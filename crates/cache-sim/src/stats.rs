@@ -18,6 +18,22 @@ impl LevelStats {
         Self { accesses, misses }
     }
 
+    /// Rebuild counters from raw counts — the deserialization entry point
+    /// for `mlc_core::rescache`, which persists reports as integers so a
+    /// cached result round-trips bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `misses > accesses`; no simulation can produce that, so a
+    /// store handing it back is corrupt (the rescache checksum should have
+    /// caught it first).
+    pub fn from_counts(accesses: u64, misses: u64) -> Self {
+        assert!(
+            misses <= accesses,
+            "corrupt level stats: {misses} misses > {accesses} accesses"
+        );
+        Self { accesses, misses }
+    }
+
     /// Accesses that reached this level.
     #[inline]
     pub fn accesses(&self) -> u64 {

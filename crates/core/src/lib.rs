@@ -37,6 +37,10 @@
 //!   tested) and an order of magnitude faster.
 //! * [`par`] — the channel-based scoped-thread `par_map` shared by the
 //!   candidate scans and the experiment sweep drivers.
+//! * [`rescache`] — content-addressed, persistent memoization of
+//!   simulation results: stable cache keys over program + layout +
+//!   hierarchy + protocol + version salt, and a checksummed one-file-per-
+//!   entry store with atomic writes that makes repeated sweeps near-free.
 
 pub mod conflict;
 pub mod cost;
@@ -51,6 +55,7 @@ pub mod pad;
 pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod rescache;
 pub mod search;
 pub mod tiling;
 
@@ -66,5 +71,6 @@ pub use pad::{multilvl_pad, pad, PadError, PadResult};
 pub use pipeline::{
     optimize, optimize_traced, try_optimize, try_optimize_traced, OptimizeOptions, OptimizeTarget,
 };
+pub use rescache::{CacheKey, CacheStats, ResultCache, SimProtocol, SIM_VERSION_SALT};
 pub use search::{fast_search_enabled, set_fast_search, SearchStats};
 pub use tiling::{select_tile, TilePolicy, TileSelection};

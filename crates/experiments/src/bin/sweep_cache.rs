@@ -1,0 +1,152 @@
+//! Cold-vs-warm A/B benchmark of the content-addressed result cache.
+//!
+//! Runs one sweep grid twice against the same cache directory — first with
+//! the cache empty (every cell computed and stored), then again (every
+//! cell served from disk) — asserts the two result sets are bitwise
+//! identical, and reports wall times as JSON (default
+//! `BENCH_sweep_cache.json`; CI archives it and gates on
+//! `--assert-speedup`).
+//!
+//! ```text
+//! sweep_cache [--grid conflict|group|paper|full|smoke] [--dir PATH] [--out PATH]
+//!             [--threads N] [--assert-speedup X]
+//! ```
+//!
+//! With `--dir` the cache directory is kept (and must start empty for the
+//! cold leg to be honest — the benchmark refuses a nonempty one);
+//! otherwise a temporary directory is created and removed.
+
+use mlc_core::rescache::ResultCache;
+use mlc_experiments::sweep::{grid_cells, run_cells, CellResult, GridKind};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sweep_cache: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut grid = GridKind::Conflict;
+    let mut grid_name = String::from("conflict");
+    let mut dir: Option<PathBuf> = None;
+    let mut out = PathBuf::from("BENCH_sweep_cache.json");
+    let mut threads = mlc_core::par::default_threads();
+    let mut assert_speedup: Option<f64> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => {
+                grid_name = it.next().unwrap_or_else(|| fail("--grid needs a value"));
+                grid = GridKind::from_arg(&grid_name)
+                    .unwrap_or_else(|| fail(&format!("unknown grid {grid_name:?}")));
+            }
+            "--dir" => {
+                dir = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| fail("--dir needs a path")),
+                ))
+            }
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| fail("--out needs a path"))),
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--threads needs a count"));
+            }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--assert-speedup needs a number")),
+                );
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let (cache_dir, ephemeral) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("mlc-sweep-cache-bench-{}", std::process::id())),
+            true,
+        ),
+    };
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    } else if cache_dir
+        .read_dir()
+        .map(|mut d| d.next().is_some())
+        .unwrap_or(false)
+    {
+        fail(&format!(
+            "{} is not empty; the cold leg needs a fresh cache",
+            cache_dir.display()
+        ));
+    }
+    let cache = ResultCache::open(&cache_dir)
+        .unwrap_or_else(|e| fail(&format!("cannot open {}: {e}", cache_dir.display())));
+
+    let cells = grid_cells(grid);
+    let done = BTreeMap::new();
+    eprintln!(
+        "sweep_cache: {} cells (grid {grid_name}), {} threads, cache at {}",
+        cells.len(),
+        threads,
+        cache_dir.display()
+    );
+
+    eprintln!("sweep_cache: cold leg (empty cache) ...");
+    let t0 = Instant::now();
+    let cold: Vec<CellResult> = run_cells(&cells, threads, Some(&cache), &done);
+    let cold_s = t0.elapsed().as_secs_f64();
+    let after_cold = cache.stats();
+
+    eprintln!("sweep_cache: warm leg (populated cache) ...");
+    let t1 = Instant::now();
+    let warm: Vec<CellResult> = run_cells(&cells, threads, Some(&cache), &done);
+    let warm_s = t1.elapsed().as_secs_f64();
+    let stats = cache.stats();
+    let warm_hits = stats.hits - after_cold.hits;
+
+    for (c, w) in cold.iter().zip(&warm) {
+        if !c.same_measurements(w) {
+            fail(&format!(
+                "cell {} ({}): warm result differs from cold — cache is not transparent",
+                c.cell.index, c.cell.kernel
+            ));
+        }
+    }
+    if warm_hits < cells.len() as u64 {
+        fail(&format!(
+            "warm leg hit only {warm_hits} of {} cells",
+            cells.len()
+        ));
+    }
+
+    let speedup = cold_s / warm_s.max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_cache\",\n  \"grid\": \"{grid_name}\",\n  \"cells\": {},\n  \"threads\": {threads},\n  \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.2},\n  \"cold_stores\": {},\n  \"warm_hits\": {warm_hits}\n}}\n",
+        cells.len(),
+        after_cold.stores,
+    );
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
+    eprintln!(
+        "sweep_cache: cold {cold_s:.3}s, warm {warm_s:.3}s — {speedup:.1}x; written to {}",
+        out.display()
+    );
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+    if let Some(min) = assert_speedup {
+        if speedup < min {
+            fail(&format!(
+                "speedup {speedup:.2}x is below the required {min}x"
+            ));
+        }
+        eprintln!("sweep_cache: speedup gate passed ({speedup:.1}x >= {min}x)");
+    }
+}

@@ -24,9 +24,15 @@
 //!
 //! Every binary additionally accepts `--trace-out PATH` (JSONL span/event
 //! trace) and `--metrics-out PATH` (JSON, or CSV if the path ends in
-//! `.csv`) — see [`telemetry_cli`] and `docs/OBSERVABILITY.md`.
+//! `.csv`) — see [`telemetry_cli`] and `docs/OBSERVABILITY.md` — plus
+//! `--cache-dir PATH` / `--no-cache` to persist simulation results in a
+//! content-addressed store (see [`sweep`] and `docs/CACHING.md`). The
+//! `sweep` binary splits the whole experiment grid into deterministic,
+//! resumable shards, and `sweep_cache` is the cold-vs-warm A/B benchmark
+//! of the store.
 
 pub mod sim;
+pub mod sweep;
 pub mod table;
 pub mod telemetry_cli;
 pub mod timing;

@@ -3,10 +3,12 @@
 use crate::versions::Versions;
 use mlc_cache_sim::stats::MissRateReport;
 use mlc_cache_sim::HierarchyConfig;
+use mlc_core::rescache::{CacheKey, ResultCache, SimProtocol};
 use mlc_model::trace_gen::{simulate_classified, simulate_steady_with, simulate_with};
 use mlc_model::{DataLayout, Program};
 use mlc_telemetry::{MetricsRegistry, MissClassifier};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Process-wide fast-path switch for the figure binaries: when cleared (the
 /// `--no-fast-path` flag), [`simulate_one`] and [`simulate_cold`] force the
@@ -30,6 +32,31 @@ pub fn fast_path_enabled() -> bool {
 #[cfg(test)]
 pub(crate) static FAST_PATH_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Process-wide content-addressed result cache. When installed (the
+/// `--cache-dir` flag every experiment binary accepts via
+/// [`crate::TelemetryCli`]), [`simulate_one`] and [`simulate_cold`] are
+/// memoized through `mlc_core::rescache`: a [`CacheKey`] over program IR +
+/// layout + hierarchy + protocol + simulator salt addresses a checksummed
+/// on-disk entry, and repeat simulations become file reads.
+static RESULT_CACHE: RwLock<Option<Arc<ResultCache>>> = RwLock::new(None);
+
+/// Install (or, with `None`, remove) the process-wide result cache.
+pub fn install_result_cache(cache: Option<Arc<ResultCache>>) {
+    *RESULT_CACHE.write().unwrap_or_else(|e| e.into_inner()) = cache;
+}
+
+/// A handle to the installed result cache, if any.
+pub fn result_cache() -> Option<Arc<ResultCache>> {
+    RESULT_CACHE
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Serializes tests that install a process-wide result cache.
+#[cfg(test)]
+pub(crate) static RESULT_CACHE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Miss rates of the three versions of one program.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -47,9 +74,48 @@ pub const WARMUP: usize = 1;
 /// TIMED.
 pub const TIMED: usize = 1;
 
+/// Simulate under `protocol`, consulting the installed result cache.
+///
+/// The fast-path switch is deliberately *not* part of the cache key: the
+/// run-length and scalar paths are differentially tested to be bitwise
+/// identical, so either may serve the other's cached result.
+fn simulate_protocol(
+    program: &Program,
+    layout: &DataLayout,
+    h: &HierarchyConfig,
+    protocol: SimProtocol,
+) -> MissRateReport {
+    let run = || match protocol {
+        SimProtocol::Cold => simulate_with(program, layout, h, fast_path_enabled()),
+        SimProtocol::Steady { warmup, timed } => simulate_steady_with(
+            program,
+            layout,
+            h,
+            warmup as usize,
+            timed as usize,
+            fast_path_enabled(),
+        ),
+    };
+    match result_cache() {
+        Some(cache) => {
+            let key = CacheKey::derive(program, layout, h, protocol);
+            cache.get_or_compute(key, run)
+        }
+        None => run(),
+    }
+}
+
 /// Simulate one program+layout with the standard protocol.
 pub fn simulate_one(program: &Program, layout: &DataLayout, h: &HierarchyConfig) -> MissRateReport {
-    simulate_steady_with(program, layout, h, WARMUP, TIMED, fast_path_enabled())
+    simulate_protocol(
+        program,
+        layout,
+        h,
+        SimProtocol::Steady {
+            warmup: WARMUP as u64,
+            timed: TIMED as u64,
+        },
+    )
 }
 
 /// Single cold sweep (no warm-up), honouring the fast-path switch. The
@@ -60,7 +126,7 @@ pub fn simulate_cold(
     layout: &DataLayout,
     h: &HierarchyConfig,
 ) -> MissRateReport {
-    simulate_with(program, layout, h, fast_path_enabled())
+    simulate_protocol(program, layout, h, SimProtocol::Cold)
 }
 
 /// Simulate one program+layout with the shadow-cache miss classifier
@@ -120,6 +186,39 @@ mod tests {
         // pins the compatibility re-export.
         let ys = par_map(vec![1u64, 2, 3], 2, |&x| x * x);
         assert_eq!(ys, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn installed_cache_serves_identical_results() {
+        let _g = RESULT_CACHE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("mlc-sim-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = std::sync::Arc::new(ResultCache::open(&dir).unwrap());
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(96);
+        let l = mlc_model::DataLayout::contiguous(&p.arrays);
+
+        let uncached_steady = simulate_one(&p, &l, &h);
+        let uncached_cold = simulate_cold(&p, &l, &h);
+
+        install_result_cache(Some(cache.clone()));
+        let first_steady = simulate_one(&p, &l, &h);
+        let first_cold = simulate_cold(&p, &l, &h);
+        let second_steady = simulate_one(&p, &l, &h);
+        let second_cold = simulate_cold(&p, &l, &h);
+        install_result_cache(None);
+
+        assert_eq!(uncached_steady, first_steady);
+        assert_eq!(uncached_cold, first_cold);
+        assert_eq!(first_steady, second_steady);
+        assert_eq!(first_cold, second_cold);
+        // Two protocols -> two entries; the repeats were hits.
+        let s = cache.stats();
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.hits, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

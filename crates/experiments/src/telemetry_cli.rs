@@ -8,6 +8,8 @@
 //! --metrics-out PATH    # metrics registry as JSON (or CSV if PATH ends in .csv)
 //! --no-fast-path        # force per-access scalar simulation (A/B timing)
 //! --no-fast-search      # force the exhaustive padding-position scan
+//! --cache-dir PATH      # persist simulation results in a content-addressed store
+//! --no-cache            # ignore --cache-dir: simulate everything fresh
 //! ```
 //!
 //! [`TelemetryCli::from_env`] strips the flags from `std::env::args()` before
@@ -30,9 +32,20 @@
 //! engine. Layouts are bitwise identical either way (differentially
 //! tested); the flag exists for the `optimizer_throughput` A/B benchmark
 //! and as an escape hatch.
+//!
+//! `--cache-dir PATH` opens an `mlc_core::rescache::ResultCache` at PATH
+//! and installs it process-wide ([`crate::sim::install_result_cache`]),
+//! so every simulation the binary runs is memoized to disk. The cache is
+//! content-addressed and differentially guarded, so results are bitwise
+//! identical with and without it (see `docs/CACHING.md`). `--no-cache`
+//! wins over `--cache-dir` wherever both appear — handy for overriding a
+//! cache baked into a wrapper script. A cache summary goes to stderr (and
+//! into `--metrics-out` under `rescache.*`) at exit.
 
+use mlc_core::rescache::ResultCache;
 use mlc_telemetry::Telemetry;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Parsed telemetry output options plus the live [`Telemetry`] bundle.
 #[derive(Debug, Default)]
@@ -40,6 +53,13 @@ pub struct TelemetryCli {
     /// The bundle to thread through instrumented code. Enabled iff the user
     /// asked for at least one output file.
     pub telemetry: Telemetry,
+    /// The result cache this invocation installed (if `--cache-dir` was
+    /// given and `--no-cache` was not). Held here so [`finish`] can report
+    /// its traffic; the same cache is installed process-wide for
+    /// [`crate::sim::simulate_one`] and friends.
+    ///
+    /// [`finish`]: TelemetryCli::finish
+    pub cache: Option<Arc<ResultCache>>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     finished: bool,
@@ -53,16 +73,24 @@ impl TelemetryCli {
         let mut rest = Vec::with_capacity(argv.len());
         let mut trace_out: Option<PathBuf> = None;
         let mut metrics_out: Option<PathBuf> = None;
+        let mut cache_dir: Option<PathBuf> = None;
+        let mut no_cache = false;
         let mut it = argv.into_iter();
         while let Some(arg) = it.next() {
             if arg == "--trace-out" {
                 trace_out = it.next().map(PathBuf::from);
             } else if arg == "--metrics-out" {
                 metrics_out = it.next().map(PathBuf::from);
+            } else if arg == "--cache-dir" {
+                cache_dir = it.next().map(PathBuf::from);
             } else if let Some(v) = arg.strip_prefix("--trace-out=") {
                 trace_out = Some(PathBuf::from(v));
             } else if let Some(v) = arg.strip_prefix("--metrics-out=") {
                 metrics_out = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+                cache_dir = Some(PathBuf::from(v));
+            } else if arg == "--no-cache" {
+                no_cache = true;
             } else if arg == "--no-fast-path" {
                 crate::sim::set_fast_path(false);
             } else if arg == "--no-fast-search" {
@@ -76,9 +104,30 @@ impl TelemetryCli {
         } else {
             Telemetry::disabled()
         };
+        let touched = no_cache || cache_dir.is_some();
+        let cache = match (no_cache, cache_dir) {
+            (true, _) | (false, None) => None,
+            (false, Some(dir)) => match ResultCache::open(&dir) {
+                Ok(c) => Some(Arc::new(c)),
+                Err(e) => {
+                    // A requested-but-unusable cache is a hard error: the
+                    // user asked for persistence (sharded CI runs depend
+                    // on it), so silently simulating fresh would be worse
+                    // than stopping.
+                    eprintln!("rescache: cannot open cache dir {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            },
+        };
+        if touched {
+            // `--no-cache` wins: it clears whatever would otherwise be
+            // installed. Without either flag the global is left alone.
+            crate::sim::install_result_cache(cache.clone());
+        }
         (
             Self {
                 telemetry,
+                cache,
                 trace_out,
                 metrics_out,
                 finished: false,
@@ -102,6 +151,19 @@ impl TelemetryCli {
     /// does nothing after an explicit call.
     pub fn finish(&mut self) -> std::io::Result<()> {
         self.finished = true;
+        if let Some(cache) = &self.cache {
+            let s = cache.stats();
+            eprintln!(
+                "rescache: {} hits / {} misses ({:.1}% hit rate), {} stores, {} corrupt, {} stale",
+                s.hits,
+                s.misses,
+                100.0 * s.hit_rate(),
+                s.stores,
+                s.corrupt,
+                s.stale
+            );
+            cache.install_metrics(&mut self.telemetry.metrics, "rescache");
+        }
         if let Some(path) = &self.trace_out {
             self.telemetry.write_trace_jsonl(path)?;
             eprintln!("trace written to {}", path.display());
@@ -182,6 +244,68 @@ mod tests {
         assert_eq!(rest, sv(&["mlc", "fig11"]));
         assert!(!mlc_core::search::fast_search_enabled());
         mlc_core::search::set_fast_search(true); // restore for other tests
+    }
+
+    #[test]
+    fn cache_dir_flag_installs_and_no_cache_wins() {
+        let _g = crate::sim::RESULT_CACHE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir =
+            std::env::temp_dir().join(format!("mlc-telemetry-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+
+        let (t, rest) = TelemetryCli::extract(sv(&["mlc", "--cache-dir", &dir_s, "fig09"]));
+        assert_eq!(rest, sv(&["mlc", "fig09"]));
+        assert!(t.cache.is_some());
+        assert!(crate::sim::result_cache().is_some());
+        assert!(dir.is_dir(), "extract must create the cache directory");
+        drop(t);
+
+        // --no-cache wins regardless of flag order, and clears the global.
+        let (t2, rest2) = TelemetryCli::extract(sv(&[
+            "mlc",
+            "--no-cache",
+            &format!("--cache-dir={dir_s}"),
+            "fig09",
+        ]));
+        assert_eq!(rest2, sv(&["mlc", "fig09"]));
+        assert!(t2.cache.is_none());
+        assert!(crate::sim::result_cache().is_none());
+        drop(t2);
+
+        crate::sim::install_result_cache(None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_exports_cache_metrics() {
+        let _g = crate::sim::RESULT_CACHE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!(
+            "mlc-telemetry-cli-cache-metrics-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics_path = std::env::temp_dir().join(format!(
+            "mlc-telemetry-cli-cache-metrics-{}.json",
+            std::process::id()
+        ));
+        let (mut t, _) = TelemetryCli::extract(sv(&[
+            "mlc",
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+        ]));
+        t.finish().unwrap();
+        let written = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(written.contains("rescache.hit_rate"));
+        crate::sim::install_result_cache(None);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&metrics_path).ok();
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for [`mlc_core::rescache::CacheKey`] over the fuzzing
+//! subsystem's generated programs.
+//!
+//! The content-addressed cache is only sound if two invariants hold over
+//! *arbitrary* inputs, not just the Table-1 kernels:
+//!
+//! 1. **Stability** — equal inputs produce equal keys, independently of
+//!    when or where they are hashed. A pinned-literal key for a fixed
+//!    generated case freezes this across process runs and toolchains (the
+//!    same reasoning as `stable_hash`'s pinned digest).
+//! 2. **Sensitivity** — perturbing any key ingredient (a pad, a line
+//!    size, the replacement policy, a loop bound, the salt, the
+//!    protocol) produces a different key, so a cached result can never be
+//!    served for an input that would simulate differently.
+
+use mlc_core::rescache::{CacheKey, SimProtocol, SIM_VERSION_SALT};
+use mlc_fuzz::{Case, CaseConfig};
+
+const PROTO: SimProtocol = SimProtocol::Steady {
+    warmup: 1,
+    timed: 1,
+};
+
+fn key_of(case: &Case) -> CacheKey {
+    CacheKey::derive(&case.program, &case.layout(), &case.hierarchy, PROTO)
+}
+
+#[test]
+fn equal_cases_hash_equal() {
+    let cfg = CaseConfig::default();
+    for seed in 0..64 {
+        let a = Case::generate(seed, &cfg);
+        let b = Case::generate(seed, &cfg);
+        assert_eq!(key_of(&a), key_of(&b), "seed {seed}: same case, same key");
+    }
+}
+
+/// Freezes the key space across process runs: this literal was computed
+/// once at introduction. If it changes, the hasher or the IR encoding
+/// changed, and `SIM_VERSION_SALT` (or `stable_hash` itself) must be
+/// revisited — see `docs/CACHING.md`.
+#[test]
+fn key_for_seed_zero_is_pinned() {
+    let case = Case::generate(0, &CaseConfig::default());
+    assert_eq!(key_of(&case).to_hex(), "25b8e2f17800c7f4");
+}
+
+#[test]
+fn distinct_seeds_rarely_collide() {
+    let cfg = CaseConfig::default();
+    let mut keys: Vec<CacheKey> = (0..256).map(|s| key_of(&Case::generate(s, &cfg))).collect();
+    keys.sort();
+    keys.dedup();
+    // Distinct generated programs must get distinct keys. (Seeds can in
+    // principle generate identical cases; with this generator they don't.)
+    assert!(
+        keys.len() >= 250,
+        "only {} distinct keys from 256 generated cases",
+        keys.len()
+    );
+}
+
+#[test]
+fn perturbing_any_field_changes_the_key() {
+    let cfg = CaseConfig::default();
+    for seed in 0..32 {
+        let case = Case::generate(seed, &cfg);
+        let base = key_of(&case);
+
+        // A pad on the first array.
+        let mut pads = case.pads.clone();
+        pads[0] += 8;
+        let padded = mlc_model::DataLayout::with_pads(&case.program.arrays, &pads);
+        assert_ne!(
+            base,
+            CacheKey::derive(&case.program, &padded, &case.hierarchy, PROTO),
+            "seed {seed}: pad change must change the key"
+        );
+
+        // L1 line size.
+        let mut h = case.hierarchy.clone();
+        h.levels[0].line *= 2;
+        assert_ne!(
+            base,
+            CacheKey::derive(&case.program, &case.layout(), &h, PROTO),
+            "seed {seed}: line-size change must change the key"
+        );
+
+        // Replacement policy.
+        let mut h = case.hierarchy.clone();
+        h.levels[0].replacement = match h.levels[0].replacement {
+            mlc_cache_sim::ReplacementPolicy::Lru => mlc_cache_sim::ReplacementPolicy::Fifo,
+            _ => mlc_cache_sim::ReplacementPolicy::Lru,
+        };
+        assert_ne!(
+            base,
+            CacheKey::derive(&case.program, &case.layout(), &h, PROTO),
+            "seed {seed}: policy change must change the key"
+        );
+
+        // An upper loop bound.
+        let mut p = case.program.clone();
+        let lp = &mut p.nests[0].loops[0];
+        lp.uppers[0] = mlc_model::AffineExpr::constant(lp.uppers[0].constant_term() + 1);
+        assert_ne!(
+            base,
+            CacheKey::derive(&p, &case.layout(), &case.hierarchy, PROTO),
+            "seed {seed}: bound change must change the key"
+        );
+
+        // The protocol.
+        assert_ne!(
+            base,
+            CacheKey::derive(
+                &case.program,
+                &case.layout(),
+                &case.hierarchy,
+                SimProtocol::Cold
+            ),
+            "seed {seed}: protocol change must change the key"
+        );
+
+        // The version salt.
+        assert_ne!(
+            base,
+            CacheKey::derive_salted(
+                &case.program,
+                &case.layout(),
+                &case.hierarchy,
+                PROTO,
+                SIM_VERSION_SALT + 1
+            ),
+            "seed {seed}: salt bump must change the key"
+        );
+    }
+}

@@ -34,6 +34,7 @@ pub const ORACLES: &[&str] = &[
     "severe-count-differential",
     "fusion-model",
     "estimator-agreement",
+    "cache-parity",
 ];
 
 /// Simulator-vs-estimator ranking indifference band (miss-rate units). The
@@ -173,7 +174,97 @@ pub fn check_case(case: &Case) -> Report {
 
     check_fusion_model(case, &mut r);
     check_estimator_agreement(case, &layout, &mut r);
+    check_cache_parity(case, &layout, &mut r);
     r
+}
+
+/// The content-addressed result cache must be transparent: for an
+/// arbitrary generated case, a result stored then re-read from disk is
+/// bitwise identical to a fresh uncached simulation, under both the cold
+/// and the steady protocol. The integer-count payload encoding
+/// (`rescache::report_to_json`) makes exact equality the right check.
+fn check_cache_parity(case: &Case, layout: &DataLayout, r: &mut Report) {
+    use mlc_core::rescache::{CacheKey, ResultCache, SimProtocol};
+    let oracle = "cache-parity";
+    let (p, h) = (&case.program, &case.hierarchy);
+
+    static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mlc-fuzz-cache-parity-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let cache = match ResultCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            r.skip(oracle, format!("cannot create temp cache dir: {e}"));
+            return;
+        }
+    };
+
+    for (label, protocol, uncached) in [
+        (
+            "cold",
+            SimProtocol::Cold,
+            try_simulate_with(p, layout, h, true),
+        ),
+        (
+            "steady",
+            SimProtocol::Steady {
+                warmup: 1,
+                timed: 1,
+            },
+            try_simulate_steady_with(p, layout, h, 1, 1, true),
+        ),
+    ] {
+        let uncached = match uncached {
+            Ok(report) => report,
+            Err(e) => {
+                r.skip(oracle, format!("{label}: case does not simulate: {e}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+        };
+        let key = CacheKey::derive(p, layout, h, protocol);
+        // First pass computes and stores; second pass must be served from
+        // disk. Both must equal the direct simulation exactly.
+        let stored = cache.get_or_compute(key, || uncached.clone());
+        let reloaded = match caught(|| {
+            cache.get_or_compute(key, || panic!("second lookup was not served from disk"))
+        }) {
+            Ok(report) => report,
+            Err(e) => {
+                r.fail(oracle, format!("{label}: {e}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                return;
+            }
+        };
+        if stored != uncached || reloaded != uncached {
+            r.fail(
+                oracle,
+                format!(
+                    "{label}: cached result diverges from uncached simulation: \
+                     uncached {uncached:?}, stored {stored:?}, reloaded {reloaded:?}"
+                ),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            return;
+        }
+    }
+    let stats = cache.stats();
+    if stats.hits < 2 || stats.corrupt != 0 || stats.stale != 0 {
+        r.fail(
+            oracle,
+            format!(
+                "cache traffic is wrong for store-then-reload: {} hits, {} corrupt, {} stale",
+                stats.hits, stats.corrupt, stats.stale
+            ),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    r.checked.push(oracle);
 }
 
 /// Fast-path vs scalar simulation: identical miss reports, cold and steady.

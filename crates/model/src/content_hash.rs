@@ -1,0 +1,144 @@
+//! [`StableHash`] implementations over the program IR and layouts.
+//!
+//! These feed the content-addressed result cache (`mlc_core::rescache`):
+//! two (program, layout) pairs hash equal exactly when they are
+//! structurally equal, and every field that can influence a simulated
+//! trace — extents, intra-pads, element sizes, subscripts, bounds, steps,
+//! body order, access kinds, base addresses — perturbs the hash.
+//!
+//! Names (program, nest, array, loop-variable) are hashed too. Array and
+//! nest names cannot change a trace, but loop-variable names resolve bound
+//! and subscript references, and including the rest keeps the rule simple
+//! and errs in the safe direction: a rename at worst invalidates a cache
+//! entry, while an omitted load-bearing field would silently alias two
+//! different computations.
+
+use crate::array::ArrayDecl;
+use crate::expr::AffineExpr;
+use crate::layout::DataLayout;
+use crate::nest::{Loop, LoopNest};
+use crate::program::Program;
+use crate::reference::ArrayRef;
+use mlc_cache_sim::stable_hash::{StableHash, StableHasher};
+
+impl StableHash for AffineExpr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_i64(self.constant_term());
+        // Terms are kept sorted by variable with no zero coefficients, so
+        // this walk is canonical.
+        let terms: Vec<(&str, i64)> = self.terms().collect();
+        h.write_usize(terms.len());
+        for (v, c) in terms {
+            h.write_str(v);
+            h.write_i64(c);
+        }
+    }
+}
+
+impl StableHash for ArrayDecl {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.elem_size);
+        self.dims.stable_hash(h);
+        self.dim_pad.stable_hash(h);
+    }
+}
+
+impl StableHash for ArrayRef {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.array);
+        self.subscripts.stable_hash(h);
+        self.kind.stable_hash(h);
+    }
+}
+
+impl StableHash for Loop {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.var);
+        self.lowers.stable_hash(h);
+        self.uppers.stable_hash(h);
+        h.write_i64(self.step);
+    }
+}
+
+impl StableHash for LoopNest {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.loops.stable_hash(h);
+        self.body.stable_hash(h);
+    }
+}
+
+impl StableHash for Program {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.arrays.stable_hash(h);
+        self.nests.stable_hash(h);
+    }
+}
+
+impl StableHash for DataLayout {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.bases.stable_hash(h);
+        h.write_u64(self.total_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::figure2_example;
+    use mlc_cache_sim::stable_hash::stable_hash_of;
+
+    #[test]
+    fn equal_programs_hash_equal() {
+        assert_eq!(
+            stable_hash_of(&figure2_example(128)),
+            stable_hash_of(&figure2_example(128))
+        );
+        assert_ne!(
+            stable_hash_of(&figure2_example(128)),
+            stable_hash_of(&figure2_example(129))
+        );
+    }
+
+    #[test]
+    fn every_program_field_perturbs_the_hash() {
+        let base = figure2_example(64);
+        let h0 = stable_hash_of(&base);
+
+        let mut p = base.clone();
+        p.arrays[0].dim_pad[0] = 3; // intra-pad
+        assert_ne!(h0, stable_hash_of(&p));
+
+        let mut p = base.clone();
+        p.arrays[1].elem_size = 4; // element size
+        assert_ne!(h0, stable_hash_of(&p));
+
+        let mut p = base.clone();
+        p.nests[0].loops[0].step = 2; // loop step
+        assert_ne!(h0, stable_hash_of(&p));
+
+        let mut p = base.clone();
+        p.nests[0].loops[1].uppers[0] = AffineExpr::constant(10); // bound
+        assert_ne!(h0, stable_hash_of(&p));
+
+        let mut p = base.clone();
+        p.nests[1].body.swap(0, 1); // body order
+        assert_ne!(h0, stable_hash_of(&p));
+
+        let mut p = base.clone();
+        p.nests[1].body[3].kind = mlc_cache_sim::trace::AccessKind::Write; // kind
+        assert_ne!(h0, stable_hash_of(&p));
+    }
+
+    #[test]
+    fn layout_bases_perturb_the_hash() {
+        let p = figure2_example(64);
+        let a = DataLayout::contiguous(&p.arrays);
+        let mut pads = vec![0u64; p.arrays.len()];
+        pads[1] = 64;
+        let b = DataLayout::with_pads(&p.arrays, &pads);
+        assert_ne!(stable_hash_of(&a), stable_hash_of(&b));
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod arbitrary;
 pub mod array;
+pub mod content_hash;
 pub mod dependence;
 pub mod diagram;
 pub mod distribute;

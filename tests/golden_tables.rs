@@ -1,0 +1,182 @@
+//! Golden snapshot tests: the per-kernel version tables, pinned.
+//!
+//! Every cell of the paper grid (kernel × family on the UltraSparc-I) is
+//! recomputed and compared — on its exact integer miss counts and padding
+//! bytes, not formatted rates — against `tests/golden/*.json`. Any numeric
+//! drift anywhere in the pipeline (trace generator, simulator, padding
+//! searches, optimizer orchestration) fails loudly here, naming the
+//! kernels that moved.
+//!
+//! Debug builds (`cargo test -q`) check a representative subset so the
+//! tier-1 suite stays fast; release builds (`cargo test --release`, run in
+//! CI) check the full matrix.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test golden_tables
+//! ```
+//!
+//! and commit the rewritten files (see `docs/TESTING.md`). The update path
+//! always regenerates the *full* matrix, even in debug builds.
+
+use mlc_experiments::sweep::{cell_result_to_json, grid_cells, run_cell, GridKind, SweepCell};
+use mlc_telemetry::json::JsonValue;
+use std::path::PathBuf;
+
+/// Cells checked by debug builds: cheap, but spanning kernels / NAS,
+/// severe-conflict and group-reuse behavior, and nontrivial padding.
+const DEBUG_SUBSET: &[&str] = &["adi32", "dot512", "buk", "embar", "jacobi512", "appsp"];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn update_requested() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn compute(cells: &[SweepCell]) -> Vec<JsonValue> {
+    cells
+        .iter()
+        .map(|c| cell_result_to_json(&run_cell(c, None)))
+        .collect()
+}
+
+fn golden_doc(grid_tag: &str, cells: &[SweepCell], payloads: Vec<JsonValue>) -> JsonValue {
+    assert_eq!(cells.len(), payloads.len());
+    JsonValue::object(vec![
+        ("format", JsonValue::from(1u64)),
+        ("grid", JsonValue::from(grid_tag)),
+        ("cells", JsonValue::Array(payloads)),
+    ])
+}
+
+/// Compare computed payloads against a golden document. Returns one
+/// human-readable message per mismatch; empty means the snapshot holds.
+fn diff_against_golden(
+    golden: &JsonValue,
+    cells: &[SweepCell],
+    actual: &[JsonValue],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    let golden_cells: Vec<&JsonValue> = match golden.get("cells").and_then(JsonValue::as_array) {
+        Some(arr) => arr.iter().collect(),
+        None => return vec!["golden file has no 'cells' array".into()],
+    };
+    let find = |kernel: &str| {
+        golden_cells
+            .iter()
+            .find(|g| g.get("kernel").and_then(JsonValue::as_str) == Some(kernel))
+    };
+    for (cell, got) in cells.iter().zip(actual) {
+        match find(&cell.kernel) {
+            None => problems.push(format!(
+                "kernel {:?} (family {}) missing from the golden file",
+                cell.kernel, cell.family
+            )),
+            Some(want) => {
+                let want_s = want.to_string_compact();
+                let got_s = got.to_string_compact();
+                if want_s != got_s {
+                    problems.push(format!(
+                        "kernel {:?} (family {}) drifted:\n  golden: {want_s}\n  actual: {got_s}",
+                        cell.kernel, cell.family
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+fn check_family(kind: GridKind, grid_tag: &str, file: &str) {
+    let all = grid_cells(kind);
+    let path = golden_path(file);
+
+    if update_requested() {
+        let payloads = compute(&all);
+        let doc = golden_doc(grid_tag, &all, payloads);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, doc.pretty()).unwrap();
+        eprintln!("golden: rewrote {} ({} cells)", path.display(), all.len());
+        return;
+    }
+
+    let cells: Vec<SweepCell> = if cfg!(debug_assertions) {
+        all.into_iter()
+            .filter(|c| DEBUG_SUBSET.contains(&c.kernel.as_str()))
+            .collect()
+    } else {
+        all
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --release --test golden_tables",
+            path.display()
+        )
+    });
+    let golden = JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("golden file {} is not JSON: {e}", path.display()));
+    assert_eq!(
+        golden.get("format").and_then(JsonValue::as_u64),
+        Some(1),
+        "unknown golden format in {}",
+        path.display()
+    );
+    let actual = compute(&cells);
+    let problems = diff_against_golden(&golden, &cells, &actual);
+    assert!(
+        problems.is_empty(),
+        "golden table {} no longer matches ({} cells differ).\n\n{}\n\n\
+         If this drift is intentional, bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --release --test golden_tables\n\
+         and commit the rewritten files.",
+        path.display(),
+        problems.len(),
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn golden_conflict_tables_hold() {
+    check_family(GridKind::Conflict, "conflict", "conflict_ultrasparc_i.json");
+}
+
+#[test]
+fn golden_group_tables_hold() {
+    check_family(GridKind::Group, "group", "group_ultrasparc_i.json");
+}
+
+/// The comparator itself must fail loudly: perturb one miss count in a
+/// real golden document and watch the diff name the kernel.
+#[test]
+fn comparator_flags_a_single_count_perturbation() {
+    let cells: Vec<SweepCell> = grid_cells(GridKind::Conflict)
+        .into_iter()
+        .filter(|c| c.kernel == "dot512")
+        .collect();
+    assert_eq!(cells.len(), 1);
+    let actual = compute(&cells);
+    let doc = golden_doc("conflict", &cells, actual.clone());
+    assert!(
+        diff_against_golden(&doc, &cells, &actual).is_empty(),
+        "sanity: a fresh snapshot must match itself"
+    );
+
+    // Nudge the first miss count by one, bit-exactly.
+    let text = doc.pretty();
+    let needle = "\"misses\": ";
+    let at = text.find(needle).unwrap() + needle.len();
+    let end = at + text[at..].find(|c: char| !c.is_ascii_digit()).unwrap();
+    let n: u64 = text[at..end].parse().unwrap();
+    let perturbed = format!("{}{}{}", &text[..at], n + 1, &text[end..]);
+    let perturbed_doc = JsonValue::parse(&perturbed).unwrap();
+
+    let problems = diff_against_golden(&perturbed_doc, &cells, &actual);
+    assert_eq!(problems.len(), 1, "one perturbed cell, one complaint");
+    assert!(problems[0].contains("dot512"), "complaint names the kernel");
+}
