@@ -1,0 +1,88 @@
+//! `baseline..head` commit-to-commit comparison.
+
+use crate::series::group_series;
+use mlc_telemetry::bench_report::{BenchEntry, Direction};
+
+/// One series' delta between two commits.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// `family/case/metric [profile]`.
+    pub key: String,
+    /// Value at the baseline commit (latest entry of that commit).
+    pub baseline: f64,
+    /// Value at the head commit.
+    pub head: f64,
+    /// Unit, for reporting.
+    pub unit: String,
+    /// The metric's better-direction.
+    pub direction: Direction,
+}
+
+impl Comparison {
+    /// Signed change in percent of baseline (positive = head larger).
+    pub fn change_pct(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.head == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * self.head.signum()
+            }
+        } else {
+            100.0 * (self.head - self.baseline) / self.baseline.abs()
+        }
+    }
+
+    /// Whether the change is an improvement (direction-aware). Ties are
+    /// improvements.
+    pub fn improved(&self) -> bool {
+        self.direction.improvement(self.baseline, self.head) >= 0.0
+    }
+}
+
+/// Compare every series measured at both commits. Series present at only
+/// one end are silently absent from the result — `compare` reports
+/// movement, the gate owns completeness.
+pub fn compare_commits(entries: &[BenchEntry], baseline: &str, head: &str) -> Vec<Comparison> {
+    group_series(entries)
+        .iter()
+        .filter_map(|s| {
+            let b = s.at_commit(baseline)?;
+            let h = s.at_commit(head)?;
+            Some(Comparison {
+                key: s.key.to_string(),
+                baseline: b.value,
+                head: h.value,
+                unit: h.unit.clone(),
+                direction: h.direction,
+            })
+        })
+        .collect()
+}
+
+/// Text table of comparisons, worst movement first.
+pub fn render_text(comparisons: &[Comparison]) -> String {
+    let mut rows: Vec<&Comparison> = comparisons.iter().collect();
+    rows.sort_by(|a, b| {
+        let worse = |c: &Comparison| c.direction.improvement(c.baseline, c.head);
+        worse(a)
+            .partial_cmp(&worse(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::new();
+    for c in rows {
+        let arrow = if c.improved() {
+            "improved"
+        } else {
+            "REGRESSED"
+        };
+        out.push_str(&format!(
+            "{:<55} {:>12.4} -> {:>12.4} {:<12} {:+7.2}%  {arrow}\n",
+            c.key,
+            c.baseline,
+            c.head,
+            c.unit,
+            c.change_pct()
+        ));
+    }
+    out
+}

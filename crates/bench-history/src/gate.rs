@@ -1,0 +1,276 @@
+//! The regression gate: head commit vs. a rolling-median baseline.
+//!
+//! For every series with a measurement at the head commit, the gate takes
+//! the latest value per distinct *earlier* commit, keeps the most recent
+//! [`GateOptions::window`] of them, and uses their **median** as the
+//! baseline — so one noisy historical run moves the bar by at most half a
+//! rank, not by its full excursion. The head value is then compared
+//! direction-aware: a `higher`-is-better metric regresses by falling, a
+//! `lower`-is-better one by rising. Regressions worse than
+//! [`GateOptions::max_regress_pct`] fail the gate, as does any violated
+//! absolute floor (`--min family/case/metric=VALUE`) — floors are how the
+//! old ad-hoc checks (e.g. the sweep-cache 5× speedup gate) ride the
+//! ledger instead of each binary hand-rolling its own exit code.
+//!
+//! Series with no head measurement are reported but never fail the gate
+//! (a run that only exercises one family must not be punished for the
+//! others' silence); a *floor* naming a series with no head measurement
+//! does fail, because a silently skipped hard gate is worse than a red
+//! build.
+
+use crate::series::{commit_matches, group_series, Series};
+use mlc_telemetry::bench_report::{median, BenchEntry};
+
+/// Gate configuration.
+#[derive(Debug, Clone)]
+pub struct GateOptions {
+    /// Maximum tolerated regression, in percent of the baseline (e.g.
+    /// `10.0` = fail anything more than 10% worse than the rolling
+    /// median).
+    pub max_regress_pct: f64,
+    /// How many recent distinct commits feed the rolling median.
+    pub window: usize,
+    /// Absolute floors/ceilings: (`family/case/metric`, value). For
+    /// `higher`-is-better metrics the head value must be ≥ the value; for
+    /// `lower`-is-better, ≤.
+    pub floors: Vec<(String, f64)>,
+    /// Only gate series whose `family/case/metric` path starts with this.
+    pub only: Option<String>,
+    /// The head commit id (full or abbreviated).
+    pub head_commit: String,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        Self {
+            max_regress_pct: 10.0,
+            window: 5,
+            floors: Vec::new(),
+            only: None,
+            head_commit: String::new(),
+        }
+    }
+}
+
+/// Outcome of one series (or floor) check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// Head is within tolerance of the baseline (or better).
+    Pass,
+    /// Head regressed past the threshold.
+    Regressed,
+    /// An absolute floor was violated.
+    FloorViolated,
+    /// The floor's series has no head measurement — a hard failure.
+    FloorMissing,
+    /// No earlier commits to compare against; passes by definition.
+    NoBaseline,
+    /// The series has no measurement at the head commit; skipped.
+    NoHead,
+}
+
+impl CheckOutcome {
+    /// Whether this outcome fails the gate.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            CheckOutcome::Regressed | CheckOutcome::FloorViolated | CheckOutcome::FloorMissing
+        )
+    }
+}
+
+/// One gated series' verdict.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// `family/case/metric [profile]` the check applies to.
+    pub key: String,
+    /// Head value, when one exists.
+    pub head: Option<f64>,
+    /// Rolling-median baseline, when one exists.
+    pub baseline: Option<f64>,
+    /// Direction-aware regression in percent of baseline (positive =
+    /// worse), when computable. `f64::INFINITY` encodes "regressed from a
+    /// zero baseline".
+    pub regress_pct: Option<f64>,
+    /// Number of distinct commits behind the baseline median.
+    pub baseline_commits: usize,
+    /// The verdict.
+    pub outcome: CheckOutcome,
+    /// Unit, for reporting.
+    pub unit: String,
+}
+
+/// The whole gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Every check performed, series first, floors after.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// Checks that fail the gate.
+    pub fn failures(&self) -> impl Iterator<Item = &GateCheck> {
+        self.checks.iter().filter(|c| c.outcome.is_failure())
+    }
+
+    /// True iff the gate fails.
+    pub fn failed(&self) -> bool {
+        self.failures().next().is_some()
+    }
+
+    /// Human-readable one-line-per-check report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let verdict = match c.outcome {
+                CheckOutcome::Pass => "ok",
+                CheckOutcome::Regressed => "REGRESSED",
+                CheckOutcome::FloorViolated => "FLOOR VIOLATED",
+                CheckOutcome::FloorMissing => "FLOOR METRIC MISSING",
+                CheckOutcome::NoBaseline => "ok (no baseline yet)",
+                CheckOutcome::NoHead => "skipped (no head entry)",
+            };
+            out.push_str(&format!("{:<55} {verdict}", c.key));
+            if let (Some(h), Some(b)) = (c.head, c.baseline) {
+                out.push_str(&format!(
+                    "  head {h:.4} vs median-of-{} {b:.4} {}",
+                    c.baseline_commits, c.unit
+                ));
+                if let Some(p) = c.regress_pct {
+                    if p > 0.0 {
+                        out.push_str(&format!("  ({p:+.1}% worse)"));
+                    }
+                }
+            } else if let Some(h) = c.head {
+                out.push_str(&format!("  head {h:.4} {}", c.unit));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Direction-aware regression percent: positive means `head` is worse
+/// than `baseline` by that fraction of the baseline; ≤ 0 means no
+/// regression. Zero baselines: regressing away from 0 is infinitely bad.
+fn regression_pct(e: &BenchEntry, baseline: f64, head: f64) -> f64 {
+    let worse = -e.direction.improvement(baseline, head);
+    if worse <= 0.0 {
+        return 0.0;
+    }
+    if baseline == 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * worse / baseline.abs()
+}
+
+fn check_series(s: &Series, opts: &GateOptions) -> GateCheck {
+    let key = s.key.to_string();
+    let Some(head_entry) = s.at_commit(&opts.head_commit) else {
+        return GateCheck {
+            key,
+            head: None,
+            baseline: None,
+            regress_pct: None,
+            baseline_commits: 0,
+            outcome: CheckOutcome::NoHead,
+            unit: s.entries.last().map(|e| e.unit.clone()).unwrap_or_default(),
+        };
+    };
+    let head = head_entry.value;
+    let pool = s.per_commit_latest(Some(&opts.head_commit));
+    let window: Vec<f64> = pool
+        .iter()
+        .rev()
+        .take(opts.window.max(1))
+        .map(|&(_, v)| v)
+        .collect();
+    let Some(baseline) = median(&window) else {
+        return GateCheck {
+            key,
+            head: Some(head),
+            baseline: None,
+            regress_pct: None,
+            baseline_commits: 0,
+            outcome: CheckOutcome::NoBaseline,
+            unit: head_entry.unit.clone(),
+        };
+    };
+    let pct = regression_pct(head_entry, baseline, head);
+    GateCheck {
+        key,
+        head: Some(head),
+        baseline: Some(baseline),
+        regress_pct: Some(pct),
+        baseline_commits: window.len(),
+        outcome: if pct > opts.max_regress_pct {
+            CheckOutcome::Regressed
+        } else {
+            CheckOutcome::Pass
+        },
+        unit: head_entry.unit.clone(),
+    }
+}
+
+/// Run the gate over `entries` (the loaded ledger).
+pub fn run_gate(entries: &[BenchEntry], opts: &GateOptions) -> GateReport {
+    let mut report = GateReport::default();
+    let series = group_series(entries);
+    let gated: Vec<&Series> = series
+        .iter()
+        .filter(|s| {
+            opts.only
+                .as_deref()
+                .map(|p| s.key.path().starts_with(p))
+                .unwrap_or(true)
+        })
+        .collect();
+    for s in &gated {
+        report.checks.push(check_series(s, opts));
+    }
+    for (path, floor) in &opts.floors {
+        // A floor applies to whichever profile has a head measurement;
+        // if both do, both must clear it.
+        let mut found = false;
+        for s in series.iter().filter(|s| &s.key.path() == path) {
+            let Some(head_entry) = s.at_commit(&opts.head_commit) else {
+                continue;
+            };
+            found = true;
+            let ok = match head_entry.direction {
+                mlc_telemetry::bench_report::Direction::Higher => head_entry.value >= *floor,
+                mlc_telemetry::bench_report::Direction::Lower => head_entry.value <= *floor,
+            };
+            report.checks.push(GateCheck {
+                key: format!("{} floor {}", s.key, floor),
+                head: Some(head_entry.value),
+                baseline: None,
+                regress_pct: None,
+                baseline_commits: 0,
+                outcome: if ok {
+                    CheckOutcome::Pass
+                } else {
+                    CheckOutcome::FloorViolated
+                },
+                unit: head_entry.unit.clone(),
+            });
+        }
+        if !found {
+            report.checks.push(GateCheck {
+                key: format!("{path} floor {floor}"),
+                head: None,
+                baseline: None,
+                regress_pct: None,
+                baseline_commits: 0,
+                outcome: CheckOutcome::FloorMissing,
+                unit: String::new(),
+            });
+        }
+    }
+    report
+}
+
+/// `commit_matches` re-exported for the CLI's argument validation.
+pub fn head_has_entries(entries: &[BenchEntry], head: &str) -> bool {
+    entries.iter().any(|e| commit_matches(&e.commit, head))
+}

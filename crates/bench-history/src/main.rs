@@ -1,0 +1,294 @@
+//! `bench-history` — the benchmark ledger CLI.
+//!
+//! Subcommands:
+//!
+//! * `append`  — validate JSONL entries (stdin or `--entries FILE`) and
+//!   append them to the per-family history store;
+//! * `compare` — print per-series deltas between two commits;
+//! * `gate`    — regression gate vs. a rolling-median baseline; exits
+//!   non-zero when a gated metric regresses past the threshold or an
+//!   absolute floor is violated (or missing);
+//! * `render`  — regenerate the static `docs/bench/` dashboard.
+//!
+//! See `docs/BENCHMARKS.md` for the workflow these fit into.
+
+use mlc_bench_history::compare::{compare_commits, render_text};
+use mlc_bench_history::gate::{run_gate, GateOptions};
+use mlc_bench_history::render::render_dashboard;
+use mlc_telemetry::bench_report::{append_history, load_all, BenchEntry, EnvInfo};
+use mlc_telemetry::json::JsonValue;
+use mlc_telemetry::schema::validate;
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const DEFAULT_DIR: &str = "results/bench_history";
+
+const USAGE: &str = "\
+bench-history — append-only benchmark ledger tools
+
+USAGE:
+  bench-history append  [--dir DIR] [--entries FILE] [--schema FILE]
+  bench-history compare <BASELINE>..<HEAD> [--dir DIR]
+  bench-history gate    [--dir DIR] [--commit C] [--max-regress PCT]
+                        [--window N] [--min FAMILY/CASE/METRIC=VALUE]...
+                        [--only PREFIX]
+  bench-history render  [--dir DIR] [--out DIR] [--repo-url URL]
+
+COMMON:
+  --dir DIR          history store (default results/bench_history)
+
+append:
+  --entries FILE     JSONL file of BenchEntry records (default: stdin)
+  --schema FILE      also validate each record against this JSON Schema
+
+gate:
+  --commit C         head commit id (default: the current environment's,
+                     honoring MLC_BENCH_COMMIT)
+  --max-regress PCT  tolerated regression vs. rolling median (default 10)
+  --window N         commits in the rolling-median baseline (default 5)
+  --min PATH=VALUE   absolute floor (>= for higher-is-better metrics,
+                     <= for lower-is-better); repeatable; a floor whose
+                     metric has no head measurement FAILS the gate
+  --only PREFIX      gate only series whose family/case/metric path
+                     starts with PREFIX
+
+render:
+  --out DIR          output directory (default docs/bench)
+  --repo-url URL     repository URL embedded in data.js
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "append" => cmd_append(rest),
+        "compare" => cmd_compare(rest),
+        "gate" => cmd_gate(rest),
+        "render" => cmd_render(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bench-history: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pull `--flag VALUE` out of `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pull every occurrence of `--flag VALUE`.
+fn take_all_flags(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    while let Some(v) = take_flag(args, flag)? {
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn reject_leftovers(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        Some(a) => Err(format!("unexpected argument '{a}'")),
+        None => Ok(()),
+    }
+}
+
+fn store_dir(args: &mut Vec<String>) -> Result<PathBuf, String> {
+    Ok(PathBuf::from(
+        take_flag(args, "--dir")?.unwrap_or_else(|| DEFAULT_DIR.to_string()),
+    ))
+}
+
+fn cmd_append(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let dir = store_dir(&mut args)?;
+    let entries_file = take_flag(&mut args, "--entries")?;
+    let schema_file = take_flag(&mut args, "--schema")?;
+    reject_leftovers(&args)?;
+
+    let text = match &entries_file {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            s
+        }
+    };
+    let schema = match &schema_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(JsonValue::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?)
+        }
+        None => None,
+    };
+
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if let Some(schema) = &schema {
+            let errors = validate(schema, &json);
+            if !errors.is_empty() {
+                return Err(format!(
+                    "line {}: schema violation: {}",
+                    lineno + 1,
+                    errors
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ));
+            }
+        }
+        let entry = BenchEntry::from_json(&json)
+            .ok_or_else(|| format!("line {}: not a valid bench entry", lineno + 1))?;
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        eprintln!("bench-history append: no entries to append");
+        return Ok(ExitCode::SUCCESS);
+    }
+    append_history(&dir, &entries).map_err(|e| format!("appending to {}: {e}", dir.display()))?;
+    println!("appended {} entries to {}", entries.len(), dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let dir = store_dir(&mut args)?;
+    if args.len() != 1 {
+        return Err("compare needs exactly one <BASELINE>..<HEAD> argument".to_string());
+    }
+    let spec = args.remove(0);
+    let (baseline, head) = spec
+        .split_once("..")
+        .ok_or_else(|| format!("'{spec}' is not of the form BASELINE..HEAD"))?;
+    if baseline.is_empty() || head.is_empty() {
+        return Err(format!("'{spec}' is not of the form BASELINE..HEAD"));
+    }
+
+    let entries = load_all(&dir).map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let comparisons = compare_commits(&entries, baseline, head);
+    if comparisons.is_empty() {
+        println!("no series measured at both {baseline} and {head}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    print!("{}", render_text(&comparisons));
+    let regressions = comparisons.iter().filter(|c| !c.improved()).count();
+    println!(
+        "{} series compared, {} improved, {} regressed",
+        comparisons.len(),
+        comparisons.len() - regressions,
+        regressions
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gate(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let dir = store_dir(&mut args)?;
+    let mut opts = GateOptions::default();
+    if let Some(v) = take_flag(&mut args, "--max-regress")? {
+        opts.max_regress_pct = v
+            .trim_end_matches('%')
+            .parse::<f64>()
+            .map_err(|_| format!("--max-regress: '{v}' is not a number"))?;
+        if !opts.max_regress_pct.is_finite() || opts.max_regress_pct < 0.0 {
+            return Err(format!(
+                "--max-regress: '{v}' must be a non-negative percent"
+            ));
+        }
+    }
+    if let Some(v) = take_flag(&mut args, "--window")? {
+        opts.window = v
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("--window: '{v}' must be a positive integer"))?;
+    }
+    for spec in take_all_flags(&mut args, "--min")? {
+        let (path, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--min: '{spec}' is not FAMILY/CASE/METRIC=VALUE"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("--min: '{spec}' has a non-numeric value"))?;
+        if path.split('/').count() != 3 {
+            return Err(format!("--min: '{path}' is not FAMILY/CASE/METRIC"));
+        }
+        opts.floors.push((path.to_string(), value));
+    }
+    opts.only = take_flag(&mut args, "--only")?;
+    opts.head_commit = match take_flag(&mut args, "--commit")? {
+        Some(c) => c,
+        None => EnvInfo::capture().commit,
+    };
+    reject_leftovers(&args)?;
+
+    let entries = load_all(&dir).map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    if entries.is_empty() {
+        return Err(format!(
+            "no history found under {} — run the bench binaries first",
+            dir.display()
+        ));
+    }
+    let report = run_gate(&entries, &opts);
+    print!("{}", report.render_text());
+    if report.failed() {
+        eprintln!(
+            "bench-history gate: FAILED ({} of {} checks)",
+            report.failures().count(),
+            report.checks.len()
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!(
+            "bench-history gate: passed ({} checks, head {})",
+            report.checks.len(),
+            &opts.head_commit
+        );
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_render(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let dir = store_dir(&mut args)?;
+    let out = PathBuf::from(take_flag(&mut args, "--out")?.unwrap_or_else(|| "docs/bench".into()));
+    let repo_url = take_flag(&mut args, "--repo-url")?.unwrap_or_default();
+    reject_leftovers(&args)?;
+
+    let entries = load_all(&dir).map_err(|e| format!("loading {}: {e}", dir.display()))?;
+    let dashboard = render_dashboard(&entries, &repo_url);
+    dashboard
+        .write_to(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("rendered {} entries into {}", entries.len(), out.display());
+    Ok(ExitCode::SUCCESS)
+}

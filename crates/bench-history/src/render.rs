@@ -1,0 +1,445 @@
+//! The static `docs/bench/` dashboard.
+//!
+//! [`render_dashboard`] turns the ledger into two files:
+//!
+//! * `data.js` — `window.BENCHMARK_DATA = {…};`, the per-commit ledger in
+//!   the format the dkls23 benchmark page uses: one object per
+//!   (commit, profile) run per family, each carrying its `benches` list.
+//!   Regenerated from the JSONL store; never hand-edited.
+//! * `index.html` — a self-contained static page (no external assets, no
+//!   network) that plots every `family/case/metric` series as its own
+//!   small-multiple line chart: value vs. commit sequence, newest right,
+//!   with hover tooltips, a latest-vs-previous delta chip, and a data
+//!   table per family. Open it from a file:// URL or a CI artifact.
+//!
+//! Chart conventions follow the repo's dataviz method: single series per
+//! panel (so identity never leans on color), one y-axis, thin 2 px lines,
+//! hairline grid, text in ink tokens, and a light/dark scheme driven by
+//! `prefers-color-scheme` from one set of CSS custom properties.
+
+use mlc_telemetry::bench_report::BenchEntry;
+use mlc_telemetry::json::JsonValue;
+use std::path::Path;
+
+/// The two rendered artifacts.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    /// `window.BENCHMARK_DATA = {…};`
+    pub data_js: String,
+    /// The static viewer page.
+    pub index_html: String,
+}
+
+impl Dashboard {
+    /// Write both files into `dir`, creating it as needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("data.js"), &self.data_js)?;
+        std::fs::write(dir.join("index.html"), &self.index_html)?;
+        Ok(())
+    }
+}
+
+/// Render the ledger. `repo_url` goes into `data.js` metadata (and the
+/// page footer); pass the repository's canonical URL.
+pub fn render_dashboard(entries: &[BenchEntry], repo_url: &str) -> Dashboard {
+    Dashboard {
+        data_js: render_data_js(entries, repo_url),
+        index_html: INDEX_HTML.to_string(),
+    }
+}
+
+/// Group one family's entries into per-(commit, profile) runs, in order of
+/// first appearance (the ledger is append-ordered, so this is
+/// chronological per family).
+fn family_runs(entries: &[BenchEntry]) -> Vec<((String, String), Vec<&BenchEntry>)> {
+    let mut runs: Vec<((String, String), Vec<&BenchEntry>)> = Vec::new();
+    for e in entries {
+        let key = (e.commit.clone(), e.profile.clone());
+        match runs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(e),
+            None => runs.push((key, vec![e])),
+        }
+    }
+    runs
+}
+
+fn render_data_js(entries: &[BenchEntry], repo_url: &str) -> String {
+    let mut families: Vec<&str> = entries.iter().map(|e| e.family.as_str()).collect();
+    families.sort_unstable();
+    families.dedup();
+
+    let mut family_objects: Vec<(String, JsonValue)> = Vec::new();
+    let mut last_update = 0u64;
+    for family in families {
+        let fam_entries: Vec<BenchEntry> = entries
+            .iter()
+            .filter(|e| e.family == family)
+            .cloned()
+            .collect();
+        let mut runs_json = Vec::new();
+        for ((commit, profile), run) in family_runs(&fam_entries) {
+            let date = run.iter().map(|e| e.timestamp).max().unwrap_or(0);
+            last_update = last_update.max(date);
+            let benches = run
+                .iter()
+                .map(|e| {
+                    JsonValue::object(vec![
+                        ("name", JsonValue::from(format!("{}/{}", e.case, e.metric))),
+                        ("value", JsonValue::Num(e.value)),
+                        ("unit", JsonValue::from(e.unit.as_str())),
+                        ("direction", JsonValue::from(e.direction.as_str())),
+                    ])
+                })
+                .collect();
+            runs_json.push(JsonValue::object(vec![
+                (
+                    "commit",
+                    JsonValue::object(vec![
+                        ("id", JsonValue::from(commit.as_str())),
+                        ("timestamp", JsonValue::from(date)),
+                    ]),
+                ),
+                ("date", JsonValue::from(date * 1000)),
+                ("tool", JsonValue::from("mlc")),
+                ("profile", JsonValue::from(profile.as_str())),
+                ("benches", JsonValue::Array(benches)),
+            ]));
+        }
+        family_objects.push((family.to_string(), JsonValue::Array(runs_json)));
+    }
+
+    let data = JsonValue::object(vec![
+        ("lastUpdate", JsonValue::from(last_update * 1000)),
+        ("repoUrl", JsonValue::from(repo_url)),
+        ("schemaVersion", JsonValue::from(1u64)),
+        ("entries", JsonValue::Object(family_objects)),
+    ]);
+    format!("window.BENCHMARK_DATA = {};\n", data.pretty().trim_end())
+}
+
+/// The static viewer. Kept as one template so `render` is deterministic
+/// and diffs of `docs/bench/index.html` stay reviewable.
+const INDEX_HTML: &str = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>mlc benchmark history</title>
+<script src="data.js"></script>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --page:           #f9f9f7;
+    --surface-1:      #fcfcfb;
+    --text-primary:   #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted:     #898781;
+    --grid:           #e1e0d9;
+    --axis:           #c3c2b7;
+    --border:         rgba(11,11,11,0.10);
+    --series-1:       #2a78d6;
+    --delta-good:     #006300;
+    --delta-bad:      #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --page:           #0d0d0d;
+      --surface-1:      #1a1a19;
+      --text-primary:   #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted:     #898781;
+      --grid:           #2c2c2a;
+      --axis:           #383835;
+      --border:         rgba(255,255,255,0.10);
+      --series-1:       #3987e5;
+      --delta-good:     #0ca30c;
+      --delta-bad:      #e66767;
+    }
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; padding: 24px;
+    background: var(--page); color: var(--text-primary);
+    font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+    font-size: 14px; line-height: 1.45;
+  }
+  h1 { font-size: 20px; margin: 0 0 4px; }
+  h2 { font-size: 16px; margin: 28px 0 10px; }
+  .sub { color: var(--text-secondary); margin: 0 0 16px; }
+  .cards { display: grid; grid-template-columns: repeat(auto-fill, minmax(360px, 1fr)); gap: 16px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 14px 14px 8px;
+  }
+  .card h3 { font-size: 13px; font-weight: 600; margin: 0; color: var(--text-primary); overflow-wrap: anywhere; }
+  .card .meta { color: var(--text-muted); font-size: 12px; margin: 2px 0 6px; }
+  .latest { font-size: 22px; font-weight: 600; }
+  .latest .unit { font-size: 12px; font-weight: 400; color: var(--text-secondary); margin-left: 4px; }
+  .delta { font-size: 12px; margin-left: 8px; }
+  .delta.good { color: var(--delta-good); }
+  .delta.bad  { color: var(--delta-bad); }
+  svg { display: block; width: 100%; height: auto; }
+  .gridline { stroke: var(--grid); stroke-width: 1; }
+  .axisline { stroke: var(--axis); stroke-width: 1; }
+  .tick { fill: var(--text-muted); font-size: 10px; font-variant-numeric: tabular-nums; }
+  .line { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+  .dot { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
+  .crosshair { stroke: var(--axis); stroke-width: 1; stroke-dasharray: 3 3; }
+  #tooltip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); color: var(--text-primary);
+    border: 1px solid var(--border); border-radius: 6px;
+    padding: 6px 9px; font-size: 12px;
+    box-shadow: 0 2px 8px rgba(0,0,0,0.15); max-width: 320px;
+  }
+  #tooltip .tcommit { color: var(--text-secondary); font-variant-numeric: tabular-nums; }
+  details { margin: 10px 0 0; }
+  summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; }
+  table { border-collapse: collapse; margin-top: 8px; font-size: 12px; width: 100%; }
+  th, td { text-align: left; padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid); }
+  td.num { font-variant-numeric: tabular-nums; text-align: right; }
+  footer { margin-top: 32px; color: var(--text-muted); font-size: 12px; }
+  a { color: var(--series-1); }
+</style>
+</head>
+<body class="viz-root">
+<h1>Benchmark history</h1>
+<p class="sub" id="subtitle">Per-commit benchmark ledger &mdash; regenerate with <code>bench-history render</code>.</p>
+<div id="root"></div>
+<div id="tooltip" role="status"></div>
+<footer id="footer"></footer>
+<script>
+(function () {
+  "use strict";
+  var DATA = window.BENCHMARK_DATA || { entries: {}, lastUpdate: 0 };
+  var root = document.getElementById("root");
+  var tooltip = document.getElementById("tooltip");
+
+  function shortCommit(id) { return id.length > 7 ? id.slice(0, 7) : id; }
+  function fmt(v) {
+    if (!isFinite(v)) return String(v);
+    var a = Math.abs(v);
+    if (a >= 1e9) return (v / 1e9).toFixed(2) + "G";
+    if (a >= 1e6) return (v / 1e6).toFixed(2) + "M";
+    if (a >= 1e4) return (v / 1e3).toFixed(1) + "k";
+    if (a >= 100 || v === Math.round(v)) return v.toFixed(0);
+    if (a >= 1) return v.toFixed(2);
+    return v.toPrecision(3);
+  }
+
+  // Series extraction: one per (bench name, profile) within a family.
+  function seriesOf(runs) {
+    var out = {}, order = [];
+    runs.forEach(function (run) {
+      run.benches.forEach(function (b) {
+        var key = b.name + " [" + run.profile + "]";
+        if (!out[key]) { out[key] = { name: b.name, profile: run.profile, unit: b.unit, direction: b.direction, points: [] }; order.push(key); }
+        out[key].points.push({ commit: run.commit.id, date: run.date, value: b.value });
+      });
+    });
+    return order.map(function (k) { return out[k]; });
+  }
+
+  var SVGNS = "http://www.w3.org/2000/svg";
+  function el(name, attrs, parent) {
+    var node = document.createElementNS(SVGNS, name);
+    for (var k in attrs) node.setAttribute(k, attrs[k]);
+    if (parent) parent.appendChild(node);
+    return node;
+  }
+
+  function chart(series) {
+    var W = 400, H = 150, L = 46, R = 10, T = 8, B = 24;
+    var svg = el("svg", { viewBox: "0 0 " + W + " " + H, "aria-label": series.name + " history" });
+    var pts = series.points;
+    var values = pts.map(function (p) { return p.value; });
+    var lo = Math.min.apply(null, values), hi = Math.max.apply(null, values);
+    if (lo === hi) { lo -= Math.abs(lo) * 0.05 + 1; hi += Math.abs(hi) * 0.05 + 1; }
+    var pad = (hi - lo) * 0.12; lo -= pad; hi += pad;
+    if (Math.min.apply(null, values) >= 0 && lo < 0) lo = 0;
+    var x = function (i) { return pts.length === 1 ? (L + (W - L - R) / 2) : L + (W - L - R) * i / (pts.length - 1); };
+    var y = function (v) { return T + (H - T - B) * (1 - (v - lo) / (hi - lo)); };
+
+    for (var t = 0; t < 4; t++) {
+      var v = lo + (hi - lo) * t / 3;
+      el("line", { x1: L, x2: W - R, y1: y(v), y2: y(v), "class": t === 0 ? "axisline" : "gridline" }, svg);
+      var lbl = el("text", { x: L - 5, y: y(v) + 3, "text-anchor": "end", "class": "tick" }, svg);
+      lbl.textContent = fmt(v);
+    }
+    var first = el("text", { x: x(0), y: H - 8, "text-anchor": pts.length === 1 ? "middle" : "start", "class": "tick" }, svg);
+    first.textContent = shortCommit(pts[0].commit);
+    if (pts.length > 1) {
+      var last = el("text", { x: x(pts.length - 1), y: H - 8, "text-anchor": "end", "class": "tick" }, svg);
+      last.textContent = shortCommit(pts[pts.length - 1].commit);
+    }
+
+    var d = pts.map(function (p, i) { return (i ? "L" : "M") + x(i).toFixed(1) + " " + y(p.value).toFixed(1); }).join(" ");
+    if (pts.length > 1) el("path", { d: d, "class": "line" }, svg);
+    pts.forEach(function (p, i) { el("circle", { cx: x(i), cy: y(p.value), r: 3, "class": "dot" }, svg); });
+
+    // Hover layer: nearest-point crosshair + tooltip over the whole plot.
+    var cross = el("line", { "class": "crosshair", y1: T, y2: H - B, x1: -10, x2: -10, visibility: "hidden" }, svg);
+    var overlay = el("rect", { x: L, y: T, width: W - L - R, height: H - T - B, fill: "transparent" }, svg);
+    overlay.addEventListener("mousemove", function (ev) {
+      var rect = svg.getBoundingClientRect();
+      var sx = (ev.clientX - rect.left) * (W / rect.width);
+      var best = 0, bestD = Infinity;
+      for (var i = 0; i < pts.length; i++) { var dd = Math.abs(x(i) - sx); if (dd < bestD) { bestD = dd; best = i; } }
+      var p = pts[best];
+      cross.setAttribute("x1", x(best)); cross.setAttribute("x2", x(best));
+      cross.setAttribute("visibility", "visible");
+      tooltip.style.display = "block";
+      tooltip.innerHTML = "<div><strong>" + fmt(p.value) + "</strong> " + series.unit +
+        "</div><div class='tcommit'>" + shortCommit(p.commit) +
+        (p.date ? " &middot; " + new Date(p.date).toISOString().slice(0, 10) : "") + "</div>";
+      var tx = ev.clientX + 12, ty = ev.clientY + 12;
+      if (tx + tooltip.offsetWidth > window.innerWidth - 8) tx = ev.clientX - tooltip.offsetWidth - 12;
+      tooltip.style.left = tx + "px"; tooltip.style.top = ty + "px";
+    });
+    overlay.addEventListener("mouseleave", function () {
+      cross.setAttribute("visibility", "hidden");
+      tooltip.style.display = "none";
+    });
+    return svg;
+  }
+
+  function deltaChip(series) {
+    var pts = series.points;
+    if (pts.length < 2) return null;
+    var prev = pts[pts.length - 2].value, curr = pts[pts.length - 1].value;
+    var chip = document.createElement("span");
+    if (prev === curr) {
+      chip.className = "delta"; chip.textContent = "no change"; return chip;
+    }
+    var pct = prev === 0 ? Infinity : 100 * (curr - prev) / Math.abs(prev);
+    var better = (series.direction === "lower") === (curr < prev);
+    chip.className = "delta " + (better ? "good" : "bad");
+    chip.textContent = (curr > prev ? "▲" : "▼") + " " +
+      (isFinite(pct) ? Math.abs(pct).toFixed(1) + "%" : "from 0") + " " +
+      (better ? "(better)" : "(worse)");
+    return chip;
+  }
+
+  function familyTable(family, runs) {
+    var details = document.createElement("details");
+    var summary = document.createElement("summary");
+    summary.textContent = "Data table — " + family;
+    details.appendChild(summary);
+    var table = document.createElement("table");
+    table.innerHTML = "<thead><tr><th>commit</th><th>profile</th><th>case/metric</th><th style='text-align:right'>value</th><th>unit</th></tr></thead>";
+    var tbody = document.createElement("tbody");
+    runs.forEach(function (run) {
+      run.benches.forEach(function (b) {
+        var tr = document.createElement("tr");
+        tr.innerHTML = "<td>" + shortCommit(run.commit.id) + "</td><td>" + run.profile +
+          "</td><td>" + b.name + "</td><td class='num'>" + fmt(b.value) + "</td><td>" + b.unit + "</td>";
+        tbody.appendChild(tr);
+      });
+    });
+    table.appendChild(tbody);
+    details.appendChild(table);
+    return details;
+  }
+
+  var families = Object.keys(DATA.entries).sort();
+  if (!families.length) {
+    root.textContent = "No benchmark history found. Run the bench binaries, then bench-history render.";
+  }
+  families.forEach(function (family) {
+    var runs = DATA.entries[family];
+    var h2 = document.createElement("h2");
+    h2.textContent = family;
+    root.appendChild(h2);
+    var grid = document.createElement("div");
+    grid.className = "cards";
+    seriesOf(runs).forEach(function (s) {
+      var card = document.createElement("div");
+      card.className = "card";
+      var h3 = document.createElement("h3");
+      h3.textContent = s.name;
+      card.appendChild(h3);
+      var meta = document.createElement("div");
+      meta.className = "meta";
+      meta.textContent = s.profile + " · " + (s.direction === "lower" ? "lower is better" : "higher is better") +
+        " · " + s.points.length + (s.points.length === 1 ? " run" : " runs");
+      card.appendChild(meta);
+      var latest = document.createElement("div");
+      latest.className = "latest";
+      latest.innerHTML = fmt(s.points[s.points.length - 1].value) + "<span class='unit'>" + s.unit + "</span>";
+      var chip = deltaChip(s);
+      if (chip) latest.appendChild(chip);
+      card.appendChild(latest);
+      card.appendChild(chart(s));
+      grid.appendChild(card);
+    });
+    root.appendChild(grid);
+    root.appendChild(familyTable(family, runs));
+  });
+
+  if (DATA.lastUpdate) {
+    document.getElementById("footer").textContent =
+      "Last update " + new Date(DATA.lastUpdate).toISOString() +
+      (DATA.repoUrl ? " · " + DATA.repoUrl : "");
+  }
+})();
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_telemetry::bench_report::{BenchReport, Direction, EnvInfo};
+
+    fn env(commit: &str, ts: u64) -> EnvInfo {
+        EnvInfo {
+            commit: commit.to_string(),
+            timestamp: ts,
+            host: "linux/x86_64/test".into(),
+            rustc: "rustc test".into(),
+            profile: "release".into(),
+        }
+    }
+
+    #[test]
+    fn data_js_groups_runs_per_commit() {
+        let mut entries = Vec::new();
+        let mut r = BenchReport::new("fam");
+        r.metric("a", "speedup", "x", 2.0, Direction::Higher);
+        r.metric("b", "speedup", "x", 3.0, Direction::Higher);
+        entries.extend(r.entries(&env("aaaa1111", 100)));
+        entries.extend(r.entries(&env("bbbb2222", 200)));
+        let js = render_data_js(&entries, "https://example.com/repo");
+        assert!(js.starts_with("window.BENCHMARK_DATA = {"));
+        assert!(js.trim_end().ends_with("};"));
+        let json = js
+            .trim_start_matches("window.BENCHMARK_DATA = ")
+            .trim_end()
+            .trim_end_matches(';');
+        let v = JsonValue::parse(json).expect("data.js payload parses as JSON");
+        let fam = v.get("entries").unwrap().get("fam").unwrap();
+        let runs = fam.as_array().unwrap();
+        assert_eq!(runs.len(), 2, "one run object per commit");
+        let benches = runs[0].get("benches").unwrap().as_array().unwrap();
+        assert_eq!(benches.len(), 2, "both cases ride the same run");
+        assert_eq!(
+            runs[1].get("commit").unwrap().get("id").unwrap().as_str(),
+            Some("bbbb2222")
+        );
+        assert_eq!(v.get("lastUpdate").unwrap().as_u64(), Some(200_000));
+    }
+
+    #[test]
+    fn dashboard_files_are_self_contained() {
+        let d = render_dashboard(&[], "https://example.com/repo");
+        assert!(d.index_html.contains("window.BENCHMARK_DATA"));
+        assert!(d.index_html.contains("prefers-color-scheme"));
+        assert!(!d.index_html.contains("http-equiv"));
+        // No external fetches: the only script src is the sibling data.js.
+        assert_eq!(d.index_html.matches("src=").count(), 1);
+        assert!(d.index_html.contains("src=\"data.js\""));
+    }
+}

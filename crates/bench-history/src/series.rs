@@ -1,0 +1,159 @@
+//! Grouping ledger entries into per-metric time series.
+
+use mlc_telemetry::bench_report::BenchEntry;
+use std::collections::BTreeMap;
+
+/// What one time series is keyed by. Build profile is part of the key:
+/// debug and release runs of the same metric are different series, and
+/// the gate never compares across profiles.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Benchmark family (history file stem).
+    pub family: String,
+    /// Case within the family.
+    pub case: String,
+    /// Metric name.
+    pub metric: String,
+    /// Build profile (`debug` / `release`).
+    pub profile: String,
+}
+
+impl SeriesKey {
+    /// `family/case/metric` — the spelling used by `--min` floors and
+    /// `--only` filters (profile intentionally omitted: CLI filters apply
+    /// to whatever profile the head ran as).
+    pub fn path(&self) -> String {
+        format!("{}/{}/{}", self.family, self.case, self.metric)
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.path(), self.profile)
+    }
+}
+
+/// One metric's entries in ledger (append = chronological) order.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// The grouping key.
+    pub key: SeriesKey,
+    /// Entries in append order, oldest first.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl Series {
+    /// The last entry whose commit matches `commit` (prefix match either
+    /// way), i.e. the freshest measurement of that commit.
+    pub fn at_commit(&self, commit: &str) -> Option<&BenchEntry> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| commit_matches(&e.commit, commit))
+    }
+
+    /// Latest value per distinct commit, *excluding* `exclude`, newest
+    /// commit last. This is the gate's baseline pool: one vote per commit,
+    /// so re-running a bench many times on one commit cannot stack the
+    /// median.
+    pub fn per_commit_latest(&self, exclude: Option<&str>) -> Vec<(String, f64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: BTreeMap<String, f64> = BTreeMap::new();
+        for e in &self.entries {
+            if let Some(x) = exclude {
+                if commit_matches(&e.commit, x) {
+                    continue;
+                }
+            }
+            if !latest.contains_key(&e.commit) {
+                order.push(e.commit.clone());
+            }
+            latest.insert(e.commit.clone(), e.value);
+        }
+        order
+            .into_iter()
+            .map(|c| {
+                let v = latest[&c];
+                (c, v)
+            })
+            .collect()
+    }
+}
+
+/// Whether a full commit id and a (possibly abbreviated) commit spec refer
+/// to the same commit. Accepts prefixes in either direction so `compare
+/// 9714073..HEADSHA` works with full ids in the ledger; specs shorter than
+/// 4 characters never match (too ambiguous to be meant as a commit).
+pub fn commit_matches(entry_commit: &str, spec: &str) -> bool {
+    if spec.len() < 4 && entry_commit != spec {
+        // Allow exact short names like "unknown"? No: equality handled
+        // above; anything shorter than 4 chars must match exactly.
+        return false;
+    }
+    entry_commit == spec || entry_commit.starts_with(spec) || spec.starts_with(entry_commit)
+}
+
+/// Group entries into series, preserving entry order within each. The map
+/// is ordered by key so every consumer iterates deterministically.
+pub fn group_series(entries: &[BenchEntry]) -> Vec<Series> {
+    let mut map: BTreeMap<SeriesKey, Vec<BenchEntry>> = BTreeMap::new();
+    for e in entries {
+        let key = SeriesKey {
+            family: e.family.clone(),
+            case: e.case.clone(),
+            metric: e.metric.clone(),
+            profile: e.profile.clone(),
+        };
+        map.entry(key).or_default().push(e.clone());
+    }
+    map.into_iter()
+        .map(|(key, entries)| Series { key, entries })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_telemetry::bench_report::{BenchReport, Direction, EnvInfo};
+
+    fn env(commit: &str, ts: u64) -> EnvInfo {
+        EnvInfo {
+            commit: commit.to_string(),
+            timestamp: ts,
+            host: "linux/x86_64/test".into(),
+            rustc: "rustc test".into(),
+            profile: "release".into(),
+        }
+    }
+
+    fn entry(commit: &str, value: f64) -> BenchEntry {
+        let mut r = BenchReport::new("fam");
+        r.metric("case", "m", "x", value, Direction::Higher);
+        r.entries(&env(commit, 1)).pop().unwrap()
+    }
+
+    #[test]
+    fn groups_and_orders() {
+        let entries = vec![entry("aaaa", 1.0), entry("bbbb", 2.0), entry("aaaa", 3.0)];
+        let series = group_series(&entries);
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.key.path(), "fam/case/m");
+        assert_eq!(s.entries.len(), 3);
+        // Latest entry of a commit wins.
+        assert_eq!(s.at_commit("aaaa").unwrap().value, 3.0);
+        // One vote per commit for the baseline pool; order of first
+        // appearance; head excluded.
+        let pool = s.per_commit_latest(Some("bbbb"));
+        assert_eq!(pool, vec![("aaaa".to_string(), 3.0)]);
+    }
+
+    #[test]
+    fn commit_prefix_matching() {
+        assert!(commit_matches("9714073abc", "9714073"));
+        assert!(commit_matches("9714", "9714073abc"));
+        assert!(!commit_matches("9714073abc", "12345"));
+        assert!(!commit_matches("9714073abc", "971")); // too short
+        assert!(commit_matches("abc", "abc")); // exact always works
+    }
+}

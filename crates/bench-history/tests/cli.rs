@@ -1,0 +1,292 @@
+//! End-to-end tests of the `bench-history` binary: append → gate → render
+//! against a scratch history store.
+
+use mlc_telemetry::bench_report::{BenchEntry, BenchReport, Direction, EnvInfo};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static SCRATCH_ID: AtomicU32 = AtomicU32::new(0);
+
+/// A unique scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "mlc-bench-history-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-history"))
+}
+
+fn env(commit: &str, ts: u64) -> EnvInfo {
+    EnvInfo {
+        commit: commit.to_string(),
+        timestamp: ts,
+        host: "linux/x86_64/test".into(),
+        rustc: "rustc test".into(),
+        profile: "release".into(),
+    }
+}
+
+fn entries_jsonl(values: &[(&str, f64)]) -> String {
+    values
+        .iter()
+        .enumerate()
+        .flat_map(|(i, (commit, value))| {
+            let mut r = BenchReport::new("fam");
+            r.metric("case", "m", "x", *value, Direction::Higher);
+            r.entries(&env(commit, i as u64 + 1))
+        })
+        .map(|e| e.to_json_line() + "\n")
+        .collect()
+}
+
+fn schema_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_entry_schema.json")
+}
+
+#[test]
+fn append_validates_and_appends() {
+    let scratch = Scratch::new("append");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    std::fs::write(&jsonl, entries_jsonl(&[("c1", 10.0), ("c2", 11.0)])).unwrap();
+
+    let out = bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .arg("--schema")
+        .arg(schema_path())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stored = std::fs::read_to_string(store.join("fam.jsonl")).unwrap();
+    assert_eq!(stored.lines().count(), 2);
+    assert!(BenchEntry::parse_line(stored.lines().next().unwrap()).is_some());
+
+    // Appending again grows the ledger — never truncates.
+    let out = bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let after = std::fs::read_to_string(store.join("fam.jsonl")).unwrap();
+    assert_eq!(after.lines().count(), 4);
+    assert!(
+        after.starts_with(&stored),
+        "append-only: old bytes unchanged"
+    );
+}
+
+#[test]
+fn append_rejects_schema_violations() {
+    let scratch = Scratch::new("append-bad");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    // Direction "sideways" violates the enum in the committed schema.
+    let line = entries_jsonl(&[("c1", 10.0)]).replace("\"higher\"", "\"sideways\"");
+    std::fs::write(&jsonl, line).unwrap();
+
+    let out = bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .arg("--schema")
+        .arg(schema_path())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema violation"), "stderr: {stderr}");
+    assert!(
+        !store.exists(),
+        "nothing may be appended on validation failure"
+    );
+}
+
+#[test]
+fn gate_fails_on_injected_regression_and_passes_on_recovery() {
+    let scratch = Scratch::new("gate");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    std::fs::write(
+        &jsonl,
+        entries_jsonl(&[
+            ("c1", 10.0),
+            ("c2", 10.1),
+            ("c3", 9.9),
+            ("bad", 5.0),
+            ("good", 10.0),
+        ]),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Head at the injected regression: non-zero exit.
+    let out = bin()
+        .args(["gate", "--dir"])
+        .arg(&store)
+        .args(["--commit", "bad", "--max-regress", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "gate must fail the regressed commit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "stdout: {stdout}");
+
+    // Head at the recovered commit: clean exit (the bad commit is just one
+    // vote in the median pool).
+    let out = bin()
+        .args(["gate", "--dir"])
+        .arg(&store)
+        .args(["--commit", "good", "--max-regress", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn gate_floor_flag_round_trips() {
+    let scratch = Scratch::new("gate-floor");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    std::fs::write(&jsonl, entries_jsonl(&[("c1", 6.0)])).unwrap();
+    bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .status()
+        .unwrap();
+
+    let gate = |floor: &str| {
+        bin()
+            .args(["gate", "--dir"])
+            .arg(&store)
+            .args(["--commit", "c1", "--min", floor])
+            .output()
+            .unwrap()
+    };
+    assert!(gate("fam/case/m=5").status.success());
+    let out = gate("fam/case/m=7");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FLOOR VIOLATED"));
+    // A floor naming a metric nobody measured is a failure, not a no-op.
+    let out = gate("fam/case/nonexistent=1");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FLOOR METRIC MISSING"));
+}
+
+#[test]
+fn compare_renders_movement() {
+    let scratch = Scratch::new("compare");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    std::fs::write(&jsonl, entries_jsonl(&[("base", 10.0), ("headx", 12.0)])).unwrap();
+    bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .status()
+        .unwrap();
+
+    let out = bin()
+        .args(["compare", "base..headx", "--dir"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fam/case/m"), "stdout: {stdout}");
+    assert!(stdout.contains("improved"), "stdout: {stdout}");
+    assert!(stdout.contains("+20.00%"), "stdout: {stdout}");
+}
+
+#[test]
+fn render_emits_dashboard_files() {
+    let scratch = Scratch::new("render");
+    let store = scratch.path().join("hist");
+    let jsonl = scratch.path().join("in.jsonl");
+    std::fs::write(&jsonl, entries_jsonl(&[("c1", 10.0), ("c2", 12.0)])).unwrap();
+    bin()
+        .args(["append", "--dir"])
+        .arg(&store)
+        .arg("--entries")
+        .arg(&jsonl)
+        .status()
+        .unwrap();
+
+    let out_dir = scratch.path().join("site");
+    let out = bin()
+        .args(["render", "--dir"])
+        .arg(&store)
+        .arg("--out")
+        .arg(&out_dir)
+        .args(["--repo-url", "https://example.com/repo"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let data = std::fs::read_to_string(out_dir.join("data.js")).unwrap();
+    assert!(data.starts_with("window.BENCHMARK_DATA = {"));
+    assert!(data.contains("\"fam\""));
+    assert!(data.contains("https://example.com/repo"));
+    let html = std::fs::read_to_string(out_dir.join("index.html")).unwrap();
+    assert!(html.contains("data.js"));
+}
+
+#[test]
+fn unknown_flags_and_commands_are_rejected() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["gate", "--bogus", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["compare", "no-dots"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -15,17 +15,25 @@
 //! [`mlc_core::par::par_map`], so those cases measure engine and driver
 //! together.
 //!
+//! Besides the snapshot, every run appends per-case and headline entries
+//! to the `results/bench_history/` ledger under family
+//! `optimizer_throughput` (`--history-dir` / `--no-history`; see
+//! `docs/BENCHMARKS.md`).
+//!
 //! ```text
 //! optimizer_throughput [--out PATH] [--reps N] [--threads N]
+//!                      [--history-dir PATH] [--no-history]
 //! ```
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::group_pad::group_pad_multi;
 use mlc_core::par::{default_threads, par_map};
 use mlc_core::search::set_fast_search;
+use mlc_experiments::history_cli::HistoryCli;
 use mlc_kernels::registry::all_kernels;
 use mlc_kernels::Kernel;
 use mlc_model::Program;
+use mlc_telemetry::bench_report::{BenchReport, Direction};
 use std::time::Instant;
 
 struct Case {
@@ -68,10 +76,11 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
+    let (history, argv) = HistoryCli::from_env();
     let mut out = String::from("BENCH_optimizer_throughput.json");
     let mut reps = 3usize;
     let mut threads = default_threads();
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next().expect("--out needs a path"),
@@ -220,4 +229,32 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).expect("write bench JSON");
     eprintln!("wrote {out}");
+
+    let mut report = BenchReport::new("optimizer_throughput");
+    for c in &cases {
+        report.metric(&c.name, "speedup", "x", c.speedup(), Direction::Higher);
+        report.metric(
+            &c.name,
+            "fast_searches_per_sec",
+            "searches/s",
+            c.fast_rate(),
+            Direction::Higher,
+        );
+    }
+    report.metric(
+        "summary",
+        "geomean_speedup",
+        "x",
+        geomean,
+        Direction::Higher,
+    );
+    report.metric("summary", "best_speedup", "x", best, Direction::Higher);
+    report.metric(
+        "summary",
+        "fraction_pruned",
+        "fraction",
+        pruned,
+        Direction::Higher,
+    );
+    history.append(&report);
 }

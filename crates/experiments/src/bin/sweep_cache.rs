@@ -9,15 +9,22 @@
 //!
 //! ```text
 //! sweep_cache [--grid conflict|group|paper|full|smoke] [--dir PATH] [--out PATH]
-//!             [--threads N] [--assert-speedup X]
+//!             [--threads N] [--assert-speedup X] [--history-dir PATH] [--no-history]
 //! ```
+//!
+//! Besides the snapshot, every run appends its speedup and the rescache
+//! hit/miss/store/corrupt/stale counters to the `results/bench_history/`
+//! ledger under family `sweep_cache` (see `docs/BENCHMARKS.md`); CI gates
+//! the speedup there via `bench-history gate --min`.
 //!
 //! With `--dir` the cache directory is kept (and must start empty for the
 //! cold leg to be honest — the benchmark refuses a nonempty one);
 //! otherwise a temporary directory is created and removed.
 
 use mlc_core::rescache::ResultCache;
+use mlc_experiments::history_cli::HistoryCli;
 use mlc_experiments::sweep::{grid_cells, run_cells, CellResult, GridKind};
+use mlc_telemetry::bench_report::{BenchReport, Direction};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -35,7 +42,8 @@ fn main() {
     let mut threads = mlc_core::par::default_threads();
     let mut assert_speedup: Option<f64> = None;
 
-    let mut it = std::env::args().skip(1);
+    let (history, argv) = HistoryCli::from_env();
+    let mut it = argv.into_iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--grid" => {
@@ -127,9 +135,14 @@ fn main() {
 
     let speedup = cold_s / warm_s.max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"sweep_cache\",\n  \"grid\": \"{grid_name}\",\n  \"cells\": {},\n  \"threads\": {threads},\n  \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.2},\n  \"cold_stores\": {},\n  \"warm_hits\": {warm_hits}\n}}\n",
+        "{{\n  \"bench\": \"sweep_cache\",\n  \"grid\": \"{grid_name}\",\n  \"cells\": {},\n  \"threads\": {threads},\n  \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.2},\n  \"cold_stores\": {},\n  \"warm_hits\": {warm_hits},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"cache_stores\": {},\n  \"cache_corrupt\": {},\n  \"cache_stale\": {}\n}}\n",
         cells.len(),
         after_cold.stores,
+        stats.hits,
+        stats.misses,
+        stats.stores,
+        stats.corrupt,
+        stats.stale,
     );
     std::fs::write(&out, &json)
         .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
@@ -137,6 +150,56 @@ fn main() {
         "sweep_cache: cold {cold_s:.3}s, warm {warm_s:.3}s — {speedup:.1}x; written to {}",
         out.display()
     );
+
+    // Ledger entries, one series per counter. Corrupt/stale sit at zero in
+    // a healthy run; the direction flag makes any departure from zero an
+    // automatic (infinite) regression for the gate.
+    let mut report = BenchReport::new("sweep_cache");
+    report.metric(&grid_name, "speedup", "x", speedup, Direction::Higher);
+    report.metric(&grid_name, "warm_s", "s", warm_s, Direction::Lower);
+    report.metric(
+        &grid_name,
+        "warm_hits",
+        "count",
+        warm_hits as f64,
+        Direction::Higher,
+    );
+    report.metric(
+        &grid_name,
+        "cache_hits",
+        "count",
+        stats.hits as f64,
+        Direction::Higher,
+    );
+    report.metric(
+        &grid_name,
+        "cache_misses",
+        "count",
+        stats.misses as f64,
+        Direction::Lower,
+    );
+    report.metric(
+        &grid_name,
+        "cache_stores",
+        "count",
+        stats.stores as f64,
+        Direction::Lower,
+    );
+    report.metric(
+        &grid_name,
+        "cache_corrupt",
+        "count",
+        stats.corrupt as f64,
+        Direction::Lower,
+    );
+    report.metric(
+        &grid_name,
+        "cache_stale",
+        "count",
+        stats.stale as f64,
+        Direction::Lower,
+    );
+    history.append(&report);
 
     if ephemeral {
         let _ = std::fs::remove_dir_all(&cache_dir);

@@ -7,15 +7,21 @@
 //! differentially tested to produce bitwise-identical miss counts, so the
 //! only thing compared here is time.
 //!
+//! Besides the snapshot, every run appends per-case and headline entries
+//! to the `results/bench_history/` ledger under family `trace_throughput`
+//! (`--history-dir` / `--no-history`; see `docs/BENCHMARKS.md`).
+//!
 //! ```text
-//! trace_throughput [--out PATH] [--reps N]
+//! trace_throughput [--out PATH] [--reps N] [--history-dir PATH] [--no-history]
 //! ```
 
 use mlc_cache_sim::{Hierarchy, HierarchyConfig};
+use mlc_experiments::history_cli::HistoryCli;
 use mlc_experiments::versions::{build_versions, OptLevel};
 use mlc_kernels::registry::kernel_by_name;
 use mlc_model::trace_gen::generate_with;
 use mlc_model::{DataLayout, Program};
+use mlc_telemetry::bench_report::{BenchReport, Direction};
 use std::time::Instant;
 
 struct Case {
@@ -66,9 +72,10 @@ fn time_path(
 }
 
 fn main() {
+    let (history, argv) = HistoryCli::from_env();
     let mut out = String::from("BENCH_trace_throughput.json");
     let mut reps = 3usize;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next().expect("--out needs a path"),
@@ -228,4 +235,22 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).expect("write bench JSON");
     eprintln!("wrote {out}");
+
+    // Ledger entries: one series per case plus the headline summary. The
+    // controls ride along (their ~1x is itself a guarantee worth gating).
+    let mut report = BenchReport::new("trace_throughput");
+    for c in &cases {
+        let case = format!("{}_{}_{}", c.kernel, c.hierarchy, c.layout);
+        report.metric(&case, "speedup", "x", c.speedup(), Direction::Higher);
+        report.metric(
+            &case,
+            "fast_accesses_per_sec",
+            "accesses/s",
+            c.fast_rate(),
+            Direction::Higher,
+        );
+    }
+    report.metric("sweep", "geomean_speedup", "x", geomean, Direction::Higher);
+    report.metric("sweep", "best_speedup", "x", best, Direction::Higher);
+    history.append(&report);
 }

@@ -30,7 +30,14 @@
 //! `sweep` binary splits the whole experiment grid into deterministic,
 //! resumable shards, and `sweep_cache` is the cold-vs-warm A/B benchmark
 //! of the store.
+//!
+//! The benchmark emitters (`trace_throughput`, `optimizer_throughput`,
+//! `sweep_cache`) also accept `--history-dir PATH` / `--no-history` (see
+//! [`history_cli`]): besides their `BENCH_*.json` snapshot they append
+//! commit-stamped entries to the `results/bench_history/` ledger that the
+//! `bench-history` binary gates and renders (`docs/BENCHMARKS.md`).
 
+pub mod history_cli;
 pub mod sim;
 pub mod sweep;
 pub mod table;
@@ -38,6 +45,7 @@ pub mod telemetry_cli;
 pub mod timing;
 pub mod versions;
 
+pub use history_cli::HistoryCli;
 pub use sim::{simulate_versions, SimResult};
 pub use table::Table;
 pub use telemetry_cli::TelemetryCli;

@@ -4,7 +4,12 @@
 //! `Telemetry::disabled()` costs nothing to pass around — the tracer
 //! no-ops and the registry stays empty — so instrumented entry points can
 //! serve both traced and untraced callers.
+//!
+//! The file-writing methods honor the `MLC_LOG` environment filter (see
+//! [`crate::envfilter`]): names the filter silences are dropped at export
+//! time, never at recording time.
 
+use crate::envfilter::EnvFilter;
 use crate::metrics::MetricsRegistry;
 use crate::span::Tracer;
 use std::fs::File;
@@ -50,25 +55,32 @@ impl Telemetry {
         self.tracer.is_enabled()
     }
 
-    /// Write the trace as JSONL to `path`.
+    /// Write the trace as JSONL to `path`, honoring `MLC_LOG`.
     pub fn write_trace_jsonl(&self, path: &Path) -> std::io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
-        self.tracer.write_jsonl(&mut out)?;
+        self.tracer
+            .write_jsonl_filtered(&mut out, &EnvFilter::from_env())?;
         out.flush()
     }
 
-    /// Write the metrics registry as pretty JSON to `path`.
+    /// Write the metrics registry as pretty JSON to `path`, honoring
+    /// `MLC_LOG`.
     pub fn write_metrics_json(&self, path: &Path) -> std::io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(self.metrics.to_json_string().as_bytes())?;
+        let json = self.metrics.to_json_filtered(&EnvFilter::from_env());
+        out.write_all(json.pretty().as_bytes())?;
         out.write_all(b"\n")?;
         out.flush()
     }
 
-    /// Write the metrics registry as CSV to `path`.
+    /// Write the metrics registry as CSV to `path`, honoring `MLC_LOG`.
     pub fn write_metrics_csv(&self, path: &Path) -> std::io::Result<()> {
         let mut out = BufWriter::new(File::create(path)?);
-        out.write_all(self.metrics.to_csv().as_bytes())?;
+        out.write_all(
+            self.metrics
+                .to_csv_filtered(&EnvFilter::from_env())
+                .as_bytes(),
+        )?;
         out.flush()
     }
 }

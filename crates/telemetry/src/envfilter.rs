@@ -1,0 +1,195 @@
+//! `MLC_LOG` — a `RUST_LOG`-style environment filter for telemetry output.
+//!
+//! The probe counters and span traces are deliberately chatty (per-level
+//! hit/miss counters, per-pass spans, log₂ histograms). On a quiet bench
+//! box that is exactly what you want; in a tight edit-run loop it drowns
+//! the signal. `MLC_LOG` silences name families at export time without
+//! recompiling, the same way `RUST_LOG=warn` quiets the llfree-rs bench
+//! matrix:
+//!
+//! ```text
+//! MLC_LOG=off                    # drop every span/metric from the exports
+//! MLC_LOG=info                   # keep counters/values/spans, drop
+//!                                # histograms and events (debug-level)
+//! MLC_LOG=info,sim.l1=off        # ...and silence the L1 probe counters
+//! MLC_LOG=warn,rescache=trace    # only the result-cache family
+//! ```
+//!
+//! A directive is either a bare level (sets the default threshold) or
+//! `prefix=level`, where `prefix` matches dotted telemetry names
+//! (`sim.l1.miss.conflict`, `pass.pad`, `rescache.hits`). The *longest*
+//! matching prefix wins, so specific overrides beat broad defaults. Items
+//! carry an intrinsic level — counters, values and spans are `info`;
+//! histograms and events are `debug` — and an item is exported iff its
+//! level is at or below the threshold its name resolves to.
+//!
+//! Filtering happens in [`crate::Telemetry`]'s write methods (and the
+//! `*_filtered` variants on [`crate::MetricsRegistry`] and
+//! [`crate::Tracer`]); in-memory recording is never filtered, so gates and
+//! assertions that read the registry directly see everything.
+
+/// Verbosity levels, ordered from silent to everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Export nothing.
+    Off,
+    /// Reserved for errors (nothing in-tree emits at this level yet).
+    Error,
+    /// Reserved for warnings.
+    Warn,
+    /// Counters, values and spans.
+    Info,
+    /// Histograms and events.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" | "all" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed filter: a default threshold plus per-prefix overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFilter {
+    default: Level,
+    /// `(prefix, level)` directives; longest matching prefix wins.
+    directives: Vec<(String, Level)>,
+}
+
+impl Default for EnvFilter {
+    fn default() -> Self {
+        Self::allow_all()
+    }
+}
+
+impl EnvFilter {
+    /// The permissive filter: everything is exported. This is the behavior
+    /// when `MLC_LOG` is unset, so existing pipelines see no change.
+    pub fn allow_all() -> Self {
+        Self {
+            default: Level::Trace,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Parse a comma-separated directive list (see the module docs).
+    /// Unrecognized directives are ignored rather than fatal — an
+    /// observability knob must never take the process down.
+    pub fn parse(spec: &str) -> Self {
+        let mut filter = Self::allow_all();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                None => {
+                    if let Some(level) = Level::parse(directive) {
+                        filter.default = level;
+                    }
+                }
+                Some((prefix, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        filter.directives.push((prefix.trim().to_string(), level));
+                    }
+                }
+            }
+        }
+        // Longest prefix first, so lookup can take the first match.
+        filter
+            .directives
+            .sort_by(|(a, _), (b, _)| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+        filter
+    }
+
+    /// The filter described by `MLC_LOG`, or [`EnvFilter::allow_all`] when
+    /// the variable is unset or empty.
+    pub fn from_env() -> Self {
+        match std::env::var("MLC_LOG") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec),
+            _ => Self::allow_all(),
+        }
+    }
+
+    /// The threshold `name` resolves to: the longest matching prefix
+    /// directive, or the default.
+    pub fn threshold(&self, name: &str) -> Level {
+        self.directives
+            .iter()
+            .find(|(prefix, _)| name.starts_with(prefix.as_str()))
+            .map(|&(_, level)| level)
+            .unwrap_or(self.default)
+    }
+
+    /// Whether an item named `name` at intrinsic `level` should be
+    /// exported.
+    pub fn enabled(&self, name: &str, level: Level) -> bool {
+        level != Level::Off && level <= self.threshold(name)
+    }
+
+    /// True iff this filter passes everything (lets hot paths skip work).
+    pub fn is_permissive(&self) -> bool {
+        self.default == Level::Trace && self.directives.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_spec_is_permissive() {
+        let f = EnvFilter::parse("");
+        assert!(f.is_permissive());
+        assert!(f.enabled("sim.l1.misses", Level::Debug));
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = EnvFilter::parse("info");
+        assert!(f.enabled("sim.l1.misses", Level::Info));
+        assert!(!f.enabled("sim.l1.dist", Level::Debug));
+        let off = EnvFilter::parse("off");
+        assert!(!off.enabled("anything", Level::Info));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = EnvFilter::parse("warn,sim=info,sim.l1=off");
+        assert!(!f.enabled("sim.l1.misses", Level::Info)); // sim.l1=off
+        assert!(f.enabled("sim.l2.misses", Level::Info)); // sim=info
+        assert!(!f.enabled("pass.pad", Level::Info)); // default warn
+        assert_eq!(f.threshold("sim.l1.misses"), Level::Off);
+    }
+
+    #[test]
+    fn prefix_raises_above_default() {
+        let f = EnvFilter::parse("off,rescache=trace");
+        assert!(f.enabled("rescache.hits", Level::Info));
+        assert!(f.enabled("rescache.hit_rate", Level::Debug));
+        assert!(!f.enabled("sim.l1.misses", Level::Info));
+    }
+
+    #[test]
+    fn garbage_directives_are_ignored() {
+        let f = EnvFilter::parse("nonsense,=,x=notalevel,,info");
+        assert_eq!(f.threshold("x.y"), Level::Info);
+    }
+
+    #[test]
+    fn off_items_never_export() {
+        let f = EnvFilter::parse("trace");
+        assert!(!f.enabled("x", Level::Off));
+    }
+}

@@ -25,13 +25,25 @@
 //!   every experiment binary.
 //! * [`json`] / [`schema`] — a dependency-free JSON parser/serializer and
 //!   a small JSON Schema validator used to check the metrics export
-//!   against `results/metrics_schema.json`.
+//!   against `results/metrics_schema.json` and benchmark-ledger entries
+//!   against `results/bench_entry_schema.json`.
+//! * [`bench_report`] — the benchmark ledger: one versioned
+//!   [`BenchEntry`](bench_report::BenchEntry) schema (commit, timestamp,
+//!   host/toolchain fingerprint, metric name/unit/value and a
+//!   higher-or-lower-is-better direction) plus the append-only JSONL
+//!   history store under `results/bench_history/` that the
+//!   `bench-history` binary compares, gates, and renders.
+//! * [`envfilter`] — an `MLC_LOG` (`RUST_LOG`-style) filter applied to
+//!   span/metrics exports, so noisy probe counters can be silenced
+//!   without recompiling.
 //!
 //! The crate is dependency-free (std only) and sits below the simulator in
 //! the workspace graph: `mlc-cache-sim` depends on it (behind its default
 //! `telemetry` feature), not the other way around.
 
+pub mod bench_report;
 pub mod classify;
+pub mod envfilter;
 pub mod json;
 pub mod metrics;
 pub mod probe;
@@ -40,8 +52,10 @@ pub mod span;
 
 mod bundle;
 
+pub use bench_report::{BenchEntry, BenchReport, Direction, EnvInfo};
 pub use bundle::Telemetry;
 pub use classify::{MissBreakdown, MissClass, MissClassifier, ShadowGeometry};
+pub use envfilter::{EnvFilter, Level};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::{AccessEvent, CacheProbe, EvictionEvent, NopProbe};
 pub use span::{AttrValue, SpanId, Tracer};

@@ -1,0 +1,599 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786208133000,
+  "repoUrl": "https://example.com/multi-level-locality",
+  "schemaVersion": 1,
+  "entries": {
+    "fuzz_smoke": [
+      {
+        "commit": {
+          "id": "971407356465fc094252c22d37d87ccc20b774d3",
+          "timestamp": 1786208133
+        },
+        "date": 1786208133000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "cases50/cases_per_sec",
+            "value": 928.9313284171316,
+            "unit": "cases/s",
+            "direction": "higher"
+          },
+          {
+            "name": "cases50/checked_total",
+            "value": 353,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "cases50/violations",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          }
+        ]
+      }
+    ],
+    "optimizer_throughput": [
+      {
+        "commit": {
+          "id": "971407356465fc094252c22d37d87ccc20b774d3",
+          "timestamp": 1786208120
+        },
+        "date": 1786208120000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "adi32/speedup",
+            "value": 7.835665455244072,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "adi32/fast_searches_per_sec",
+            "value": 8004.995116952979,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "dot512/speedup",
+            "value": 3.022488147453287,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "dot512/fast_searches_per_sec",
+            "value": 25353.041097279616,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "erle64/speedup",
+            "value": 4.590932193255202,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "erle64/fast_searches_per_sec",
+            "value": 14948.57689547955,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512/speedup",
+            "value": 12.10641879477854,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512/fast_searches_per_sec",
+            "value": 408.2839173698677,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "irr500K/speedup",
+            "value": 7.928361282730215,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "irr500K/fast_searches_per_sec",
+            "value": 18387.76110620771,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512/speedup",
+            "value": 5.884927224772883,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512/fast_searches_per_sec",
+            "value": 16280.811435641954,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "linpackd/speedup",
+            "value": 5.632833995719963,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "linpackd/fast_searches_per_sec",
+            "value": 21836.92186749356,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "shal512/speedup",
+            "value": 9.490129786458493,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "shal512/fast_searches_per_sec",
+            "value": 160.50563125981995,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "appbt/speedup",
+            "value": 9.310297044298666,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "appbt/fast_searches_per_sec",
+            "value": 7370.826269624825,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "applu/speedup",
+            "value": 12.887398865752061,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "applu/fast_searches_per_sec",
+            "value": 8579.78773605141,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "appsp/speedup",
+            "value": 9.909673105357832,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "appsp/fast_searches_per_sec",
+            "value": 9417.88078846498,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "buk/speedup",
+            "value": 4.432691171256352,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "buk/fast_searches_per_sec",
+            "value": 19698.223220265532,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "cgm/speedup",
+            "value": 9.807177915703639,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "cgm/fast_searches_per_sec",
+            "value": 8656.434760779426,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "embar/speedup",
+            "value": 2.818593038625349,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "embar/fast_searches_per_sec",
+            "value": 29372.888823615805,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "fftpde/speedup",
+            "value": 6.831452796885568,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "fftpde/fast_searches_per_sec",
+            "value": 8247.966876165025,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "mgrid/speedup",
+            "value": 12.692703777664088,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "mgrid/fast_searches_per_sec",
+            "value": 5501.18550547643,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "apsi/speedup",
+            "value": 8.124511806227382,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "apsi/fast_searches_per_sec",
+            "value": 11943.578535000655,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "fpppp/speedup",
+            "value": 4.141483311995712,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "fpppp/fast_searches_per_sec",
+            "value": 29773.424241522014,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "hydro2d/speedup",
+            "value": 8.452171351583663,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "hydro2d/fast_searches_per_sec",
+            "value": 4828.981616066988,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "su2cor/speedup",
+            "value": 9.666448021076711,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "su2cor/fast_searches_per_sec",
+            "value": 2710.4825200982277,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "swim/speedup",
+            "value": 8.007003936380581,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "swim/fast_searches_per_sec",
+            "value": 136.4146306328329,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "tomcatv/speedup",
+            "value": 7.760642907939309,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "tomcatv/fast_searches_per_sec",
+            "value": 700.640735953029,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "turb3d/speedup",
+            "value": 10.78937200507598,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "turb3d/fast_searches_per_sec",
+            "value": 6313.4103148497725,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "wave5/speedup",
+            "value": 9.151283805682596,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "wave5/fast_searches_per_sec",
+            "value": 12003.793198650774,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl_sweep_250to520/speedup",
+            "value": 7.828705823729543,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl_sweep_250to520/fast_searches_per_sec",
+            "value": 353.0457699884113,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "shal_sweep_250to520/speedup",
+            "value": 4.758073409656863,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "shal_sweep_250to520/fast_searches_per_sec",
+            "value": 94.80953742501184,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/geomean_speedup",
+            "value": 7.280334967367491,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/best_speedup",
+            "value": 12.887398865752061,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/fraction_pruned",
+            "value": 0.8811667441140025,
+            "unit": "fraction",
+            "direction": "higher"
+          }
+        ]
+      }
+    ],
+    "sweep_cache": [
+      {
+        "commit": {
+          "id": "971407356465fc094252c22d37d87ccc20b774d3",
+          "timestamp": 1786208133
+        },
+        "date": 1786208133000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "conflict/speedup",
+            "value": 1918.1734526473676,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict/warm_s",
+            "value": 0.001670773,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict/warm_hits",
+            "value": 24,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict/cache_hits",
+            "value": 24,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict/cache_misses",
+            "value": 24,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict/cache_stores",
+            "value": 24,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict/cache_corrupt",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict/cache_stale",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/speedup",
+            "value": 139.71039668216946,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/warm_s",
+            "value": 0.000319727,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/warm_hits",
+            "value": 4,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/cache_hits",
+            "value": 4,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/cache_misses",
+            "value": 4,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_stores",
+            "value": 4,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_corrupt",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_stale",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          }
+        ]
+      }
+    ],
+    "trace_throughput": [
+      {
+        "commit": {
+          "id": "971407356465fc094252c22d37d87ccc20b774d3",
+          "timestamp": 1786208109
+        },
+        "date": 1786208109000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "expl512_ultrasparc_i_multilvlpad/speedup",
+            "value": 4.511855065723408,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 644713312.3534175,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_ultrasparc_i_multilvlpad/speedup",
+            "value": 4.175367732559056,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 655707535.7837703,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "swim_ultrasparc_i_multilvlpad/speedup",
+            "value": 4.0790240754854175,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "swim_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 617648340.6454151,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_alpha_21164_like_multilvlpad/speedup",
+            "value": 2.385008922622133,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_alpha_21164_like_multilvlpad/fast_accesses_per_sec",
+            "value": 335359214.513381,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_alpha_21164_like_multilvlpad/speedup",
+            "value": 3.1219243906557375,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_alpha_21164_like_multilvlpad/fast_accesses_per_sec",
+            "value": 423311423.18325794,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/speedup",
+            "value": 1.0393450178686423,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/fast_accesses_per_sec",
+            "value": 109405882.93003783,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_like_assoc4_multilvlpad/speedup",
+            "value": 1.062555038443623,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_like_assoc4_multilvlpad/fast_accesses_per_sec",
+            "value": 94173782.55746391,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/geomean_speedup",
+            "value": 3.5604402804151642,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/best_speedup",
+            "value": 4.511855065723408,
+            "unit": "x",
+            "direction": "higher"
+          }
+        ]
+      }
+    ]
+  }
+};
