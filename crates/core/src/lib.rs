@@ -35,16 +35,24 @@
 //!   searches: suffix-shift delta scoring plus conflict-window candidate
 //!   pruning, bitwise-identical to the exhaustive scans (differentially
 //!   tested) and an order of magnitude faster.
-//! * [`par`] — the channel-based scoped-thread `par_map` shared by the
-//!   candidate scans and the experiment sweep drivers.
+//! * [`exec`] — the work-stealing sweep executor: per-worker chunked
+//!   claims over indexed work, half-remainder stealing, direct writes into
+//!   pre-sized result slots, panic-safe joins, and per-worker telemetry
+//!   (items done, steals, busy/idle time) exported via `MetricsRegistry`.
+//! * [`par`] — `par_map`, the thin order-preserving compatibility wrapper
+//!   over [`exec`] shared by the candidate scans and sweep drivers, plus
+//!   the `MLC_THREADS`-aware `default_threads`.
 //! * [`rescache`] — content-addressed, persistent memoization of
 //!   simulation results: stable cache keys over program + layout +
-//!   hierarchy + protocol + version salt, and a checksummed one-file-per-
-//!   entry store with atomic writes that makes repeated sweeps near-free.
+//!   hierarchy + protocol + version salt, a checksummed one-file-per-
+//!   entry store with atomic writes that makes repeated sweeps near-free,
+//!   and a sharded in-memory front that coalesces concurrent work on one
+//!   key to a single compute and store.
 
 pub mod conflict;
 pub mod cost;
 pub mod estimate;
+pub mod exec;
 pub mod fusion;
 pub mod group;
 pub mod group_pad;
@@ -62,6 +70,7 @@ pub mod tiling;
 pub use conflict::severe_conflicts;
 pub use cost::MissCosts;
 pub use estimate::{estimate_misses, estimated_cost, MissEstimate};
+pub use exec::{execute, ExecReport, WorkerStats};
 pub use fusion::{fusion_profit, FusionDecision};
 pub use group::{classify_nest, RefClass};
 pub use group_pad::group_pad;

@@ -1,65 +1,62 @@
-//! A tiny scoped-thread parallel map.
+//! A tiny parallel map: the compatibility face of [`crate::exec`].
 //!
 //! Run `f` over `items` on up to `threads` OS threads, preserving order.
 //! The sweep figures simulate hundreds of problem sizes and the padding
 //! search scores hundreds of candidate positions; `rayon` is not in the
-//! allowed dependency set, so this is a small channel-based work-stealer
-//! shared by the experiment binaries (via `mlc_experiments::sim`) and the
-//! candidate scans in [`crate::search`].
+//! allowed dependency set, so the work-stealing executor in [`crate::exec`]
+//! does the fan-out and this module keeps the historical `par_map` shape
+//! for callers that do not need the executor's telemetry.
 //!
-//! Workers pull indices from a shared atomic counter and send `(index,
-//! result)` pairs down an mpsc channel; the caller reassembles them in
-//! order. Nothing is locked per result, so workers never contend no matter
-//! how small the per-item work is.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+//! Earlier incarnations funnelled every result through one mpsc receiver
+//! — a single-consumer bottleneck under many workers. `par_map` is now a
+//! thin wrapper over [`crate::exec::execute`]: per-worker chunked claims,
+//! work stealing, direct slot writes, and panic-safe joins (a panicking
+//! worker's payload is re-raised from the caller after all workers stop,
+//! never surfacing as an `unwrap` on an unfilled result slot).
 
 /// Map `f` over `items` on up to `threads` threads, preserving order.
+///
+/// A panic inside `f` aborts the remaining work and is re-raised here once
+/// every worker has stopped.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let items_ref = &items;
-    let f_ref = &f;
-    let threads = threads.clamp(1, n);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|s| {
-        let next = &next;
-        for _ in 0..threads {
-            let tx = tx.clone();
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f_ref(&items_ref[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx); // receiver sees EOF once every worker finishes
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-    });
-    slots.into_iter().map(|r| r.unwrap()).collect()
+    crate::exec::execute(items, threads, f).0
 }
 
 /// Number of worker threads to use for parallel sweeps.
+///
+/// Honors the `MLC_THREADS` environment variable when it holds a positive
+/// integer (`0` clamps to 1), so CI and sharded runs can pin parallelism
+/// without per-binary flags; otherwise the machine's available
+/// parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    match env_threads(std::env::var("MLC_THREADS").ok().as_deref()) {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    }
+}
+
+/// Parse an `MLC_THREADS`-style override. Absent, empty, or unparsable
+/// values mean "no override" (unparsable ones warn on stderr); numeric
+/// values are clamped to at least 1.
+pub fn env_threads(value: Option<&str>) -> Option<usize> {
+    let s = value?.trim();
+    if s.is_empty() {
+        return None;
+    }
+    match s.parse::<usize>() {
+        Ok(n) => Some(n.max(1)),
+        Err(_) => {
+            eprintln!("MLC_THREADS={s:?} is not a thread count; ignoring");
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +85,63 @@ mod tests {
         let xs: Vec<u64> = (0..10_000).collect();
         let ys = par_map(xs.clone(), 32, |&x| x.wrapping_mul(3));
         assert_eq!(ys, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panic() {
+        // Regression: a panicking worker used to leave its slot `None`, so
+        // the caller could reach `slots[i].unwrap()` instead of the real
+        // panic. The executor must re-raise the original payload.
+        let xs: Vec<u64> = (0..64).collect();
+        let err = std::panic::catch_unwind(|| {
+            par_map(xs, 4, |&x| {
+                if x == 11 {
+                    panic!("worker died on item {x}");
+                }
+                x
+            })
+        })
+        .expect_err("panic must propagate to the par_map caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("worker died on item 11"),
+            "expected the original panic payload, got {msg:?}"
+        );
+        // And a subsequent clean run still preserves order — the panic left
+        // no poisoned global state behind.
+        let xs: Vec<u64> = (0..64).collect();
+        assert_eq!(
+            par_map(xs.clone(), 4, |&x| x + 1),
+            xs.iter().map(|x| x + 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn env_threads_parses_and_clamps() {
+        assert_eq!(env_threads(None), None);
+        assert_eq!(env_threads(Some("")), None);
+        assert_eq!(env_threads(Some("  ")), None);
+        assert_eq!(env_threads(Some("8")), Some(8));
+        assert_eq!(env_threads(Some(" 3 ")), Some(3));
+        assert_eq!(env_threads(Some("0")), Some(1), "clamped to >= 1");
+        assert_eq!(env_threads(Some("lots")), None, "garbage is ignored");
+        assert_eq!(env_threads(Some("-2")), None);
+    }
+
+    #[test]
+    fn default_threads_honors_mlc_threads() {
+        // Process-global env: other tests only read MLC_THREADS through
+        // default_threads(), where any positive value is valid, so briefly
+        // setting it cannot make them wrong.
+        std::env::set_var("MLC_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("MLC_THREADS", "0");
+        assert_eq!(default_threads(), 1);
+        std::env::remove_var("MLC_THREADS");
+        assert!(default_threads() >= 1);
     }
 }

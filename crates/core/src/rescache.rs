@@ -30,9 +30,11 @@ use mlc_cache_sim::{HierarchyConfig, LevelStats, MissRateReport};
 use mlc_model::{DataLayout, Program};
 use mlc_telemetry::json::JsonValue;
 use mlc_telemetry::MetricsRegistry;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// On-disk entry format version. Bump on any change to the entry JSON
 /// shape; readers reject other versions (treated as a miss).
@@ -141,7 +143,7 @@ impl fmt::Display for CacheKey {
 }
 
 /// Monotonic counters describing one cache's traffic. All methods take
-/// `&self`; the cache is shared freely across `par_map` workers.
+/// `&self`; the cache is shared freely across executor workers.
 #[derive(Debug, Default)]
 pub struct CacheCounters {
     hits: AtomicU64,
@@ -150,6 +152,7 @@ pub struct CacheCounters {
     corrupt: AtomicU64,
     stale: AtomicU64,
     evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`CacheCounters`].
@@ -167,6 +170,10 @@ pub struct CacheStats {
     pub stale: u64,
     /// Entries removed by [`ResultCache::prune_to`].
     pub evictions: u64,
+    /// Of the hits, how many were served by the in-memory front without
+    /// touching disk — a second looker coalescing onto a compute or read
+    /// another thread already did (or is doing).
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -181,11 +188,36 @@ impl CacheStats {
     }
 }
 
-/// A persistent, content-addressed result store: one JSON file per entry.
+/// Shards in the in-memory coalescing front. Power of two so the digest
+/// masks cleanly; 16 keeps lock contention negligible at any realistic
+/// worker count without much per-cache footprint.
+const FRONT_SHARDS: usize = 16;
+
+/// What the front remembers for one key. The two public `get_or_compute*`
+/// APIs store different shapes; a key is only ever used through one of
+/// them (content addressing), but a mismatch degrades to an uncoalesced
+/// disk round-trip rather than a wrong answer.
+#[derive(Debug)]
+enum FrontSlot {
+    /// A decoded [`MissRateReport`] (the `get_or_compute` API).
+    Report(MissRateReport),
+    /// A raw payload with its entry kind (the `get_or_compute_raw` API).
+    Raw(String, JsonValue),
+}
+
+/// One key's rendezvous point: whoever gets here first computes (or reads
+/// disk); everyone else blocks inside `OnceLock::get_or_init` and reuses
+/// the result. Exactly one compute and one store per key per process.
+type FrontCell = Arc<OnceLock<FrontSlot>>;
+
+/// A persistent, content-addressed result store: one JSON file per entry,
+/// fronted by a sharded in-memory index that coalesces concurrent work on
+/// the same key (see [`ResultCache::get_or_compute`]).
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
     counters: CacheCounters,
+    front: Vec<Mutex<HashMap<u64, FrontCell>>>,
 }
 
 /// Why a stored entry was rejected (all cases degrade to a miss).
@@ -202,7 +234,18 @@ impl ResultCache {
         Ok(Self {
             dir,
             counters: CacheCounters::default(),
+            front: (0..FRONT_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         })
+    }
+
+    /// The front cell for `key` (created on first use). The shard lock is
+    /// held only for the map access, never across a compute.
+    fn front_cell(&self, key: CacheKey) -> FrontCell {
+        let shard = (key.digest() as usize) & (FRONT_SHARDS - 1);
+        let mut map = self.front[shard].lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key.digest()).or_default().clone()
     }
 
     /// The cache directory.
@@ -351,50 +394,183 @@ impl ResultCache {
     /// run `compute`, store its result, and return it. Store failures are
     /// logged and swallowed — a read-only cache directory degrades the
     /// cache to a pass-through, it never fails the simulation.
+    ///
+    /// Concurrent callers with the same `key` coalesce through the sharded
+    /// in-memory front: exactly one of them computes (and writes the disk
+    /// entry); the rest block until it finishes and share the result. The
+    /// coalesced callers count as hits (and as `coalesced` in
+    /// [`CacheStats`]) without touching disk.
     pub fn get_or_compute(
         &self,
         key: CacheKey,
         compute: impl FnOnce() -> MissRateReport,
     ) -> MissRateReport {
-        if let Some(hit) = self.lookup_report(key) {
-            return hit;
+        let cell = self.front_cell(key);
+        let mut compute = Some(compute);
+        let slot = cell.get_or_init(|| {
+            let compute = compute.take().expect("initializer runs at most once");
+            FrontSlot::Report(match self.lookup_report(key) {
+                Some(hit) => hit,
+                None => {
+                    let report = compute();
+                    if let Err(e) = self.store_report(key, &report) {
+                        eprintln!("rescache: failed to store {key}: {e}");
+                    }
+                    report
+                }
+            })
+        });
+        match slot {
+            FrontSlot::Report(report) => {
+                if compute.is_some() {
+                    // We did not initialize: another thread's work (past or
+                    // in-flight) served us entirely from memory.
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                report.clone()
+            }
+            FrontSlot::Raw(kind, _) => {
+                // The same digest was used through the raw API — possible
+                // only for deliberately colliding keys. Fall back to an
+                // uncoalesced disk round-trip; never a wrong answer.
+                eprintln!(
+                    "rescache: front holds a raw {kind:?} entry for {key}; bypassing the front"
+                );
+                let compute = compute.take().expect("raw slot means we lost no closure");
+                match self.lookup_report(key) {
+                    Some(hit) => hit,
+                    None => {
+                        let report = compute();
+                        if let Err(e) = self.store_report(key, &report) {
+                            eprintln!("rescache: failed to store {key}: {e}");
+                        }
+                        report
+                    }
+                }
+            }
         }
-        let report = compute();
-        if let Err(e) = self.store_report(key, &report) {
-            eprintln!("rescache: failed to store {key}: {e}");
+    }
+
+    /// [`ResultCache::get_or_compute`] for raw payloads of an arbitrary
+    /// entry `kind`: coalesces concurrent callers of the same key onto one
+    /// compute and one store, consults disk before computing, and logs
+    /// (never propagates) store failures.
+    pub fn get_or_compute_raw(
+        &self,
+        key: CacheKey,
+        kind: &str,
+        compute: impl FnOnce() -> JsonValue,
+    ) -> JsonValue {
+        let cell = self.front_cell(key);
+        let mut compute = Some(compute);
+        let slot = cell.get_or_init(|| {
+            let compute = compute.take().expect("initializer runs at most once");
+            FrontSlot::Raw(
+                kind.to_string(),
+                self.fetch_or_compute_raw(key, kind, compute),
+            )
+        });
+        match slot {
+            FrontSlot::Raw(cached_kind, payload) if cached_kind == kind => {
+                if compute.is_some() {
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                payload.clone()
+            }
+            other => {
+                let held = match other {
+                    FrontSlot::Report(_) => "a miss_report".to_string(),
+                    FrontSlot::Raw(k, _) => format!("kind {k:?}"),
+                };
+                eprintln!(
+                    "rescache: front holds {held} for {key}, caller wants {kind:?}; \
+                     bypassing the front"
+                );
+                let compute = compute
+                    .take()
+                    .expect("mismatched slot means we lost no closure");
+                self.fetch_or_compute_raw(key, kind, compute)
+            }
         }
-        report
+    }
+
+    /// Uncoalesced lookup-then-compute-then-store, shared by the front's
+    /// initializer and its mismatch fallback.
+    fn fetch_or_compute_raw(
+        &self,
+        key: CacheKey,
+        kind: &str,
+        compute: impl FnOnce() -> JsonValue,
+    ) -> JsonValue {
+        match self.lookup_raw(key, kind) {
+            Some(payload) => payload,
+            None => {
+                let payload = compute();
+                if let Err(e) = self.store_raw(key, kind, payload.clone()) {
+                    eprintln!("rescache: failed to store {key}: {e}");
+                }
+                payload
+            }
+        }
     }
 
     /// Evict oldest entries (by modification time) until at most
     /// `max_entries` remain. Returns how many were removed.
+    ///
+    /// Safe against concurrent stores: only real entry files (a 16-hex
+    /// stem with a `.json` extension) count toward the cap — atomic-write
+    /// `.tmp` staging files are never counted or deleted — and each victim
+    /// is re-checked immediately before deletion, so an entry a writer
+    /// just renamed into place (newer mtime than the enumeration saw) is
+    /// left alone instead of being evicted as "oldest".
     pub fn prune_to(&self, max_entries: usize) -> std::io::Result<u64> {
         let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
         for e in std::fs::read_dir(&self.dir)? {
             let e = e?;
             let path = e.path();
-            if path.extension().is_some_and(|x| x == "json") {
-                let mtime = e
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                entries.push((mtime, path));
+            if !Self::is_entry_file(&path) {
+                continue;
             }
+            let mtime = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            entries.push((mtime, path));
         }
         if entries.len() <= max_entries {
             return Ok(0);
         }
         entries.sort();
         let mut evicted = 0u64;
-        for (_, path) in &entries[..entries.len() - max_entries] {
-            if std::fs::remove_file(path).is_ok() {
-                evicted += 1;
+        for (seen_mtime, path) in &entries[..entries.len() - max_entries] {
+            // Tolerate a racing store_raw: if the file changed since we
+            // enumerated it (tmp+rename landed a fresh result), skip it —
+            // and a file already gone is simply not ours to count.
+            match std::fs::metadata(path).and_then(|m| m.modified()) {
+                Ok(now) if now == *seen_mtime => {
+                    if std::fs::remove_file(path).is_ok() {
+                        evicted += 1;
+                    }
+                }
+                Ok(_) | Err(_) => {}
             }
         }
         self.counters
             .evictions
             .fetch_add(evicted, Ordering::Relaxed);
         Ok(evicted)
+    }
+
+    /// Whether `path` names a real cache entry (`<16-hex>.json`), as
+    /// opposed to a `.tmp` staging file or unrelated debris.
+    fn is_entry_file(path: &Path) -> bool {
+        path.extension().is_some_and(|x| x == "json")
+            && path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .is_some_and(|s| CacheKey::from_hex(s).is_some())
     }
 
     /// Snapshot the traffic counters.
@@ -406,6 +582,7 @@ impl ResultCache {
             corrupt: self.counters.corrupt.load(Ordering::Relaxed),
             stale: self.counters.stale.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -419,6 +596,7 @@ impl ResultCache {
         metrics.count(&format!("{prefix}.corrupt"), s.corrupt);
         metrics.count(&format!("{prefix}.stale"), s.stale);
         metrics.count(&format!("{prefix}.evictions"), s.evictions);
+        metrics.count(&format!("{prefix}.coalesced"), s.coalesced);
         metrics.set_value(&format!("{prefix}.hit_rate"), s.hit_rate());
     }
 }
@@ -683,7 +861,157 @@ mod tests {
         cache.install_metrics(&mut m, "rescache");
         assert_eq!(m.counter("rescache.hits"), 1);
         assert_eq!(m.counter("rescache.stores"), 1);
+        assert_eq!(m.counter("rescache.coalesced"), 0);
         assert_eq!(m.value("rescache.hit_rate"), Some(1.0));
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn racing_get_or_compute_coalesces_to_one_compute_and_store() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Barrier;
+
+        let cache = ResultCache::open(tmp_dir("race")).unwrap();
+        let key = sample_key();
+        let computes = AtomicU64::new(0);
+        const N: usize = 8;
+        let barrier = Barrier::new(N);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    barrier.wait();
+                    let r = cache.get_or_compute(key, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        // Hold the slot long enough that the other threads
+                        // genuinely pile up on the in-flight computation.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        sample_report()
+                    });
+                    assert_eq!(r, sample_report());
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "exactly one compute");
+        let s = cache.stats();
+        assert_eq!(s.stores, 1, "exactly one disk write");
+        assert_eq!(s.misses, 1, "only the winner touched disk");
+        assert_eq!(s.coalesced, N as u64 - 1, "everyone else was coalesced");
+        assert_eq!(
+            s.hits,
+            N as u64 - 1,
+            "coalesced callers still count as hits"
+        );
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn racing_get_or_compute_raw_coalesces() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Barrier;
+
+        let cache = ResultCache::open(tmp_dir("race-raw")).unwrap();
+        let key = CacheKey::from_digest(0xfeed);
+        let computes = AtomicU64::new(0);
+        const N: usize = 6;
+        let barrier = Barrier::new(N);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    barrier.wait();
+                    let v = cache.get_or_compute_raw(key, "sweep_cell", || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        JsonValue::from(42u64)
+                    });
+                    assert_eq!(v, JsonValue::from(42u64));
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!((s.stores, s.coalesced), (1, N as u64 - 1));
+        // A kind mismatch on the same key must not serve the cached raw
+        // payload; it degrades to an uncoalesced compute.
+        let v = cache.get_or_compute_raw(key, "other_kind", || JsonValue::from(7u64));
+        assert_eq!(v, JsonValue::from(7u64));
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn prune_ignores_tmp_files_and_foreign_debris() {
+        let cache = ResultCache::open(tmp_dir("prune-tmp")).unwrap();
+        for i in 0..3u64 {
+            cache
+                .store_report(CacheKey::from_digest(i), &sample_report())
+                .unwrap();
+        }
+        // Stray atomic-write leftovers and unrelated files must neither
+        // count toward the cap nor be eligible for eviction.
+        let tmp = cache.dir().join("00000000000000aa.tmp.123.4");
+        std::fs::write(&tmp, "half-written").unwrap();
+        let notes = cache.dir().join("README.json");
+        std::fs::write(&notes, "{}").unwrap();
+        assert_eq!(cache.prune_to(3).unwrap(), 0, "3 real entries fit the cap");
+        assert!(tmp.exists());
+        assert!(notes.exists());
+        assert_eq!(cache.prune_to(1).unwrap(), 2);
+        assert!(tmp.exists(), "tmp file survives eviction");
+        assert!(notes.exists(), "non-entry json survives eviction");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn prune_races_concurrent_stores_without_losing_fresh_entries() {
+        use std::sync::atomic::AtomicBool;
+
+        let cache = ResultCache::open(tmp_dir("prune-race")).unwrap();
+        for i in 0..16u64 {
+            cache
+                .store_report(CacheKey::from_digest(i), &sample_report())
+                .unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Writers keep landing fresh entries (some overwriting existing
+            // keys, some new) while the pruner repeatedly evicts.
+            for t in 0..3u64 {
+                let (cache, stop) = (&cache, &stop);
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = CacheKey::from_digest(t * 1000 + (i % 24));
+                        cache
+                            .store_raw(key, "stress", JsonValue::from(i))
+                            .expect("stores must survive concurrent prunes");
+                        i += 1;
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..50 {
+                    cache.prune_to(8).expect("prune must not error mid-race");
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        });
+        // Whatever survived must be wholly readable: no half-deleted or
+        // tmp-counted debris classified as an entry. (Writers may land a
+        // few more entries between the last prune and the stop flag, so we
+        // assert integrity, not an exact population.)
+        for e in std::fs::read_dir(cache.dir()).unwrap() {
+            let path = e.unwrap().path();
+            if ResultCache::is_entry_file(&path) {
+                let stem = path.file_stem().unwrap().to_str().unwrap();
+                let key = CacheKey::from_hex(stem).unwrap();
+                let _ = cache.lookup_raw(key, "stress");
+            }
+        }
+        let s = cache.stats();
+        assert!(
+            s.evictions > 0,
+            "the pruner actually ran against the writers"
+        );
+        assert_eq!(s.corrupt, 0, "no entry was torn by the race");
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 }

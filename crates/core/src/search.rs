@@ -38,7 +38,8 @@
 //! (`debug_assertions` cross-check); release parity is covered by the
 //! differential suite in `mlc-experiments`.
 //!
-//! Large candidate scans additionally fan out over [`crate::par::par_map`].
+//! Large candidate scans additionally fan out over the work-stealing
+//! executor in [`crate::exec`].
 //!
 //! The `--no-fast-search` flag on the experiment binaries clears
 //! [`set_fast_search`], restoring the scalar scan (used by the
@@ -117,7 +118,7 @@ pub(crate) fn compute_bases(sizes: &[u64], pads: &[u64], out: &mut Vec<u64>) {
     }
 }
 
-/// Candidate scans at least this large fan out over `par_map`.
+/// Candidate scans at least this large fan out over the executor.
 const PAR_CANDIDATES: usize = 64;
 
 /// The incremental GROUPPAD search state: current pads, visibility mask,
@@ -393,9 +394,10 @@ impl<'a> GroupPadSearch<'a> {
             let this = &*self;
             let bases0 = &bases0;
             let affected = &affected;
-            crate::par::par_map(cands.clone(), this.threads, |&c| {
+            crate::exec::execute(cands.clone(), this.threads, |&c| {
                 this.eval_candidate(k, bases0, affected, c)
             })
+            .0
         } else {
             cands
                 .iter()

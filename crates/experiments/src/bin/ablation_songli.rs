@@ -19,7 +19,7 @@
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::MissCosts;
-use mlc_experiments::sim::{default_threads, par_map, simulate_cold};
+use mlc_experiments::sim::{default_threads, execute, simulate_cold};
 use mlc_experiments::table::pct;
 use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::timeskew::{tile_footprint_bytes, time_stepped_jacobi2d, time_tiled_jacobi2d};
@@ -50,7 +50,7 @@ fn main() {
     eprintln!("simulating {} versions ...", widths.len());
     let span = tel.tracer.begin("ablation_songli.sweep");
     tel.tracer.attr(span, "versions", widths.len() as u64);
-    let results = par_map(widths.clone(), default_threads(), |&w| {
+    let (results, report) = execute(widths.clone(), default_threads(), |&w| {
         let p = match w {
             None => time_stepped_jacobi2d(n, t_steps),
             Some(w) => time_tiled_jacobi2d(n, t_steps, w),
@@ -60,6 +60,7 @@ fn main() {
     tel.tracer.end(span);
     tel.metrics
         .count("ablation_songli.simulations", widths.len() as u64);
+    report.install_metrics(&mut tel.metrics, "exec");
 
     let mut t = Table::new(&["version", "footprint", "L1 miss", "L2 miss", "cost/ref"]);
     let mut best: Option<(f64, String)> = None;

@@ -12,7 +12,7 @@
 //! ```
 
 use mlc_cache_sim::HierarchyConfig;
-use mlc_experiments::sim::{default_threads, par_map, simulate_versions};
+use mlc_experiments::sim::{default_threads, execute, simulate_versions};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::{improvement_pct, time_kernel};
 use mlc_experiments::versions::{build_versions, OptLevel};
@@ -32,7 +32,7 @@ fn main() {
     );
     let sim_span = tel.tracer.begin("fig09.simulate");
     let names: Vec<String> = all_kernels().iter().map(|k| k.name()).collect();
-    let results = par_map(names.clone(), default_threads(), |name| {
+    let (results, report) = execute(names.clone(), default_threads(), |name| {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
         let v = build_versions(&k.model(), &h, OptLevel::Conflict);
         let r = simulate_versions(&v, &h);
@@ -40,6 +40,7 @@ fn main() {
     });
     tel.tracer.attr(sim_span, "programs", names.len() as u64);
     tel.tracer.end(sim_span);
+    report.install_metrics(&mut tel.metrics, "exec");
     for (name, (v, r)) in names.iter().zip(&results) {
         tel.metrics
             .set_value(&format!("fig09.{name}.l1.orig"), r.orig.miss_rate(0));

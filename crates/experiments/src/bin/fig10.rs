@@ -10,7 +10,7 @@
 //! ```
 
 use mlc_cache_sim::HierarchyConfig;
-use mlc_experiments::sim::{default_threads, par_map, simulate_versions};
+use mlc_experiments::sim::{default_threads, execute, simulate_versions};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::{improvement_pct, time_kernel};
 use mlc_experiments::versions::{build_versions, OptLevel};
@@ -30,7 +30,7 @@ fn main() {
         PROGRAMS.len()
     );
     let sim_span = tel.tracer.begin("fig10.simulate");
-    let results = par_map(PROGRAMS.to_vec(), default_threads(), |name| {
+    let (results, report) = execute(PROGRAMS.to_vec(), default_threads(), |name| {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
         let v = build_versions(&k.model(), &h, OptLevel::GroupReuse);
         let r = simulate_versions(&v, &h);
@@ -38,6 +38,7 @@ fn main() {
     });
     tel.tracer.attr(sim_span, "programs", PROGRAMS.len() as u64);
     tel.tracer.end(sim_span);
+    report.install_metrics(&mut tel.metrics, "exec");
     for (name, (v, r)) in PROGRAMS.iter().zip(&results) {
         tel.metrics
             .set_value(&format!("fig10.{name}.l1.orig"), r.orig.miss_rate(0));

@@ -10,7 +10,7 @@
 //! ```
 
 use mlc_cache_sim::HierarchyConfig;
-use mlc_experiments::sim::{default_threads, par_map, simulate_one};
+use mlc_experiments::sim::{default_threads, execute, simulate_one};
 use mlc_experiments::versions::{build_versions, OptLevel};
 use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::expl::Expl;
@@ -30,13 +30,14 @@ fn sweep(
     let span = tel.tracer.begin("fig11.sweep");
     tel.tracer.attr(span, "program", name);
     tel.tracer.attr(span, "sizes", sizes.len() as u64);
-    let rows = par_map(sizes.to_vec(), default_threads(), |&n| {
+    let (rows, report) = execute(sizes.to_vec(), default_threads(), |&n| {
         let p = model_of(n);
         let v = build_versions(&p, &h, OptLevel::GroupReuse);
         let r1 = simulate_one(&v.l1.program, &v.l1.layout, &h);
         let r2 = simulate_one(&v.l1l2.program, &v.l1l2.layout, &h);
         (n, r1, r2)
     });
+    report.install_metrics(&mut tel.metrics, "exec");
     let mut t = Table::new(&["N", "L1 w/L1Opt", "L1 w/L1&L2", "L2 w/L1Opt", "L2 w/L1&L2"]);
     let mut max_l2_gap = (0usize, 0.0f64);
     for (n, r1, r2) in &rows {

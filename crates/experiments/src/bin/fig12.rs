@@ -23,7 +23,7 @@
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::fusion::reuse_layout;
 use mlc_core::group::account;
-use mlc_experiments::sim::{default_threads, par_map, simulate_one};
+use mlc_experiments::sim::{default_threads, execute, simulate_one};
 use mlc_experiments::{Table, TelemetryCli};
 use mlc_kernels::expl::Expl;
 use mlc_kernels::Kernel;
@@ -60,7 +60,7 @@ fn main() {
     let span = tel.tracer.begin("fig12.sweep");
     tel.tracer.attr(span, "sizes", sizes.len() as u64);
     tel.tracer.attr(span, "fuse_at", at as u64);
-    let rows = par_map(sizes, default_threads(), |&n| {
+    let (rows, report) = execute(sizes, default_threads(), |&n| {
         let p = Expl::new(n).model();
         let fused = fuse_unchecked_in_program(&p, at).expect("headers match");
 
@@ -82,6 +82,7 @@ fn main() {
     });
     tel.tracer.end(span);
     tel.metrics.count("fig12.sizes", rows.len() as u64);
+    report.install_metrics(&mut tel.metrics, "exec");
 
     let mut t = Table::new(&["N", "dL2refs", "dMemRefs", "dL1 rate", "dL2 rate"]);
     for &(n, d_l2, d_mem, d1, d2) in &rows {

@@ -12,7 +12,7 @@
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::tiling::{select_tile, TilePolicy};
-use mlc_experiments::sim::{default_threads, par_map, simulate_cold};
+use mlc_experiments::sim::{default_threads, execute, simulate_cold};
 use mlc_experiments::table::pct;
 use mlc_experiments::timing::mflops;
 use mlc_experiments::{Table, TelemetryCli};
@@ -126,7 +126,7 @@ fn main() {
         }
     }
     let h2 = h.clone();
-    let results = par_map(jobs.clone(), default_threads(), |&(n, policy)| {
+    let (results, report) = execute(jobs.clone(), default_threads(), |&(n, policy)| {
         let m = Matmul::new(n);
         let model = match policy {
             None => m.base_model(),
@@ -141,6 +141,7 @@ fn main() {
     tel.tracer.attr(sim_span, "jobs", jobs.len() as u64);
     tel.tracer.end(sim_span);
     tel.metrics.count("fig13.simulated_jobs", jobs.len() as u64);
+    report.install_metrics(&mut tel.metrics, "exec");
     let mut ts = Table::new(&["N", "version", "L1 miss", "L2 miss"]);
     for ((n, policy), r) in jobs.iter().zip(&results) {
         let label = policy.map(|p| p.label()).unwrap_or("Orig");

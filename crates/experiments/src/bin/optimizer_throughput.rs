@@ -12,8 +12,9 @@
 //! experiment drivers' actual workload: a problem-size sweep running one
 //! search per size. The old driver ran these scans serially with the
 //! exhaustive engine; the new one fans the pruned searches out over
-//! [`mlc_core::par::par_map`], so those cases measure engine and driver
-//! together.
+//! [`mlc_core::par::par_map`] (a thin wrapper over the work-stealing
+//! executor in `mlc_core::exec`), so those cases measure engine and
+//! driver together.
 //!
 //! Besides the snapshot, every run appends per-case and headline entries
 //! to the `results/bench_history/` ledger under family

@@ -16,11 +16,14 @@
 //! content-addressed store (`docs/CACHING.md`); `--resume` reuses cells
 //! already present in `--out` from an interrupted run; `--min-hits N`
 //! exits nonzero unless the cache served at least N hits (the CI
-//! warm-cache smoke check).
+//! warm-cache smoke check). `--threads` defaults to the `MLC_THREADS`
+//! environment variable when set, else the machine's parallelism; cells
+//! run on the work-stealing executor (`mlc_core::exec`), whose per-worker
+//! telemetry lands in the metrics export under `exec.*`.
 
 use mlc_experiments::sweep::{
-    grid_cells, merge_results, parse_shard_file, parse_shard_spec, render_tables,
-    result_to_jsonl_line, run_cells, shard_cells, GridKind, SweepCell,
+    grid_cells, merge_results, parse_shard_file, parse_shard_file_resume, parse_shard_spec,
+    render_tables, result_to_jsonl_line, run_cells_traced, shard_cells, GridKind, SweepCell,
 };
 use mlc_experiments::TelemetryCli;
 use std::collections::BTreeMap;
@@ -124,9 +127,17 @@ fn run(
             .unwrap_or_else(|| fail("--resume requires --out"));
         match std::fs::read_to_string(path) {
             Ok(text) => {
-                let prior = parse_shard_file(&all, &text).unwrap_or_else(|e| {
+                // Lenient parse: a shard killed mid-append leaves a
+                // truncated final line; that cell is just not done yet.
+                let (prior, warning) = parse_shard_file_resume(&all, &text).unwrap_or_else(|e| {
                     fail(&format!("cannot resume from {}: {e}", path.display()))
                 });
+                if let Some(w) = warning {
+                    eprintln!(
+                        "sweep: {} has a damaged final line ({w}); it will be recomputed",
+                        path.display()
+                    );
+                }
                 let ours: std::collections::BTreeSet<usize> =
                     cells.iter().map(|c| c.index).collect();
                 for r in prior {
@@ -155,7 +166,7 @@ fn run(
         threads
     );
     let span = tcli.telemetry.tracer.begin("sweep.run");
-    let results = run_cells(&cells, threads, tcli.cache.as_deref(), &done);
+    let (results, report) = run_cells_traced(&cells, threads, tcli.cache.as_deref(), &done);
     tcli.telemetry
         .tracer
         .attr(span, "cells", cells.len() as u64);
@@ -166,6 +177,7 @@ fn run(
     tcli.telemetry
         .metrics
         .count("sweep.reused", done.len() as u64);
+    report.install_metrics(&mut tcli.telemetry.metrics, "exec");
 
     if let Some(path) = &out {
         let mut text = String::new();

@@ -1,0 +1,198 @@
+//! Thread-scaling benchmark of the work-stealing sweep executor.
+//!
+//! Runs one sweep grid cold (no result cache — every cell computes) at a
+//! ladder of thread counts, checks the rendered tables are byte-identical
+//! across all legs, and reports cells/sec plus scaling efficiency
+//! (`throughput(t) / (t × throughput(1))`) as JSON (default
+//! `BENCH_sweep_scaling.json`).
+//!
+//! ```text
+//! sweep_scaling [--grid conflict|group|paper|full|smoke] [--threads-list 1,2,4]
+//!               [--out PATH] [--history-dir PATH] [--no-history]
+//! ```
+//!
+//! `--threads-list` defaults to a doubling ladder `1,2,4,…` capped at the
+//! machine's parallelism (respecting `MLC_THREADS`), always including the
+//! cap itself. Besides the snapshot, every run appends per-leg
+//! `cells_per_sec`, `efficiency`, `elapsed_s`, and `steals` to the
+//! `results/bench_history/` ledger under family `sweep_scaling` (see
+//! `docs/BENCHMARKS.md`); CI gates `smoke_t2/efficiency` there via
+//! `bench-history gate`.
+
+use mlc_experiments::history_cli::HistoryCli;
+use mlc_experiments::sweep::{grid_cells, render_tables, run_cells_traced, GridKind};
+use mlc_telemetry::bench_report::{BenchReport, Direction};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sweep_scaling: {msg}");
+    std::process::exit(1);
+}
+
+/// The default thread ladder: 1, 2, 4, … doubling up to `max`, with `max`
+/// itself always included.
+fn default_ladder(max: usize) -> Vec<usize> {
+    let mut ladder = Vec::new();
+    let mut t = 1;
+    while t < max {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max.max(1));
+    ladder
+}
+
+fn parse_threads_list(s: &str) -> Result<Vec<usize>, String> {
+    let list: Result<Vec<usize>, _> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| p.to_string()))
+        .collect();
+    let list = list.map_err(|p| format!("bad thread count {p:?} in --threads-list"))?;
+    if list.is_empty() || list.contains(&0) {
+        return Err("--threads-list needs positive thread counts".into());
+    }
+    Ok(list)
+}
+
+fn main() {
+    let mut grid = GridKind::Conflict;
+    let mut grid_name = String::from("conflict");
+    let mut out = PathBuf::from("BENCH_sweep_scaling.json");
+    let mut ladder: Option<Vec<usize>> = None;
+
+    let (history, argv) = HistoryCli::from_env();
+    let mut it = argv.into_iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => {
+                grid_name = it.next().unwrap_or_else(|| fail("--grid needs a value"));
+                grid = GridKind::from_arg(&grid_name)
+                    .unwrap_or_else(|| fail(&format!("unknown grid {grid_name:?}")));
+            }
+            "--threads-list" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--threads-list needs a value"));
+                ladder = Some(parse_threads_list(&v).unwrap_or_else(|e| fail(&e)));
+            }
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| fail("--out needs a path"))),
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let ladder = ladder.unwrap_or_else(|| default_ladder(mlc_core::par::default_threads()));
+
+    let cells = grid_cells(grid);
+    let done = BTreeMap::new();
+    eprintln!(
+        "sweep_scaling: {} cells (grid {grid_name}) at thread counts {ladder:?} ...",
+        cells.len()
+    );
+
+    struct Leg {
+        threads: usize,
+        elapsed_s: f64,
+        cells_per_sec: f64,
+        steals: u64,
+    }
+    let mut legs: Vec<Leg> = Vec::with_capacity(ladder.len());
+    let mut baseline_tables: Option<String> = None;
+    for &threads in &ladder {
+        eprintln!(
+            "sweep_scaling: running {} cells on {threads} thread(s) ...",
+            cells.len()
+        );
+        let t0 = Instant::now();
+        let (results, report) = run_cells_traced(&cells, threads, None, &done);
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        let tables = render_tables(&results, false);
+        match &baseline_tables {
+            None => baseline_tables = Some(tables),
+            Some(base) => {
+                if *base != tables {
+                    fail(&format!(
+                        "output at {threads} threads differs from the 1st leg — \
+                         the executor is not deterministic"
+                    ));
+                }
+            }
+        }
+        let cells_per_sec = cells.len() as f64 / elapsed_s.max(1e-9);
+        eprintln!(
+            "sweep_scaling: {threads} thread(s): {elapsed_s:.3}s, {cells_per_sec:.2} cells/s, \
+             {} steals",
+            report.total_steals()
+        );
+        legs.push(Leg {
+            threads,
+            elapsed_s,
+            cells_per_sec,
+            steals: report.total_steals(),
+        });
+    }
+
+    // Efficiency is relative to the slowest-parallelism leg measured (the
+    // ladder always starts at its smallest count; with the default ladder
+    // that is 1 thread).
+    let base = &legs[0];
+    let base_rate_per_thread = base.cells_per_sec / base.threads as f64;
+    let efficiency =
+        |leg: &Leg| (leg.cells_per_sec / leg.threads as f64) / base_rate_per_thread.max(1e-12);
+
+    let mut leg_json = String::new();
+    for (i, leg) in legs.iter().enumerate() {
+        if i > 0 {
+            leg_json.push_str(",\n");
+        }
+        leg_json.push_str(&format!(
+            "    {{\"threads\": {}, \"elapsed_s\": {:.6}, \"cells_per_sec\": {:.4}, \
+             \"efficiency\": {:.4}, \"steals\": {}}}",
+            leg.threads,
+            leg.elapsed_s,
+            leg.cells_per_sec,
+            efficiency(leg),
+            leg.steals,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_scaling\",\n  \"grid\": \"{grid_name}\",\n  \"cells\": {},\n  \
+         \"output_identical\": true,\n  \"legs\": [\n{leg_json}\n  ]\n}}\n",
+        cells.len(),
+    );
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", out.display())));
+    eprintln!(
+        "sweep_scaling: output identical across all {} legs; written to {}",
+        legs.len(),
+        out.display()
+    );
+
+    let mut report = BenchReport::new("sweep_scaling");
+    for leg in &legs {
+        let case = format!("{grid_name}_t{}", leg.threads);
+        report.metric(
+            &case,
+            "cells_per_sec",
+            "cells/s",
+            leg.cells_per_sec,
+            Direction::Higher,
+        );
+        report.metric(
+            &case,
+            "efficiency",
+            "ratio",
+            efficiency(leg),
+            Direction::Higher,
+        );
+        report.metric(&case, "elapsed_s", "s", leg.elapsed_s, Direction::Lower);
+        report.metric(
+            &case,
+            "steals",
+            "count",
+            leg.steals as f64,
+            Direction::Higher,
+        );
+    }
+    history.append(&report);
+}

@@ -13,7 +13,7 @@
 
 use mlc_cache_sim::HierarchyConfig;
 use mlc_core::estimate::estimate_misses;
-use mlc_experiments::sim::{default_threads, par_map, simulate_one};
+use mlc_experiments::sim::{default_threads, execute, simulate_one};
 use mlc_experiments::versions::{build_versions, OptLevel};
 use mlc_experiments::Table;
 use mlc_kernels::all_kernels;
@@ -23,7 +23,7 @@ fn main() {
     let names: Vec<String> = all_kernels().iter().map(|k| k.name()).collect();
     eprintln!("validating estimator on {} programs ...", names.len());
 
-    let rows = par_map(names, default_threads(), |name| {
+    let (rows, _report) = execute(names, default_threads(), |name| {
         let k = mlc_kernels::kernel_by_name(name).unwrap();
         let v = build_versions(&k.model(), &h, OptLevel::GroupReuse);
         // Padded version: estimate vs simulate.

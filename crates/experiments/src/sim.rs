@@ -157,10 +157,13 @@ pub fn simulate_versions(v: &Versions, h: &HierarchyConfig) -> SimResult {
     }
 }
 
-// The channel-based parallel map the sweep binaries fan out over. The
-// implementation moved to `mlc_core::par` so the padding search's candidate
-// scans can share it (core cannot depend on this crate); re-exported here
-// to keep the historical `sim::par_map` path working.
+// The parallel map the sweep binaries fan out over — now a thin wrapper
+// over the work-stealing executor in `mlc_core::exec`. The implementation
+// lives in core so the padding search's candidate scans can share it (core
+// cannot depend on this crate); re-exported here to keep the historical
+// `sim::par_map` path working, alongside the executor itself for binaries
+// that want its per-worker telemetry.
+pub use mlc_core::exec::{execute, ExecReport};
 pub use mlc_core::par::{default_threads, par_map};
 
 #[cfg(test)]

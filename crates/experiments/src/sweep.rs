@@ -22,6 +22,7 @@ use crate::table::{pct, Table};
 use crate::versions::{build_versions, OptLevel};
 use mlc_cache_sim::stable_hash::{StableHash, StableHasher};
 use mlc_cache_sim::HierarchyConfig;
+use mlc_core::exec::ExecReport;
 use mlc_core::rescache::{
     report_from_json, report_to_json, CacheKey, ResultCache, SIM_VERSION_SALT,
 };
@@ -327,20 +328,25 @@ pub fn cell_result_from_json(cell: &SweepCell, v: &JsonValue) -> Result<CellResu
 /// Run one cell: build the three versions and simulate them, consulting
 /// `cell_cache` for the whole cell first (a warm cell skips the optimizer
 /// *and* the simulator — this is what makes warm sweep reruns near-free).
-/// The underlying simulations additionally go through the process-global
-/// result cache installed via [`crate::sim::install_result_cache`], so
-/// even a cold cell reuses any simulation another grid already ran.
+/// The lookup goes through the cache's coalescing front, so two workers
+/// (or two overlapping grids) hitting the same cell concurrently share one
+/// compute and one store. The underlying simulations additionally go
+/// through the process-global result cache installed via
+/// [`crate::sim::install_result_cache`], so even a cold cell reuses any
+/// simulation another grid already ran.
 pub fn run_cell(cell: &SweepCell, cell_cache: Option<&ResultCache>) -> CellResult {
     if let Some(cache) = cell_cache {
         let key = cell_key(cell);
-        if let Some(payload) = cache.lookup_raw(key, CELL_KIND) {
-            match cell_result_from_json(cell, &payload) {
-                Ok(r) => return r,
-                Err(why) => {
-                    eprintln!("sweep: undecodable cached cell for {key} ({why}); recomputing");
-                }
+        let payload =
+            cache.get_or_compute_raw(key, CELL_KIND, || cell_result_to_json(&compute_cell(cell)));
+        match cell_result_from_json(cell, &payload) {
+            Ok(r) => return r,
+            Err(why) => {
+                eprintln!("sweep: undecodable cached cell for {key} ({why}); recomputing");
             }
         }
+        // The cached payload was unusable: recompute and overwrite it so
+        // the next run does not trip over the same entry.
         let result = compute_cell(cell);
         if let Err(e) = cache.store_raw(key, CELL_KIND, cell_result_to_json(&result)) {
             eprintln!("sweep: failed to store cell {key}: {e}");
@@ -367,13 +373,26 @@ fn compute_cell(cell: &SweepCell) -> CellResult {
 
 /// Run many cells with `threads` workers, skipping any whose results are
 /// already in `done` (the `--resume` path). Returns all results — reused
-/// and fresh — unordered; callers sort by index before rendering.
+/// and fresh — sorted by grid index.
 pub fn run_cells(
     cells: &[SweepCell],
     threads: usize,
     cell_cache: Option<&ResultCache>,
     done: &BTreeMap<usize, CellResult>,
 ) -> Vec<CellResult> {
+    run_cells_traced(cells, threads, cell_cache, done).0
+}
+
+/// [`run_cells`] plus the executor's [`ExecReport`] — per-worker cells
+/// done, steals, and busy/idle time for the `exec.*` metrics the sweep
+/// binaries export. The report covers only the freshly computed cells;
+/// `done` reuse is free and happens before the executor starts.
+pub fn run_cells_traced(
+    cells: &[SweepCell],
+    threads: usize,
+    cell_cache: Option<&ResultCache>,
+    done: &BTreeMap<usize, CellResult>,
+) -> (Vec<CellResult>, ExecReport) {
     let todo: Vec<SweepCell> = cells
         .iter()
         .filter(|c| !done.contains_key(&c.index))
@@ -383,11 +402,10 @@ pub fn run_cells(
         .iter()
         .filter_map(|c| done.get(&c.index).cloned())
         .collect();
-    results.extend(mlc_core::par::par_map(todo, threads, |cell| {
-        run_cell(cell, cell_cache)
-    }));
+    let (fresh, report) = mlc_core::exec::execute(todo, threads, |cell| run_cell(cell, cell_cache));
+    results.extend(fresh);
     results.sort_by_key(|r| r.cell.index);
-    results
+    (results, report)
 }
 
 /// One JSONL line for a result: the payload plus its grid index.
@@ -427,6 +445,35 @@ pub fn parse_shard_file(cells: &[SweepCell], text: &str) -> Result<Vec<CellResul
             result_from_jsonl_line(cells, l).map_err(|e| format!("line {}: {e}", ln + 1))
         })
         .collect()
+}
+
+/// Parse a shard file for `--resume`. A shard killed mid-write leaves a
+/// truncated *final* line; that is expected crash debris, so it is
+/// tolerated — the damaged line's cell is simply treated as not done and a
+/// warning describing it is returned for the caller to log. Damage
+/// anywhere *before* the final line cannot come from a single interrupted
+/// append and stays a hard error, exactly as in [`parse_shard_file`].
+pub fn parse_shard_file_resume(
+    cells: &[SweepCell],
+    text: &str,
+) -> Result<(Vec<CellResult>, Option<String>), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut results = Vec::with_capacity(lines.len());
+    for (pos, (ln, l)) in lines.iter().enumerate() {
+        match result_from_jsonl_line(cells, l) {
+            Ok(r) => results.push(r),
+            Err(e) if pos + 1 == lines.len() => {
+                let warning = format!("line {}: {e}; treating that cell as not done", ln + 1);
+                return Ok((results, Some(warning)));
+            }
+            Err(e) => return Err(format!("line {}: {e}", ln + 1)),
+        }
+    }
+    Ok((results, None))
 }
 
 /// Merge shard results into the complete, ordered grid. Duplicates must
@@ -657,6 +704,59 @@ mod tests {
         assert_eq!(s.stores, 1);
         assert_eq!(s.hits, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_parse_tolerates_truncated_final_line_only() {
+        let cells = tiny_grid();
+        let results: Vec<CellResult> = cells.iter().map(|c| run_cell(c, None)).collect();
+        let lines: Vec<String> = results.iter().map(result_to_jsonl_line).collect();
+
+        // A killed shard: the last append stopped mid-line.
+        let full_last = &lines[2];
+        let truncated = format!(
+            "{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            &full_last[..full_last.len() / 2]
+        );
+        let (parsed, warning) = parse_shard_file_resume(&cells, &truncated).unwrap();
+        assert_eq!(parsed.len(), 2, "intact lines are kept");
+        assert!(parsed[0].same_measurements(&results[0]));
+        assert!(parsed[1].same_measurements(&results[1]));
+        let warning = warning.expect("the damaged tail must be reported");
+        assert!(
+            warning.contains("line 3"),
+            "warning names the line: {warning}"
+        );
+        // The strict parser still refuses the same file.
+        assert!(parse_shard_file(&cells, &truncated).is_err());
+
+        // Damage before the final line is not crash debris: hard error.
+        let mid_damage = format!(
+            "{}\n{}\n{}\n",
+            lines[0],
+            &lines[1][..lines[1].len() / 2],
+            lines[2]
+        );
+        let err = parse_shard_file_resume(&cells, &mid_damage).unwrap_err();
+        assert!(err.contains("line 2"), "error names the line: {err}");
+
+        // A clean file parses with no warning.
+        let clean: String = lines.iter().map(|l| l.clone() + "\n").collect();
+        let (parsed, warning) = parse_shard_file_resume(&cells, &clean).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn run_cells_traced_reports_all_fresh_cells() {
+        let cells = tiny_grid();
+        let (results, report) = run_cells_traced(&cells, 2, None, &BTreeMap::new());
+        assert_eq!(results.len(), cells.len());
+        assert_eq!(report.items, cells.len());
+        assert_eq!(report.total_done() as usize, cells.len());
+        assert!(report.threads >= 1);
     }
 
     #[test]

@@ -137,3 +137,60 @@ fn resume_completes_a_truncated_run_identically() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn resume_tolerates_a_shard_killed_mid_write() {
+    let dir = tmp("resume-truncated");
+    let out = dir.join("r.jsonl");
+    let full = run_ok(&["run", "--grid", "smoke", "--out", s(&out)]);
+
+    // A shard killed mid-append: the final line stops half-way through,
+    // with no trailing newline.
+    let text = std::fs::read_to_string(&out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "need at least two cells to truncate");
+    let last = lines[lines.len() - 1];
+    let mut damaged: String = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    damaged.push_str(&last[..last.len() / 2]);
+    std::fs::write(&out, damaged).unwrap();
+
+    let resumed = run_ok(&["run", "--grid", "smoke", "--out", s(&out), "--resume"]);
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("damaged final line"),
+        "resume must log the crash debris, got:\n{stderr}"
+    );
+    assert_eq!(
+        full.stdout, resumed.stdout,
+        "resume past a truncated final line must reproduce the full table"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap().lines().count(),
+        lines.len(),
+        "resume must rewrite the complete shard file"
+    );
+
+    // Damage anywhere before the final line is still a hard error.
+    let mut mid_damaged = String::new();
+    for (i, l) in lines.iter().enumerate() {
+        if i == 0 {
+            mid_damaged.push_str(&l[..l.len() / 2]);
+        } else {
+            mid_damaged.push_str(l);
+        }
+        mid_damaged.push('\n');
+    }
+    std::fs::write(&out, mid_damaged).unwrap();
+    let refused = Command::new(sweep_bin())
+        .args(["run", "--grid", "smoke", "--out", s(&out), "--resume"])
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        !refused.status.success(),
+        "mid-file damage is not crash debris and must refuse to resume"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,6 +1,6 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786208133000,
-  "repoUrl": "https://example.com/multi-level-locality",
+  "lastUpdate": 1786210914000,
+  "repoUrl": "",
   "schemaVersion": 1,
   "entries": {
     "fuzz_smoke": [
@@ -482,6 +482,139 @@ window.BENCHMARK_DATA = {
             "value": 0,
             "unit": "count",
             "direction": "lower"
+          }
+        ]
+      }
+    ],
+    "sweep_scaling": [
+      {
+        "commit": {
+          "id": "3aca9313f8da89546762d4028121a878fb445410",
+          "timestamp": 1786210914
+        },
+        "date": 1786210914000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "conflict_t1/cells_per_sec",
+            "value": 8.993652344255198,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t1/efficiency",
+            "value": 1,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t1/elapsed_s",
+            "value": 2.668548781,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict_t1/steals",
+            "value": 0,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t2/cells_per_sec",
+            "value": 8.571778547962637,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t2/efficiency",
+            "value": 0.47654602489932596,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t2/elapsed_s",
+            "value": 2.799885679,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict_t2/steals",
+            "value": 4,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t4/cells_per_sec",
+            "value": 8.748174377661682,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t4/efficiency",
+            "value": 0.24317635491129702,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "conflict_t4/elapsed_s",
+            "value": 2.743429539,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "conflict_t4/steals",
+            "value": 5,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t1/cells_per_sec",
+            "value": 95.27388419216427,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t1/efficiency",
+            "value": 1,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t1/elapsed_s",
+            "value": 0.041984223,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke_t1/steals",
+            "value": 0,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/cells_per_sec",
+            "value": 96.16357346916246,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/efficiency",
+            "value": 0.5046691141257751,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/elapsed_s",
+            "value": 0.041595792,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke_t2/steals",
+            "value": 1,
+            "unit": "count",
+            "direction": "higher"
           }
         ]
       }
