@@ -26,16 +26,24 @@ use mlc_telemetry::bench_report::{median, BenchEntry};
 pub struct GateOptions {
     /// Maximum tolerated regression, in percent of the baseline (e.g.
     /// `10.0` = fail anything more than 10% worse than the rolling
-    /// median).
+    /// median). The default for series no override matches.
     pub max_regress_pct: f64,
+    /// Per-prefix tolerance overrides (`--max-regress PREFIX=PCT`): the
+    /// longest prefix matching a series' `family/case/metric` path wins
+    /// over [`GateOptions::max_regress_pct`]. Lets one gate invocation
+    /// cover families with very different run-to-run variance.
+    pub max_regress_overrides: Vec<(String, f64)>,
     /// How many recent distinct commits feed the rolling median.
     pub window: usize,
     /// Absolute floors/ceilings: (`family/case/metric`, value). For
     /// `higher`-is-better metrics the head value must be ≥ the value; for
     /// `lower`-is-better, ≤.
     pub floors: Vec<(String, f64)>,
-    /// Only gate series whose `family/case/metric` path starts with this.
-    pub only: Option<String>,
+    /// Gate only series whose `family/case/metric` path starts with one
+    /// of these prefixes; empty gates everything. Multiple prefixes let a
+    /// single invocation cover every gated family, so one CI run reports
+    /// *all* failing metrics instead of stopping at the first family.
+    pub only: Vec<String>,
     /// The head commit id (full or abbreviated).
     pub head_commit: String,
 }
@@ -44,11 +52,25 @@ impl Default for GateOptions {
     fn default() -> Self {
         Self {
             max_regress_pct: 10.0,
+            max_regress_overrides: Vec::new(),
             window: 5,
             floors: Vec::new(),
-            only: None,
+            only: Vec::new(),
             head_commit: String::new(),
         }
+    }
+}
+
+impl GateOptions {
+    /// The tolerated regression percent for `path`: the longest matching
+    /// `--max-regress PREFIX=PCT` override, else the global default.
+    fn tolerance_for(&self, path: &str) -> f64 {
+        self.max_regress_overrides
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, pct)| pct)
+            .unwrap_or(self.max_regress_pct)
     }
 }
 
@@ -203,7 +225,7 @@ fn check_series(s: &Series, opts: &GateOptions) -> GateCheck {
         baseline: Some(baseline),
         regress_pct: Some(pct),
         baseline_commits: window.len(),
-        outcome: if pct > opts.max_regress_pct {
+        outcome: if pct > opts.tolerance_for(&s.key.path()) {
             CheckOutcome::Regressed
         } else {
             CheckOutcome::Pass
@@ -219,10 +241,11 @@ pub fn run_gate(entries: &[BenchEntry], opts: &GateOptions) -> GateReport {
     let gated: Vec<&Series> = series
         .iter()
         .filter(|s| {
-            opts.only
-                .as_deref()
-                .map(|p| s.key.path().starts_with(p))
-                .unwrap_or(true)
+            opts.only.is_empty()
+                || opts
+                    .only
+                    .iter()
+                    .any(|p| s.key.path().starts_with(p.as_str()))
         })
         .collect();
     for s in &gated {

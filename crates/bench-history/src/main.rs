@@ -30,9 +30,10 @@ bench-history — append-only benchmark ledger tools
 USAGE:
   bench-history append  [--dir DIR] [--entries FILE] [--schema FILE]
   bench-history compare <BASELINE>..<HEAD> [--dir DIR]
-  bench-history gate    [--dir DIR] [--commit C] [--max-regress PCT]
+  bench-history gate    [--dir DIR] [--commit C]
+                        [--max-regress PCT | --max-regress PREFIX=PCT]...
                         [--window N] [--min FAMILY/CASE/METRIC=VALUE]...
-                        [--only PREFIX]
+                        [--only PREFIX]...
   bench-history render  [--dir DIR] [--out DIR] [--repo-url URL]
 
 COMMON:
@@ -45,13 +46,18 @@ append:
 gate:
   --commit C         head commit id (default: the current environment's,
                      honoring MLC_BENCH_COMMIT)
-  --max-regress PCT  tolerated regression vs. rolling median (default 10)
+  --max-regress PCT  tolerated regression vs. rolling median (default 10);
+                     repeatable as PREFIX=PCT to override the tolerance
+                     for series whose path starts with PREFIX (longest
+                     matching prefix wins)
   --window N         commits in the rolling-median baseline (default 5)
   --min PATH=VALUE   absolute floor (>= for higher-is-better metrics,
                      <= for lower-is-better); repeatable; a floor whose
                      metric has no head measurement FAILS the gate
   --only PREFIX      gate only series whose family/case/metric path
-                     starts with PREFIX
+                     starts with PREFIX; repeatable, so one invocation
+                     covers every gated family and reports all failures
+                     in a single run
 
 render:
   --out DIR          output directory (default docs/bench)
@@ -214,15 +220,23 @@ fn cmd_gate(args: &[String]) -> Result<ExitCode, String> {
     let mut args = args.to_vec();
     let dir = store_dir(&mut args)?;
     let mut opts = GateOptions::default();
-    if let Some(v) = take_flag(&mut args, "--max-regress")? {
-        opts.max_regress_pct = v
+    for v in take_all_flags(&mut args, "--max-regress")? {
+        let (prefix, pct_text) = match v.split_once('=') {
+            Some((prefix, pct)) => (Some(prefix.to_string()), pct),
+            None => (None, v.as_str()),
+        };
+        let pct = pct_text
             .trim_end_matches('%')
             .parse::<f64>()
             .map_err(|_| format!("--max-regress: '{v}' is not a number"))?;
-        if !opts.max_regress_pct.is_finite() || opts.max_regress_pct < 0.0 {
+        if !pct.is_finite() || pct < 0.0 {
             return Err(format!(
                 "--max-regress: '{v}' must be a non-negative percent"
             ));
+        }
+        match prefix {
+            Some(prefix) => opts.max_regress_overrides.push((prefix, pct)),
+            None => opts.max_regress_pct = pct,
         }
     }
     if let Some(v) = take_flag(&mut args, "--window")? {
@@ -244,7 +258,7 @@ fn cmd_gate(args: &[String]) -> Result<ExitCode, String> {
         }
         opts.floors.push((path.to_string(), value));
     }
-    opts.only = take_flag(&mut args, "--only")?;
+    opts.only = take_all_flags(&mut args, "--only")?;
     opts.head_commit = match take_flag(&mut args, "--commit")? {
         Some(c) => c,
         None => EnvInfo::capture().commit,

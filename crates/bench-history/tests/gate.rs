@@ -183,13 +183,70 @@ fn only_filter_restricts_gated_series() {
     entries.extend(other.entries(&env("head", 2)));
 
     let mut opts = gate_opts("head");
-    opts.only = Some("other/".to_string());
+    opts.only = vec!["other/".to_string()];
     let report = run_gate(&entries, &opts);
     assert!(
         !report.failed(),
         "fam/* regression is outside --only other/"
     );
     assert_eq!(report.checks.len(), 1);
+}
+
+#[test]
+fn multiple_only_prefixes_gate_both_families_in_one_run() {
+    // Two regressing families, both selected: a single gate run must
+    // report BOTH failures, not stop at the first.
+    let mut entries = history(&[("c1", 10.0), ("head", 1.0)]);
+    let mut other = BenchReport::new("other");
+    other.metric("case", "m", "x", 10.0, Direction::Higher);
+    entries.extend(other.entries(&env("c1", 1)));
+    let mut other = BenchReport::new("other");
+    other.metric("case", "m", "x", 1.0, Direction::Higher);
+    entries.extend(other.entries(&env("head", 2)));
+
+    let mut opts = gate_opts("head");
+    opts.only = vec!["fam/".to_string(), "other/".to_string()];
+    let report = run_gate(&entries, &opts);
+    assert!(report.failed());
+    assert_eq!(report.checks.len(), 2, "both families gated in one run");
+    assert_eq!(
+        report.failures().count(),
+        2,
+        "every failing metric reported, not just the first"
+    );
+}
+
+#[test]
+fn per_prefix_max_regress_overrides_the_global_tolerance() {
+    // fam/* drops 50%: the global 10% gate would fail it, but a per-prefix
+    // override widens fam/ to 75%; other/* gets no override and fails.
+    let mut entries = history(&[("c1", 10.0), ("head", 5.0)]);
+    let mut other = BenchReport::new("other");
+    other.metric("case", "m", "x", 10.0, Direction::Higher);
+    entries.extend(other.entries(&env("c1", 1)));
+    let mut other = BenchReport::new("other");
+    other.metric("case", "m", "x", 5.0, Direction::Higher);
+    entries.extend(other.entries(&env("head", 2)));
+
+    let mut opts = gate_opts("head");
+    opts.max_regress_overrides = vec![("fam/".to_string(), 75.0)];
+    let report = run_gate(&entries, &opts);
+    assert!(report.failed(), "other/* still bound by the global 10%");
+    let failing: Vec<&str> = report.failures().map(|c| c.key.as_str()).collect();
+    assert!(failing.iter().all(|k| k.starts_with("other/")));
+    assert!(report
+        .checks
+        .iter()
+        .any(|c| c.key.starts_with("fam/") && c.outcome == CheckOutcome::Pass));
+
+    // The longest matching prefix wins: a tighter override on the exact
+    // series beats the loose family-wide one.
+    opts.max_regress_overrides = vec![("fam/".to_string(), 75.0), ("fam/case/m".to_string(), 10.0)];
+    let report = run_gate(&entries, &opts);
+    assert!(
+        report.failures().any(|c| c.key.starts_with("fam/")),
+        "exact-series override tightens fam back to 10%"
+    );
 }
 
 #[test]

@@ -420,6 +420,70 @@ impl Cache {
         }
     }
 
+    /// Bulk counter credit from a closed-form (analytic) accounting of an
+    /// access stream this level provably would have seen: `accesses` probes
+    /// of which `misses` missed, evicting `writebacks` dirty lines. Touches
+    /// no line state — callers that also change residency must follow up
+    /// with [`Cache::overwrite_set`] so counters and contents stay the
+    /// bitwise image of a replay.
+    pub fn account_analytic(&mut self, accesses: u64, misses: u64, writebacks: u64) {
+        debug_assert!(misses <= accesses, "more misses than accesses");
+        self.accesses += accesses;
+        self.misses += misses;
+        self.writebacks += writebacks;
+    }
+
+    /// Restore the access/miss/write-back counters to previously observed
+    /// values. The analytic engine uses this to cancel the double-count when
+    /// it materializes symbolic state by replaying journaled nests whose
+    /// counters were already credited via [`Cache::account_analytic`].
+    pub fn set_counters(&mut self, accesses: u64, misses: u64, writebacks: u64) {
+        self.accesses = accesses;
+        self.misses = misses;
+        self.writebacks = writebacks;
+    }
+
+    /// Resident lines of one set in recency order (most recent first), as
+    /// `(line_byte_address, dirty)` pairs. The analytic engine uses this to
+    /// resolve a nest's entry state without replaying it.
+    pub fn set_contents(&self, set: usize) -> impl Iterator<Item = (u64, bool)> + '_ {
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc]
+            .iter()
+            .zip(&self.dirty[base..base + self.assoc])
+            .filter(|(&t, _)| t != INVALID)
+            .map(move |(&t, &d)| (self.line_addr_of(t, set), d))
+    }
+
+    /// Replace one set's contents wholesale: `lines` are
+    /// `(line_byte_address, dirty)` pairs in recency order (most recent
+    /// first); remaining ways are invalidated. No counters move — the
+    /// analytic engine uses this to materialize the exact state a replayed
+    /// nest would have left, after crediting its counters via
+    /// [`Cache::account_analytic`].
+    ///
+    /// # Panics
+    /// Panics if more lines than ways are given, or an address does not map
+    /// to `set`.
+    pub fn overwrite_set(&mut self, set: usize, lines: &[(u64, bool)]) {
+        assert!(lines.len() <= self.assoc, "more lines than ways");
+        let base = set * self.assoc;
+        for (w, &(addr, dirty)) in lines.iter().enumerate() {
+            let line = addr >> self.line_shift;
+            assert_eq!(
+                (line & self.set_mask) as usize,
+                set,
+                "line address {addr:#x} does not map to set {set}"
+            );
+            self.tags[base + w] = line >> self.set_shift;
+            self.dirty[base + w] = dirty;
+        }
+        for w in lines.len()..self.assoc {
+            self.tags[base + w] = INVALID;
+            self.dirty[base + w] = false;
+        }
+    }
+
     /// Invalidate every line (cold cache) without touching counters.
     /// Dirty contents are discarded, not written back.
     pub fn flush(&mut self) {

@@ -124,6 +124,26 @@ impl Hierarchy {
         self.levels.iter().map(|c| c.writebacks()).collect()
     }
 
+    /// The level caches, L1 first (read-only).
+    pub fn caches(&self) -> &[Cache] {
+        &self.levels
+    }
+
+    /// The level caches, L1 first, mutably. This exists for the analytic
+    /// closed-form engine (`mlc_core::analytic`), which credits counters and
+    /// materializes state through [`Cache::account_analytic`] /
+    /// [`Cache::overwrite_set`]; ordinary drivers should stream accesses
+    /// instead.
+    pub fn caches_mut(&mut self) -> &mut [Cache] {
+        &mut self.levels
+    }
+
+    /// Whether next-line prefetching is on (the analytic engine declines
+    /// prefetching hierarchies, like the run fast path does).
+    pub fn prefetch_enabled(&self) -> bool {
+        self.next_line_prefetch
+    }
+
     /// [`Hierarchy::access_addr_kind`] with a telemetry probe attached: one
     /// [`mlc_telemetry::AccessEvent`] per level probed (L1 outward, stopping
     /// at the first hit) and one [`mlc_telemetry::EvictionEvent`] per line

@@ -44,7 +44,7 @@ impl ReplacementPolicy {
     /// Whether a hit promotes the line to most-recently-used position.
     /// True for LRU; FIFO and Random leave the order untouched on hits.
     #[inline]
-    pub(crate) fn promote_on_hit(&self) -> bool {
+    pub fn promote_on_hit(&self) -> bool {
         matches!(self, ReplacementPolicy::Lru)
     }
 }

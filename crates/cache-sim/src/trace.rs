@@ -82,10 +82,67 @@ impl Run {
     }
 }
 
+/// A whole affine loop nest described in closed form: per-reference
+/// base/stride descriptors over a rectangular (constant-bound) iteration
+/// space, instead of the expanded access stream.
+///
+/// The trace generator offers one of these to the sink *before* streaming a
+/// nest (see [`AccessSink::nest`]); a sink that can account for the entire
+/// nest analytically consumes it and the stream is never expanded. The
+/// descriptor is normalized to trip space: loop `l` runs `trips[l]` times
+/// and reference `r` starts at `refs[r].start` and advances by
+/// `refs[r].deltas[l]` bytes per trip of loop `l` (outermost first). The
+/// access order is the interleaved walk: for every outer trip vector, the
+/// innermost loop advances with the references interleaved in body order —
+/// exactly what [`AccessSink::run_group`] would see, one group per
+/// innermost invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestDescriptor {
+    /// Trip count per loop, outermost first (all ≥ 1; empty or zero-trip
+    /// nests are never offered as descriptors).
+    pub trips: Vec<u64>,
+    /// One descriptor per reference, in body (interleave) order.
+    pub refs: Vec<RefDescriptor>,
+}
+
+/// One array reference of a [`NestDescriptor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefDescriptor {
+    /// Byte address at the all-zero trip vector (validated non-negative by
+    /// the trace generator before the descriptor is offered).
+    pub start: u64,
+    /// Byte delta per trip of each loop, outermost first (stride × step).
+    pub deltas: Vec<i64>,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl NestDescriptor {
+    /// Total accesses the nest emits: Π trips × refs.
+    pub fn total_accesses(&self) -> u64 {
+        let trips: u64 = self.trips.iter().product();
+        trips * self.refs.len() as u64
+    }
+}
+
 /// Consumer of an access stream.
 pub trait AccessSink {
     /// Consume one access.
     fn access(&mut self, access: Access);
+
+    /// Offer a whole loop nest in closed form *instead of* its expanded
+    /// stream. Returning `Some(n)` means the sink fully accounted for all
+    /// `n` accesses (counters **and** any state the sink models must end up
+    /// exactly as if the stream had been replayed); the caller then skips
+    /// the nest entirely. Returning `None` (the default) declines, and the
+    /// caller streams the nest through `access`/`run`/`run_group` as usual.
+    ///
+    /// Only sinks with a closed-form backend override this — notably
+    /// [`mlc_core::analytic`]'s hierarchy wrapper. Overrides must be
+    /// observably identical to replay wherever they accept.
+    fn nest(&mut self, _desc: &NestDescriptor) -> Option<u64> {
+        None
+    }
 
     /// Consume a batch; override if a sink can do better than a loop.
     fn access_all(&mut self, accesses: &[Access]) {
@@ -242,6 +299,11 @@ impl<S: AccessSink + ?Sized> AccessSink for &mut S {
     #[inline]
     fn access(&mut self, access: Access) {
         (**self).access(access);
+    }
+
+    #[inline]
+    fn nest(&mut self, desc: &NestDescriptor) -> Option<u64> {
+        (**self).nest(desc)
     }
 
     #[inline]

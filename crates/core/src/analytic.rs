@@ -1,0 +1,1117 @@
+//! Closed-form (analytic) accounting of whole affine loop nests.
+//!
+//! The run-length fast path (PR 2) still walks every access of every nest;
+//! for affine kernels with known layouts the per-level counts are
+//! computable at *line-dwell* granularity straight from the footprint's
+//! set-residue structure — the same modular reasoning the padding legality
+//! checks already use. This module implements that short circuit as an
+//! [`AccessSink`] wrapper around a [`Hierarchy`]: the trace generator
+//! offers each nest as a [`NestDescriptor`] (see [`AccessSink::nest`]) and
+//! the sink either *closes* it — credits exact per-level
+//! access/miss/write-back counts without ever expanding the access stream —
+//! or *declines*, falling back to the ordinary run-length replay for that
+//! nest.
+//!
+//! # How a nest closes
+//!
+//! Each reference's footprint decomposes into *columns*: per outer-trip
+//! vector, the innermost loop sweeps a contiguous interval of cache lines
+//! (certified by requiring the innermost byte delta to fit in a line). A
+//! column touches each of its lines in one contiguous dwell, so per level
+//! the simulation collapses to one probe per line-dwell against a shadow
+//! tag store: a hit is a hit; a miss evicts the set's LRU way (counting a
+//! write-back if dirty) and descends one level — exactly the simulator's
+//! transition function, minus the per-access work. L1 sees `Π trips × refs`
+//! accesses in closed form; level ℓ sees one access per level-ℓ−1 miss.
+//!
+//! The one ordering freedom taken — processing a column's references
+//! serially rather than interleaved — is certified per column pair: two
+//! references may share a column only if no line of one can map to the
+//! same set as a *different* line of the other (a pure set-residue check).
+//! Cross-array lockstep references whose columns collide — the paper's
+//! severe-conflict case — fail that certificate and replay; padded layouts
+//! pass it. Conflicts *across* columns need no certificate at all: they are
+//! modeled exactly by the shadow state's evictions.
+//!
+//! Repeated sweeps (the steady protocol of the iterative kernels) close in
+//! near-constant time: per descriptor the sink memoizes `(entry state,
+//! exit state, counter deltas)` triples, and a nest whose entry state is
+//! bitwise equal to a memoized one replays as a state copy plus a counter
+//! credit. Equality is a full state compare — never a hash — so the
+//! exactness claim survives. Crucially this tier also covers nests the
+//! ordering certificate *rejects*: an uncertifiable (but address-verified)
+//! nest replays concretely through the wrapped hierarchy once per distinct
+//! entry state, and — simulation being deterministic for the supported
+//! policies — every later sweep from that state is a pure memo hit. Under
+//! the iterative steady protocol even the paper's severe-conflict layouts
+//! converge after one or two sweeps, so whole programs short-circuit.
+//!
+//! # State is shadowed, not stale
+//!
+//! Closing nests updates the shadow store and the hierarchy's *counters*;
+//! the hierarchy's tag arrays lag until [`AnalyticSink::materialize_state`]
+//! writes the shadow back (automatically before any replayed access), so
+//! fallback nests always replay against bitwise-exact concrete state.
+//! Coverage is observable, never silent: every closed or declined nest
+//! bumps process-wide `analytic.*` counters with a [`FallbackReason`]
+//! breakdown, exported through [`install_metrics`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mlc_cache_sim::trace::{Access, AccessSink, NestDescriptor, Run};
+use mlc_cache_sim::{Hierarchy, HierarchyConfig, MissRateReport};
+use mlc_model::trace_gen::{try_generate_with, TraceError};
+use mlc_model::{DataLayout, Program};
+use mlc_telemetry::MetricsRegistry;
+
+/// Hard cap on enumerated `(reference, column)` dwell intervals per nest;
+/// beyond this the closed form would cost more than it saves.
+const MAX_COLUMN_REFS: u64 = 1 << 17;
+
+/// Nests below this many accesses skip state-snapshot memoization: the
+/// direct shadow walk is already cheap and snapshots cost memory.
+const MIN_MEMO_ACCESSES: u64 = 4096;
+
+/// At most this many `(entry, exit, deltas)` snapshots per descriptor
+/// (steady sweeps need two: the cold entry and the converged one).
+const MAX_SNAPSHOTS: usize = 3;
+
+/// At most this many memoized descriptors per sink.
+const MAX_MEMO_NESTS: usize = 24;
+
+/// Shadow sentinel for an invalid way.
+const INVALID_LINE: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------------
+// Fallback telemetry.
+// ---------------------------------------------------------------------------
+
+/// Why a nest declined the closed form and replayed instead. Exposed as
+/// `analytic.fallback.*` counters via [`install_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum FallbackReason {
+    /// The hierarchy prefetches; fill timing is not modeled analytically.
+    Prefetch,
+    /// The innermost byte delta of some reference exceeds the smallest
+    /// line size, so its columns are not contiguous line intervals.
+    WideStride,
+    /// Too many `(reference, column)` intervals to enumerate.
+    TooManyColumns,
+    /// Address or trip-count arithmetic left the exactly representable
+    /// range.
+    Overflow,
+    /// An unsupported configuration: random replacement in a
+    /// set-associative level, or line sizes that shrink with depth.
+    Policy,
+    /// Two references' columns can map different lines to one set, so
+    /// their relative order inside a column matters (the severe-conflict
+    /// case); only replay models that exactly.
+    Interleave,
+}
+
+impl FallbackReason {
+    const COUNT: usize = 6;
+
+    /// Stable metric-name suffix for this reason.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackReason::Prefetch => "prefetch",
+            FallbackReason::WideStride => "wide_stride",
+            FallbackReason::TooManyColumns => "too_many_columns",
+            FallbackReason::Overflow => "overflow",
+            FallbackReason::Policy => "policy",
+            FallbackReason::Interleave => "interleave",
+        }
+    }
+
+    fn all() -> [FallbackReason; Self::COUNT] {
+        [
+            FallbackReason::Prefetch,
+            FallbackReason::WideStride,
+            FallbackReason::TooManyColumns,
+            FallbackReason::Overflow,
+            FallbackReason::Policy,
+            FallbackReason::Interleave,
+        ]
+    }
+}
+
+static NESTS_CLOSED: AtomicU64 = AtomicU64::new(0);
+static NESTS_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static ACCESSES_CLOSED: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: [AtomicU64; FallbackReason::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+fn bump_fallback(reason: FallbackReason) {
+    NESTS_FALLBACK.fetch_add(1, Ordering::Relaxed);
+    FALLBACKS[reason as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide analytic coverage counters since the last
+/// [`take_stats`] / [`install_metrics`] drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalyticStats {
+    /// Nests fully accounted in closed form.
+    pub nests_closed: u64,
+    /// Offered nests that declined to the replay path.
+    pub nests_fallback: u64,
+    /// Accesses covered by closed nests (never expanded).
+    pub accesses_closed: u64,
+    /// Fallbacks by reason, in [`FallbackReason`] order.
+    pub fallback_reasons: Vec<(&'static str, u64)>,
+}
+
+/// Drain and return the process-wide analytic counters (they reset to
+/// zero). Tests and the metrics exporter share this.
+pub fn take_stats() -> AnalyticStats {
+    AnalyticStats {
+        nests_closed: NESTS_CLOSED.swap(0, Ordering::Relaxed),
+        nests_fallback: NESTS_FALLBACK.swap(0, Ordering::Relaxed),
+        accesses_closed: ACCESSES_CLOSED.swap(0, Ordering::Relaxed),
+        fallback_reasons: FallbackReason::all()
+            .iter()
+            .map(|&r| (r.name(), FALLBACKS[r as usize].swap(0, Ordering::Relaxed)))
+            .collect(),
+    }
+}
+
+/// Drain the analytic counters into a [`MetricsRegistry`] as
+/// `analytic.nests_closed`, `analytic.nests_fallback`,
+/// `analytic.accesses_closed` and per-reason `analytic.fallback.<reason>`
+/// counters (zero-valued reasons are skipped).
+pub fn install_metrics(reg: &mut MetricsRegistry) {
+    let s = take_stats();
+    reg.count("analytic.nests_closed", s.nests_closed);
+    reg.count("analytic.nests_fallback", s.nests_fallback);
+    reg.count("analytic.accesses_closed", s.accesses_closed);
+    for (name, v) in s.fallback_reasons {
+        if v > 0 {
+            reg.count(&format!("analytic.fallback.{name}"), v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shadow state.
+// ---------------------------------------------------------------------------
+
+/// One cache level mirrored at line granularity: same geometry, same
+/// replacement transitions, ways held MRU-first exactly like the simulator
+/// (valid lines always form a contiguous prefix).
+struct ShadowLevel {
+    line_shift: u32,
+    set_mask: u64,
+    sets: usize,
+    assoc: usize,
+    promote_on_hit: bool,
+    /// `sets × assoc` line numbers, MRU-first per set; `INVALID_LINE` empty.
+    ways: Vec<u64>,
+    /// Dirty flags, parallel to `ways`.
+    dirty: Vec<bool>,
+}
+
+impl ShadowLevel {
+    fn snapshot(&self) -> (Vec<u64>, Vec<bool>) {
+        (self.ways.clone(), self.dirty.clone())
+    }
+
+    fn restore(&mut self, snap: &(Vec<u64>, Vec<bool>)) {
+        self.ways.copy_from_slice(&snap.0);
+        self.dirty.copy_from_slice(&snap.1);
+    }
+
+    fn matches(&self, snap: &(Vec<u64>, Vec<bool>)) -> bool {
+        self.ways == snap.0 && self.dirty == snap.1
+    }
+}
+
+/// One reference's dwell interval within one column, at L1 line
+/// granularity, in nest-walk time order.
+struct ColumnRef {
+    lo: u64,
+    hi: u64,
+    /// True when the sweep runs high-to-low (negative innermost delta).
+    reversed: bool,
+    write: bool,
+}
+
+/// Memoized per-descriptor geometry and steady-state snapshots.
+struct Memo {
+    desc: NestDescriptor,
+    /// Certification outcome: the dwell program, or why it can't close.
+    program: Result<NestProgram, FallbackReason>,
+    snaps: Vec<Snapshot>,
+}
+
+/// How a certified-safe nest executes.
+enum Mode {
+    /// Walk the dwell program against the shadow store (closed form).
+    Close,
+    /// Replay concretely (the stated reason forbids the closed form), but
+    /// memoize the state transition so repeat sweeps skip the replay.
+    Replay(FallbackReason),
+}
+
+struct NestProgram {
+    total: u64,
+    /// Dwell intervals in time order; empty under [`Mode::Replay`].
+    cols: Vec<ColumnRef>,
+    mode: Mode,
+}
+
+/// A proven state transition: entry state → exit state with these
+/// per-level `(accesses, misses, writebacks)` deltas.
+struct Snapshot {
+    entry: Vec<(Vec<u64>, Vec<bool>)>,
+    exit: Vec<(Vec<u64>, Vec<bool>)>,
+    deltas: Vec<(u64, u64, u64)>,
+}
+
+// ---------------------------------------------------------------------------
+// The sink.
+// ---------------------------------------------------------------------------
+
+/// [`AccessSink`] wrapper that closes certified affine nests in closed form
+/// and replays everything else through the wrapped [`Hierarchy`].
+///
+/// Counters on the hierarchy are always exact; tag-array *contents* lag
+/// behind the shadow store while nests close and are written back bitwise
+/// by [`AnalyticSink::materialize_state`] (which runs automatically before
+/// any replayed access touches the hierarchy).
+pub struct AnalyticSink<'h> {
+    h: &'h mut Hierarchy,
+    levels: Vec<ShadowLevel>,
+    memo: Vec<Memo>,
+    /// The hierarchy's tag arrays lag behind the shadow store.
+    concrete_stale: bool,
+    /// The shadow store lags behind the hierarchy (after replayed nests).
+    shadow_stale: bool,
+    /// False when the hierarchy prefetches or a level is unsupported:
+    /// decline everything without touching the shadow.
+    enabled: bool,
+    closed: u64,
+    fallback: u64,
+}
+
+impl<'h> AnalyticSink<'h> {
+    /// Wrap a hierarchy. Works on any entry state; the shadow store is
+    /// seeded from the current contents.
+    pub fn new(h: &'h mut Hierarchy) -> Self {
+        let supported = !h.prefetch_enabled()
+            && h.caches().iter().all(|c| {
+                let cfg = c.config();
+                cfg.associativity == 1
+                    || cfg.replacement != mlc_cache_sim::ReplacementPolicy::Random
+            })
+            && h.caches()
+                .windows(2)
+                .all(|w| w[0].config().line <= w[1].config().line);
+        let levels = h
+            .caches()
+            .iter()
+            .map(|c| {
+                let cfg = c.config();
+                ShadowLevel {
+                    line_shift: cfg.line.trailing_zeros(),
+                    set_mask: cfg.num_sets() as u64 - 1,
+                    sets: cfg.num_sets(),
+                    assoc: cfg.associativity,
+                    promote_on_hit: cfg.replacement.promote_on_hit(),
+                    ways: vec![INVALID_LINE; cfg.num_sets() * cfg.associativity],
+                    dirty: vec![false; cfg.num_sets() * cfg.associativity],
+                }
+            })
+            .collect();
+        let mut sink = Self {
+            h,
+            levels,
+            memo: Vec::new(),
+            concrete_stale: false,
+            shadow_stale: true,
+            enabled: supported,
+            closed: 0,
+            fallback: 0,
+        };
+        if sink.enabled {
+            sink.resync_shadow();
+        }
+        sink
+    }
+
+    /// Nests this sink closed in closed form.
+    pub fn nests_closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Nests offered to this sink that fell back to replay.
+    pub fn nests_fallback(&self) -> u64 {
+        self.fallback
+    }
+
+    /// Zero the wrapped hierarchy's counters (the steady protocol's
+    /// warmup/timed boundary). Shadow state persists, exactly as concrete
+    /// state does under replay.
+    pub fn reset_stats(&mut self) {
+        self.h.reset_stats();
+    }
+
+    /// Write the shadow store back into the hierarchy's tag arrays so
+    /// contents, dirty bits and recency order are the bitwise image of a
+    /// full replay. No-op when nothing lags.
+    pub fn materialize_state(&mut self) {
+        if !self.concrete_stale {
+            return;
+        }
+        let mut lines: Vec<(u64, bool)> = Vec::new();
+        for (lvl, cache) in self.levels.iter().zip(self.h.caches_mut()) {
+            for set in 0..lvl.sets {
+                lines.clear();
+                let base = set * lvl.assoc;
+                for w in 0..lvl.assoc {
+                    let line = lvl.ways[base + w];
+                    if line == INVALID_LINE {
+                        break; // valid lines are a contiguous MRU prefix
+                    }
+                    lines.push((line << lvl.line_shift, lvl.dirty[base + w]));
+                }
+                cache.overwrite_set(set, &lines);
+            }
+        }
+        self.concrete_stale = false;
+    }
+
+    /// Rebuild the shadow store from the hierarchy's concrete contents
+    /// (after replayed nests mutated them).
+    fn resync_shadow(&mut self) {
+        for (lvl, cache) in self.levels.iter_mut().zip(self.h.caches()) {
+            lvl.ways.fill(INVALID_LINE);
+            lvl.dirty.fill(false);
+            for set in 0..lvl.sets {
+                let base = set * lvl.assoc;
+                for (w, (addr, dirty)) in cache.set_contents(set).enumerate() {
+                    lvl.ways[base + w] = addr >> lvl.line_shift;
+                    lvl.dirty[base + w] = dirty;
+                }
+            }
+        }
+        self.shadow_stale = false;
+    }
+
+    /// Build (or fetch) the memo slot for a descriptor.
+    fn memo_index(&mut self, desc: &NestDescriptor) -> usize {
+        if let Some(i) = self.memo.iter().position(|m| m.desc == *desc) {
+            return i;
+        }
+        let program = compile_nest(desc, &self.levels);
+        if self.memo.len() >= MAX_MEMO_NESTS {
+            self.memo.remove(0);
+        }
+        self.memo.push(Memo {
+            desc: desc.clone(),
+            program,
+            snaps: Vec::new(),
+        });
+        self.memo.len() - 1
+    }
+
+    /// Attempt to close the nest; `Some(total)` on success.
+    fn try_close(&mut self, desc: &NestDescriptor) -> Option<u64> {
+        if !self.enabled {
+            self.fallback += 1;
+            bump_fallback(if self.h.prefetch_enabled() {
+                FallbackReason::Prefetch
+            } else {
+                FallbackReason::Policy
+            });
+            return None;
+        }
+        let mi = self.memo_index(desc);
+        let total = match &self.memo[mi].program {
+            Ok(p) => p.total,
+            Err(r) => {
+                let r = *r;
+                self.fallback += 1;
+                bump_fallback(r);
+                return None;
+            }
+        };
+        if self.shadow_stale {
+            self.resync_shadow();
+        }
+        // Steady-state fast path: a proven transition from this exact
+        // state (closed *or* replayed — determinism makes both exact).
+        if let Some(si) = self.memo[mi]
+            .snaps
+            .iter()
+            .position(|s| self.levels.iter().zip(&s.entry).all(|(l, e)| l.matches(e)))
+        {
+            let memo = &self.memo[mi];
+            let snap = &memo.snaps[si];
+            for (lvl, exit) in self.levels.iter_mut().zip(&snap.exit) {
+                lvl.restore(exit);
+            }
+            for (c, &(a, m, w)) in self.h.caches_mut().iter_mut().zip(&snap.deltas) {
+                c.account_analytic(a, m, w);
+            }
+            self.concrete_stale = true;
+            self.closed += 1;
+            NESTS_CLOSED.fetch_add(1, Ordering::Relaxed);
+            ACCESSES_CLOSED.fetch_add(total, Ordering::Relaxed);
+            return Some(total);
+        }
+        let memoize = total >= MIN_MEMO_ACCESSES;
+        let entry: Vec<_> = if memoize {
+            self.levels.iter().map(|l| l.snapshot()).collect()
+        } else {
+            Vec::new()
+        };
+        let replay_reason = match &self.memo[mi].program {
+            Ok(NestProgram {
+                mode: Mode::Replay(r),
+                ..
+            }) => Some(*r),
+            _ => None,
+        };
+        let deltas = if let Some(reason) = replay_reason {
+            // Ordering certificate failed: replay concretely, but record
+            // the state transition so repeat sweeps from the same state
+            // skip the replay entirely.
+            self.materialize_state();
+            let before: Vec<_> = self
+                .h
+                .caches()
+                .iter()
+                .map(|c| (c.accesses(), c.misses(), c.writebacks()))
+                .collect();
+            expand_replay(desc, self.h);
+            let deltas: Vec<_> = self
+                .h
+                .caches()
+                .iter()
+                .zip(&before)
+                .map(|(c, &(a, m, w))| (c.accesses() - a, c.misses() - m, c.writebacks() - w))
+                .collect();
+            self.shadow_stale = true;
+            if memoize {
+                self.resync_shadow();
+            }
+            self.fallback += 1;
+            bump_fallback(reason);
+            deltas
+        } else {
+            let program = self.memo[mi].program.as_ref().expect("checked above");
+            let deltas = run_program(program, &mut self.levels);
+            for (c, &(a, m, w)) in self.h.caches_mut().iter_mut().zip(&deltas) {
+                c.account_analytic(a, m, w);
+            }
+            self.concrete_stale = true;
+            self.closed += 1;
+            NESTS_CLOSED.fetch_add(1, Ordering::Relaxed);
+            ACCESSES_CLOSED.fetch_add(total, Ordering::Relaxed);
+            deltas
+        };
+        if memoize {
+            let exit: Vec<_> = self.levels.iter().map(|l| l.snapshot()).collect();
+            let memo = &mut self.memo[mi];
+            if memo.snaps.len() >= MAX_SNAPSHOTS {
+                memo.snaps.remove(0);
+            }
+            memo.snaps.push(Snapshot {
+                entry,
+                exit,
+                deltas,
+            });
+        }
+        Some(total)
+    }
+}
+
+impl AccessSink for AnalyticSink<'_> {
+    fn access(&mut self, access: Access) {
+        self.materialize_state();
+        self.shadow_stale = true;
+        self.h.access(access);
+    }
+
+    fn nest(&mut self, desc: &NestDescriptor) -> Option<u64> {
+        self.try_close(desc)
+    }
+
+    fn run(&mut self, run: Run) {
+        self.materialize_state();
+        self.shadow_stale = true;
+        self.h.run(run);
+    }
+
+    fn run_group(&mut self, runs: &[Run]) {
+        self.materialize_state();
+        self.shadow_stale = true;
+        self.h.run_group(runs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Certification: descriptor → dwell program.
+// ---------------------------------------------------------------------------
+
+/// Compile a descriptor into its time-ordered dwell program, or the reason
+/// it cannot run analytically at all. Pure geometry — independent of cache
+/// state. Nests whose per-column ordering is uncertifiable (wide strides,
+/// interleaving columns) come back as [`Mode::Replay`] — still fully
+/// address-verified, so the sink may replay them itself and memoize the
+/// state transition.
+fn compile_nest(
+    desc: &NestDescriptor,
+    levels: &[ShadowLevel],
+) -> Result<NestProgram, FallbackReason> {
+    let total = desc
+        .trips
+        .iter()
+        .try_fold(1u64, |a, &t| a.checked_mul(t))
+        .and_then(|t| t.checked_mul(desc.refs.len() as u64))
+        .ok_or(FallbackReason::Overflow)?;
+    let l1_shift = levels[0].line_shift;
+    let min_line = 1i128 << levels.iter().map(|l| l.line_shift).min().unwrap_or(0);
+
+    // The innermost non-trivial dimension is the dwell dimension for every
+    // reference; trailing trip-1 dimensions are inert.
+    let inner = (0..desc.trips.len()).rev().find(|&d| desc.trips[d] > 1);
+    let (inner_trip, outer): (u64, Vec<usize>) = match inner {
+        Some(d) => (
+            desc.trips[d],
+            (0..desc.trips.len())
+                .filter(|&o| o != d && desc.trips[o] > 1)
+                .collect(),
+        ),
+        None => (1, Vec::new()),
+    };
+    let wide = desc.refs.iter().any(|r| {
+        let s = inner.map_or(0, |d| r.deltas[d]);
+        (s as i128).abs() > min_line
+    });
+    let columns = outer
+        .iter()
+        .try_fold(1u64, |a, &d| a.checked_mul(desc.trips[d]))
+        .ok_or(FallbackReason::TooManyColumns)?;
+    let refs = desc.refs.len() as u64;
+    if columns
+        .checked_mul(refs)
+        .is_none_or(|n| n > MAX_COLUMN_REFS)
+    {
+        return Err(FallbackReason::TooManyColumns);
+    }
+
+    let mut cols = Vec::with_capacity((columns * refs) as usize);
+    let mut interleaved = false;
+    // Per-reference byte bounds of the current column, for the pairwise
+    // interleave certificate.
+    let mut bounds: Vec<(i128, i128)> = vec![(0, 0); desc.refs.len()];
+    let mut idx = vec![0u64; outer.len()];
+    loop {
+        for (ri, r) in desc.refs.iter().enumerate() {
+            let mut base = r.start as i128;
+            for (k, &d) in outer.iter().enumerate() {
+                base += r.deltas[d] as i128 * idx[k] as i128;
+            }
+            let s = inner.map_or(0, |d| r.deltas[d]) as i128;
+            let span = s * (inner_trip as i128 - 1);
+            let (lo, hi) = if span >= 0 {
+                (base, base + span)
+            } else {
+                (base + span, base)
+            };
+            // The column's addresses all lie in [lo, hi] (monotone sweep),
+            // so this one check address-verifies the whole column — it must
+            // run for *every* column even once the nest is known to be
+            // replay-only, because the sink's own replay relies on it.
+            if lo < 0 || hi > u64::MAX as i128 {
+                return Err(FallbackReason::Overflow);
+            }
+            bounds[ri] = (lo, hi);
+            if !wide {
+                cols.push(ColumnRef {
+                    lo: (lo as u64) >> l1_shift,
+                    hi: (hi as u64) >> l1_shift,
+                    reversed: span < 0,
+                    write: r.kind == mlc_cache_sim::trace::AccessKind::Write,
+                });
+            }
+        }
+        // Interleave certificate: two references may share this column only
+        // if, at every level, no line of one maps to the same set as a
+        // different line of the other. Lines are the contiguous intervals
+        // [lo, hi] >> shift; a collision exists iff the difference range
+        // contains a non-zero multiple of the set count. Sharing the *same*
+        // line commutes (one miss, dirty = OR of the writes) — except when
+        // the sharers disagree on access kind at any level above the last:
+        // only the temporally first toucher of a shared line descends past
+        // it, so the kind installed below depends on the interleaving,
+        // which serialized processing cannot know. (Last-level sharing is
+        // safe: every sharer descends into it, and dirty bits OR.)
+        let share_shift = levels[levels.len().saturating_sub(2)].line_shift;
+        'pairs: for i in 0..bounds.len() {
+            if wide || interleaved {
+                break;
+            }
+            for j in i + 1..bounds.len() {
+                let (alo1, ahi1) = (bounds[i].0 >> share_shift, bounds[i].1 >> share_shift);
+                let (blo1, bhi1) = (bounds[j].0 >> share_shift, bounds[j].1 >> share_shift);
+                if alo1 <= bhi1 && blo1 <= ahi1 && desc.refs[i].kind != desc.refs[j].kind {
+                    interleaved = true;
+                    break 'pairs;
+                }
+                for lvl in levels {
+                    let sh = lvl.line_shift;
+                    let sets = (lvl.set_mask + 1) as i128;
+                    let (alo, ahi) = (bounds[i].0 >> sh, bounds[i].1 >> sh);
+                    let (blo, bhi) = (bounds[j].0 >> sh, bounds[j].1 >> sh);
+                    // Line differences span [alo−bhi, ahi−blo]; a non-zero
+                    // multiple of the set count inside that integer range
+                    // is a cross-line set collision.
+                    let k_max = (ahi - blo).div_euclid(sets);
+                    let k_min = -(-(alo - bhi)).div_euclid(sets);
+                    if k_max >= k_min && (k_max >= 1 || k_min <= -1) {
+                        interleaved = true;
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+        // Odometer over the outer dimensions, last one fastest (nest-walk
+        // time order).
+        let mut k = outer.len();
+        loop {
+            if k == 0 {
+                let mode = if wide {
+                    Mode::Replay(FallbackReason::WideStride)
+                } else if interleaved {
+                    Mode::Replay(FallbackReason::Interleave)
+                } else {
+                    Mode::Close
+                };
+                if matches!(mode, Mode::Replay(_)) {
+                    cols.clear();
+                }
+                return Ok(NestProgram { total, cols, mode });
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < desc.trips[outer[k]] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Replay a descriptor concretely through the hierarchy, emitting exactly
+/// the run groups the trace walker would: one group of parallel strided
+/// runs per innermost invocation, outer dimensions in odometer (time)
+/// order. Addresses were verified in range by [`compile_nest`].
+fn expand_replay(desc: &NestDescriptor, h: &mut Hierarchy) {
+    let dims = desc.trips.len();
+    let (inner_trip, inner_dim) = (desc.trips[dims - 1], dims - 1);
+    let mut idx = vec![0u64; dims - 1];
+    let mut runs: Vec<Run> = Vec::with_capacity(desc.refs.len());
+    loop {
+        runs.clear();
+        runs.extend(desc.refs.iter().map(|r| {
+            let mut start = r.start as i64;
+            for (d, &v) in idx.iter().enumerate() {
+                start += r.deltas[d] * v as i64;
+            }
+            Run {
+                start: start as u64,
+                stride: r.deltas[inner_dim],
+                count: inner_trip,
+                kind: r.kind,
+            }
+        }));
+        if let [run] = runs.as_slice() {
+            h.run(*run);
+        } else {
+            h.run_group(&runs);
+        }
+        let mut k = idx.len();
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < desc.trips[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution: dwell program → per-level counter deltas.
+// ---------------------------------------------------------------------------
+
+/// Walk the dwell program against the shadow store, returning per-level
+/// `(accesses, misses, writebacks)`. Mirrors the simulator's transition
+/// function exactly, one probe per line-dwell.
+fn run_program(prog: &NestProgram, levels: &mut [ShadowLevel]) -> Vec<(u64, u64, u64)> {
+    let mut stats = vec![(0u64, 0u64, 0u64); levels.len()];
+    stats[0].0 = prog.total;
+    for col in &prog.cols {
+        let mut line = if col.reversed { col.hi } else { col.lo };
+        let count = col.hi - col.lo + 1;
+        for _ in 0..count {
+            probe(levels, &mut stats, line, col.write);
+            if col.reversed {
+                line = line.wrapping_sub(1);
+            } else {
+                line += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// One line-dwell probe: descend the hierarchy, installing on misses,
+/// exactly like `Cache::access_kind` does per access.
+#[inline]
+fn probe(levels: &mut [ShadowLevel], stats: &mut [(u64, u64, u64)], l1_line: u64, write: bool) {
+    let l1_shift = levels[0].line_shift;
+    for (i, lvl) in levels.iter_mut().enumerate() {
+        if i > 0 {
+            stats[i].0 += 1;
+        }
+        let line = l1_line >> (lvl.line_shift - l1_shift);
+        let set = (line & lvl.set_mask) as usize;
+        let base = set * lvl.assoc;
+        if lvl.assoc == 1 {
+            if lvl.ways[base] == line {
+                lvl.dirty[base] |= write;
+                return;
+            }
+            stats[i].1 += 1;
+            if lvl.ways[base] != INVALID_LINE && lvl.dirty[base] {
+                stats[i].2 += 1;
+            }
+            lvl.ways[base] = line;
+            lvl.dirty[base] = write;
+            continue;
+        }
+        let ways = &mut lvl.ways[base..base + lvl.assoc];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            if lvl.promote_on_hit && pos != 0 {
+                ways[..=pos].rotate_right(1);
+                lvl.dirty[base..=base + pos].rotate_right(1);
+            }
+            let at = if lvl.promote_on_hit { base } else { base + pos };
+            lvl.dirty[at] |= write;
+            return;
+        }
+        stats[i].1 += 1;
+        let victim = lvl.assoc - 1;
+        if ways[victim] != INVALID_LINE && lvl.dirty[base + victim] {
+            stats[i].2 += 1;
+        }
+        ways[victim] = line;
+        lvl.dirty[base + victim] = write;
+        lvl.ways[base..=base + victim].rotate_right(1);
+        lvl.dirty[base..=base + victim].rotate_right(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience drivers mirroring `mlc_model::trace_gen`.
+// ---------------------------------------------------------------------------
+
+/// [`mlc_model::trace_gen::try_simulate_with`] with the analytic engine in
+/// front: cold hierarchy, one program sweep, paper-style report. Bitwise
+/// identical to replay (the closed form only accepts where it is exact).
+pub fn try_simulate_analytic(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+) -> Result<MissRateReport, TraceError> {
+    let mut h = Hierarchy::new(config.clone());
+    let mut sink = AnalyticSink::new(&mut h);
+    try_generate_with(program, layout, &mut sink, true)?;
+    drop(sink);
+    Ok(h.report())
+}
+
+/// [`mlc_model::trace_gen::try_simulate_steady_with`] with the analytic
+/// engine in front: `warmup` uncounted sweeps, a stats reset, then `timed`
+/// counted sweeps, all against one persistent (shadowed) cache state.
+pub fn try_simulate_steady_analytic(
+    program: &Program,
+    layout: &DataLayout,
+    config: &HierarchyConfig,
+    warmup: usize,
+    timed: usize,
+) -> Result<MissRateReport, TraceError> {
+    let mut h = Hierarchy::new(config.clone());
+    let mut sink = AnalyticSink::new(&mut h);
+    for _ in 0..warmup {
+        try_generate_with(program, layout, &mut sink, true)?;
+    }
+    sink.reset_stats();
+    for _ in 0..timed {
+        try_generate_with(program, layout, &mut sink, true)?;
+    }
+    drop(sink);
+    Ok(h.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlc_model::prelude::*;
+    use mlc_model::trace_gen::{try_simulate_steady_with, try_simulate_with};
+
+    fn stencil_program(n: usize, pad: i64) -> (Program, DataLayout) {
+        let mut p = Program::new("stencil");
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
+        p.add_nest(LoopNest::new(
+            "sweep",
+            vec![
+                Loop::counted("j", 1, n as i64 - 2),
+                Loop::counted("i", 1, n as i64 - 2),
+            ],
+            vec![
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ArrayRef::read(a, vec![AffineExpr::var_plus("i", 1), AffineExpr::var("j")]),
+                ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var_plus("j", 1)]),
+                ArrayRef::write(b, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+            ],
+        ));
+        let mut l = DataLayout::contiguous(&p.arrays);
+        if pad != 0 {
+            let bytes = l.bases[b] as i64 + pad;
+            l.bases[b] = bytes as u64;
+        }
+        (p, l)
+    }
+
+    #[test]
+    fn closes_padded_stencil_bitwise() {
+        // 64×64 f64 arrays: 32 KB each, far beyond the 16 KB L1 — evictions
+        // happen and must be modeled, not forbidden. A +2 KB pad moves B's
+        // rows fully out of the A rows' set windows so the interleave
+        // certificate passes.
+        let (p, l) = stencil_program(64, 2048);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let analytic = try_simulate_analytic(&p, &l, &cfg).unwrap();
+        let replay = try_simulate_with(&p, &l, &cfg, true).unwrap();
+        assert_eq!(analytic, replay);
+        let mut h = Hierarchy::new(cfg.clone());
+        let mut sink = AnalyticSink::new(&mut h);
+        try_generate_with(&p, &l, &mut sink, true).unwrap();
+        assert_eq!(sink.nests_closed(), 1, "padded stencil should close");
+        assert_eq!(sink.nests_fallback(), 0);
+    }
+
+    #[test]
+    fn conflicting_layout_falls_back_and_stays_bitwise() {
+        // Contiguous 32 KB arrays collide on every L1 set (32 KB ≡ 0 mod
+        // the 16 KB way span): the interleave certificate must refuse and
+        // the replay fallback must keep the report bitwise.
+        let (p, l) = stencil_program(64, 0);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let mut h = Hierarchy::new(cfg.clone());
+        let mut sink = AnalyticSink::new(&mut h);
+        try_generate_with(&p, &l, &mut sink, true).unwrap();
+        assert_eq!(sink.nests_closed(), 0, "lockstep collision must decline");
+        assert_eq!(sink.nests_fallback(), 1);
+        drop(sink);
+        let replay = try_simulate_with(&p, &l, &cfg, true).unwrap();
+        assert_eq!(h.report(), replay);
+    }
+
+    #[test]
+    fn steady_resweep_is_bitwise_too() {
+        let (p, l) = stencil_program(32, 256);
+        for cfg in [
+            HierarchyConfig::ultrasparc_i(),
+            HierarchyConfig::alpha_21164_like(),
+        ] {
+            let analytic = try_simulate_steady_analytic(&p, &l, &cfg, 2, 3).unwrap();
+            let replay = try_simulate_steady_with(&p, &l, &cfg, 2, 3, true).unwrap();
+            assert_eq!(analytic, replay);
+        }
+    }
+
+    #[test]
+    fn materialization_restores_bitwise_state() {
+        let (p, l) = stencil_program(32, 256);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let mut ha = Hierarchy::new(cfg.clone());
+        {
+            let mut sink = AnalyticSink::new(&mut ha);
+            try_generate_with(&p, &l, &mut sink, true).unwrap();
+            assert!(sink.nests_closed() > 0);
+            sink.materialize_state();
+        }
+        let mut hr = Hierarchy::new(cfg.clone());
+        try_generate_with(&p, &l, &mut hr, true).unwrap();
+        assert_eq!(ha.report(), hr.report());
+        for (ca, cr) in ha.caches().iter().zip(hr.caches()) {
+            for set in 0..ca.config().num_sets() {
+                let a: Vec<_> = ca.set_contents(set).collect();
+                let r: Vec<_> = cr.set_contents(set).collect();
+                assert_eq!(a, r, "set {set} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn associative_lru_levels_close() {
+        let (p, l) = stencil_program(48, 320);
+        let cfg = HierarchyConfig::ultrasparc_like_assoc(4);
+        let analytic = try_simulate_analytic(&p, &l, &cfg).unwrap();
+        let replay = try_simulate_with(&p, &l, &cfg, true).unwrap();
+        assert_eq!(analytic, replay);
+    }
+
+    #[test]
+    fn conflicting_layout_memoizes_after_replaying() {
+        // The interleave-rejected nest replays concretely on the first two
+        // sweeps (cold entry, then post-sweep entry) and every later sweep
+        // is a memo hit — bitwise equal to replaying all of them.
+        let (p, l) = stencil_program(64, 0);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let mut h = Hierarchy::new(cfg.clone());
+        let mut sink = AnalyticSink::new(&mut h);
+        for _ in 0..8 {
+            try_generate_with(&p, &l, &mut sink, true).unwrap();
+        }
+        assert_eq!(sink.nests_fallback(), 2, "replay only until state repeats");
+        assert_eq!(sink.nests_closed(), 6, "repeat sweeps are memo hits");
+        sink.materialize_state();
+        drop(sink);
+        let mut hr = Hierarchy::new(cfg);
+        for _ in 0..8 {
+            try_generate_with(&p, &l, &mut hr, true).unwrap();
+        }
+        assert_eq!(h.report(), hr.report());
+        for (ca, cr) in h.caches().iter().zip(hr.caches()) {
+            for set in 0..ca.config().num_sets() {
+                assert_eq!(
+                    ca.set_contents(set).collect::<Vec<_>>(),
+                    cr.set_contents(set).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// One-nest helper for the edge-case programs below.
+    fn one_nest(
+        n: usize,
+        loops: Vec<Loop>,
+        build: impl Fn(usize, usize) -> Vec<ArrayRef>,
+    ) -> (Program, DataLayout) {
+        let mut p = Program::new("edge");
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
+        p.add_nest(LoopNest::new("nest", loops, build(a, b)));
+        let l = DataLayout::contiguous(&p.arrays);
+        (p, l)
+    }
+
+    /// Edge geometries must stay bitwise against the *scalar* replay (the
+    /// strictest oracle), cold and steady (including warmup = 0).
+    fn assert_edge_bitwise(p: &Program, l: &DataLayout) {
+        for cfg in [
+            HierarchyConfig::ultrasparc_i(),
+            HierarchyConfig::alpha_21164_like(),
+            HierarchyConfig::ultrasparc_like_assoc(4),
+        ] {
+            let analytic = try_simulate_analytic(p, l, &cfg).unwrap();
+            let scalar = try_simulate_with(p, l, &cfg, false).unwrap();
+            assert_eq!(analytic, scalar, "cold diverges on {cfg:?}");
+            for (warmup, timed) in [(0, 1), (0, 3), (1, 2)] {
+                let analytic = try_simulate_steady_analytic(p, l, &cfg, warmup, timed).unwrap();
+                let scalar = try_simulate_steady_with(p, l, &cfg, warmup, timed, false).unwrap();
+                assert_eq!(
+                    analytic, scalar,
+                    "steady w={warmup} t={timed} diverges on {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_iteration_nest_is_bitwise() {
+        // Every loop runs exactly once: one column, one access per ref.
+        let (p, l) = one_nest(
+            8,
+            vec![Loop::counted("j", 3, 3), Loop::counted("i", 5, 5)],
+            |a, b| {
+                vec![
+                    ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                    ArrayRef::write(b, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ]
+            },
+        );
+        assert_edge_bitwise(&p, &l);
+    }
+
+    #[test]
+    fn extent_smaller_than_cache_line_is_bitwise() {
+        // The whole innermost sweep (3 f64s) fits inside one 32 B line:
+        // every column is a single dwell.
+        let (p, l) = one_nest(
+            16,
+            vec![Loop::counted("j", 0, 15), Loop::counted("i", 0, 2)],
+            |a, b| {
+                vec![
+                    ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                    ArrayRef::write(b, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ]
+            },
+        );
+        assert_edge_bitwise(&p, &l);
+    }
+
+    #[test]
+    fn stride_beyond_way_size_is_bitwise() {
+        // Row-index innermost: 8·n-byte stride, far wider than any line —
+        // the wide-stride path must replay (memoized) and stay bitwise.
+        let n = 80; // 640 B pitch, beyond the 512-set × 32 B L1 way span / n
+        let (p, l) = one_nest(
+            n,
+            vec![
+                Loop::counted("i", 0, n as i64 - 1),
+                Loop::counted("j", 0, n as i64 - 1),
+            ],
+            |a, b| {
+                vec![
+                    ArrayRef::read(a, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                    ArrayRef::write(b, vec![AffineExpr::var("i"), AffineExpr::var("j")]),
+                ]
+            },
+        );
+        assert_edge_bitwise(&p, &l);
+    }
+
+    #[test]
+    fn steady_sweeps_hit_the_snapshot_memo() {
+        let (p, l) = stencil_program(64, 2048);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let mut h = Hierarchy::new(cfg);
+        let mut sink = AnalyticSink::new(&mut h);
+        for _ in 0..6 {
+            try_generate_with(&p, &l, &mut sink, true).unwrap();
+        }
+        assert_eq!(sink.nests_closed(), 6);
+        // Fixed point after the first sweep: exactly two distinct entry
+        // states (cold and converged) were ever walked.
+        assert!(sink.memo[0].snaps.len() <= 2, "steady state should memoize");
+    }
+}

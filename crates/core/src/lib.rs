@@ -42,6 +42,12 @@
 //! * [`par`] — `par_map`, the thin order-preserving compatibility wrapper
 //!   over [`exec`] shared by the candidate scans and sweep drivers, plus
 //!   the `MLC_THREADS`-aware `default_threads`.
+//! * [`analytic`] — the closed-form nest engine: certified affine loop
+//!   nests collapse to one shadow-state probe per line-dwell (evictions
+//!   modeled exactly, steady sweeps memoized as state-transition
+//!   snapshots) instead of being replayed access by access, with lazy
+//!   materialization keeping the concrete cache state bitwise exact on
+//!   the analytic/replay boundary.
 //! * [`rescache`] — content-addressed, persistent memoization of
 //!   simulation results: stable cache keys over program + layout +
 //!   hierarchy + protocol + version salt, a checksummed one-file-per-
@@ -49,6 +55,7 @@
 //!   and a sharded in-memory front that coalesces concurrent work on one
 //!   key to a single compute and store.
 
+pub mod analytic;
 pub mod conflict;
 pub mod cost;
 pub mod estimate;
@@ -67,6 +74,11 @@ pub mod rescache;
 pub mod search;
 pub mod tiling;
 
+pub use analytic::{
+    install_metrics as install_analytic_metrics, take_stats as take_analytic_stats,
+    try_simulate_analytic, try_simulate_steady_analytic, AnalyticSink, AnalyticStats,
+    FallbackReason,
+};
 pub use conflict::severe_conflicts;
 pub use cost::MissCosts;
 pub use estimate::{estimate_misses, estimated_cost, MissEstimate};

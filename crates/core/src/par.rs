@@ -27,13 +27,42 @@ where
     crate::exec::execute(items, threads, f).0
 }
 
+/// Process-wide thread-count override (0 = none). Set from CLI `--threads`
+/// flags so an explicit flag beats the `MLC_THREADS` environment variable
+/// everywhere — including nested uses like the padding search's candidate
+/// scans, which consult [`default_threads`] well below the CLI layer.
+/// Without this, `MLC_THREADS` set in the environment silently won over
+/// the `--threads` ladder value inside `sweep_scaling`'s legs.
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Pin (or with `None` release) the process-wide thread count consulted by
+/// [`default_threads`]. CLI entry points call this after parsing
+/// `--threads`, giving the explicit flag precedence over `MLC_THREADS`.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(
+        threads.map(|n| n.max(1)).unwrap_or(0),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The active [`set_thread_override`] value, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
 /// Number of worker threads to use for parallel sweeps.
 ///
-/// Honors the `MLC_THREADS` environment variable when it holds a positive
-/// integer (`0` clamps to 1), so CI and sharded runs can pin parallelism
-/// without per-binary flags; otherwise the machine's available
-/// parallelism.
+/// Precedence: an explicit [`set_thread_override`] (CLI `--threads`), then
+/// the `MLC_THREADS` environment variable when it holds a positive integer
+/// (`0` clamps to 1, so CI and sharded runs can pin parallelism without
+/// per-binary flags), then the machine's available parallelism.
 pub fn default_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n;
+    }
     match env_threads(std::env::var("MLC_THREADS").ok().as_deref()) {
         Some(n) => n,
         None => std::thread::available_parallelism()
@@ -141,6 +170,22 @@ mod tests {
         assert_eq!(default_threads(), 3);
         std::env::set_var("MLC_THREADS", "0");
         assert_eq!(default_threads(), 1);
+        std::env::remove_var("MLC_THREADS");
+        assert!(default_threads() >= 1);
+
+        // A CLI --threads value pinned via set_thread_override must win
+        // over MLC_THREADS — the sweep_scaling ladder runs each leg at its
+        // own count even when the env var is set. Both knobs are
+        // process-global, so this stays in the same #[test] as the env
+        // assertions above rather than racing them from a parallel runner.
+        std::env::set_var("MLC_THREADS", "7");
+        set_thread_override(Some(2));
+        assert_eq!(default_threads(), 2, "--threads beats MLC_THREADS");
+        assert_eq!(thread_override(), Some(2));
+        set_thread_override(Some(0));
+        assert_eq!(default_threads(), 1, "override clamps to >= 1");
+        set_thread_override(None);
+        assert_eq!(default_threads(), 7, "released override falls back to env");
         std::env::remove_var("MLC_THREADS");
         assert!(default_threads() >= 1);
     }

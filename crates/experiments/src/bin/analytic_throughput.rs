@@ -1,0 +1,351 @@
+//! Timed A/B harness for the analytic closed-form nest engine.
+//!
+//! Runs steady-state simulations twice — once through the run-length
+//! replay fast path and once with [`mlc_core::analytic`] in front — and
+//! reports simulated references/second for both, writing the snapshot as
+//! JSON (default `BENCH_analytic_throughput.json`; CI archives it). The
+//! two paths are differentially tested bitwise identical, and this
+//! harness re-asserts report equality on every case before trusting the
+//! clock.
+//!
+//! The headline sweep uses the protocol the engine was built for: padded
+//! iterative kernels under many timed sweeps, where certified nests close
+//! without replaying and the steady-state memo turns repeat sweeps into
+//! snapshot restores. One contiguous-layout case rides in the sweep to
+//! cover the second tier (uncertifiable nests replaying once, then memo).
+//! Controls excluded from the headline mean pin the floor: a
+//! random-replacement hierarchy the engine must decline (~1x), and a
+//! single cold sweep where nothing amortizes (~1x).
+//!
+//! Besides the snapshot, every run appends per-case and headline entries
+//! to the `results/bench_history/` ledger under family
+//! `analytic_throughput` (`--history-dir` / `--no-history`; see
+//! `docs/BENCHMARKS.md`).
+//!
+//! ```text
+//! analytic_throughput [--out PATH] [--reps N] [--timed N]
+//!                     [--history-dir PATH] [--no-history]
+//! ```
+
+use mlc_cache_sim::config::CacheConfig;
+use mlc_cache_sim::replacement::ReplacementPolicy;
+use mlc_cache_sim::HierarchyConfig;
+use mlc_core::try_simulate_steady_analytic;
+use mlc_experiments::history_cli::HistoryCli;
+use mlc_experiments::versions::{build_versions, OptLevel};
+use mlc_kernels::expl::Expl;
+use mlc_kernels::jacobi::Jacobi;
+use mlc_kernels::shal::Shallow;
+use mlc_kernels::Kernel;
+use mlc_model::trace_gen::simulate_steady_with;
+use mlc_model::{DataLayout, Program};
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    hierarchy: &'static str,
+    layout: &'static str,
+    warmup: usize,
+    timed: usize,
+    /// Whether the case is part of the headline sweep or a fallback
+    /// control kept out of the mean.
+    in_sweep: bool,
+    /// Timed references (timed sweeps only, matching the steady report).
+    references: u64,
+    replay_secs: f64,
+    analytic_secs: f64,
+}
+
+impl Case {
+    fn replay_rate(&self) -> f64 {
+        self.references as f64 / self.replay_secs
+    }
+    fn analytic_rate(&self) -> f64 {
+        self.references as f64 / self.analytic_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.replay_secs / self.analytic_secs
+    }
+}
+
+/// Best-of-`reps` wall time for both paths, asserting identical reports.
+#[allow(clippy::too_many_arguments)]
+fn time_case(
+    name: &'static str,
+    hierarchy: &'static str,
+    layout_name: &'static str,
+    program: &Program,
+    layout: &DataLayout,
+    cfg: &HierarchyConfig,
+    warmup: usize,
+    timed: usize,
+    in_sweep: bool,
+    reps: usize,
+) -> Case {
+    let mut replay_secs = f64::INFINITY;
+    let mut analytic_secs = f64::INFINITY;
+    let mut references = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let replay = simulate_steady_with(program, layout, cfg, warmup, timed, true);
+        replay_secs = replay_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let analytic = try_simulate_steady_analytic(program, layout, cfg, warmup, timed)
+            .expect("analytic driver failed where replay succeeded");
+        analytic_secs = analytic_secs.min(start.elapsed().as_secs_f64());
+
+        assert_eq!(
+            analytic, replay,
+            "{name}: analytic report diverges from replay on {hierarchy}"
+        );
+        references = replay.total_references;
+    }
+    Case {
+        name,
+        hierarchy,
+        layout: layout_name,
+        warmup,
+        timed,
+        in_sweep,
+        references,
+        replay_secs,
+        analytic_secs,
+    }
+}
+
+fn main() {
+    let (history, argv) = HistoryCli::from_env();
+    let mut out = String::from("BENCH_analytic_throughput.json");
+    let mut reps = 2usize;
+    let mut timed = 256usize;
+    let mut args = argv.into_iter().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--reps" => reps = args.next().expect("--reps needs a count").parse().unwrap(),
+            "--timed" => timed = args.next().expect("--timed needs a count").parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let padded = |k: &dyn Kernel, cfg: &HierarchyConfig| {
+        let v = build_versions(&k.model(), cfg, OptLevel::Conflict);
+        (v.l1l2.program, v.l1l2.layout)
+    };
+    let contiguous = |k: &dyn Kernel| {
+        let p = k.model();
+        let l = DataLayout::contiguous(&p.arrays);
+        (p, l)
+    };
+
+    let usp = HierarchyConfig::ultrasparc_i();
+    let alpha = HierarchyConfig::alpha_21164_like();
+    let random4 = HierarchyConfig::new(
+        vec![
+            CacheConfig::new(16 * 1024, 32, 4, ReplacementPolicy::Random),
+            CacheConfig::new(512 * 1024, 64, 4, ReplacementPolicy::Random),
+        ],
+        vec![6.0, 50.0],
+    );
+
+    let mut cases = Vec::new();
+    // Headline sweep: padded layouts, long steady protocols — the paper's
+    // iterative kernels after optimization, simulated for many time steps.
+    for (name, kernel, cfg, hname) in [
+        (
+            "jacobi1024",
+            Box::new(Jacobi::new(1024)) as Box<dyn Kernel>,
+            &usp,
+            "ultrasparc_i",
+        ),
+        ("expl1024", Box::new(Expl::new(1024)), &usp, "ultrasparc_i"),
+        (
+            "swim512",
+            Box::new(Shallow::swim(512)),
+            &usp,
+            "ultrasparc_i",
+        ),
+        (
+            "jacobi1024",
+            Box::new(Jacobi::new(1024)),
+            &alpha,
+            "alpha_21164_like",
+        ),
+    ] {
+        let (p, l) = padded(kernel.as_ref(), cfg);
+        cases.push(time_case(
+            name,
+            hname,
+            "multilvlpad",
+            &p,
+            &l,
+            cfg,
+            2,
+            timed,
+            true,
+            reps,
+        ));
+    }
+    // Second tier in the sweep: a contiguous layout whose cross-array
+    // conflicts fail the interleave certificate — the nests replay until
+    // the steady state repeats, then memoized transitions take over.
+    {
+        let kernel = Expl::new(512);
+        let (p, l) = contiguous(&kernel);
+        cases.push(time_case(
+            "expl512",
+            "ultrasparc_i",
+            "contiguous",
+            &p,
+            &l,
+            &usp,
+            2,
+            timed,
+            true,
+            reps,
+        ));
+    }
+    // Smoke case: small and quick enough for CI to gate a floor on.
+    {
+        let kernel = Jacobi::new(256);
+        let (p, l) = padded(&kernel, &usp);
+        cases.push(time_case(
+            "smoke",
+            "ultrasparc_i",
+            "multilvlpad",
+            &p,
+            &l,
+            &usp,
+            2,
+            64,
+            false,
+            reps,
+        ));
+    }
+    // Controls, excluded from the headline mean: random replacement makes
+    // associative state RNG-dependent, so the engine declines outright;
+    // a single cold sweep gives the memo nothing to amortize. Both
+    // measure that the wrapped replay stays ~1x rather than regressing.
+    {
+        let kernel = Expl::new(512);
+        let (p, l) = padded(&kernel, &random4);
+        cases.push(time_case(
+            "expl512",
+            "random_assoc4",
+            "multilvlpad",
+            &p,
+            &l,
+            &random4,
+            1,
+            4,
+            false,
+            reps,
+        ));
+        let (p, l) = contiguous(&kernel);
+        cases.push(time_case(
+            "expl512-cold",
+            "ultrasparc_i",
+            "contiguous",
+            &p,
+            &l,
+            &usp,
+            0,
+            1,
+            false,
+            reps,
+        ));
+    }
+
+    for c in &cases {
+        eprintln!(
+            "{:>12} ({:<11}) on {:<16} steady({},{})  {:>11} refs  replay {:>7.1} M/s  analytic {:>9.1} M/s  speedup {:.1}x",
+            c.name,
+            c.layout,
+            c.hierarchy,
+            c.warmup,
+            c.timed,
+            c.references,
+            c.replay_rate() / 1e6,
+            c.analytic_rate() / 1e6,
+            c.speedup()
+        );
+    }
+
+    let swept: Vec<&Case> = cases.iter().filter(|c| c.in_sweep).collect();
+    let geomean = (swept.iter().map(|c| c.speedup().ln()).sum::<f64>() / swept.len() as f64).exp();
+    let best = swept.iter().map(|c| c.speedup()).fold(0.0, f64::max);
+    let smoke = cases
+        .iter()
+        .find(|c| c.name == "smoke")
+        .map(|c| c.speedup())
+        .unwrap_or(0.0);
+    eprintln!(
+        "geometric-mean speedup {geomean:.1}x (steady sweep), best {best:.1}x, smoke {smoke:.1}x"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"analytic_throughput\",\n");
+    json.push_str("  \"unit\": \"references_per_second\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    json.push_str(&format!("  \"geomean_speedup\": {geomean:.3},\n"));
+    json.push_str(&format!("  \"best_speedup\": {best:.3},\n"));
+    json.push_str(&format!("  \"smoke_speedup\": {smoke:.3},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"hierarchy\": \"{}\", \"layout\": \"{}\", \
+             \"warmup\": {}, \"timed\": {}, \"in_sweep\": {}, \"references\": {}, \
+             \"replay_secs\": {:.6}, \"analytic_secs\": {:.6}, \
+             \"replay_refs_per_sec\": {:.0}, \"analytic_refs_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.hierarchy,
+            c.layout,
+            c.warmup,
+            c.timed,
+            c.in_sweep,
+            c.references,
+            c.replay_secs,
+            c.analytic_secs,
+            c.replay_rate(),
+            c.analytic_rate(),
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write bench JSON");
+    eprintln!("wrote {out}");
+
+    // Ledger entries: one series per case plus the headline summary. The
+    // smoke case's speedup carries the CI floor (`bench-history gate
+    // --min analytic_throughput/smoke/speedup=...`).
+    let mut report = mlc_telemetry::bench_report::BenchReport::new("analytic_throughput");
+    use mlc_telemetry::bench_report::Direction;
+    for c in &cases {
+        let case = if c.name == "smoke" {
+            "smoke".to_string()
+        } else {
+            format!("{}_{}_{}", c.name, c.hierarchy, c.layout)
+        };
+        report.metric(&case, "speedup", "x", c.speedup(), Direction::Higher);
+        report.metric(
+            &case,
+            "analytic_refs_per_sec",
+            "refs/s",
+            c.analytic_rate(),
+            Direction::Higher,
+        );
+    }
+    report.metric("sweep", "geomean_speedup", "x", geomean, Direction::Higher);
+    report.metric("sweep", "best_speedup", "x", best, Direction::Higher);
+    history.append(&report);
+}

@@ -91,7 +91,10 @@ fn main() {
                     .next()
                     .expect("--threads needs a count")
                     .parse()
-                    .unwrap()
+                    .unwrap();
+                // An explicit flag beats MLC_THREADS everywhere, including
+                // the padding search's internal candidate scans.
+                mlc_core::par::set_thread_override(Some(threads));
             }
             other => panic!("unknown flag {other}"),
         }

@@ -77,6 +77,9 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                // An explicit flag beats MLC_THREADS everywhere, including
+                // the padding search's internal candidate scans.
+                mlc_core::par::set_thread_override(Some(threads));
             }
             "--min-hits" => {
                 min_hits = Some(

@@ -13,7 +13,9 @@
 //!
 //! `--threads-list` defaults to a doubling ladder `1,2,4,…` capped at the
 //! machine's parallelism (respecting `MLC_THREADS`), always including the
-//! cap itself. Besides the snapshot, every run appends per-leg
+//! cap itself. Each leg pins its count process-wide
+//! (`mlc_core::par::set_thread_override`) so nested `default_threads()`
+//! consumers follow the ladder even when `MLC_THREADS` is set. Besides the snapshot, every run appends per-leg
 //! `cells_per_sec`, `efficiency`, `elapsed_s`, and `steals` to the
 //! `results/bench_history/` ledger under family `sweep_scaling` (see
 //! `docs/BENCHMARKS.md`); CI gates `smoke_t2/efficiency` there via
@@ -103,6 +105,11 @@ fn main() {
             "sweep_scaling: running {} cells on {threads} thread(s) ...",
             cells.len()
         );
+        // Pin the leg's thread count process-wide so nested
+        // default_threads() consumers (the padding search's candidate
+        // scans) run at the ladder value too — a stray MLC_THREADS in the
+        // environment must not win over the leg mid-ladder.
+        mlc_core::par::set_thread_override(Some(threads));
         let t0 = Instant::now();
         let (results, report) = run_cells_traced(&cells, threads, None, &done);
         let elapsed_s = t0.elapsed().as_secs_f64();

@@ -32,6 +32,26 @@ pub fn fast_path_enabled() -> bool {
 #[cfg(test)]
 pub(crate) static FAST_PATH_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Process-wide analytic-engine switch (the `--no-analytic` flag): when set
+/// (the default), [`simulate_one`] and [`simulate_cold`] put the
+/// closed-form nest engine ([`mlc_core::analytic`]) in front of the
+/// hierarchy, closing certified affine nests without replaying them.
+/// Like the fast path, the engine is differentially tested bitwise
+/// identical wherever it engages, so this is an A/B lever and escape
+/// hatch, not a fidelity knob. Scalar mode (`--no-fast-path`) implies no
+/// analytic engine: nests are only offered on the run-length path.
+static ANALYTIC: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the analytic nest engine for subsequent simulations.
+pub fn set_analytic(enabled: bool) {
+    ANALYTIC.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the analytic nest engine is currently enabled.
+pub fn analytic_enabled() -> bool {
+    ANALYTIC.load(Ordering::Relaxed)
+}
+
 /// Process-wide content-addressed result cache. When installed (the
 /// `--cache-dir` flag every experiment binary accepts via
 /// [`crate::TelemetryCli`]), [`simulate_one`] and [`simulate_cold`] are
@@ -76,25 +96,37 @@ pub const TIMED: usize = 1;
 
 /// Simulate under `protocol`, consulting the installed result cache.
 ///
-/// The fast-path switch is deliberately *not* part of the cache key: the
-/// run-length and scalar paths are differentially tested to be bitwise
-/// identical, so either may serve the other's cached result.
+/// Neither the fast-path switch nor the analytic switch is part of the
+/// cache key: all three paths (scalar, run-length, analytic) are
+/// differentially tested to be bitwise identical, so any may serve the
+/// others' cached results.
 fn simulate_protocol(
     program: &Program,
     layout: &DataLayout,
     h: &HierarchyConfig,
     protocol: SimProtocol,
 ) -> MissRateReport {
-    let run = || match protocol {
-        SimProtocol::Cold => simulate_with(program, layout, h, fast_path_enabled()),
-        SimProtocol::Steady { warmup, timed } => simulate_steady_with(
-            program,
-            layout,
-            h,
-            warmup as usize,
-            timed as usize,
-            fast_path_enabled(),
-        ),
+    let run = || {
+        let fast = fast_path_enabled();
+        let analytic = fast && analytic_enabled();
+        match protocol {
+            SimProtocol::Cold if analytic => mlc_core::try_simulate_analytic(program, layout, h)
+                .unwrap_or_else(|e| panic!("{e}")),
+            SimProtocol::Cold => simulate_with(program, layout, h, fast),
+            SimProtocol::Steady { warmup, timed } if analytic => {
+                mlc_core::try_simulate_steady_analytic(
+                    program,
+                    layout,
+                    h,
+                    warmup as usize,
+                    timed as usize,
+                )
+                .unwrap_or_else(|e| panic!("{e}"))
+            }
+            SimProtocol::Steady { warmup, timed } => {
+                simulate_steady_with(program, layout, h, warmup as usize, timed as usize, fast)
+            }
+        }
     };
     match result_cache() {
         Some(cache) => {
@@ -242,5 +274,25 @@ mod tests {
         assert!(fast_path_enabled());
         assert_eq!(scalar_steady, fast_steady);
         assert_eq!(scalar_cold, fast_cold);
+    }
+
+    #[test]
+    fn analytic_toggle_does_not_change_results() {
+        let _g = FAST_PATH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let h = HierarchyConfig::ultrasparc_i();
+        let p = figure2_example(96);
+        let l = mlc_model::DataLayout::contiguous(&p.arrays);
+        set_analytic(false);
+        let replay_steady = simulate_one(&p, &l, &h);
+        let replay_cold = simulate_cold(&p, &l, &h);
+        assert!(!analytic_enabled());
+        set_analytic(true);
+        let analytic_steady = simulate_one(&p, &l, &h);
+        let analytic_cold = simulate_cold(&p, &l, &h);
+        assert!(analytic_enabled());
+        assert_eq!(replay_steady, analytic_steady);
+        assert_eq!(replay_cold, analytic_cold);
     }
 }

@@ -7,6 +7,7 @@
 //! --trace-out PATH      # span/event trace as JSONL
 //! --metrics-out PATH    # metrics registry as JSON (or CSV if PATH ends in .csv)
 //! --no-fast-path        # force per-access scalar simulation (A/B timing)
+//! --no-analytic         # disable closed-form nest accounting (A/B timing)
 //! --no-fast-search      # force the exhaustive padding-position scan
 //! --cache-dir PATH      # persist simulation results in a content-addressed store
 //! --no-cache            # ignore --cache-dir: simulate everything fresh
@@ -25,6 +26,14 @@
 //! throughput A/B runs and as an escape hatch. Telemetry probing does not
 //! need it: a probed hierarchy never takes the fast path, because the probe
 //! must observe every individual access.
+//!
+//! `--no-analytic` clears [`crate::sim::set_analytic`], keeping the
+//! closed-form nest engine (`mlc_core::analytic`) out of the simulation
+//! path so every nest replays through the run-length (or scalar) walker.
+//! Like the fast path it is bitwise neutral — the engine only closes nests
+//! it can account exactly — and exists for the `analytic_throughput` A/B
+//! benchmark and as an escape hatch. Coverage counters (`analytic.*`)
+//! land in `--metrics-out` either way.
 //!
 //! `--no-fast-search` is the optimizer-side sibling: it clears
 //! [`mlc_core::search::set_fast_search`], making the padding passes run the
@@ -93,6 +102,8 @@ impl TelemetryCli {
                 no_cache = true;
             } else if arg == "--no-fast-path" {
                 crate::sim::set_fast_path(false);
+            } else if arg == "--no-analytic" {
+                crate::sim::set_analytic(false);
             } else if arg == "--no-fast-search" {
                 mlc_core::search::set_fast_search(false);
             } else {
@@ -164,6 +175,7 @@ impl TelemetryCli {
             );
             cache.install_metrics(&mut self.telemetry.metrics, "rescache");
         }
+        mlc_core::install_analytic_metrics(&mut self.telemetry.metrics);
         if let Some(path) = &self.trace_out {
             self.telemetry.write_trace_jsonl(path)?;
             eprintln!("trace written to {}", path.display());
@@ -232,6 +244,18 @@ mod tests {
         assert_eq!(rest, sv(&["mlc", "fig11"]));
         assert!(!crate::sim::fast_path_enabled());
         crate::sim::set_fast_path(true); // restore for other tests
+    }
+
+    #[test]
+    fn no_analytic_flag_is_stripped_and_disables_analytic() {
+        let _g = crate::sim::FAST_PATH_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        crate::sim::set_analytic(true);
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--no-analytic", "fig11"]));
+        assert_eq!(rest, sv(&["mlc", "fig11"]));
+        assert!(!crate::sim::analytic_enabled());
+        crate::sim::set_analytic(true); // restore for other tests
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// corpus format refer to oracles by these names.
 pub const ORACLES: &[&str] = &[
     "fastpath-parity",
+    "analytic-parity",
     "tlb-run-parity",
     "search-parity",
     "multilvlpad-clears-all-levels",
@@ -139,6 +140,7 @@ pub fn check_case(case: &Case) -> Report {
     let p = &case.program;
 
     check_fastpath_parity(case, &layout, &mut r);
+    check_analytic_parity(case, &layout, &mut r);
     check_tlb_run_parity(case, &layout, &mut r);
     check_search_parity(case, &mut r);
     check_multilvlpad(case, &mut r);
@@ -298,6 +300,72 @@ fn check_fastpath_parity(case: &Case, layout: &DataLayout, r: &mut Report) {
             format!("steady-state diverges: fast {steady_fast:?} vs scalar {steady_scalar:?}"),
         );
         return;
+    }
+    r.checked.push(oracle);
+}
+
+/// The closed-form nest engine vs plain run-length replay: identical miss
+/// reports, cold and steady (including warmup = 0), and — after
+/// materialization — identical tag-array contents, dirty bits and recency
+/// order at every level. Both where the engine closes nests and where it
+/// declines, the results must be bitwise those of the replay.
+fn check_analytic_parity(case: &Case, layout: &DataLayout, r: &mut Report) {
+    use mlc_core::analytic::AnalyticSink;
+    let oracle = "analytic-parity";
+    let (p, h) = (&case.program, &case.hierarchy);
+    for (label, warmup, timed) in [("cold", 0, 1), ("steady", 1, 1), ("warmup0-timed2", 0, 2)] {
+        let analytic = mlc_core::try_simulate_steady_analytic(p, layout, h, warmup, timed);
+        let replay = try_simulate_steady_with(p, layout, h, warmup, timed, true);
+        match (&analytic, &replay) {
+            (Ok(a), Ok(b)) if a == b => {}
+            (Ok(a), Ok(b)) => {
+                r.fail(
+                    oracle,
+                    format!("{label}: analytic {a:?} diverges from replay {b:?}"),
+                );
+                return;
+            }
+            (Err(ea), Err(eb)) if ea.to_string() == eb.to_string() => {}
+            (a, b) => {
+                r.fail(
+                    oracle,
+                    format!("{label}: outcomes differ: analytic {a:?}, replay {b:?}"),
+                );
+                return;
+            }
+        }
+    }
+    // Final-state parity: one sweep through each path, then compare every
+    // set's contents (tags, dirty bits, recency order) bitwise.
+    let mut ha = mlc_cache_sim::Hierarchy::new(h.clone());
+    {
+        let mut sink = AnalyticSink::new(&mut ha);
+        if try_generate_with(p, layout, &mut sink, true).is_err() {
+            r.skip(oracle, "case does not generate".to_string());
+            return;
+        }
+        sink.materialize_state();
+    }
+    let mut hr = mlc_cache_sim::Hierarchy::new(h.clone());
+    if try_generate_with(p, layout, &mut hr, true).is_err() {
+        r.skip(oracle, "case does not generate".to_string());
+        return;
+    }
+    for (level, (ca, cr)) in ha.caches().iter().zip(hr.caches()).enumerate() {
+        for set in 0..ca.config().num_sets() {
+            let a: Vec<_> = ca.set_contents(set).collect();
+            let b: Vec<_> = cr.set_contents(set).collect();
+            if a != b {
+                r.fail(
+                    oracle,
+                    format!(
+                        "L{} set {set}: analytic contents {a:?} != replay contents {b:?}",
+                        level + 1
+                    ),
+                );
+                return;
+            }
+        }
     }
     r.checked.push(oracle);
 }

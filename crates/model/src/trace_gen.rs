@@ -16,7 +16,7 @@ use crate::layout::DataLayout;
 use crate::nest::LoopNest;
 use crate::program::Program;
 use mlc_cache_sim::stats::MissRateReport;
-use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, Run};
+use mlc_cache_sim::trace::{Access, AccessKind, AccessSink, NestDescriptor, RefDescriptor, Run};
 use mlc_cache_sim::{Hierarchy, HierarchyConfig};
 
 /// Why a nest could not be compiled or streamed.
@@ -299,6 +299,62 @@ impl CompiledNest {
         self.run_with(sink, false)
     }
 
+    /// The nest as a closed-form [`NestDescriptor`], when it has one: a
+    /// non-empty rectangular iteration space (every bound constant) with at
+    /// least one reference. Trip-space normalization folds each loop's
+    /// start value and step into per-reference start addresses and per-trip
+    /// deltas, so the descriptor is layout-resolved and self-contained.
+    /// Start addresses are guaranteed non-negative — constant-bound nests
+    /// passed [`CompiledNest::try_new`]'s exact minimum-address check.
+    pub fn descriptor(&self) -> Option<NestDescriptor> {
+        if self.loops.is_empty() || self.refs.is_empty() {
+            return None;
+        }
+        let mut trips = Vec::with_capacity(self.loops.len());
+        let mut starts = Vec::with_capacity(self.loops.len());
+        for lp in &self.loops {
+            let constant_only = lp
+                .lowers
+                .iter()
+                .chain(&lp.uppers)
+                .all(|e| e.terms.is_empty());
+            if !constant_only {
+                return None;
+            }
+            let lo = lp.lowers.iter().map(|e| e.constant).max().unwrap();
+            let hi = lp.uppers.iter().map(|e| e.constant).min().unwrap();
+            if hi < lo {
+                return None; // empty loop: the nest emits nothing
+            }
+            trips.push(((hi - lo) / lp.step.abs() + 1) as u64);
+            starts.push(if lp.step > 0 { lo } else { hi });
+        }
+        let refs = self
+            .refs
+            .iter()
+            .map(|cr| {
+                let start = cr.base
+                    + cr.strides
+                        .iter()
+                        .zip(&starts)
+                        .map(|(&s, &v)| s * v)
+                        .sum::<i64>();
+                debug_assert!(start >= 0, "validated min address went negative");
+                RefDescriptor {
+                    start: start as u64,
+                    deltas: cr
+                        .strides
+                        .iter()
+                        .zip(&self.loops)
+                        .map(|(&s, lp)| s * lp.step)
+                        .collect(),
+                    kind: cr.kind,
+                }
+            })
+            .collect();
+        Some(NestDescriptor { trips, refs })
+    }
+
     /// Stream the nest, choosing run-length (`fast`) or per-access emission.
     pub fn run_with(&self, sink: &mut impl AccessSink, fast: bool) -> u64 {
         self.try_run_with(sink, fast)
@@ -316,6 +372,16 @@ impl CompiledNest {
     /// invocation have already reached `sink` — callers treating the sink's
     /// state as meaningful must discard it.
     pub fn try_run_with(&self, sink: &mut impl AccessSink, fast: bool) -> Result<u64, TraceError> {
+        // Offer the whole nest in closed form first (fast path only: the
+        // scalar path keeps its strict per-access promise). Sinks without an
+        // analytic backend decline at zero cost.
+        if fast {
+            if let Some(desc) = self.descriptor() {
+                if let Some(n) = sink.nest(&desc) {
+                    return Ok(n);
+                }
+            }
+        }
         if self.loops.is_empty() {
             for r in &self.refs {
                 if r.base < 0 {

@@ -1,8 +1,129 @@
 window.BENCHMARK_DATA = {
-  "lastUpdate": 1786210914000,
+  "lastUpdate": 1786220355000,
   "repoUrl": "",
   "schemaVersion": 1,
   "entries": {
+    "analytic_throughput": [
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220355
+        },
+        "date": 1786220355000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "jacobi1024_ultrasparc_i_multilvlpad/speedup",
+            "value": 130.56916621415175,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi1024_ultrasparc_i_multilvlpad/analytic_refs_per_sec",
+            "value": 69517709537.4377,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl1024_ultrasparc_i_multilvlpad/speedup",
+            "value": 181.89219865995315,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl1024_ultrasparc_i_multilvlpad/analytic_refs_per_sec",
+            "value": 89078886590.49182,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "swim512_ultrasparc_i_multilvlpad/speedup",
+            "value": 158.33883166979916,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "swim512_ultrasparc_i_multilvlpad/analytic_refs_per_sec",
+            "value": 94497222322.86371,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi1024_alpha_21164_like_multilvlpad/speedup",
+            "value": 112.20317693730338,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi1024_alpha_21164_like_multilvlpad/analytic_refs_per_sec",
+            "value": 46017229576.79551,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/speedup",
+            "value": 188.36739708298694,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/analytic_refs_per_sec",
+            "value": 20285964720.764095,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/speedup",
+            "value": 24.705009402963483,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/analytic_refs_per_sec",
+            "value": 13652769017.751968,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_random_assoc4_multilvlpad/speedup",
+            "value": 0.9771084995427997,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_random_assoc4_multilvlpad/analytic_refs_per_sec",
+            "value": 46550547.08414129,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512-cold_ultrasparc_i_contiguous/speedup",
+            "value": 0.9763543619508349,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512-cold_ultrasparc_i_contiguous/analytic_refs_per_sec",
+            "value": 104349453.24647124,
+            "unit": "refs/s",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/geomean_speedup",
+            "value": 151.37376257968901,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/best_speedup",
+            "value": 188.36739708298694,
+            "unit": "x",
+            "direction": "higher"
+          }
+        ]
+      }
+    ],
     "fuzz_smoke": [
       {
         "commit": {
@@ -22,6 +143,35 @@ window.BENCHMARK_DATA = {
           {
             "name": "cases50/checked_total",
             "value": 353,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "cases50/violations",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220355
+        },
+        "date": 1786220355000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "cases50/cases_per_sec",
+            "value": 719.2369620823164,
+            "unit": "cases/s",
+            "direction": "higher"
+          },
+          {
+            "name": "cases50/checked_total",
+            "value": 403,
             "unit": "count",
             "direction": "higher"
           },
@@ -375,6 +525,347 @@ window.BENCHMARK_DATA = {
             "direction": "higher"
           }
         ]
+      },
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220293
+        },
+        "date": 1786220293000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "adi32/speedup",
+            "value": 5.769052503283064,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "adi32/fast_searches_per_sec",
+            "value": 8583.17525985563,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "dot512/speedup",
+            "value": 2.4798096748612215,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "dot512/fast_searches_per_sec",
+            "value": 31720.856463124503,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "erle64/speedup",
+            "value": 4.804401574546993,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "erle64/fast_searches_per_sec",
+            "value": 16265.981326653438,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512/speedup",
+            "value": 8.002835116743821,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512/fast_searches_per_sec",
+            "value": 316.207533328274,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "irr500K/speedup",
+            "value": 5.47147898883782,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "irr500K/fast_searches_per_sec",
+            "value": 20518.71306631648,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512/speedup",
+            "value": 4.584915206596084,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512/fast_searches_per_sec",
+            "value": 18738.873793684998,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "linpackd/speedup",
+            "value": 4.262202480293732,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "linpackd/fast_searches_per_sec",
+            "value": 25675.91855598634,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "shal512/speedup",
+            "value": 8.132763137862149,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "shal512/fast_searches_per_sec",
+            "value": 151.18933849070405,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "appbt/speedup",
+            "value": 8.776286052327682,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "appbt/fast_searches_per_sec",
+            "value": 7084.7119001905785,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "applu/speedup",
+            "value": 11.916823902092817,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "applu/fast_searches_per_sec",
+            "value": 8655.16107254756,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "appsp/speedup",
+            "value": 11.197464446107784,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "appsp/fast_searches_per_sec",
+            "value": 11695.359281437126,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "buk/speedup",
+            "value": 4.334391125582935,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "buk/fast_searches_per_sec",
+            "value": 27594.580424404645,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "cgm/speedup",
+            "value": 11.150942251084878,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "cgm/fast_searches_per_sec",
+            "value": 10115.416906907818,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "embar/speedup",
+            "value": 2.5068455715574016,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "embar/fast_searches_per_sec",
+            "value": 27327.63096767141,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "fftpde/speedup",
+            "value": 7.258138968690656,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "fftpde/fast_searches_per_sec",
+            "value": 9738.52071870283,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "mgrid/speedup",
+            "value": 14.04579843726541,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "mgrid/fast_searches_per_sec",
+            "value": 6527.713407270567,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "apsi/speedup",
+            "value": 3.611987199361019,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "apsi/fast_searches_per_sec",
+            "value": 5254.777906811768,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "fpppp/speedup",
+            "value": 3.5111057576487594,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "fpppp/fast_searches_per_sec",
+            "value": 24090.58058299205,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "hydro2d/speedup",
+            "value": 7.391126132914254,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "hydro2d/fast_searches_per_sec",
+            "value": 4305.6123657187145,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "su2cor/speedup",
+            "value": 8.186123727560743,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "su2cor/fast_searches_per_sec",
+            "value": 2376.7252054084756,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "swim/speedup",
+            "value": 9.092530163524465,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "swim/fast_searches_per_sec",
+            "value": 162.38774946818012,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "tomcatv/speedup",
+            "value": 9.458984120263345,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "tomcatv/fast_searches_per_sec",
+            "value": 945.1099068310654,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "turb3d/speedup",
+            "value": 8.618894256575416,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "turb3d/fast_searches_per_sec",
+            "value": 5161.237045295016,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "wave5/speedup",
+            "value": 7.064166793660469,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "wave5/fast_searches_per_sec",
+            "value": 9524.53520268211,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl_sweep_250to520/speedup",
+            "value": 8.162645975220016,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl_sweep_250to520/fast_searches_per_sec",
+            "value": 397.24381459104626,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "shal_sweep_250to520/speedup",
+            "value": 5.199082272416402,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "shal_sweep_250to520/fast_searches_per_sec",
+            "value": 124.98758382269989,
+            "unit": "searches/s",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/geomean_speedup",
+            "value": 6.463305979297044,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/best_speedup",
+            "value": 14.04579843726541,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "summary/fraction_pruned",
+            "value": 0.8811667441140025,
+            "unit": "fraction",
+            "direction": "higher"
+          }
+        ]
       }
     ],
     "sweep_cache": [
@@ -444,6 +935,65 @@ window.BENCHMARK_DATA = {
           {
             "name": "smoke/warm_s",
             "value": 0.000319727,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/warm_hits",
+            "value": 4,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/cache_hits",
+            "value": 4,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/cache_misses",
+            "value": 4,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_stores",
+            "value": 4,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_corrupt",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke/cache_stale",
+            "value": 0,
+            "unit": "count",
+            "direction": "lower"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220293
+        },
+        "date": 1786220293000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "smoke/speedup",
+            "value": 209.9516956778057,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke/warm_s",
+            "value": 0.000161145,
             "unit": "s",
             "direction": "lower"
           },
@@ -617,6 +1167,65 @@ window.BENCHMARK_DATA = {
             "direction": "higher"
           }
         ]
+      },
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220293
+        },
+        "date": 1786220293000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "smoke_t1/cells_per_sec",
+            "value": 122.8495493509981,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t1/efficiency",
+            "value": 1,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t1/elapsed_s",
+            "value": 0.032560152,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke_t1/steals",
+            "value": 0,
+            "unit": "count",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/cells_per_sec",
+            "value": 90.49835384625582,
+            "unit": "cells/s",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/efficiency",
+            "value": 0.36833001962298434,
+            "unit": "ratio",
+            "direction": "higher"
+          },
+          {
+            "name": "smoke_t2/elapsed_s",
+            "value": 0.044199699,
+            "unit": "s",
+            "direction": "lower"
+          },
+          {
+            "name": "smoke_t2/steals",
+            "value": 1,
+            "unit": "count",
+            "direction": "higher"
+          }
+        ]
       }
     ],
     "trace_throughput": [
@@ -722,6 +1331,113 @@ window.BENCHMARK_DATA = {
           {
             "name": "sweep/best_speedup",
             "value": 4.511855065723408,
+            "unit": "x",
+            "direction": "higher"
+          }
+        ]
+      },
+      {
+        "commit": {
+          "id": "c41f435dc2f5dc2b61d005d80fa122ecaec284e9",
+          "timestamp": 1786220291
+        },
+        "date": 1786220291000,
+        "tool": "mlc",
+        "profile": "release",
+        "benches": [
+          {
+            "name": "expl512_ultrasparc_i_multilvlpad/speedup",
+            "value": 5.269380760355628,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 648319500.7287838,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_ultrasparc_i_multilvlpad/speedup",
+            "value": 4.387890426772962,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 665778876.1749839,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "swim_ultrasparc_i_multilvlpad/speedup",
+            "value": 3.9866120226218706,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "swim_ultrasparc_i_multilvlpad/fast_accesses_per_sec",
+            "value": 618163669.3061334,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_alpha_21164_like_multilvlpad/speedup",
+            "value": 2.118986141777535,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_alpha_21164_like_multilvlpad/fast_accesses_per_sec",
+            "value": 268845413.96856993,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_alpha_21164_like_multilvlpad/speedup",
+            "value": 3.793838965268435,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "jacobi512_alpha_21164_like_multilvlpad/fast_accesses_per_sec",
+            "value": 442101452.1698411,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/speedup",
+            "value": 1.0167235557870815,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_i_contiguous/fast_accesses_per_sec",
+            "value": 111775055.00317033,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_like_assoc4_multilvlpad/speedup",
+            "value": 1.0892583457783644,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "expl512_ultrasparc_like_assoc4_multilvlpad/fast_accesses_per_sec",
+            "value": 101722917.89922692,
+            "unit": "accesses/s",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/geomean_speedup",
+            "value": 3.7494301500467984,
+            "unit": "x",
+            "direction": "higher"
+          },
+          {
+            "name": "sweep/best_speedup",
+            "value": 5.269380760355628,
             "unit": "x",
             "direction": "higher"
           }
