@@ -1,0 +1,110 @@
+//! Standalone padding-as-a-service front end.
+//!
+//! Binds the `mlc-serve` HTTP server (`POST /simulate`, `POST /optimize`,
+//! `POST /sweep`, `GET /healthz`, `GET /stats` — see `docs/SERVING.md`)
+//! and runs until killed, or for `--duration` seconds when given (the CI
+//! smoke shape). The listening address is printed to stdout as
+//! `serving on ADDR` so scripts can scrape an OS-assigned port.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-body BYTES]
+//!       [--duration SECS]
+//! ```
+//!
+//! Plus the shared `TelemetryCli` flags: `--threads N` pins the worker
+//! pool size process-wide (`workers` defaults to it), `--cache-dir PATH`
+//! shares a persistent content-addressed result store across restarts,
+//! and `--trace-out` / `--metrics-out` capture per-request spans and the
+//! `serve.*` / `serve.rescache.*` counters at shutdown.
+
+use mlc_experiments::TelemetryCli;
+use mlc_serve::{Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let (mut tcli, args) = TelemetryCli::from_env();
+
+    let mut addr = String::new();
+    let mut workers: Option<usize> = None;
+    let mut queue_depth = 0usize;
+    let mut max_body = 0usize;
+    let mut duration: Option<u64> = None;
+    let mut it = args.into_iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| fail("--addr needs HOST:PORT")),
+            "--workers" => {
+                workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| fail("--workers needs a positive count")),
+                );
+            }
+            "--queue-depth" => {
+                queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| fail("--queue-depth needs a positive count"));
+            }
+            "--max-body" => {
+                max_body = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| fail("--max-body needs a positive byte count"));
+            }
+            "--duration" => {
+                duration = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--duration needs seconds")),
+                );
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Hand the telemetry bundle to the server for per-request spans; it is
+    // reclaimed after shutdown so `finish` writes the serve counters too.
+    let shared = tcli
+        .is_enabled()
+        .then(|| Arc::new(Mutex::new(std::mem::take(&mut tcli.telemetry))));
+
+    let mut server = Server::start(ServerConfig {
+        addr,
+        workers,
+        queue_depth,
+        max_body_bytes: max_body,
+        cache: tcli.cache.clone(),
+        telemetry: shared.clone(),
+    })
+    .unwrap_or_else(|e| fail(&format!("cannot start: {e}")));
+
+    println!("serving on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    match duration {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            // No deadline: serve until the process is killed.
+            std::thread::park();
+        },
+    }
+
+    eprintln!("serve: --duration elapsed, draining");
+    server.shutdown();
+    if let Some(shared) = shared {
+        tcli.telemetry = std::mem::take(&mut *shared.lock().unwrap_or_else(|e| e.into_inner()));
+    }
+    if let Err(e) = tcli.finish() {
+        fail(&format!("writing telemetry outputs: {e}"));
+    }
+}

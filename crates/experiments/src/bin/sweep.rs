@@ -16,7 +16,8 @@
 //! content-addressed store (`docs/CACHING.md`); `--resume` reuses cells
 //! already present in `--out` from an interrupted run; `--min-hits N`
 //! exits nonzero unless the cache served at least N hits (the CI
-//! warm-cache smoke check). `--threads` defaults to the `MLC_THREADS`
+//! warm-cache smoke check). `--threads` (handled by the shared
+//! `TelemetryCli` extractor) defaults to the `MLC_THREADS`
 //! environment variable when set, else the machine's parallelism; cells
 //! run on the work-stealing executor (`mlc_core::exec`), whose per-worker
 //! telemetry lands in the metrics export under `exec.*`.
@@ -54,7 +55,10 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut resume = false;
     let mut csv = false;
-    let mut threads = mlc_core::par::default_threads();
+    // `--threads` is consumed by TelemetryCli (which pins the process-wide
+    // override before this line runs), so default_threads() already
+    // reflects an explicit flag.
+    let threads = mlc_core::par::default_threads();
     let mut min_hits: Option<u64> = None;
     let mut files: Vec<PathBuf> = Vec::new();
 
@@ -72,15 +76,6 @@ fn main() {
             "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--resume" => resume = true,
             "--csv" => csv = true,
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                // An explicit flag beats MLC_THREADS everywhere, including
-                // the padding search's internal candidate scans.
-                mlc_core::par::set_thread_override(Some(threads));
-            }
             "--min-hits" => {
                 min_hits = Some(
                     it.next()

@@ -11,6 +11,7 @@
 //! --no-fast-search      # force the exhaustive padding-position scan
 //! --cache-dir PATH      # persist simulation results in a content-addressed store
 //! --no-cache            # ignore --cache-dir: simulate everything fresh
+//! --threads N           # pin the process-wide worker-thread count
 //! ```
 //!
 //! [`TelemetryCli::from_env`] strips the flags from `std::env::args()` before
@@ -50,6 +51,18 @@
 //! wins over `--cache-dir` wherever both appear — handy for overriding a
 //! cache baked into a wrapper script. A cache summary goes to stderr (and
 //! into `--metrics-out` under `rescache.*`) at exit.
+//!
+//! `--threads N` pins the process-wide worker-thread count via
+//! [`mlc_core::par::set_thread_override`], so the explicit flag beats the
+//! `MLC_THREADS` environment variable everywhere [`default_threads`]
+//! is consulted — the sweep executors, the padding search's candidate
+//! scans, and the `mlc-serve` server's worker pool (which sizes itself
+//! from `default_threads` when no explicit worker count is configured).
+//! Binaries with their own `--threads` parsing (`sweep_cache`,
+//! `optimizer_throughput`) keep it; binaries built on this extractor get
+//! the flag for free and must not re-parse it.
+//!
+//! [`default_threads`]: mlc_core::par::default_threads
 
 use mlc_core::rescache::ResultCache;
 use mlc_telemetry::Telemetry;
@@ -100,6 +113,14 @@ impl TelemetryCli {
                 cache_dir = Some(PathBuf::from(v));
             } else if arg == "--no-cache" {
                 no_cache = true;
+            } else if arg == "--threads" {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a count");
+                    std::process::exit(2);
+                });
+                apply_threads(&v);
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                apply_threads(v);
             } else if arg == "--no-fast-path" {
                 crate::sim::set_fast_path(false);
             } else if arg == "--no-analytic" {
@@ -198,6 +219,19 @@ impl Drop for TelemetryCli {
             if let Err(e) = self.finish() {
                 eprintln!("telemetry: failed to write output: {e}");
             }
+        }
+    }
+}
+
+/// Parse and pin a `--threads` value. An explicit flag beats `MLC_THREADS`
+/// everywhere `default_threads()` is consulted, including worker pools
+/// spun up long after argument parsing (the `mlc-serve` server).
+fn apply_threads(value: &str) {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => mlc_core::par::set_thread_override(Some(n)),
+        _ => {
+            eprintln!("--threads={value:?} is not a positive thread count");
+            std::process::exit(2);
         }
     }
 }
@@ -330,6 +364,28 @@ mod tests {
         crate::sim::install_result_cache(None);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&metrics_path).ok();
+    }
+
+    #[test]
+    fn threads_flag_is_stripped_and_pins_the_override() {
+        // Process-global override: leave it exactly as we found it.
+        let prior = mlc_core::par::thread_override();
+
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--threads", "3", "fig11"]));
+        assert_eq!(rest, sv(&["mlc", "fig11"]));
+        assert_eq!(mlc_core::par::thread_override(), Some(3));
+        assert_eq!(mlc_core::par::default_threads(), 3);
+
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--threads=5", "fig11"]));
+        assert_eq!(rest, sv(&["mlc", "fig11"]));
+        assert_eq!(mlc_core::par::thread_override(), Some(5));
+
+        // sweep_scaling's distinct --threads-list flag must pass through
+        // untouched for the binary's own parser.
+        let (_t, rest) = TelemetryCli::extract(sv(&["mlc", "--threads-list", "1,2,4"]));
+        assert_eq!(rest, sv(&["mlc", "--threads-list", "1,2,4"]));
+
+        mlc_core::par::set_thread_override(prior);
     }
 
     #[test]

@@ -1,111 +1,8 @@
-//! One fuzz case: a program, a layout for its arrays, and a hierarchy.
+//! One fuzz case — re-exported from [`mlc_model::case`].
+//!
+//! The type moved into `mlc-model` when the corpus text became the
+//! `mlc-serve` wire format (the server cannot depend on this crate: this
+//! crate's serve-parity oracle depends on the server). Fuzz-side code and
+//! the historical `mlc_fuzz::Case` path are unaffected.
 
-use mlc_cache_sim::arbitrary::{arbitrary_hierarchy, HierarchyGenConfig};
-use mlc_cache_sim::rng::DetRng;
-use mlc_cache_sim::HierarchyConfig;
-use mlc_model::arbitrary::{arbitrary_layout, arbitrary_program, ProgramGenConfig};
-use mlc_model::{DataLayout, Program};
-
-/// Generation bounds for a whole case.
-#[derive(Debug, Clone, Default)]
-pub struct CaseConfig {
-    /// Program-side bounds.
-    pub program: ProgramGenConfig,
-    /// Hierarchy-side bounds.
-    pub hierarchy: HierarchyGenConfig,
-}
-
-/// One generated (or shrunk, or replayed) test case. The layout is kept as
-/// per-array pads so shrinking and serialization stay trivial; use
-/// [`Case::layout`] for the materialized [`DataLayout`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct Case {
-    /// The seed this case was generated from (provenance only — a shrunk
-    /// case no longer matches its seed's generator output).
-    pub seed: u64,
-    /// The program under test.
-    pub program: Program,
-    /// Inter-variable pad (bytes) before each array, in declaration order.
-    pub pads: Vec<u64>,
-    /// The cache hierarchy under test.
-    pub hierarchy: HierarchyConfig,
-}
-
-impl Case {
-    /// Deterministically generate the case for `seed`.
-    pub fn generate(seed: u64, cfg: &CaseConfig) -> Self {
-        let mut rng = DetRng::new(seed);
-        let program = arbitrary_program(&mut rng, &cfg.program);
-        let layout = arbitrary_layout(&mut rng, &program.arrays);
-        let pads = layout.pads(&program.arrays);
-        let hierarchy = arbitrary_hierarchy(&mut rng, &cfg.hierarchy);
-        Self {
-            seed,
-            program,
-            pads,
-            hierarchy,
-        }
-    }
-
-    /// The case's data layout (pads materialized into base addresses).
-    pub fn layout(&self) -> DataLayout {
-        DataLayout::with_pads(&self.program.arrays, &self.pads)
-    }
-
-    /// Structural sanity: the program validates and the pad vector covers
-    /// every array. Shrink steps and corpus parsing gate on this.
-    pub fn validate(&self) -> Result<(), String> {
-        self.program.validate()?;
-        if self.pads.len() != self.program.arrays.len() {
-            return Err(format!(
-                "{} pads for {} arrays",
-                self.pads.len(),
-                self.program.arrays.len()
-            ));
-        }
-        Ok(())
-    }
-
-    /// A terse human-readable size summary (`arrays/nests/refs/levels`),
-    /// used in fuzzer progress lines and shrink reports.
-    pub fn size_summary(&self) -> String {
-        let refs: usize = self.program.nests.iter().map(|n| n.body.len()).sum();
-        format!(
-            "{}a/{}n/{}r/{}L",
-            self.program.arrays.len(),
-            self.program.nests.len(),
-            refs,
-            self.hierarchy.depth()
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn generation_is_deterministic_and_valid() {
-        let cfg = CaseConfig::default();
-        for seed in 0..100 {
-            let a = Case::generate(seed, &cfg);
-            let b = Case::generate(seed, &cfg);
-            assert_eq!(a, b, "seed {seed}");
-            a.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        }
-    }
-
-    #[test]
-    fn layout_round_trips_through_pads() {
-        let c = Case::generate(7, &CaseConfig::default());
-        let layout = c.layout();
-        assert_eq!(layout.pads(&c.program.arrays), c.pads);
-    }
-
-    #[test]
-    fn validate_catches_pad_length_mismatch() {
-        let mut c = Case::generate(1, &CaseConfig::default());
-        c.pads.push(64);
-        assert!(c.validate().is_err());
-    }
-}
+pub use mlc_model::case::{Case, CaseConfig};

@@ -1,371 +1,4 @@
-//! Line-oriented serialization of [`Case`]s for the regression corpus.
-//!
-//! Shrunk reproducers are committed under `tests/corpus/*.case` and
-//! replayed by the tier-1 suite forever. The format is deliberately
-//! hand-editable — whitespace-separated fields, one construct per line,
-//! `#` comments — and restricted to what the generators produce: constant
-//! loop bounds, affine subscripts, LRU replacement.
-//!
-//! ```text
-//! # severe-count mismatch, found by seed 1234, shrunk from 4a/3n/14r/3L
-//! seed 1234
-//! oracle severe-count-differential
-//! level 1024 32 1 6
-//! level 8192 64 1 50
-//! array A 8 16,18 0,0 32
-//! nest n0
-//! loop i 2 9 1
-//! ref r 0 0,i,1;3
-//! end
-//! ```
-//!
-//! `array` fields are name, element size, comma-joined extents, comma-joined
-//! intra-variable pads, and the inter-variable pad in bytes. A subscript is
-//! `constant[,var,coeff]...`; subscripts are `;`-joined on the `ref` line.
+//! Corpus (and `mlc-serve` wire) format — re-exported from
+//! [`mlc_model::corpus`]; see [`crate::case`] for why it moved.
 
-use crate::case::Case;
-use mlc_cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
-use mlc_model::expr::AffineExpr;
-use mlc_model::nest::{Loop, LoopNest};
-use mlc_model::{ArrayDecl, ArrayRef, Program};
-use std::path::Path;
-
-/// Serialize a case (with the oracle that fired on it, when known).
-///
-/// Errors when the case uses a shape the format cannot express — today
-/// that is only non-constant loop bounds.
-pub fn write_case(case: &Case, oracle: Option<&str>) -> Result<String, String> {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "# mlc-fuzz reproducer ({})\n",
-        case.size_summary()
-    ));
-    out.push_str(&format!("seed {}\n", case.seed));
-    out.push_str(&format!("program {}\n", case.program.name));
-    if let Some(o) = oracle {
-        out.push_str(&format!("oracle {o}\n"));
-    }
-    for (c, &pen) in case
-        .hierarchy
-        .levels
-        .iter()
-        .zip(&case.hierarchy.miss_penalty)
-    {
-        out.push_str(&format!(
-            "level {} {} {} {}\n",
-            c.size, c.line, c.associativity, pen
-        ));
-    }
-    for (a, &pad) in case.program.arrays.iter().zip(&case.pads) {
-        out.push_str(&format!(
-            "array {} {} {} {} {}\n",
-            a.name,
-            a.elem_size,
-            join(&a.dims),
-            join(&a.dim_pad),
-            pad
-        ));
-    }
-    for nest in &case.program.nests {
-        out.push_str(&format!("nest {}\n", nest.name));
-        for l in &nest.loops {
-            let (lo, hi) = const_bounds(l).ok_or_else(|| {
-                format!(
-                    "loop {} of nest {} has non-constant bounds",
-                    l.var, nest.name
-                )
-            })?;
-            out.push_str(&format!("loop {} {} {} {}\n", l.var, lo, hi, l.step));
-        }
-        for r in &nest.body {
-            let subs: Vec<String> = r.subscripts.iter().map(expr_to_string).collect();
-            out.push_str(&format!(
-                "ref {} {} {}\n",
-                if r.is_write() { "w" } else { "r" },
-                r.array,
-                subs.join(";")
-            ));
-        }
-        out.push_str("end\n");
-    }
-    Ok(out)
-}
-
-/// Parse a case; returns it with the recorded oracle name, if any.
-pub fn parse_case(text: &str) -> Result<(Case, Option<String>), String> {
-    let mut seed = 0u64;
-    let mut oracle = None;
-    let mut levels: Vec<CacheConfig> = Vec::new();
-    let mut penalties: Vec<f64> = Vec::new();
-    let mut program = Program::new("corpus");
-    let mut pads: Vec<u64> = Vec::new();
-    let mut nest: Option<(String, Vec<Loop>, Vec<ArrayRef>)> = None;
-    let mut names: Vec<String> = Vec::new();
-
-    for (ln, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let err = |msg: String| format!("line {}: {msg}", ln + 1);
-        let mut f = line.split_whitespace();
-        let keyword = f.next().unwrap();
-        let rest: Vec<&str> = f.collect();
-        match keyword {
-            "seed" => {
-                seed = field(&rest, 0, "seed").map_err(err)?;
-            }
-            "program" => {
-                program.name = rest
-                    .first()
-                    .ok_or_else(|| err("program needs a name".into()))?
-                    .to_string();
-            }
-            "oracle" => {
-                oracle = Some(
-                    rest.first()
-                        .ok_or_else(|| err("oracle needs a name".into()))?
-                        .to_string(),
-                );
-            }
-            "level" => {
-                let size: usize = field(&rest, 0, "size").map_err(&err)?;
-                let l: usize = field(&rest, 1, "line").map_err(&err)?;
-                let assoc: usize = field(&rest, 2, "associativity").map_err(&err)?;
-                let pen: f64 = field(&rest, 3, "penalty").map_err(&err)?;
-                // Pre-check the constructor invariants so a hand-edited
-                // file yields a parse error, not a panic.
-                if !size.is_power_of_two()
-                    || !l.is_power_of_two()
-                    || l == 0
-                    || l > size
-                    || assoc == 0
-                    || !(size / l).is_multiple_of(assoc)
-                {
-                    return Err(err(format!("illegal cache geometry {size}/{l}/{assoc}")));
-                }
-                levels.push(CacheConfig::new(size, l, assoc, ReplacementPolicy::Lru));
-                penalties.push(pen);
-            }
-            "array" => {
-                let name = *rest
-                    .first()
-                    .ok_or_else(|| err("array needs a name".into()))?;
-                let elem: usize = field(&rest, 1, "element size").map_err(&err)?;
-                let dims = list(&rest, 2, "dims").map_err(&err)?;
-                let dim_pad: Vec<usize> = list(&rest, 3, "dim pads").map_err(&err)?;
-                let pad: u64 = field(&rest, 4, "inter-pad").map_err(&err)?;
-                if elem == 0 || dims.is_empty() || dims.contains(&0) {
-                    return Err(err(format!("array {name}: illegal shape")));
-                }
-                if names.iter().any(|n| n == name) {
-                    return Err(err(format!("duplicate array name {name}")));
-                }
-                names.push(name.to_string());
-                let mut decl = ArrayDecl::new(name, elem, dims);
-                if dim_pad.len() != decl.rank() {
-                    return Err(err(format!(
-                        "array {name}: {} dim pads for rank {}",
-                        dim_pad.len(),
-                        decl.rank()
-                    )));
-                }
-                for (d, p) in dim_pad.into_iter().enumerate() {
-                    decl.set_dim_pad(d, p);
-                }
-                program.add_array(decl);
-                pads.push(pad);
-            }
-            "nest" => {
-                if nest.is_some() {
-                    return Err(err("nest without closing `end`".into()));
-                }
-                let name = *rest
-                    .first()
-                    .ok_or_else(|| err("nest needs a name".into()))?;
-                nest = Some((name.to_string(), Vec::new(), Vec::new()));
-            }
-            "loop" => {
-                let (_, loops, _) = nest
-                    .as_mut()
-                    .ok_or_else(|| err("loop outside a nest".into()))?;
-                let var = *rest.first().ok_or_else(|| err("loop needs a var".into()))?;
-                let lo: i64 = field(&rest, 1, "lower bound").map_err(&err)?;
-                let hi: i64 = field(&rest, 2, "upper bound").map_err(&err)?;
-                let step: i64 = field(&rest, 3, "step").map_err(&err)?;
-                let mut l = Loop::counted(var, lo, hi);
-                l.step = step;
-                loops.push(l);
-            }
-            "ref" => {
-                let (_, _, body) = nest
-                    .as_mut()
-                    .ok_or_else(|| err("ref outside a nest".into()))?;
-                let kind = *rest.first().ok_or_else(|| err("ref needs r|w".into()))?;
-                let array: usize = field(&rest, 1, "array index").map_err(&err)?;
-                let subs_txt = rest
-                    .get(2)
-                    .ok_or_else(|| err("ref needs subscripts".into()))?;
-                let subs: Vec<AffineExpr> = subs_txt
-                    .split(';')
-                    .map(parse_expr)
-                    .collect::<Result<_, _>>()
-                    .map_err(&err)?;
-                body.push(match kind {
-                    "w" => ArrayRef::write(array, subs),
-                    "r" => ArrayRef::read(array, subs),
-                    other => return Err(err(format!("unknown access kind {other}"))),
-                });
-            }
-            "end" => {
-                let (name, loops, body) = nest
-                    .take()
-                    .ok_or_else(|| err("end without a nest".into()))?;
-                program.add_nest(LoopNest::new(name, loops, body));
-            }
-            other => return Err(err(format!("unknown keyword {other}"))),
-        }
-    }
-    if nest.is_some() {
-        return Err("unterminated nest at end of file".to_string());
-    }
-    if levels.is_empty() {
-        return Err("case declares no cache levels".to_string());
-    }
-    for (i, w) in levels.windows(2).enumerate() {
-        let (inner, outer) = (w[0], w[1]);
-        if outer.size < inner.size
-            || !outer.size.is_multiple_of(inner.size)
-            || outer.line < inner.line
-        {
-            return Err(format!(
-                "levels {} and {} violate the nesting invariants",
-                i + 1,
-                i + 2
-            ));
-        }
-    }
-    let case = Case {
-        seed,
-        program,
-        pads,
-        hierarchy: HierarchyConfig::new(levels, penalties),
-    };
-    case.validate()?;
-    Ok((case, oracle))
-}
-
-/// Read and parse one corpus file.
-pub fn read_case(path: &Path) -> Result<(Case, Option<String>), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))
-}
-
-fn join<T: std::fmt::Display>(xs: &[T]) -> String {
-    xs.iter()
-        .map(|x| x.to_string())
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn field<T: std::str::FromStr>(rest: &[&str], i: usize, what: &str) -> Result<T, String> {
-    rest.get(i)
-        .ok_or_else(|| format!("missing {what}"))?
-        .parse()
-        .map_err(|_| format!("bad {what}: {}", rest[i]))
-}
-
-fn list<T: std::str::FromStr>(rest: &[&str], i: usize, what: &str) -> Result<Vec<T>, String> {
-    rest.get(i)
-        .ok_or_else(|| format!("missing {what}"))?
-        .split(',')
-        .map(|x| x.parse().map_err(|_| format!("bad {what} entry: {x}")))
-        .collect()
-}
-
-/// `constant[,var,coeff]...` — e.g. `-1,i,1` for `i - 1`, `3` for `3`.
-fn expr_to_string(e: &AffineExpr) -> String {
-    let mut s = e.constant_term().to_string();
-    for (v, c) in e.terms() {
-        s.push_str(&format!(",{v},{c}"));
-    }
-    s
-}
-
-fn parse_expr(text: &str) -> Result<AffineExpr, String> {
-    let parts: Vec<&str> = text.split(',').collect();
-    if parts.len() % 2 != 1 {
-        return Err(format!("subscript {text} is not constant[,var,coeff]..."));
-    }
-    let c: i64 = parts[0]
-        .parse()
-        .map_err(|_| format!("bad subscript constant {}", parts[0]))?;
-    let mut e = AffineExpr::constant(c);
-    for pair in parts[1..].chunks(2) {
-        let coeff: i64 = pair[1]
-            .parse()
-            .map_err(|_| format!("bad coefficient {}", pair[1]))?;
-        e = e.add(&AffineExpr::scaled(pair[0], coeff));
-    }
-    Ok(e)
-}
-
-fn const_bounds(l: &Loop) -> Option<(i64, i64)> {
-    if l.lowers.len() == 1
-        && l.uppers.len() == 1
-        && l.lowers[0].is_constant()
-        && l.uppers[0].is_constant()
-    {
-        Some((l.lowers[0].constant_term(), l.uppers[0].constant_term()))
-    } else {
-        None
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::case::CaseConfig;
-
-    #[test]
-    fn generated_cases_round_trip() {
-        for seed in 0..60 {
-            let case = Case::generate(seed, &CaseConfig::default());
-            let text = write_case(&case, Some("fastpath-parity")).unwrap();
-            let (back, oracle) =
-                parse_case(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
-            assert_eq!(back, case, "seed {seed}");
-            assert_eq!(oracle.as_deref(), Some("fastpath-parity"));
-        }
-    }
-
-    #[test]
-    fn comments_and_blank_lines_are_ignored() {
-        let case = Case::generate(4, &CaseConfig::default());
-        let text = write_case(&case, None).unwrap();
-        let noisy = format!("# header\n\n{text}\n# trailer\n");
-        let (back, oracle) = parse_case(&noisy).unwrap();
-        assert_eq!(back, case);
-        assert_eq!(oracle, None);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_input() {
-        assert!(parse_case("").is_err(), "no levels");
-        assert!(parse_case("level 1000 32 1 6\n").is_err(), "size not a power of two is a panic domain; 1000 parses but construction must be caught upstream"
-        );
-    }
-
-    #[test]
-    fn parse_reports_unknown_keyword_with_line() {
-        let err = parse_case("level 1024 32 1 6\nfrobnicate\n").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-    }
-
-    #[test]
-    fn negative_offsets_survive_round_trip() {
-        let e = AffineExpr::var_plus("i", -2);
-        let s = expr_to_string(&e);
-        assert_eq!(parse_expr(&s).unwrap(), e);
-    }
-}
+pub use mlc_model::corpus::{parse_case, read_case, write_case};

@@ -26,7 +26,13 @@
 //! * the fusion cost model's deltas are internally consistent and its
 //!   L2/memory accounting is conserved (Section 4);
 //! * the analytic miss estimator ranks layouts the way the simulator does,
-//!   on the inputs that satisfy its stated assumptions (Section 6.4).
+//!   on the inputs that satisfy its stated assumptions (Section 6.4);
+//! * the `mlc-serve` HTTP service is a pure transport: serving a case over
+//!   a real socket returns exactly the in-process simulate/optimize answer
+//!   (pads, per-level miss counters, or the documented typed error).
+//!
+//! The [`requests`] module reuses the case generator to build seed-stable
+//! HTTP request streams for the `serve_load` benchmark.
 //!
 //! A failing case is [shrunk](shrink) to a minimal reproducer and
 //! serialized in a line-oriented text format ([`corpus`]) meant to be
@@ -40,8 +46,10 @@
 pub mod case;
 pub mod corpus;
 pub mod oracle;
+pub mod requests;
 pub mod shrink;
 
 pub use case::{Case, CaseConfig};
 pub use oracle::{check_case, Report, Violation, ORACLES};
+pub use requests::{RequestStream, RequestStreamConfig, ServeRequest};
 pub use shrink::shrink;

@@ -36,6 +36,7 @@ pub const ORACLES: &[&str] = &[
     "fusion-model",
     "estimator-agreement",
     "cache-parity",
+    "serve-parity",
 ];
 
 /// Simulator-vs-estimator ranking indifference band (miss-rate units). The
@@ -177,7 +178,252 @@ pub fn check_case(case: &Case) -> Report {
     check_fusion_model(case, &mut r);
     check_estimator_agreement(case, &layout, &mut r);
     check_cache_parity(case, &layout, &mut r);
+    check_serve_parity(case, &layout, &mut r);
     r
+}
+
+/// Run only the serve-parity oracle on a case — the tier-1 serve-parity
+/// battery replays hundreds of generated cases and does not need the other
+/// ten oracles re-judging each one.
+pub fn check_serve_parity_only(case: &Case) -> Report {
+    let mut r = Report::default();
+    check_serve_parity(case, &case.layout(), &mut r);
+    r
+}
+
+/// The shared in-process HTTP server behind the serve-parity oracle,
+/// started on first use and deliberately leaked: the oracle runs per case
+/// from many fuzz threads, and a per-case server would dominate runtime.
+/// Two workers are plenty — the oracle sends one request at a time.
+fn serve_parity_addr() -> Result<std::net::SocketAddr, String> {
+    use std::sync::OnceLock;
+    static ADDR: OnceLock<Result<std::net::SocketAddr, String>> = OnceLock::new();
+    ADDR.get_or_init(|| {
+        let server = mlc_serve::Server::start(mlc_serve::ServerConfig {
+            workers: Some(2),
+            ..mlc_serve::ServerConfig::default()
+        })
+        .map_err(|e| format!("cannot start serve-parity server: {e}"))?;
+        let addr = server.addr();
+        std::mem::forget(server);
+        Ok(addr)
+    })
+    .clone()
+}
+
+/// The served API must be a pure transport: byte-identical `.case` input
+/// must produce the same miss counters, the same pads, and the same
+/// *failures* as the in-process library — under both protocols, for both
+/// `/simulate` and `/optimize`.
+fn check_serve_parity(case: &Case, layout: &DataLayout, r: &mut Report) {
+    use mlc_core::rescache::report_from_json;
+    use mlc_core::{try_optimize, OptimizeOptions};
+    use mlc_telemetry::json::JsonValue;
+
+    let oracle = "serve-parity";
+    let (p, h) = (&case.program, &case.hierarchy);
+    let text = match crate::corpus::write_case(case, None) {
+        Ok(t) => t,
+        Err(e) => {
+            r.skip(oracle, format!("case does not serialize: {e}"));
+            return;
+        }
+    };
+    let addr = match serve_parity_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            r.skip(oracle, e);
+            return;
+        }
+    };
+    let request = |path: &str| -> Result<mlc_serve::ClientResponse, String> {
+        mlc_serve::send_request(addr, "POST", path, &text).map_err(|e| e.to_string())
+    };
+    let parse_body = |body: &str| -> Result<JsonValue, String> {
+        JsonValue::parse(body).map_err(|e| format!("unparseable response body: {e:?}"))
+    };
+    let served_report = |json: &JsonValue, field: &str| -> Result<_, String> {
+        let report = field
+            .split('.')
+            .try_fold(json, |v, k| v.get(k).ok_or(format!("no {field} field")))?;
+        report_from_json(report)
+    };
+
+    // /simulate, differentially on the success AND the error path.
+    let mut base_simulates = true;
+    for (label, query, inproc) in [
+        (
+            "cold",
+            "/simulate?protocol=cold",
+            try_simulate_with(p, layout, h, true),
+        ),
+        (
+            "steady",
+            "/simulate?protocol=steady&warmup=1&timed=1",
+            try_simulate_steady_with(p, layout, h, 1, 1, true),
+        ),
+    ] {
+        let resp = match request(query) {
+            Ok(resp) => resp,
+            Err(e) => {
+                r.fail(oracle, format!("{label}: transport error: {e}"));
+                return;
+            }
+        };
+        match (inproc, resp.status) {
+            (Ok(expected), 200) => {
+                let parsed = match parse_body(&resp.body).and_then(|json| {
+                    let report = served_report(&json, "report")?;
+                    let pads: Option<Vec<u64>> = json
+                        .get("pads")
+                        .and_then(JsonValue::as_array)
+                        .map(|a| a.iter().filter_map(JsonValue::as_u64).collect());
+                    Ok((report, pads))
+                }) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        r.fail(oracle, format!("{label}: {e}"));
+                        return;
+                    }
+                };
+                let (served, pads) = parsed;
+                if served != expected {
+                    r.fail(
+                        oracle,
+                        format!(
+                            "{label}: served report diverges: in-process {expected:?}, \
+                             served {served:?}"
+                        ),
+                    );
+                    return;
+                }
+                if pads.as_deref() != Some(&case.pads[..]) {
+                    r.fail(
+                        oracle,
+                        format!("{label}: served pads {pads:?} != case pads {:?}", case.pads),
+                    );
+                    return;
+                }
+            }
+            (Err(_), 422) => {
+                // Both sides reject the trace IR: the error path agrees.
+                base_simulates = false;
+            }
+            (Ok(_), status) => {
+                r.fail(
+                    oracle,
+                    format!(
+                        "{label}: simulates in-process but server answered {status}: {}",
+                        resp.body
+                    ),
+                );
+                return;
+            }
+            (Err(e), status) => {
+                r.fail(
+                    oracle,
+                    format!(
+                        "{label}: in-process trace error ({e}) but server answered \
+                         {status} instead of 422: {}",
+                        resp.body
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
+    // /optimize: same pads, same before/after counters, same failure mode.
+    // Mirror the server's target resolution: `multi` degrades to the L1
+    // pipeline on a single-level hierarchy.
+    let options = if h.depth() >= 2 {
+        OptimizeOptions::multilvl_group()
+    } else {
+        OptimizeOptions::l1_group()
+    };
+    let inproc = caught(|| try_optimize(p, h, &options));
+    let resp = match request("/optimize") {
+        Ok(resp) => resp,
+        Err(e) => {
+            r.fail(oracle, format!("optimize: transport error: {e}"));
+            return;
+        }
+    };
+    match (inproc, resp.status, base_simulates) {
+        (Ok(Ok(opt)), 200, true) => {
+            let expected_pads = opt.layout.pads(&opt.program.arrays);
+            let expected_after =
+                match try_simulate_steady_with(&opt.program, &opt.layout, h, 1, 1, true) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        r.fail(
+                            oracle,
+                            format!("optimized program does not simulate in-process: {e}"),
+                        );
+                        return;
+                    }
+                };
+            let parsed = parse_body(&resp.body).and_then(|json| {
+                let after = served_report(&json, "after.report")?;
+                let pads: Option<Vec<u64>> = json
+                    .get("pads")
+                    .and_then(JsonValue::as_array)
+                    .map(|a| a.iter().filter_map(JsonValue::as_u64).collect());
+                Ok((after, pads))
+            });
+            let (after, pads) = match parsed {
+                Ok(x) => x,
+                Err(e) => {
+                    r.fail(oracle, format!("optimize: {e}"));
+                    return;
+                }
+            };
+            if pads.as_deref() != Some(&expected_pads[..]) {
+                r.fail(
+                    oracle,
+                    format!("optimize: served pads {pads:?} != in-process {expected_pads:?}"),
+                );
+                return;
+            }
+            if after != expected_after {
+                r.fail(
+                    oracle,
+                    format!(
+                        "optimize: served after-report diverges: in-process \
+                         {expected_after:?}, served {after:?}"
+                    ),
+                );
+                return;
+            }
+        }
+        (_, 422, false) => {} // both sides already agreed the IR is bad
+        (Err(msg), 422, _) if is_search_exhaustion(&msg) => {
+            if !resp.body.contains("search_exhausted") {
+                r.fail(
+                    oracle,
+                    format!(
+                        "optimize: search exhausted in-process but server answered \
+                         a different 422: {}",
+                        resp.body
+                    ),
+                );
+                return;
+            }
+        }
+        (Ok(Err(_)), 422, _) => {} // pipeline rejection agrees (optimize_failed)
+        (inproc, status, _) => {
+            r.fail(
+                oracle,
+                format!(
+                    "optimize: outcome mismatch: in-process {:?}, server {status}: {}",
+                    inproc.map(|res| res.map(|o| o.layout.pads(&o.program.arrays))),
+                    resp.body
+                ),
+            );
+            return;
+        }
+    }
+    r.checked.push(oracle);
 }
 
 /// The content-addressed result cache must be transparent: for an

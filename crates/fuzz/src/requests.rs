@@ -1,0 +1,195 @@
+//! Deterministic serve request streams for the `serve_load` generator.
+//!
+//! A load benchmark against `mlc-serve` needs a stream that is (a)
+//! reproducible from a seed, so two runs of `serve_load` measure the same
+//! work, and (b) key-duplicated on purpose, so the rescache front's
+//! coalesced/hit path is actually on the measured path (an all-distinct
+//! stream would only ever measure cold computes). This module draws a
+//! small pool of distinct generator [`Case`]s, serializes each once
+//! through the corpus text format (the serve wire format), and then deals
+//! a request schedule over the pool: every request picks a pool case and
+//! an endpoint, so the same body bytes — hence the same `CacheKey` —
+//! recur throughout the stream in a seed-stable pattern.
+//!
+//! The stream leans on `POST /simulate` (the serving hot path) with a
+//! configurable slice of `POST /optimize` requests mixed in; cold and
+//! steady protocols alternate per request so both cache-key families get
+//! traffic. Cases that fail to serialize (the generator can in principle
+//! emit a non-round-trippable case) are skipped and redrawn, so every
+//! returned request is servable as-is.
+
+use crate::{corpus, Case, CaseConfig};
+use mlc_cache_sim::rng::DetRng;
+
+/// Bounds for one generated request stream.
+#[derive(Debug, Clone)]
+pub struct RequestStreamConfig {
+    /// Total requests in the stream.
+    pub requests: usize,
+    /// Distinct cases (hence distinct request bodies) in the pool. The
+    /// expected duplicate rate is `1 - pool/requests`.
+    pub pool: usize,
+    /// Requests per 100 that go to `POST /optimize`; the rest go to
+    /// `POST /simulate`. Optimize runs a padding search per miss, so keep
+    /// this slice small in latency-focused runs.
+    pub optimize_percent: u64,
+    /// Generator bounds for the pooled cases.
+    pub case: CaseConfig,
+}
+
+impl Default for RequestStreamConfig {
+    fn default() -> Self {
+        Self {
+            requests: 200,
+            pool: 8,
+            optimize_percent: 10,
+            case: CaseConfig::default(),
+        }
+    }
+}
+
+/// One ready-to-send request: method is always POST, the body is the
+/// corpus-format case text.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Path plus query string, e.g. `/simulate?protocol=steady&warmup=1&timed=1`.
+    pub path_and_query: String,
+    /// Corpus-format case text (the wire format).
+    pub body: String,
+    /// Index of the pool case this request replays — requests with equal
+    /// `(pool_index, path_and_query)` carry identical bytes and therefore
+    /// identical `CacheKey`s.
+    pub pool_index: usize,
+}
+
+/// A seed-stable request schedule over a shared case pool.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    /// The requests, in send order.
+    pub requests: Vec<ServeRequest>,
+    /// Distinct `(pool_index, path_and_query)` pairs in the stream — the
+    /// number of computes a perfectly coalescing/caching server performs.
+    pub distinct_keys: usize,
+}
+
+impl RequestStream {
+    /// Generate the stream for `seed`. Equal seeds and configs give equal
+    /// streams, byte for byte.
+    pub fn generate(seed: u64, cfg: &RequestStreamConfig) -> Self {
+        assert!(cfg.pool > 0, "request pool must not be empty");
+        assert!(cfg.optimize_percent <= 100, "optimize_percent is per 100");
+        let mut rng = DetRng::new(seed ^ 0x5E4E_5E4E_5E4E_5E4E);
+
+        // Draw the pool: distinct case texts, redrawing the (rare) case
+        // that does not serialize. The draw budget bounds the loop on a
+        // pathological config.
+        let mut pool: Vec<String> = Vec::with_capacity(cfg.pool);
+        let mut draw = seed;
+        let mut budget = 64 * cfg.pool;
+        while pool.len() < cfg.pool && budget > 0 {
+            budget -= 1;
+            let case = Case::generate(draw, &cfg.case);
+            draw = draw.wrapping_add(1);
+            if let Ok(text) = corpus::write_case(&case, None) {
+                if !pool.contains(&text) {
+                    pool.push(text);
+                }
+            }
+        }
+        assert!(
+            !pool.is_empty(),
+            "no serializable case in {} draws from seed {seed}",
+            64 * cfg.pool
+        );
+
+        let mut requests = Vec::with_capacity(cfg.requests);
+        let mut keys = std::collections::BTreeSet::new();
+        for i in 0..cfg.requests {
+            let pool_index = rng.range_usize(0, pool.len());
+            let optimize = rng.range_u64(0, 100) < cfg.optimize_percent;
+            // Alternate protocols so both cache-key families get traffic;
+            // derived from the request index, not the RNG, so the mix is
+            // exactly half regardless of pool-draw history.
+            let path_and_query = if optimize {
+                "/optimize?target=multi".to_string()
+            } else if i % 2 == 0 {
+                "/simulate?protocol=cold".to_string()
+            } else {
+                "/simulate?protocol=steady&warmup=1&timed=1".to_string()
+            };
+            keys.insert((pool_index, path_and_query.clone()));
+            requests.push(ServeRequest {
+                path_and_query,
+                body: pool[pool_index].clone(),
+                pool_index,
+            });
+        }
+        Self {
+            requests,
+            distinct_keys: keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RequestStreamConfig {
+        RequestStreamConfig {
+            requests: 50,
+            pool: 4,
+            ..RequestStreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let a = RequestStream::generate(9, &small());
+        let b = RequestStream::generate(9, &small());
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.path_and_query, y.path_and_query);
+            assert_eq!(x.body, y.body);
+            assert_eq!(x.pool_index, y.pool_index);
+        }
+        let c = RequestStream::generate(10, &small());
+        assert!(
+            a.requests
+                .iter()
+                .zip(&c.requests)
+                .any(|(x, y)| x.body != y.body || x.path_and_query != y.path_and_query),
+            "different seeds must differ somewhere"
+        );
+    }
+
+    #[test]
+    fn stream_duplicates_keys_on_purpose() {
+        let s = RequestStream::generate(3, &small());
+        assert_eq!(s.requests.len(), 50);
+        // 4-case pool × ≤3 endpoint shapes bounds the key space well below
+        // the request count, so duplicates are guaranteed.
+        assert!(s.distinct_keys <= 12);
+        assert!(s.distinct_keys < s.requests.len());
+        // Same pool index + same path ⇒ byte-identical body.
+        for r in &s.requests {
+            for q in &s.requests {
+                if r.pool_index == q.pool_index {
+                    assert_eq!(r.body, q.body);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_request_body_parses_as_a_case() {
+        let s = RequestStream::generate(7, &small());
+        for r in &s.requests {
+            corpus::parse_case(&r.body).expect("pool bodies are valid corpus text");
+            assert!(
+                r.path_and_query.starts_with("/simulate")
+                    || r.path_and_query.starts_with("/optimize")
+            );
+        }
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`footprint`] — per-nest address-range/working-set estimates.
 //! * [`diagram`] — ASCII renderings of the paper's cache-layout diagrams
 //!   (Figures 3–5 and 7).
+//! * [`case`] / [`corpus`] — self-contained (program, pads, hierarchy)
+//!   cases and their line-oriented `.case` text format: the committed
+//!   fuzz-regression corpus under `tests/corpus/` and the wire format of
+//!   the `mlc-serve` HTTP API.
 //!
 //! ## Example: the paper's Figure 1
 //!
@@ -57,7 +61,9 @@
 
 pub mod arbitrary;
 pub mod array;
+pub mod case;
 pub mod content_hash;
+pub mod corpus;
 pub mod dependence;
 pub mod diagram;
 pub mod distribute;

@@ -1,0 +1,424 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for the service:
+//! one request per connection, `Content-Length` bodies, `Connection: close`
+//! responses. No keep-alive, no chunked encoding, no TLS; the wire format
+//! this carries (`.case` text and JSON) is small and line-oriented, so the
+//! simplest possible framing is also the most debuggable one.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Longest accepted request line + headers block, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Per-socket read/write timeout. A stalled client must never pin a worker
+/// forever; the load this server handles is interactive, not streaming.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request head plus its body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with the query string stripped (`/simulate`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance. Keys repeat as sent;
+    /// [`Request::query`] returns the first match.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Malformed request line, header, or `Content-Length`.
+    Malformed(String),
+    /// Head or body exceeded the configured limit.
+    TooLarge {
+        /// `"head"` or `"body"`.
+        what: &'static str,
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// Socket error (including timeouts and mid-request disconnects).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ReadError::TooLarge { what, limit } => {
+                write!(f, "request {what} exceeds {limit} bytes")
+            }
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Read and parse one request. `max_body_bytes` bounds the declared
+/// `Content-Length`; the head is bounded by [`MAX_HEAD_BYTES`].
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ReadError> {
+    stream
+        .set_read_timeout(Some(IO_TIMEOUT))
+        .map_err(ReadError::Io)?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(ReadError::Io)?;
+    let mut reader = BufReader::new(stream);
+
+    let mut head_lines: Vec<String> = Vec::new();
+    let mut head_bytes = 0usize;
+    loop {
+        let line = read_crlf_line(&mut reader)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge {
+                what: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        if line.is_empty() {
+            if head_lines.is_empty() {
+                return Err(ReadError::Malformed("empty request".into()));
+            }
+            break; // blank line: end of headers
+        }
+        head_lines.push(line);
+    }
+
+    let mut lines = head_lines.iter();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request line".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ReadError::Malformed("expected HTTP/1.x version".into())),
+    }
+
+    let mut headers: BTreeMap<String, String> = BTreeMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let content_length = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad Content-Length: {v:?}")))?,
+    };
+    if content_length > max_body_bytes {
+        return Err(ReadError::TooLarge {
+            what: "body",
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ReadError::Io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::Malformed("body is not valid UTF-8".into()))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, excluding the terminator.
+fn read_crlf_line(reader: &mut impl BufRead) -> Result<String, ReadError> {
+    let mut buf = Vec::new();
+    let n = reader.read_until(b'\n', &mut buf).map_err(ReadError::Io)?;
+    if n == 0 {
+        return Err(ReadError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-head",
+        )));
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ReadError::Malformed("head is not valid UTF-8".into()))
+}
+
+/// Split a query string into ordered key/value pairs. `+` and `%XX` decode;
+/// pairs without `=` get an empty value.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(h), Some(l)) => {
+                    out.push(h * 16 + l);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        c @ b'0'..=b'9' => Some(c - b'0'),
+        c @ b'a'..=b'f' => Some(c - b'a' + 10),
+        c @ b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// A response ready to serialize: status, extra headers, JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the standard set (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body text (always `application/json` here).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Add a header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize onto `w` with `Content-Length` and `Connection: close`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        write!(w, "Content-Type: application/json\r\n")?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n")?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response read back by the built-in client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header name → value.
+    pub headers: BTreeMap<String, String>,
+    /// Body text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(|s| s.as_str())
+    }
+}
+
+/// Blocking one-shot client: open a connection, send one request, read the
+/// response until EOF. Used by the serve-parity oracle, the load generator,
+/// and every integration test — keeping client and server framing in one
+/// file means a framing bug cannot hide on just one side.
+pub fn send_request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut req =
+        format!("{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if !body.is_empty() || method == "POST" {
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes())?;
+
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    loop {
+        let before = head.len();
+        let n = reader.read_until(b'\n', &mut head)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response head completed",
+            ));
+        }
+        // A blank CRLF line ends the head.
+        if head.len() - before <= 2 && head[before..].iter().all(|&b| b == b'\r' || b == b'\n') {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let mut body_bytes = Vec::new();
+    match headers
+        .get("content-length")
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(len) => {
+            body_bytes.resize(len, 0);
+            reader.read_exact(&mut body_bytes)?;
+        }
+        None => {
+            reader.read_to_end(&mut body_bytes)?;
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes_and_preserves_order() {
+        let q = parse_query("a=1&b=hello%20world&flag&c=x%2By");
+        assert_eq!(
+            q,
+            vec![
+                ("a".into(), "1".into()),
+                ("b".into(), "hello world".into()),
+                ("flag".into(), String::new()),
+                ("c".into(), "x+y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_decode_tolerates_truncated_escapes() {
+        assert_eq!(percent_decode("abc%"), "abc%");
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%zz"), "a%zz");
+        assert_eq!(percent_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,362 @@
+//! The threaded server: one acceptor, a bounded admission queue, and a
+//! worker pool.
+//!
+//! Connections are admitted into an `mpsc::sync_channel` whose depth is the
+//! backpressure knob: when the queue is full the *acceptor* answers 429
+//! with `Retry-After` immediately, so overload never grows an unbounded
+//! backlog inside the process (the small OS accept backlog is the only
+//! buffering beyond the queue). Workers pull connections, parse, handle,
+//! respond, close — one request per connection, no keep-alive.
+//!
+//! Shutdown is graceful by construction: the acceptor stops admitting and
+//! drops the sender, workers drain whatever is already queued, then their
+//! `recv` disconnects and they exit. [`Server::shutdown`] joins
+//! everything before returning, so when it returns the listener is closed
+//! and every in-flight response has been written.
+
+use crate::api::{handle, ServeCounters, ServeState};
+use crate::error::ApiError;
+use crate::http::{read_request, ReadError};
+use mlc_core::{par, ResultCache};
+use mlc_telemetry::Telemetry;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server construction knobs. `Default` is suitable for tests: an
+/// OS-assigned loopback port, `par`-sized worker pool, and a private
+/// temporary result-cache directory removed at shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Bind address; empty means `127.0.0.1:0` (OS-assigned port).
+    pub addr: String,
+    /// Worker threads; `None` means [`par::default_threads`] (which honors
+    /// `--threads` via `par::set_thread_override` and `MLC_THREADS`).
+    pub workers: Option<usize>,
+    /// Admission-queue depth; 0 means the default (64).
+    pub queue_depth: usize,
+    /// Request-body cap in bytes; 0 means the default (1 MiB).
+    pub max_body_bytes: usize,
+    /// Shared result cache. `None` opens a private temp-dir cache that is
+    /// deleted at shutdown.
+    pub cache: Option<Arc<ResultCache>>,
+    /// Optional telemetry bundle: per-request spans land in its tracer.
+    pub telemetry: Option<Arc<Mutex<Telemetry>>>,
+}
+
+/// Default admission-queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default request-body cap.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
+
+/// `Retry-After` seconds advertised on queue-full 429s.
+pub const RETRY_AFTER_SECS: u64 = 1;
+
+/// The worker pause test hook: a flag + condvar, plus a count of workers
+/// currently holding a dequeued connection at the gate.
+#[derive(Debug, Default)]
+struct PauseGate {
+    flag: Mutex<bool>,
+    cond: Condvar,
+    holding: AtomicU64,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`Server::shutdown`] leaks the threads (they keep serving); call
+/// `shutdown` to stop accepting, drain, and join.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutting_down: Arc<AtomicBool>,
+    pause: Arc<PauseGate>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    owned_cache_dir: Option<PathBuf>,
+    telemetry: Option<Arc<Mutex<Telemetry>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return the handle.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let addr = if config.addr.is_empty() {
+            "127.0.0.1:0".to_string()
+        } else {
+            config.addr.clone()
+        };
+        let listener = TcpListener::bind(&addr)?;
+        let addr = listener.local_addr()?;
+
+        let (cache, owned_cache_dir) = match config.cache {
+            Some(cache) => (cache, None),
+            None => {
+                let dir = private_cache_dir();
+                let cache = Arc::new(ResultCache::open(&dir)?);
+                (cache, Some(dir))
+            }
+        };
+        let n_workers = config.workers.unwrap_or_else(par::default_threads).max(1);
+        let queue_depth = if config.queue_depth == 0 {
+            DEFAULT_QUEUE_DEPTH
+        } else {
+            config.queue_depth
+        };
+        let max_body = if config.max_body_bytes == 0 {
+            DEFAULT_MAX_BODY_BYTES
+        } else {
+            config.max_body_bytes
+        };
+
+        let state = Arc::new(ServeState {
+            cache,
+            counters: Arc::new(ServeCounters::default()),
+            workers: n_workers,
+            queue_depth,
+            max_body_bytes: max_body,
+            started: Instant::now(),
+        });
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let pause = Arc::new(PauseGate::default());
+
+        let (tx, rx) = sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let pause = Arc::clone(&pause);
+            let telemetry = config.telemetry.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mlc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state, &pause, telemetry.as_deref()))?,
+            );
+        }
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let shutting_down = Arc::clone(&shutting_down);
+            std::thread::Builder::new()
+                .name("mlc-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &tx, &state, &shutting_down))?
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            shutting_down,
+            pause,
+            acceptor: Some(acceptor),
+            workers,
+            owned_cache_dir,
+            telemetry: config.telemetry,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared counters (for tests and the load generator).
+    pub fn counters(&self) -> Arc<ServeCounters> {
+        Arc::clone(&self.state.counters)
+    }
+
+    /// The shared result cache.
+    pub fn cache(&self) -> Arc<ResultCache> {
+        Arc::clone(&self.state.cache)
+    }
+
+    /// Test hook: hold every worker *before* it handles its next queued
+    /// connection. Accepted connections pile up in the admission queue, so
+    /// queue-full backpressure and shutdown draining become deterministic
+    /// instead of timing games.
+    pub fn pause_workers(&self) {
+        *self.pause.flag.lock().unwrap() = true;
+    }
+
+    /// Release [`Server::pause_workers`].
+    pub fn resume_workers(&self) {
+        *self.pause.flag.lock().unwrap() = false;
+        self.pause.cond.notify_all();
+    }
+
+    /// How many paused workers currently hold a dequeued connection at the
+    /// gate. Tests poll this to synchronize with [`Server::pause_workers`].
+    pub fn paused_holding(&self) -> u64 {
+        self.pause.holding.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join every
+    /// thread, and close the listener. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Workers must be running to drain; shutdown overrides a test pause.
+        self.resume_workers();
+        // Unblock a parked accept() so the acceptor observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join(); // dropping its sender disconnects workers
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(dir) = self.owned_cache_dir.take() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        if let Some(tel) = &self.telemetry {
+            if let Ok(mut tel) = tel.lock() {
+                self.state
+                    .counters
+                    .install_metrics(&mut tel.metrics, "serve");
+                self.state
+                    .cache
+                    .install_metrics(&mut tel.metrics, "serve.rescache");
+            }
+        }
+    }
+}
+
+static CACHE_DIR_NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn private_cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mlc-serve-cache-{}-{}",
+        std::process::id(),
+        CACHE_DIR_NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &std::sync::mpsc::SyncSender<TcpStream>,
+    state: &ServeState,
+    shutting_down: &AtomicBool,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutting_down.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a late client) is dropped
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Backpressure: answer on the accept thread without reading
+                // the request (the response is tiny; the write cannot block
+                // meaningfully on a loopback-scale socket buffer).
+                state.counters.queue_full.fetch_add(1, Ordering::Relaxed);
+                let resp = ApiError::queue_full(RETRY_AFTER_SECS).to_response();
+                let _ = resp.write_to(&mut stream);
+                state.counters.record_status(resp.status);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    state: &ServeState,
+    pause: &PauseGate,
+    telemetry: Option<&Mutex<Telemetry>>,
+) {
+    loop {
+        // Receivers are shared behind a mutex (mpsc receivers are !Sync);
+        // holding it only across `recv` hands connections to workers one at
+        // a time without serializing the handling itself.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor gone and queue drained
+        };
+        // Test-hook gate: while paused, hold the dequeued connection
+        // un-served. `holding` makes the held state observable, so tests
+        // can force a deterministic queue-full without timing games.
+        {
+            let mut paused = pause.flag.lock().unwrap();
+            if *paused {
+                pause.holding.fetch_add(1, Ordering::SeqCst);
+                while *paused {
+                    paused = pause.cond.wait(paused).unwrap();
+                }
+                pause.holding.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        serve_connection(stream, state, telemetry);
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServeState,
+    telemetry: Option<&Mutex<Telemetry>>,
+) {
+    let started = Instant::now();
+    let (endpoint, response) = match read_request(&mut stream, state.max_body_bytes) {
+        Ok(req) => {
+            let endpoint = format!("{} {}", req.method, req.path);
+            (endpoint, handle(state, &req))
+        }
+        Err(err) => {
+            let api_err = match err {
+                ReadError::TooLarge { what, limit } => ApiError::payload_too_large(what, limit),
+                ReadError::Malformed(m) => ApiError::bad_request(m),
+                ReadError::Io(e) => {
+                    // Nothing useful can be written to a dead socket, but
+                    // account for the attempt and try anyway.
+                    ApiError::bad_request(format!("unreadable request: {e}"))
+                }
+            };
+            let resp = api_err.to_response();
+            state.counters.record_status(resp.status);
+            ("(unreadable)".to_string(), resp)
+        }
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+
+    if let Some(tel) = telemetry {
+        if let Ok(mut tel) = tel.lock() {
+            if tel.is_enabled() {
+                let micros = started.elapsed().as_micros() as i64;
+                tel.tracer.event(
+                    "serve.request",
+                    vec![
+                        ("endpoint".to_string(), endpoint.as_str().into()),
+                        ("status".to_string(), i64::from(response.status).into()),
+                        ("micros".to_string(), micros.into()),
+                        ("bytes_out".to_string(), (response.body.len() as i64).into()),
+                    ],
+                );
+            }
+        }
+    }
+}

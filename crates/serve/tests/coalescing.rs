@@ -1,0 +1,107 @@
+//! Coalescing-under-load: N concurrent clients POSTing the same case must
+//! cost exactly one simulation, with every other request answered from the
+//! shared result-cache front — and all N responses byte-identical.
+
+mod common;
+
+use common::{get, post, start, SIMPLE_CASE};
+use mlc_telemetry::json::JsonValue;
+use std::sync::atomic::Ordering;
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_compute() {
+    const CLIENTS: usize = 8;
+    let server = start(4, 16);
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let server = &server;
+                scope.spawn(move || {
+                    let resp = post(server, "/simulate", SIMPLE_CASE);
+                    assert_eq!(resp.status, 200, "body: {}", resp.body);
+                    resp.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "served answers must be byte-identical");
+    }
+
+    // Exactly one compute; everyone else coalesced onto it in memory.
+    let counters = server.counters();
+    assert_eq!(counters.computes.load(Ordering::SeqCst), 1);
+    let stats = server.cache().stats();
+    assert_eq!(stats.coalesced, (CLIENTS - 1) as u64);
+    assert_eq!(stats.stores, 1);
+
+    // /stats agrees with the in-process view.
+    let stats_resp = get(&server, "/stats");
+    assert_eq!(stats_resp.status, 200);
+    let json = JsonValue::parse(&stats_resp.body).unwrap();
+    assert_eq!(
+        json.get("serve")
+            .and_then(|s| s.get("computes"))
+            .and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        json.get("rescache")
+            .and_then(|s| s.get("coalesced"))
+            .and_then(JsonValue::as_u64),
+        Some((CLIENTS - 1) as u64)
+    );
+
+    let mut server = server;
+    server.shutdown();
+}
+
+#[test]
+fn distinct_protocols_do_not_coalesce() {
+    let server = start(2, 16);
+    let a = post(
+        &server,
+        "/simulate?protocol=steady&warmup=1&timed=1",
+        SIMPLE_CASE,
+    );
+    let b = post(
+        &server,
+        "/simulate?protocol=steady&warmup=2&timed=1",
+        SIMPLE_CASE,
+    );
+    assert_eq!(a.status, 200);
+    assert_eq!(b.status, 200);
+    let key = |resp: &mlc_serve::ClientResponse| {
+        JsonValue::parse(&resp.body)
+            .unwrap()
+            .get("key")
+            .and_then(|k| k.as_str())
+            .unwrap()
+            .to_string()
+    };
+    assert_ne!(
+        key(&a),
+        key(&b),
+        "different protocols must have different keys"
+    );
+    assert_eq!(server.counters().computes.load(Ordering::SeqCst), 2);
+
+    let mut server = server;
+    server.shutdown();
+}
+
+#[test]
+fn repeated_requests_hit_without_recompute() {
+    let server = start(2, 16);
+    let first = post(&server, "/simulate", SIMPLE_CASE);
+    let second = post(&server, "/simulate", SIMPLE_CASE);
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(second.body, first.body);
+    assert_eq!(server.counters().computes.load(Ordering::SeqCst), 1);
+
+    let mut server = server;
+    server.shutdown();
+}

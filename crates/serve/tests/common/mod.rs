@@ -1,0 +1,51 @@
+//! Shared fixtures for the serve integration batteries.
+
+use mlc_serve::{send_request, ClientResponse, Server, ServerConfig};
+
+/// A small two-level stencil case in the `.case` wire format.
+pub const SIMPLE_CASE: &str = "\
+seed 0
+program simple
+level 1024 32 1 6
+level 8192 64 1 30
+array A 8 32,32 0,0 0
+array B 8 32,32 0,0 0
+nest n0
+loop i 2 12 1
+loop j 2 12 1
+ref r 0 0,j,1;0,i,1
+ref w 1 0,j,1;0,i,1
+end
+";
+
+/// Start a server with the given pool/queue shape and a private cache.
+pub fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(ServerConfig {
+        workers: Some(workers),
+        queue_depth,
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+/// POST a body and panic on transport errors (HTTP errors come back).
+pub fn post(server: &Server, path_and_query: &str, body: &str) -> ClientResponse {
+    send_request(server.addr(), "POST", path_and_query, body).expect("request")
+}
+
+/// GET a path.
+pub fn get(server: &Server, path_and_query: &str) -> ClientResponse {
+    send_request(server.addr(), "GET", path_and_query, "").expect("request")
+}
+
+/// The `error.code` field of a typed error body.
+#[allow(dead_code)] // each test binary compiles its own copy; not all use it
+pub fn error_code(resp: &ClientResponse) -> String {
+    let json = mlc_telemetry::json::JsonValue::parse(&resp.body)
+        .unwrap_or_else(|e| panic!("unparseable error body {:?}: {e:?}", resp.body));
+    json.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .unwrap_or_else(|| panic!("no error.code in {:?}", resp.body))
+        .to_string()
+}

@@ -1,0 +1,49 @@
+//! Regression: `--threads` given to any experiment binary via the shared
+//! `TelemetryCli` extractor must size the `mlc-serve` worker pool.
+//!
+//! The PR-8 override only covered the sweep binaries' own `--threads`
+//! parsing; the serve binaries build their pool from
+//! `mlc_core::par::default_threads()` long after argument parsing, so the
+//! flag has to land in the process-wide override
+//! (`mlc_core::par::set_thread_override`) for the pool to see it. This
+//! test drives the real chain: extract → override → `Server::start` with
+//! no explicit worker count.
+
+use mlc_experiments::TelemetryCli;
+use mlc_serve::{Server, ServerConfig};
+
+#[test]
+fn telemetry_cli_threads_sizes_the_server_worker_pool() {
+    let prior = mlc_core::par::thread_override();
+
+    let (_tcli, rest) = TelemetryCli::extract(
+        ["serve", "--threads", "3", "--queue-depth", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    );
+    // The flag is consumed by the extractor, not left for the binary.
+    assert_eq!(rest, vec!["serve", "--queue-depth", "8"]);
+    assert_eq!(mlc_core::par::thread_override(), Some(3));
+
+    // A server configured without an explicit worker count sizes its pool
+    // from default_threads(), which the override now pins.
+    let mut server = Server::start(ServerConfig::default()).expect("server starts");
+    assert_eq!(
+        server.workers(),
+        3,
+        "server worker pool must honor TelemetryCli --threads"
+    );
+    server.shutdown();
+
+    // An explicit ServerConfig worker count still beats the global flag.
+    let mut server = Server::start(ServerConfig {
+        workers: Some(2),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    assert_eq!(server.workers(), 2);
+    server.shutdown();
+
+    mlc_core::par::set_thread_override(prior);
+}
