@@ -103,6 +103,12 @@ pub struct NestDescriptor {
     pub trips: Vec<u64>,
     /// One descriptor per reference, in body (interleave) order.
     pub refs: Vec<RefDescriptor>,
+    /// True when at least one reference's address function is *not* affine
+    /// in the trip vector (e.g. a Morton-layout array), so `refs` does not
+    /// describe the stream. Closed-form sinks must decline such
+    /// descriptors — expanding `refs` would miscount — and let the caller
+    /// stream the nest itself.
+    pub non_affine: bool,
 }
 
 /// One array reference of a [`NestDescriptor`].

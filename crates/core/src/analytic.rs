@@ -108,10 +108,14 @@ pub enum FallbackReason {
     /// their relative order inside a column matters (the severe-conflict
     /// case); only replay models that exactly.
     Interleave,
+    /// The nest references a non-affine (e.g. Morton) layout family, so no
+    /// per-reference stride descriptor exists: neither the closed form nor
+    /// the descriptor-expanding memo replay can reproduce its stream.
+    NonAffineLayout,
 }
 
 impl FallbackReason {
-    const COUNT: usize = 6;
+    const COUNT: usize = 7;
 
     /// Stable metric-name suffix for this reason.
     pub fn name(self) -> &'static str {
@@ -122,6 +126,7 @@ impl FallbackReason {
             FallbackReason::Overflow => "overflow",
             FallbackReason::Policy => "policy",
             FallbackReason::Interleave => "interleave",
+            FallbackReason::NonAffineLayout => "non_affine_layout",
         }
     }
 
@@ -133,6 +138,7 @@ impl FallbackReason {
             FallbackReason::Overflow,
             FallbackReason::Policy,
             FallbackReason::Interleave,
+            FallbackReason::NonAffineLayout,
         ]
     }
 }
@@ -141,6 +147,7 @@ static NESTS_CLOSED: AtomicU64 = AtomicU64::new(0);
 static NESTS_FALLBACK: AtomicU64 = AtomicU64::new(0);
 static ACCESSES_CLOSED: AtomicU64 = AtomicU64::new(0);
 static FALLBACKS: [AtomicU64; FallbackReason::COUNT] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -423,6 +430,15 @@ impl<'h> AnalyticSink<'h> {
 
     /// Attempt to close the nest; `Some(total)` on success.
     fn try_close(&mut self, desc: &NestDescriptor) -> Option<u64> {
+        if desc.non_affine {
+            // A Morton (or other non-affine) nest: the descriptor carries
+            // no usable reference strides, and the memo-replay tier would
+            // expand an affine stream that does not exist. Decline before
+            // touching the memo so the Morton-aware walk streams it.
+            self.fallback += 1;
+            bump_fallback(FallbackReason::NonAffineLayout);
+            return None;
+        }
         if !self.enabled {
             self.fallback += 1;
             bump_fallback(if self.h.prefetch_enabled() {

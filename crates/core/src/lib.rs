@@ -48,6 +48,10 @@
 //!   snapshots) instead of being replayed access by access, with lazy
 //!   materialization keeping the concrete cache state bitwise exact on
 //!   the analytic/replay boundary.
+//! * [`layout_search`] — searchable generalized Morton layouts: bounded
+//!   canonical interleave-word candidates per array, statically pruned,
+//!   scored by full-hierarchy simulation in a `GROUPPAD`-shaped greedy
+//!   ascent, with `layout.search_*` telemetry.
 //! * [`rescache`] — content-addressed, persistent memoization of
 //!   simulation results: stable cache keys over program + layout +
 //!   hierarchy + protocol + version salt, a checksummed one-file-per-
@@ -64,6 +68,7 @@ pub mod fusion;
 pub mod group;
 pub mod group_pad;
 pub mod intra_pad;
+pub mod layout_search;
 pub mod maxpad;
 pub mod order;
 pub mod pad;
@@ -86,6 +91,10 @@ pub use exec::{execute, ExecReport, WorkerStats};
 pub use fusion::{fusion_profit, FusionDecision};
 pub use group::{classify_nest, RefClass};
 pub use group_pad::group_pad;
+pub use layout_search::{
+    morton_candidates, search_morton, stats::install_metrics as install_layout_search_metrics,
+    MortonSearchResult,
+};
 pub use maxpad::{l2_max_pad, max_pad};
 pub use order::{loop_costs, permute_for_locality};
 pub use pad::{multilvl_pad, pad, PadError, PadResult};

@@ -32,12 +32,18 @@
 //! of the store.
 //!
 //! The benchmark emitters (`trace_throughput`, `optimizer_throughput`,
-//! `sweep_cache`) also accept `--history-dir PATH` / `--no-history` (see
-//! [`history_cli`]): besides their `BENCH_*.json` snapshot they append
-//! commit-stamped entries to the `results/bench_history/` ledger that the
-//! `bench-history` binary gates and renders (`docs/BENCHMARKS.md`).
+//! `sweep_cache`, `layout_search`) also accept `--history-dir PATH` /
+//! `--no-history` (see [`history_cli`]): besides their `BENCH_*.json`
+//! snapshot they append commit-stamped entries to the
+//! `results/bench_history/` ledger that the `bench-history` binary gates
+//! and renders (`docs/BENCHMARKS.md`).
+//!
+//! The [`layout_sweep`] grid races data layouts instead of paddings —
+//! linear vs best-pad vs searched Morton words vs cache-oblivious tiling
+//! (`docs/LAYOUTS.md`) — and the `layout_search` binary is its A/B bench.
 
 pub mod history_cli;
+pub mod layout_sweep;
 pub mod sim;
 pub mod sweep;
 pub mod table;

@@ -197,6 +197,8 @@ impl TelemetryCli {
             cache.install_metrics(&mut self.telemetry.metrics, "rescache");
         }
         mlc_core::install_analytic_metrics(&mut self.telemetry.metrics);
+        mlc_model::layout::stats::install_metrics(&mut self.telemetry.metrics);
+        mlc_core::install_layout_search_metrics(&mut self.telemetry.metrics);
         if let Some(path) = &self.trace_out {
             self.telemetry.write_trace_jsonl(path)?;
             eprintln!("trace written to {}", path.display());

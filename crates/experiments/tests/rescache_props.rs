@@ -45,6 +45,89 @@ fn key_for_seed_zero_is_pinned() {
     assert_eq!(key_of(&case).to_hex(), "25b8e2f17800c7f4");
 }
 
+/// The layout-family counterpart of the pinned seed-0 digest: the same
+/// generated case under per-array round-robin Morton words. Frozen at the
+/// introduction of generalized layouts; all-linear digests (above) must
+/// not move when families are added, and this one must not move as the
+/// family encoding evolves — see `docs/LAYOUTS.md` and `docs/CACHING.md`.
+#[test]
+fn key_for_seed_zero_morton_is_pinned() {
+    let mut case = Case::generate(0, &CaseConfig::default());
+    case.families = case
+        .program
+        .arrays
+        .iter()
+        .map(mlc_model::LayoutFamily::morton_round_robin)
+        .collect();
+    case.validate().expect("round-robin families validate");
+    assert_ne!(
+        key_of(&case).to_hex(),
+        "25b8e2f17800c7f4",
+        "morton families must not collide with the all-linear key"
+    );
+    assert_eq!(key_of(&case).to_hex(), "341af312416e9dbc");
+}
+
+/// Keys change iff the layout descriptor changes: an all-linear family
+/// vector is the same descriptor as no vector at all, while any Morton
+/// word — and any *different* Morton word — is a different one.
+#[test]
+fn layout_descriptor_changes_iff_key_changes() {
+    let cfg = CaseConfig::default();
+    for seed in 0..32 {
+        let case = Case::generate(seed, &cfg);
+        let base = key_of(&case);
+
+        // Explicit all-linear families: same descriptor, same key.
+        let mut linear = case.clone();
+        linear.families = vec![mlc_model::LayoutFamily::Linear; case.program.arrays.len()];
+        assert_eq!(
+            base,
+            key_of(&linear),
+            "seed {seed}: explicit linear families must not perturb the key"
+        );
+
+        // Round-robin Morton on every array: different descriptor.
+        let mut morton = case.clone();
+        morton.families = case
+            .program
+            .arrays
+            .iter()
+            .map(mlc_model::LayoutFamily::morton_round_robin)
+            .collect();
+        let morton_key = key_of(&morton);
+        assert_ne!(
+            base, morton_key,
+            "seed {seed}: morton families must change the key"
+        );
+
+        // A different word on the first morton-able array: different again.
+        let mut blocked = morton.clone();
+        if let Some((i, mlc_model::LayoutFamily::Morton(word))) = blocked
+            .families
+            .iter()
+            .enumerate()
+            .find_map(|(i, f)| match f {
+                mlc_model::LayoutFamily::Morton(w) if w.len() >= 2 => {
+                    Some((i, mlc_model::LayoutFamily::Morton(w.clone())))
+                }
+                _ => None,
+            })
+        {
+            let mut w = word.clone();
+            w.reverse();
+            if w != word {
+                blocked.families[i] = mlc_model::LayoutFamily::Morton(w);
+                assert_ne!(
+                    morton_key,
+                    key_of(&blocked),
+                    "seed {seed}: a different interleave word must change the key"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn distinct_seeds_rarely_collide() {
     let cfg = CaseConfig::default();

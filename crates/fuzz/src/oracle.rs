@@ -37,6 +37,7 @@ pub const ORACLES: &[&str] = &[
     "estimator-agreement",
     "cache-parity",
     "serve-parity",
+    "layout-parity",
 ];
 
 /// Simulator-vs-estimator ranking indifference band (miss-rate units). The
@@ -149,8 +150,16 @@ pub fn check_case(case: &Case) -> Report {
 
     // severe-count-differential: the skeleton's lockstep counter and the
     // reference implementation must agree exactly, at every level, on the
-    // case layout.
-    {
+    // case layout. Severe-conflict analysis is defined on affine address
+    // expressions, so a case whose base layout carries a Morton family is
+    // out of its domain (the padding oracles still run — their searches
+    // build their own linear layouts).
+    if !layout.fully_affine() {
+        r.skip(
+            "severe-count-differential",
+            "non-affine layout family".to_string(),
+        );
+    } else {
         let oracle = "severe-count-differential";
         let skel = ProgramSkeleton::new(p);
         let mut ok = true;
@@ -179,7 +188,119 @@ pub fn check_case(case: &Case) -> Report {
     check_estimator_agreement(case, &layout, &mut r);
     check_cache_parity(case, &layout, &mut r);
     check_serve_parity(case, &layout, &mut r);
+    check_layout_parity(case, &mut r);
     r
+}
+
+/// Generalized-layout parity: the case re-laid-out with Morton interleave
+/// words and the case re-scheduled by cache-oblivious recursive tiling must
+/// simulate identically through the run-length fast path, the per-access
+/// scalar replay, and the analytic steady-state engine (which certifiably
+/// declines non-affine nests and must then reproduce the replay bitwise).
+/// Variants are derived deterministically from the case itself so every
+/// generated case exercises the oracle.
+fn check_layout_parity(case: &Case, r: &mut Report) {
+    use mlc_model::transform::cache_oblivious_unchecked;
+    use mlc_model::LayoutFamily;
+    let oracle = "layout-parity";
+    let (p, h) = (&case.program, &case.hierarchy);
+
+    let mut variants: Vec<(&str, mlc_model::Program, DataLayout)> = Vec::new();
+
+    // Morton variant: every eligible array switches to its round-robin
+    // interleave word; the rest stay linear.
+    let fams: Vec<LayoutFamily> = p
+        .arrays
+        .iter()
+        .map(|a| {
+            let f = LayoutFamily::morton_round_robin(a);
+            if f.validate(a).is_ok() {
+                f
+            } else {
+                LayoutFamily::Linear
+            }
+        })
+        .collect();
+    if fams.iter().any(|f| !f.is_linear()) {
+        match DataLayout::with_pads_and_families(&p.arrays, &case.pads, &fams) {
+            Ok(l) => variants.push(("morton", p.clone(), l)),
+            Err(e) => {
+                r.fail(oracle, format!("validated word rejected by layout: {e}"));
+                return;
+            }
+        }
+    }
+
+    // Cache-oblivious variant: bisect every constant-bound unit-step nest;
+    // nests the recursion cannot express are kept as-is.
+    {
+        let mut q = p.clone();
+        q.nests.clear();
+        let mut transformed = false;
+        for nest in &p.nests {
+            match cache_oblivious_unchecked(nest, 4) {
+                Ok(leaves) => {
+                    transformed = transformed || leaves.len() > 1;
+                    q.nests.extend(leaves);
+                }
+                Err(_) => q.nests.push(nest.clone()),
+            }
+        }
+        if transformed {
+            variants.push(("cot", q, case.layout()));
+        }
+    }
+
+    if variants.is_empty() {
+        r.skip(oracle, "no derivable layout variant".to_string());
+        return;
+    }
+
+    for (label, prog, layout) in &variants {
+        for (proto, fast, scalar) in [
+            (
+                "cold",
+                try_simulate_with(prog, layout, h, true),
+                try_simulate_with(prog, layout, h, false),
+            ),
+            (
+                "steady",
+                try_simulate_steady_with(prog, layout, h, 1, 1, true),
+                try_simulate_steady_with(prog, layout, h, 1, 1, false),
+            ),
+        ] {
+            match (&fast, &scalar) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Err(ea), Err(eb)) if ea.to_string() == eb.to_string() => {}
+                (a, b) => {
+                    r.fail(
+                        oracle,
+                        format!("{label}/{proto}: fast {a:?} diverges from scalar {b:?}"),
+                    );
+                    return;
+                }
+            }
+        }
+        for (warmup, timed) in [(0usize, 1usize), (1, 1)] {
+            let analytic = mlc_core::try_simulate_steady_analytic(prog, layout, h, warmup, timed);
+            let replay = try_simulate_steady_with(prog, layout, h, warmup, timed, true);
+            match (&analytic, &replay) {
+                (Ok(a), Ok(b)) if a == b => {}
+                (Err(ea), Err(eb)) if ea.to_string() == eb.to_string() => {}
+                (a, b) => {
+                    r.fail(
+                        oracle,
+                        format!(
+                            "{label}/analytic w={warmup} t={timed}: analytic {a:?} \
+                             diverges from replay {b:?}"
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+    r.checked.push(oracle);
 }
 
 /// Run only the serve-parity oracle on a case — the tier-1 serve-parity
@@ -976,6 +1097,10 @@ fn check_estimator_agreement(case: &Case, layout: &DataLayout, r: &mut Report) {
     let (p, h) = (&case.program, &case.hierarchy);
     if h.depth() < 2 {
         r.skip(oracle, "hierarchy has a single level".to_string());
+        return;
+    }
+    if !layout.fully_affine() {
+        r.skip(oracle, "non-affine layout family".to_string());
         return;
     }
     if p.nests.iter().any(|n| n.loops.iter().any(|l| l.step != 1)) {

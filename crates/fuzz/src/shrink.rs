@@ -19,6 +19,7 @@ use mlc_cache_sim::HierarchyConfig;
 use mlc_model::expr::AffineExpr;
 use mlc_model::nest::Loop;
 use mlc_model::trace_gen::CompiledNest;
+use mlc_model::LayoutFamily;
 
 /// Total oracle evaluations the shrinker may spend. Each evaluation runs
 /// the full battery on a (shrinking) case; the cap bounds worst-case shrink
@@ -141,11 +142,15 @@ fn candidates(case: &Case) -> Vec<Case> {
             let mut c = case.clone();
             c.program.arrays.clear();
             c.pads.clear();
+            c.families.clear();
             for (a, &u) in used.iter().enumerate() {
                 if u {
                     remap[a] = c.program.arrays.len();
                     c.program.arrays.push(p.arrays[a].clone());
                     c.pads.push(case.pads[a]);
+                    if !case.families.is_empty() {
+                        c.families.push(case.families[a].clone());
+                    }
                 }
             }
             for nest in &mut c.program.nests {
@@ -236,6 +241,23 @@ fn candidates(case: &Case) -> Vec<Case> {
         }
     }
 
+    // Simplify layouts: one Morton family back to linear at a time, then
+    // drop an all-linear family vector entirely.
+    if !case.families.is_empty() {
+        for (a, fam) in case.families.iter().enumerate() {
+            if !fam.is_linear() {
+                let mut c = case.clone();
+                c.families[a] = LayoutFamily::Linear;
+                out.push(c);
+            }
+        }
+        if case.families.iter().all(|f| f.is_linear()) {
+            let mut c = case.clone();
+            c.families.clear();
+            out.push(c);
+        }
+    }
+
     // Halve array extents toward the smallest legal value.
     for (a, decl) in p.arrays.iter().enumerate() {
         for d in 0..decl.dims.len() {
@@ -291,15 +313,26 @@ mod tests {
                 .filter(|s| !s.is_constant())
                 .map(|s| s.constant_term().abs())
                 .sum();
+            let layouts: usize =
+                c.families.len() + c.families.iter().filter(|f| !f.is_linear()).count();
             refs + dims
                 + c.program.arrays.len()
                 + c.hierarchy.depth()
                 + pads as usize
                 + trips as usize
                 + offsets as usize
+                + layouts
         };
         for seed in [2, 5, 9, 17] {
-            let case = Case::generate(seed, &CaseConfig::default());
+            let mut case = Case::generate(seed, &CaseConfig::default());
+            if seed % 2 == 1 {
+                case.families = case
+                    .program
+                    .arrays
+                    .iter()
+                    .map(LayoutFamily::morton_round_robin)
+                    .collect();
+            }
             let w0 = weight(&case);
             for cand in candidates(&case) {
                 assert!(

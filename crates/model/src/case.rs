@@ -9,7 +9,7 @@
 //! below the fuzzing layer.
 
 use crate::arbitrary::{arbitrary_layout, arbitrary_program, ProgramGenConfig};
-use crate::{DataLayout, Program};
+use crate::{DataLayout, LayoutFamily, Program};
 use mlc_cache_sim::arbitrary::{arbitrary_hierarchy, HierarchyGenConfig};
 use mlc_cache_sim::rng::DetRng;
 use mlc_cache_sim::HierarchyConfig;
@@ -35,6 +35,9 @@ pub struct Case {
     pub program: Program,
     /// Inter-variable pad (bytes) before each array, in declaration order.
     pub pads: Vec<u64>,
+    /// Per-array layout family, in declaration order. Empty means
+    /// all-[`LayoutFamily::Linear`] (the pre-family corpus format).
+    pub families: Vec<LayoutFamily>,
     /// The cache hierarchy under test.
     pub hierarchy: HierarchyConfig,
 }
@@ -51,17 +54,26 @@ impl Case {
             seed,
             program,
             pads,
+            families: Vec::new(),
             hierarchy,
         }
     }
 
-    /// The case's data layout (pads materialized into base addresses).
+    /// The case's data layout (pads and families materialized into base
+    /// addresses). Infallible because [`Case::validate`] already checked
+    /// the family vector against the declarations.
     pub fn layout(&self) -> DataLayout {
-        DataLayout::with_pads(&self.program.arrays, &self.pads)
+        if self.families.is_empty() {
+            DataLayout::with_pads(&self.program.arrays, &self.pads)
+        } else {
+            DataLayout::with_pads_and_families(&self.program.arrays, &self.pads, &self.families)
+                .expect("validated case has a consistent family vector")
+        }
     }
 
-    /// Structural sanity: the program validates and the pad vector covers
-    /// every array. Shrink steps and corpus parsing gate on this.
+    /// Structural sanity: the program validates, the pad vector covers
+    /// every array, and any layout families fit their declarations. Shrink
+    /// steps and corpus parsing gate on this.
     pub fn validate(&self) -> Result<(), String> {
         self.program.validate()?;
         if self.pads.len() != self.program.arrays.len() {
@@ -70,6 +82,19 @@ impl Case {
                 self.pads.len(),
                 self.program.arrays.len()
             ));
+        }
+        if !self.families.is_empty() {
+            if self.families.len() != self.program.arrays.len() {
+                return Err(format!(
+                    "{} layout families for {} arrays",
+                    self.families.len(),
+                    self.program.arrays.len()
+                ));
+            }
+            for (fam, a) in self.families.iter().zip(&self.program.arrays) {
+                fam.validate(a)
+                    .map_err(|e| format!("array {}: {e}", a.name))?;
+            }
         }
         Ok(())
     }
@@ -114,6 +139,36 @@ mod tests {
     fn validate_catches_pad_length_mismatch() {
         let mut c = Case::generate(1, &CaseConfig::default());
         c.pads.push(64);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn families_flow_into_the_layout() {
+        let mut c = Case::generate(3, &CaseConfig::default());
+        assert!(c.families.is_empty());
+        assert!(c.layout().fully_affine());
+        c.families = c
+            .program
+            .arrays
+            .iter()
+            .map(LayoutFamily::morton_round_robin)
+            .collect();
+        c.validate().unwrap();
+        let l = c.layout();
+        assert!(!l.fully_affine());
+        assert_eq!(l.families.len(), c.program.arrays.len());
+    }
+
+    #[test]
+    fn validate_catches_bad_family_vectors() {
+        let mut c = Case::generate(3, &CaseConfig::default());
+        // Wrong length.
+        c.families = vec![LayoutFamily::Linear];
+        c.families
+            .resize(c.program.arrays.len() + 1, LayoutFamily::Linear);
+        assert!(c.validate().is_err());
+        // Word too short for the extents.
+        c.families = vec![LayoutFamily::Morton(vec![0]); c.program.arrays.len()];
         assert!(c.validate().is_err());
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::array::ArrayDecl;
 use crate::expr::AffineExpr;
-use crate::layout::DataLayout;
+use crate::layout::{DataLayout, LayoutFamily};
 use crate::nest::{Loop, LoopNest};
 use crate::program::Program;
 use crate::reference::ArrayRef;
@@ -77,10 +77,31 @@ impl StableHash for Program {
     }
 }
 
+impl StableHash for LayoutFamily {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            LayoutFamily::Linear => h.write_usize(0),
+            LayoutFamily::Morton(word) => {
+                h.write_usize(1);
+                h.write_usize(word.len());
+                for &d in word {
+                    h.write_usize(d as usize);
+                }
+            }
+        }
+    }
+}
+
 impl StableHash for DataLayout {
     fn stable_hash(&self, h: &mut StableHasher) {
         self.bases.stable_hash(h);
         h.write_u64(self.total_size);
+        // The family vector joined the layout descriptor after the first
+        // digests were pinned; hash it only when some family is non-linear
+        // so every all-linear layout keeps its original digest.
+        if !self.fully_affine() {
+            self.families.stable_hash(h);
+        }
     }
 }
 
@@ -140,5 +161,44 @@ mod tests {
         pads[1] = 64;
         let b = DataLayout::with_pads(&p.arrays, &pads);
         assert_ne!(stable_hash_of(&a), stable_hash_of(&b));
+    }
+
+    #[test]
+    fn all_linear_family_vector_leaves_the_hash_alone() {
+        // Pre-family digests must survive: an explicit all-Linear family
+        // vector hashes identically to the legacy constructor's layout.
+        let p = figure2_example(64);
+        let pads = vec![0u64; p.arrays.len()];
+        let fams = vec![LayoutFamily::Linear; p.arrays.len()];
+        let a = DataLayout::with_pads(&p.arrays, &pads);
+        let b = DataLayout::with_pads_and_families(&p.arrays, &pads, &fams).unwrap();
+        assert_eq!(stable_hash_of(&a), stable_hash_of(&b));
+    }
+
+    #[test]
+    fn layout_family_perturbs_the_hash() {
+        use crate::array::ArrayDecl;
+        let arrays = vec![
+            ArrayDecl::f64("A", vec![8, 8]),
+            ArrayDecl::f64("B", vec![8, 8]),
+        ];
+        let pads = [0u64, 0];
+        let linear = DataLayout::with_pads(&arrays, &pads);
+        let rr = vec![
+            LayoutFamily::morton_round_robin(&arrays[0]),
+            LayoutFamily::Linear,
+        ];
+        let morton = DataLayout::with_pads_and_families(&arrays, &pads, &rr).unwrap();
+        assert_ne!(stable_hash_of(&linear), stable_hash_of(&morton));
+        // Two different interleave words over the same envelope also differ,
+        // even though bases and total size agree exactly.
+        let blocked = vec![
+            LayoutFamily::Morton(vec![0, 0, 1, 1, 0, 1]),
+            LayoutFamily::Linear,
+        ];
+        let morton2 = DataLayout::with_pads_and_families(&arrays, &pads, &blocked).unwrap();
+        assert_eq!(morton.bases, morton2.bases);
+        assert_eq!(morton.total_size, morton2.total_size);
+        assert_ne!(stable_hash_of(&morton), stable_hash_of(&morton2));
     }
 }

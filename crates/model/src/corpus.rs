@@ -25,9 +25,15 @@
 //! `array` fields are name, element size, comma-joined extents, comma-joined
 //! intra-variable pads, and the inter-variable pad in bytes. A subscript is
 //! `constant[,var,coeff]...`; subscripts are `;`-joined on the `ref` line.
+//!
+//! An optional `layout <array-index> morton <word>` line (after the array
+//! declarations) switches that array to a generalized Morton layout with
+//! the given comma-joined interleave word (`docs/LAYOUTS.md`); arrays
+//! without a `layout` line stay row-of-columns linear.
 
 use crate::case::Case;
 use crate::expr::AffineExpr;
+use crate::layout::LayoutFamily;
 use crate::nest::{Loop, LoopNest};
 use crate::{ArrayDecl, ArrayRef, Program};
 use mlc_cache_sim::{CacheConfig, HierarchyConfig, ReplacementPolicy};
@@ -69,6 +75,11 @@ pub fn write_case(case: &Case, oracle: Option<&str>) -> Result<String, String> {
             pad
         ));
     }
+    for (i, fam) in case.families.iter().enumerate() {
+        if let LayoutFamily::Morton(word) = fam {
+            out.push_str(&format!("layout {i} morton {}\n", join(word)));
+        }
+    }
     for nest in &case.program.nests {
         out.push_str(&format!("nest {}\n", nest.name));
         for l in &nest.loops {
@@ -102,6 +113,7 @@ pub fn parse_case(text: &str) -> Result<(Case, Option<String>), String> {
     let mut penalties: Vec<f64> = Vec::new();
     let mut program = Program::new("corpus");
     let mut pads: Vec<u64> = Vec::new();
+    let mut families: Vec<LayoutFamily> = Vec::new();
     let mut nest: Option<(String, Vec<Loop>, Vec<ArrayRef>)> = None;
     let mut names: Vec<String> = Vec::new();
 
@@ -179,6 +191,25 @@ pub fn parse_case(text: &str) -> Result<(Case, Option<String>), String> {
                 program.add_array(decl);
                 pads.push(pad);
             }
+            "layout" => {
+                let array: usize = field(&rest, 0, "array index").map_err(&err)?;
+                if array >= program.arrays.len() {
+                    return Err(err(format!(
+                        "layout names array {array} before its declaration"
+                    )));
+                }
+                let family = *rest
+                    .get(1)
+                    .ok_or_else(|| err("layout needs a family".into()))?;
+                match family {
+                    "morton" => {
+                        let word: Vec<u8> = list(&rest, 2, "interleave word").map_err(&err)?;
+                        families.resize(program.arrays.len(), LayoutFamily::Linear);
+                        families[array] = LayoutFamily::Morton(word);
+                    }
+                    other => return Err(err(format!("unknown layout family {other}"))),
+                }
+            }
             "nest" => {
                 if nest.is_some() {
                     return Err(err("nest without closing `end`".into()));
@@ -248,10 +279,14 @@ pub fn parse_case(text: &str) -> Result<(Case, Option<String>), String> {
             ));
         }
     }
+    if !families.is_empty() {
+        families.resize(program.arrays.len(), LayoutFamily::Linear);
+    }
     let case = Case {
         seed,
         program,
         pads,
+        families,
         hierarchy: HierarchyConfig::new(levels, penalties),
     };
     case.validate()?;
@@ -363,6 +398,49 @@ mod tests {
     fn parse_reports_unknown_keyword_with_line() {
         let err = parse_case("level 1024 32 1 6\nfrobnicate\n").unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn morton_layout_lines_round_trip() {
+        for seed in 0..30 {
+            let mut case = Case::generate(seed, &CaseConfig::default());
+            case.families = case
+                .program
+                .arrays
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    if i % 2 == 0 {
+                        LayoutFamily::morton_round_robin(a)
+                    } else {
+                        LayoutFamily::Linear
+                    }
+                })
+                .collect();
+            case.validate().unwrap();
+            let text = write_case(&case, Some("layout-parity")).unwrap();
+            let (back, oracle) =
+                parse_case(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(back, case, "seed {seed}");
+            assert_eq!(oracle.as_deref(), Some("layout-parity"));
+        }
+    }
+
+    #[test]
+    fn layout_line_is_validated() {
+        let header = "level 1024 32 1 6\narray A 8 8,8 0,0 0\n";
+        // Word too small for the extents.
+        let err = parse_case(&format!("{header}layout 0 morton 0,1\n")).unwrap_err();
+        assert!(err.contains("array A"), "{err}");
+        // Unknown family name.
+        let err = parse_case(&format!("{header}layout 0 hilbert 0,1\n")).unwrap_err();
+        assert!(err.contains("unknown layout family"), "{err}");
+        // Array index out of range.
+        let err = parse_case(&format!("{header}layout 3 morton 0,1\n")).unwrap_err();
+        assert!(err.contains("before its declaration"), "{err}");
+        // A valid word parses and materializes a Morton layout.
+        let (case, _) = parse_case(&format!("{header}layout 0 morton 0,1,0,1,0,1\n")).unwrap();
+        assert!(!case.layout().fully_affine());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub mod transform;
 pub mod prelude {
     pub use crate::array::{ArrayDecl, ArrayId};
     pub use crate::expr::AffineExpr;
-    pub use crate::layout::DataLayout;
+    pub use crate::layout::{DataLayout, LayoutFamily};
     pub use crate::nest::{Loop, LoopNest};
     pub use crate::program::Program;
     pub use crate::reference::ArrayRef;
@@ -91,7 +91,7 @@ pub mod prelude {
 
 pub use array::{ArrayDecl, ArrayId};
 pub use expr::AffineExpr;
-pub use layout::DataLayout;
+pub use layout::{DataLayout, LayoutFamily};
 pub use nest::{Loop, LoopNest};
 pub use program::Program;
 pub use reference::ArrayRef;

@@ -12,7 +12,7 @@
 //! pushes several billion accesses through this path, so it allocates
 //! nothing per iteration.
 
-use crate::layout::DataLayout;
+use crate::layout::{morton_index, DataLayout, LayoutFamily};
 use crate::nest::LoopNest;
 use crate::program::Program;
 use mlc_cache_sim::stats::MissRateReport;
@@ -62,6 +62,20 @@ pub enum TraceError {
         /// The provable minimum address (negative).
         min: i64,
     },
+    /// A subscript of a Morton-layout reference leaves the interleave
+    /// word's per-dimension bit envelope `[0, 2^bits)` — bit interleaving
+    /// has no meaning outside it. Detected statically for constant-bound
+    /// nests, at the offending innermost invocation otherwise.
+    MortonOutOfRange {
+        /// Nest name.
+        nest: String,
+        /// Referenced array's name.
+        array: String,
+        /// Offending dimension.
+        dim: usize,
+        /// The out-of-envelope subscript value.
+        value: i64,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -81,6 +95,18 @@ impl std::fmt::Display for TraceError {
                 "nest {nest}: reference to array {array} generates a negative \
                  byte address (minimum {min}); check the data layout's base \
                  offsets and subscript bounds"
+            ),
+            TraceError::MortonOutOfRange {
+                nest,
+                array,
+                dim,
+                value,
+            } => write!(
+                f,
+                "nest {nest}: reference to morton-layout array {array} \
+                 generates subscript {value} on dimension {dim}, outside the \
+                 interleave word's bit envelope; check subscript offsets \
+                 against the array extents"
             ),
         }
     }
@@ -123,15 +149,48 @@ impl CompiledLoop {
     }
 }
 
+/// Compiled form of a reference into a Morton-layout array: the address is
+/// `base + morton_index(word, idx) * elem`, where each dimension's index is
+/// affine in the loop variables. Affine in every *dimension*, not in the
+/// address — which is why these refs bypass the single-stride machinery.
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledMorton {
+    /// The interleave word (LSB-first dimension ids).
+    word: Vec<u8>,
+    /// Per-dimension bit budget; indices must stay in `[0, 1 << bits[d])`.
+    bits: Vec<u32>,
+    /// Constant part of each dimension's index function.
+    dim_base: Vec<i64>,
+    /// `dim_strides[d][l]`: dimension `d`'s index coefficient of loop `l`.
+    dim_strides: Vec<Vec<i64>>,
+    /// Array base byte address.
+    base: i64,
+    /// Element size in bytes.
+    elem: i64,
+}
+
+impl CompiledMorton {
+    /// Byte address for the given per-dimension index values.
+    #[inline]
+    fn addr(&self, idx: &[i64]) -> i64 {
+        self.base + morton_index(&self.word, idx) * self.elem
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct CompiledRef {
     /// Base byte address (constant part of the affine address function).
+    /// For Morton refs this is the array base; the full address comes from
+    /// `morton`.
     base: i64,
-    /// Byte stride per loop level, outermost first.
+    /// Byte stride per loop level, outermost first (all zero for Morton
+    /// refs — their addresses are not affine in the loop variables).
     strides: Vec<i64>,
     kind: AccessKind,
     /// Array name, for diagnostics.
     label: String,
+    /// Present iff the referenced array uses a Morton family.
+    morton: Option<CompiledMorton>,
 }
 
 /// A nest compiled against a layout, ready to stream.
@@ -207,6 +266,41 @@ impl CompiledNest {
         }
         let mut refs = Vec::with_capacity(nest.body.len());
         for r in &nest.body {
+            let decl = &program.arrays[r.array];
+            if let LayoutFamily::Morton(word) = layout.family(r.array) {
+                // Compile each dimension's subscript independently: the
+                // address is non-affine, but every dimension index is.
+                let mut dim_base = Vec::with_capacity(decl.rank());
+                let mut dim_strides = Vec::with_capacity(decl.rank());
+                for s in &r.subscripts {
+                    for (v, _) in s.terms() {
+                        var_index(v)?;
+                    }
+                    dim_base.push(s.constant_term());
+                    dim_strides.push(
+                        nest.loops
+                            .iter()
+                            .map(|l| s.coeff(&l.var))
+                            .collect::<Vec<i64>>(),
+                    );
+                }
+                let fam = LayoutFamily::Morton(word.clone());
+                refs.push(CompiledRef {
+                    base: layout.base(r.array) as i64,
+                    strides: vec![0; nest.loops.len()],
+                    kind: r.kind,
+                    label: decl.name.clone(),
+                    morton: Some(CompiledMorton {
+                        word: word.clone(),
+                        bits: fam.dim_bits(decl.rank()),
+                        dim_base,
+                        dim_strides,
+                        base: layout.base(r.array) as i64,
+                        elem: decl.elem_size as i64,
+                    }),
+                });
+                continue;
+            }
             let addr = layout.address_expr(&program.arrays, r);
             let mut strides = Vec::with_capacity(nest.loops.len());
             for l in &nest.loops {
@@ -219,7 +313,8 @@ impl CompiledNest {
                 base: addr.constant_term(),
                 strides,
                 kind: r.kind,
-                label: program.arrays[r.array].name.clone(),
+                label: decl.name.clone(),
+                morton: None,
             });
         }
         let compiled = Self {
@@ -262,6 +357,30 @@ impl CompiledNest {
             ranges.push((lo, last));
         }
         for r in &self.refs {
+            if let Some(m) = &r.morton {
+                // Exact per-dimension interval check: each dimension index
+                // is affine in the loop values, so its extremes over a
+                // rectangular space come from per-loop endpoint picks.
+                for d in 0..m.dim_base.len() {
+                    let mut min = m.dim_base[d] as i128;
+                    let mut max = min;
+                    for (l, &(lo, hi)) in ranges.iter().enumerate() {
+                        let s = m.dim_strides[d][l] as i128;
+                        min += (s * lo as i128).min(s * hi as i128);
+                        max += (s * lo as i128).max(s * hi as i128);
+                    }
+                    let limit = 1i128 << m.bits[d];
+                    if min < 0 || max >= limit {
+                        return Err(TraceError::MortonOutOfRange {
+                            nest: self.name.clone(),
+                            array: r.label.clone(),
+                            dim: d,
+                            value: if min < 0 { min as i64 } else { max as i64 },
+                        });
+                    }
+                }
+                continue;
+            }
             let mut min = r.base as i128;
             for (l, &(lo, hi)) in ranges.iter().enumerate() {
                 let s = r.strides[l] as i128;
@@ -276,6 +395,12 @@ impl CompiledNest {
             }
         }
         Ok(())
+    }
+
+    /// True when any reference targets a Morton-layout array.
+    #[inline]
+    fn has_morton(&self) -> bool {
+        self.refs.iter().any(|r| r.morton.is_some())
     }
 
     /// Stream the nest's accesses into `sink`; returns the number emitted.
@@ -329,6 +454,18 @@ impl CompiledNest {
             trips.push(((hi - lo) / lp.step.abs() + 1) as u64);
             starts.push(if lp.step > 0 { lo } else { hi });
         }
+        if self.has_morton() {
+            // The trip space is rectangular, but at least one reference's
+            // address function is not affine in it, so no `RefDescriptor`
+            // can describe the stream. Offer the marked descriptor anyway:
+            // closed-form sinks decline it (counting the decline), and
+            // streaming proceeds through the Morton-aware walk.
+            return Some(NestDescriptor {
+                trips,
+                refs: Vec::new(),
+                non_affine: true,
+            });
+        }
         let refs = self
             .refs
             .iter()
@@ -352,7 +489,11 @@ impl CompiledNest {
                 }
             })
             .collect();
-        Some(NestDescriptor { trips, refs })
+        Some(NestDescriptor {
+            trips,
+            refs,
+            non_affine: false,
+        })
     }
 
     /// Stream the nest, choosing run-length (`fast`) or per-access emission.
@@ -384,15 +525,34 @@ impl CompiledNest {
         }
         if self.loops.is_empty() {
             for r in &self.refs {
-                if r.base < 0 {
-                    return Err(self.negative_addr(r, r.base));
+                let addr = match &r.morton {
+                    Some(m) => {
+                        for (d, &v) in m.dim_base.iter().enumerate() {
+                            if v < 0 || v >= 1i64 << m.bits[d] {
+                                return Err(self.morton_oob(r, d, v));
+                            }
+                        }
+                        m.addr(&m.dim_base)
+                    }
+                    None => r.base,
+                };
+                if addr < 0 {
+                    return Err(self.negative_addr(r, addr));
                 }
                 sink.access(Access {
-                    addr: r.base as u64,
+                    addr: addr as u64,
                     kind: r.kind,
                 });
             }
             return Ok(self.refs.len() as u64);
+        }
+        if self.has_morton() {
+            use std::sync::atomic::Ordering;
+            crate::layout::stats::MORTON_NESTS.fetch_add(1, Ordering::Relaxed);
+            let mut vals = vec![0i64; self.loops.len()];
+            let mut count = 0u64;
+            self.walk_morton(0, &mut vals, sink, fast, &mut count)?;
+            return Ok(count);
         }
         let depth = self.loops.len();
         let nrefs = self.refs.len();
@@ -442,6 +602,195 @@ impl CompiledNest {
             array: r.label.clone(),
             min: addr,
         }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn morton_oob(&self, r: &CompiledRef, dim: usize, value: i64) -> TraceError {
+        TraceError::MortonOutOfRange {
+            nest: self.name.clone(),
+            array: r.label.clone(),
+            dim,
+            value,
+        }
+    }
+
+    /// Iteration-space walk for nests with at least one Morton reference.
+    /// Loop bounds and order are handled exactly like [`CompiledNest::walk`];
+    /// only innermost emission differs (no single-stride partials exist).
+    fn walk_morton(
+        &self,
+        level: usize,
+        vals: &mut [i64],
+        sink: &mut impl AccessSink,
+        fast: bool,
+        count: &mut u64,
+    ) -> Result<(), TraceError> {
+        let lp = &self.loops[level];
+        let (lo, hi) = lp.bounds(&vals[..level]);
+        if hi < lo {
+            return Ok(());
+        }
+        let (start, step) = if lp.step > 0 {
+            (lo, lp.step)
+        } else {
+            (hi, lp.step)
+        };
+        let trips = ((hi - lo) / step.abs() + 1) as u64;
+        if level == self.loops.len() - 1 {
+            return self.emit_morton_innermost(vals, start, step, trips, sink, fast, count);
+        }
+        let mut v = start;
+        for _ in 0..trips {
+            vals[level] = v;
+            self.walk_morton(level + 1, vals, sink, fast, count)?;
+            v += step;
+        }
+        Ok(())
+    }
+
+    /// One innermost invocation of a Morton-bearing nest.
+    ///
+    /// The run-length fast path holds in exactly one shape: a single
+    /// (necessarily Morton) reference, whose address sequence is re-encoded
+    /// greedily into maximal constant-stride [`Run`]s — batching stays
+    /// correct *across* Morton tiles because runs break exactly where the
+    /// stride does. Any multi-reference body bails to per-access scalar
+    /// emission (`layout.morton_scalar_bails`): interleaving affine and
+    /// non-affine streams into `run_group`s would need equal-count
+    /// constant-stride runs that Morton addresses do not provide.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_morton_innermost(
+        &self,
+        vals: &[i64],
+        start: i64,
+        step: i64,
+        trips: u64,
+        sink: &mut impl AccessSink,
+        fast: bool,
+        count: &mut u64,
+    ) -> Result<(), TraceError> {
+        use std::sync::atomic::Ordering;
+        let inner = self.loops.len() - 1;
+        let nrefs = self.refs.len();
+        if nrefs == 0 {
+            return Ok(());
+        }
+        // Resolve each reference's per-invocation state: affine refs get
+        // (address, byte delta); Morton refs get per-dimension (index,
+        // index delta), endpoint-checked against the bit envelope.
+        let mut aff: Vec<(i64, i64)> = Vec::with_capacity(nrefs);
+        let mut mort: Vec<(Vec<i64>, Vec<i64>)> = Vec::with_capacity(nrefs);
+        for r in &self.refs {
+            match &r.morton {
+                Some(m) => {
+                    let rank = m.dim_base.len();
+                    let mut idx = Vec::with_capacity(rank);
+                    let mut dd = Vec::with_capacity(rank);
+                    for d in 0..rank {
+                        let s = &m.dim_strides[d];
+                        let mut v0 = m.dim_base[d] + s[inner] * start;
+                        for (l, &val) in vals[..inner].iter().enumerate() {
+                            v0 += s[l] * val;
+                        }
+                        let delta = s[inner] * step;
+                        let last = v0 + delta * (trips as i64 - 1);
+                        let (min, max) = (v0.min(last), v0.max(last));
+                        if min < 0 {
+                            return Err(self.morton_oob(r, d, min));
+                        }
+                        if max >= 1i64 << m.bits[d] {
+                            return Err(self.morton_oob(r, d, max));
+                        }
+                        idx.push(v0);
+                        dd.push(delta);
+                    }
+                    aff.push((0, 0));
+                    mort.push((idx, dd));
+                }
+                None => {
+                    let mut cur = r.base + r.strides[inner] * start;
+                    for (l, &val) in vals[..inner].iter().enumerate() {
+                        cur += r.strides[l] * val;
+                    }
+                    let delta = r.strides[inner] * step;
+                    let last = cur + delta * (trips as i64 - 1);
+                    if cur.min(last) < 0 {
+                        return Err(self.negative_addr(r, cur.min(last)));
+                    }
+                    aff.push((cur, delta));
+                    mort.push((Vec::new(), Vec::new()));
+                }
+            }
+        }
+        if fast && nrefs == 1 {
+            // Single Morton reference: greedy run re-encoding.
+            let r = &self.refs[0];
+            let m = r.morton.as_ref().expect("has_morton nest with one ref");
+            let (idx, dd) = &mut mort[0];
+            let mut prev = m.addr(idx);
+            let (mut run_start, mut stride, mut n) = (prev, 0i64, 1u64);
+            for _ in 1..trips {
+                for (v, d) in idx.iter_mut().zip(dd.iter()) {
+                    *v += d;
+                }
+                let a = m.addr(idx);
+                if n == 1 {
+                    stride = a - prev;
+                    n = 2;
+                } else if a - prev == stride {
+                    n += 1;
+                } else {
+                    sink.run(Run {
+                        start: run_start as u64,
+                        stride,
+                        count: n,
+                        kind: r.kind,
+                    });
+                    crate::layout::stats::MORTON_RUNS.fetch_add(1, Ordering::Relaxed);
+                    run_start = a;
+                    stride = 0;
+                    n = 1;
+                }
+                prev = a;
+            }
+            sink.run(Run {
+                start: run_start as u64,
+                stride,
+                count: n,
+                kind: r.kind,
+            });
+            crate::layout::stats::MORTON_RUNS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if fast {
+                crate::layout::stats::MORTON_SCALAR_BAILS.fetch_add(1, Ordering::Relaxed);
+            }
+            for _ in 0..trips {
+                for (r, cr) in self.refs.iter().enumerate() {
+                    let addr = match &cr.morton {
+                        Some(m) => {
+                            let (idx, dd) = &mut mort[r];
+                            let a = m.addr(idx);
+                            for (v, d) in idx.iter_mut().zip(dd.iter()) {
+                                *v += *d;
+                            }
+                            a
+                        }
+                        None => {
+                            let a = aff[r].0;
+                            aff[r].0 += aff[r].1;
+                            a
+                        }
+                    };
+                    sink.access(Access {
+                        addr: addr as u64,
+                        kind: cr.kind,
+                    });
+                }
+            }
+        }
+        *count += trips * nrefs as u64;
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1029,6 +1378,156 @@ mod tests {
             var: "k".into(),
         };
         assert_eq!(e.to_string(), "variable k not bound by nest n");
+    }
+
+    fn morton_program(n: usize) -> (Program, DataLayout) {
+        // B(i,j) = A(i,j) with A morton-laid-out, B linear.
+        let mut p = Program::new("mz");
+        let a = p.add_array(ArrayDecl::f64("A", vec![n, n]));
+        let b = p.add_array(ArrayDecl::f64("B", vec![n, n]));
+        let nn = n as i64 - 1;
+        p.add_nest(LoopNest::new(
+            "mz",
+            vec![Loop::counted("j", 0, nn), Loop::counted("i", 0, nn)],
+            vec![
+                ArrayRef::read(a, vec![E::var("i"), E::var("j")]),
+                ArrayRef::write(b, vec![E::var("i"), E::var("j")]),
+            ],
+        ));
+        let fams = vec![
+            crate::layout::LayoutFamily::morton_round_robin(&p.arrays[0]),
+            crate::layout::LayoutFamily::Linear,
+        ];
+        let l = DataLayout::with_pads_and_families(&p.arrays, &[0, 0], &fams).unwrap();
+        (p, l)
+    }
+
+    #[test]
+    fn morton_fast_and_scalar_emit_identical_streams() {
+        for n in [4usize, 7, 16] {
+            let (p, l) = morton_program(n);
+            let mut fast = RecordingSink::default();
+            let nf = generate_with(&p, &l, &mut fast, true);
+            let mut slow = RecordingSink::default();
+            let ns = generate_with(&p, &l, &mut slow, false);
+            assert_eq!(nf, ns, "n={n}");
+            assert_eq!(nf, (n * n * 2) as u64);
+            assert_eq!(fast.accesses, slow.accesses, "n={n}");
+        }
+    }
+
+    #[test]
+    fn morton_addresses_interleave_bits() {
+        // Single morton ref, i innermost: addresses follow the interleave.
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![4, 4]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 3), Loop::counted("i", 0, 3)],
+            vec![ArrayRef::read(a, vec![E::var("i"), E::var("j")])],
+        ));
+        let fams = vec![crate::layout::LayoutFamily::Morton(vec![0, 1, 0, 1])];
+        let l = DataLayout::with_pads_and_families(&p.arrays, &[0], &fams).unwrap();
+        let mut rec = RecordingSink::default();
+        generate(&p, &l, &mut rec);
+        let addrs: Vec<u64> = rec.accesses.iter().map(|x| x.addr).collect();
+        // j=0: i interleaves into offsets 0,1,4,5 (x bits at even positions).
+        assert_eq!(&addrs[..4], &[0, 8, 32, 40]);
+        // j=1: y bit 0 set -> offset bit 1.
+        assert_eq!(&addrs[4..8], &[16, 24, 48, 56]);
+    }
+
+    #[test]
+    fn morton_single_ref_fast_path_batches_runs() {
+        // A 1-D morton family is linear-in-disguise: the whole innermost
+        // sweep must coalesce into runs, not per-access emissions.
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![64]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("i", 0, 63)],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
+        let fams = vec![crate::layout::LayoutFamily::morton_round_robin(
+            &p.arrays[0],
+        )];
+        let l = DataLayout::with_pads_and_families(&p.arrays, &[0], &fams).unwrap();
+        crate::layout::stats::take_stats(); // reset
+        let mut c = CountingSink::default();
+        assert_eq!(generate(&p, &l, &mut c), 64);
+        assert_eq!(c.total, 64);
+        let s = crate::layout::stats::take_stats();
+        assert_eq!(s.morton_nests, 1);
+        assert_eq!(s.morton_runs, 1, "sequential morton sweep is one run");
+        assert_eq!(s.morton_scalar_bails, 0);
+    }
+
+    #[test]
+    fn morton_multi_ref_body_bails_to_scalar() {
+        let (p, l) = morton_program(8);
+        crate::layout::stats::take_stats(); // reset
+        let mut c = CountingSink::default();
+        generate(&p, &l, &mut c);
+        let s = crate::layout::stats::take_stats();
+        assert_eq!(s.morton_nests, 1);
+        assert_eq!(s.morton_runs, 0);
+        assert_eq!(
+            s.morton_scalar_bails, 8,
+            "one bail per innermost invocation"
+        );
+    }
+
+    #[test]
+    fn morton_subscript_outside_envelope_is_rejected_statically() {
+        let mut p = Program::new("t");
+        let a = p.add_array(ArrayDecl::f64("A", vec![4, 4]));
+        p.add_nest(LoopNest::new(
+            "n",
+            vec![Loop::counted("j", 0, 3), Loop::counted("i", 0, 3)],
+            vec![ArrayRef::read(a, vec![E::var_plus("i", 1), E::var("j")])],
+        ));
+        let fams = vec![crate::layout::LayoutFamily::Morton(vec![0, 1, 0, 1])];
+        let l = DataLayout::with_pads_and_families(&p.arrays, &[0], &fams).unwrap();
+        match CompiledNest::try_new(&p, &p.nests[0], &l) {
+            Err(TraceError::MortonOutOfRange {
+                array, dim, value, ..
+            }) => {
+                assert_eq!(array, "A");
+                assert_eq!(dim, 0);
+                assert_eq!(value, 4);
+            }
+            other => panic!("expected MortonOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn morton_nest_offers_marked_descriptor() {
+        let (p, l) = morton_program(4);
+        let nest = CompiledNest::try_new(&p, &p.nests[0], &l).unwrap();
+        let desc = nest.descriptor().expect("constant bounds have descriptors");
+        assert!(desc.non_affine);
+        assert!(desc.refs.is_empty());
+        assert_eq!(desc.trips, vec![4, 4]);
+        // Affine nests stay unmarked.
+        let p3 = simple_program(4);
+        let l3 = DataLayout::contiguous(&p3.arrays);
+        let d3 = CompiledNest::try_new(&p3, &p3.nests[0], &l3)
+            .unwrap()
+            .descriptor()
+            .unwrap();
+        assert!(!d3.non_affine);
+    }
+
+    #[test]
+    fn morton_simulation_matches_scalar_replay_on_hierarchy() {
+        let (p, l) = morton_program(16);
+        let cfg = HierarchyConfig::ultrasparc_i();
+        let fast = simulate_with(&p, &l, &cfg, true);
+        let slow = simulate_with(&p, &l, &cfg, false);
+        assert_eq!(fast, slow);
+        let steady_f = simulate_steady_with(&p, &l, &cfg, 1, 2, true);
+        let steady_s = simulate_steady_with(&p, &l, &cfg, 1, 2, false);
+        assert_eq!(steady_f, steady_s);
     }
 
     #[test]

@@ -328,6 +328,154 @@ pub fn tile(nest: &LoopNest, spec: &[(usize, u64)]) -> Result<LoopNest, String> 
     permute_unchecked_bounds(&current, &perm, &controls_in_spec_order)
 }
 
+/// Cache-oblivious recursive tiling (the PCOT baseline): repeatedly bisect
+/// the largest dimension of a constant-bound iteration space until every
+/// extent is at most `leaf`, and materialize the recursion as an ordered
+/// sequence of constant-bound leaf nests. Unlike `euc` tiles from
+/// [`tile`], no cache parameter is consulted — the recursion adapts to
+/// every level of the hierarchy at once.
+///
+/// Requires unit-magnitude steps and constant bounds (the recursion needs
+/// a box-shaped space), and a fully permutable nest: every carried
+/// dependence distance must be component-wise non-negative, which makes any
+/// atomic blocking of the space legal. Reversed (`step == -1`) loops
+/// bisect in *execution* order, so a 1-D recursion preserves the exact
+/// access sequence.
+pub fn cache_oblivious(nest: &LoopNest, leaf: u64) -> Result<Vec<LoopNest>, String> {
+    let dists = crate::dependence::carried_distances(nest)?;
+    for d in &dists {
+        if d.iter().any(|&c| c < 0) {
+            return Err(format!(
+                "recursive tiling needs a fully permutable nest; dependence {d:?} has a negative component"
+            ));
+        }
+    }
+    cache_oblivious_unchecked(nest, leaf)
+}
+
+/// [`cache_oblivious`] without the dependence-legality check (bounds must
+/// still be constant). Like [`fuse_unchecked`], this exists for cache
+/// studies over nests the distance analyzer cannot certify: the leaves
+/// cover the same iteration space exactly once, so the access *multiset*
+/// is always preserved even where the reordering would not be a legal
+/// program transformation.
+pub fn cache_oblivious_unchecked(nest: &LoopNest, leaf: u64) -> Result<Vec<LoopNest>, String> {
+    if leaf == 0 {
+        return Err("leaf extent must be positive".into());
+    }
+    let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(nest.depth());
+    for l in &nest.loops {
+        if l.step != 1 && l.step != -1 {
+            return Err(format!(
+                "recursive tiling requires unit-magnitude steps, loop {} has {}",
+                l.var, l.step
+            ));
+        }
+        let lo = const_bound(&l.lowers, true)
+            .ok_or_else(|| format!("loop {} has a non-constant lower bound", l.var))?;
+        let hi = const_bound(&l.uppers, false)
+            .ok_or_else(|| format!("loop {} has a non-constant upper bound", l.var))?;
+        ranges.push((lo, hi));
+    }
+    let mut out = Vec::new();
+    bisect(nest, &mut ranges, leaf as i64, &mut out)?;
+    crate::layout::stats::COT_NESTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    Ok(out)
+}
+
+/// [`cache_oblivious`] applied to `program.nests[at]`, splicing the leaf
+/// sequence in place of the original nest.
+pub fn cache_oblivious_in_program(
+    program: &Program,
+    at: usize,
+    leaf: u64,
+) -> Result<Program, String> {
+    if at >= program.nests.len() {
+        return Err(format!("no nest at index {at}"));
+    }
+    let leaves = cache_oblivious(&program.nests[at], leaf)?;
+    let mut p = program.clone();
+    p.nests.splice(at..=at, leaves);
+    Ok(p)
+}
+
+/// Effective constant bound: max of the lower-bound list / min of the
+/// upper-bound list, `None` if any expression references a variable.
+fn const_bound(exprs: &[AffineExpr], lower: bool) -> Option<i64> {
+    let mut acc: Option<i64> = None;
+    for e in exprs {
+        if !e.is_constant() {
+            return None;
+        }
+        let c = e.constant_term();
+        acc = Some(match acc {
+            None => c,
+            Some(a) if lower => a.max(c),
+            Some(a) => a.min(c),
+        });
+    }
+    acc
+}
+
+/// Guard against pathological recursions on fuzz-generated extents.
+const MAX_COT_LEAVES: usize = 1 << 16;
+
+fn bisect(
+    nest: &LoopNest,
+    ranges: &mut [(i64, i64)],
+    leaf: i64,
+    out: &mut Vec<LoopNest>,
+) -> Result<(), String> {
+    let mut best = usize::MAX;
+    let mut best_trip = leaf;
+    for (d, &(lo, hi)) in ranges.iter().enumerate() {
+        let trip = hi - lo + 1;
+        if trip > best_trip {
+            best = d;
+            best_trip = trip;
+        }
+    }
+    if best == usize::MAX {
+        if out.len() >= MAX_COT_LEAVES {
+            return Err(format!(
+                "recursive tiling would exceed {MAX_COT_LEAVES} leaves"
+            ));
+        }
+        let loops = nest
+            .loops
+            .iter()
+            .zip(ranges.iter())
+            .map(|(l, &(lo, hi))| Loop {
+                var: l.var.clone(),
+                lowers: vec![AffineExpr::constant(lo)],
+                uppers: vec![AffineExpr::constant(hi)],
+                step: l.step,
+            })
+            .collect();
+        out.push(LoopNest {
+            name: format!("{}@cot{}", nest.name, out.len()),
+            loops,
+            body: nest.body.clone(),
+        });
+        return Ok(());
+    }
+    let (lo, hi) = ranges[best];
+    let mid = lo + (hi - lo) / 2;
+    // A reversed loop executes its high half first; bisect in execution
+    // order so 1-D recursions preserve the exact sequence.
+    let halves = if nest.loops[best].step >= 0 {
+        [(lo, mid), (mid + 1, hi)]
+    } else {
+        [(mid + 1, hi), (lo, mid)]
+    };
+    for h in halves {
+        ranges[best] = h;
+        bisect(nest, ranges, leaf, out)?;
+    }
+    ranges[best] = (lo, hi);
+    Ok(())
+}
+
 /// Where `orig_level` sits after earlier strip-mines in `order[..upto]`
 /// inserted controlling loops above it.
 fn adjusted_level(orig_level: usize, spec: &[(usize, u64)], order: &[usize], at: usize) -> usize {
@@ -643,5 +791,117 @@ mod tests {
         p.arrays[0].set_dim_pad(0, 3);
         let t = transpose_array(&p, 0, &[1, 0]).unwrap();
         assert_eq!(t.arrays[0].dim_pad, vec![0, 3]);
+    }
+
+    #[test]
+    fn cache_oblivious_preserves_access_multiset() {
+        for (n, leaf) in [(12usize, 4u64), (10, 3), (7, 2)] {
+            let p = matmul_model(n);
+            let q = cache_oblivious_in_program(&p, 0, leaf).unwrap();
+            assert!(q.nests.len() > 1, "n={n} leaf={leaf}");
+            assert_eq!(
+                address_multiset(&p),
+                address_multiset(&q),
+                "n={n} leaf={leaf}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_oblivious_small_nest_is_a_single_leaf() {
+        let p = matmul_model(4);
+        let leaves = cache_oblivious(&p.nests[0], 8).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].loop_vars(), p.nests[0].loop_vars());
+        assert_eq!(leaves[0].loops[0].lowers, vec![E::constant(0)]);
+        assert_eq!(leaves[0].loops[0].uppers, vec![E::constant(3)]);
+    }
+
+    #[test]
+    fn cache_oblivious_bisects_largest_dimension_first() {
+        // 8×2 space, leaf 2: only the first dimension splits, in order.
+        let nest = LoopNest::new(
+            "t",
+            vec![Loop::counted("i", 0, 7), Loop::counted("j", 0, 1)],
+            vec![ArrayRef::read(0, vec![E::var("i"), E::var("j")])],
+        );
+        let leaves = cache_oblivious_unchecked(&nest, 2).unwrap();
+        let spans: Vec<(i64, i64)> = leaves
+            .iter()
+            .map(|l| {
+                (
+                    l.loops[0].lowers[0].constant_term(),
+                    l.loops[0].uppers[0].constant_term(),
+                )
+            })
+            .collect();
+        assert_eq!(spans, vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+    }
+
+    #[test]
+    fn cache_oblivious_reversed_loop_keeps_exact_sequence() {
+        let mut p = Program::new("rev");
+        let a = p.add_array(ArrayDecl::f64("A", vec![16]));
+        let mut l = Loop::counted("i", 0, 15);
+        l.step = -1;
+        p.add_nest(LoopNest::new(
+            "rev",
+            vec![l],
+            vec![ArrayRef::read(a, vec![E::var("i")])],
+        ));
+        let q = cache_oblivious_in_program(&p, 0, 4).unwrap();
+        assert_eq!(q.nests.len(), 4);
+        let layout = DataLayout::contiguous(&p.arrays);
+        let mut before = RecordingSink::default();
+        generate(&p, &layout, &mut before);
+        let mut after = RecordingSink::default();
+        generate(&q, &layout, &mut after);
+        assert_eq!(before.accesses, after.accesses);
+    }
+
+    #[test]
+    fn cache_oblivious_refuses_non_permutable_nests() {
+        // Distance (1, -1): blocking the space would run the source after
+        // its sink.
+        let nest = LoopNest::new(
+            "t",
+            vec![Loop::counted("i", 1, 8), Loop::counted("j", 1, 8)],
+            vec![
+                ArrayRef::write(0, vec![E::var("i"), E::var("j")]),
+                ArrayRef::read(0, vec![E::var_plus("i", -1), E::var_plus("j", 1)]),
+            ],
+        );
+        let err = cache_oblivious(&nest, 2).unwrap_err();
+        assert!(err.contains("fully permutable"), "{err}");
+        // The unchecked variant still covers the space exactly once.
+        let mut p = Program::new("t");
+        p.add_array(ArrayDecl::f64("A", vec![10, 10]));
+        p.add_nest(nest);
+        let leaves = cache_oblivious_unchecked(&p.nests[0], 2).unwrap();
+        let mut q = p.clone();
+        q.nests.splice(0..=0, leaves);
+        assert_eq!(address_multiset(&p), address_multiset(&q));
+    }
+
+    #[test]
+    fn cache_oblivious_refuses_non_constant_bounds() {
+        let nest = LoopNest::new(
+            "t",
+            vec![
+                Loop::counted("j", 0, 9),
+                Loop::new("i", E::constant(0), E::var("j")),
+            ],
+            vec![],
+        );
+        let err = cache_oblivious_unchecked(&nest, 2).unwrap_err();
+        assert!(err.contains("non-constant"), "{err}");
+    }
+
+    #[test]
+    fn cache_oblivious_counts_nests_in_layout_stats() {
+        crate::layout::stats::take_stats();
+        let p = matmul_model(8);
+        cache_oblivious_in_program(&p, 0, 4).unwrap();
+        assert!(crate::layout::stats::take_stats().cot_nests >= 1);
     }
 }

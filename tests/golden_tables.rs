@@ -20,6 +20,9 @@
 //! and commit the rewritten files (see `docs/TESTING.md`). The update path
 //! always regenerates the *full* matrix, even in debug builds.
 
+use mlc_experiments::layout_sweep::{
+    layout_cell_result_to_json, layout_grid_cells, run_layout_cell, LayoutCell, LayoutGridKind,
+};
 use mlc_experiments::sweep::{cell_result_to_json, grid_cells, run_cell, GridKind, SweepCell};
 use mlc_telemetry::json::JsonValue;
 use std::path::PathBuf;
@@ -27,6 +30,10 @@ use std::path::PathBuf;
 /// Cells checked by debug builds: cheap, but spanning kernels / NAS,
 /// severe-conflict and group-reuse behavior, and nontrivial padding.
 const DEBUG_SUBSET: &[&str] = &["adi32", "dot512", "buk", "embar", "jacobi512", "appsp"];
+
+/// Layout-grid kernels checked by debug builds: the smoke pair, spanning
+/// the Morton-beats-padding showcase and the mixed-orientation body.
+const LAYOUT_DEBUG_SUBSET: &[&str] = &["transpose64", "rowcol48"];
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -141,9 +148,92 @@ fn check_family(kind: GridKind, grid_tag: &str, file: &str) {
     );
 }
 
+/// Layout-grid variant of [`check_family`]: every competitor's integer
+/// miss counts for one hierarchy's slice of the full layout grid, pinned.
+fn check_layout(hierarchy: &str, file: &str) {
+    let all: Vec<LayoutCell> = layout_grid_cells(LayoutGridKind::Full)
+        .into_iter()
+        .filter(|c| c.hierarchy == hierarchy)
+        .collect();
+    assert!(!all.is_empty(), "unknown layout hierarchy {hierarchy}");
+    let path = golden_path(file);
+
+    let compute = |cells: &[LayoutCell]| -> Vec<JsonValue> {
+        cells
+            .iter()
+            .map(|c| layout_cell_result_to_json(&run_layout_cell(c)))
+            .collect()
+    };
+
+    if update_requested() {
+        let payloads = compute(&all);
+        let doc = golden_doc(hierarchy, &all_kernels(&all), payloads);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, doc.pretty()).unwrap();
+        eprintln!("golden: rewrote {} ({} cells)", path.display(), all.len());
+        return;
+    }
+
+    let cells: Vec<LayoutCell> = if cfg!(debug_assertions) {
+        all.into_iter()
+            .filter(|c| LAYOUT_DEBUG_SUBSET.contains(&c.kernel.as_str()))
+            .collect()
+    } else {
+        all
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --release --test golden_tables",
+            path.display()
+        )
+    });
+    let golden = JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("golden file {} is not JSON: {e}", path.display()));
+    assert_eq!(
+        golden.get("format").and_then(JsonValue::as_u64),
+        Some(1),
+        "unknown golden format in {}",
+        path.display()
+    );
+    let actual = compute(&cells);
+    let problems = diff_against_golden(&golden, &all_kernels(&cells), &actual);
+    assert!(
+        problems.is_empty(),
+        "golden layout table {} no longer matches ({} cells differ).\n\n{}\n\n\
+         If this drift is intentional, bless it with:\n  \
+         UPDATE_GOLDEN=1 cargo test --release --test golden_tables\n\
+         and commit the rewritten files.",
+        path.display(),
+        problems.len(),
+        problems.join("\n")
+    );
+}
+
+/// Adapt layout cells to the kernel-keyed comparator: within one golden
+/// file a kernel appears once, so the sweep-grid [`SweepCell`] shape can
+/// carry the lookup key.
+fn all_kernels(cells: &[LayoutCell]) -> Vec<SweepCell> {
+    cells
+        .iter()
+        .map(|c| SweepCell {
+            index: c.index,
+            kernel: c.kernel.clone(),
+            family: mlc_experiments::sweep::Family::Conflict,
+            hierarchy: c.hierarchy.clone(),
+        })
+        .collect()
+}
+
 #[test]
 fn golden_conflict_tables_hold() {
     check_family(GridKind::Conflict, "conflict", "conflict_ultrasparc_i.json");
+}
+
+#[test]
+fn golden_layout_tables_hold() {
+    check_layout("tiny_l1l2", "layout_tiny_l1l2.json");
+    check_layout("ultrasparc_i", "layout_ultrasparc_i.json");
 }
 
 #[test]
